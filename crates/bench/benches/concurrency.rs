@@ -1,0 +1,38 @@
+//! Max-concurrency algorithms: the paper's windowed Eq. 16 vs the exact
+//! sweep, across interval counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_core::concurrency::{max_concurrency_exact, max_concurrency_windowed};
+use st_model::Micros;
+
+fn intervals(n: usize, seed: u64) -> Vec<(Micros, Micros)> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s = rng.gen_range(0..1_000_000u64);
+            let d = rng.gen_range(1..5_000u64);
+            (Micros(s), Micros(s + d))
+        })
+        .collect()
+}
+
+fn bench_concurrency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concurrency");
+    group.sample_size(20);
+    for n in [1_000usize, 10_000, 100_000] {
+        let ivs = intervals(n, 7);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("windowed_eq16", n), &ivs, |b, ivs| {
+            b.iter(|| max_concurrency_windowed(ivs))
+        });
+        group.bench_with_input(BenchmarkId::new("exact_sweep", n), &ivs, |b, ivs| {
+            b.iter(|| max_concurrency_exact(ivs))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concurrency);
+criterion_main!(benches);

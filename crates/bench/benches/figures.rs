@@ -1,0 +1,112 @@
+//! One benchmark per paper figure: the wall-clock cost of regenerating
+//! each evaluation artifact end-to-end (simulate → map → DFG → stats →
+//! render). IOR figures run at the reduced 8-rank scale to keep bench
+//! time sane; the `figures` binary regenerates them at the 96-rank paper
+//! scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use st_bench::experiments::{ior_mpiio, ior_ssf_fpp, ls_experiment, site_mapping, Scale};
+use st_core::prelude::*;
+
+fn bench_fig3(c: &mut Criterion) {
+    c.bench_function("figures/fig3_ls_dfgs", |b| {
+        b.iter(|| {
+            let exp = ls_experiment();
+            let mapping = CallTopDirs::new(2);
+            let mx = MappedLog::new(&exp.cx, &mapping);
+            let stats = IoStatistics::compute(&mx);
+            let dfg = Dfg::from_mapped(&mx);
+            let dfg_a = Dfg::from_mapped(&MappedLog::new(&exp.ca, &mapping));
+            let dfg_b = Dfg::from_mapped(&MappedLog::new(&exp.cb, &mapping));
+            let dot = render_dot(
+                &dfg,
+                Some(&stats),
+                &PartitionColoring::new(&dfg_a, &dfg_b),
+                &RenderOptions::default(),
+            );
+            dot.len()
+        })
+    });
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    c.bench_function("figures/fig4_usrlib_filter", |b| {
+        b.iter(|| {
+            let exp = ls_experiment();
+            let mapping = PathFilter::new("/usr/lib", PathSuffix::new("/usr/lib"));
+            let mapped = MappedLog::new(&exp.cx, &mapping);
+            let dfg = Dfg::from_mapped(&mapped);
+            let stats = IoStatistics::compute(&mapped);
+            render_dot(
+                &dfg,
+                Some(&stats),
+                &StatisticsColoring::by_load(&stats),
+                &RenderOptions::default(),
+            )
+            .len()
+        })
+    });
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("figures/fig5_timeline", |b| {
+        b.iter(|| {
+            let exp = ls_experiment();
+            let mapped = MappedLog::new(&exp.cb, &CallTopDirs::new(2));
+            let tl = Timeline::for_activity(&mapped, "read:/usr/lib").unwrap();
+            tl.render_ascii(72).len()
+        })
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig8_ssf_fpp");
+    group.sample_size(10);
+    group.bench_function("small_scale_end_to_end", |b| {
+        b.iter(|| {
+            let config = Scale::Small.config();
+            let log = ior_ssf_fpp(Scale::Small);
+            let scratch = log.filter_path_contains(&config.paths.scratch);
+            let mapped = MappedLog::new(&scratch, &site_mapping(&config, 1));
+            let stats = IoStatistics::compute(&mapped);
+            let dfg = Dfg::from_mapped(&mapped);
+            render_dot(
+                &dfg,
+                Some(&stats),
+                &StatisticsColoring::by_load(&stats),
+                &RenderOptions::default(),
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/fig9_mpiio");
+    group.sample_size(10);
+    group.bench_function("small_scale_end_to_end", |b| {
+        b.iter(|| {
+            let config = Scale::Small.config();
+            let log = ior_mpiio(Scale::Small);
+            let mapping = site_mapping(&config, 0);
+            let (g, r) = log.partition_by_cid("g");
+            let mapped = MappedLog::new(&log, &mapping);
+            let stats = IoStatistics::compute(&mapped);
+            let dfg = Dfg::from_mapped(&mapped);
+            let dfg_g = Dfg::from_mapped(&MappedLog::new(&g, &mapping));
+            let dfg_r = Dfg::from_mapped(&MappedLog::new(&r, &mapping));
+            render_dot(
+                &dfg,
+                Some(&stats),
+                &PartitionColoring::new(&dfg_g, &dfg_r),
+                &RenderOptions::default(),
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3, bench_fig4, bench_fig5, bench_fig8, bench_fig9);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Parser throughput: strace text → events.
+//!
+//! Complexity claim (Sec. V "Implementation", step 1): trace ingestion is
+//! linear in the number of records. The series sweeps line counts; a
+//! linear fit should hold (ns/line roughly constant).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_bench::synth::generate_strace_text;
+use st_model::Interner;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser/parse_str");
+    group.sample_size(20);
+    for lines in [1_000usize, 10_000, 50_000] {
+        let text = generate_strace_text(lines, 0xC0FFEE);
+        group.throughput(Throughput::Elements(lines as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(lines), &text, |b, text| {
+            b.iter(|| {
+                let interner = Interner::new();
+                let parsed = st_strace::parse_str(std::hint::black_box(text), &interner);
+                assert_eq!(parsed.events.len(), lines);
+                parsed.events.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_single_record_shapes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser/record");
+    let records = [
+        ("complete_read", "9054  08:55:54.153994 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, \"...\", 832) = 832 <0.000203>"),
+        ("openat_ok", "123 10:00:00.000001 openat(AT_FDCWD, \"/etc/passwd\", O_RDONLY|O_CLOEXEC) = 3</etc/passwd> <0.000012>"),
+        ("openat_enoent", "123 10:00:00.000001 openat(AT_FDCWD, \"/opt/x/lib.so\", O_RDONLY|O_CLOEXEC) = -1 ENOENT (No such file or directory) <0.000007>"),
+        ("pwrite64", "50 09:00:00.000100 pwrite64(3</scratch/testfile>, \"...\"..., 1048576, 16777216) = 1048576 <0.000301>"),
+    ];
+    for (name, line) in records {
+        group.bench_function(name, |b| {
+            b.iter(|| st_strace::record::parse_line(std::hint::black_box(line)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_single_record_shapes);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Rendering cost versus node count on dense graphs.
+//!
+//! Complexity claim (Sec. V "Implementation", step 5): O(m²) worst case
+//! — when every node has an edge to every other node, the edge list is
+//! quadratic in m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use st_core::prelude::*;
+use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+use std::sync::Arc;
+
+/// Builds a log whose DFG is (almost) complete over `m` activities: one
+/// long case visiting activities in an order that realizes every ordered
+/// pair.
+fn dense_log(m: usize) -> EventLog {
+    let mut log = EventLog::with_new_interner();
+    let interner = Arc::clone(log.interner());
+    let meta = CaseMeta { cid: interner.intern("dense"), host: interner.intern("h"), rid: 0 };
+    let paths: Vec<_> = (0..m)
+        .map(|i| interner.intern(&format!("/d{i}/f")))
+        .collect();
+    let mut events = Vec::with_capacity(m * m + 1);
+    let mut t = 0u64;
+    // Visit pairs (i, j) back to back: i then j realizes edge i→j.
+    for i in 0..m {
+        for j in 0..m {
+            events.push(
+                Event::new(Pid(1), Syscall::Read, Micros(t), Micros(1), paths[i]).with_size(8),
+            );
+            t += 2;
+            events.push(
+                Event::new(Pid(1), Syscall::Read, Micros(t), Micros(1), paths[j]).with_size(8),
+            );
+            t += 2;
+        }
+    }
+    log.push_case(Case::from_events(meta, events));
+    log
+}
+
+fn bench_render_dense(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render/dense_dot");
+    group.sample_size(10);
+    for m in [10usize, 40, 80] {
+        let log = dense_log(m);
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let dfg = Dfg::from_mapped(&mapped);
+        let stats = IoStatistics::compute(&mapped);
+        assert!(dfg.edges().count() >= m * m, "graph must be dense");
+        group.bench_with_input(BenchmarkId::from_parameter(m), &(dfg, stats), |b, (dfg, stats)| {
+            b.iter(|| {
+                render_dot(
+                    dfg,
+                    Some(stats),
+                    &StatisticsColoring::by_load(stats),
+                    &RenderOptions::default(),
+                )
+                .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_summary(c: &mut Criterion) {
+    let mut group = c.benchmark_group("render/summary");
+    group.sample_size(10);
+    let log = dense_log(40);
+    let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+    let dfg = Dfg::from_mapped(&mapped);
+    let stats = IoStatistics::compute(&mapped);
+    group.bench_function("dense_m40", |b| {
+        b.iter(|| render_summary(&dfg, Some(&stats)).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_render_dense, bench_summary);
+criterion_main!(benches);

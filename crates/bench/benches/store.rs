@@ -1,0 +1,46 @@
+//! Event-log container serialization/deserialization throughput
+//! (the HDF5-substitute of Sec. V "Implementation").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_bench::synth::{generate, SynthSpec};
+use st_store::StoreReader;
+
+fn bench_store(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store");
+    group.sample_size(15);
+    for events in [10_000usize, 100_000] {
+        let spec = SynthSpec { cases: 32, events_per_case: events / 32, paths: 64, seed: 9 };
+        let log = generate(&spec);
+        group.throughput(Throughput::Elements(events as u64));
+        group.bench_with_input(BenchmarkId::new("serialize", events), &log, |b, log| {
+            b.iter(|| st_store::to_bytes(log).unwrap().len())
+        });
+        let bytes = st_store::to_bytes(&log).unwrap();
+        group.bench_with_input(BenchmarkId::new("deserialize", events), &bytes, |b, bytes| {
+            b.iter(|| {
+                StoreReader::from_bytes(bytes.clone())
+                    .unwrap()
+                    .read()
+                    .unwrap()
+                    .total_events()
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new("filtered_read", events),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    StoreReader::from_bytes(bytes.clone())
+                        .unwrap()
+                        .read_filtered("/dir3")
+                        .unwrap()
+                        .total_events()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

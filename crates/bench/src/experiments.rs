@@ -1,0 +1,176 @@
+//! Experiment presets matching the paper's evaluation setups.
+
+use st_core::prelude::*;
+use st_ior::{run_ior, Api, IorOptions};
+use st_ior::workload::StartupProfile;
+use st_model::{EventLog, Syscall};
+use st_sim::{SimConfig, Simulation, TraceFilter};
+
+/// Evaluation scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// The paper's setup: 96 ranks across 2 × 48-core hosts.
+    Paper,
+    /// A reduced setup (8 ranks across 2 hosts) for quick runs/tests.
+    Small,
+}
+
+impl Scale {
+    /// The simulator configuration for this scale.
+    pub fn config(self) -> SimConfig {
+        match self {
+            Scale::Paper => SimConfig::default(),
+            Scale::Small => SimConfig {
+                hosts: vec!["jwc01".to_string(), "jwc02".to_string()],
+                cores_per_host: 4,
+                ..Default::default()
+            },
+        }
+    }
+}
+
+/// Output of the `ls` / `ls -l` experiment (Fig. 1): the combined log
+/// `C_x` plus the per-command sub-logs `C_a` and `C_b` (Eq. 3).
+pub struct LsExperiment {
+    /// `C_x = C_a ∪ C_b`.
+    pub cx: EventLog,
+    /// Cases of `ls` (cid `a`).
+    pub ca: EventLog,
+    /// Cases of `ls -l` (cid `b`).
+    pub cb: EventLog,
+}
+
+/// Runs the Fig. 1 setup: `srun -n 3 strace -e read,write -tt -T -y ls`
+/// and the same for `ls -l`, on one host.
+pub fn ls_experiment() -> LsExperiment {
+    let sim = Simulation::new(SimConfig::small(3));
+    let filter = TraceFilter::only([Syscall::Read, Syscall::Write]);
+    let mut cx = EventLog::with_new_interner();
+    sim.run("a", vec![st_sim::workloads::ls_ops(); 3], &filter, &mut cx);
+    // The second command runs from fresh launcher pids (Fig. 1 shows
+    // rid 9042.. for `ls` and 9157.. for `ls -l`).
+    let sim_b = Simulation::new(SimConfig {
+        base_rid: 9115,
+        ..SimConfig::small(3)
+    });
+    sim_b.run("b", vec![st_sim::workloads::ls_l_ops(); 3], &filter, &mut cx);
+    let (ca, cb) = cx.partition_by_cid("a");
+    LsExperiment { cx, ca, cb }
+}
+
+/// Runs Sec. V-A: IOR in SSF mode (cid `s`) and FPP mode (cid `f`) with
+/// `-t 1m -b 16m -s 3 -w -r -C -e`, traced with the experiment-A call
+/// selection (read/write/openat variants). Returns the combined 2×N-case
+/// log.
+pub fn ior_ssf_fpp(scale: Scale) -> EventLog {
+    let config = scale.config();
+    let profile = StartupProfile::default();
+    let filter = TraceFilter::experiment_a();
+    let mut log = EventLog::with_new_interner();
+    let ssf = IorOptions::paper_experiment(
+        false,
+        Api::Posix,
+        &format!("{}/ssf/test", config.paths.scratch),
+    );
+    run_ior("s", &ssf, &profile, &config, &filter, &mut log);
+    let fpp = IorOptions::paper_experiment(
+        true,
+        Api::Posix,
+        &format!("{}/fpp/test", config.paths.scratch),
+    );
+    run_ior("f", &fpp, &profile, &config, &filter, &mut log);
+    log
+}
+
+/// Runs Sec. V-B: IOR in SSF mode with the MPI-IO interface (cid `g`,
+/// the paper's green subset) and without it (cid `r`, red), traced with
+/// the experiment-B selection (+`lseek`). Both runs share the same
+/// `$SCRATCH/ssf` access path, exactly like the paper — partition-based
+/// coloring is the only way to tell them apart.
+pub fn ior_mpiio(scale: Scale) -> EventLog {
+    let config = scale.config();
+    let profile = StartupProfile::default();
+    let filter = TraceFilter::experiment_b();
+    let mut log = EventLog::with_new_interner();
+    let test_file = format!("{}/ssf/test", config.paths.scratch);
+    let mpiio = IorOptions::paper_experiment(false, Api::Mpiio, &test_file);
+    run_ior("g", &mpiio, &profile, &config, &filter, &mut log);
+    let posix = IorOptions::paper_experiment(false, Api::Posix, &test_file);
+    // A separate simulation: the POSIX run sees a fresh filesystem (the
+    // paper reruns IOR, overwriting the file).
+    run_ior("r", &posix, &profile, &config, &filter, &mut log);
+    log
+}
+
+/// The experiments' site mapping `f̄`: call + site variable, with
+/// `extra_levels` components kept below the alias (0 for Fig. 8a/9, 1
+/// for Fig. 8b).
+pub fn site_mapping(config: &SimConfig, extra_levels: usize) -> SiteMap {
+    SiteMap::new([
+        (config.paths.scratch.clone(), "$SCRATCH".to_string()),
+        (config.paths.software.clone(), "$SOFTWARE".to_string()),
+        (config.paths.home.clone(), "$HOME".to_string()),
+        (config.paths.shm.clone(), "Node Local".to_string()),
+        ("/tmp".to_string(), "Node Local".to_string()),
+    ])
+    .with_extra_levels(extra_levels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ls_experiment_matches_eq3_shape() {
+        let exp = ls_experiment();
+        assert_eq!(exp.cx.case_count(), 6);
+        assert_eq!(exp.ca.case_count(), 3);
+        assert_eq!(exp.cb.case_count(), 3);
+        assert_eq!(exp.ca.total_events(), 3 * 8);
+        assert_eq!(exp.cb.total_events(), 3 * 17);
+    }
+
+    #[test]
+    fn ior_ssf_fpp_small_has_both_modes() {
+        let log = ior_ssf_fpp(Scale::Small);
+        assert_eq!(log.case_count(), 16);
+        let (ssf, fpp) = log.partition_by_cid("s");
+        assert_eq!(ssf.case_count(), 8);
+        assert_eq!(fpp.case_count(), 8);
+        // Both touch $SCRATCH but in different subdirectories.
+        let scratch = log.filter_path_contains("/ssf/");
+        assert!(scratch.total_events() > 0);
+        let fpp_events = log.filter_path_contains("/fpp/");
+        assert!(fpp_events.total_events() > 0);
+    }
+
+    #[test]
+    fn ior_mpiio_small_distinguishable_only_by_cid() {
+        let log = ior_mpiio(Scale::Small);
+        let (g, r) = log.partition_by_cid("g");
+        assert_eq!(g.case_count(), 8);
+        assert_eq!(r.case_count(), 8);
+        // Same access path: partitioning by path cannot separate them.
+        let snap = log.snapshot();
+        let g_paths: std::collections::HashSet<String> = g
+            .iter_events()
+            .filter(|(_, e)| snap.resolve(e.path).contains("/ssf/"))
+            .map(|(_, e)| snap.resolve(e.path).to_string())
+            .collect();
+        let r_paths: std::collections::HashSet<String> = r
+            .iter_events()
+            .filter(|(_, e)| snap.resolve(e.path).contains("/ssf/"))
+            .map(|(_, e)| snap.resolve(e.path).to_string())
+            .collect();
+        assert_eq!(g_paths, r_paths);
+    }
+
+    #[test]
+    fn site_mapping_levels() {
+        let config = Scale::Small.config();
+        let m0 = site_mapping(&config, 0);
+        let m1 = site_mapping(&config, 1);
+        assert_eq!(m0.extra_levels, 0);
+        assert_eq!(m1.extra_levels, 1);
+    }
+}

@@ -1,0 +1,198 @@
+//! End-to-end tests of the `stinspect` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn stinspect() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stinspect"))
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stinspect-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn no_arguments_prints_usage_and_fails() {
+    let out = stinspect().output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stinspect"));
+}
+
+#[test]
+fn unknown_command_fails() {
+    let out = stinspect().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn help_succeeds() {
+    let out = stinspect().arg("--help").output().unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("commands:"));
+}
+
+#[test]
+fn simulate_parse_dfg_pipeline() {
+    let dir = tmpdir("pipeline");
+
+    // simulate ls, with strace emission
+    let out = stinspect()
+        .args(["simulate", "ls", "--out"])
+        .arg(&dir)
+        .arg("--emit-strace")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(dir.join("ls.stlog").is_file());
+    let traces = dir.join("ls-traces");
+    assert!(traces.is_dir());
+
+    // parse the emitted traces back into a second container
+    let parsed = dir.join("parsed.stlog");
+    let out = stinspect()
+        .arg("parse")
+        .arg(&traces)
+        .arg("-o")
+        .arg(&parsed)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("6 cases"));
+
+    // dfg with partition coloring, written to a file
+    let dot_path = dir.join("g.dot");
+    let out = stinspect()
+        .arg("dfg")
+        .arg(&parsed)
+        .args(["--color", "partition:a", "-o"])
+        .arg(&dot_path)
+        .arg("--summary")
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("read\\n/usr/lib"));
+    assert!(dot.contains("#d62728"), "red partition color expected");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("activity"), "{stdout}");
+
+    // stats with a path filter
+    let out = stinspect()
+        .arg("stats")
+        .arg(&parsed)
+        .args(["--filter", "/etc"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("read:/etc/locale.alias"), "{stdout}");
+    assert!(!stdout.contains("/usr/lib"), "{stdout}");
+
+    // timeline of a known activity
+    let out = stinspect()
+        .arg("timeline")
+        .arg(&parsed)
+        .arg("read:/usr/lib")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("timeline of"), "{stdout}");
+    assert!(stdout.contains('#'), "{stdout}");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn stats_csv_and_dfg_min_edge() {
+    let dir = tmpdir("csv");
+    stinspect()
+        .args(["simulate", "ls", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let store = dir.join("ls.stlog");
+
+    // CSV export: header + one row per activity, clean stdout.
+    let out = stinspect()
+        .arg("stats")
+        .arg(&store)
+        .arg("--csv")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.starts_with("activity,events,"), "{stdout}");
+    assert!(stdout.contains("read:/usr/lib,"), "{stdout}");
+    // Header summary goes to stderr, not into the CSV.
+    assert!(!stdout.contains("cases,"), "{stdout}");
+
+    // Edge-frequency filtering drops rare relations from the DOT.
+    let full = stinspect().arg("dfg").arg(&store).output().unwrap();
+    let filtered = stinspect()
+        .arg("dfg")
+        .arg(&store)
+        .args(["--min-edge", "6"])
+        .output()
+        .unwrap();
+    assert!(full.status.success() && filtered.status.success());
+    let full_edges = String::from_utf8_lossy(&full.stdout).matches("->").count();
+    let filtered_edges = String::from_utf8_lossy(&filtered.stdout).matches("->").count();
+    assert!(
+        filtered_edges < full_edges,
+        "filtered {filtered_edges} !< full {full_edges}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn dfg_rejects_bad_color_mode() {
+    let dir = tmpdir("badcolor");
+    stinspect()
+        .args(["simulate", "ls", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let out = stinspect()
+        .arg("dfg")
+        .arg(dir.join("ls.stlog"))
+        .args(["--color", "sparkles"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown color mode"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn timeline_unknown_activity_fails_cleanly() {
+    let dir = tmpdir("tlmissing");
+    stinspect()
+        .args(["simulate", "ls", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let out = stinspect()
+        .arg("timeline")
+        .arg(dir.join("ls.stlog"))
+        .arg("write:/nonexistent")
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no events map"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parse_missing_directory_fails() {
+    let out = stinspect()
+        .args(["parse", "/nonexistent/traces", "-o", "/tmp/x.stlog"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+}

@@ -1,0 +1,133 @@
+//! Activity identities.
+//!
+//! An *activity* `a ∈ A_f` is the named entity an event maps to under a
+//! mapping `f` (Sec. IV). Activity names follow the paper's prose
+//! convention `"<call>:<path-abstraction>"` (e.g. `read:/usr/lib`); the
+//! renderer splits on the first `:` to produce the two-line node labels
+//! of Fig. 3a.
+
+use std::collections::HashMap;
+
+/// Dense activity identifier, valid within one [`ActivityTable`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ActivityId(pub u32);
+
+impl ActivityId {
+    /// The index form, for direct table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Append-only activity name table (names ↔ dense ids).
+///
+/// Ids are assigned in first-appearance order, which is deterministic for
+/// a given event log and mapping — DOT output and tests rely on this.
+#[derive(Default, Debug, Clone)]
+pub struct ActivityTable {
+    names: Vec<String>,
+    map: HashMap<String, ActivityId>,
+}
+
+impl ActivityTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns an activity name.
+    pub fn intern(&mut self, name: &str) -> ActivityId {
+        if let Some(&id) = self.map.get(name) {
+            return id;
+        }
+        let id = ActivityId(self.names.len() as u32);
+        self.names.push(name.to_string());
+        self.map.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name behind `id`.
+    ///
+    /// # Panics
+    /// Panics when `id` belongs to a different table.
+    pub fn name(&self, id: ActivityId) -> &str {
+        &self.names[id.index()]
+    }
+
+    /// Looks up a name.
+    pub fn get(&self, name: &str) -> Option<ActivityId> {
+        self.map.get(name).copied()
+    }
+
+    /// Number of distinct activities `m = |A_f|`.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no activity has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(id, name)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ActivityId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (ActivityId(i as u32), n.as_str()))
+    }
+
+    /// Splits an activity name into the `(call, path)` pair used for
+    /// node labels (Fig. 3a). Names without a `:` render as a single
+    /// line.
+    pub fn split_label(name: &str) -> (&str, Option<&str>) {
+        match name.split_once(':') {
+            Some((call, path)) => (call, Some(path)),
+            None => (name, None),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_assigns_dense_ids_in_first_appearance_order() {
+        let mut t = ActivityTable::new();
+        let a = t.intern("read:/usr/lib");
+        let b = t.intern("write:/dev/pts");
+        let a2 = t.intern("read:/usr/lib");
+        assert_eq!(a, a2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.name(a), "read:/usr/lib");
+        assert_eq!(t.get("write:/dev/pts"), Some(b));
+        assert_eq!(t.get("missing"), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut t = ActivityTable::new();
+        t.intern("c");
+        t.intern("a");
+        t.intern("b");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn split_label_on_first_colon() {
+        assert_eq!(
+            ActivityTable::split_label("read:/usr/lib"),
+            ("read", Some("/usr/lib"))
+        );
+        assert_eq!(
+            ActivityTable::split_label("openat:$SCRATCH/ssf"),
+            ("openat", Some("$SCRATCH/ssf"))
+        );
+        assert_eq!(ActivityTable::split_label("plain"), ("plain", None));
+    }
+}

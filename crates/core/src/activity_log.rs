@@ -1,0 +1,174 @@
+//! The activity log `L_f(C) ∈ B(A_f*)` — a multiset of activity traces
+//! (Sec. IV "Activity-log").
+//!
+//! Cases whose traces are identical collapse into one entry with a
+//! multiplicity, exactly like the paper's example where all three `ls`
+//! cases map to a single trace with multiplicity 3.
+
+use std::collections::HashMap;
+
+use crate::activity::ActivityId;
+use crate::mapped::MappedLog;
+
+/// One distinct trace with its multiplicity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The activity sequence `⟨a_1, …, a_n⟩` (without start/end markers;
+    /// those are implicit in DFG construction).
+    pub activities: Vec<ActivityId>,
+    /// How many cases produced this exact trace.
+    pub multiplicity: usize,
+    /// Indices (into `log().cases()`) of those cases.
+    pub cases: Vec<usize>,
+}
+
+/// A multiset of activity traces.
+#[derive(Debug, Clone, Default)]
+pub struct ActivityLog {
+    entries: Vec<TraceEntry>,
+}
+
+impl ActivityLog {
+    /// Builds the multiset from a mapped log. Cases with *no* mapped
+    /// events contribute nothing (the paper filters the event log before
+    /// mapping, so empty traces never arise there either).
+    pub fn from_mapped(mapped: &MappedLog<'_>) -> Self {
+        let mut index: HashMap<Vec<ActivityId>, usize> = HashMap::new();
+        let mut entries: Vec<TraceEntry> = Vec::new();
+        for case_idx in 0..mapped.log().case_count() {
+            let trace = mapped.trace_of(case_idx);
+            if trace.is_empty() {
+                continue;
+            }
+            match index.get(&trace) {
+                Some(&slot) => {
+                    entries[slot].multiplicity += 1;
+                    entries[slot].cases.push(case_idx);
+                }
+                None => {
+                    index.insert(trace.clone(), entries.len());
+                    entries.push(TraceEntry {
+                        activities: trace,
+                        multiplicity: 1,
+                        cases: vec![case_idx],
+                    });
+                }
+            }
+        }
+        ActivityLog { entries }
+    }
+
+    /// Distinct traces, in first-appearance order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of distinct traces.
+    pub fn distinct_traces(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total number of traces including multiplicities (= contributing
+    /// cases).
+    pub fn total_traces(&self) -> usize {
+        self.entries.iter().map(|e| e.multiplicity).sum()
+    }
+
+    /// Formats the multiset like the paper's prose
+    /// (`{⟨a, a, b⟩², ⟨a, c⟩}`), resolving names through `mapped`.
+    pub fn display(&self, mapped: &MappedLog<'_>) -> String {
+        let mut out = String::from("{");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push('⟨');
+            for (j, a) in entry.activities.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(mapped.table().name(*a));
+            }
+            out.push('⟩');
+            if entry.multiplicity > 1 {
+                out.push_str(&format!("^{}", entry.multiplicity));
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::CallTopDirs;
+    use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+    use std::sync::Arc;
+
+    /// Three identical `ls`-like cases plus one different case — the
+    /// shape of the paper's L(Ca) ∪ L(Cb) example.
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        for rid in 0..3 {
+            let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid };
+            let events = vec![
+                Event::new(Pid(rid), Syscall::Read, Micros(0), Micros(1), i.intern("/usr/lib/x.so")),
+                Event::new(Pid(rid), Syscall::Write, Micros(10), Micros(1), i.intern("/dev/pts/7")),
+            ];
+            log.push_case(Case::from_events(meta, events));
+        }
+        let meta = CaseMeta { cid: i.intern("b"), host: i.intern("h"), rid: 9 };
+        let events = vec![
+            Event::new(Pid(9), Syscall::Read, Micros(0), Micros(1), i.intern("/usr/lib/x.so")),
+            Event::new(Pid(9), Syscall::Read, Micros(5), Micros(1), i.intern("/etc/passwd")),
+            Event::new(Pid(9), Syscall::Write, Micros(10), Micros(1), i.intern("/dev/pts/7")),
+        ];
+        log.push_case(Case::from_events(meta, events));
+        log
+    }
+
+    #[test]
+    fn identical_traces_collapse_with_multiplicity() {
+        let log = sample_log();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let alog = ActivityLog::from_mapped(&mapped);
+        assert_eq!(alog.distinct_traces(), 2);
+        assert_eq!(alog.total_traces(), 4);
+        assert_eq!(alog.entries()[0].multiplicity, 3);
+        assert_eq!(alog.entries()[0].cases, vec![0, 1, 2]);
+        assert_eq!(alog.entries()[1].multiplicity, 1);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let log = sample_log();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let alog = ActivityLog::from_mapped(&mapped);
+        let s = alog.display(&mapped);
+        assert!(s.starts_with('{') && s.ends_with('}'));
+        assert!(s.contains("⟨read:/usr/lib, write:/dev/pts⟩^3"), "{s}");
+        assert!(s.contains("⟨read:/usr/lib, read:/etc/passwd, write:/dev/pts⟩"), "{s}");
+    }
+
+    #[test]
+    fn unmapped_cases_contribute_nothing() {
+        let log = sample_log();
+        let m = crate::mapping::PathFilter::new("/etc", CallTopDirs::new(2));
+        let mapped = MappedLog::new(&log, &m);
+        let alog = ActivityLog::from_mapped(&mapped);
+        // Only the `b` case touches /etc.
+        assert_eq!(alog.total_traces(), 1);
+        assert_eq!(alog.entries()[0].activities.len(), 1);
+    }
+
+    #[test]
+    fn empty_mapped_log() {
+        let log = EventLog::with_new_interner();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let alog = ActivityLog::from_mapped(&mapped);
+        assert_eq!(alog.distinct_traces(), 0);
+        assert_eq!(alog.total_traces(), 0);
+    }
+}

@@ -1,0 +1,406 @@
+//! Graph coloring (Sec. IV-C).
+//!
+//! Two strategies, both implemented as [`Styler`]s consumed by the
+//! renderer:
+//!
+//! 1. **Statistics-based** ([`StatisticsColoring`]): nodes shaded by a
+//!    statistic — "higher the value of `rd_f`, the darker the shade of
+//!    blue" (Fig. 3b/3c/8). Byte-based shading is available too.
+//! 2. **Partition-based** ([`PartitionColoring`]): given DFGs of two
+//!    mutually exclusive event-log subsets `G` and `R`, nodes/edges
+//!    exclusive to `G[L_f(G)]` are green, exclusive to `G[L_f(R)]` red,
+//!    common ones uncolored (Fig. 3d, Fig. 9).
+
+use crate::dfg::Dfg;
+use crate::stats::IoStatistics;
+
+/// An sRGB color.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Rgb(pub u8, pub u8, pub u8);
+
+impl Rgb {
+    /// Hex form `#rrggbb` as Graphviz expects.
+    pub fn to_hex(self) -> String {
+        format!("#{:02x}{:02x}{:02x}", self.0, self.1, self.2)
+    }
+
+    /// Relative luminance approximation, to decide font color on dark
+    /// fills.
+    pub fn luminance(self) -> f64 {
+        (0.299 * self.0 as f64 + 0.587 * self.1 as f64 + 0.114 * self.2 as f64) / 255.0
+    }
+
+    /// Linear interpolation `self → other` at `t ∈ [0, 1]`.
+    pub fn lerp(self, other: Rgb, t: f64) -> Rgb {
+        let t = t.clamp(0.0, 1.0);
+        let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t).round() as u8;
+        Rgb(mix(self.0, other.0), mix(self.1, other.1), mix(self.2, other.2))
+    }
+
+    /// The partition green of Sec. IV-C.
+    pub const GREEN: Rgb = Rgb(0x2c, 0xa0, 0x2c);
+    /// The partition red of Sec. IV-C.
+    pub const RED: Rgb = Rgb(0xd6, 0x27, 0x28);
+    /// Light end of the blue scale (ColorBrewer "Blues").
+    pub const BLUE_LIGHT: Rgb = Rgb(0xf7, 0xfb, 0xff);
+    /// Dark end of the blue scale.
+    pub const BLUE_DARK: Rgb = Rgb(0x08, 0x30, 0x6b);
+    /// White.
+    pub const WHITE: Rgb = Rgb(0xff, 0xff, 0xff);
+    /// Black.
+    pub const BLACK: Rgb = Rgb(0x00, 0x00, 0x00);
+}
+
+/// Visual attributes of a node.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct NodeStyle {
+    /// Fill color (None = unfilled).
+    pub fill: Option<Rgb>,
+    /// Font color (None = default black).
+    pub font: Option<Rgb>,
+}
+
+/// Visual attributes of an edge.
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct EdgeStyle {
+    /// Stroke color (None = default black).
+    pub color: Option<Rgb>,
+}
+
+/// A coloring strategy. Works on *names* so that a styler built from one
+/// log's DFGs can style another DFG of the same activity space (the
+/// partition DFGs and the full DFG are built from different event-log
+/// subsets).
+pub trait Styler {
+    /// Style for the node named `name` (`"●"`/`"■"` for start/end).
+    fn node_style(&self, name: &str) -> NodeStyle {
+        let _ = name;
+        NodeStyle::default()
+    }
+
+    /// Style for the edge `from → to`.
+    fn edge_style(&self, from: &str, to: &str) -> EdgeStyle {
+        let _ = (from, to);
+        EdgeStyle::default()
+    }
+}
+
+/// No coloring at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoColoring;
+
+impl Styler for NoColoring {}
+
+/// Which statistic drives [`StatisticsColoring`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorMetric {
+    /// Relative duration `rd_f` (the paper's default).
+    Load,
+    /// Total bytes moved `b_f`.
+    Bytes,
+}
+
+/// Statistics-based coloring (Sec. IV-C.1): darker blue = larger value.
+pub struct StatisticsColoring<'a> {
+    stats: &'a IoStatistics,
+    metric: ColorMetric,
+    max: f64,
+}
+
+impl<'a> StatisticsColoring<'a> {
+    /// Shade by relative duration, the paper's choice for Figs. 3 and 8.
+    pub fn by_load(stats: &'a IoStatistics) -> Self {
+        StatisticsColoring {
+            stats,
+            metric: ColorMetric::Load,
+            max: stats.max_rel_dur().max(f64::MIN_POSITIVE),
+        }
+    }
+
+    /// Shade by total bytes moved (the alternative the paper mentions).
+    pub fn by_bytes(stats: &'a IoStatistics) -> Self {
+        StatisticsColoring {
+            stats,
+            metric: ColorMetric::Bytes,
+            max: (stats.max_bytes() as f64).max(f64::MIN_POSITIVE),
+        }
+    }
+
+    fn value(&self, name: &str) -> Option<f64> {
+        let s = self.stats.get_by_name(name)?;
+        Some(match self.metric {
+            ColorMetric::Load => s.rel_dur,
+            ColorMetric::Bytes => s.bytes as f64,
+        })
+    }
+}
+
+impl Styler for StatisticsColoring<'_> {
+    fn node_style(&self, name: &str) -> NodeStyle {
+        let Some(v) = self.value(name) else {
+            return NodeStyle::default();
+        };
+        let t = (v / self.max).clamp(0.0, 1.0);
+        let fill = Rgb::BLUE_LIGHT.lerp(Rgb::BLUE_DARK, t);
+        let font = if fill.luminance() < 0.5 { Some(Rgb::WHITE) } else { None };
+        NodeStyle { fill: Some(fill), font }
+    }
+}
+
+/// Partition-based coloring (Sec. IV-C.2).
+///
+/// Built from the DFGs of the two mutually-exclusive event-log subsets;
+/// applied to the DFG of the full log:
+///
+/// * nodes/edges only in `G[L_f(G)]` → green,
+/// * only in `G[L_f(R)]` → red,
+/// * in both → uncolored.
+pub struct PartitionColoring<'a> {
+    green: &'a Dfg,
+    red: &'a Dfg,
+}
+
+impl<'a> PartitionColoring<'a> {
+    /// Creates the styler from the green-subset and red-subset DFGs.
+    pub fn new(green: &'a Dfg, red: &'a Dfg) -> Self {
+        PartitionColoring { green, red }
+    }
+
+    fn node_partition(&self, name: &str) -> Option<Rgb> {
+        let in_green = matches!(name, "●" | "■") && self.green.case_count() > 0
+            || self.green.has_activity(name);
+        let in_red = matches!(name, "●" | "■") && self.red.case_count() > 0
+            || self.red.has_activity(name);
+        match (in_green, in_red) {
+            (true, false) => Some(Rgb::GREEN),
+            (false, true) => Some(Rgb::RED),
+            _ => None,
+        }
+    }
+}
+
+impl Styler for PartitionColoring<'_> {
+    fn node_style(&self, name: &str) -> NodeStyle {
+        match self.node_partition(name) {
+            Some(color) => NodeStyle {
+                fill: Some(color),
+                font: Some(Rgb::WHITE),
+            },
+            None => NodeStyle::default(),
+        }
+    }
+
+    fn edge_style(&self, from: &str, to: &str) -> EdgeStyle {
+        let g = self.green.edge_count_named(from, to) > 0;
+        let r = self.red.edge_count_named(from, to) > 0;
+        EdgeStyle {
+            color: match (g, r) {
+                (true, false) => Some(Rgb::GREEN),
+                (false, true) => Some(Rgb::RED),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Produces a plain-text partition report for `full = G[L(C)]` against
+/// the subset DFGs: which activities and directly-follows relations are
+/// exclusive to `G` (green), exclusive to `R` (red), or common — the
+/// textual form of the Sec. IV-C comparison, convenient for terminals
+/// and regression logs.
+pub fn partition_report(full: &Dfg, green: &Dfg, red: &Dfg) -> String {
+    use std::fmt::Write as _;
+    let mut green_nodes = Vec::new();
+    let mut red_nodes = Vec::new();
+    let mut common_nodes = Vec::new();
+    for node in full.nodes() {
+        let Some(act) = node.activity() else { continue };
+        let name = full.table().name(act);
+        match (green.has_activity(name), red.has_activity(name)) {
+            (true, false) => green_nodes.push(name),
+            (false, true) => red_nodes.push(name),
+            _ => common_nodes.push(name),
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "green-only activities ({}):", green_nodes.len());
+    for n in &green_nodes {
+        let _ = writeln!(out, "  {n}");
+    }
+    let _ = writeln!(out, "red-only activities ({}):", red_nodes.len());
+    for n in &red_nodes {
+        let _ = writeln!(out, "  {n}");
+    }
+    let _ = writeln!(out, "common activities ({}):", common_nodes.len());
+    for n in &common_nodes {
+        let _ = writeln!(out, "  {n}");
+    }
+    let mut green_edges = 0usize;
+    let mut red_edges = 0usize;
+    let mut common_edges = 0usize;
+    for (from, to, _) in full.edges() {
+        let f = full.node_name(from);
+        let t = full.node_name(to);
+        match (
+            green.edge_count_named(f, t) > 0,
+            red.edge_count_named(f, t) > 0,
+        ) {
+            (true, false) => {
+                green_edges += 1;
+                let _ = writeln!(out, "green-only edge: {f} -> {t}");
+            }
+            (false, true) => {
+                red_edges += 1;
+                let _ = writeln!(out, "red-only edge: {f} -> {t}");
+            }
+            _ => common_edges += 1,
+        }
+    }
+    let _ = writeln!(
+        out,
+        "edges: {green_edges} green-only, {red_edges} red-only, {common_edges} common"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::MappedLog;
+    use crate::mapping::CallTopDirs;
+    use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+    use std::sync::Arc;
+
+    fn two_cid_log() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        // cid "a": read /common then write /a-only.
+        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        log.push_case(Case::from_events(
+            meta,
+            vec![
+                Event::new(Pid(1), Syscall::Read, Micros(0), Micros(10), i.intern("/common/f"))
+                    .with_size(10),
+                Event::new(Pid(1), Syscall::Write, Micros(20), Micros(90), i.intern("/a-only/f"))
+                    .with_size(10),
+            ],
+        ));
+        // cid "b": read /common then write /b-only.
+        let meta = CaseMeta { cid: i.intern("b"), host: i.intern("h"), rid: 1 };
+        log.push_case(Case::from_events(
+            meta,
+            vec![
+                Event::new(Pid(2), Syscall::Read, Micros(0), Micros(10), i.intern("/common/f"))
+                    .with_size(10),
+                Event::new(Pid(2), Syscall::Write, Micros(20), Micros(10), i.intern("/b-only/f"))
+                    .with_size(10),
+            ],
+        ));
+        log
+    }
+
+    #[test]
+    fn rgb_helpers() {
+        assert_eq!(Rgb(0, 0, 0).to_hex(), "#000000");
+        assert_eq!(Rgb(255, 16, 1).to_hex(), "#ff1001");
+        assert!(Rgb::BLUE_DARK.luminance() < 0.5);
+        assert!(Rgb::WHITE.luminance() > 0.9);
+        assert_eq!(Rgb(0, 0, 0).lerp(Rgb(255, 255, 255), 0.0), Rgb(0, 0, 0));
+        assert_eq!(Rgb(0, 0, 0).lerp(Rgb(255, 255, 255), 1.0), Rgb(255, 255, 255));
+        assert_eq!(Rgb(0, 0, 0).lerp(Rgb(200, 100, 50), 0.5), Rgb(100, 50, 25));
+    }
+
+    #[test]
+    fn load_coloring_darkens_with_relative_duration() {
+        let log = two_cid_log();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let stats = crate::stats::IoStatistics::compute(&mapped);
+        let styler = StatisticsColoring::by_load(&stats);
+        // write:/a-only/f has 90/120 of the load — darkest.
+        let heavy = styler.node_style("write:/a-only/f").fill.unwrap();
+        let light = styler.node_style("write:/b-only/f").fill.unwrap();
+        assert!(heavy.luminance() < light.luminance());
+        // The heaviest node gets the full dark blue and white text.
+        assert_eq!(heavy, Rgb::BLUE_DARK);
+        assert_eq!(styler.node_style("write:/a-only/f").font, Some(Rgb::WHITE));
+        // Unknown nodes (start/end) stay unstyled.
+        assert_eq!(styler.node_style("●"), NodeStyle::default());
+    }
+
+    #[test]
+    fn bytes_coloring_uses_byte_metric() {
+        let log = two_cid_log();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let stats = crate::stats::IoStatistics::compute(&mapped);
+        let styler = StatisticsColoring::by_bytes(&stats);
+        // read:/common/f moved 20 B (two events); the writes 10 B each.
+        let common = styler.node_style("read:/common/f").fill.unwrap();
+        let a_only = styler.node_style("write:/a-only/f").fill.unwrap();
+        assert!(common.luminance() < a_only.luminance());
+    }
+
+    #[test]
+    fn partition_coloring_three_way() {
+        let log = two_cid_log();
+        let (ga, gb) = log.partition_by_cid("a");
+        let m = CallTopDirs::new(2);
+        let full = MappedLog::new(&log, &m);
+        let a = MappedLog::new(&ga, &m);
+        let b = MappedLog::new(&gb, &m);
+        let _dfg_full = Dfg::from_mapped(&full);
+        let dfg_a = Dfg::from_mapped(&a);
+        let dfg_b = Dfg::from_mapped(&b);
+        let styler = PartitionColoring::new(&dfg_a, &dfg_b);
+        // Exclusive nodes.
+        assert_eq!(styler.node_style("write:/a-only/f").fill, Some(Rgb::GREEN));
+        assert_eq!(styler.node_style("write:/b-only/f").fill, Some(Rgb::RED));
+        // Shared node: uncolored.
+        assert_eq!(styler.node_style("read:/common/f").fill, None);
+        // Start/end occur in both partitions: uncolored.
+        assert_eq!(styler.node_style("●").fill, None);
+        assert_eq!(styler.node_style("■").fill, None);
+        // Edges.
+        assert_eq!(
+            styler.edge_style("read:/common/f", "write:/a-only/f").color,
+            Some(Rgb::GREEN)
+        );
+        assert_eq!(
+            styler.edge_style("read:/common/f", "write:/b-only/f").color,
+            Some(Rgb::RED)
+        );
+        assert_eq!(styler.edge_style("●", "read:/common/f").color, None);
+        // Unknown edge: uncolored.
+        assert_eq!(styler.edge_style("x", "y").color, None);
+    }
+
+    #[test]
+    fn partition_report_lists_exclusives() {
+        let log = two_cid_log();
+        let (ga, gb) = log.partition_by_cid("a");
+        let m = CallTopDirs::new(2);
+        let full = Dfg::from_mapped(&MappedLog::new(&log, &m));
+        let da = Dfg::from_mapped(&MappedLog::new(&ga, &m));
+        let db = Dfg::from_mapped(&MappedLog::new(&gb, &m));
+        let report = partition_report(&full, &da, &db);
+        assert!(report.contains("green-only activities (1):"), "{report}");
+        assert!(report.contains("write:/a-only/f"), "{report}");
+        assert!(report.contains("red-only activities (1):"), "{report}");
+        assert!(report.contains("write:/b-only/f"), "{report}");
+        assert!(report.contains("common activities (1):"), "{report}");
+        assert!(report.contains("green-only edge: read:/common/f -> write:/a-only/f"), "{report}");
+    }
+
+    #[test]
+    fn partition_with_empty_subset_colors_everything_one_way() {
+        let log = two_cid_log();
+        let (ga, gb) = log.partition_by_cid("zzz"); // nothing matches
+        let m = CallTopDirs::new(2);
+        let a = MappedLog::new(&ga, &m);
+        let b = MappedLog::new(&gb, &m);
+        let dfg_a = Dfg::from_mapped(&a);
+        let dfg_b = Dfg::from_mapped(&b);
+        let styler = PartitionColoring::new(&dfg_a, &dfg_b);
+        assert_eq!(styler.node_style("read:/common/f").fill, Some(Rgb::RED));
+        assert_eq!(styler.node_style("●").fill, Some(Rgb::RED));
+    }
+}

@@ -1,0 +1,498 @@
+//! The Directly-Follows-Graph (Sec. IV-A).
+//!
+//! Given an activity log `L_f(C)`, the DFG `G[L_f(C)]` has the
+//! activities as nodes plus a start node `●` and an end node `■`
+//! (every trace is implicitly wrapped `⟨●, a_1, …, a_n, ■⟩`). An edge
+//! `(a_1, a_2)` exists iff `a_1` *directly follows* `a_2` in some trace;
+//! edge weights count how often the relation was observed (the numbers on
+//! the edges of Fig. 3).
+//!
+//! Construction is a single O(n) pass over the mapped log. For large
+//! logs a map-reduce construction is provided ([`Dfg::par_from_mapped`]):
+//! cases are independent, so per-worker partial DFGs merge by edge-wise
+//! addition — the strategy of the paper's scalability references
+//! [Leemans et al. 24; Evermann 25].
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::activity::{ActivityId, ActivityTable};
+use crate::activity_log::ActivityLog;
+use crate::mapped::MappedLog;
+
+/// A DFG node: the artificial start/end markers or an activity.
+///
+/// The `Ord` instance puts `Start` first and `End` last, giving
+/// deterministic, render-friendly iteration order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Node {
+    /// The start marker `●` prepended to every trace.
+    Start,
+    /// An activity node.
+    Act(ActivityId),
+    /// The end marker `■` appended to every trace.
+    End,
+}
+
+impl Node {
+    /// The activity id, when this is an activity node.
+    pub fn activity(&self) -> Option<ActivityId> {
+        match self {
+            Node::Act(id) => Some(*id),
+            _ => None,
+        }
+    }
+}
+
+/// A Directly-Follows-Graph with observation counts.
+#[derive(Debug, Clone)]
+pub struct Dfg {
+    /// Activity names (owned copy — DFGs outlive their `MappedLog`).
+    table: ActivityTable,
+    /// Directed edges with observation counts.
+    edges: BTreeMap<(Node, Node), u64>,
+    /// Per-node occurrence counts: for activities, the number of mapped
+    /// events; for `Start`/`End`, the number of contributing traces.
+    occurrences: BTreeMap<Node, u64>,
+    /// Number of cases that contributed at least one mapped event.
+    case_count: u64,
+}
+
+impl Dfg {
+    /// Builds the DFG from a mapped log in one sequential pass.
+    pub fn from_mapped(mapped: &MappedLog<'_>) -> Dfg {
+        let mut dfg = Dfg {
+            table: mapped.table().clone(),
+            edges: BTreeMap::new(),
+            occurrences: BTreeMap::new(),
+            case_count: 0,
+        };
+        for case_idx in 0..mapped.log().case_count() {
+            dfg.add_trace(mapped.assignments()[case_idx].iter().filter_map(|a| *a));
+        }
+        dfg
+    }
+
+    /// Builds the DFG from an explicit activity log (useful when the
+    /// multiset is already materialized; weights multiply by trace
+    /// multiplicity).
+    pub fn from_activity_log(alog: &ActivityLog, table: &ActivityTable) -> Dfg {
+        let mut dfg = Dfg {
+            table: table.clone(),
+            edges: BTreeMap::new(),
+            occurrences: BTreeMap::new(),
+            case_count: 0,
+        };
+        for entry in alog.entries() {
+            for _ in 0..entry.multiplicity {
+                dfg.add_trace(entry.activities.iter().copied());
+            }
+        }
+        dfg
+    }
+
+    /// Map-reduce construction: cases are partitioned across `threads`
+    /// workers (0 = available parallelism); partial DFGs are merged by
+    /// edge-wise addition. Produces exactly the same graph as
+    /// [`Dfg::from_mapped`].
+    pub fn par_from_mapped(mapped: &MappedLog<'_>, threads: usize) -> Dfg {
+        let n_cases = mapped.log().case_count();
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(n_cases.max(1));
+        if workers <= 1 {
+            return Self::from_mapped(mapped);
+        }
+
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = crossbeam::channel::unbounded::<Dfg>();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let mapped_ref = &mapped;
+                scope.spawn(move || {
+                    let mut local = Dfg {
+                        table: ActivityTable::new(), // filled on merge
+                        edges: BTreeMap::new(),
+                        occurrences: BTreeMap::new(),
+                        case_count: 0,
+                    };
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= mapped_ref.log().case_count() {
+                            break;
+                        }
+                        local.add_trace(
+                            mapped_ref.assignments()[idx].iter().filter_map(|a| *a),
+                        );
+                    }
+                    let _ = tx.send(local);
+                });
+            }
+            drop(tx);
+            let mut merged = Dfg {
+                table: mapped.table().clone(),
+                edges: BTreeMap::new(),
+                occurrences: BTreeMap::new(),
+                case_count: 0,
+            };
+            for local in rx {
+                merged.merge_counts(&local);
+            }
+            merged
+        })
+    }
+
+    /// Adds one trace `⟨a_1, …, a_n⟩` (implicitly wrapped with start/end
+    /// markers). Empty traces contribute nothing.
+    fn add_trace(&mut self, activities: impl IntoIterator<Item = ActivityId>) {
+        let mut prev: Option<Node> = None;
+        for act in activities {
+            let node = Node::Act(act);
+            *self.occurrences.entry(node).or_insert(0) += 1;
+            let from = prev.unwrap_or(Node::Start);
+            *self.edges.entry((from, node)).or_insert(0) += 1;
+            prev = Some(node);
+        }
+        if let Some(last) = prev {
+            *self.edges.entry((last, Node::End)).or_insert(0) += 1;
+            self.case_count += 1;
+            *self.occurrences.entry(Node::Start).or_insert(0) += 1;
+            *self.occurrences.entry(Node::End).or_insert(0) += 1;
+        }
+    }
+
+    /// Edge-wise addition of another DFG's counts (same activity-id
+    /// space required — used by the map-reduce merge).
+    fn merge_counts(&mut self, other: &Dfg) {
+        for (edge, count) in &other.edges {
+            *self.edges.entry(*edge).or_insert(0) += count;
+        }
+        for (node, count) in &other.occurrences {
+            *self.occurrences.entry(*node).or_insert(0) += count;
+        }
+        self.case_count += other.case_count;
+    }
+
+    /// The activity name table.
+    pub fn table(&self) -> &ActivityTable {
+        &self.table
+    }
+
+    /// Number of activity nodes (excludes start/end).
+    pub fn activity_node_count(&self) -> usize {
+        self.occurrences
+            .keys()
+            .filter(|n| matches!(n, Node::Act(_)))
+            .count()
+    }
+
+    /// Number of traces (cases) that contributed.
+    pub fn case_count(&self) -> u64 {
+        self.case_count
+    }
+
+    /// All edges with counts, in deterministic order.
+    pub fn edges(&self) -> impl Iterator<Item = (Node, Node, u64)> + '_ {
+        self.edges.iter().map(|(&(a, b), &c)| (a, b, c))
+    }
+
+    /// All nodes that occur, in deterministic order.
+    pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
+        self.occurrences.keys().copied()
+    }
+
+    /// Occurrence count of a node (events for activities, traces for
+    /// start/end).
+    pub fn occurrences(&self, node: Node) -> u64 {
+        self.occurrences.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Count on an edge (0 when absent).
+    pub fn edge_count(&self, from: Node, to: Node) -> u64 {
+        self.edges.get(&(from, to)).copied().unwrap_or(0)
+    }
+
+    /// Whether an activity with this name occurs in the graph.
+    pub fn has_activity(&self, name: &str) -> bool {
+        self.table
+            .get(name)
+            .map(Node::Act)
+            .is_some_and(|n| self.occurrences.contains_key(&n))
+    }
+
+    /// Edge count between two *named* endpoints; start/end are named
+    /// `"●"` and `"■"`. Returns 0 when either endpoint or the edge is
+    /// missing.
+    pub fn edge_count_named(&self, from: &str, to: &str) -> u64 {
+        let Some(from) = self.node_by_name(from) else { return 0 };
+        let Some(to) = self.node_by_name(to) else { return 0 };
+        self.edge_count(from, to)
+    }
+
+    /// Resolves `"●"`, `"■"` or an activity name to a node.
+    pub fn node_by_name(&self, name: &str) -> Option<Node> {
+        match name {
+            "●" => Some(Node::Start),
+            "■" => Some(Node::End),
+            _ => self.table.get(name).map(Node::Act),
+        }
+    }
+
+    /// The display name of a node.
+    pub fn node_name(&self, node: Node) -> &str {
+        match node {
+            Node::Start => "●",
+            Node::End => "■",
+            Node::Act(id) => self.table.name(id),
+        }
+    }
+
+    /// Sum of all edge observation counts.
+    pub fn total_edge_observations(&self) -> u64 {
+        self.edges.values().sum()
+    }
+
+    /// Returns a copy keeping only edges observed at least `min_count`
+    /// times; activity nodes left with no incident edge are dropped.
+    ///
+    /// Frequency filtering is the standard process-mining simplification
+    /// for visual analysis of large graphs (the paper notes the mapping
+    /// should keep `m` small "otherwise the visual analysis of the DFG
+    /// would be tedious"). The filtered graph is a *view*: node
+    /// occurrence counts keep their original values and the
+    /// flow-conservation invariants of [`Dfg::check_invariants`] no
+    /// longer hold on it.
+    pub fn filter_edges(&self, min_count: u64) -> Dfg {
+        let edges: BTreeMap<(Node, Node), u64> = self
+            .edges
+            .iter()
+            .filter(|(_, &c)| c >= min_count)
+            .map(|(&e, &c)| (e, c))
+            .collect();
+        let mut keep: std::collections::BTreeSet<Node> = std::collections::BTreeSet::new();
+        for &(from, to) in edges.keys() {
+            keep.insert(from);
+            keep.insert(to);
+        }
+        let occurrences = self
+            .occurrences
+            .iter()
+            .filter(|(n, _)| keep.contains(n))
+            .map(|(&n, &c)| (n, c))
+            .collect();
+        Dfg {
+            table: self.table.clone(),
+            edges,
+            occurrences,
+            case_count: self.case_count,
+        }
+    }
+
+    /// Checks the flow-conservation invariants implied by the trace
+    /// construction: per activity node, in-flow = out-flow = occurrence
+    /// count; start out-flow = end in-flow = case count.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let mut in_flow: BTreeMap<Node, u64> = BTreeMap::new();
+        let mut out_flow: BTreeMap<Node, u64> = BTreeMap::new();
+        for ((from, to), c) in &self.edges {
+            *out_flow.entry(*from).or_insert(0) += c;
+            *in_flow.entry(*to).or_insert(0) += c;
+        }
+        for (&node, &occ) in &self.occurrences {
+            match node {
+                Node::Act(_) => {
+                    let i = in_flow.get(&node).copied().unwrap_or(0);
+                    let o = out_flow.get(&node).copied().unwrap_or(0);
+                    if i != occ || o != occ {
+                        return Err(format!(
+                            "node {} has in={i} out={o} occurrences={occ}",
+                            self.node_name(node)
+                        ));
+                    }
+                }
+                Node::Start => {
+                    let o = out_flow.get(&node).copied().unwrap_or(0);
+                    if o != self.case_count {
+                        return Err(format!("start out-flow {o} != case count {}", self.case_count));
+                    }
+                }
+                Node::End => {
+                    let i = in_flow.get(&node).copied().unwrap_or(0);
+                    if i != self.case_count {
+                        return Err(format!("end in-flow {i} != case count {}", self.case_count));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{CallTopDirs, PathFilter};
+    use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+    use std::sync::Arc;
+
+    /// Builds the fictitious event-log of the paper's Activity-log
+    /// example: traces ⟨a,a,b⟩, ⟨a,a,b⟩, ⟨a,c⟩.
+    fn fictitious_log() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let mut push = |rid: u32, paths: &[&str]| {
+            let meta = CaseMeta { cid: i.intern("x"), host: i.intern("h"), rid };
+            let events = paths
+                .iter()
+                .enumerate()
+                .map(|(k, p)| {
+                    Event::new(Pid(rid), Syscall::Read, Micros(k as u64), Micros(1), i.intern(p))
+                })
+                .collect();
+            log.push_case(Case::from_events(meta, events));
+        };
+        push(0, &["/a", "/a", "/b"]);
+        push(1, &["/a", "/a", "/b"]);
+        push(2, &["/a", "/c"]);
+        log
+    }
+
+    fn build(log: &EventLog) -> (Dfg, MappedLog<'_>) {
+        let mapped = MappedLog::new(log, &CallTopDirs::new(2));
+        (Dfg::from_mapped(&mapped), mapped)
+    }
+
+    #[test]
+    fn edges_and_counts_match_definition() {
+        let log = fictitious_log();
+        let (dfg, _mapped) = build(&log);
+        // Activities: read:/a, read:/b, read:/c.
+        assert_eq!(dfg.activity_node_count(), 3);
+        assert_eq!(dfg.case_count(), 3);
+        // ● → a observed in all three traces.
+        assert_eq!(dfg.edge_count_named("●", "read:/a"), 3);
+        // a → a (self loop) in two traces.
+        assert_eq!(dfg.edge_count_named("read:/a", "read:/a"), 2);
+        assert_eq!(dfg.edge_count_named("read:/a", "read:/b"), 2);
+        assert_eq!(dfg.edge_count_named("read:/a", "read:/c"), 1);
+        assert_eq!(dfg.edge_count_named("read:/b", "■"), 2);
+        assert_eq!(dfg.edge_count_named("read:/c", "■"), 1);
+        // No invented edges.
+        assert_eq!(dfg.edge_count_named("read:/b", "read:/c"), 0);
+        assert_eq!(dfg.edge_count_named("read:/c", "read:/b"), 0);
+        // Occurrences.
+        assert_eq!(dfg.occurrences(dfg.node_by_name("read:/a").unwrap()), 5);
+        assert_eq!(dfg.occurrences(dfg.node_by_name("read:/b").unwrap()), 2);
+        dfg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn from_activity_log_equals_from_mapped() {
+        let log = fictitious_log();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let direct = Dfg::from_mapped(&mapped);
+        let alog = crate::activity_log::ActivityLog::from_mapped(&mapped);
+        let via_alog = Dfg::from_activity_log(&alog, mapped.table());
+        assert_eq!(
+            direct.edges().collect::<Vec<_>>(),
+            via_alog.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(direct.case_count(), via_alog.case_count());
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        for rid in 0..37 {
+            let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid };
+            let events = (0..50)
+                .map(|k| {
+                    let p = format!("/dir{}/f{}", k % 5, (k + rid as usize) % 7);
+                    Event::new(Pid(rid), Syscall::Read, Micros(k as u64), Micros(1), i.intern(&p))
+                })
+                .collect();
+            log.push_case(Case::from_events(meta, events));
+        }
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let seq = Dfg::from_mapped(&mapped);
+        for threads in [2, 3, 8] {
+            let par = Dfg::par_from_mapped(&mapped, threads);
+            assert_eq!(
+                seq.edges().collect::<Vec<_>>(),
+                par.edges().collect::<Vec<_>>(),
+                "threads={threads}"
+            );
+            assert_eq!(seq.case_count(), par.case_count());
+            par.check_invariants().unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_traces_do_not_create_start_end_edge() {
+        let log = fictitious_log();
+        // Filter maps nothing.
+        let m = PathFilter::new("/nonexistent", CallTopDirs::new(2));
+        let mapped = MappedLog::new(&log, &m);
+        let dfg = Dfg::from_mapped(&mapped);
+        assert_eq!(dfg.case_count(), 0);
+        assert_eq!(dfg.total_edge_observations(), 0);
+        assert_eq!(dfg.nodes().count(), 0);
+    }
+
+    #[test]
+    fn single_event_trace_wraps_with_start_and_end() {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        log.push_case(Case::from_events(
+            meta,
+            vec![Event::new(Pid(0), Syscall::Read, Micros(0), Micros(1), i.intern("/x/y"))],
+        ));
+        let (dfg, _) = build(&log);
+        assert_eq!(dfg.edge_count_named("●", "read:/x/y"), 1);
+        assert_eq!(dfg.edge_count_named("read:/x/y", "■"), 1);
+        assert_eq!(dfg.case_count(), 1);
+        dfg.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn filter_edges_keeps_frequent_relations() {
+        let log = fictitious_log();
+        let (dfg, _) = build(&log);
+        // Counts: ●→a 3, a→a 2, a→b 2, a→c 1, b→■ 2, c→■ 1.
+        let filtered = dfg.filter_edges(2);
+        assert_eq!(filtered.edge_count_named("●", "read:/a"), 3);
+        assert_eq!(filtered.edge_count_named("read:/a", "read:/a"), 2);
+        assert_eq!(filtered.edge_count_named("read:/a", "read:/c"), 0);
+        // read:/c loses all incident edges and disappears.
+        assert!(!filtered
+            .nodes()
+            .any(|n| filtered.node_name(n) == "read:/c"));
+        assert!(filtered.has_activity("read:/b"));
+        // Threshold above every count empties the graph.
+        let empty = dfg.filter_edges(100);
+        assert_eq!(empty.total_edge_observations(), 0);
+        assert_eq!(empty.nodes().count(), 0);
+        // Threshold 0/1 is the identity.
+        let same = dfg.filter_edges(1);
+        assert_eq!(
+            same.edges().collect::<Vec<_>>(),
+            dfg.edges().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn node_ordering_start_activities_end() {
+        let log = fictitious_log();
+        let (dfg, _) = build(&log);
+        let nodes: Vec<Node> = dfg.nodes().collect();
+        assert_eq!(nodes.first(), Some(&Node::Start));
+        assert_eq!(nodes.last(), Some(&Node::End));
+    }
+}

@@ -1,0 +1,274 @@
+//! The event log with its activity column materialized.
+//!
+//! The paper's implementation adds an `"activity"` column to the event
+//! DataFrame (Fig. 6 step 2) and reuses it for DFG construction, the
+//! activity-log multiset, statistics and timelines. [`MappedLog`] is that
+//! artifact: per case, per event, an `Option<ActivityId>` (None = the
+//! partial mapping left the event out). Applying the mapping is O(n) and
+//! embarrassingly parallel across cases, as the paper notes; the
+//! [`MappedLog::par_new`] constructor fans cases out to worker threads
+//! and merges the per-worker activity tables by name afterwards.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use st_model::EventLog;
+
+use crate::activity::{ActivityId, ActivityTable};
+use crate::mapping::{MapCtx, Mapping};
+
+/// An event log plus its per-event activity assignment under a mapping
+/// `f : E ⇀ A_f`.
+pub struct MappedLog<'log> {
+    log: &'log EventLog,
+    table: ActivityTable,
+    /// `assignments[case][event]` — the activity of the event, if mapped.
+    assignments: Vec<Vec<Option<ActivityId>>>,
+}
+
+impl<'log> MappedLog<'log> {
+    /// Applies `mapping` to every event, single-threaded (one O(n) pass).
+    pub fn new(log: &'log EventLog, mapping: &dyn Mapping) -> Self {
+        let snapshot = log.snapshot();
+        let ctx = MapCtx { snapshot: &snapshot };
+        let mut table = ActivityTable::new();
+        let mut assignments = Vec::with_capacity(log.case_count());
+        let mut buf = String::new();
+        for case in log.cases() {
+            let mut row = Vec::with_capacity(case.events.len());
+            for event in &case.events {
+                buf.clear();
+                if mapping.write_activity(&ctx, &case.meta, event, &mut buf) {
+                    row.push(Some(table.intern(&buf)));
+                } else {
+                    row.push(None);
+                }
+            }
+            assignments.push(row);
+        }
+        MappedLog { log, table, assignments }
+    }
+
+    /// Applies `mapping` in parallel across cases (`threads = 0` uses the
+    /// machine's available parallelism). Produces the same table ids as
+    /// [`MappedLog::new`] — worker-local tables are re-interned into a
+    /// global table in case order, so id assignment stays
+    /// first-appearance deterministic.
+    pub fn par_new(log: &'log EventLog, mapping: &dyn Mapping, threads: usize) -> Self {
+        let n_cases = log.case_count();
+        let workers = if threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            threads
+        }
+        .min(n_cases.max(1));
+        if workers <= 1 {
+            return Self::new(log, mapping);
+        }
+
+        let snapshot = log.snapshot();
+        // Worker-local results: per case, the mapped names as local ids
+        // plus the local name table.
+        let mut slots: Vec<Option<(Vec<Option<u32>>, ActivityTable)>> =
+            (0..n_cases).map(|_| None).collect();
+        {
+            let next = AtomicUsize::new(0);
+            let (tx, rx) = crossbeam::channel::unbounded();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    let tx = tx.clone();
+                    let next = &next;
+                    let snapshot = &snapshot;
+                    let cases = log.cases();
+                    scope.spawn(move || {
+                        let ctx = MapCtx { snapshot };
+                        let mut buf = String::new();
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= cases.len() {
+                                break;
+                            }
+                            let case = &cases[idx];
+                            let mut local = ActivityTable::new();
+                            let mut row = Vec::with_capacity(case.events.len());
+                            for event in &case.events {
+                                buf.clear();
+                                if mapping.write_activity(&ctx, &case.meta, event, &mut buf) {
+                                    row.push(Some(local.intern(&buf).0));
+                                } else {
+                                    row.push(None);
+                                }
+                            }
+                            if tx.send((idx, row, local)).is_err() {
+                                break;
+                            }
+                        }
+                    });
+                }
+                drop(tx);
+                for (idx, row, local) in rx {
+                    slots[idx] = Some((row, local));
+                }
+            });
+        }
+
+        // Reduce: merge local tables into the global one in case order so
+        // ids match the sequential construction.
+        let mut table = ActivityTable::new();
+        let mut assignments = Vec::with_capacity(n_cases);
+        for slot in slots {
+            let (row, local) = slot.expect("every case mapped");
+            let remap: Vec<ActivityId> = local
+                .iter()
+                .map(|(_, name)| table.intern(name))
+                .collect();
+            assignments.push(
+                row.into_iter()
+                    .map(|opt| opt.map(|lid| remap[lid as usize]))
+                    .collect(),
+            );
+        }
+        MappedLog { log, table, assignments }
+    }
+
+    /// The underlying event log.
+    pub fn log(&self) -> &'log EventLog {
+        self.log
+    }
+
+    /// The activity name table (`A_f`).
+    pub fn table(&self) -> &ActivityTable {
+        &self.table
+    }
+
+    /// Number of distinct activities `m`.
+    pub fn activity_count(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total number of *mapped* events.
+    pub fn mapped_events(&self) -> usize {
+        self.assignments
+            .iter()
+            .map(|row| row.iter().filter(|a| a.is_some()).count())
+            .sum()
+    }
+
+    /// Per-case assignment rows, parallel to `log().cases()`.
+    pub fn assignments(&self) -> &[Vec<Option<ActivityId>>] {
+        &self.assignments
+    }
+
+    /// The activity trace `σ_f(c)` of case `case_idx` (Eq. 5): mapped
+    /// activities in event order, unmapped events skipped.
+    pub fn trace_of(&self, case_idx: usize) -> Vec<ActivityId> {
+        self.assignments[case_idx]
+            .iter()
+            .filter_map(|a| *a)
+            .collect()
+    }
+
+    /// Iterates `(case_idx, activity, &event)` over all mapped events.
+    pub fn iter_mapped(
+        &self,
+    ) -> impl Iterator<Item = (usize, ActivityId, &st_model::Event)> + '_ {
+        self.log
+            .cases()
+            .iter()
+            .enumerate()
+            .flat_map(move |(ci, case)| {
+                case.events
+                    .iter()
+                    .zip(&self.assignments[ci])
+                    .filter_map(move |(e, a)| a.map(|a| (ci, a, e)))
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::CallTopDirs;
+    use st_model::{Case, CaseMeta, Event, Micros, Pid, Syscall};
+    use std::sync::Arc;
+
+    fn sample_log(cases: usize, events_per_case: usize) -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        for c in 0..cases {
+            let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: c as u32 };
+            let events = (0..events_per_case)
+                .map(|k| {
+                    let path = match k % 3 {
+                        0 => "/usr/lib/x/libc.so",
+                        1 => "/etc/passwd",
+                        _ => "/dev/pts/7",
+                    };
+                    Event::new(
+                        Pid(100 + c as u32),
+                        if k % 3 == 2 { Syscall::Write } else { Syscall::Read },
+                        Micros(k as u64 * 10),
+                        Micros(5),
+                        i.intern(path),
+                    )
+                    .with_size(832)
+                })
+                .collect();
+            log.push_case(Case::from_events(meta, events));
+        }
+        log
+    }
+
+    #[test]
+    fn sequential_mapping_builds_activity_column() {
+        let log = sample_log(2, 6);
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        assert_eq!(mapped.activity_count(), 3);
+        assert_eq!(mapped.mapped_events(), 12);
+        assert_eq!(
+            mapped.trace_of(0).len(),
+            6,
+            "all events of a case mapped"
+        );
+        let names: Vec<&str> = mapped.table().iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["read:/usr/lib", "read:/etc/passwd", "write:/dev/pts"]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let log = sample_log(17, 23);
+        let seq = MappedLog::new(&log, &CallTopDirs::new(2));
+        for threads in [2, 4, 8] {
+            let par = MappedLog::par_new(&log, &CallTopDirs::new(2), threads);
+            assert_eq!(par.activity_count(), seq.activity_count());
+            // Same ids, not just same names: id assignment is
+            // first-appearance-in-case-order in both paths.
+            for (a, b) in seq.assignments().iter().zip(par.assignments()) {
+                assert_eq!(a, b);
+            }
+            for (id, name) in seq.table().iter() {
+                assert_eq!(par.table().name(id), name);
+            }
+        }
+    }
+
+    #[test]
+    fn partial_mapping_leaves_events_unmapped() {
+        let log = sample_log(1, 6);
+        let m = crate::mapping::PathFilter::new("/usr/lib", CallTopDirs::new(2));
+        let mapped = MappedLog::new(&log, &m);
+        assert_eq!(mapped.activity_count(), 1);
+        assert_eq!(mapped.mapped_events(), 2); // k = 0, 3
+        assert_eq!(mapped.trace_of(0).len(), 2);
+        assert_eq!(mapped.assignments()[0][1], None);
+    }
+
+    #[test]
+    fn empty_log() {
+        let log = EventLog::with_new_interner();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        assert_eq!(mapped.activity_count(), 0);
+        assert_eq!(mapped.mapped_events(), 0);
+        let par = MappedLog::par_new(&log, &CallTopDirs::new(2), 4);
+        assert_eq!(par.activity_count(), 0);
+    }
+}

@@ -1,0 +1,232 @@
+//! Per-case activity timelines (Fig. 5).
+//!
+//! `t_f(a, C)` (Eq. 15) collects the `(start, end)` tuples of every
+//! event of activity `a`; Fig. 5 plots them as horizontal bars, one row
+//! per case. [`Timeline`] materializes those rows and renders them as
+//! ASCII (for terminals) or SVG (for reports).
+
+use st_model::Micros;
+
+use crate::mapped::MappedLog;
+
+/// One case's intervals for the selected activity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TimelineRow {
+    /// Case label (`<cid><rid>`, e.g. `b9157`).
+    pub label: String,
+    /// Event intervals, in start order.
+    pub intervals: Vec<(Micros, Micros)>,
+}
+
+/// The timeline of one activity across all cases (Fig. 5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    /// Name of the activity plotted.
+    pub activity: String,
+    /// One row per case that executed the activity.
+    pub rows: Vec<TimelineRow>,
+    /// Earliest start across rows.
+    pub t_min: Micros,
+    /// Latest end across rows.
+    pub t_max: Micros,
+}
+
+impl Timeline {
+    /// Collects the timeline of the activity named `name`. Returns
+    /// `None` when no event maps to it.
+    pub fn for_activity(mapped: &MappedLog<'_>, name: &str) -> Option<Timeline> {
+        let target = mapped.table().get(name)?;
+        let interner = mapped.log().interner();
+        let mut rows = Vec::new();
+        let mut t_min = Micros(u64::MAX);
+        let mut t_max = Micros(0);
+        for (case_idx, case) in mapped.log().cases().iter().enumerate() {
+            let mut intervals = Vec::new();
+            for (event, assigned) in case.events.iter().zip(&mapped.assignments()[case_idx]) {
+                if *assigned == Some(target) {
+                    let (s, e) = event.interval();
+                    t_min = t_min.min(s);
+                    t_max = t_max.max(e);
+                    intervals.push((s, e));
+                }
+            }
+            if !intervals.is_empty() {
+                rows.push(TimelineRow {
+                    label: case.meta.label(interner),
+                    intervals,
+                });
+            }
+        }
+        if rows.is_empty() {
+            return None;
+        }
+        Some(Timeline {
+            activity: name.to_string(),
+            rows,
+            t_min,
+            t_max,
+        })
+    }
+
+    /// Total plotted span.
+    pub fn span(&self) -> Micros {
+        self.t_max.saturating_sub(self.t_min)
+    }
+
+    /// Renders the timeline as ASCII art, `width` columns for the time
+    /// axis (Fig. 5 shape: one bar lane per case).
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.max(10);
+        let span = self.span().as_micros().max(1);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .max()
+            .unwrap_or(4)
+            .max(4);
+        let mut out = format!("timeline of {:?} ({} cases)\n", self.activity, self.rows.len());
+        for row in &self.rows {
+            let mut lane = vec![b'.'; width];
+            for &(s, e) in &row.intervals {
+                let from = ((s.saturating_sub(self.t_min)).as_micros() as u128 * width as u128
+                    / span as u128) as usize;
+                let to = ((e.saturating_sub(self.t_min)).as_micros() as u128 * width as u128
+                    / span as u128) as usize;
+                let to = to.clamp(from + 1, width).max(from + 1).min(width);
+                for cell in lane.iter_mut().take(to.min(width)).skip(from.min(width - 1)) {
+                    *cell = b'#';
+                }
+            }
+            out.push_str(&format!(
+                "{:<label_w$} |{}|\n",
+                row.label,
+                String::from_utf8(lane).expect("ascii lane")
+            ));
+        }
+        let ms = span as f64 / 1_000.0;
+        out.push_str(&format!(
+            "{:<label_w$} 0{:>w$}\n",
+            "",
+            format!("{ms:.1} ms"),
+            w = width
+        ));
+        out
+    }
+
+    /// Renders the timeline as a minimal standalone SVG.
+    pub fn render_svg(&self) -> String {
+        let width = 640.0;
+        let row_h = 22.0;
+        let label_w = 90.0;
+        let height = row_h * self.rows.len() as f64 + 30.0;
+        let span = self.span().as_micros().max(1) as f64;
+        let mut out = format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n",
+            w = width + label_w,
+            h = height
+        );
+        for (i, row) in self.rows.iter().enumerate() {
+            let y = 10.0 + i as f64 * row_h;
+            out.push_str(&format!(
+                "  <text x=\"0\" y=\"{:.1}\" font-size=\"11\" font-family=\"monospace\">{}</text>\n",
+                y + 10.0,
+                row.label
+            ));
+            for &(s, e) in &row.intervals {
+                let x = label_w
+                    + (s.saturating_sub(self.t_min)).as_micros() as f64 / span * width;
+                let w = ((e.saturating_sub(s)).as_micros() as f64 / span * width).max(1.0);
+                out.push_str(&format!(
+                    "  <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"14\" fill=\"#1f77b4\"/>\n"
+                ));
+            }
+        }
+        out.push_str("</svg>\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::CallTopDirs;
+    use st_model::{Case, CaseMeta, Event, EventLog, Pid, Syscall};
+    use std::sync::Arc;
+
+    fn log_three_cases() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        for (rid, offsets) in [(9157u32, vec![0u64, 300]), (9158, vec![100]), (9160, vec![150, 600])] {
+            let meta = CaseMeta { cid: i.intern("b"), host: i.intern("h"), rid };
+            let events = offsets
+                .iter()
+                .map(|&t| {
+                    Event::new(Pid(rid), Syscall::Read, Micros(t), Micros(100), i.intern("/usr/lib/x.so"))
+                        .with_size(832)
+                })
+                .collect();
+            log.push_case(Case::from_events(meta, events));
+        }
+        log
+    }
+
+    #[test]
+    fn collects_rows_per_case() {
+        let log = log_three_cases();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let tl = Timeline::for_activity(&mapped, "read:/usr/lib").unwrap();
+        assert_eq!(tl.rows.len(), 3);
+        assert_eq!(tl.rows[0].label, "b9157");
+        assert_eq!(tl.rows[0].intervals.len(), 2);
+        assert_eq!(tl.t_min, Micros(0));
+        assert_eq!(tl.t_max, Micros(700));
+        assert_eq!(tl.span(), Micros(700));
+    }
+
+    #[test]
+    fn missing_activity_returns_none() {
+        let log = log_three_cases();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        assert!(Timeline::for_activity(&mapped, "write:/nope").is_none());
+    }
+
+    #[test]
+    fn ascii_render_has_one_lane_per_case() {
+        let log = log_three_cases();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let tl = Timeline::for_activity(&mapped, "read:/usr/lib").unwrap();
+        let art = tl.render_ascii(60);
+        let lanes: Vec<&str> = art.lines().filter(|l| l.contains('|')).collect();
+        assert_eq!(lanes.len(), 3, "{art}");
+        assert!(art.contains('#'), "{art}");
+        assert!(art.contains("ms"), "{art}");
+    }
+
+    #[test]
+    fn svg_render_contains_rects() {
+        let log = log_three_cases();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let tl = Timeline::for_activity(&mapped, "read:/usr/lib").unwrap();
+        let svg = tl.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert_eq!(svg.matches("<rect").count(), 5);
+        assert!(svg.contains("b9158"));
+    }
+
+    #[test]
+    fn zero_span_timeline_renders() {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        log.push_case(Case::from_events(
+            meta,
+            vec![Event::new(Pid(1), Syscall::Read, Micros(5), Micros(0), i.intern("/x/y"))],
+        ));
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let tl = Timeline::for_activity(&mapped, "read:/x/y").unwrap();
+        assert_eq!(tl.span(), Micros(0));
+        let art = tl.render_ascii(40);
+        assert!(!art.is_empty());
+    }
+}

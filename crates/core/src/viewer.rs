@@ -1,0 +1,123 @@
+//! The `DFGViewer` facade (Fig. 6 steps 5a/5b).
+//!
+//! ```
+//! use st_core::prelude::*;
+//! # use st_model::{EventLog, Case, CaseMeta, Event, Micros, Pid, Syscall};
+//! # use std::sync::Arc;
+//! # let mut log = EventLog::with_new_interner();
+//! # let i = Arc::clone(log.interner());
+//! # let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+//! # log.push_case(Case::from_events(meta, vec![Event::new(Pid(1), Syscall::Read,
+//! #     Micros(0), Micros(10), i.intern("/usr/lib/x.so")).with_size(100)]));
+//! let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+//! let dfg = Dfg::from_mapped(&mapped);
+//! let stats = IoStatistics::compute(&mapped);
+//! let dot = DfgViewer::new(&dfg)
+//!     .with_stats(&stats)
+//!     .with_styler(StatisticsColoring::by_load(&stats))
+//!     .render_dot();
+//! assert!(dot.starts_with("digraph"));
+//! ```
+
+use crate::color::{NoColoring, Styler};
+use crate::dfg::Dfg;
+use crate::render::{render_dot, render_summary, RenderOptions};
+use crate::stats::IoStatistics;
+
+/// Builder that pairs a DFG with statistics, a coloring strategy and
+/// render options, mirroring the paper's `DFGViewer(dfg, styler)`.
+pub struct DfgViewer<'a> {
+    dfg: &'a Dfg,
+    stats: Option<&'a IoStatistics>,
+    styler: Box<dyn Styler + 'a>,
+    options: RenderOptions,
+}
+
+impl<'a> DfgViewer<'a> {
+    /// Creates a viewer with no statistics and no coloring.
+    pub fn new(dfg: &'a Dfg) -> Self {
+        DfgViewer {
+            dfg,
+            stats: None,
+            styler: Box::new(NoColoring),
+            options: RenderOptions::default(),
+        }
+    }
+
+    /// Attaches activity statistics (adds `Load:`/`DR:` lines to nodes).
+    pub fn with_stats(mut self, stats: &'a IoStatistics) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// Sets the coloring strategy (Fig. 6 `styler=`).
+    pub fn with_styler(mut self, styler: impl Styler + 'a) -> Self {
+        self.styler = Box::new(styler);
+        self
+    }
+
+    /// Overrides render options.
+    pub fn with_options(mut self, options: RenderOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Renders Graphviz DOT (the paper's `.render()`).
+    pub fn render_dot(&self) -> String {
+        render_dot(self.dfg, self.stats, self.styler.as_ref(), &self.options)
+    }
+
+    /// Renders the plain-text statistics/edge summary.
+    pub fn render_summary(&self) -> String {
+        render_summary(self.dfg, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::MappedLog;
+    use crate::mapping::CallTopDirs;
+    use crate::stats::IoStatistics;
+    use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+    use std::sync::Arc;
+
+    fn tiny() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        log.push_case(Case::from_events(
+            meta,
+            vec![
+                Event::new(Pid(1), Syscall::Read, Micros(0), Micros(10), i.intern("/usr/lib/x"))
+                    .with_size(10),
+                Event::new(Pid(1), Syscall::Write, Micros(20), Micros(10), i.intern("/dev/pts/1"))
+                    .with_size(5),
+            ],
+        ));
+        log
+    }
+
+    #[test]
+    fn viewer_renders_dot_and_summary() {
+        let log = tiny();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let dfg = crate::dfg::Dfg::from_mapped(&mapped);
+        let stats = IoStatistics::compute(&mapped);
+        let viewer = DfgViewer::new(&dfg).with_stats(&stats);
+        let dot = viewer.render_dot();
+        assert!(dot.contains("Load:"));
+        let summary = viewer.render_summary();
+        assert!(summary.contains("activity"));
+    }
+
+    #[test]
+    fn viewer_without_stats_renders_bare_labels() {
+        let log = tiny();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let dfg = crate::dfg::Dfg::from_mapped(&mapped);
+        let dot = DfgViewer::new(&dfg).render_dot();
+        assert!(!dot.contains("Load:"));
+        assert!(dot.contains("read\\n/usr/lib"));
+    }
+}

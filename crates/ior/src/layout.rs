@@ -1,0 +1,120 @@
+//! IOR file layout arithmetic (Fig. 7a).
+//!
+//! In SSF mode the shared file is organized as `segments` repetitions of
+//! all ranks' blocks:
+//!
+//! ```text
+//! | seg 0: rank 0 block | rank 1 block | … | rank N-1 block | seg 1: … |
+//! ```
+//!
+//! so rank `r`'s block in segment `s` starts at
+//! `(s · N + r) · block_size`. In FPP mode each rank owns its own file
+//! (`<test_file>.00000042` — IOR's 8-digit suffix) whose segments are
+//! contiguous. `-C` (task reordering) makes rank `r` *read* the data
+//! written by rank `(r + tasks_per_node) mod N`, i.e. by the neighboring
+//! node, defeating the local page cache.
+
+use crate::options::IorOptions;
+
+/// Byte offset of rank `r`'s block in segment `s` within the shared file.
+pub fn ssf_offset(opts: &IorOptions, num_tasks: u64, segment: u64, rank: u64) -> u64 {
+    (segment * num_tasks + rank) * opts.block_size
+}
+
+/// Byte offset of segment `s` within a rank's own FPP file.
+pub fn fpp_offset(opts: &IorOptions, segment: u64) -> u64 {
+    segment * opts.block_size
+}
+
+/// The FPP file name of a rank (IOR appends an 8-digit task suffix).
+pub fn fpp_file_name(test_file: &str, rank: u64) -> String {
+    format!("{test_file}.{rank:08}")
+}
+
+/// The rank whose data rank `r` reads under `-C` (shift by one node's
+/// worth of tasks), or `r` itself without reordering.
+pub fn read_target(opts: &IorOptions, num_tasks: u64, tasks_per_node: u64, rank: u64) -> u64 {
+    if opts.reorder_tasks {
+        (rank + tasks_per_node) % num_tasks
+    } else {
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Api;
+
+    fn opts() -> IorOptions {
+        IorOptions::paper_experiment(false, Api::Posix, "/s/test")
+    }
+
+    #[test]
+    fn ssf_offsets_follow_fig7a() {
+        let o = opts();
+        let n = 96;
+        // Segment 0: rank r at r * 16 MiB.
+        assert_eq!(ssf_offset(&o, n, 0, 0), 0);
+        assert_eq!(ssf_offset(&o, n, 0, 1), 16 << 20);
+        assert_eq!(ssf_offset(&o, n, 0, 95), 95 * (16 << 20));
+        // Segment 1 starts after all 96 blocks.
+        assert_eq!(ssf_offset(&o, n, 1, 0), 96 * (16 << 20));
+        assert_eq!(ssf_offset(&o, n, 2, 3), (2 * 96 + 3) * (16 << 20));
+    }
+
+    #[test]
+    fn blocks_tile_the_file_without_overlap() {
+        let o = opts();
+        let n = 8u64;
+        let mut covered = std::collections::BTreeSet::new();
+        for s in 0..o.segments {
+            for r in 0..n {
+                let start = ssf_offset(&o, n, s, r);
+                assert!(covered.insert(start), "overlap at {start}");
+                assert_eq!(start % o.block_size, 0);
+            }
+        }
+        // Contiguous tiling: offsets are exactly 0..seg*n blocks.
+        let max = covered.iter().max().copied().unwrap();
+        assert_eq!(max, (o.segments * n - 1) * o.block_size);
+        assert_eq!(covered.len() as u64, o.segments * n);
+    }
+
+    #[test]
+    fn fpp_offsets_are_contiguous() {
+        let o = opts();
+        assert_eq!(fpp_offset(&o, 0), 0);
+        assert_eq!(fpp_offset(&o, 1), 16 << 20);
+        assert_eq!(fpp_offset(&o, 2), 32 << 20);
+    }
+
+    #[test]
+    fn fpp_file_names_use_ior_suffix() {
+        assert_eq!(fpp_file_name("/s/fpp/test", 0), "/s/fpp/test.00000000");
+        assert_eq!(fpp_file_name("/s/fpp/test", 42), "/s/fpp/test.00000042");
+    }
+
+    #[test]
+    fn reorder_shifts_by_one_node() {
+        let o = opts();
+        // 96 tasks, 48 per node: rank 0 reads rank 48's data (the other
+        // node), rank 48 reads rank 0's.
+        assert_eq!(read_target(&o, 96, 48, 0), 48);
+        assert_eq!(read_target(&o, 96, 48, 47), 95);
+        assert_eq!(read_target(&o, 96, 48, 48), 0);
+        assert_eq!(read_target(&o, 96, 48, 95), 47);
+        // Without -C the rank reads its own block.
+        let mut no_c = o;
+        no_c.reorder_tasks = false;
+        assert_eq!(read_target(&no_c, 96, 48, 7), 7);
+    }
+
+    #[test]
+    fn reorder_is_a_permutation() {
+        let o = opts();
+        let targets: std::collections::BTreeSet<u64> =
+            (0..96).map(|r| read_target(&o, 96, 48, r)).collect();
+        assert_eq!(targets.len(), 96);
+    }
+}

@@ -1,0 +1,38 @@
+//! # st-ior — reproduction of the IOR benchmark workload
+//!
+//! The paper's experiments (Sec. V) run the IOR benchmark suite:
+//!
+//! ```text
+//! # Single Shared File
+//! srun -n 96 ./strace.sh ./ior -t 1m -b 16m -s 3 -w -r -C -e -o $SCRATCH/ssf/test
+//! # One File per Process
+//! srun -n 96 ./strace.sh ./ior -t 1m -b 16m -s 3 -w -r -F -C -e -o $SCRATCH/fpp/test
+//! # MPI-IO interface
+//! ... ./ior -a mpiio ...
+//! ```
+//!
+//! This crate models IOR faithfully enough that the DFGs synthesized from
+//! the simulated traces have the paper's structure:
+//!
+//! * [`options`] — the IOR option grammar (`-t -b -s -w -r -C -e -F -a
+//!   -o`), including IOR's binary size suffixes (`1m` = 2²⁰);
+//! * [`layout`] — the file-offset arithmetic of Fig. 7a (segments ×
+//!   blocks × transfers, task reordering under `-C`);
+//! * [`workload`] — per-rank [`st_sim::Op`] sequences: the MPI startup
+//!   phase (shared-library probing under `$SOFTWARE`, `$HOME` dotfile
+//!   lookups, node-local shared-memory setup — the small-Load nodes of
+//!   Fig. 8a) followed by the IOR access pattern through the POSIX
+//!   (`lseek` + `read`/`write`) or MPI-IO (`pread64`/`pwrite64`)
+//!   interface;
+//! * [`runner`] — drives [`st_sim::Simulation`] and returns the event
+//!   log.
+
+#![warn(missing_docs)]
+
+pub mod layout;
+pub mod options;
+pub mod runner;
+pub mod workload;
+
+pub use options::{Api, IorOptions};
+pub use runner::{run_ior, IorRun};

@@ -1,0 +1,305 @@
+//! The IOR option grammar (subset used by the paper, Fig. 7b).
+
+use std::fmt;
+
+/// I/O interface selection (`-a`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Api {
+    /// Default: POSIX `lseek` + `read`/`write`.
+    #[default]
+    Posix,
+    /// `-a mpiio`: naive replacement with MPI-IO, which issues
+    /// `pread64`/`pwrite64` (Sec. V-B).
+    Mpiio,
+}
+
+/// Parsed IOR invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IorOptions {
+    /// `-t`: size of a single transfer (bytes).
+    pub transfer_size: u64,
+    /// `-b`: contiguous block per rank per segment (bytes).
+    pub block_size: u64,
+    /// `-s`: number of segments (Fig. 7a).
+    pub segments: u64,
+    /// `-w`: perform the write phase.
+    pub write: bool,
+    /// `-r`: perform the read phase.
+    pub read: bool,
+    /// `-C`: reorder tasks so ranks read data written by the
+    /// neighboring node.
+    pub reorder_tasks: bool,
+    /// `-e`: fsync after the write phase.
+    pub fsync: bool,
+    /// `-F`: file-per-process instead of a single shared file.
+    pub file_per_proc: bool,
+    /// `-a`: software interface.
+    pub api: Api,
+    /// `-o`: test file path.
+    pub test_file: String,
+}
+
+impl Default for IorOptions {
+    fn default() -> Self {
+        IorOptions {
+            transfer_size: 256 * 1024,
+            block_size: 1024 * 1024,
+            segments: 1,
+            write: true,
+            read: false,
+            reorder_tasks: false,
+            fsync: false,
+            file_per_proc: false,
+            api: Api::Posix,
+            test_file: "testFile".to_string(),
+        }
+    }
+}
+
+/// Errors parsing an IOR command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptionError {
+    /// A flag that needs a value reached the end of input.
+    MissingValue(String),
+    /// An unparsable size such as `-t 1x`.
+    BadSize(String),
+    /// An unknown `-a` interface.
+    BadApi(String),
+    /// An unknown flag.
+    UnknownFlag(String),
+    /// An unparsable number.
+    BadNumber(String),
+}
+
+impl fmt::Display for OptionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptionError::MissingValue(flag) => write!(f, "flag {flag} requires a value"),
+            OptionError::BadSize(v) => write!(f, "bad size {v:?} (expected e.g. 1m, 16k, 4g)"),
+            OptionError::BadApi(v) => write!(f, "unknown api {v:?} (posix or mpiio)"),
+            OptionError::UnknownFlag(v) => write!(f, "unknown flag {v:?}"),
+            OptionError::BadNumber(v) => write!(f, "bad number {v:?}"),
+        }
+    }
+}
+
+impl std::error::Error for OptionError {}
+
+/// Parses IOR's binary size suffixes: `1m` = 2²⁰ bytes, `16k`, `2g`,
+/// plain numbers are bytes.
+pub fn parse_size(s: &str) -> Result<u64, OptionError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(OptionError::BadSize(s.to_string()));
+    }
+    let (digits, mult) = match s.as_bytes()[s.len() - 1].to_ascii_lowercase() {
+        b'k' => (&s[..s.len() - 1], 1u64 << 10),
+        b'm' => (&s[..s.len() - 1], 1u64 << 20),
+        b'g' => (&s[..s.len() - 1], 1u64 << 30),
+        b't' => (&s[..s.len() - 1], 1u64 << 40),
+        b'0'..=b'9' => (s, 1),
+        _ => return Err(OptionError::BadSize(s.to_string())),
+    };
+    let value: u64 = digits
+        .parse()
+        .map_err(|_| OptionError::BadSize(s.to_string()))?;
+    value
+        .checked_mul(mult)
+        .ok_or_else(|| OptionError::BadSize(s.to_string()))
+}
+
+impl IorOptions {
+    /// Parses an IOR argument string, e.g. the paper's
+    /// `-t 1m -b 16m -s 3 -w -r -C -e -o $SCRATCH/ssf/test`.
+    pub fn parse(args: &str) -> Result<IorOptions, OptionError> {
+        Self::parse_tokens(args.split_whitespace())
+    }
+
+    /// Parses from an iterator of tokens.
+    pub fn parse_tokens<'a>(
+        tokens: impl IntoIterator<Item = &'a str>,
+    ) -> Result<IorOptions, OptionError> {
+        let mut opts = IorOptions {
+            write: false,
+            read: false,
+            ..Default::default()
+        };
+        let mut it = tokens.into_iter();
+        while let Some(tok) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .map(str::to_string)
+                    .ok_or_else(|| OptionError::MissingValue(flag.to_string()))
+            };
+            match tok {
+                "-t" => opts.transfer_size = parse_size(&value("-t")?)?,
+                "-b" => opts.block_size = parse_size(&value("-b")?)?,
+                "-s" => {
+                    let v = value("-s")?;
+                    opts.segments = v.parse().map_err(|_| OptionError::BadNumber(v))?;
+                }
+                "-w" => opts.write = true,
+                "-r" => opts.read = true,
+                "-C" => opts.reorder_tasks = true,
+                "-e" => opts.fsync = true,
+                "-F" => opts.file_per_proc = true,
+                "-a" => {
+                    let v = value("-a")?;
+                    opts.api = match v.to_ascii_lowercase().as_str() {
+                        "posix" => Api::Posix,
+                        "mpiio" => Api::Mpiio,
+                        _ => return Err(OptionError::BadApi(v)),
+                    };
+                }
+                "-o" => opts.test_file = value("-o")?,
+                "./ior" | "ior" => {}
+                other => return Err(OptionError::UnknownFlag(other.to_string())),
+            }
+        }
+        Ok(opts)
+    }
+
+    /// The paper's experiment-A invocation (Fig. 7b): SSF when
+    /// `file_per_proc` is false.
+    pub fn paper_experiment(file_per_proc: bool, api: Api, test_file: &str) -> IorOptions {
+        IorOptions {
+            transfer_size: 1 << 20,
+            block_size: 16 << 20,
+            segments: 3,
+            write: true,
+            read: true,
+            reorder_tasks: true,
+            fsync: true,
+            file_per_proc,
+            api,
+            test_file: test_file.to_string(),
+        }
+    }
+
+    /// Transfers per block (`-b` / `-t`).
+    pub fn transfers_per_block(&self) -> u64 {
+        self.block_size / self.transfer_size.max(1)
+    }
+
+    /// Bytes written per rank (`segments × block`).
+    pub fn bytes_per_rank(&self) -> u64 {
+        self.segments * self.block_size
+    }
+
+    /// Regenerates the command-line form (Fig. 7b style).
+    pub fn to_command(&self) -> String {
+        let mut cmd = format!(
+            "./ior -t {} -b {} -s {}",
+            format_size(self.transfer_size),
+            format_size(self.block_size),
+            self.segments
+        );
+        if self.write {
+            cmd.push_str(" -w");
+        }
+        if self.read {
+            cmd.push_str(" -r");
+        }
+        if self.file_per_proc {
+            cmd.push_str(" -F");
+        }
+        if self.reorder_tasks {
+            cmd.push_str(" -C");
+        }
+        if self.fsync {
+            cmd.push_str(" -e");
+        }
+        if self.api == Api::Mpiio {
+            cmd.push_str(" -a mpiio");
+        }
+        cmd.push_str(&format!(" -o {}", self.test_file));
+        cmd
+    }
+}
+
+fn format_size(bytes: u64) -> String {
+    if bytes >= 1 << 30 && bytes.is_multiple_of(1 << 30) {
+        format!("{}g", bytes >> 30)
+    } else if bytes >= 1 << 20 && bytes.is_multiple_of(1 << 20) {
+        format!("{}m", bytes >> 20)
+    } else if bytes >= 1 << 10 && bytes.is_multiple_of(1 << 10) {
+        format!("{}k", bytes >> 10)
+    } else {
+        bytes.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_binary_sizes() {
+        assert_eq!(parse_size("1m").unwrap(), 1 << 20);
+        assert_eq!(parse_size("16m").unwrap(), 16 << 20);
+        assert_eq!(parse_size("4k").unwrap(), 4096);
+        assert_eq!(parse_size("2g").unwrap(), 2 << 30);
+        assert_eq!(parse_size("1t").unwrap(), 1 << 40);
+        assert_eq!(parse_size("512").unwrap(), 512);
+        assert_eq!(parse_size("1M").unwrap(), 1 << 20);
+        assert!(parse_size("x").is_err());
+        assert!(parse_size("").is_err());
+        assert!(parse_size("1x").is_err());
+    }
+
+    #[test]
+    fn parses_the_paper_ssf_command() {
+        let opts =
+            IorOptions::parse("-t 1m -b 16m -s 3 -w -r -C -e -o /p/scratch/user1/ssf/test")
+                .unwrap();
+        assert_eq!(opts.transfer_size, 1 << 20);
+        assert_eq!(opts.block_size, 16 << 20);
+        assert_eq!(opts.segments, 3);
+        assert!(opts.write && opts.read && opts.reorder_tasks && opts.fsync);
+        assert!(!opts.file_per_proc);
+        assert_eq!(opts.api, Api::Posix);
+        assert_eq!(opts.test_file, "/p/scratch/user1/ssf/test");
+        assert_eq!(opts.transfers_per_block(), 16);
+        assert_eq!(opts.bytes_per_rank(), 48 << 20);
+    }
+
+    #[test]
+    fn parses_fpp_and_mpiio_flags() {
+        let fpp = IorOptions::parse("-t 1m -b 16m -s 3 -w -r -F -C -e -o /x/f").unwrap();
+        assert!(fpp.file_per_proc);
+        let mpiio = IorOptions::parse("-t 1m -b 16m -s 3 -w -r -C -e -a mpiio -o /x/f").unwrap();
+        assert_eq!(mpiio.api, Api::Mpiio);
+        assert!(IorOptions::parse("-a weird -o /x").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(matches!(
+            IorOptions::parse("-t"),
+            Err(OptionError::MissingValue(_))
+        ));
+        assert!(matches!(
+            IorOptions::parse("-s abc"),
+            Err(OptionError::BadNumber(_))
+        ));
+        assert!(matches!(
+            IorOptions::parse("--bogus"),
+            Err(OptionError::UnknownFlag(_))
+        ));
+    }
+
+    #[test]
+    fn command_roundtrip() {
+        let opts = IorOptions::paper_experiment(false, Api::Posix, "/p/scratch/user1/ssf/test");
+        let cmd = opts.to_command();
+        assert_eq!(
+            cmd,
+            "./ior -t 1m -b 16m -s 3 -w -r -C -e -o /p/scratch/user1/ssf/test"
+        );
+        let reparsed = IorOptions::parse(&cmd).unwrap();
+        assert_eq!(reparsed, opts);
+        let mpiio = IorOptions::paper_experiment(true, Api::Mpiio, "/x");
+        let reparsed = IorOptions::parse(&mpiio.to_command()).unwrap();
+        assert_eq!(reparsed, mpiio);
+    }
+}

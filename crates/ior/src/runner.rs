@@ -1,0 +1,208 @@
+//! Driving the simulator with an IOR workload.
+
+use st_model::EventLog;
+use st_sim::{Op, SimConfig, Simulation, TraceFilter};
+
+use crate::options::IorOptions;
+use crate::workload::{build_ranks, StartupProfile};
+
+/// Result of one IOR run.
+#[derive(Debug)]
+pub struct IorRun {
+    /// The simulator's run statistics.
+    pub output: st_sim::RunOutput,
+    /// The command line this run models (Fig. 7b style).
+    pub command: String,
+    /// Number of ranks executed.
+    pub num_tasks: usize,
+}
+
+/// Runs IOR under the simulator, appending one case per rank (command id
+/// `cid`) to `log`. Uses every rank slot of `config`
+/// (`hosts × cores_per_host`, 96 in the paper setup).
+pub fn run_ior(
+    cid: &str,
+    opts: &IorOptions,
+    profile: &StartupProfile,
+    config: &SimConfig,
+    filter: &TraceFilter,
+    log: &mut EventLog,
+) -> IorRun {
+    let num_tasks = config.total_ranks();
+    let tasks_per_node = config.cores_per_host;
+    let ranks: Vec<Vec<Op>> = build_ranks(
+        opts,
+        profile,
+        &config.paths,
+        num_tasks,
+        tasks_per_node,
+        config.seed,
+    );
+    let sim = Simulation::new(config.clone());
+    let output = sim.run(cid, ranks, filter, log);
+    IorRun {
+        output,
+        command: format!("srun -n {num_tasks} ./strace.sh {}", opts.to_command()),
+        num_tasks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Api;
+    use st_model::Syscall;
+
+    fn tiny_config() -> SimConfig {
+        SimConfig {
+            hosts: vec!["h1".into(), "h2".into()],
+            cores_per_host: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn ssf_run_produces_expected_event_counts() {
+        let config = tiny_config();
+        let opts = IorOptions::paper_experiment(
+            false,
+            Api::Posix,
+            &format!("{}/ssf/test", config.paths.scratch),
+        );
+        let mut log = EventLog::with_new_interner();
+        let run = run_ior(
+            "s",
+            &opts,
+            &StartupProfile::none(),
+            &config,
+            &TraceFilter::experiment_a(),
+            &mut log,
+        );
+        assert_eq!(run.num_tasks, 8);
+        assert_eq!(log.case_count(), 8);
+        for case in log.cases() {
+            // Per rank under experiment-A tracing: 1 openat + 48 writes +
+            // 48 reads (lseek/fsync/close untraced).
+            let opens = case.events.iter().filter(|e| e.call == Syscall::Openat).count();
+            let writes = case.events.iter().filter(|e| e.call == Syscall::Write).count();
+            let reads = case.events.iter().filter(|e| e.call == Syscall::Read).count();
+            assert_eq!((opens, writes, reads), (1, 48, 48));
+            assert!(case.events.iter().all(|e| e.call != Syscall::Lseek));
+        }
+        log.validate().unwrap();
+    }
+
+    #[test]
+    fn mpiio_run_uses_pread_pwrite() {
+        let config = tiny_config();
+        let opts = IorOptions::paper_experiment(
+            false,
+            Api::Mpiio,
+            &format!("{}/ssf/test", config.paths.scratch),
+        );
+        let mut log = EventLog::with_new_interner();
+        run_ior(
+            "g",
+            &opts,
+            &StartupProfile::none(),
+            &config,
+            &TraceFilter::experiment_b(),
+            &mut log,
+        );
+        for case in log.cases() {
+            let pw = case.events.iter().filter(|e| e.call == Syscall::Pwrite64).count();
+            let pr = case.events.iter().filter(|e| e.call == Syscall::Pread64).count();
+            let seeks = case.events.iter().filter(|e| e.call == Syscall::Lseek).count();
+            assert_eq!((pw, pr, seeks), (48, 48, 0));
+        }
+    }
+
+    #[test]
+    fn posix_run_traces_lseeks_under_experiment_b() {
+        let config = tiny_config();
+        let opts = IorOptions::paper_experiment(
+            false,
+            Api::Posix,
+            &format!("{}/ssf/test", config.paths.scratch),
+        );
+        let mut log = EventLog::with_new_interner();
+        run_ior(
+            "p",
+            &opts,
+            &StartupProfile::none(),
+            &config,
+            &TraceFilter::experiment_b(),
+            &mut log,
+        );
+        for case in log.cases() {
+            let seeks = case.events.iter().filter(|e| e.call == Syscall::Lseek).count();
+            assert_eq!(seeks, 6); // 3 write segments + 3 read segments
+        }
+    }
+
+    #[test]
+    fn fpp_and_ssf_write_durations_show_contention_gap() {
+        let config = tiny_config();
+        let scratch = config.paths.scratch.clone();
+        let mk = |fpp: bool, dir: &str| {
+            IorOptions::paper_experiment(fpp, Api::Posix, &format!("{scratch}/{dir}/test"))
+        };
+        let mut log = EventLog::with_new_interner();
+        run_ior("s", &mk(false, "ssf"), &StartupProfile::none(), &config,
+            &TraceFilter::experiment_a(), &mut log);
+        run_ior("f", &mk(true, "fpp"), &StartupProfile::none(), &config,
+            &TraceFilter::experiment_a(), &mut log);
+        let snap = log.snapshot();
+        let total_dur = |cid: &str, call: Syscall| -> u64 {
+            log.cases()
+                .iter()
+                .filter(|c| &*log.interner().resolve(c.meta.cid) == cid)
+                .flat_map(|c| c.events.iter())
+                .filter(|e| e.call == call)
+                .map(|e| e.dur.as_micros())
+                .sum()
+        };
+        let _ = &snap;
+        // The Fig. 8b shape: SSF openat and write times dwarf FPP's.
+        let openat_ratio =
+            total_dur("s", Syscall::Openat) as f64 / total_dur("f", Syscall::Openat).max(1) as f64;
+        let write_ratio =
+            total_dur("s", Syscall::Write) as f64 / total_dur("f", Syscall::Write).max(1) as f64;
+        assert!(openat_ratio > 2.0, "openat SSF/FPP ratio {openat_ratio}");
+        assert!(write_ratio > 1.1, "write SSF/FPP ratio {write_ratio}");
+        // Read durations are similar (no write tokens on the read path).
+        let read_ratio =
+            total_dur("s", Syscall::Read) as f64 / total_dur("f", Syscall::Read).max(1) as f64;
+        assert!((0.7..1.4).contains(&read_ratio), "read ratio {read_ratio}");
+    }
+
+    #[test]
+    fn startup_phase_adds_software_home_shm_traffic() {
+        let config = tiny_config();
+        let opts = IorOptions::paper_experiment(
+            false,
+            Api::Posix,
+            &format!("{}/ssf/test", config.paths.scratch),
+        );
+        let mut log = EventLog::with_new_interner();
+        run_ior(
+            "s",
+            &opts,
+            &StartupProfile::default(),
+            &config,
+            &TraceFilter::experiment_a(),
+            &mut log,
+        );
+        let snap = log.snapshot();
+        let mut saw_software = false;
+        let mut saw_shm = false;
+        let mut saw_failed_probe = false;
+        for (_, e) in log.iter_events() {
+            let p = snap.resolve(e.path);
+            saw_software |= p.starts_with(&config.paths.software);
+            saw_shm |= p.starts_with(&config.paths.shm);
+            saw_failed_probe |= !e.ok;
+        }
+        assert!(saw_software && saw_shm && saw_failed_probe);
+    }
+}

@@ -1,0 +1,365 @@
+//! Per-rank op-sequence generation: MPI startup phase + IOR access
+//! pattern.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_sim::config::PathScheme;
+use st_sim::Op;
+
+use crate::layout;
+use crate::options::{Api, IorOptions};
+
+/// Knobs of the MPI/loader startup phase that produces the small-Load
+/// activities of Fig. 8a (`$SOFTWARE` probing, `$HOME` lookups,
+/// node-local shared memory).
+#[derive(Debug, Clone)]
+pub struct StartupProfile {
+    /// Shared libraries loaded per rank.
+    pub libs: usize,
+    /// Failed `openat` probes per library (linker search path misses).
+    pub probes_per_lib: usize,
+    /// `$HOME` dotfile/config lookups per rank.
+    pub home_lookups: usize,
+    /// Node-local shm segment writes per rank (MPI intra-node setup).
+    pub shm_writes: usize,
+    /// Size of each shm write (bytes).
+    pub shm_write_size: u64,
+}
+
+impl Default for StartupProfile {
+    fn default() -> Self {
+        StartupProfile {
+            libs: 30,
+            probes_per_lib: 5,
+            home_lookups: 27,
+            shm_writes: 65,
+            shm_write_size: 64 * 1024,
+        }
+    }
+}
+
+impl StartupProfile {
+    /// No startup phase (pure IOR pattern) — for focused tests.
+    pub fn none() -> Self {
+        StartupProfile {
+            libs: 0,
+            probes_per_lib: 0,
+            home_lookups: 0,
+            shm_writes: 0,
+            shm_write_size: 0,
+        }
+    }
+}
+
+/// Builds the startup ops of one rank.
+pub fn startup_ops(
+    profile: &StartupProfile,
+    paths: &PathScheme,
+    rank: usize,
+    rng: &mut SmallRng,
+) -> Vec<Op> {
+    let mut ops = Vec::new();
+    // Loader phase: probe the search path, then open and read each
+    // library's ELF header (the openat/read $SOFTWARE activity cluster).
+    for lib in 0..profile.libs {
+        for probe in 0..profile.probes_per_lib {
+            ops.push(Op::OpenProbe {
+                path: format!("{}/stage/probe{probe}/lib{lib}.so", paths.software),
+            });
+        }
+        let lib_path = format!("{}/lib/lib{lib}.so.1", paths.software);
+        ops.push(Op::Open { path: lib_path.clone(), create: false, shared_write: false });
+        ops.push(Op::Read {
+            path: lib_path.clone(),
+            size: 832,
+            req: 832,
+            offset: None,
+            cached: true,
+        });
+        ops.push(Op::Close { path: lib_path });
+        if lib % 10 == 9 {
+            // Interleave $HOME lookups so the DFG gets the
+            // $SOFTWARE ↔ $HOME edges of Fig. 8a.
+            for k in 0..(profile.home_lookups / 3).clamp(1, 9) {
+                ops.push(Op::OpenProbe {
+                    path: format!("{}/.config/mpi/profile{k}", paths.home),
+                });
+            }
+        }
+        ops.push(Op::Compute { dur_us: rng.gen_range(50..400) });
+    }
+    // Node-local MPI shared-memory segments.
+    if profile.shm_writes > 0 {
+        let shm = format!("{}/mpi_shm_{rank}", paths.shm);
+        ops.push(Op::Open { path: shm.clone(), create: true, shared_write: false });
+        for _ in 0..profile.shm_writes {
+            ops.push(Op::Write {
+                path: shm.clone(),
+                size: profile.shm_write_size,
+                offset: None,
+                tty: false,
+                local: true,
+            });
+        }
+        ops.push(Op::Close { path: shm });
+    }
+    ops
+}
+
+/// Builds the IOR ops of one rank (`rank` of `num_tasks`, with
+/// `tasks_per_node` ranks per host).
+pub fn ior_ops(
+    opts: &IorOptions,
+    rank: u64,
+    num_tasks: u64,
+    tasks_per_node: u64,
+) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let transfers = opts.transfers_per_block();
+    let own_file = if opts.file_per_proc {
+        layout::fpp_file_name(&opts.test_file, rank)
+    } else {
+        opts.test_file.clone()
+    };
+
+    // All ranks start the benchmark together.
+    ops.push(Op::Barrier);
+
+    if opts.write {
+        ops.push(Op::Open {
+            path: own_file.clone(),
+            create: true,
+            // Opening one shared file for writing from every rank is the
+            // SSF token storm; FPP creates are plain metadata traffic.
+            shared_write: !opts.file_per_proc,
+        });
+        for segment in 0..opts.segments {
+            let base = if opts.file_per_proc {
+                layout::fpp_offset(opts, segment)
+            } else {
+                layout::ssf_offset(opts, num_tasks, segment, rank)
+            };
+            match opts.api {
+                Api::Posix => {
+                    ops.push(Op::Lseek { path: own_file.clone(), offset: base });
+                    for _ in 0..transfers {
+                        ops.push(Op::Write {
+                            path: own_file.clone(),
+                            size: opts.transfer_size,
+                            offset: None,
+                            tty: false,
+                            local: false,
+                        });
+                    }
+                }
+                Api::Mpiio => {
+                    for t in 0..transfers {
+                        ops.push(Op::Write {
+                            path: own_file.clone(),
+                            size: opts.transfer_size,
+                            offset: Some(base + t * opts.transfer_size),
+                            tty: false,
+                            local: false,
+                        });
+                    }
+                }
+            }
+        }
+        if opts.fsync {
+            ops.push(Op::Fsync { path: own_file.clone() });
+        }
+    }
+
+    if opts.read {
+        // Write phase must complete cluster-wide before reads (-C reads
+        // someone else's data).
+        ops.push(Op::Barrier);
+        let target = layout::read_target(opts, num_tasks, tasks_per_node, rank);
+        let read_file = if opts.file_per_proc {
+            layout::fpp_file_name(&opts.test_file, target)
+        } else {
+            opts.test_file.clone()
+        };
+        if opts.file_per_proc && read_file != own_file {
+            // Reading the shifted rank's file requires opening it.
+            ops.push(Op::Open { path: read_file.clone(), create: false, shared_write: false });
+        } else if !opts.write {
+            ops.push(Op::Open { path: read_file.clone(), create: false, shared_write: false });
+        }
+        for segment in 0..opts.segments {
+            let base = if opts.file_per_proc {
+                layout::fpp_offset(opts, segment)
+            } else {
+                layout::ssf_offset(opts, num_tasks, segment, target)
+            };
+            match opts.api {
+                Api::Posix => {
+                    ops.push(Op::Lseek { path: read_file.clone(), offset: base });
+                    for _ in 0..transfers {
+                        ops.push(Op::Read {
+                            path: read_file.clone(),
+                            size: opts.transfer_size,
+                            req: opts.transfer_size,
+                            offset: None,
+                            cached: false,
+                        });
+                    }
+                }
+                Api::Mpiio => {
+                    for t in 0..transfers {
+                        ops.push(Op::Read {
+                            path: read_file.clone(),
+                            size: opts.transfer_size,
+                            req: opts.transfer_size,
+                            offset: Some(base + t * opts.transfer_size),
+                            cached: false,
+                        });
+                    }
+                }
+            }
+        }
+        if read_file != own_file {
+            ops.push(Op::Close { path: read_file });
+        }
+    }
+    if opts.write {
+        ops.push(Op::Close { path: own_file });
+    }
+    ops
+}
+
+/// Builds the full per-rank op list (startup + IOR) for all ranks.
+pub fn build_ranks(
+    opts: &IorOptions,
+    profile: &StartupProfile,
+    paths: &PathScheme,
+    num_tasks: usize,
+    tasks_per_node: usize,
+    seed: u64,
+) -> Vec<Vec<Op>> {
+    (0..num_tasks)
+        .map(|rank| {
+            let mut rng = SmallRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
+            let mut ops = startup_ops(profile, paths, rank, &mut rng);
+            ops.extend(ior_ops(opts, rank as u64, num_tasks as u64, tasks_per_node as u64));
+            ops
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn count_writes(ops: &[Op]) -> usize {
+        ops.iter()
+            .filter(|o| matches!(o, Op::Write { tty: false, .. }))
+            .count()
+    }
+
+    fn count<F: Fn(&Op) -> bool>(ops: &[Op], f: F) -> usize {
+        ops.iter().filter(|o| f(o)).count()
+    }
+
+    #[test]
+    fn posix_ssf_rank_issues_paper_counts() {
+        // -t 1m -b 16m -s 3: 48 writes, 48 reads, 6 lseeks, 1 openat.
+        let opts = IorOptions::paper_experiment(false, Api::Posix, "/s/ssf/test");
+        let ops = ior_ops(&opts, 0, 96, 48);
+        assert_eq!(count_writes(&ops), 48);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Read { .. })), 48);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Lseek { .. })), 6);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Open { .. })), 1);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Fsync { .. })), 1);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Barrier)), 2);
+    }
+
+    #[test]
+    fn mpiio_uses_explicit_offsets_and_no_lseek() {
+        let opts = IorOptions::paper_experiment(false, Api::Mpiio, "/s/ssf/test");
+        let ops = ior_ops(&opts, 5, 96, 48);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Lseek { .. })), 0);
+        let offsets: Vec<u64> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Write { offset: Some(off), .. } => Some(*off),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(offsets.len(), 48);
+        // First write of segment 0 lands at rank 5's block.
+        assert_eq!(offsets[0], 5 * (16 << 20));
+        // Consecutive transfers advance by 1 MiB.
+        assert_eq!(offsets[1] - offsets[0], 1 << 20);
+        // Segment 1 jumps past all 96 blocks.
+        assert_eq!(offsets[16], (96 + 5) * (16 << 20));
+    }
+
+    #[test]
+    fn fpp_reads_open_the_shifted_ranks_file() {
+        let opts = IorOptions::paper_experiment(true, Api::Posix, "/s/fpp/test");
+        let ops = ior_ops(&opts, 0, 96, 48);
+        let opened: Vec<&str> = ops
+            .iter()
+            .filter_map(|o| match o {
+                Op::Open { path, .. } => Some(path.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(opened, vec!["/s/fpp/test.00000000", "/s/fpp/test.00000048"]);
+        // FPP never uses the shared-write token path.
+        assert!(ops.iter().all(|o| !matches!(o, Op::Open { shared_write: true, .. })));
+    }
+
+    #[test]
+    fn ssf_write_open_is_shared() {
+        let opts = IorOptions::paper_experiment(false, Api::Posix, "/s/ssf/test");
+        let ops = ior_ops(&opts, 0, 96, 48);
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Open { shared_write: true, .. })));
+    }
+
+    #[test]
+    fn read_only_run_still_opens() {
+        let mut opts = IorOptions::paper_experiment(false, Api::Posix, "/s/t");
+        opts.write = false;
+        opts.fsync = false;
+        let ops = ior_ops(&opts, 0, 4, 2);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Open { .. })), 1);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Read { .. })), 48);
+        assert_eq!(count_writes(&ops), 0);
+    }
+
+    #[test]
+    fn startup_profile_counts() {
+        let profile = StartupProfile::default();
+        let paths = PathScheme::default();
+        let mut rng = SmallRng::seed_from_u64(7);
+        let ops = startup_ops(&profile, &paths, 0, &mut rng);
+        let probes = count(&ops, |o| matches!(o, Op::OpenProbe { .. }));
+        // 30 libs x 5 probes + interleaved home lookups.
+        assert!(probes >= 150, "{probes}");
+        assert_eq!(count(&ops, |o| matches!(o, Op::Read { .. })), 30);
+        assert_eq!(count(&ops, |o| matches!(o, Op::Write { .. })), 65);
+        // All probe/lib paths live under $SOFTWARE or $HOME; shm under /dev/shm.
+        for op in &ops {
+            if let Op::Write { path, .. } = op {
+                assert!(path.starts_with("/dev/shm"), "{path}");
+            }
+        }
+    }
+
+    #[test]
+    fn build_ranks_is_deterministic_and_barrier_consistent() {
+        let opts = IorOptions::paper_experiment(false, Api::Posix, "/s/ssf/test");
+        let a = build_ranks(&opts, &StartupProfile::default(), &PathScheme::default(), 8, 4, 1);
+        let b = build_ranks(&opts, &StartupProfile::default(), &PathScheme::default(), 8, 4, 1);
+        assert_eq!(a, b);
+        let barriers: Vec<usize> = a
+            .iter()
+            .map(|ops| ops.iter().filter(|o| matches!(o, Op::Barrier)).count())
+            .collect();
+        assert!(barriers.windows(2).all(|w| w[0] == w[1]));
+    }
+}

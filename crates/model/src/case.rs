@@ -1,0 +1,228 @@
+//! Cases: per-process event sequences (Eq. 2 of the paper).
+
+use crate::event::Event;
+use crate::intern::{Interner, Symbol};
+
+/// The identity of a case: which command (`cid`), host and MPI process
+/// (`rid`) produced the trace file.
+///
+/// The paper's naming convention (Fig. 1) encodes this triple in the
+/// trace-file name `<cid>_<host>_<rid>.st`, e.g. `a_host1_9042.st`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct CaseMeta {
+    /// Command identifier (e.g. `a` for `ls`, `b` for `ls -l`).
+    pub cid: Symbol,
+    /// Host machine name.
+    pub host: Symbol,
+    /// Identifier of the launching MPI process (`$$` in Fig. 1).
+    pub rid: u32,
+}
+
+impl CaseMeta {
+    /// Formats the trace-file name `<cid>_<host>_<rid>.st` (Fig. 1).
+    pub fn trace_file_name(&self, interner: &Interner) -> String {
+        format!(
+            "{}_{}_{}.st",
+            interner.resolve(self.cid),
+            interner.resolve(self.host),
+            self.rid
+        )
+    }
+
+    /// Short case label `<cid><rid>` used in the paper's prose
+    /// (e.g. `a9042`).
+    pub fn label(&self, interner: &Interner) -> String {
+        format!("{}{}", interner.resolve(self.cid), self.rid)
+    }
+
+    /// Parses a trace-file name following the Fig. 1 convention.
+    ///
+    /// The host component may itself contain underscores; `cid` is the
+    /// leading component and `rid` the trailing numeric component.
+    /// Accepts with or without the `.st` extension.
+    pub fn parse_trace_file_name(name: &str, interner: &Interner) -> Option<CaseMeta> {
+        let stem = name.strip_suffix(".st").unwrap_or(name);
+        let (cid, rest) = stem.split_once('_')?;
+        let (host, rid) = rest.rsplit_once('_')?;
+        if cid.is_empty() || host.is_empty() {
+            return None;
+        }
+        let rid: u32 = rid.parse().ok()?;
+        Some(CaseMeta {
+            cid: interner.intern(cid),
+            host: interner.intern(host),
+            rid,
+        })
+    }
+}
+
+/// A case: the events of one trace file, in increasing start-timestamp
+/// order (Eq. 2).
+///
+/// Per the paper's definition, a case groups *all* events of one MPI
+/// process, including events from children it forked (`pid` varies within
+/// a case, Sec. III item 1).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Case {
+    /// Identity of the producing process.
+    pub meta: CaseMeta,
+    /// Events ordered by `start` (ties keep insertion order).
+    pub events: Vec<Event>,
+}
+
+impl Case {
+    /// Creates an empty case.
+    pub fn new(meta: CaseMeta) -> Self {
+        Case {
+            meta,
+            events: Vec::new(),
+        }
+    }
+
+    /// Creates a case from events, sorting them by start time.
+    pub fn from_events(meta: CaseMeta, mut events: Vec<Event>) -> Self {
+        sort_events(&mut events);
+        Case { meta, events }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the case holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends an event (caller must re-sort if out of order).
+    pub fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+
+    /// Stable-sorts events by start timestamp (Eq. 2: `start(e_i) <=
+    /// start(e_{i+1})`; equal stamps keep their recorded order).
+    pub fn sort_by_start(&mut self) {
+        sort_events(&mut self.events);
+    }
+
+    /// Whether events are in non-decreasing start order.
+    pub fn is_sorted(&self) -> bool {
+        self.events.windows(2).all(|w| w[0].start <= w[1].start)
+    }
+
+    /// Total duration across all events (µs spent inside system calls).
+    pub fn total_dur(&self) -> crate::Micros {
+        self.events.iter().map(|e| e.dur).sum()
+    }
+
+    /// Total bytes transferred across all events.
+    pub fn total_bytes(&self) -> u64 {
+        self.events.iter().filter_map(|e| e.size).sum()
+    }
+}
+
+fn sort_events(events: &mut [Event]) {
+    events.sort_by_key(|e| e.start);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::Syscall;
+    use crate::time::Micros;
+    use crate::Pid;
+
+    fn meta(interner: &Interner) -> CaseMeta {
+        CaseMeta {
+            cid: interner.intern("a"),
+            host: interner.intern("host1"),
+            rid: 9042,
+        }
+    }
+
+    fn ev(start: u64) -> Event {
+        Event {
+            pid: Pid(1),
+            call: Syscall::Read,
+            start: Micros(start),
+            dur: Micros(1),
+            path: Symbol(0),
+            size: Some(start),
+            requested: None,
+            offset: None,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn trace_file_name_follows_fig1() {
+        let i = Interner::new();
+        let m = meta(&i);
+        assert_eq!(m.trace_file_name(&i), "a_host1_9042.st");
+        assert_eq!(m.label(&i), "a9042");
+    }
+
+    #[test]
+    fn parse_trace_file_name_roundtrips() {
+        let i = Interner::new();
+        let m = meta(&i);
+        let parsed = CaseMeta::parse_trace_file_name("a_host1_9042.st", &i).unwrap();
+        assert_eq!(parsed, m);
+        // Without extension.
+        assert_eq!(CaseMeta::parse_trace_file_name("a_host1_9042", &i), Some(m));
+    }
+
+    #[test]
+    fn parse_trace_file_name_with_underscored_host() {
+        let i = Interner::new();
+        let m = CaseMeta::parse_trace_file_name("b_jwc_09_17_12345.st", &i).unwrap();
+        assert_eq!(&*i.resolve(m.cid), "b");
+        assert_eq!(&*i.resolve(m.host), "jwc_09_17");
+        assert_eq!(m.rid, 12345);
+    }
+
+    #[test]
+    fn parse_trace_file_name_rejects_malformed() {
+        let i = Interner::new();
+        for name in ["", "nounderscore.st", "a_host.st", "a_host_xyz.st", "_host_1.st"] {
+            assert!(
+                CaseMeta::parse_trace_file_name(name, &i).is_none(),
+                "accepted {name:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_events_sorts() {
+        let i = Interner::new();
+        let c = Case::from_events(meta(&i), vec![ev(30), ev(10), ev(20)]);
+        assert!(c.is_sorted());
+        assert_eq!(
+            c.events.iter().map(|e| e.start.0).collect::<Vec<_>>(),
+            vec![10, 20, 30]
+        );
+    }
+
+    #[test]
+    fn sort_is_stable_for_equal_stamps() {
+        let i = Interner::new();
+        let mut a = ev(10);
+        a.size = Some(1);
+        let mut b = ev(10);
+        b.size = Some(2);
+        let c = Case::from_events(meta(&i), vec![a, b]);
+        assert_eq!(c.events[0].size, Some(1));
+        assert_eq!(c.events[1].size, Some(2));
+    }
+
+    #[test]
+    fn aggregates() {
+        let i = Interner::new();
+        let c = Case::from_events(meta(&i), vec![ev(1), ev(2), ev(3)]);
+        assert_eq!(c.total_dur(), Micros(3));
+        assert_eq!(c.total_bytes(), 6);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+    }
+}

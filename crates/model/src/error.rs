@@ -1,0 +1,42 @@
+//! Error type for model-level invariant violations.
+
+use std::fmt;
+
+/// Violations of the event-log invariants of Sec. III/IV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// A case's events are not in non-decreasing start order (Eq. 2).
+    UnsortedCase {
+        /// Case label (`<cid><rid>`).
+        case: String,
+    },
+    /// Two cases share the same `(cid, host, rid)` identity; the paper
+    /// requires cases (trace files) to be unique.
+    DuplicateCase {
+        /// Case label.
+        case: String,
+    },
+    /// An event references a symbol unknown to the log's interner.
+    DanglingSymbol {
+        /// Case label.
+        case: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::UnsortedCase { case } => {
+                write!(f, "case {case} has events out of start-timestamp order")
+            }
+            ModelError::DuplicateCase { case } => {
+                write!(f, "duplicate case identity {case}")
+            }
+            ModelError::DanglingSymbol { case } => {
+                write!(f, "case {case} references a symbol not present in the interner")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}

@@ -1,0 +1,181 @@
+//! The event record (Eq. 1 of the paper).
+
+use crate::intern::Symbol;
+use crate::syscall::Syscall;
+use crate::time::Micros;
+
+/// A process identifier as recorded by `strace -f`.
+///
+/// Distinct from the *rank* identifier `rid` in the trace-file name: the
+/// launcher (e.g. `srun`) forks a child to exec the command, so `pid ≠
+/// rid` in general (Sec. III item 1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Pid(pub u32);
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// One recorded system call.
+///
+/// Together with the owning [`crate::CaseMeta`] this is the paper's event
+/// `e = [cid, host, rid, pid, call, start, dur, fp, size]` (Eq. 1): the
+/// `cid`/`host`/`rid` attributes live on the case (they are constant per
+/// trace file), the rest live here.
+///
+/// The struct is `Copy` and compact (paths are interned [`Symbol`]s) so
+/// event logs with millions of rows stay cache-friendly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Event {
+    /// Identifier of the process that executed the call (`-f`).
+    pub pid: Pid,
+    /// The system call.
+    pub call: Syscall,
+    /// Wall-clock start-of-call timestamp (`-tt`), per-host clock.
+    pub start: Micros,
+    /// Duration between start and return of the call (`-T`).
+    pub dur: Micros,
+    /// Path of the accessed file (`-y` fd annotation), interned.
+    pub path: Symbol,
+    /// Bytes actually transferred — the call's return value. Only
+    /// meaningful for read/write variants (Sec. III item 6); `None` for
+    /// `openat`, `lseek`, failed calls, etc.
+    pub size: Option<u64>,
+    /// Bytes requested — the count argument of read/write variants. May
+    /// differ from `size` (short reads). `None` when not applicable.
+    pub requested: Option<u64>,
+    /// File offset of the access, when the call carries one (`lseek`
+    /// target, `pread64`/`pwrite64` offset argument). Not part of the
+    /// paper's event tuple (Eq. 1) — retained so traces can be re-emitted
+    /// as faithful strace text.
+    pub offset: Option<u64>,
+    /// Whether the call succeeded. Failed calls (e.g. the `openat = -1
+    /// ENOENT` storm of shared-library probing visible in Fig. 8a) are
+    /// still events — they cost wall-clock time in the kernel — but carry
+    /// no transfer size. Also not part of Eq. 1; retained for faithful
+    /// re-emission.
+    pub ok: bool,
+}
+
+impl Event {
+    /// Creates an event with the mandatory attributes; optional attributes
+    /// default to `None`/success and can be chained with the `with_*`
+    /// builders.
+    pub fn new(pid: Pid, call: Syscall, start: Micros, dur: Micros, path: Symbol) -> Event {
+        Event {
+            pid,
+            call,
+            start,
+            dur,
+            path,
+            size: None,
+            requested: None,
+            offset: None,
+            ok: true,
+        }
+    }
+
+    /// Sets the transferred byte count (read/write return value).
+    pub fn with_size(mut self, size: u64) -> Event {
+        self.size = Some(size);
+        self
+    }
+
+    /// Sets the requested byte count (read/write count argument).
+    pub fn with_requested(mut self, requested: u64) -> Event {
+        self.requested = Some(requested);
+        self
+    }
+
+    /// Sets the file offset (`lseek` target / `p{read,write}64` offset).
+    pub fn with_offset(mut self, offset: u64) -> Event {
+        self.offset = Some(offset);
+        self
+    }
+
+    /// Marks the call as failed (`= -1 E...`).
+    pub fn failed(mut self) -> Event {
+        self.ok = false;
+        self
+    }
+
+    /// End-of-call timestamp `start + dur` (Eq. 14).
+    #[inline]
+    pub fn end(&self) -> Micros {
+        Micros(self.start.0 + self.dur.0)
+    }
+
+    /// Event data rate `size / dur` in bytes per second (Eq. 11).
+    ///
+    /// `None` when the call moved no measurable payload or had zero
+    /// duration (strace's microsecond clock can report `<0.000000>`; the
+    /// rate is undefined there rather than infinite).
+    #[inline]
+    pub fn data_rate_bps(&self) -> Option<f64> {
+        let size = self.size?;
+        if self.dur.0 == 0 {
+            return None;
+        }
+        Some(size as f64 / self.dur.as_secs_f64())
+    }
+
+    /// The `(start, end)` interval tuple used for concurrency analysis
+    /// (Eq. 14).
+    #[inline]
+    pub fn interval(&self) -> (Micros, Micros) {
+        (self.start, self.end())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(start: u64, dur: u64, size: Option<u64>) -> Event {
+        Event {
+            pid: Pid(42),
+            call: Syscall::Read,
+            start: Micros(start),
+            dur: Micros(dur),
+            path: Symbol(0),
+            size,
+            requested: size,
+            offset: None,
+            ok: true,
+        }
+    }
+
+    #[test]
+    fn end_is_start_plus_duration() {
+        assert_eq!(ev(100, 25, Some(10)).end(), Micros(125));
+        assert_eq!(ev(0, 0, None).end(), Micros(0));
+    }
+
+    #[test]
+    fn data_rate_matches_eq_11() {
+        // 832 bytes in 203 us => 832 / 0.000203 B/s.
+        let e = ev(0, 203, Some(832));
+        let rate = e.data_rate_bps().unwrap();
+        assert!((rate - 832.0 / 0.000203).abs() < 1e-6);
+    }
+
+    #[test]
+    fn data_rate_undefined_without_size_or_duration() {
+        assert_eq!(ev(0, 10, None).data_rate_bps(), None);
+        assert_eq!(ev(0, 0, Some(100)).data_rate_bps(), None);
+    }
+
+    #[test]
+    fn interval_tuple() {
+        assert_eq!(ev(5, 7, None).interval(), (Micros(5), Micros(12)));
+    }
+
+    #[test]
+    fn event_is_small() {
+        // Keep the hot row type compact; it is copied into columnar
+        // stores and sorted in bulk.
+        assert!(std::mem::size_of::<Event>() <= 96);
+    }
+}

@@ -1,0 +1,236 @@
+//! String interning.
+//!
+//! File paths, host names and command identifiers repeat across millions
+//! of events. Interning maps each distinct string to a dense [`Symbol`]
+//! (`u32`), so events stay compact and grouping-by-path is an integer
+//! comparison. The [`Interner`] is append-only and thread-safe; parsers
+//! running on multiple threads share one interner behind an `Arc`.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// A handle to an interned string.
+///
+/// Symbols are only meaningful together with the [`Interner`] that created
+/// them. They are dense (`0..n`), which lets downstream code use them as
+/// vector indices.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(pub u32);
+
+impl Symbol {
+    /// The index form of this symbol, for direct table lookups.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Symbol({})", self.0)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    map: HashMap<Arc<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+}
+
+/// An append-only, thread-safe string interner.
+///
+/// ```
+/// use st_model::Interner;
+/// let interner = Interner::new();
+/// let a = interner.intern("/usr/lib/libc.so.6");
+/// let b = interner.intern("/usr/lib/libc.so.6");
+/// assert_eq!(a, b);
+/// assert_eq!(&*interner.resolve(a), "/usr/lib/libc.so.6");
+/// ```
+#[derive(Default)]
+pub struct Interner {
+    inner: RwLock<Inner>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner already wrapped in an [`Arc`], the form
+    /// every [`crate::EventLog`] expects.
+    pub fn new_shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    /// Interns `s`, returning the existing symbol if present.
+    pub fn intern(&self, s: &str) -> Symbol {
+        if let Some(&sym) = self.inner.read().map.get(s) {
+            return sym;
+        }
+        let mut inner = self.inner.write();
+        if let Some(&sym) = inner.map.get(s) {
+            return sym; // raced with another writer
+        }
+        let sym = Symbol(inner.strings.len() as u32);
+        let arc: Arc<str> = Arc::from(s);
+        inner.strings.push(Arc::clone(&arc));
+        inner.map.insert(arc, sym);
+        sym
+    }
+
+    /// Returns the string behind `sym`.
+    ///
+    /// # Panics
+    /// Panics if `sym` was produced by a different interner and is out of
+    /// range.
+    pub fn resolve(&self, sym: Symbol) -> Arc<str> {
+        Arc::clone(&self.inner.read().strings[sym.index()])
+    }
+
+    /// Returns the symbol for `s` if it is already interned.
+    pub fn get(&self, s: &str) -> Option<Symbol> {
+        self.inner.read().map.get(s).copied()
+    }
+
+    /// Number of distinct strings interned so far.
+    pub fn len(&self) -> usize {
+        self.inner.read().strings.len()
+    }
+
+    /// Whether no string has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Takes a read-only snapshot for lock-free resolution in hot loops
+    /// (e.g. applying a mapping function to every event).
+    ///
+    /// Symbols interned *after* the snapshot are not visible in it.
+    pub fn snapshot(&self) -> InternerSnapshot {
+        InternerSnapshot {
+            strings: self.inner.read().strings.clone(),
+        }
+    }
+}
+
+impl fmt::Debug for Interner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Interner(len={})", self.len())
+    }
+}
+
+/// A point-in-time, lock-free view of an [`Interner`].
+#[derive(Clone)]
+pub struct InternerSnapshot {
+    strings: Vec<Arc<str>>,
+}
+
+impl InternerSnapshot {
+    /// Resolves `sym` without locking.
+    ///
+    /// # Panics
+    /// Panics if `sym` was interned after this snapshot was taken.
+    #[inline]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Resolves `sym`, returning `None` when it post-dates the snapshot.
+    #[inline]
+    pub fn try_resolve(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.index()).map(|s| &**s)
+    }
+
+    /// Number of symbols visible in this snapshot.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let i = Interner::new();
+        let a = i.intern("/etc/passwd");
+        let b = i.intern("/etc/passwd");
+        let c = i.intern("/etc/group");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn symbols_are_dense_indices() {
+        let i = Interner::new();
+        for n in 0..100 {
+            let sym = i.intern(&format!("path-{n}"));
+            assert_eq!(sym.index(), n);
+        }
+    }
+
+    #[test]
+    fn resolve_roundtrips() {
+        let i = Interner::new();
+        let sym = i.intern("read");
+        assert_eq!(&*i.resolve(sym), "read");
+        assert_eq!(i.get("read"), Some(sym));
+        assert_eq!(i.get("write"), None);
+    }
+
+    #[test]
+    fn snapshot_resolves_without_lock() {
+        let i = Interner::new();
+        let a = i.intern("a");
+        let snap = i.snapshot();
+        let b = i.intern("b");
+        assert_eq!(snap.resolve(a), "a");
+        assert_eq!(snap.try_resolve(b), None);
+        assert_eq!(i.snapshot().resolve(b), "b");
+    }
+
+    #[test]
+    fn concurrent_interning_is_consistent() {
+        let i = Interner::new_shared();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let i = std::sync::Arc::clone(&i);
+            handles.push(std::thread::spawn(move || {
+                let mut syms = Vec::new();
+                for n in 0..200 {
+                    // Half shared strings, half thread-unique.
+                    let s = if n % 2 == 0 {
+                        format!("shared-{n}")
+                    } else {
+                        format!("t{t}-{n}")
+                    };
+                    syms.push((s.clone(), i.intern(&s)));
+                }
+                syms
+            }));
+        }
+        let all: Vec<_> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        for (s, sym) in all {
+            assert_eq!(&*i.resolve(sym), s.as_str());
+        }
+    }
+
+    #[test]
+    fn empty_interner() {
+        let i = Interner::new();
+        assert!(i.is_empty());
+        assert!(i.snapshot().is_empty());
+    }
+}

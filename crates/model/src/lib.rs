@@ -1,0 +1,43 @@
+//! # st-model — the event / case / event-log data model
+//!
+//! This crate defines the data model of Sec. III and Sec. IV of
+//! *"Inspection of I/O Operations from System Call Traces using
+//! Directly-Follows-Graph"* (Sankaran et al., SC'24 / arXiv:2408.07378):
+//!
+//! * an [`Event`] is one recorded system call,
+//!   `e = [cid, host, rid, pid, call, start, dur, fp, size]` (Eq. 1);
+//! * a [`Case`] is the sequence of events of one trace file (one MPI
+//!   process), ordered by start timestamp (Eq. 2);
+//! * an [`EventLog`] is a set of cases (Eq. 3).
+//!
+//! Strings that repeat across millions of events (file paths, host names,
+//! command identifiers, unknown syscall names) are interned into
+//! [`Symbol`]s through a shared [`Interner`], which keeps an [`Event`] a
+//! small, `Copy`-able POD row and makes grouping by path an integer
+//! operation.
+//!
+//! Time is measured in microseconds ([`Micros`]) because `strace -tt -T`
+//! reports microsecond wall-clock timestamps and call durations.
+//!
+//! The crate is dependency-light on purpose: every other crate in the
+//! workspace (parser, store, DFG synthesis, simulator, IOR) builds on top
+//! of it.
+
+#![warn(missing_docs)]
+
+pub mod case;
+pub mod error;
+pub mod event;
+pub mod intern;
+pub mod log;
+pub mod syscall;
+pub mod time;
+pub mod units;
+
+pub use case::{Case, CaseMeta};
+pub use error::ModelError;
+pub use event::{Event, Pid};
+pub use intern::{Interner, InternerSnapshot, Symbol};
+pub use log::EventLog;
+pub use syscall::Syscall;
+pub use time::Micros;

@@ -1,0 +1,449 @@
+//! Event logs: sets of cases (Eq. 3 of the paper) with the query
+//! operations the methodology needs (filtering, partitioning, union).
+
+use std::sync::Arc;
+
+use crate::case::{Case, CaseMeta};
+use crate::error::ModelError;
+use crate::event::Event;
+use crate::intern::{Interner, InternerSnapshot};
+
+/// An event log `C = {c_1, ..., c_n}`: a set of cases sharing one string
+/// interner.
+///
+/// The interner is shared behind an [`Arc`] so that the derived logs
+/// produced by [`EventLog::filter_events`] and [`EventLog::partition`]
+/// keep symbol identity with their parent — a filtered log can be compared
+/// against the original without re-interning anything, mirroring how the
+/// paper filters one Pandas DataFrame into another.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    interner: Arc<Interner>,
+    cases: Vec<Case>,
+}
+
+impl EventLog {
+    /// Creates an empty log backed by `interner`.
+    pub fn new(interner: Arc<Interner>) -> Self {
+        EventLog {
+            interner,
+            cases: Vec::new(),
+        }
+    }
+
+    /// Creates an empty log with a fresh interner.
+    pub fn with_new_interner() -> Self {
+        Self::new(Interner::new_shared())
+    }
+
+    /// The shared interner.
+    pub fn interner(&self) -> &Arc<Interner> {
+        &self.interner
+    }
+
+    /// Lock-free interner view for hot loops.
+    pub fn snapshot(&self) -> InternerSnapshot {
+        self.interner.snapshot()
+    }
+
+    /// The cases of this log.
+    pub fn cases(&self) -> &[Case] {
+        &self.cases
+    }
+
+    /// Mutable access to cases (e.g. for re-sorting after bulk edits).
+    pub fn cases_mut(&mut self) -> &mut Vec<Case> {
+        &mut self.cases
+    }
+
+    /// Adds a case.
+    pub fn push_case(&mut self, case: Case) {
+        self.cases.push(case);
+    }
+
+    /// Number of cases `|C|`.
+    pub fn case_count(&self) -> usize {
+        self.cases.len()
+    }
+
+    /// Total number of events across all cases.
+    pub fn total_events(&self) -> usize {
+        self.cases.iter().map(Case::len).sum()
+    }
+
+    /// Whether the log holds no cases.
+    pub fn is_empty(&self) -> bool {
+        self.cases.is_empty()
+    }
+
+    /// Iterates `(meta, event)` pairs across all cases.
+    pub fn iter_events(&self) -> impl Iterator<Item = (&CaseMeta, &Event)> {
+        self.cases
+            .iter()
+            .flat_map(|c| c.events.iter().map(move |e| (&c.meta, e)))
+    }
+
+    /// Returns a new log keeping only events satisfying `pred`; cases that
+    /// end up empty are dropped. This is the paper's event-level query
+    /// (e.g. "only events under `$SCRATCH`", Sec. V-A).
+    pub fn filter_events(&self, mut pred: impl FnMut(&CaseMeta, &Event) -> bool) -> EventLog {
+        let mut out = EventLog::new(Arc::clone(&self.interner));
+        for case in &self.cases {
+            let events: Vec<Event> = case
+                .events
+                .iter()
+                .filter(|e| pred(&case.meta, e))
+                .copied()
+                .collect();
+            if !events.is_empty() {
+                out.cases.push(Case {
+                    meta: case.meta,
+                    events,
+                });
+            }
+        }
+        out
+    }
+
+    /// Keeps only events whose file path contains `needle` — the
+    /// `apply_fp_filter` operation of the paper's Fig. 6 workflow.
+    pub fn filter_path_contains(&self, needle: &str) -> EventLog {
+        let snap = self.snapshot();
+        self.filter_events(|_, e| {
+            snap.try_resolve(e.path)
+                .is_some_and(|p| p.contains(needle))
+        })
+    }
+
+    /// Splits the log into `(matching, rest)` by a case-level predicate,
+    /// the mutually-exclusive subsets `G` and `R` of partition-based
+    /// coloring (Sec. IV-C).
+    pub fn partition(&self, mut pred: impl FnMut(&CaseMeta) -> bool) -> (EventLog, EventLog) {
+        let mut green = EventLog::new(Arc::clone(&self.interner));
+        let mut red = EventLog::new(Arc::clone(&self.interner));
+        for case in &self.cases {
+            if pred(&case.meta) {
+                green.cases.push(case.clone());
+            } else {
+                red.cases.push(case.clone());
+            }
+        }
+        (green, red)
+    }
+
+    /// Partitions by command identifier: cases whose `cid` equals `cid`
+    /// go left. Mirrors Eq. 18 (`G_x = C_a`, `R_x = C_b`).
+    pub fn partition_by_cid(&self, cid: &str) -> (EventLog, EventLog) {
+        match self.interner.get(cid) {
+            Some(sym) => self.partition(|m| m.cid == sym),
+            // Unknown cid: nothing matches.
+            None => self.partition(|_| false),
+        }
+    }
+
+    /// Appends all cases of `other`. When `other` uses a different
+    /// interner its symbols are re-interned into `self`'s.
+    pub fn merge_from(&mut self, other: &EventLog) {
+        if Arc::ptr_eq(&self.interner, &other.interner) {
+            self.cases.extend(other.cases.iter().cloned());
+            return;
+        }
+        let theirs = other.interner.snapshot();
+        for case in &other.cases {
+            let meta = CaseMeta {
+                cid: self.interner.intern(theirs.resolve(case.meta.cid)),
+                host: self.interner.intern(theirs.resolve(case.meta.host)),
+                rid: case.meta.rid,
+            };
+            let events = case
+                .events
+                .iter()
+                .map(|e| {
+                    let mut e = *e;
+                    e.path = self.interner.intern(theirs.resolve(e.path));
+                    e.call = match e.call {
+                        crate::Syscall::Other(sym) => crate::Syscall::Other(
+                            self.interner.intern(theirs.resolve(sym)),
+                        ),
+                        c => c,
+                    };
+                    e
+                })
+                .collect();
+            self.cases.push(Case { meta, events });
+        }
+    }
+
+    /// Union of two logs (`C_x = C_a ∪ C_b`, Eq. 3).
+    pub fn union(a: &EventLog, b: &EventLog) -> EventLog {
+        let mut out = EventLog::new(Arc::clone(&a.interner));
+        out.merge_from(a);
+        out.merge_from(b);
+        out
+    }
+
+    /// Re-defines cases at pid granularity: each `(cid, host, pid)`
+    /// group becomes its own case, with the pid taking the `rid` role.
+    ///
+    /// The paper's case definition groups all events of one MPI process
+    /// (trace file), merging SMT/OpenMP children; Sec. IV notes "one
+    /// could do so by re-defining case as a group of events belonging to
+    /// the same cid, host, and pid (instead of rid)" — this is that
+    /// operation.
+    pub fn split_cases_by_pid(&self) -> EventLog {
+        let mut out = EventLog::new(Arc::clone(&self.interner));
+        for case in &self.cases {
+            // Group events per pid, preserving relative order.
+            let mut per_pid: Vec<(crate::Pid, Vec<Event>)> = Vec::new();
+            for event in &case.events {
+                match per_pid.iter_mut().find(|(pid, _)| *pid == event.pid) {
+                    Some((_, events)) => events.push(*event),
+                    None => per_pid.push((event.pid, vec![*event])),
+                }
+            }
+            if per_pid.len() == 1 {
+                out.cases.push(case.clone());
+                continue;
+            }
+            for (pid, events) in per_pid {
+                out.cases.push(Case {
+                    meta: CaseMeta {
+                        cid: case.meta.cid,
+                        host: case.meta.host,
+                        rid: pid.0,
+                    },
+                    events,
+                });
+            }
+        }
+        out
+    }
+
+    /// Sorts every case by start timestamp.
+    pub fn sort_all(&mut self) {
+        for case in &mut self.cases {
+            case.sort_by_start();
+        }
+    }
+
+    /// Validates the log invariants: every case sorted, every symbol
+    /// resolvable, no duplicate case identity.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let snap = self.snapshot();
+        let mut seen = std::collections::HashSet::new();
+        for case in &self.cases {
+            if !case.is_sorted() {
+                return Err(ModelError::UnsortedCase {
+                    case: case.meta.label(&self.interner),
+                });
+            }
+            if !seen.insert(case.meta) {
+                return Err(ModelError::DuplicateCase {
+                    case: case.meta.label(&self.interner),
+                });
+            }
+            for e in &case.events {
+                if snap.try_resolve(e.path).is_none() {
+                    return Err(ModelError::DanglingSymbol {
+                        case: case.meta.label(&self.interner),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience: total bytes moved across the log.
+    pub fn total_bytes(&self) -> u64 {
+        self.cases.iter().map(Case::total_bytes).sum()
+    }
+
+    /// Convenience: total in-syscall time across the log.
+    pub fn total_dur(&self) -> crate::Micros {
+        self.cases.iter().map(Case::total_dur).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::Syscall;
+    use crate::time::Micros;
+    use crate::{Pid, Symbol};
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let mk_case = |cid: &str, rid: u32, paths: &[(&str, u64)]| {
+            let meta = CaseMeta {
+                cid: i.intern(cid),
+                host: i.intern("host1"),
+                rid,
+            };
+            let events = paths
+                .iter()
+                .enumerate()
+                .map(|(k, (p, size))| Event {
+                    pid: Pid(rid + 1),
+                    call: Syscall::Read,
+                    start: Micros(k as u64 * 10),
+                    dur: Micros(5),
+                    path: i.intern(p),
+                    size: Some(*size),
+                    requested: Some(*size),
+                    offset: None,
+                    ok: true,
+                })
+                .collect();
+            Case { meta, events }
+        };
+        log.push_case(mk_case("a", 1, &[("/usr/lib/libc.so", 832), ("/etc/passwd", 100)]));
+        log.push_case(mk_case("a", 2, &[("/usr/lib/libc.so", 832)]));
+        log.push_case(mk_case("b", 3, &[("/etc/group", 50)]));
+        log
+    }
+
+    #[test]
+    fn counts() {
+        let log = sample_log();
+        assert_eq!(log.case_count(), 3);
+        assert_eq!(log.total_events(), 4);
+        assert_eq!(log.total_bytes(), 832 + 100 + 832 + 50);
+        assert_eq!(log.total_dur(), Micros(20));
+    }
+
+    #[test]
+    fn filter_path_contains_keeps_matching_events() {
+        let log = sample_log();
+        let filtered = log.filter_path_contains("/usr/lib");
+        assert_eq!(filtered.case_count(), 2); // case b dropped entirely
+        assert_eq!(filtered.total_events(), 2);
+        // Shared interner: symbols comparable across parent and child.
+        assert!(Arc::ptr_eq(log.interner(), filtered.interner()));
+    }
+
+    #[test]
+    fn filter_can_empty_the_log() {
+        let log = sample_log();
+        let filtered = log.filter_path_contains("/nonexistent");
+        assert!(filtered.is_empty());
+    }
+
+    #[test]
+    fn partition_by_cid_is_exact() {
+        let log = sample_log();
+        let (ca, cb) = log.partition_by_cid("a");
+        assert_eq!(ca.case_count(), 2);
+        assert_eq!(cb.case_count(), 1);
+        assert_eq!(ca.total_events() + cb.total_events(), log.total_events());
+        let (none, all) = log.partition_by_cid("zzz");
+        assert_eq!(none.case_count(), 0);
+        assert_eq!(all.case_count(), 3);
+    }
+
+    #[test]
+    fn union_restores_partition() {
+        let log = sample_log();
+        let (ca, cb) = log.partition_by_cid("a");
+        let cx = EventLog::union(&ca, &cb);
+        assert_eq!(cx.case_count(), log.case_count());
+        assert_eq!(cx.total_events(), log.total_events());
+        cx.validate().unwrap();
+    }
+
+    #[test]
+    fn merge_reinterns_foreign_symbols() {
+        let a = sample_log();
+        let mut b = EventLog::with_new_interner();
+        let bi = Arc::clone(b.interner());
+        b.push_case(Case {
+            meta: CaseMeta {
+                cid: bi.intern("z"),
+                host: bi.intern("other-host"),
+                rid: 99,
+            },
+            events: vec![Event {
+                pid: Pid(7),
+                call: Syscall::Other(bi.intern("statx")),
+                start: Micros(0),
+                dur: Micros(1),
+                path: bi.intern("/data/file"),
+                size: None,
+                requested: None,
+                offset: None,
+                ok: true,
+            }],
+        });
+        let mut merged = EventLog::new(Arc::clone(a.interner()));
+        merged.merge_from(&a);
+        merged.merge_from(&b);
+        merged.validate().unwrap();
+        let snap = merged.snapshot();
+        let last = merged.cases().last().unwrap();
+        assert_eq!(snap.resolve(last.events[0].path), "/data/file");
+        match last.events[0].call {
+            Syscall::Other(sym) => assert_eq!(snap.resolve(sym), "statx"),
+            _ => panic!("expected Other"),
+        }
+    }
+
+    #[test]
+    fn split_cases_by_pid_regroups_smt_children() {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("z"), host: i.intern("h9"), rid: 500 };
+        let p = i.intern("/smt/file");
+        // One trace file with two pids interleaved (SMT, Fig. 2c setup).
+        let events = vec![
+            Event { pid: Pid(10), call: Syscall::Read, start: Micros(0), dur: Micros(1),
+                path: p, size: None, requested: None, offset: None, ok: true },
+            Event { pid: Pid(11), call: Syscall::Read, start: Micros(5), dur: Micros(1),
+                path: p, size: None, requested: None, offset: None, ok: true },
+            Event { pid: Pid(10), call: Syscall::Write, start: Micros(10), dur: Micros(1),
+                path: p, size: None, requested: None, offset: None, ok: true },
+        ];
+        log.push_case(Case::from_events(meta, events));
+        let split = log.split_cases_by_pid();
+        assert_eq!(split.case_count(), 2);
+        assert_eq!(split.total_events(), 3);
+        let rids: Vec<u32> = split.cases().iter().map(|c| c.meta.rid).collect();
+        assert_eq!(rids, vec![10, 11]);
+        assert_eq!(split.cases()[0].events.len(), 2);
+        split.validate().unwrap();
+        // Single-pid cases pass through unchanged.
+        let again = split.split_cases_by_pid();
+        assert_eq!(again.case_count(), 2);
+        assert_eq!(again.cases()[0].meta.rid, split.cases()[0].meta.rid);
+    }
+
+    #[test]
+    fn validate_catches_unsorted() {
+        let mut log = sample_log();
+        log.cases_mut()[0].events.reverse();
+        assert!(matches!(
+            log.validate(),
+            Err(ModelError::UnsortedCase { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_duplicate_case() {
+        let mut log = sample_log();
+        let dup = log.cases()[0].clone();
+        log.push_case(dup);
+        assert!(matches!(
+            log.validate(),
+            Err(ModelError::DuplicateCase { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_catches_dangling_symbol() {
+        let mut log = sample_log();
+        log.cases_mut()[0].events[0].path = Symbol(10_000);
+        assert!(matches!(
+            log.validate(),
+            Err(ModelError::DanglingSymbol { .. })
+        ));
+    }
+}

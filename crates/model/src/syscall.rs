@@ -1,0 +1,222 @@
+//! System-call taxonomy.
+//!
+//! The paper traces the I/O-related system calls implemented behind the
+//! libc interfaces in `unistd.h` / `sys/uio.h` (Sec. I): the `read`/`write`
+//! family, `openat`, `lseek`, `fsync`, … The experiments record
+//! `read`, `write`, `openat` variants (Sec. V-A) plus `lseek` (Sec. V-B).
+//!
+//! Calls the crate does not know by name are preserved as
+//! [`Syscall::Other`] with their interned name, so arbitrary `strace -e`
+//! selections survive a parse → store → render round trip.
+
+use std::fmt;
+
+use crate::intern::{Interner, Symbol};
+
+/// The identity of a system call.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Syscall {
+    /// `read(fd, buf, count)`
+    Read,
+    /// `write(fd, buf, count)`
+    Write,
+    /// `pread64(fd, buf, count, offset)` — read at explicit offset.
+    Pread64,
+    /// `pwrite64(fd, buf, count, offset)` — write at explicit offset.
+    Pwrite64,
+    /// `readv(fd, iov, iovcnt)`
+    Readv,
+    /// `writev(fd, iov, iovcnt)`
+    Writev,
+    /// `preadv(fd, iov, iovcnt, offset)`
+    Preadv,
+    /// `pwritev(fd, iov, iovcnt, offset)`
+    Pwritev,
+    /// `open(path, flags)`
+    Open,
+    /// `openat(dirfd, path, flags)`
+    Openat,
+    /// `close(fd)`
+    Close,
+    /// `lseek(fd, offset, whence)`
+    Lseek,
+    /// `fsync(fd)` — flush data and metadata to the storage system.
+    Fsync,
+    /// `fdatasync(fd)`
+    Fdatasync,
+    /// `stat(path, statbuf)`
+    Stat,
+    /// `fstat(fd, statbuf)`
+    Fstat,
+    /// `newfstatat(dirfd, path, statbuf, flags)`
+    Newfstatat,
+    /// `mmap(addr, length, prot, flags, fd, offset)` on a file.
+    Mmap,
+    /// `ftruncate(fd, length)`
+    Ftruncate,
+    /// `ioctl(fd, request, ...)`
+    Ioctl,
+    /// Any other call, preserved by interned name.
+    Other(Symbol),
+}
+
+/// `(canonical name, variant)` for every named call.
+const NAMED: &[(&str, Syscall)] = &[
+    ("read", Syscall::Read),
+    ("write", Syscall::Write),
+    ("pread64", Syscall::Pread64),
+    ("pwrite64", Syscall::Pwrite64),
+    ("readv", Syscall::Readv),
+    ("writev", Syscall::Writev),
+    ("preadv", Syscall::Preadv),
+    ("pwritev", Syscall::Pwritev),
+    ("open", Syscall::Open),
+    ("openat", Syscall::Openat),
+    ("close", Syscall::Close),
+    ("lseek", Syscall::Lseek),
+    ("fsync", Syscall::Fsync),
+    ("fdatasync", Syscall::Fdatasync),
+    ("stat", Syscall::Stat),
+    ("fstat", Syscall::Fstat),
+    ("newfstatat", Syscall::Newfstatat),
+    ("mmap", Syscall::Mmap),
+    ("ftruncate", Syscall::Ftruncate),
+    ("ioctl", Syscall::Ioctl),
+];
+
+impl Syscall {
+    /// Stable index of a named variant (position in the canonical table),
+    /// used by the binary event-log store. `None` for [`Syscall::Other`].
+    pub fn named_index(&self) -> Option<u8> {
+        NAMED.iter().position(|(_, v)| v == self).map(|i| i as u8)
+    }
+
+    /// Inverse of [`Syscall::named_index`].
+    pub fn from_named_index(index: u8) -> Option<Syscall> {
+        NAMED.get(index as usize).map(|(_, v)| *v)
+    }
+
+    /// Resolves a syscall from its strace spelling, interning unknown
+    /// names.
+    pub fn from_name(name: &str, interner: &Interner) -> Syscall {
+        for (n, v) in NAMED {
+            if *n == name {
+                return *v;
+            }
+        }
+        Syscall::Other(interner.intern(name))
+    }
+
+    /// Resolves a syscall from its strace spelling if it is one of the
+    /// named I/O calls; `None` otherwise (no interner required).
+    pub fn from_known_name(name: &str) -> Option<Syscall> {
+        NAMED.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+    }
+
+    /// The strace spelling. `Other` calls need the interner that named
+    /// them.
+    pub fn name<'a>(&self, interner: &'a Interner) -> std::borrow::Cow<'a, str> {
+        match self {
+            Syscall::Other(sym) => {
+                std::borrow::Cow::Owned(interner.resolve(*sym).to_string())
+            }
+            _ => std::borrow::Cow::Borrowed(self.static_name().expect("named variant")),
+        }
+    }
+
+    /// The spelling for every variant except `Other`.
+    pub fn static_name(&self) -> Option<&'static str> {
+        NAMED.iter().find(|(_, v)| v == self).map(|(n, _)| *n)
+    }
+
+    /// Whether the call moves payload bytes whose count appears as the
+    /// return value (Sec. III item 6: parsed only for read/write
+    /// variants).
+    pub fn transfers_data(&self) -> bool {
+        self.is_read_like() || self.is_write_like()
+    }
+
+    /// `read`-family calls (data flows from the file into the process).
+    pub fn is_read_like(&self) -> bool {
+        matches!(
+            self,
+            Syscall::Read | Syscall::Pread64 | Syscall::Readv | Syscall::Preadv
+        )
+    }
+
+    /// `write`-family calls (data flows from the process into the file).
+    pub fn is_write_like(&self) -> bool {
+        matches!(
+            self,
+            Syscall::Write | Syscall::Pwrite64 | Syscall::Writev | Syscall::Pwritev
+        )
+    }
+
+    /// Whether the call opens a file description.
+    pub fn is_open_like(&self) -> bool {
+        matches!(self, Syscall::Open | Syscall::Openat)
+    }
+
+    /// Whether the call carries an explicit file offset (and therefore
+    /// needs no preceding `lseek`, the Sec. V-B observation).
+    pub fn has_explicit_offset(&self) -> bool {
+        matches!(
+            self,
+            Syscall::Pread64 | Syscall::Pwrite64 | Syscall::Preadv | Syscall::Pwritev
+        )
+    }
+}
+
+impl fmt::Display for Syscall {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.static_name() {
+            Some(n) => f.write_str(n),
+            None => f.write_str("<other>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_calls_roundtrip() {
+        let i = Interner::new();
+        for (name, variant) in NAMED {
+            assert_eq!(Syscall::from_name(name, &i), *variant);
+            assert_eq!(&*variant.name(&i), *name);
+            assert_eq!(Syscall::from_known_name(name), Some(*variant));
+        }
+        // No named call should have hit the interner.
+        assert!(i.is_empty());
+    }
+
+    #[test]
+    fn unknown_calls_are_preserved() {
+        let i = Interner::new();
+        let call = Syscall::from_name("io_uring_enter", &i);
+        match call {
+            Syscall::Other(sym) => assert_eq!(&*i.resolve(sym), "io_uring_enter"),
+            _ => panic!("expected Other"),
+        }
+        assert_eq!(&*call.name(&i), "io_uring_enter");
+        assert_eq!(Syscall::from_known_name("io_uring_enter"), None);
+    }
+
+    #[test]
+    fn classification() {
+        let i = Interner::new();
+        assert!(Syscall::Read.is_read_like());
+        assert!(Syscall::Pread64.is_read_like());
+        assert!(!Syscall::Read.is_write_like());
+        assert!(Syscall::Pwrite64.is_write_like());
+        assert!(Syscall::Read.transfers_data());
+        assert!(!Syscall::Openat.transfers_data());
+        assert!(Syscall::Openat.is_open_like());
+        assert!(!Syscall::Lseek.transfers_data());
+        assert!(Syscall::Pwrite64.has_explicit_offset());
+        assert!(!Syscall::Write.has_explicit_offset());
+        assert!(!Syscall::from_name("futex", &i).transfers_data());
+    }
+}

@@ -1,0 +1,76 @@
+//! Human-readable units for node labels.
+//!
+//! The paper's DFG nodes print byte totals as `14.98 KB` / `9.66 GB` and
+//! data rates as `10.15 MB/s` (Fig. 3a). The figures use decimal (SI)
+//! prefixes — e.g. Fig. 3b's `read:/usr/lib` shows `14.98 KB` for
+//! 6 × 2,496 = 14,976 bytes — so this module does too.
+
+/// Formats a byte count with SI prefixes and two decimals, like the
+/// paper's `Load` annotation.
+///
+/// ```
+/// assert_eq!(st_model::units::format_bytes(14_976.0), "14.98 KB");
+/// assert_eq!(st_model::units::format_bytes(9.66e9), "9.66 GB");
+/// ```
+pub fn format_bytes(bytes: f64) -> String {
+    format_scaled(bytes, "B")
+}
+
+/// Formats a data rate in bytes/second as `MB/s` (the unit used in every
+/// figure of the paper), two decimals.
+///
+/// ```
+/// assert_eq!(st_model::units::format_rate_mbs(10_150_000.0), "10.15 MB/s");
+/// ```
+pub fn format_rate_mbs(bytes_per_sec: f64) -> String {
+    format!("{:.2} MB/s", bytes_per_sec / 1e6)
+}
+
+fn format_scaled(value: f64, suffix: &str) -> String {
+    const PREFIXES: [&str; 5] = ["", "K", "M", "G", "T"];
+    let mut v = value;
+    let mut idx = 0;
+    while v.abs() >= 1000.0 && idx < PREFIXES.len() - 1 {
+        v /= 1000.0;
+        idx += 1;
+    }
+    if idx == 0 {
+        format!("{v:.0} {suffix}")
+    } else {
+        format!("{v:.2} {}{suffix}", PREFIXES[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_match_paper_examples() {
+        // Fig. 3b: read:/usr/lib moved 18 x 832 B = 14.98 KB.
+        assert_eq!(format_bytes(14_976.0), "14.98 KB");
+        // Fig. 8a: write:$SCRATCH moved 9.66 GB.
+        assert_eq!(format_bytes(9_663_676_416.0), "9.66 GB");
+        // Small counts print raw bytes.
+        assert_eq!(format_bytes(752.0), "752 B");
+        assert_eq!(format_bytes(0.0), "0 B");
+    }
+
+    #[test]
+    fn rate_matches_paper_examples() {
+        // Fig. 3b: DR 2 x 10.15 MB/s.
+        assert_eq!(format_rate_mbs(10_150_000.0), "10.15 MB/s");
+        // Fig. 8a: 3175.20 MB/s (rates above 1 GB/s keep the MB/s unit in
+        // the paper's labels).
+        assert_eq!(format_rate_mbs(3_175_200_000.0), "3175.20 MB/s");
+    }
+
+    #[test]
+    fn scaling_boundaries() {
+        assert_eq!(format_bytes(999.0), "999 B");
+        assert_eq!(format_bytes(1000.0), "1.00 KB");
+        assert_eq!(format_bytes(1_000_000.0), "1.00 MB");
+        assert_eq!(format_bytes(1e12), "1.00 TB");
+        assert_eq!(format_bytes(1e15), "1000.00 TB");
+    }
+}

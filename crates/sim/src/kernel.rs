@@ -1,0 +1,606 @@
+//! The discrete-event engine.
+//!
+//! Every rank is a sequential process issuing blocking system calls. The
+//! engine always advances the rank with the earliest local clock, so
+//! resource queues observe arrivals in global time order; syscall
+//! durations are *outcomes* (queue wait + service), not inputs. Barriers
+//! collect all live ranks and release them together at the latest
+//! arrival, like `MPI_Barrier`.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Symbol, Syscall};
+
+use crate::config::SimConfig;
+use crate::op::{Op, TraceFilter};
+use crate::resources::Resources;
+
+/// Summary of one simulated run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunOutput {
+    /// Latest event end across ranks (relative to the epoch).
+    pub makespan: Micros,
+    /// Events recorded into the log.
+    pub traced_events: usize,
+    /// Events executed but filtered out by the `-e` selection.
+    pub untraced_events: usize,
+}
+
+/// A configured simulator.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    config: SimConfig,
+}
+
+struct RankState {
+    rid: u32,
+    clock: Micros,
+    next: usize,
+    cursors: HashMap<Symbol, u64>,
+    events: Vec<Event>,
+}
+
+impl Simulation {
+    /// Creates a simulator.
+    pub fn new(config: SimConfig) -> Self {
+        Simulation { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Runs one command (`cid`) with the given per-rank op sequences,
+    /// appending one case per rank to `log` (named per the Fig. 1
+    /// convention: `cid`, host, `rid`). Returns run statistics.
+    ///
+    /// # Panics
+    /// Panics if ranks disagree on the number of barriers (a malformed
+    /// workload would deadlock a real MPI job too).
+    pub fn run(
+        &self,
+        cid: &str,
+        rank_ops: Vec<Vec<Op>>,
+        filter: &TraceFilter,
+        log: &mut EventLog,
+    ) -> RunOutput {
+        let n = rank_ops.len();
+        assert!(n > 0, "at least one rank required");
+        assert!(
+            n <= self.config.total_ranks(),
+            "{n} ranks exceed the {} slots of the cluster",
+            self.config.total_ranks()
+        );
+        let barrier_counts: Vec<usize> = rank_ops
+            .iter()
+            .map(|ops| ops.iter().filter(|o| matches!(o, Op::Barrier)).count())
+            .collect();
+        assert!(
+            barrier_counts.windows(2).all(|w| w[0] == w[1]),
+            "ranks disagree on barrier count: {barrier_counts:?}"
+        );
+
+        let interner = std::sync::Arc::clone(log.interner());
+        let mut rng = SmallRng::seed_from_u64(self.config.seed ^ hash_cid(cid));
+        let mut resources = Resources::new(self.config.fs.meta_servers);
+
+        let mut ranks: Vec<RankState> = (0..n)
+            .map(|r| {
+                let stagger = Micros(r as u64 * 23 + rng.gen_range(0..120));
+                RankState {
+                    rid: self.config.base_rid + r as u32,
+                    clock: self.config.epoch + stagger,
+                    next: 0,
+                    cursors: HashMap::new(),
+                    events: Vec::with_capacity(rank_ops[r].len()),
+                }
+            })
+            .collect();
+
+        let mut heap: BinaryHeap<Reverse<(Micros, usize)>> = ranks
+            .iter()
+            .enumerate()
+            .map(|(r, s)| Reverse((s.clock, r)))
+            .collect();
+        let mut finished = 0usize;
+        let mut waiting: Vec<usize> = Vec::new();
+        let mut untraced = 0usize;
+        let mut makespan = Micros::ZERO;
+
+        while let Some(Reverse((clock, r))) = heap.pop() {
+            let op = match rank_ops[r].get(ranks[r].next) {
+                Some(op) => op.clone(),
+                None => {
+                    finished += 1;
+                    // A completed rank may unblock a pending barrier only
+                    // if barrier counts matched — checked above, so any
+                    // waiting set still waits for live ranks only.
+                    if !waiting.is_empty() && waiting.len() == n - finished {
+                        release_barrier(&mut waiting, &mut ranks, &mut heap, &self.config);
+                    }
+                    continue;
+                }
+            };
+            ranks[r].next += 1;
+
+            if let Op::Barrier = op {
+                waiting.push(r);
+                if waiting.len() == n - finished {
+                    release_barrier(&mut waiting, &mut ranks, &mut heap, &self.config);
+                }
+                continue;
+            }
+
+            let mut cursors = std::mem::take(&mut ranks[r].cursors);
+            let mut emitted: Option<Event> = None;
+            let completion = self.execute(
+                &op,
+                r,
+                clock,
+                &mut cursors,
+                &mut resources,
+                &mut rng,
+                &interner,
+                &mut |event| emitted = Some(event),
+            );
+            ranks[r].cursors = cursors;
+            if let Some(mut event) = emitted {
+                if filter.traces(event.call) {
+                    // Observational clock skew: hosts stamp events with
+                    // their own (possibly unsynchronized) clocks. This
+                    // shifts recorded timestamps only; scheduling is
+                    // unaffected.
+                    event.start += Micros(
+                        self.config.clock_skew.as_micros()
+                            * self.config.host_of(r) as u64,
+                    );
+                    ranks[r].events.push(event);
+                } else {
+                    untraced += 1;
+                }
+            }
+            makespan = makespan.max(completion.saturating_sub(self.config.epoch));
+            ranks[r].clock = completion;
+            heap.push(Reverse((completion, r)));
+        }
+
+        let traced: usize = ranks.iter().map(|s| s.events.len()).sum();
+        for (r, state) in ranks.into_iter().enumerate() {
+            let meta = CaseMeta {
+                cid: interner.intern(cid),
+                host: interner.intern(&self.config.hosts[self.config.host_of(r)]),
+                rid: state.rid,
+            };
+            log.push_case(Case::from_events(meta, state.events));
+        }
+
+        RunOutput {
+            makespan,
+            traced_events: traced,
+            untraced_events: untraced,
+        }
+    }
+
+    /// Executes one op for rank `r` arriving at `clock`; returns the
+    /// completion instant and emits at most one event.
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &self,
+        op: &Op,
+        r: usize,
+        clock: Micros,
+        cursors: &mut HashMap<Symbol, u64>,
+        resources: &mut Resources,
+        rng: &mut SmallRng,
+        interner: &st_model::Interner,
+        emit: &mut dyn FnMut(Event),
+    ) -> Micros {
+        let fs = &self.config.fs;
+        let jitter = |rng: &mut SmallRng, us: u64| -> Micros {
+            let (lo, hi) = self.config.jitter;
+            Micros((us as f64 * rng.gen_range(lo..hi)).round().max(1.0) as u64)
+        };
+        let pid = Pid(self.config.base_rid + r as u32 + 54);
+
+        match op {
+            Op::Open { path, create, shared_write } => {
+                let sym = interner.intern(path);
+                let service = if *create && !resources.file_mut(sym).exists {
+                    jitter(rng, fs.meta_create_service.as_micros())
+                } else {
+                    jitter(rng, fs.meta_open_service.as_micros())
+                };
+                let mut completion = resources.meta.serve(clock, service);
+                if *shared_write {
+                    let lock_service = jitter(rng, fs.shared_open_service.as_micros());
+                    completion = resources.lockmgr.serve(completion, lock_service);
+                }
+                let file = resources.file_mut(sym);
+                file.exists = true;
+                if *shared_write {
+                    file.shared = true;
+                }
+                cursors.insert(sym, 0);
+                emit(Event::new(pid, Syscall::Openat, clock, completion - clock, sym));
+                completion
+            }
+            Op::OpenProbe { path } => {
+                let sym = interner.intern(path);
+                let dur = jitter(rng, fs.probe_dur.as_micros());
+                emit(Event::new(pid, Syscall::Openat, clock, dur, sym).failed());
+                clock + dur
+            }
+            Op::Read { path, size, req, offset, cached } => {
+                let sym = interner.intern(path);
+                let stream_us = if *cached {
+                    fs.cache_read_latency.as_micros() as f64 + *size as f64 / fs.cache_read_bw
+                } else {
+                    // Implicit-offset reads pay the shared-fd offset
+                    // bookkeeping; pread64 does not (Sec. V-B).
+                    let offset_cost = if offset.is_none() {
+                        fs.posix_offset_overhead.as_micros() as f64
+                    } else {
+                        0.0
+                    };
+                    fs.read_latency.as_micros() as f64 + offset_cost + *size as f64 / fs.read_bw
+                };
+                let dur = jitter(rng, stream_us.round() as u64);
+                let off = offset.unwrap_or_else(|| *cursors.get(&sym).unwrap_or(&0));
+                if offset.is_none() {
+                    cursors.insert(sym, off + size);
+                }
+                let call = if offset.is_some() { Syscall::Pread64 } else { Syscall::Read };
+                let mut ev = Event::new(pid, call, clock, dur, sym)
+                    .with_size(*size)
+                    .with_requested(*req);
+                if offset.is_some() {
+                    ev = ev.with_offset(off);
+                }
+                emit(ev);
+                clock + dur
+            }
+            Op::Write { path, size, offset, tty, local } => {
+                let sym = interner.intern(path);
+                if *tty {
+                    let dur = jitter(
+                        rng,
+                        fs.tty_write_latency.as_micros() + (*size as f64 / 1_000.0) as u64,
+                    );
+                    emit(
+                        Event::new(pid, Syscall::Write, clock, dur, sym)
+                            .with_size(*size)
+                            .with_requested(*size),
+                    );
+                    return clock + dur;
+                }
+                if *local {
+                    // tmpfs: a memcpy into node-local memory.
+                    let stream_us = fs.syscall_overhead.as_micros() as f64
+                        + *size as f64 / fs.burst_write_bw;
+                    let dur = jitter(rng, stream_us.round() as u64);
+                    let off = offset.unwrap_or_else(|| *cursors.get(&sym).unwrap_or(&0));
+                    if offset.is_none() {
+                        cursors.insert(sym, off + size);
+                    }
+                    emit(
+                        Event::new(pid, Syscall::Write, clock, dur, sym)
+                            .with_size(*size)
+                            .with_requested(*size),
+                    );
+                    return clock + dur;
+                }
+                let off = offset.unwrap_or_else(|| *cursors.get(&sym).unwrap_or(&0));
+                let (shared, throttled, needs_token, token_service) = {
+                    let file = resources.file_mut(sym);
+                    let range = off / fs.lock_range_bytes;
+                    let owner = file.range_owner.get(&range).copied();
+                    let needs = owner != Some(r);
+                    let service = if owner.is_none() {
+                        fs.range_token_grant
+                    } else {
+                        fs.range_token_transfer
+                    };
+                    file.range_owner.insert(range, r);
+                    // Page-cache pressure: past the dirty threshold the
+                    // write throttles from memcpy-burst to sustained
+                    // writeback bandwidth.
+                    let throttled = file.dirty_total + size > fs.dirty_threshold;
+                    (file.shared, throttled, needs, service)
+                };
+                let start_stream = if needs_token && shared {
+                    let service = jitter(rng, token_service.as_micros());
+                    resources.lockmgr.serve(clock, service)
+                } else {
+                    clock
+                };
+                let bw = match (throttled, shared) {
+                    (false, _) => fs.burst_write_bw,
+                    (true, true) => fs.write_bw * fs.ssf_write_bw_factor,
+                    (true, false) => fs.write_bw,
+                };
+                let offset_cost = if offset.is_none() {
+                    fs.posix_offset_overhead.as_micros() as f64
+                } else {
+                    0.0
+                };
+                let stream_us =
+                    fs.syscall_overhead.as_micros() as f64 + offset_cost + *size as f64 / bw;
+                let completion = start_stream + jitter(rng, stream_us.round() as u64);
+                {
+                    let file = resources.file_mut(sym);
+                    file.size = file.size.max(off + size);
+                    *file.dirty.entry(r).or_insert(0) += size;
+                    file.dirty_total += size;
+                }
+                if offset.is_none() {
+                    cursors.insert(sym, off + size);
+                }
+                let call = if offset.is_some() { Syscall::Pwrite64 } else { Syscall::Write };
+                let mut ev = Event::new(pid, call, clock, completion - clock, sym)
+                    .with_size(*size)
+                    .with_requested(*size);
+                if offset.is_some() {
+                    ev = ev.with_offset(off);
+                }
+                emit(ev);
+                completion
+            }
+            Op::Lseek { path, offset } => {
+                let sym = interner.intern(path);
+                cursors.insert(sym, *offset);
+                let dur = jitter(rng, fs.lseek_dur.as_micros());
+                emit(Event::new(pid, Syscall::Lseek, clock, dur, sym).with_offset(*offset));
+                clock + dur
+            }
+            Op::Fsync { path } => {
+                let sym = interner.intern(path);
+                let dirty = {
+                    let file = resources.file_mut(sym);
+                    let d = file.dirty.remove(&r).unwrap_or(0);
+                    file.dirty_total = file.dirty_total.saturating_sub(d);
+                    d
+                };
+                let dur = jitter(
+                    rng,
+                    500 + (dirty as f64 / self.config.fs.fsync_drain_bw).round() as u64,
+                );
+                emit(Event::new(pid, Syscall::Fsync, clock, dur, sym));
+                clock + dur
+            }
+            Op::Close { path } => {
+                let sym = interner.intern(path);
+                cursors.remove(&sym);
+                let dur = jitter(rng, fs.close_dur.as_micros());
+                emit(Event::new(pid, Syscall::Close, clock, dur, sym));
+                clock + dur
+            }
+            Op::Compute { dur_us } => clock + jitter(rng, *dur_us),
+            Op::Barrier => unreachable!("barriers handled by the scheduler"),
+        }
+    }
+}
+
+fn release_barrier(
+    waiting: &mut Vec<usize>,
+    ranks: &mut [RankState],
+    heap: &mut BinaryHeap<Reverse<(Micros, usize)>>,
+    config: &SimConfig,
+) {
+    let latest = waiting
+        .iter()
+        .map(|&r| ranks[r].clock)
+        .max()
+        .unwrap_or(Micros::ZERO);
+    let release = latest + config.fs.barrier_latency;
+    for r in waiting.drain(..) {
+        ranks[r].clock = release;
+        heap.push(Reverse((release, r)));
+    }
+}
+
+fn hash_cid(cid: &str) -> u64 {
+    // FNV-1a, stable across runs.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in cid.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::op::Op;
+
+    fn sim3() -> Simulation {
+        Simulation::new(SimConfig::small(3))
+    }
+
+    fn read_op(path: &str, size: u64) -> Op {
+        Op::Read { path: path.into(), size, req: size, offset: None, cached: true }
+    }
+
+    #[test]
+    fn run_produces_one_case_per_rank() {
+        let sim = sim3();
+        let ops = vec![read_op("/usr/lib/x.so", 832), read_op("/etc/passwd", 100)];
+        let mut log = EventLog::with_new_interner();
+        let out = sim.run("a", vec![ops.clone(); 3], &TraceFilter::all(), &mut log);
+        assert_eq!(log.case_count(), 3);
+        assert_eq!(log.total_events(), 6);
+        assert_eq!(out.traced_events, 6);
+        assert_eq!(out.untraced_events, 0);
+        log.validate().unwrap();
+        // rids follow base_rid.
+        assert_eq!(log.cases()[0].meta.rid, sim.config().base_rid);
+        assert_eq!(log.cases()[2].meta.rid, sim.config().base_rid + 2);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_log() {
+        let sim = sim3();
+        let ops = vec![read_op("/a/b", 10), read_op("/c/d", 20)];
+        let mut l1 = EventLog::with_new_interner();
+        let mut l2 = EventLog::with_new_interner();
+        sim.run("a", vec![ops.clone(); 3], &TraceFilter::all(), &mut l1);
+        sim.run("a", vec![ops; 3], &TraceFilter::all(), &mut l2);
+        for (c1, c2) in l1.cases().iter().zip(l2.cases()) {
+            assert_eq!(c1.events.len(), c2.events.len());
+            for (a, b) in c1.events.iter().zip(&c2.events) {
+                assert_eq!(a.start, b.start);
+                assert_eq!(a.dur, b.dur);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_suppresses_untraced_calls() {
+        let sim = sim3();
+        let ops = vec![
+            Op::Open { path: "/s/f".into(), create: true, shared_write: false },
+            Op::Write { path: "/s/f".into(), size: 100, offset: None, tty: false, local: false },
+            Op::Fsync { path: "/s/f".into() },
+            Op::Close { path: "/s/f".into() },
+        ];
+        let mut log = EventLog::with_new_interner();
+        let out = sim.run("a", vec![ops; 3], &TraceFilter::experiment_a(), &mut log);
+        // openat + write traced; fsync + close suppressed.
+        assert_eq!(out.traced_events, 6);
+        assert_eq!(out.untraced_events, 6);
+        let snap = log.snapshot();
+        for (_, e) in log.iter_events() {
+            assert!(matches!(e.call, Syscall::Openat | Syscall::Write), "{:?}", e.call);
+            assert_eq!(snap.resolve(e.path), "/s/f");
+        }
+    }
+
+    #[test]
+    fn barrier_aligns_clocks() {
+        let sim = sim3();
+        // Rank 0 does a long compute before the barrier, others nothing.
+        let mk = |pre: u64| {
+            vec![
+                Op::Compute { dur_us: pre },
+                Op::Barrier,
+                read_op("/x/y", 1),
+            ]
+        };
+        let mut log = EventLog::with_new_interner();
+        sim.run("a", vec![mk(500_000), mk(10), mk(10)], &TraceFilter::all(), &mut log);
+        // The post-barrier read must start at (roughly) the same time on
+        // every rank: no earlier than the slow rank's pre-barrier time.
+        let starts: Vec<Micros> = log.cases().iter().map(|c| c.events[0].start).collect();
+        let min = *starts.iter().min().unwrap();
+        let max = *starts.iter().max().unwrap();
+        assert!(max - min < Micros(1_000), "starts spread too far: {starts:?}");
+        assert!(min >= sim.config().epoch + Micros(450_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "barrier count")]
+    fn mismatched_barrier_counts_panic() {
+        let sim = sim3();
+        let mut log = EventLog::with_new_interner();
+        sim.run(
+            "a",
+            vec![vec![Op::Barrier], vec![], vec![]],
+            &TraceFilter::all(),
+            &mut log,
+        );
+    }
+
+    #[test]
+    fn shared_open_serializes_through_lock_manager() {
+        let config = SimConfig { hosts: vec!["h".into()], cores_per_host: 8, ..Default::default() };
+        let sim = Simulation::new(config);
+        let shared = vec![Op::Open {
+            path: "/p/scratch/user1/ssf/testfile".into(),
+            create: true,
+            shared_write: true,
+        }];
+        let own = |r: usize| {
+            vec![Op::Open {
+                path: format!("/p/scratch/user1/fpp/testfile.{r:08}"),
+                create: true,
+                shared_write: false,
+            }]
+        };
+        let mut ssf = EventLog::with_new_interner();
+        sim.run("s", vec![shared; 8], &TraceFilter::all(), &mut ssf);
+        let mut fpp = EventLog::with_new_interner();
+        sim.run("f", (0..8).map(own).collect(), &TraceFilter::all(), &mut fpp);
+        let ssf_total = ssf.total_dur();
+        let fpp_total = fpp.total_dur();
+        assert!(
+            ssf_total.as_micros() > 3 * fpp_total.as_micros(),
+            "SSF opens ({ssf_total}) must dwarf FPP opens ({fpp_total})"
+        );
+    }
+
+    #[test]
+    fn ssf_writes_slower_than_fpp_writes() {
+        let config = SimConfig { hosts: vec!["h".into()], cores_per_host: 8, ..Default::default() };
+        let sim = Simulation::new(config);
+        let mk = |shared: bool, r: usize| {
+            let path = if shared {
+                "/p/scratch/user1/ssf/t".to_string()
+            } else {
+                format!("/p/scratch/user1/fpp/t.{r:08}")
+            };
+            let mut ops = vec![Op::Open { path: path.clone(), create: true, shared_write: shared }];
+            if shared {
+                ops.push(Op::Lseek { path: path.clone(), offset: r as u64 * (16 << 20) });
+            }
+            for _ in 0..16 {
+                ops.push(Op::Write { path: path.clone(), size: 1 << 20, offset: None, tty: false, local: false });
+            }
+            ops
+        };
+        let mut ssf = EventLog::with_new_interner();
+        sim.run("s", (0..8).map(|r| mk(true, r)).collect(), &TraceFilter::all(), &mut ssf);
+        let mut fpp = EventLog::with_new_interner();
+        sim.run("f", (0..8).map(|r| mk(false, r)).collect(), &TraceFilter::all(), &mut fpp);
+        let wdur = |log: &EventLog| -> u64 {
+            log.iter_events()
+                .filter(|(_, e)| e.call == Syscall::Write)
+                .map(|(_, e)| e.dur.as_micros())
+                .sum()
+        };
+        assert!(wdur(&ssf) > wdur(&fpp), "shared-file writes must be slower");
+    }
+
+    #[test]
+    fn cursors_advance_and_lseek_resets() {
+        let sim = Simulation::new(SimConfig::small(1));
+        let ops = vec![
+            Op::Open { path: "/s/f".into(), create: true, shared_write: false },
+            Op::Write { path: "/s/f".into(), size: 100, offset: None, tty: false, local: false },
+            Op::Write { path: "/s/f".into(), size: 100, offset: None, tty: false, local: false },
+            Op::Lseek { path: "/s/f".into(), offset: 4096 },
+            Op::Write { path: "/s/f".into(), size: 50, offset: None, tty: false, local: false },
+            Op::Write { path: "/s/f".into(), size: 10, offset: Some(9000), tty: false, local: false },
+        ];
+        let mut log = EventLog::with_new_interner();
+        sim.run("a", vec![ops], &TraceFilter::all(), &mut log);
+        let events = &log.cases()[0].events;
+        let lseek = events.iter().find(|e| e.call == Syscall::Lseek).unwrap();
+        assert_eq!(lseek.offset, Some(4096));
+        let pwrite = events.iter().find(|e| e.call == Syscall::Pwrite64).unwrap();
+        assert_eq!(pwrite.offset, Some(9000));
+    }
+
+    #[test]
+    fn events_sorted_within_case() {
+        let sim = sim3();
+        let ops: Vec<Op> = (0..20).map(|k| read_op(&format!("/d/f{k}"), 100)).collect();
+        let mut log = EventLog::with_new_interner();
+        sim.run("a", vec![ops; 3], &TraceFilter::all(), &mut log);
+        log.validate().unwrap();
+    }
+}

@@ -1,0 +1,57 @@
+//! # st-sim — discrete-event cluster and parallel-filesystem simulator
+//!
+//! The paper's evaluation (Sec. V) runs on the JUWELS cluster: 2 × 48-core
+//! nodes, MPI (`srun -n 96`), a GPFS-based storage system (JUST), traced
+//! with `strace 6.4`. None of that hardware is available here, so this
+//! crate provides the substitute substrate (DESIGN.md §4): a deterministic
+//! discrete-event simulator whose observable output is exactly what the
+//! methodology consumes — per-rank sequences of I/O system calls with
+//! start timestamps, durations, file paths and transfer sizes, optionally
+//! materialized as authentic strace text via [`st_strace::writer`].
+//!
+//! ## What is mechanistic vs calibrated
+//!
+//! Contention — the paper's object of study — emerges from *queueing*:
+//!
+//! * a **metadata server** (single FIFO queue) services `openat`
+//!   open/create requests; 96 near-simultaneous creates queue up
+//!   quadratically, the FPP metadata cost of Sec. V-A;
+//! * a **lock manager** (single FIFO queue) services shared-file write
+//!   token traffic: opening one shared file for writing from 96 ranks
+//!   serializes through it (the SSF `openat` storm of Fig. 8b), and each
+//!   rank's first write into a new byte-range acquires a range token
+//!   (transfer penalty when the previous owner differs);
+//! * **barriers** synchronize ranks like `MPI_Barrier`.
+//!
+//! Data-path timings are stream-modeled rather than queued: `write()`
+//! returns once the page cache accepts the data and `read()` streams from
+//! the remote storage tier, so per-process data rates are set by
+//! per-process bandwidths (`fs` config), matching the paper's observed
+//! per-process rates (3–4.5 GB/s) that only page-cache semantics can
+//! produce. The shared-file write-bandwidth factor (`ssf_write_bw_factor`)
+//! is an explicitly calibrated parameter modeling GPFS block false
+//! sharing at rank-block boundaries.
+//!
+//! All randomness is a seeded [`rand::rngs::SmallRng`]; identical configs
+//! produce identical logs.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod kernel;
+pub mod op;
+pub mod resources;
+pub mod workloads;
+
+pub use config::{FsConfig, PathScheme, SimConfig};
+pub use kernel::{RunOutput, Simulation};
+pub use op::{Op, TraceFilter};
+
+/// Writes a simulated event log as strace text files (Fig. 1 naming) —
+/// convenience re-export wiring [`st_strace::writer::write_log_to_dir`].
+pub fn emit_strace_dir(
+    log: &st_model::EventLog,
+    dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    st_strace::write_log_to_dir(log, dir, &st_strace::WriteOptions::default())
+}

@@ -1,0 +1,196 @@
+//! The workload instruction set.
+//!
+//! Workloads (the `ls` models here, IOR in `st-ior`) are per-rank
+//! sequences of [`Op`]s; the kernel assigns timestamps and durations and
+//! turns each I/O op into one trace event. `Compute` models user-space
+//! gaps (no event) and `Barrier` models `MPI_Barrier`.
+
+use std::collections::HashSet;
+
+use st_model::Syscall;
+
+/// One workload instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// `openat` an existing or new file.
+    Open {
+        /// Absolute file path.
+        path: String,
+        /// Create the file (costs metadata-create service).
+        create: bool,
+        /// The file is opened for writing by many ranks simultaneously
+        /// (SSF): serializes through the lock manager.
+        shared_write: bool,
+    },
+    /// A failed `openat` probe (`ENOENT`), e.g. linker path search.
+    OpenProbe {
+        /// Probed path.
+        path: String,
+    },
+    /// `read`/`pread64`.
+    Read {
+        /// File path.
+        path: String,
+        /// Bytes actually transferred (the return value).
+        size: u64,
+        /// Bytes requested (the count argument); defaults to `size`.
+        req: u64,
+        /// Explicit offset → emitted as `pread64`; `None` → `read`.
+        offset: Option<u64>,
+        /// Served from the local page cache (library loads) rather than
+        /// the storage tier.
+        cached: bool,
+    },
+    /// `write`/`pwrite64`.
+    Write {
+        /// File path.
+        path: String,
+        /// Bytes written.
+        size: u64,
+        /// Explicit offset → emitted as `pwrite64`; `None` → `write`.
+        offset: Option<u64>,
+        /// Terminal/pipe write (`ls` output) — latency-modeled.
+        tty: bool,
+        /// Node-local tmpfs write (`/dev/shm`): pure page-cache memcpy,
+        /// no parallel-filesystem bookkeeping.
+        local: bool,
+    },
+    /// `lseek` to an absolute offset.
+    Lseek {
+        /// File path.
+        path: String,
+        /// Target offset.
+        offset: u64,
+    },
+    /// `fsync` — drains this rank's dirty bytes for the file.
+    Fsync {
+        /// File path.
+        path: String,
+    },
+    /// `close`.
+    Close {
+        /// File path.
+        path: String,
+    },
+    /// User-space computation gap (no event).
+    Compute {
+        /// Gap length in microseconds (jittered).
+        dur_us: u64,
+    },
+    /// `MPI_Barrier` across all ranks of the run.
+    Barrier,
+}
+
+impl Op {
+    /// The syscall this op will be recorded as, if any.
+    pub fn syscall(&self) -> Option<Syscall> {
+        match self {
+            Op::Open { .. } | Op::OpenProbe { .. } => Some(Syscall::Openat),
+            Op::Read { offset: Some(_), .. } => Some(Syscall::Pread64),
+            Op::Read { .. } => Some(Syscall::Read),
+            Op::Write { offset: Some(_), .. } => Some(Syscall::Pwrite64),
+            Op::Write { .. } => Some(Syscall::Write),
+            Op::Lseek { .. } => Some(Syscall::Lseek),
+            Op::Fsync { .. } => Some(Syscall::Fsync),
+            Op::Close { .. } => Some(Syscall::Close),
+            Op::Compute { .. } | Op::Barrier => None,
+        }
+    }
+}
+
+/// Which syscalls are recorded into the event log — the simulator's
+/// equivalent of `strace -e read,write,...` (Fig. 1). Untraced calls
+/// still consume simulated time; they just produce no event, exactly
+/// like running strace with a narrower `-e` list.
+#[derive(Debug, Clone)]
+pub struct TraceFilter {
+    allowed: Option<HashSet<Syscall>>,
+}
+
+impl TraceFilter {
+    /// Trace every call.
+    pub fn all() -> Self {
+        TraceFilter { allowed: None }
+    }
+
+    /// Trace only the listed calls.
+    pub fn only(calls: impl IntoIterator<Item = Syscall>) -> Self {
+        TraceFilter {
+            allowed: Some(calls.into_iter().collect()),
+        }
+    }
+
+    /// The Sec. V-A selection: read/write/openat variants.
+    pub fn experiment_a() -> Self {
+        Self::only([
+            Syscall::Read,
+            Syscall::Write,
+            Syscall::Pread64,
+            Syscall::Pwrite64,
+            Syscall::Openat,
+            Syscall::Open,
+        ])
+    }
+
+    /// The Sec. V-B selection: experiment A plus `lseek`.
+    pub fn experiment_b() -> Self {
+        Self::only([
+            Syscall::Read,
+            Syscall::Write,
+            Syscall::Pread64,
+            Syscall::Pwrite64,
+            Syscall::Openat,
+            Syscall::Open,
+            Syscall::Lseek,
+        ])
+    }
+
+    /// Whether `call` is traced.
+    pub fn traces(&self, call: Syscall) -> bool {
+        match &self.allowed {
+            None => true,
+            Some(set) => set.contains(&call),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_syscall_mapping() {
+        assert_eq!(
+            Op::Open { path: "/x".into(), create: false, shared_write: false }.syscall(),
+            Some(Syscall::Openat)
+        );
+        assert_eq!(
+            Op::Read { path: "/x".into(), size: 1, req: 1, offset: None, cached: false }.syscall(),
+            Some(Syscall::Read)
+        );
+        assert_eq!(
+            Op::Read { path: "/x".into(), size: 1, req: 1, offset: Some(0), cached: false }
+                .syscall(),
+            Some(Syscall::Pread64)
+        );
+        assert_eq!(
+            Op::Write { path: "/x".into(), size: 1, offset: Some(4), tty: false, local: false }.syscall(),
+            Some(Syscall::Pwrite64)
+        );
+        assert_eq!(Op::Compute { dur_us: 5 }.syscall(), None);
+        assert_eq!(Op::Barrier.syscall(), None);
+    }
+
+    #[test]
+    fn trace_filters() {
+        let a = TraceFilter::experiment_a();
+        assert!(a.traces(Syscall::Read));
+        assert!(a.traces(Syscall::Openat));
+        assert!(!a.traces(Syscall::Lseek));
+        assert!(!a.traces(Syscall::Fsync));
+        let b = TraceFilter::experiment_b();
+        assert!(b.traces(Syscall::Lseek));
+        assert!(!b.traces(Syscall::Fsync));
+        assert!(TraceFilter::all().traces(Syscall::Fsync));
+    }
+}

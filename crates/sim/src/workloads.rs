@@ -1,0 +1,249 @@
+//! Built-in workload models.
+//!
+//! [`ls_ops`] and [`ls_l_ops`] reproduce the system-call sequences of the
+//! paper's Fig. 2a / Fig. 2b (`srun -n 3 strace -e read,write ... ls`):
+//! shared-library header reads from the loader, locale initialization,
+//! and terminal output — with the extra `nsswitch`/`passwd`/`group`/
+//! timezone lookups `ls -l` performs to render owners and mtimes.
+
+use crate::op::Op;
+
+fn cached_read(path: &str, size: u64, req: u64) -> Op {
+    Op::Read { path: path.into(), size, req, offset: None, cached: true }
+}
+
+fn tty_write(size: u64) -> Op {
+    Op::Write { path: "/dev/pts/7".into(), size, offset: None, tty: true, local: false }
+}
+
+fn think(dur_us: u64) -> Op {
+    Op::Compute { dur_us }
+}
+
+/// The `ls` trace of Fig. 2a: three ELF-header reads from `/usr/lib`,
+/// `/proc/filesystems`, `/etc/locale.alias`, one directory listing write.
+pub fn ls_ops() -> Vec<Op> {
+    vec![
+        cached_read("/usr/lib/x86_64-linux-gnu/libselinux.so.1", 832, 832),
+        think(2_500),
+        cached_read("/usr/lib/x86_64-linux-gnu/libc.so.6", 832, 832),
+        think(2_600),
+        cached_read("/usr/lib/x86_64-linux-gnu/libpcre2-8.so.0.10.4", 832, 832),
+        think(3_500),
+        cached_read("/proc/filesystems", 478, 1024),
+        cached_read("/proc/filesystems", 0, 1024),
+        think(500),
+        cached_read("/etc/locale.alias", 2996, 4096),
+        cached_read("/etc/locale.alias", 0, 4096),
+        think(12_000),
+        tty_write(50),
+    ]
+}
+
+/// The `ls -l` trace of Fig. 2b: `ls` plus user/group resolution
+/// (`/etc/nsswitch.conf`, `/etc/passwd`, `/etc/group`) and timezone data
+/// (`/usr/share/zoneinfo`), with several output writes.
+pub fn ls_l_ops() -> Vec<Op> {
+    vec![
+        cached_read("/usr/lib/x86_64-linux-gnu/libselinux.so.1", 832, 832),
+        think(2_500),
+        cached_read("/usr/lib/x86_64-linux-gnu/libc.so.6", 832, 832),
+        think(2_500),
+        cached_read("/usr/lib/x86_64-linux-gnu/libpcre2-8.so.0.10.4", 832, 832),
+        think(3_800),
+        cached_read("/proc/filesystems", 478, 1024),
+        cached_read("/proc/filesystems", 0, 1024),
+        think(1_000),
+        cached_read("/etc/locale.alias", 2996, 4096),
+        cached_read("/etc/locale.alias", 0, 4096),
+        think(11_700),
+        cached_read("/etc/nsswitch.conf", 542, 4096),
+        cached_read("/etc/nsswitch.conf", 0, 4096),
+        think(790),
+        cached_read("/etc/passwd", 1612, 4096),
+        think(1_400),
+        cached_read("/etc/group", 872, 4096),
+        think(1_900),
+        tty_write(9),
+        think(500),
+        cached_read("/usr/share/zoneinfo/Europe/Berlin", 2298, 4096),
+        cached_read("/usr/share/zoneinfo/Europe/Berlin", 1449, 4096),
+        think(340),
+        tty_write(74),
+        tty_write(53),
+        tty_write(65),
+    ]
+}
+
+
+/// Parameters of the [`checkpoint_ops`] workload.
+#[derive(Debug, Clone)]
+pub struct CheckpointSpec {
+    /// Number of compute/checkpoint iterations.
+    pub steps: usize,
+    /// Bytes written per rank per checkpoint.
+    pub bytes_per_checkpoint: u64,
+    /// Transfer size of each write.
+    pub transfer_size: u64,
+    /// Simulated compute time between checkpoints (microseconds).
+    pub compute_us: u64,
+    /// All ranks write one shared checkpoint file per step (`true`) or
+    /// one file per rank per step (`false`).
+    pub shared_file: bool,
+    /// Directory the checkpoints are written under.
+    pub dir: String,
+}
+
+impl Default for CheckpointSpec {
+    fn default() -> Self {
+        CheckpointSpec {
+            steps: 4,
+            bytes_per_checkpoint: 8 << 20,
+            transfer_size: 1 << 20,
+            compute_us: 200_000,
+            shared_file: false,
+            dir: "/p/scratch/user1/ckpt".to_string(),
+        }
+    }
+}
+
+/// A periodic-checkpoint workload — the "typical HPC workload" shape the
+/// paper names as future work: iterations of compute, barrier, and a
+/// checkpoint dump to `$SCRATCH`, either into one shared file per step
+/// or one file per rank per step. Comparing the two modes with
+/// partition coloring reproduces the paper's SSF-vs-FPP analysis on a
+/// different application pattern.
+pub fn checkpoint_ops(spec: &CheckpointSpec, rank: usize, num_ranks: usize) -> Vec<Op> {
+    let mut ops = Vec::new();
+    let transfers = (spec.bytes_per_checkpoint / spec.transfer_size.max(1)).max(1);
+    for step in 0..spec.steps {
+        ops.push(Op::Compute { dur_us: spec.compute_us });
+        ops.push(Op::Barrier);
+        let path = if spec.shared_file {
+            format!("{}/step{:04}.ckpt", spec.dir, step)
+        } else {
+            format!("{}/step{:04}.rank{:05}.ckpt", spec.dir, step, rank)
+        };
+        ops.push(Op::Open {
+            path: path.clone(),
+            create: true,
+            shared_write: spec.shared_file,
+        });
+        if spec.shared_file {
+            // Rank-striped layout within the shared checkpoint.
+            ops.push(Op::Lseek {
+                path: path.clone(),
+                offset: rank as u64 * spec.bytes_per_checkpoint,
+            });
+        }
+        let _ = num_ranks;
+        for _ in 0..transfers {
+            ops.push(Op::Write {
+                path: path.clone(),
+                size: spec.transfer_size,
+                offset: None,
+                tty: false,
+                local: false,
+            });
+        }
+        ops.push(Op::Fsync { path: path.clone() });
+        ops.push(Op::Close { path });
+    }
+    ops
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::kernel::Simulation;
+    use crate::op::TraceFilter;
+    use st_model::{EventLog, Syscall};
+
+    #[test]
+    fn ls_trace_shape_matches_fig2a() {
+        let sim = Simulation::new(SimConfig::small(3));
+        let mut log = EventLog::with_new_interner();
+        sim.run("a", vec![ls_ops(); 3], &TraceFilter::only([Syscall::Read, Syscall::Write]), &mut log);
+        assert_eq!(log.case_count(), 3);
+        for case in log.cases() {
+            // Fig. 2a records exactly 8 read/write events.
+            assert_eq!(case.events.len(), 8);
+            assert_eq!(case.events.iter().filter(|e| e.call == Syscall::Read).count(), 7);
+            assert_eq!(case.events.iter().filter(|e| e.call == Syscall::Write).count(), 1);
+        }
+        // Bytes per case: 3*832 + 478 + 2996 + 50.
+        assert_eq!(log.cases()[0].total_bytes(), 3 * 832 + 478 + 2996 + 50);
+    }
+
+    #[test]
+    fn ls_l_trace_shape_matches_fig2b() {
+        let sim = Simulation::new(SimConfig::small(3));
+        let mut log = EventLog::with_new_interner();
+        sim.run("b", vec![ls_l_ops(); 3], &TraceFilter::only([Syscall::Read, Syscall::Write]), &mut log);
+        for case in log.cases() {
+            // Fig. 2b records 17 read/write events (13 reads, 4 writes).
+            assert_eq!(case.events.len(), 17);
+            assert_eq!(case.events.iter().filter(|e| e.call == Syscall::Write).count(), 4);
+        }
+        let snap = log.snapshot();
+        let paths: std::collections::HashSet<&str> = log
+            .iter_events()
+            .map(|(_, e)| snap.resolve(e.path))
+            .collect();
+        assert!(paths.contains("/etc/nsswitch.conf"));
+        assert!(paths.contains("/usr/share/zoneinfo/Europe/Berlin"));
+        assert!(paths.contains("/dev/pts/7"));
+    }
+
+    #[test]
+    fn ls_is_a_prefix_pattern_of_ls_l() {
+        // Every path `ls` touches is also touched by `ls -l` (the Fig. 3d
+        // partition has no ls-exclusive *node*, only an exclusive edge).
+        let ls_paths: std::collections::HashSet<String> = ls_ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { path, .. } | Op::Write { path, .. } => Some(path.clone()),
+                _ => None,
+            })
+            .collect();
+        let lsl_paths: std::collections::HashSet<String> = ls_l_ops()
+            .iter()
+            .filter_map(|op| match op {
+                Op::Read { path, .. } | Op::Write { path, .. } => Some(path.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(ls_paths.is_subset(&lsl_paths));
+    }
+
+    #[test]
+    fn checkpoint_workload_shapes() {
+        let spec = CheckpointSpec { steps: 3, ..Default::default() };
+        let per_rank = checkpoint_ops(&spec, 0, 4);
+        let barriers = per_rank.iter().filter(|o| matches!(o, Op::Barrier)).count();
+        assert_eq!(barriers, 3);
+        let writes = per_rank.iter().filter(|o| matches!(o, Op::Write { .. })).count();
+        assert_eq!(writes, 3 * 8); // 8 MiB per ckpt at 1 MiB transfers
+        // FPP mode: distinct per-rank files, no shared-write opens.
+        assert!(per_rank.iter().all(|o| !matches!(o, Op::Open { shared_write: true, .. })));
+        // Shared mode: one file per step with rank-striped lseeks.
+        let shared = CheckpointSpec { shared_file: true, steps: 2, ..Default::default() };
+        let ops = checkpoint_ops(&shared, 3, 4);
+        assert!(ops.iter().any(|o| matches!(o, Op::Open { shared_write: true, .. })));
+        assert!(ops.iter().any(|o| matches!(o, Op::Lseek { offset, .. } if *offset == 3 * (8 << 20))));
+    }
+
+    #[test]
+    fn checkpoint_runs_on_the_simulator() {
+        let sim = Simulation::new(SimConfig { hosts: vec!["h".into()], cores_per_host: 4, ..Default::default() });
+        let spec = CheckpointSpec { steps: 2, compute_us: 1_000, ..Default::default() };
+        let ranks: Vec<_> = (0..4).map(|r| checkpoint_ops(&spec, r, 4)).collect();
+        let mut log = EventLog::with_new_interner();
+        let out = sim.run("c", ranks, &TraceFilter::all(), &mut log);
+        assert_eq!(log.case_count(), 4);
+        // open + 8 writes + fsync + close per step per rank.
+        assert_eq!(out.traced_events, 4 * 2 * (1 + 8 + 1 + 1));
+        log.validate().unwrap();
+    }
+}

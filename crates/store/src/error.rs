@@ -1,0 +1,53 @@
+//! Store error type.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors reading or writing the event-log container.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Filesystem error.
+    Io {
+        /// File involved.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// The file does not start with the `STLOG1` magic.
+    BadMagic,
+    /// The container was written by an unknown format version.
+    BadVersion(u32),
+    /// Structurally invalid data (truncated varint, out-of-range symbol,
+    /// impossible count).
+    Corrupt(String),
+    /// A section's CRC-32 does not match its contents.
+    ChecksumMismatch {
+        /// Which section failed (`strings` or `cases`).
+        section: &'static str,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            StoreError::BadMagic => write!(f, "not an st-store container (bad magic)"),
+            StoreError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in {section} section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # st-store — single-file columnar event-log container
+//!
+//! The paper's implementation (Sec. V) parses the per-process trace files
+//! once and stores them "in a single HDF5 file. Each processed trace file
+//! (i.e., each case) is stored in a separate group within the HDF5 file
+//! as a table" whose columns are the event attributes `pid, call, start,
+//! dur, fp, size`, sorted by `start`.
+//!
+//! This crate keeps exactly that contract — one container file, one table
+//! per case, columnar attribute arrays, sorted by start — with a
+//! self-describing binary format instead of HDF5 (the `hdf5` crate
+//! requires a system libhdf5, unavailable in this offline build; see
+//! DESIGN.md §4). The format is deliberately simple:
+//!
+//! ```text
+//! magic "STLOG1\0\0" | version u32 LE
+//! [strings]  count, then per string: varint len + UTF-8 bytes     + CRC32
+//! [cases]    count, then per case:
+//!              cid sym, host sym, rid            (varints)
+//!              event count n
+//!              column pid[n]       varints
+//!              column call[n]      u8 tag (+ varint symbol for Other)
+//!              column start[n]     delta varints (ascending starts)
+//!              column dur[n]       varints
+//!              column path[n]      varint symbols
+//!              column size[n]      option-shifted varints (0 = None)
+//!              column requested[n] option-shifted varints
+//!              column offset[n]    option-shifted varints
+//!              column ok[n]        u8
+//!                                                                 + CRC32
+//! ```
+//!
+//! Both sections are CRC-checked so truncation and bit-rot surface as
+//! [`StoreError::ChecksumMismatch`] / [`StoreError::Corrupt`] instead of
+//! silently wrong analyses.
+//!
+//! Reading restores symbols in insertion order, so symbol identities are
+//! reproduced exactly and logs round-trip bit-identically.
+
+#![warn(missing_docs)]
+
+pub mod crc;
+pub mod error;
+pub mod reader;
+pub mod varint;
+pub mod writer;
+
+pub use error::StoreError;
+pub use reader::StoreReader;
+pub use writer::{to_bytes, write_store};

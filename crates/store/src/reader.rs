@@ -1,0 +1,375 @@
+//! Deserializing the container format back into an [`EventLog`].
+
+use std::path::Path;
+
+use bytes::{Buf, Bytes};
+use st_model::{Case, CaseMeta, Event, EventLog, Interner, Micros, Pid, Symbol, Syscall};
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::varint::{get_opt_u64, get_u64};
+use crate::writer::{CALL_OTHER_TAG, MAGIC, VERSION};
+
+/// A parsed-but-not-yet-decoded container.
+///
+/// Mirrors the paper's `EventLogH5` handle (Fig. 6 step 0): open once,
+/// then materialize the full log or a path-filtered subset of it.
+#[derive(Debug)]
+pub struct StoreReader {
+    strings: Vec<String>,
+    cases: Bytes,
+}
+
+impl StoreReader {
+    /// Opens and validates a container file (magic, version, CRCs).
+    pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
+        let data = std::fs::read(path).map_err(|source| StoreError::Io {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        Self::from_bytes(Bytes::from(data))
+    }
+
+    /// Validates a container held in memory.
+    pub fn from_bytes(mut data: Bytes) -> Result<StoreReader, StoreError> {
+        if data.len() < MAGIC.len() + 4 {
+            return Err(StoreError::BadMagic);
+        }
+        if &data[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        data.advance(MAGIC.len());
+        let version = data.get_u32_le();
+        if version != VERSION {
+            return Err(StoreError::BadVersion(version));
+        }
+        let strings_body = get_section(&mut data, "strings")?;
+        let cases_body = get_section(&mut data, "cases")?;
+
+        let strings = decode_strings(strings_body)?;
+        Ok(StoreReader {
+            strings,
+            cases: cases_body,
+        })
+    }
+
+    /// Number of interned strings in the container.
+    pub fn string_count(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Decodes the full event log. Symbols are re-interned in insertion
+    /// order, reproducing the original ids exactly.
+    pub fn read(&self) -> Result<EventLog, StoreError> {
+        self.read_with_filter(|_| true)
+    }
+
+    /// Decodes only events whose file path contains `needle` — the
+    /// container-level equivalent of `apply_fp_filter` (Fig. 6 step 1).
+    /// Cases left with no events are dropped.
+    pub fn read_filtered(&self, needle: &str) -> Result<EventLog, StoreError> {
+        let matching: Vec<bool> = self
+            .strings
+            .iter()
+            .map(|s| s.contains(needle))
+            .collect();
+        self.read_with_filter(|path_sym| {
+            matching.get(path_sym.index()).copied().unwrap_or(false)
+        })
+    }
+
+    fn read_with_filter(
+        &self,
+        keep_path: impl Fn(Symbol) -> bool,
+    ) -> Result<EventLog, StoreError> {
+        let interner = Interner::new_shared();
+        for s in &self.strings {
+            interner.intern(s);
+        }
+        let mut log = EventLog::new(interner);
+
+        let mut buf = self.cases.clone();
+        let case_count = get_u64(&mut buf)? as usize;
+        if case_count > self.cases.len() {
+            return Err(StoreError::Corrupt("implausible case count".into()));
+        }
+        for _ in 0..case_count {
+            let cid = self.symbol(get_u64(&mut buf)?)?;
+            let host = self.symbol(get_u64(&mut buf)?)?;
+            let rid = u32::try_from(get_u64(&mut buf)?)
+                .map_err(|_| StoreError::Corrupt("rid exceeds u32".into()))?;
+            let n = get_u64(&mut buf)? as usize;
+            if n > self.cases.len() {
+                return Err(StoreError::Corrupt("implausible event count".into()));
+            }
+            let mut events: Vec<Event> = Vec::with_capacity(n);
+            // pid column
+            let mut pids = Vec::with_capacity(n);
+            for _ in 0..n {
+                let pid = u32::try_from(get_u64(&mut buf)?)
+                    .map_err(|_| StoreError::Corrupt("pid exceeds u32".into()))?;
+                pids.push(Pid(pid));
+            }
+            // call column
+            let mut calls = Vec::with_capacity(n);
+            for _ in 0..n {
+                if !buf.has_remaining() {
+                    return Err(StoreError::Corrupt("truncated call column".into()));
+                }
+                let tag = buf.get_u8();
+                let call = if tag == CALL_OTHER_TAG {
+                    Syscall::Other(self.symbol(get_u64(&mut buf)?)?)
+                } else {
+                    Syscall::from_named_index(tag)
+                        .ok_or_else(|| StoreError::Corrupt(format!("unknown call tag {tag}")))?
+                };
+                calls.push(call);
+            }
+            // start column (delta decode)
+            let mut starts = Vec::with_capacity(n);
+            let mut acc = Micros::ZERO;
+            for _ in 0..n {
+                acc += Micros(get_u64(&mut buf)?);
+                starts.push(acc);
+            }
+            // dur column
+            let mut durs = Vec::with_capacity(n);
+            for _ in 0..n {
+                durs.push(Micros(get_u64(&mut buf)?));
+            }
+            // path column
+            let mut paths = Vec::with_capacity(n);
+            for _ in 0..n {
+                paths.push(self.symbol(get_u64(&mut buf)?)?);
+            }
+            // size / requested / offset columns
+            let mut sizes = Vec::with_capacity(n);
+            for _ in 0..n {
+                sizes.push(get_opt_u64(&mut buf)?);
+            }
+            let mut requesteds = Vec::with_capacity(n);
+            for _ in 0..n {
+                requesteds.push(get_opt_u64(&mut buf)?);
+            }
+            let mut offsets = Vec::with_capacity(n);
+            for _ in 0..n {
+                offsets.push(get_opt_u64(&mut buf)?);
+            }
+            // ok column
+            let mut oks = Vec::with_capacity(n);
+            for _ in 0..n {
+                if !buf.has_remaining() {
+                    return Err(StoreError::Corrupt("truncated ok column".into()));
+                }
+                oks.push(buf.get_u8() != 0);
+            }
+
+            for k in 0..n {
+                if !keep_path(paths[k]) {
+                    continue;
+                }
+                let mut e = Event::new(pids[k], calls[k], starts[k], durs[k], paths[k]);
+                e.size = sizes[k];
+                e.requested = requesteds[k];
+                e.offset = offsets[k];
+                e.ok = oks[k];
+                events.push(e);
+            }
+            if !events.is_empty() {
+                log.push_case(Case { meta: CaseMeta { cid, host, rid }, events });
+            }
+        }
+        if buf.has_remaining() {
+            return Err(StoreError::Corrupt("trailing bytes after cases".into()));
+        }
+        Ok(log)
+    }
+
+    fn symbol(&self, raw: u64) -> Result<Symbol, StoreError> {
+        let idx = usize::try_from(raw)
+            .map_err(|_| StoreError::Corrupt("symbol exceeds usize".into()))?;
+        if idx >= self.strings.len() {
+            return Err(StoreError::Corrupt(format!(
+                "symbol {idx} out of range ({} strings)",
+                self.strings.len()
+            )));
+        }
+        Ok(Symbol(idx as u32))
+    }
+}
+
+fn get_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreError> {
+    let len = get_u64(data)? as usize;
+    if data.remaining() < len + 4 {
+        return Err(StoreError::Corrupt(format!("truncated {section} section")));
+    }
+    let body = data.split_to(len);
+    let stored_crc = data.get_u32_le();
+    if crc32(&body) != stored_crc {
+        return Err(StoreError::ChecksumMismatch { section });
+    }
+    Ok(body)
+}
+
+fn decode_strings(mut body: Bytes) -> Result<Vec<String>, StoreError> {
+    let count = get_u64(&mut body)? as usize;
+    if count > body.len() + 1 {
+        return Err(StoreError::Corrupt("implausible string count".into()));
+    }
+    let mut strings = Vec::with_capacity(count);
+    for _ in 0..count {
+        let len = get_u64(&mut body)? as usize;
+        if body.remaining() < len {
+            return Err(StoreError::Corrupt("truncated string".into()));
+        }
+        let raw = body.split_to(len);
+        let s = std::str::from_utf8(&raw)
+            .map_err(|_| StoreError::Corrupt("non-UTF-8 string".into()))?;
+        strings.push(s.to_string());
+    }
+    Ok(strings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{tests::sample_log, to_bytes, write_store};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let log = sample_log();
+        let bytes = to_bytes(&log).unwrap();
+        let reader = StoreReader::from_bytes(bytes).unwrap();
+        let back = reader.read().unwrap();
+        assert_eq!(back.case_count(), log.case_count());
+        assert_eq!(back.total_events(), log.total_events());
+        let orig_snap = log.snapshot();
+        let back_snap = back.snapshot();
+        for (a, b) in log.cases().iter().zip(back.cases()) {
+            assert_eq!(a.meta.rid, b.meta.rid);
+            assert_eq!(orig_snap.resolve(a.meta.cid), back_snap.resolve(b.meta.cid));
+            for (x, y) in a.events.iter().zip(&b.events) {
+                assert_eq!(x.pid, y.pid);
+                assert_eq!(x.start, y.start);
+                assert_eq!(x.dur, y.dur);
+                assert_eq!(x.size, y.size);
+                assert_eq!(x.requested, y.requested);
+                assert_eq!(x.offset, y.offset);
+                assert_eq!(x.ok, y.ok);
+                assert_eq!(orig_snap.resolve(x.path), back_snap.resolve(y.path));
+                match (x.call, y.call) {
+                    (Syscall::Other(sa), Syscall::Other(sb)) => {
+                        assert_eq!(orig_snap.resolve(sa), back_snap.resolve(sb))
+                    }
+                    (ca, cb) => assert_eq!(ca, cb),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symbol_identity_is_reproduced() {
+        // Because strings are re-interned in insertion order, raw symbol
+        // ids survive the round trip (logs can be compared without
+        // re-mapping).
+        let log = sample_log();
+        let back = StoreReader::from_bytes(to_bytes(&log).unwrap())
+            .unwrap()
+            .read()
+            .unwrap();
+        for (a, b) in log.cases().iter().zip(back.cases()) {
+            assert_eq!(a.meta.cid, b.meta.cid);
+            for (x, y) in a.events.iter().zip(&b.events) {
+                assert_eq!(x.path, y.path);
+            }
+        }
+    }
+
+    #[test]
+    fn filtered_read_prunes_events_and_cases() {
+        let log = sample_log();
+        let reader = StoreReader::from_bytes(to_bytes(&log).unwrap()).unwrap();
+        let filtered = reader.read_filtered("/usr/lib").unwrap();
+        assert_eq!(filtered.case_count(), 1);
+        assert_eq!(filtered.total_events(), 4); // the /missing openat drops
+        let none = reader.read_filtered("/nope").unwrap();
+        assert_eq!(none.case_count(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let log = sample_log();
+        let path = std::env::temp_dir().join(format!("st-store-{}.stlog", std::process::id()));
+        write_store(&log, &path).unwrap();
+        let back = StoreReader::open(&path).unwrap().read().unwrap();
+        assert_eq!(back.total_events(), log.total_events());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let err = StoreReader::from_bytes(Bytes::from_static(b"NOTSTLOG....")).unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic));
+        let err = StoreReader::from_bytes(Bytes::from_static(b"xx")).unwrap_err();
+        assert!(matches!(err, StoreError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let log = sample_log();
+        let mut bytes = to_bytes(&log).unwrap().to_vec();
+        bytes[8] = 0xEE;
+        let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, StoreError::BadVersion(_)));
+    }
+
+    #[test]
+    fn corrupted_strings_section_detected() {
+        let log = sample_log();
+        let mut bytes = to_bytes(&log).unwrap().to_vec();
+        // Flip a byte inside the strings section (right after the header).
+        bytes[16] ^= 0xFF;
+        let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn corrupted_cases_section_detected() {
+        let log = sample_log();
+        let bytes = to_bytes(&log).unwrap().to_vec();
+        let mut corrupted = bytes.clone();
+        let idx = corrupted.len() - 8; // inside cases body / its CRC
+        corrupted[idx] ^= 0x55;
+        let err = StoreReader::from_bytes(Bytes::from(corrupted)).unwrap_err();
+        assert!(
+            matches!(err, StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_file_detected() {
+        let log = sample_log();
+        let bytes = to_bytes(&log).unwrap();
+        for cut in [12, bytes.len() / 2, bytes.len() - 1] {
+            let err = StoreReader::from_bytes(bytes.slice(0..cut)).unwrap_err();
+            assert!(
+                matches!(err, StoreError::Corrupt(_) | StoreError::ChecksumMismatch { .. } | StoreError::BadMagic),
+                "cut={cut}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_log_roundtrip() {
+        let log = EventLog::with_new_interner();
+        let back = StoreReader::from_bytes(to_bytes(&log).unwrap())
+            .unwrap()
+            .read()
+            .unwrap();
+        assert!(back.is_empty());
+    }
+}

@@ -1,0 +1,126 @@
+//! LEB128 variable-length integers.
+//!
+//! Event attributes are small most of the time (delta-encoded timestamps,
+//! dense symbols, sub-megabyte sizes); LEB128 keeps the container compact
+//! without a compression dependency.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::StoreError;
+
+/// Appends `value` as LEB128.
+pub fn put_u64<B: BufMut>(buf: &mut B, mut value: u64) {
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.put_u8(byte);
+            return;
+        }
+        buf.put_u8(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 value, failing on truncation or overlong encodings.
+pub fn get_u64<B: Buf>(buf: &mut B) -> Result<u64, StoreError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        if !buf.has_remaining() {
+            return Err(StoreError::Corrupt("truncated varint".into()));
+        }
+        let byte = buf.get_u8();
+        if shift == 63 && byte > 1 {
+            return Err(StoreError::Corrupt("varint overflows u64".into()));
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(StoreError::Corrupt("varint too long".into()));
+        }
+    }
+}
+
+/// Encodes an `Option<u64>` with a +1 shift: `None` ↦ 0, `Some(v)` ↦ v+1.
+pub fn put_opt_u64<B: BufMut>(buf: &mut B, value: Option<u64>) {
+    match value {
+        None => put_u64(buf, 0),
+        Some(v) => put_u64(buf, v.checked_add(1).expect("option-shift overflow")),
+    }
+}
+
+/// Inverse of [`put_opt_u64`].
+pub fn get_opt_u64<B: Buf>(buf: &mut B) -> Result<Option<u64>, StoreError> {
+    let raw = get_u64(buf)?;
+    Ok(if raw == 0 { None } else { Some(raw - 1) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::BytesMut;
+
+    fn roundtrip(v: u64) -> u64 {
+        let mut buf = BytesMut::new();
+        put_u64(&mut buf, v);
+        let mut slice = buf.freeze();
+        get_u64(&mut slice).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_boundaries() {
+        for v in [0, 1, 127, 128, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            assert_eq!(roundtrip(v), v);
+        }
+    }
+
+    #[test]
+    fn single_byte_for_small_values() {
+        let mut buf = BytesMut::new();
+        put_u64(&mut buf, 127);
+        assert_eq!(buf.len(), 1);
+        put_u64(&mut buf, 128);
+        assert_eq!(buf.len(), 3);
+    }
+
+    #[test]
+    fn truncated_is_error() {
+        let mut buf = BytesMut::new();
+        put_u64(&mut buf, u64::MAX);
+        let bytes = buf.freeze();
+        let mut partial = bytes.slice(0..bytes.len() - 1);
+        assert!(get_u64(&mut partial).is_err());
+        let mut empty = bytes.slice(0..0);
+        assert!(get_u64(&mut empty).is_err());
+    }
+
+    #[test]
+    fn overlong_is_error() {
+        // Eleven continuation bytes can never be a valid u64.
+        let raw = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let mut buf = &raw[..];
+        assert!(get_u64(&mut buf).is_err());
+    }
+
+    #[test]
+    fn option_shift() {
+        let mut buf = BytesMut::new();
+        put_opt_u64(&mut buf, None);
+        put_opt_u64(&mut buf, Some(0));
+        put_opt_u64(&mut buf, Some(u64::MAX - 1));
+        let mut bytes = buf.freeze();
+        assert_eq!(get_opt_u64(&mut bytes).unwrap(), None);
+        assert_eq!(get_opt_u64(&mut bytes).unwrap(), Some(0));
+        assert_eq!(get_opt_u64(&mut bytes).unwrap(), Some(u64::MAX - 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "option-shift overflow")]
+    fn option_shift_rejects_max() {
+        let mut buf = BytesMut::new();
+        put_opt_u64(&mut buf, Some(u64::MAX));
+    }
+}

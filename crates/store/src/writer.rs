@@ -1,0 +1,176 @@
+//! Serializing an [`EventLog`] into the container format.
+
+use std::path::Path;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use st_model::{EventLog, Micros, Syscall};
+
+use crate::crc::crc32;
+use crate::error::StoreError;
+use crate::varint::{put_opt_u64, put_u64};
+
+/// Container magic.
+pub(crate) const MAGIC: &[u8; 8] = b"STLOG1\0\0";
+/// Current format version.
+pub(crate) const VERSION: u32 = 1;
+/// Call-column tag marking a [`Syscall::Other`] entry (followed by the
+/// interned-name symbol).
+pub(crate) const CALL_OTHER_TAG: u8 = 0xFF;
+
+/// Serializes `log` to bytes.
+///
+/// Cases are written in log order; events must already be start-sorted
+/// (they are delta-encoded). Unsorted cases are rejected rather than
+/// silently producing a corrupt delta stream.
+pub fn to_bytes(log: &EventLog) -> Result<Bytes, StoreError> {
+    for case in log.cases() {
+        if !case.is_sorted() {
+            return Err(StoreError::Corrupt(format!(
+                "case {} is not start-sorted; sort before storing",
+                case.meta.label(log.interner())
+            )));
+        }
+    }
+
+    let mut out = BytesMut::with_capacity(64 + log.total_events() * 8);
+    out.put_slice(MAGIC);
+    out.put_u32_le(VERSION);
+
+    // Strings section: the interner snapshot in insertion order, so
+    // symbol ids are reproduced exactly on read.
+    let snap = log.snapshot();
+    let mut strings = BytesMut::new();
+    put_u64(&mut strings, snap.len() as u64);
+    for idx in 0..snap.len() {
+        let s = snap.resolve(st_model::Symbol(idx as u32));
+        put_u64(&mut strings, s.len() as u64);
+        strings.put_slice(s.as_bytes());
+    }
+    put_section(&mut out, strings.freeze());
+
+    // Cases section: one columnar table per case.
+    let mut cases = BytesMut::new();
+    put_u64(&mut cases, log.case_count() as u64);
+    for case in log.cases() {
+        put_u64(&mut cases, case.meta.cid.0 as u64);
+        put_u64(&mut cases, case.meta.host.0 as u64);
+        put_u64(&mut cases, case.meta.rid as u64);
+        let n = case.events.len();
+        put_u64(&mut cases, n as u64);
+        // pid column
+        for e in &case.events {
+            put_u64(&mut cases, e.pid.0 as u64);
+        }
+        // call column
+        for e in &case.events {
+            match e.call {
+                Syscall::Other(sym) => {
+                    cases.put_u8(CALL_OTHER_TAG);
+                    put_u64(&mut cases, sym.0 as u64);
+                }
+                named => cases.put_u8(named.named_index().expect("named syscall")),
+            }
+        }
+        // start column, delta-encoded against the previous event
+        let mut prev = Micros::ZERO;
+        for e in &case.events {
+            put_u64(&mut cases, (e.start - prev).as_micros());
+            prev = e.start;
+        }
+        // dur column
+        for e in &case.events {
+            put_u64(&mut cases, e.dur.as_micros());
+        }
+        // path column
+        for e in &case.events {
+            put_u64(&mut cases, e.path.0 as u64);
+        }
+        // size / requested / offset columns (option-shifted)
+        for e in &case.events {
+            put_opt_u64(&mut cases, e.size);
+        }
+        for e in &case.events {
+            put_opt_u64(&mut cases, e.requested);
+        }
+        for e in &case.events {
+            put_opt_u64(&mut cases, e.offset);
+        }
+        // ok column
+        for e in &case.events {
+            cases.put_u8(u8::from(e.ok));
+        }
+    }
+    put_section(&mut out, cases.freeze());
+
+    Ok(out.freeze())
+}
+
+/// Writes `log` to `path`.
+pub fn write_store(log: &EventLog, path: &Path) -> Result<(), StoreError> {
+    let bytes = to_bytes(log)?;
+    std::fs::write(path, &bytes).map_err(|source| StoreError::Io {
+        path: path.to_path_buf(),
+        source,
+    })
+}
+
+/// Appends a length-prefixed, CRC-trailed section.
+fn put_section(out: &mut BytesMut, body: Bytes) {
+    put_u64(out, body.len() as u64);
+    out.put_slice(&body);
+    out.put_u32_le(crc32(&body));
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use st_model::{Case, CaseMeta, Event, Pid};
+    use std::sync::Arc;
+
+    pub(crate) fn sample_log() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("host1"),
+            rid: 9042,
+        };
+        let p = i.intern("/usr/lib/libc.so.6");
+        let events = vec![
+            Event::new(Pid(9054), Syscall::Openat, Micros(100), Micros(12), p),
+            Event::new(Pid(9054), Syscall::Read, Micros(200), Micros(203), p)
+                .with_size(832)
+                .with_requested(832),
+            Event::new(Pid(9054), Syscall::Other(i.intern("statx")), Micros(300), Micros(4), p),
+            Event::new(Pid(9054), Syscall::Pwrite64, Micros(400), Micros(300), p)
+                .with_size(1024)
+                .with_requested(1024)
+                .with_offset(4096),
+            Event::new(Pid(9054), Syscall::Openat, Micros(500), Micros(7),
+                i.intern("/missing")).failed(),
+        ];
+        log.push_case(Case::from_events(meta, events));
+        log
+    }
+
+    #[test]
+    fn serializes_with_magic_and_version() {
+        let bytes = to_bytes(&sample_log()).unwrap();
+        assert_eq!(&bytes[..8], MAGIC);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), VERSION);
+    }
+
+    #[test]
+    fn rejects_unsorted_case() {
+        let mut log = sample_log();
+        log.cases_mut()[0].events.reverse();
+        assert!(matches!(to_bytes(&log), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn empty_log_serializes() {
+        let log = EventLog::with_new_interner();
+        let bytes = to_bytes(&log).unwrap();
+        assert!(bytes.len() >= 12);
+    }
+}

@@ -1,0 +1,101 @@
+//! Errors and warnings produced while loading traces.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// A non-fatal oddity encountered while parsing a trace file.
+///
+/// The paper's methodology tolerates real-world trace noise (interrupted
+/// calls, kill -9'd processes whose `<unfinished ...>` never resumes);
+/// such records are skipped and reported rather than failing the load.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Warning {
+    /// A line that matched no known strace record shape.
+    UnparsableLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text (truncated).
+        text: String,
+    },
+    /// A `<... call resumed>` record with no outstanding unfinished call
+    /// for that pid.
+    OrphanResumed {
+        /// 1-based line number.
+        line: usize,
+        /// Process id on the record.
+        pid: u32,
+    },
+    /// An `<unfinished ...>` record that never resumed before EOF.
+    NeverResumed {
+        /// Process id on the record.
+        pid: u32,
+        /// Name of the call left dangling.
+        call: String,
+    },
+    /// A call interrupted with `ERESTARTSYS`, ignored per Sec. III.
+    Restarted {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for Warning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Warning::UnparsableLine { line, text } => {
+                write!(f, "line {line}: unparsable record: {text}")
+            }
+            Warning::OrphanResumed { line, pid } => {
+                write!(f, "line {line}: resumed record for pid {pid} without unfinished call")
+            }
+            Warning::NeverResumed { pid, call } => {
+                write!(f, "unfinished {call} for pid {pid} never resumed before EOF")
+            }
+            Warning::Restarted { line } => {
+                write!(f, "line {line}: ERESTARTSYS-interrupted call ignored")
+            }
+        }
+    }
+}
+
+/// Fatal errors while loading trace files.
+#[derive(Debug)]
+pub enum StraceError {
+    /// Filesystem error touching `path`.
+    Io {
+        /// File being read.
+        path: PathBuf,
+        /// Underlying error.
+        source: std::io::Error,
+    },
+    /// A trace-file name that does not follow the `<cid>_<host>_<rid>.st`
+    /// convention of Fig. 1 (only raised when the caller asked for strict
+    /// naming).
+    BadFileName {
+        /// The offending file name.
+        name: String,
+    },
+}
+
+impl fmt::Display for StraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StraceError::Io { path, source } => {
+                write!(f, "i/o error on {}: {source}", path.display())
+            }
+            StraceError::BadFileName { name } => write!(
+                f,
+                "trace file name {name:?} does not follow <cid>_<host>_<rid>.st"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StraceError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}

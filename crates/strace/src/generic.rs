@@ -1,0 +1,279 @@
+//! Instrumentation-agnostic event ingestion.
+//!
+//! The paper stresses that "the methodology by itself does not depend on
+//! strace and can be applied over data instrumented by one of the other
+//! existing tools" (Sec. II). This module defines a minimal,
+//! tool-neutral CSV interchange format carrying exactly the Eq. 1 event
+//! attributes, so converters from Darshan DXT, Recorder, OTF2 dumps or
+//! ad-hoc instrumentation can feed the pipeline without emitting strace
+//! text:
+//!
+//! ```csv
+//! cid,host,rid,pid,call,start_us,dur_us,path,size,requested,offset,ok
+//! a,host1,9042,9054,read,32154153994,203,/usr/lib/libc.so.6,832,832,,1
+//! ```
+//!
+//! * `start_us` is microseconds (any epoch, per-host clock);
+//! * empty `size`/`requested`/`offset` mean "not applicable";
+//! * `ok` is `1`/`0` (empty = `1`).
+//!
+//! Fields never contain commas except `path`, which may be quoted with
+//! doubled inner quotes (standard CSV).
+
+use std::sync::Arc;
+
+use st_model::{Case, CaseMeta, Event, EventLog, Interner, Micros, Pid, Syscall};
+
+/// Errors reading the generic CSV format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "csv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+const HEADER: &str = "cid,host,rid,pid,call,start_us,dur_us,path,size,requested,offset,ok";
+
+/// Serializes an event log to the interchange CSV.
+pub fn to_csv(log: &EventLog) -> String {
+    let snap = log.snapshot();
+    let mut out = String::from(HEADER);
+    out.push('\n');
+    for case in log.cases() {
+        let cid = snap.resolve(case.meta.cid);
+        let host = snap.resolve(case.meta.host);
+        for e in &case.events {
+            let call = match e.call {
+                Syscall::Other(sym) => snap.resolve(sym).to_string(),
+                named => named.static_name().unwrap_or("?").to_string(),
+            };
+            let path = snap.resolve(e.path);
+            let quoted_path = if path.contains(',') || path.contains('"') {
+                format!("\"{}\"", path.replace('"', "\"\""))
+            } else {
+                path.to_string()
+            };
+            out.push_str(&format!(
+                "{cid},{host},{},{},{call},{},{},{quoted_path},{},{},{},{}\n",
+                case.meta.rid,
+                e.pid.0,
+                e.start.as_micros(),
+                e.dur.as_micros(),
+                e.size.map(|v| v.to_string()).unwrap_or_default(),
+                e.requested.map(|v| v.to_string()).unwrap_or_default(),
+                e.offset.map(|v| v.to_string()).unwrap_or_default(),
+                u8::from(e.ok)
+            ));
+        }
+    }
+    out
+}
+
+/// Parses the interchange CSV into an event log. Events are grouped into
+/// cases by `(cid, host, rid)` in first-appearance order and sorted by
+/// start within each case.
+pub fn from_csv(text: &str, interner: Arc<Interner>) -> Result<EventLog, CsvError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, header)) if header.trim() == HEADER => {}
+        Some((_, header)) => {
+            return Err(CsvError {
+                line: 1,
+                message: format!("unexpected header {header:?}"),
+            })
+        }
+        None => {
+            return Err(CsvError { line: 1, message: "empty input".to_string() })
+        }
+    }
+
+    let mut log = EventLog::new(Arc::clone(&interner));
+    // (meta -> case index) in first-appearance order.
+    let mut index: std::collections::HashMap<CaseMeta, usize> = std::collections::HashMap::new();
+
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = split_csv(line).map_err(|message| CsvError { line: lineno, message })?;
+        if fields.len() != 12 {
+            return Err(CsvError {
+                line: lineno,
+                message: format!("expected 12 fields, got {}", fields.len()),
+            });
+        }
+        let parse_u64 = |s: &str, what: &str| -> Result<u64, CsvError> {
+            s.parse().map_err(|_| CsvError {
+                line: lineno,
+                message: format!("bad {what} {s:?}"),
+            })
+        };
+        let parse_opt = |s: &str, what: &str| -> Result<Option<u64>, CsvError> {
+            if s.is_empty() { Ok(None) } else { parse_u64(s, what).map(Some) }
+        };
+
+        let meta = CaseMeta {
+            cid: interner.intern(&fields[0]),
+            host: interner.intern(&fields[1]),
+            rid: parse_u64(&fields[2], "rid")? as u32,
+        };
+        let mut event = Event::new(
+            Pid(parse_u64(&fields[3], "pid")? as u32),
+            Syscall::from_name(&fields[4], &interner),
+            Micros(parse_u64(&fields[5], "start_us")?),
+            Micros(parse_u64(&fields[6], "dur_us")?),
+            interner.intern(&fields[7]),
+        );
+        event.size = parse_opt(&fields[8], "size")?;
+        event.requested = parse_opt(&fields[9], "requested")?;
+        event.offset = parse_opt(&fields[10], "offset")?;
+        event.ok = fields[11].is_empty() || fields[11] == "1";
+
+        let slot = *index.entry(meta).or_insert_with(|| {
+            log.push_case(Case::new(meta));
+            log.case_count() - 1
+        });
+        log.cases_mut()[slot].push(event);
+    }
+    log.sort_all();
+    Ok(log)
+}
+
+/// Splits one CSV line, honoring quoted fields with doubled quotes.
+fn split_csv(line: &str) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut field = String::new();
+    let mut chars = line.chars().peekable();
+    let mut in_quotes = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if !in_quotes && field.is_empty() => in_quotes = true,
+            '"' if in_quotes => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    field.push('"');
+                } else {
+                    in_quotes = false;
+                }
+            }
+            ',' if !in_quotes => {
+                fields.push(std::mem::take(&mut field));
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err("unterminated quoted field".to_string());
+    }
+    fields.push(field);
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("host1"), rid: 9042 };
+        let events = vec![
+            Event::new(Pid(9054), Syscall::Read, Micros(100), Micros(203), i.intern("/usr/lib/libc.so.6"))
+                .with_size(832)
+                .with_requested(832),
+            Event::new(Pid(9054), Syscall::Openat, Micros(300), Micros(7), i.intern("/weird,path/f"))
+                .failed(),
+            Event::new(Pid(9054), Syscall::Other(i.intern("statx")), Micros(400), Micros(3), i.intern("/x")),
+            Event::new(Pid(9054), Syscall::Pwrite64, Micros(500), Micros(30), i.intern("/x"))
+                .with_size(10)
+                .with_requested(10)
+                .with_offset(4096),
+        ];
+        log.push_case(Case::from_events(meta, events));
+        log
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let log = sample_log();
+        let csv = to_csv(&log);
+        let back = from_csv(&csv, Interner::new_shared()).unwrap();
+        assert_eq!(back.case_count(), 1);
+        assert_eq!(back.total_events(), 4);
+        let orig_snap = log.snapshot();
+        let back_snap = back.snapshot();
+        for (a, b) in log.cases()[0].events.iter().zip(&back.cases()[0].events) {
+            assert_eq!(a.pid, b.pid);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.dur, b.dur);
+            assert_eq!(a.size, b.size);
+            assert_eq!(a.requested, b.requested);
+            assert_eq!(a.offset, b.offset);
+            assert_eq!(a.ok, b.ok);
+            assert_eq!(orig_snap.resolve(a.path), back_snap.resolve(b.path));
+        }
+        // Unknown syscall survives by name.
+        match back.cases()[0].events[2].call {
+            Syscall::Other(sym) => assert_eq!(back_snap.resolve(sym), "statx"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn commas_in_paths_are_quoted() {
+        let log = sample_log();
+        let csv = to_csv(&log);
+        assert!(csv.contains("\"/weird,path/f\""), "{csv}");
+        let back = from_csv(&csv, Interner::new_shared()).unwrap();
+        let snap = back.snapshot();
+        assert_eq!(snap.resolve(back.cases()[0].events[1].path), "/weird,path/f");
+    }
+
+    #[test]
+    fn groups_cases_and_sorts_events() {
+        let csv = format!(
+            "{HEADER}\n\
+             a,h,1,10,read,500,1,/x,1,,,1\n\
+             b,h,2,20,read,100,1,/y,1,,,1\n\
+             a,h,1,10,read,100,1,/x,1,,,1\n"
+        );
+        let back = from_csv(&csv, Interner::new_shared()).unwrap();
+        assert_eq!(back.case_count(), 2);
+        assert_eq!(back.cases()[0].events.len(), 2);
+        assert!(back.cases()[0].is_sorted());
+        back.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        let i = Interner::new_shared();
+        assert!(from_csv("", Arc::clone(&i)).is_err());
+        assert!(from_csv("wrong,header\n", Arc::clone(&i)).is_err());
+        let missing = format!("{HEADER}\na,h,1,10,read,500\n");
+        let err = from_csv(&missing, Arc::clone(&i)).unwrap_err();
+        assert_eq!(err.line, 2);
+        let bad_num = format!("{HEADER}\na,h,xx,10,read,500,1,/x,1,,,1\n");
+        assert!(from_csv(&bad_num, Arc::clone(&i)).is_err());
+        let unterminated = format!("{HEADER}\na,h,1,10,read,500,1,\"/x,1,,,1\n");
+        assert!(from_csv(&unterminated, Arc::clone(&i)).is_err());
+    }
+
+    #[test]
+    fn blank_lines_and_default_ok() {
+        let csv = format!("{HEADER}\n\na,h,1,10,read,1,1,/x,,,,\n");
+        let back = from_csv(&csv, Interner::new_shared()).unwrap();
+        assert_eq!(back.total_events(), 1);
+        assert!(back.cases()[0].events[0].ok);
+        assert_eq!(back.cases()[0].events[0].size, None);
+    }
+}

@@ -1,0 +1,49 @@
+//! # st-strace — parser and writer for `strace` trace files
+//!
+//! The paper (Sec. III) records system-call traces with
+//!
+//! ```text
+//! srun -n 3 strace -o a_$(hostname)_$$.st -f -e read,write -tt -T -y ls
+//! ```
+//!
+//! producing one text file per MPI process. This crate turns those files
+//! back into the [`st_model`] event model:
+//!
+//! * [`record`] — classification and parsing of a *single* trace line
+//!   (complete call, `<unfinished ...>`, `<... resumed>`, signal stop,
+//!   exit marker);
+//! * [`scan`] — the low-level argument tokenizer that respects quoted
+//!   strings, `fd<path>` annotations, struct/array braces and truncation
+//!   ellipses;
+//! * [`parser`] — whole-file assembly: merging unfinished/resumed pairs
+//!   by pid (Fig. 2c), dropping `ERESTARTSYS`-interrupted calls, sorting
+//!   by start timestamp;
+//! * [`loader`] — loading a directory of `<cid>_<host>_<rid>.st` files
+//!   (optionally in parallel across files) into one [`st_model::EventLog`];
+//! * [`writer`] — the inverse: emitting events as authentic strace text,
+//!   used by the simulator substrate and by round-trip property tests.
+//!
+//! [`generic`] additionally defines a tool-neutral CSV interchange
+//! format, since "the methodology by itself does not depend on strace"
+//! (Sec. II) — converters from Darshan/Recorder/OTF2 can target it.
+//!
+//! The parser is tolerant by design: unknown syscalls are kept (interned
+//! name), unparsable lines are surfaced as [`Warning`]s instead of
+//! aborting the load, matching how the paper treats real-world traces.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod generic;
+pub mod loader;
+pub mod parser;
+pub mod record;
+pub mod scan;
+pub mod writer;
+
+pub use error::{StraceError, Warning};
+pub use generic::{from_csv, to_csv, CsvError};
+pub use loader::{load_dir, load_files, LoadOptions};
+pub use parser::{parse_reader, parse_str, ParsedTrace};
+pub use record::{Line, ParsedCall, ReturnValue};
+pub use writer::{write_case, write_log_to_dir, WriteOptions};

@@ -1,0 +1,413 @@
+//! Whole-file trace parsing: turning a stream of strace lines into the
+//! sorted event sequence of one case (Sec. III).
+
+use std::io::BufRead;
+
+use st_model::{Event, Interner, Micros, Pid, Syscall};
+
+use crate::error::Warning;
+use crate::record::{parse_line, Line, ParsedCall};
+use crate::scan;
+
+/// The result of parsing one trace file.
+#[derive(Debug)]
+pub struct ParsedTrace {
+    /// Events sorted by start timestamp (Eq. 2).
+    pub events: Vec<Event>,
+    /// Non-fatal oddities encountered.
+    pub warnings: Vec<Warning>,
+}
+
+/// An `<unfinished ...>` record waiting for its `resumed` counterpart.
+#[derive(Debug)]
+struct Pending {
+    name: String,
+    start: Micros,
+    args: Vec<String>,
+}
+
+/// Parses a whole trace file held in memory.
+pub fn parse_str(text: &str, interner: &Interner) -> ParsedTrace {
+    let mut state = AssemblyState::default();
+    for (idx, line) in text.lines().enumerate() {
+        state.feed(idx + 1, line, interner);
+    }
+    state.finish(interner)
+}
+
+/// Parses a trace file from a buffered reader (line-at-a-time, constant
+/// memory).
+pub fn parse_reader<R: BufRead>(reader: &mut R, interner: &Interner) -> std::io::Result<ParsedTrace> {
+    let mut state = AssemblyState::default();
+    let mut buf = String::new();
+    let mut lineno = 0usize;
+    loop {
+        buf.clear();
+        if reader.read_line(&mut buf)? == 0 {
+            break;
+        }
+        lineno += 1;
+        state.feed(lineno, buf.trim_end_matches(['\n', '\r']), interner);
+    }
+    Ok(state.finish(interner))
+}
+
+#[derive(Default)]
+struct AssemblyState {
+    events: Vec<Event>,
+    warnings: Vec<Warning>,
+    /// Outstanding unfinished calls, keyed by pid (0 when traced without
+    /// `-f`). A pid can have several outstanding calls only in exotic
+    /// traces; matching is FIFO per (pid, name), which is how strace
+    /// emits them.
+    pending: std::collections::HashMap<u32, Vec<Pending>>,
+}
+
+impl AssemblyState {
+    fn feed(&mut self, lineno: usize, line: &str, interner: &Interner) {
+        match parse_line(line) {
+            Some(Line::Empty) | Some(Line::Signal) | Some(Line::Exit { .. }) => {}
+            Some(Line::Restarted) => {
+                self.warnings.push(Warning::Restarted { line: lineno });
+            }
+            Some(Line::Unfinished { pid, start, name, args }) => {
+                self.pending.entry(pid.unwrap_or(0)).or_default().push(Pending {
+                    name: name.to_string(),
+                    start,
+                    args: args.iter().map(|s| s.to_string()).collect(),
+                });
+            }
+            Some(Line::Resumed { pid, name, args, ret, dur, .. }) => {
+                let pid_key = pid.unwrap_or(0);
+                let matched = self
+                    .pending
+                    .get_mut(&pid_key)
+                    .and_then(|v| {
+                        let idx = v.iter().position(|p| p.name == name)?;
+                        Some(v.remove(idx))
+                    });
+                match matched {
+                    Some(pending) => {
+                        // Merge: prefix args from the unfinished record,
+                        // suffix args plus return info from the resumed one
+                        // (Sec. III: duration and transfer size live on the
+                        // resumed record).
+                        let mut merged: Vec<&str> =
+                            pending.args.iter().map(|s| s.as_str()).collect();
+                        merged.extend(args.iter().copied());
+                        let call = ParsedCall {
+                            pid,
+                            start: pending.start,
+                            name,
+                            args: merged,
+                            ret,
+                            dur,
+                        };
+                        if let Some(ev) = call_to_event(&call, interner) {
+                            self.events.push(ev);
+                        }
+                    }
+                    None => self.warnings.push(Warning::OrphanResumed {
+                        line: lineno,
+                        pid: pid_key,
+                    }),
+                }
+            }
+            Some(Line::Call(call)) => {
+                if let Some(ev) = call_to_event(&call, interner) {
+                    self.events.push(ev);
+                }
+            }
+            None => self.warnings.push(Warning::UnparsableLine {
+                line: lineno,
+                text: truncate(line, 160),
+            }),
+        }
+    }
+
+    fn finish(mut self, _interner: &Interner) -> ParsedTrace {
+        for (pid, pendings) in self.pending.drain() {
+            for p in pendings {
+                self.warnings.push(Warning::NeverResumed { pid, call: p.name });
+            }
+        }
+        // strace emits records in completion order; merged unfinished
+        // records re-enter at their *start* time, so re-sort (stable).
+        self.events.sort_by_key(|e| e.start);
+        ParsedTrace {
+            events: self.events,
+            warnings: self.warnings,
+        }
+    }
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        let mut end = max;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+/// Converts a complete (or merged) call record into an [`Event`].
+///
+/// Returns `None` only for records that carry no usable timestamp
+/// semantics (currently never — unknown calls are kept with interned
+/// names so arbitrary `-e` selections survive).
+fn call_to_event(call: &ParsedCall<'_>, interner: &Interner) -> Option<Event> {
+    let syscall = Syscall::from_name(call.name, interner);
+    let ok = !call.ret.is_error();
+
+    // File-path resolution (Sec. III item 5): `-y` annotates fd arguments
+    // with paths; for open/openat the path is the quoted argument, and on
+    // success also annotates the returned descriptor.
+    let path: &str = if syscall.is_open_like() {
+        call.ret
+            .annotation_path()
+            .or_else(|| {
+                let arg_idx = if syscall == Syscall::Openat { 1 } else { 0 };
+                call.args.get(arg_idx).and_then(|a| scan::quoted_contents(a))
+            })
+            .unwrap_or("")
+    } else {
+        // `-y` annotates whichever argument is a descriptor — the first
+        // for read/write/lseek, the fifth for mmap, both for dup3; take
+        // the first annotated one.
+        call.args
+            .iter()
+            .find_map(|a| scan::fd_annotation_path(a))
+            .or_else(|| call.ret.annotation_path())
+            .unwrap_or("")
+    };
+
+    // Transfer size (Sec. III item 6): return value, read/write variants
+    // only.
+    let size = if syscall.transfers_data() && ok {
+        call.ret.value().filter(|v| *v >= 0).map(|v| v as u64)
+    } else {
+        None
+    };
+
+    // Requested bytes: the count argument. For `p{read,write}64` the
+    // count is the second-to-last argument (the last is the offset); for
+    // vectored I/O the argument is an iovec count, not bytes, so it is
+    // not a byte request.
+    let requested = match syscall {
+        Syscall::Read | Syscall::Write => {
+            call.args.last().and_then(|a| scan::numeric_arg(a))
+        }
+        Syscall::Pread64 | Syscall::Pwrite64 => {
+            let n = call.args.len();
+            call.args.get(n.wrapping_sub(2)).and_then(|a| scan::numeric_arg(a))
+        }
+        _ => None,
+    };
+
+    // Offset, for calls that carry one.
+    let offset = match syscall {
+        Syscall::Lseek => {
+            if ok {
+                call.ret.value().filter(|v| *v >= 0).map(|v| v as u64)
+            } else {
+                call.args.get(1).and_then(|a| scan::numeric_arg(a))
+            }
+        }
+        Syscall::Pread64 | Syscall::Pwrite64 => {
+            call.args.last().and_then(|a| scan::numeric_arg(a))
+        }
+        _ => None,
+    };
+
+    let mut event = Event::new(
+        Pid(call.pid.unwrap_or(0)),
+        syscall,
+        call.start,
+        call.dur.unwrap_or(Micros::ZERO),
+        interner.intern(path),
+    );
+    event.size = size;
+    event.requested = requested;
+    event.offset = offset;
+    event.ok = ok;
+    Some(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIG2A: &str = "\
+9054  08:55:54.153994 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, \"...\", 832) = 832 <0.000203>
+9054  08:55:54.156640 read(3</usr/lib/x86_64-linux-gnu/libc.so.6>, \"...\", 832) = 832 <0.000079>
+9054  08:55:54.159294 read(3</usr/lib/x86_64-linux-gnu/libpcre2-8.so.0.10.4>, \"...\", 832) = 832 <0.000087>
+9054  08:55:54.162874 read(3</proc/filesystems>, \"...\", 1024) = 478 <0.000052>
+9054  08:55:54.163049 read(3</proc/filesystems>, \"\", 1024) = 0 <0.000040>
+9054  08:55:54.163560 read(3</etc/locale.alias>, \"...\", 4096) = 2996 <0.000041>
+9054  08:55:54.163679 read(3</etc/locale.alias>, \"\", 4096) = 0 <0.000044>
+9054  08:55:54.176260 write(1</dev/pts/7>, \"...\", 50) = 50 <0.000111>
+";
+
+    #[test]
+    fn parses_fig2a_trace() {
+        let i = Interner::new();
+        let parsed = parse_str(FIG2A, &i);
+        assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+        assert_eq!(parsed.events.len(), 8);
+        let snap = i.snapshot();
+        let paths: Vec<&str> = parsed.events.iter().map(|e| snap.resolve(e.path)).collect();
+        assert_eq!(paths[0], "/usr/lib/x86_64-linux-gnu/libselinux.so.1");
+        assert_eq!(paths[7], "/dev/pts/7");
+        assert_eq!(parsed.events[0].size, Some(832));
+        assert_eq!(parsed.events[0].requested, Some(832));
+        assert_eq!(parsed.events[3].size, Some(478));
+        assert_eq!(parsed.events[3].requested, Some(1024));
+        assert_eq!(parsed.events[4].size, Some(0));
+        assert_eq!(parsed.events[7].call, Syscall::Write);
+        assert!(parsed.events.windows(2).all(|w| w[0].start <= w[1].start));
+        // Total transferred matches the figure: 3x832 + 478 + 0 + 2996 + 0 + 50.
+        let total: u64 = parsed.events.iter().filter_map(|e| e.size).sum();
+        assert_eq!(total, 3 * 832 + 478 + 2996 + 50);
+    }
+
+    #[test]
+    fn merges_unfinished_resumed_pair() {
+        // Fig. 2c: the unfinished read resumes 229 us later.
+        let text = "\
+77423  16:56:40.452431 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, <unfinished ...>
+77424  16:56:40.452500 read(4</etc/passwd>, \"...\", 100) = 100 <0.000020>
+77423  16:56:40.452660 <... read resumed> \"...\", 405) = 404 <0.000223>
+";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
+        assert_eq!(parsed.events.len(), 2);
+        // The merged event starts at the unfinished timestamp...
+        let merged = parsed.events.iter().find(|e| e.pid == Pid(77423)).unwrap();
+        assert_eq!(merged.start, Micros::parse_time_of_day("16:56:40.452431").unwrap());
+        // ...and takes duration/size from the resumed record.
+        assert_eq!(merged.dur, Micros(223));
+        assert_eq!(merged.size, Some(404));
+        assert_eq!(merged.requested, Some(405));
+        let snap = i.snapshot();
+        assert_eq!(snap.resolve(merged.path), "/usr/lib/x86_64-linux-gnu/libselinux.so.1");
+        // Events re-sorted by start: merged comes first.
+        assert_eq!(parsed.events[0].pid, Pid(77423));
+    }
+
+    #[test]
+    fn orphan_resumed_is_a_warning() {
+        let text = "9  08:00:00.000002 <... read resumed> \"...\", 10) = 10 <0.000001>\n";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert!(parsed.events.is_empty());
+        assert_eq!(parsed.warnings, vec![Warning::OrphanResumed { line: 1, pid: 9 }]);
+    }
+
+    #[test]
+    fn never_resumed_is_a_warning() {
+        let text = "9  08:00:00.000002 read(3</x>, <unfinished ...>\n";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert!(parsed.events.is_empty());
+        assert_eq!(
+            parsed.warnings,
+            vec![Warning::NeverResumed { pid: 9, call: "read".into() }]
+        );
+    }
+
+    #[test]
+    fn erestartsys_records_are_dropped_with_warning() {
+        let text = "9  08:00:00.000002 read(3</x>, \"\", 10) = ? ERESTARTSYS (To be restarted)\n\
+9  08:00:00.000005 read(3</x>, \"\", 10) = 0 <0.000001>\n";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert_eq!(parsed.events.len(), 1);
+        assert_eq!(parsed.warnings, vec![Warning::Restarted { line: 1 }]);
+    }
+
+    #[test]
+    fn garbage_lines_become_warnings() {
+        let text = "complete garbage\n9  08:00:00.000005 read(3</x>, \"\", 10) = 0 <0.000001>\n";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert_eq!(parsed.events.len(), 1);
+        assert!(matches!(parsed.warnings[0], Warning::UnparsableLine { line: 1, .. }));
+    }
+
+    #[test]
+    fn openat_success_and_failure_paths() {
+        let text = "\
+9 08:00:00.000001 openat(AT_FDCWD, \"/opt/sw/lib/libfoo.so\", O_RDONLY|O_CLOEXEC) = -1 ENOENT (No such file or directory) <0.000006>
+9 08:00:00.000010 openat(AT_FDCWD, \"/usr/lib/libfoo.so\", O_RDONLY|O_CLOEXEC) = 3</usr/lib/libfoo.so> <0.000014>
+";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert_eq!(parsed.events.len(), 2);
+        let snap = i.snapshot();
+        assert_eq!(snap.resolve(parsed.events[0].path), "/opt/sw/lib/libfoo.so");
+        assert!(!parsed.events[0].ok);
+        assert_eq!(parsed.events[0].size, None);
+        assert_eq!(snap.resolve(parsed.events[1].path), "/usr/lib/libfoo.so");
+        assert!(parsed.events[1].ok);
+        assert_eq!(parsed.events[1].size, None); // openat is not a transfer
+    }
+
+    #[test]
+    fn lseek_offset_and_pwrite_offset() {
+        let text = "\
+9 08:00:00.000001 lseek(3</scratch/t>, 16777216, SEEK_SET) = 16777216 <0.000002>
+9 08:00:00.000010 pwrite64(3</scratch/t>, \"...\"..., 1048576, 33554432) = 1048576 <0.000300>
+";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert_eq!(parsed.events[0].offset, Some(16777216));
+        assert_eq!(parsed.events[0].size, None);
+        assert_eq!(parsed.events[1].offset, Some(33554432));
+        assert_eq!(parsed.events[1].requested, Some(1048576));
+        assert_eq!(parsed.events[1].size, Some(1048576));
+    }
+
+    #[test]
+    fn exit_and_signal_lines_are_skipped_silently() {
+        let text = "\
+9 08:00:00.000001 read(3</x>, \"\", 10) = 0 <0.000001>
+9 08:00:00.000002 --- SIGCHLD {si_signo=SIGCHLD} ---
+9 08:00:00.000003 +++ exited with 0 +++
+";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert_eq!(parsed.events.len(), 1);
+        assert!(parsed.warnings.is_empty());
+    }
+
+    #[test]
+    fn reader_api_matches_str_api() {
+        let i1 = Interner::new();
+        let i2 = Interner::new();
+        let from_str = parse_str(FIG2A, &i1);
+        let mut cursor = std::io::Cursor::new(FIG2A.as_bytes());
+        let from_reader = parse_reader(&mut cursor, &i2).unwrap();
+        assert_eq!(from_str.events.len(), from_reader.events.len());
+        for (a, b) in from_str.events.iter().zip(&from_reader.events) {
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.size, b.size);
+            assert_eq!(i1.snapshot().resolve(a.path), i2.snapshot().resolve(b.path));
+        }
+    }
+
+    #[test]
+    fn unknown_syscalls_are_kept() {
+        let text = "9 08:00:00.000001 statx(AT_FDCWD, \"/x\", 0, STATX_ALL, {stx_mask=4095}) = 0 <0.000002>\n";
+        let i = Interner::new();
+        let parsed = parse_str(text, &i);
+        assert_eq!(parsed.events.len(), 1);
+        match parsed.events[0].call {
+            Syscall::Other(sym) => assert_eq!(&*i.resolve(sym), "statx"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

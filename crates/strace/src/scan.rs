@@ -1,0 +1,272 @@
+//! Low-level tokenizer for strace call argument lists.
+//!
+//! strace argument lists are almost-but-not-quite CSV: commas separate
+//! top-level arguments, but commas also appear inside
+//!
+//! * quoted buffers `"fo,o"` (with `\"` escapes and a `...` truncation
+//!   marker after the closing quote),
+//! * fd annotations produced by `-y`: `3</usr/lib/libc.so.6>` or
+//!   `4<socket:[1234]>`,
+//! * struct arguments `{st_mode=S_IFREG|0644, st_size=512, ...}`,
+//! * array arguments `[{iov_base=..., iov_len=832}]`.
+//!
+//! [`split_args`] walks the byte string once, tracking those contexts, and
+//! returns top-level argument slices plus whether the list ended with the
+//! `<unfinished ...>` marker instead of a closing parenthesis.
+
+/// Result of scanning an argument list.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ScannedArgs<'a> {
+    /// Top-level argument slices, trimmed.
+    pub args: Vec<&'a str>,
+    /// Byte offset just *after* the closing `)` (meaningless when
+    /// `unfinished`).
+    pub after: usize,
+    /// The list ended with `<unfinished ...>` — no closing paren, no
+    /// return value on this line.
+    pub unfinished: bool,
+}
+
+/// Splits the argument list starting right after the opening parenthesis.
+///
+/// `input` is the full line; `start` is the byte index one past `(`.
+/// Returns `None` when the text ends before the argument list is closed
+/// (malformed record).
+pub fn split_args(input: &str, start: usize) -> Option<ScannedArgs<'_>> {
+    let bytes = input.as_bytes();
+    let mut args = Vec::new();
+    let mut pos = start;
+    let mut arg_start = start;
+    let mut depth = 0usize; // nesting inside {} []
+    let unfinished_marker = b"<unfinished ...>";
+
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'"' => {
+                pos = skip_quoted(bytes, pos)?;
+                // Truncation ellipsis directly after the closing quote.
+                while pos < bytes.len() && bytes[pos] == b'.' {
+                    pos += 1;
+                }
+            }
+            b'{' | b'[' => {
+                depth += 1;
+                pos += 1;
+            }
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                pos += 1;
+            }
+            b'<' => {
+                if bytes[pos..].starts_with(unfinished_marker) {
+                    // `read(3</path>, <unfinished ...>`
+                    let arg = input[arg_start..pos].trim();
+                    if !arg.is_empty() {
+                        args.push(arg);
+                    }
+                    return Some(ScannedArgs {
+                        args,
+                        after: bytes.len(),
+                        unfinished: true,
+                    });
+                }
+                // fd annotation `3</path>` or a dup2-style `<...>`:
+                // skip to the closing `>`.
+                pos = skip_angle(bytes, pos)?;
+            }
+            b',' if depth == 0 => {
+                let arg = input[arg_start..pos].trim();
+                if !arg.is_empty() {
+                    args.push(arg);
+                }
+                pos += 1;
+                arg_start = pos;
+            }
+            b')' if depth == 0 => {
+                let arg = input[arg_start..pos].trim();
+                if !arg.is_empty() {
+                    args.push(arg);
+                }
+                return Some(ScannedArgs {
+                    args,
+                    after: pos + 1,
+                    unfinished: false,
+                });
+            }
+            _ => pos += 1,
+        }
+    }
+    None
+}
+
+/// Skips a quoted string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_quoted(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut pos = open + 1;
+    while pos < bytes.len() {
+        match bytes[pos] {
+            b'\\' => pos += 2,
+            b'"' => return Some(pos + 1),
+            _ => pos += 1,
+        }
+    }
+    None
+}
+
+/// Skips a `<...>` annotation starting at `<`; returns one past `>`.
+fn skip_angle(bytes: &[u8], open: usize) -> Option<usize> {
+    let mut pos = open + 1;
+    while pos < bytes.len() {
+        if bytes[pos] == b'>' {
+            return Some(pos + 1);
+        }
+        pos += 1;
+    }
+    None
+}
+
+/// Extracts the path from an fd annotation argument `3</usr/lib/x.so>`,
+/// or a bare annotated return token. Returns `None` when the argument is
+/// not fd-annotated or annotates a non-path object (`socket:[..]`,
+/// `pipe:[..]`, `anon_inode:..`).
+pub fn fd_annotation_path(arg: &str) -> Option<&str> {
+    let open = arg.find('<')?;
+    // Leading token must be a plain fd number.
+    let fd = &arg[..open];
+    if fd.is_empty() || !fd.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    let close = arg.rfind('>')?;
+    if close <= open {
+        return None;
+    }
+    let path = &arg[open + 1..close];
+    if path.starts_with("socket:") || path.starts_with("pipe:") || path.starts_with("anon_inode:")
+    {
+        return None;
+    }
+    Some(path)
+}
+
+/// Extracts the contents of a quoted-string argument (`"/etc/passwd"` →
+/// `/etc/passwd`), un-escaping nothing — paths in openat arguments do not
+/// need unescaping for substring queries. Returns `None` for non-quoted
+/// arguments.
+pub fn quoted_contents(arg: &str) -> Option<&str> {
+    let rest = arg.strip_prefix('"')?;
+    let end = {
+        // Find the closing quote, honoring escapes.
+        let bytes = rest.as_bytes();
+        let mut pos = 0;
+        loop {
+            match bytes.get(pos)? {
+                b'\\' => pos += 2,
+                b'"' => break pos,
+                _ => pos += 1,
+            }
+        }
+    };
+    Some(&rest[..end])
+}
+
+/// Parses a decimal unsigned integer argument (`1024`), tolerating
+/// nothing else.
+pub fn numeric_arg(arg: &str) -> Option<u64> {
+    if arg.is_empty() || !arg.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    arg.parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(line: &str) -> ScannedArgs<'_> {
+        let open = line.find('(').unwrap();
+        split_args(line, open + 1).unwrap()
+    }
+
+    #[test]
+    fn splits_simple_read() {
+        let s = scan(r#"read(3</usr/lib/x.so.1>, "..."..., 832) = 832"#);
+        // The truncation ellipsis stays attached to the buffer argument.
+        assert_eq!(s.args, vec!["3</usr/lib/x.so.1>", r#""..."..."#, "832"]);
+        assert!(!s.unfinished);
+    }
+
+    #[test]
+    fn quoted_commas_do_not_split() {
+        let s = scan(r#"write(1</dev/pts/7>, "a,b\"c,d", 7) = 7"#);
+        assert_eq!(s.args.len(), 3);
+        assert_eq!(s.args[1], r#""a,b\"c,d""#);
+    }
+
+    #[test]
+    fn empty_buffer_eof_read() {
+        // Fig. 2a: read(3</proc/filesystems>, "", 1024) = 0
+        let s = scan(r#"read(3</proc/filesystems>, "", 1024) = 0"#);
+        assert_eq!(s.args, vec!["3</proc/filesystems>", r#""""#, "1024"]);
+    }
+
+    #[test]
+    fn struct_and_array_args() {
+        let s = scan(r#"openat(AT_FDCWD, "/etc/ld.so.cache", O_RDONLY|O_CLOEXEC) = 3"#);
+        assert_eq!(s.args.len(), 3);
+        let s = scan(r#"fstat(3</x>, {st_mode=S_IFREG|0644, st_size=14, ...}) = 0"#);
+        assert_eq!(s.args.len(), 2);
+        let s = scan(r#"writev(4</y>, [{iov_base="a", iov_len=1}, {iov_base="b", iov_len=1}], 2) = 2"#);
+        assert_eq!(s.args.len(), 3);
+    }
+
+    #[test]
+    fn unfinished_marker_detected() {
+        // Fig. 2c first line.
+        let line = r#"read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, <unfinished ...>"#;
+        let s = scan(line);
+        assert!(s.unfinished);
+        assert_eq!(s.args, vec!["3</usr/lib/x86_64-linux-gnu/libselinux.so.1>"]);
+    }
+
+    #[test]
+    fn paths_with_commas_inside_annotation() {
+        let s = scan(r#"read(3</data/weird,name.txt>, "", 10) = 0"#);
+        assert_eq!(s.args[0], "3</data/weird,name.txt>");
+    }
+
+    #[test]
+    fn unterminated_list_is_none() {
+        assert!(split_args(r#"read(3</x>, "#, 5).is_none());
+        assert!(split_args(r#"read("unterminated"#, 5).is_none());
+    }
+
+    #[test]
+    fn fd_annotation_paths() {
+        assert_eq!(fd_annotation_path("3</usr/lib/libc.so.6>"), Some("/usr/lib/libc.so.6"));
+        assert_eq!(fd_annotation_path("10</tmp/a b>"), Some("/tmp/a b"));
+        assert_eq!(fd_annotation_path("3<socket:[1234]>"), None);
+        assert_eq!(fd_annotation_path("3<pipe:[99]>"), None);
+        assert_eq!(fd_annotation_path("3<anon_inode:[eventfd]>"), None);
+        assert_eq!(fd_annotation_path("AT_FDCWD"), None);
+        assert_eq!(fd_annotation_path("832"), None);
+        assert_eq!(fd_annotation_path(r#""/etc/passwd""#), None);
+    }
+
+    #[test]
+    fn quoted_contents_extraction() {
+        assert_eq!(quoted_contents(r#""/etc/passwd""#), Some("/etc/passwd"));
+        assert_eq!(quoted_contents(r#""""#), Some(""));
+        assert_eq!(quoted_contents(r#""a\"b""#), Some(r#"a\"b"#));
+        assert_eq!(quoted_contents("832"), None);
+        assert_eq!(quoted_contents(r#""unterminated"#), None);
+    }
+
+    #[test]
+    fn numeric_args() {
+        assert_eq!(numeric_arg("1024"), Some(1024));
+        assert_eq!(numeric_arg("0"), Some(0));
+        assert_eq!(numeric_arg("-1"), None);
+        assert_eq!(numeric_arg("O_RDONLY"), None);
+        assert_eq!(numeric_arg(""), None);
+    }
+}

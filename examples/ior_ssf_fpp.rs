@@ -1,0 +1,60 @@
+//! Sec. V-A: single shared file vs file per process (Fig. 8a / 8b).
+//!
+//! Runs the simulated IOR benchmark in both modes
+//! (`-t 1m -b 16m -s 3 -w -r -C -e [-F]`), synthesizes the site-mapped
+//! DFG over all events (Fig. 8a), then re-filters to `$SCRATCH`
+//! (Fig. 8b) to expose the SSF contention.
+//!
+//! ```text
+//! cargo run --release --example ior_ssf_fpp [-- --paper]
+//! ```
+
+use st_bench::experiments::{ior_ssf_fpp, site_mapping, Scale};
+use st_inspector::prelude::*;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--paper") {
+        Scale::Paper
+    } else {
+        Scale::Small
+    };
+    let config = scale.config();
+    println!(
+        "running IOR SSF + FPP on {} ranks across {} hosts ...",
+        config.total_ranks(),
+        config.hosts.len()
+    );
+    let log = ior_ssf_fpp(scale);
+    println!("combined log: {} cases, {} events", log.case_count(), log.total_events());
+
+    // Fig. 8a: everything, site-variable abstraction.
+    let mapping_a = site_mapping(&config, 0);
+    let mapped_a = MappedLog::new(&log, &mapping_a);
+    let stats_a = IoStatistics::compute(&mapped_a);
+    let dfg_a = Dfg::from_mapped(&mapped_a);
+    println!("\nFig. 8a (all events):\n{}", render_summary(&dfg_a, Some(&stats_a)));
+
+    // Fig. 8b: knowing $SCRATCH dominates, filter and re-map one level
+    // deeper to split /ssf from /fpp.
+    let scratch_only = log.filter_path_contains(&config.paths.scratch);
+    let mapping_b = site_mapping(&config, 1);
+    let mapped_b = MappedLog::new(&scratch_only, &mapping_b);
+    let stats_b = IoStatistics::compute(&mapped_b);
+    let dfg_b = Dfg::from_mapped(&mapped_b);
+    println!("Fig. 8b ($SCRATCH only):\n{}", render_summary(&dfg_b, Some(&stats_b)));
+
+    let dot = DfgViewer::new(&dfg_b)
+        .with_stats(&stats_b)
+        .with_styler(StatisticsColoring::by_load(&stats_b))
+        .render_dot();
+    std::fs::write("ior_ssf_fpp.dot", &dot).expect("write dot");
+    println!("wrote ior_ssf_fpp.dot");
+
+    // The paper's conclusion, as numbers.
+    let load = |n: &str| stats_b.get_by_name(n).map(|s| s.rel_dur).unwrap_or(0.0);
+    println!(
+        "contention signal: Load(openat ssf)/Load(openat fpp) = {:.1}, Load(write ssf)/Load(write fpp) = {:.1}",
+        load("openat:$SCRATCH/ssf") / load("openat:$SCRATCH/fpp").max(1e-9),
+        load("write:$SCRATCH/ssf") / load("write:$SCRATCH/fpp").max(1e-9),
+    );
+}

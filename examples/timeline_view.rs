@@ -1,0 +1,31 @@
+//! Fig. 5: the per-case timeline of one activity.
+//!
+//! Plots `t_f("read:/usr/lib", C_b)` — every interval during which an
+//! `ls -l` process was inside a read of a `/usr/lib` file — as ASCII
+//! art, and reports the max-concurrency derived from it (Eq. 16).
+//!
+//! ```text
+//! cargo run --example timeline_view
+//! ```
+
+use st_bench::experiments::ls_experiment;
+use st_inspector::prelude::*;
+
+fn main() {
+    let exp = ls_experiment();
+    let mapped = MappedLog::new(&exp.cb, &CallTopDirs::new(2));
+
+    let timeline =
+        Timeline::for_activity(&mapped, "read:/usr/lib").expect("activity exists in C_b");
+    println!("{}", timeline.render_ascii(72));
+
+    std::fs::write("timeline.svg", timeline.render_svg()).expect("write svg");
+    println!("wrote timeline.svg");
+
+    let stats = IoStatistics::compute(&mapped);
+    let s = stats.get_by_name("read:/usr/lib").unwrap();
+    println!(
+        "max-concurrency: windowed (paper Eq. 16) = {}, exact sweep = {}, distinct ranks = {}",
+        s.max_concurrency, s.max_concurrency_exact, s.case_concurrency
+    );
+}

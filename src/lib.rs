@@ -1,0 +1,65 @@
+//! # st-inspector — Inspection of I/O Operations from System Call Traces
+//! # using Directly-Follows-Graphs
+//!
+//! A ground-up Rust implementation of *"Inspection of I/O Operations
+//! from System Call Traces using Directly-Follows-Graph"* (Sankaran,
+//! Zhukov, Frings, Bientinesi — SC'24 workshops, arXiv:2408.07378),
+//! including every substrate its evaluation needs: an strace
+//! parser/writer, a columnar event-log store, the DFG synthesis core, a
+//! discrete-event cluster + parallel-filesystem simulator, and an IOR
+//! benchmark model.
+//!
+//! This facade crate re-exports the workspace so applications depend on
+//! one name:
+//!
+//! * [`model`] — events, cases, event logs (Sec. III, Eqs. 1–3);
+//! * [`strace`] — trace parsing and emission (Fig. 1–2);
+//! * [`store`] — the single-file per-case-table container (Sec. V
+//!   "Implementation", HDF5 substitute);
+//! * [`core`] — mappings, activity logs, DFGs, statistics, coloring,
+//!   rendering (Sec. IV — the paper's contribution);
+//! * [`sim`] — the simulated cluster (JUWELS/GPFS substitute);
+//! * [`ior`] — the IOR workload model (Sec. V experiments).
+//!
+//! ## The Fig. 6 pipeline, end to end
+//!
+//! ```
+//! use st_inspector::prelude::*;
+//!
+//! // 0) produce traces: simulate `srun -n 3 strace ... ls` (Fig. 1).
+//! let sim = Simulation::new(SimConfig::small(3));
+//! let mut log = EventLog::with_new_interner();
+//! sim.run("a", vec![st_inspector::sim::workloads::ls_ops(); 3],
+//!         &TraceFilter::only([Syscall::Read, Syscall::Write]), &mut log);
+//!
+//! // 2) map events to activities (Eq. 4) and 3) build the DFG.
+//! let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+//! let dfg = Dfg::from_mapped(&mapped);
+//!
+//! // 4) statistics and 5) statistics-colored rendering.
+//! let stats = IoStatistics::compute(&mapped);
+//! let dot = DfgViewer::new(&dfg)
+//!     .with_stats(&stats)
+//!     .with_styler(StatisticsColoring::by_load(&stats))
+//!     .render_dot();
+//! assert!(dot.contains("read\\n/usr/lib"));
+//! ```
+
+pub use st_core as core;
+pub use st_ior as ior;
+pub use st_model as model;
+pub use st_sim as sim;
+pub use st_store as store;
+pub use st_strace as strace;
+
+/// Everything needed for the Fig. 6 workflow in one import.
+pub mod prelude {
+    pub use st_core::prelude::*;
+    pub use st_ior::{run_ior, Api, IorOptions};
+    pub use st_model::{
+        Case, CaseMeta, Event, EventLog, Interner, Micros, Pid, Symbol, Syscall,
+    };
+    pub use st_sim::{SimConfig, Simulation, TraceFilter};
+    pub use st_store::{write_store, StoreReader};
+    pub use st_strace::{load_dir, parse_str, write_log_to_dir, LoadOptions, WriteOptions};
+}

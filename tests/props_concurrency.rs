@@ -1,0 +1,75 @@
+//! Property tests of the max-concurrency algorithms (Eqs. 14–16).
+
+use proptest::prelude::*;
+use st_inspector::model::Micros;
+use st_inspector::core::concurrency::{
+    concurrency_profile, max_concurrency_brute, max_concurrency_exact,
+    max_concurrency_windowed,
+};
+
+fn intervals_strategy() -> impl Strategy<Value = Vec<(Micros, Micros)>> {
+    prop::collection::vec((0u64..10_000, 1u64..2_000), 0..60)
+        .prop_map(|v| v.into_iter().map(|(s, d)| (Micros(s), Micros(s + d))).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The exact sweep agrees with the O(n²) brute force.
+    #[test]
+    fn exact_matches_brute_force(ivs in intervals_strategy()) {
+        prop_assert_eq!(max_concurrency_exact(&ivs), max_concurrency_brute(&ivs));
+    }
+
+    /// The paper's windowed algorithm upper-bounds the exact value and
+    /// never exceeds the interval count.
+    #[test]
+    fn windowed_bounds(ivs in intervals_strategy()) {
+        let w = max_concurrency_windowed(&ivs);
+        let e = max_concurrency_exact(&ivs);
+        prop_assert!(w >= e, "windowed {} < exact {}", w, e);
+        prop_assert!(w as usize <= ivs.len());
+        if !ivs.is_empty() {
+            prop_assert!(w >= 1);
+            prop_assert!(e >= 1);
+        }
+    }
+
+    /// The profile's running maximum equals the exact concurrency, and
+    /// the profile ends at zero.
+    #[test]
+    fn profile_consistency(ivs in intervals_strategy()) {
+        let profile = concurrency_profile(&ivs);
+        let peak = profile.iter().map(|&(_, c)| c).max().unwrap_or(0);
+        prop_assert_eq!(peak, max_concurrency_exact(&ivs));
+        if let Some(&(_, last)) = profile.last() {
+            prop_assert_eq!(last, 0);
+        }
+    }
+
+    /// Concurrency is invariant under interval reordering.
+    #[test]
+    fn order_invariance(ivs in intervals_strategy(), seed in 0u64..1000) {
+        let mut shuffled = ivs.clone();
+        // Simple deterministic shuffle.
+        let n = shuffled.len();
+        if n > 1 {
+            for i in 0..n {
+                let j = ((seed as usize).wrapping_mul(31).wrapping_add(i * 17)) % n;
+                shuffled.swap(i, j);
+            }
+        }
+        prop_assert_eq!(max_concurrency_exact(&ivs), max_concurrency_exact(&shuffled));
+        prop_assert_eq!(max_concurrency_windowed(&ivs), max_concurrency_windowed(&shuffled));
+    }
+
+    /// Adding an interval never decreases concurrency.
+    #[test]
+    fn monotone_under_insertion(ivs in intervals_strategy(), s in 0u64..10_000, d in 1u64..2_000) {
+        let before = max_concurrency_exact(&ivs);
+        let mut extended = ivs.clone();
+        extended.push((Micros(s), Micros(s + d)));
+        prop_assert!(max_concurrency_exact(&extended) >= before);
+        prop_assert!(max_concurrency_windowed(&extended) >= max_concurrency_windowed(&ivs));
+    }
+}

@@ -26,6 +26,26 @@ fn bench_parse(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_parse_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parser/parse_par");
+    group.sample_size(20);
+    let lines = 50_000usize;
+    let text = generate_strace_text(lines, 0xC0FFEE);
+    group.throughput(Throughput::Elements(lines as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &text, |b, text| {
+            b.iter(|| {
+                let interner = Interner::new();
+                let parsed =
+                    st_strace::parse_par(std::hint::black_box(text), &interner, threads);
+                assert_eq!(parsed.events.len(), lines);
+                parsed.events.len()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_single_record_shapes(c: &mut Criterion) {
     let mut group = c.benchmark_group("parser/record");
     let records = [
@@ -42,5 +62,5 @@ fn bench_single_record_shapes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_single_record_shapes);
+criterion_group!(benches, bench_parse, bench_parse_par, bench_single_record_shapes);
 criterion_main!(benches);

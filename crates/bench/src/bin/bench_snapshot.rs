@@ -1,0 +1,166 @@
+//! `bench_snapshot` — records the ingestion/DFG performance trajectory.
+//!
+//! Runs the parser and DFG-build experiments (sequential baselines plus
+//! a thread sweep of the parallel paths) and writes a machine-readable
+//! `BENCH_ingest.json` at the repository root, so successive PRs can
+//! compare numbers:
+//!
+//! ```text
+//! cargo run --release -p st-bench --bin bench_snapshot -- [--quick] [--out PATH]
+//! ```
+//!
+//! `--quick` shrinks the workloads for CI smoke runs (the JSON records
+//! which mode produced it).
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use st_bench::synth::{generate, generate_strace_text, SynthSpec};
+use st_core::prelude::*;
+use st_model::Interner;
+use st_strace::{parse_par, parse_reader, parse_str};
+
+/// Reference DFG accumulation the dense path replaced: one ordered-map
+/// lookup per edge increment and per occurrence count (the seed
+/// strategy). Measured here so the dense-accumulator speedup stays
+/// visible in the snapshot even on single-core machines where the
+/// parallel sweep cannot show scaling.
+fn btreemap_reference_build(mapped: &MappedLog<'_>) -> u64 {
+    let mut edges: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut occurrences: BTreeMap<u32, u64> = BTreeMap::new();
+    let start = u32::MAX - 1;
+    let end = u32::MAX;
+    for row in mapped.assignments() {
+        let mut prev: Option<u32> = None;
+        for act in row.iter().filter_map(|a| *a) {
+            let node = act.0;
+            *occurrences.entry(node).or_insert(0) += 1;
+            *edges.entry((prev.unwrap_or(start), node)).or_insert(0) += 1;
+            prev = Some(node);
+        }
+        if let Some(last) = prev {
+            *edges.entry((last, end)).or_insert(0) += 1;
+            *occurrences.entry(start).or_insert(0) += 1;
+            *occurrences.entry(end).or_insert(0) += 1;
+        }
+    }
+    edges.values().sum()
+}
+
+/// Best-of-N wall time of `f` (minimum over repetitions).
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (Duration, R) {
+    let mut best: Option<Duration> = None;
+    let mut last = None;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        let out = f();
+        let dt = t0.elapsed();
+        if best.map(|b| dt < b).unwrap_or(true) {
+            best = Some(dt);
+        }
+        last = Some(out);
+    }
+    (best.unwrap(), last.unwrap())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+
+    let (parse_lines, dfg_events, reps) = if quick {
+        (20_000usize, 40_000usize, 2usize)
+    } else {
+        (200_000usize, 200_000usize, 3usize)
+    };
+    let thread_sweep = [2usize, 4, 8];
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // ---- parser: sequential baseline + thread sweep ------------------
+    let text = generate_strace_text(parse_lines, 0xC0FFEE);
+    let (seq_dt, seq_events) = time_best(reps, || {
+        let interner = Interner::new();
+        parse_str(&text, &interner).events.len()
+    });
+    // Copying line-at-a-time reference (the pre-zero-copy ingest shape).
+    let (reader_dt, _) = time_best(reps, || {
+        let interner = Interner::new();
+        let mut cursor = std::io::Cursor::new(text.as_bytes());
+        parse_reader(&mut cursor, &interner).unwrap().events.len()
+    });
+    assert_eq!(seq_events, parse_lines);
+    let seq_ns = seq_dt.as_nanos() as f64;
+    let lines_per_sec = parse_lines as f64 / seq_dt.as_secs_f64();
+    eprintln!(
+        "parse_str: {parse_lines} lines in {:.1} ms ({:.2} Mlines/s)",
+        seq_ns / 1e6,
+        lines_per_sec / 1e6
+    );
+
+    let mut sweep_rows = Vec::new();
+    for &threads in &thread_sweep {
+        let (par_dt, par_events) = time_best(reps, || {
+            let interner = Interner::new();
+            parse_par(&text, &interner, threads).events.len()
+        });
+        assert_eq!(par_events, parse_lines);
+        let speedup = seq_dt.as_secs_f64() / par_dt.as_secs_f64();
+        eprintln!(
+            "parse_par x{threads}: {:.1} ms (speedup {speedup:.2}x)",
+            par_dt.as_nanos() as f64 / 1e6
+        );
+        sweep_rows.push(format!(
+            "{{\"threads\": {threads}, \"ns\": {}, \"lines_per_sec\": {:.1}, \"speedup\": {speedup:.4}}}",
+            par_dt.as_nanos(),
+            parse_lines as f64 / par_dt.as_secs_f64()
+        ));
+    }
+
+    // ---- DFG: mapping apply + build, sequential + map-reduce ---------
+    let spec = SynthSpec {
+        cases: 32,
+        events_per_case: dfg_events / 32,
+        paths: 64,
+        seed: 2,
+    };
+    let log = generate(&spec);
+    let n_events = log.total_events();
+
+    let (map_dt, _) = time_best(reps, || {
+        MappedLog::new(&log, &CallTopDirs::new(2)).mapped_events()
+    });
+    let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+    let (build_dt, edge_obs) = time_best(reps, || {
+        Dfg::from_mapped(&mapped).total_edge_observations()
+    });
+    let (build4_dt, edge_obs4) = time_best(reps, || {
+        Dfg::par_from_mapped(&mapped, 4).total_edge_observations()
+    });
+    assert_eq!(edge_obs, edge_obs4);
+    let (btree_dt, btree_obs) = time_best(reps, || btreemap_reference_build(&mapped));
+    assert_eq!(btree_obs, edge_obs);
+    let build_ns_per_event = build_dt.as_nanos() as f64 / n_events as f64;
+    let dense_speedup = btree_dt.as_secs_f64() / build_dt.as_secs_f64();
+    eprintln!(
+        "dfg build: {n_events} events, {build_ns_per_event:.1} ns/event seq ({dense_speedup:.2}x vs BTreeMap ref), {:.1} ns/event x4",
+        build4_dt.as_nanos() as f64 / n_events as f64
+    );
+
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }}\n}}\n",
+        seq_dt.as_nanos(),
+        reader_dt.as_nanos(),
+        sweep_rows.join(",\n      "),
+        map_dt.as_nanos() as f64 / n_events as f64,
+        build4_dt.as_nanos() as f64 / n_events as f64,
+        btree_dt.as_nanos() as f64 / n_events as f64,
+    );
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("wrote {out_path}");
+}

@@ -76,7 +76,7 @@ pub fn generate_strace_text(lines: usize, seed: u64) -> String {
     let mut out = String::with_capacity(lines * 96);
     let mut t = 8 * 3600 * 1_000_000u64;
     for i in 0..lines {
-        t += rng.gen_range(10..4_000);
+        t += rng.gen_range(10..4_000u64);
         let size = rng.gen_range(0..=8192);
         let path = format!("/data/set{}/file{}.bin", i % 13, i % 97);
         let dur = rng.gen_range(1..900);

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! stinspect parse <trace-dir> -o <log.stlog> [--sequential] [--strict-names]
+//!               [--threads N] [--streaming]
 //! stinspect dfg <log.stlog> [--filter SUBSTR] [--map MAP] [--color MODE]
 //!               [--ranks] [-o out.dot] [--summary]
 //! stinspect stats <log.stlog> [--filter SUBSTR] [--map MAP]
@@ -69,7 +70,7 @@ stinspect — inspection of I/O operations from system call traces (DFG synthesi
 
 commands:
   parse <trace-dir> -o <log.stlog>   parse strace files into a container
-      [--sequential] [--strict-names]
+      [--sequential] [--strict-names] [--threads N] [--streaming]
   dfg <log.stlog>                    synthesize and render the DFG
       [--filter SUBSTR] [--map topdirs[:K]|suffix:PREFIX|site|call]
       [--color load|bytes|partition:CID] [--ranks] [--min-edge N]
@@ -164,6 +165,13 @@ fn cmd_parse(tokens: &[String]) -> Result<(), String> {
             "-o" => out = Some(PathBuf::from(args.value("-o")?)),
             "--sequential" => opts.parallel = false,
             "--strict-names" => opts.strict_names = true,
+            "--streaming" => opts.streaming = true,
+            "--threads" => {
+                opts.threads = args
+                    .value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_string())?
+            }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             path => dir = Some(PathBuf::from(path)),
         }

@@ -24,7 +24,12 @@ pub fn max_concurrency_windowed(intervals: &[(Micros, Micros)]) -> u32 {
         return 0;
     }
     let mut sorted = intervals.to_vec();
-    sorted.sort_by_key(|(s, _)| *s);
+    // Sort by (start, end): the paper only specifies increasing start
+    // timestamps, but breaking start ties by end makes the result
+    // independent of input order (equal-start intervals with different
+    // ends would otherwise shift window widths with their relative
+    // positions). Any tie order keeps the upper-bound property.
+    sorted.sort_by_key(|&(s, e)| (s, e));
     let mut best = 1u32;
     for i in 0..sorted.len() {
         let end_i = sorted[i].1;

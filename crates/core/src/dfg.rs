@@ -7,14 +7,24 @@
 //! edge weights count how often the relation was observed (the numbers on
 //! the edges of Fig. 3).
 //!
-//! Construction is a single O(n) pass over the mapped log. For large
-//! logs a map-reduce construction is provided ([`Dfg::par_from_mapped`]):
-//! cases are independent, so per-worker partial DFGs merge by edge-wise
-//! addition — the strategy of the paper's scalability references
-//! [Leemans et al. 24; Evermann 25].
+//! Construction is a single O(n) pass over the mapped log. Counts
+//! accumulate in *dense* `Vec`-indexed storage: activities map to their
+//! dense [`ActivityId`] index and the start/end markers to two reserved
+//! trailing indices, so the per-event hot path is two array adds instead
+//! of ordered-map lookups. (Graphs too large for an adjacency matrix
+//! fall back to a hash map — still O(1) amortized per increment.) The
+//! deterministically ordered edge view that rendering and tests consume
+//! is materialized lazily, on first access.
+//!
+//! For large logs a map-reduce construction is provided
+//! ([`Dfg::par_from_mapped`]): cases are independent, so per-worker
+//! *dense partial accumulators* merge by element-wise vector addition —
+//! the strategy of the paper's scalability references [Leemans et al.
+//! 24; Evermann 25] — without shipping whole graphs through channels.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::activity::{ActivityId, ActivityTable};
 use crate::activity_log::ActivityLog;
@@ -44,57 +54,210 @@ impl Node {
     }
 }
 
-/// A Directly-Follows-Graph with observation counts.
+/// Above this node count the dense adjacency matrix stops being cheap
+/// (514² × 8 B ≈ 2 MB per accumulator — and the map-reduce path holds
+/// one accumulator *per worker*); edge accumulation falls back to a
+/// hash map, still O(1) amortized per increment.
+const MATRIX_MAX_NODES: usize = 512;
+
+/// Edge-count storage over dense node indices `0..n`.
 #[derive(Debug, Clone)]
-pub struct Dfg {
-    /// Activity names (owned copy — DFGs outlive their `MappedLog`).
-    table: ActivityTable,
-    /// Directed edges with observation counts.
-    edges: BTreeMap<(Node, Node), u64>,
-    /// Per-node occurrence counts: for activities, the number of mapped
-    /// events; for `Start`/`End`, the number of contributing traces.
-    occurrences: BTreeMap<Node, u64>,
-    /// Number of cases that contributed at least one mapped event.
+enum EdgeCounts {
+    /// Row-major `n × n` adjacency counts.
+    Matrix(Vec<u64>),
+    /// `(from, to) → count`, for graphs too large for a matrix.
+    Sparse(HashMap<(u32, u32), u64>),
+}
+
+impl EdgeCounts {
+    fn new(n: usize) -> EdgeCounts {
+        if n <= MATRIX_MAX_NODES {
+            EdgeCounts::Matrix(vec![0; n * n])
+        } else {
+            EdgeCounts::Sparse(HashMap::new())
+        }
+    }
+
+    #[inline]
+    fn inc(&mut self, n: usize, from: usize, to: usize, w: u64) {
+        match self {
+            EdgeCounts::Matrix(counts) => counts[from * n + to] += w,
+            EdgeCounts::Sparse(map) => {
+                *map.entry((from as u32, to as u32)).or_insert(0) += w
+            }
+        }
+    }
+
+    #[inline]
+    fn get(&self, n: usize, from: usize, to: usize) -> u64 {
+        match self {
+            EdgeCounts::Matrix(counts) => counts[from * n + to],
+            EdgeCounts::Sparse(map) => {
+                map.get(&(from as u32, to as u32)).copied().unwrap_or(0)
+            }
+        }
+    }
+
+    fn total(&self) -> u64 {
+        match self {
+            EdgeCounts::Matrix(counts) => counts.iter().sum(),
+            EdgeCounts::Sparse(map) => map.values().sum(),
+        }
+    }
+
+    /// Iterates non-zero `(from, to, count)` entries (arbitrary order).
+    fn iter_nonzero<'a>(&'a self, n: usize) -> Box<dyn Iterator<Item = (usize, usize, u64)> + 'a> {
+        match self {
+            EdgeCounts::Matrix(counts) => Box::new(
+                counts
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(move |(i, &c)| (i / n, i % n, c)),
+            ),
+            EdgeCounts::Sparse(map) => Box::new(
+                map.iter().map(|(&(f, t), &c)| (f as usize, t as usize, c)),
+            ),
+        }
+    }
+
+    fn merge(&mut self, other: &EdgeCounts) {
+        match (self, other) {
+            (EdgeCounts::Matrix(a), EdgeCounts::Matrix(b)) => {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+            }
+            (EdgeCounts::Sparse(a), EdgeCounts::Sparse(b)) => {
+                for (&edge, &c) in b {
+                    *a.entry(edge).or_insert(0) += c;
+                }
+            }
+            _ => unreachable!("partials share the node-count threshold"),
+        }
+    }
+}
+
+/// The dense count accumulator: node indices `0..m` are activities (by
+/// [`ActivityId`]), `m` is the start marker, `m + 1` the end marker.
+#[derive(Debug, Clone)]
+struct DenseAcc {
+    /// Total node slots `m + 2`.
+    n: usize,
+    /// Per-node occurrence counts.
+    occ: Vec<u64>,
+    edges: EdgeCounts,
     case_count: u64,
 }
 
+impl DenseAcc {
+    fn new(activities: usize) -> DenseAcc {
+        let n = activities + 2;
+        DenseAcc {
+            n,
+            occ: vec![0; n],
+            edges: EdgeCounts::new(n),
+            case_count: 0,
+        }
+    }
+
+    #[inline]
+    fn start_idx(&self) -> usize {
+        self.n - 2
+    }
+
+    #[inline]
+    fn end_idx(&self) -> usize {
+        self.n - 1
+    }
+
+    /// Adds one trace `⟨a_1, …, a_n⟩` with multiplicity `w` (implicitly
+    /// wrapped with start/end markers). Empty traces contribute nothing.
+    fn add_trace_weighted(&mut self, activities: impl IntoIterator<Item = ActivityId>, w: u64) {
+        let mut prev: Option<usize> = None;
+        for act in activities {
+            let idx = act.index();
+            self.occ[idx] += w;
+            let from = prev.unwrap_or(self.n - 2);
+            self.edges.inc(self.n, from, idx, w);
+            prev = Some(idx);
+        }
+        if let Some(last) = prev {
+            self.edges.inc(self.n, last, self.n - 1, w);
+            self.case_count += w;
+            self.occ[self.n - 2] += w;
+            self.occ[self.n - 1] += w;
+        }
+    }
+
+    /// Element-wise addition of another accumulator over the same
+    /// activity-id space (the map-reduce merge).
+    fn merge(&mut self, other: &DenseAcc) {
+        debug_assert_eq!(self.n, other.n);
+        for (a, b) in self.occ.iter_mut().zip(&other.occ) {
+            *a += b;
+        }
+        self.edges.merge(&other.edges);
+        self.case_count += other.case_count;
+    }
+}
+
+/// A Directly-Follows-Graph with observation counts.
+#[derive(Debug)]
+pub struct Dfg {
+    /// Activity names (owned copy — DFGs outlive their `MappedLog`).
+    table: ActivityTable,
+    /// Dense counts; the ordered edge view below derives from it.
+    acc: DenseAcc,
+    /// Deterministically ordered edges, materialized on first access.
+    ordered: OnceLock<BTreeMap<(Node, Node), u64>>,
+}
+
+impl Clone for Dfg {
+    fn clone(&self) -> Dfg {
+        Dfg {
+            table: self.table.clone(),
+            acc: self.acc.clone(),
+            ordered: OnceLock::new(),
+        }
+    }
+}
+
 impl Dfg {
+    fn from_acc(table: ActivityTable, acc: DenseAcc) -> Dfg {
+        Dfg { table, acc, ordered: OnceLock::new() }
+    }
+
     /// Builds the DFG from a mapped log in one sequential pass.
     pub fn from_mapped(mapped: &MappedLog<'_>) -> Dfg {
-        let mut dfg = Dfg {
-            table: mapped.table().clone(),
-            edges: BTreeMap::new(),
-            occurrences: BTreeMap::new(),
-            case_count: 0,
-        };
+        let mut acc = DenseAcc::new(mapped.table().len());
         for case_idx in 0..mapped.log().case_count() {
-            dfg.add_trace(mapped.assignments()[case_idx].iter().filter_map(|a| *a));
+            acc.add_trace_weighted(
+                mapped.assignments()[case_idx].iter().filter_map(|a| *a),
+                1,
+            );
         }
-        dfg
+        Dfg::from_acc(mapped.table().clone(), acc)
     }
 
     /// Builds the DFG from an explicit activity log (useful when the
     /// multiset is already materialized; weights multiply by trace
     /// multiplicity).
     pub fn from_activity_log(alog: &ActivityLog, table: &ActivityTable) -> Dfg {
-        let mut dfg = Dfg {
-            table: table.clone(),
-            edges: BTreeMap::new(),
-            occurrences: BTreeMap::new(),
-            case_count: 0,
-        };
+        let mut acc = DenseAcc::new(table.len());
         for entry in alog.entries() {
-            for _ in 0..entry.multiplicity {
-                dfg.add_trace(entry.activities.iter().copied());
-            }
+            acc.add_trace_weighted(
+                entry.activities.iter().copied(),
+                entry.multiplicity as u64,
+            );
         }
-        dfg
+        Dfg::from_acc(table.clone(), acc)
     }
 
     /// Map-reduce construction: cases are partitioned across `threads`
-    /// workers (0 = available parallelism); partial DFGs are merged by
-    /// edge-wise addition. Produces exactly the same graph as
-    /// [`Dfg::from_mapped`].
+    /// workers (0 = available parallelism); per-worker dense partial
+    /// accumulators are merged by element-wise addition. Produces
+    /// exactly the same graph as [`Dfg::from_mapped`].
     pub fn par_from_mapped(mapped: &MappedLog<'_>, threads: usize) -> Dfg {
         let n_cases = mapped.log().case_count();
         let workers = if threads == 0 {
@@ -107,75 +270,78 @@ impl Dfg {
             return Self::from_mapped(mapped);
         }
 
+        let activities = mapped.table().len();
         let next = AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::unbounded::<Dfg>();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                let tx = tx.clone();
-                let next = &next;
-                let mapped_ref = &mapped;
-                scope.spawn(move || {
-                    let mut local = Dfg {
-                        table: ActivityTable::new(), // filled on merge
-                        edges: BTreeMap::new(),
-                        occurrences: BTreeMap::new(),
-                        case_count: 0,
-                    };
-                    loop {
-                        let idx = next.fetch_add(1, Ordering::Relaxed);
-                        if idx >= mapped_ref.log().case_count() {
-                            break;
+        let partials: Vec<DenseAcc> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let mapped_ref = &mapped;
+                    scope.spawn(move || {
+                        let mut local = DenseAcc::new(activities);
+                        loop {
+                            let idx = next.fetch_add(1, Ordering::Relaxed);
+                            if idx >= mapped_ref.log().case_count() {
+                                break;
+                            }
+                            local.add_trace_weighted(
+                                mapped_ref.assignments()[idx].iter().filter_map(|a| *a),
+                                1,
+                            );
                         }
-                        local.add_trace(
-                            mapped_ref.assignments()[idx].iter().filter_map(|a| *a),
-                        );
-                    }
-                    let _ = tx.send(local);
-                });
-            }
-            drop(tx);
-            let mut merged = Dfg {
-                table: mapped.table().clone(),
-                edges: BTreeMap::new(),
-                occurrences: BTreeMap::new(),
-                case_count: 0,
-            };
-            for local in rx {
-                merged.merge_counts(&local);
-            }
-            merged
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("dfg worker panicked"))
+                .collect()
+        });
+
+        let mut partials = partials.into_iter();
+        let mut merged = partials.next().expect("at least one worker");
+        for partial in partials {
+            merged.merge(&partial);
+        }
+        Dfg::from_acc(mapped.table().clone(), merged)
+    }
+
+    /// Number of activity slots (the dense id space, not the occurring
+    /// node count).
+    fn activity_slots(&self) -> usize {
+        self.acc.n - 2
+    }
+
+    /// Dense index of a node; `None` for activity ids outside this
+    /// graph's id space (they must not alias the start/end slots).
+    fn node_idx(&self, node: Node) -> Option<usize> {
+        match node {
+            Node::Start => Some(self.acc.start_idx()),
+            Node::End => Some(self.acc.end_idx()),
+            Node::Act(id) => (id.index() < self.activity_slots()).then(|| id.index()),
+        }
+    }
+
+    fn idx_node(&self, idx: usize) -> Node {
+        if idx == self.acc.start_idx() {
+            Node::Start
+        } else if idx == self.acc.end_idx() {
+            Node::End
+        } else {
+            Node::Act(ActivityId(idx as u32))
+        }
+    }
+
+    /// The deterministically ordered edge map, built on first use.
+    fn ordered(&self) -> &BTreeMap<(Node, Node), u64> {
+        self.ordered.get_or_init(|| {
+            self.acc
+                .edges
+                .iter_nonzero(self.acc.n)
+                .map(|(from, to, c)| ((self.idx_node(from), self.idx_node(to)), c))
+                .collect()
         })
-    }
-
-    /// Adds one trace `⟨a_1, …, a_n⟩` (implicitly wrapped with start/end
-    /// markers). Empty traces contribute nothing.
-    fn add_trace(&mut self, activities: impl IntoIterator<Item = ActivityId>) {
-        let mut prev: Option<Node> = None;
-        for act in activities {
-            let node = Node::Act(act);
-            *self.occurrences.entry(node).or_insert(0) += 1;
-            let from = prev.unwrap_or(Node::Start);
-            *self.edges.entry((from, node)).or_insert(0) += 1;
-            prev = Some(node);
-        }
-        if let Some(last) = prev {
-            *self.edges.entry((last, Node::End)).or_insert(0) += 1;
-            self.case_count += 1;
-            *self.occurrences.entry(Node::Start).or_insert(0) += 1;
-            *self.occurrences.entry(Node::End).or_insert(0) += 1;
-        }
-    }
-
-    /// Edge-wise addition of another DFG's counts (same activity-id
-    /// space required — used by the map-reduce merge).
-    fn merge_counts(&mut self, other: &Dfg) {
-        for (edge, count) in &other.edges {
-            *self.edges.entry(*edge).or_insert(0) += count;
-        }
-        for (node, count) in &other.occurrences {
-            *self.occurrences.entry(*node).or_insert(0) += count;
-        }
-        self.case_count += other.case_count;
     }
 
     /// The activity name table.
@@ -185,44 +351,60 @@ impl Dfg {
 
     /// Number of activity nodes (excludes start/end).
     pub fn activity_node_count(&self) -> usize {
-        self.occurrences
-            .keys()
-            .filter(|n| matches!(n, Node::Act(_)))
+        self.acc.occ[..self.activity_slots()]
+            .iter()
+            .filter(|&&c| c > 0)
             .count()
     }
 
     /// Number of traces (cases) that contributed.
     pub fn case_count(&self) -> u64 {
-        self.case_count
+        self.acc.case_count
     }
 
     /// All edges with counts, in deterministic order.
     pub fn edges(&self) -> impl Iterator<Item = (Node, Node, u64)> + '_ {
-        self.edges.iter().map(|(&(a, b), &c)| (a, b, c))
+        self.ordered().iter().map(|(&(a, b), &c)| (a, b, c))
     }
 
     /// All nodes that occur, in deterministic order.
     pub fn nodes(&self) -> impl Iterator<Item = Node> + '_ {
-        self.occurrences.keys().copied()
+        let m = self.activity_slots();
+        let start = (self.acc.occ[self.acc.start_idx()] > 0).then_some(Node::Start);
+        let end = (self.acc.occ[self.acc.end_idx()] > 0).then_some(Node::End);
+        start
+            .into_iter()
+            .chain(
+                self.acc.occ[..m]
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, _)| Node::Act(ActivityId(i as u32))),
+            )
+            .chain(end)
     }
 
     /// Occurrence count of a node (events for activities, traces for
     /// start/end).
     pub fn occurrences(&self, node: Node) -> u64 {
-        self.occurrences.get(&node).copied().unwrap_or(0)
+        self.node_idx(node)
+            .map(|idx| self.acc.occ[idx])
+            .unwrap_or(0)
     }
 
-    /// Count on an edge (0 when absent).
+    /// Count on an edge (0 when absent). O(1) on the dense storage.
     pub fn edge_count(&self, from: Node, to: Node) -> u64 {
-        self.edges.get(&(from, to)).copied().unwrap_or(0)
+        match (self.node_idx(from), self.node_idx(to)) {
+            (Some(f), Some(t)) => self.acc.edges.get(self.acc.n, f, t),
+            _ => 0,
+        }
     }
 
     /// Whether an activity with this name occurs in the graph.
     pub fn has_activity(&self, name: &str) -> bool {
         self.table
             .get(name)
-            .map(Node::Act)
-            .is_some_and(|n| self.occurrences.contains_key(&n))
+            .is_some_and(|id| self.acc.occ.get(id.index()).copied().unwrap_or(0) > 0)
     }
 
     /// Edge count between two *named* endpoints; start/end are named
@@ -254,7 +436,7 @@ impl Dfg {
 
     /// Sum of all edge observation counts.
     pub fn total_edge_observations(&self) -> u64 {
-        self.edges.values().sum()
+        self.acc.edges.total()
     }
 
     /// Returns a copy keeping only edges observed at least `min_count`
@@ -268,46 +450,48 @@ impl Dfg {
     /// flow-conservation invariants of [`Dfg::check_invariants`] no
     /// longer hold on it.
     pub fn filter_edges(&self, min_count: u64) -> Dfg {
-        let edges: BTreeMap<(Node, Node), u64> = self
-            .edges
-            .iter()
-            .filter(|(_, &c)| c >= min_count)
-            .map(|(&e, &c)| (e, c))
-            .collect();
-        let mut keep: std::collections::BTreeSet<Node> = std::collections::BTreeSet::new();
-        for &(from, to) in edges.keys() {
-            keep.insert(from);
-            keep.insert(to);
+        let n = self.acc.n;
+        let mut edges = EdgeCounts::new(n);
+        let mut incident = vec![false; n];
+        for (from, to, c) in self.acc.edges.iter_nonzero(n) {
+            if c >= min_count {
+                edges.inc(n, from, to, c);
+                incident[from] = true;
+                incident[to] = true;
+            }
         }
-        let occurrences = self
-            .occurrences
+        let occ = self
+            .acc
+            .occ
             .iter()
-            .filter(|(n, _)| keep.contains(n))
-            .map(|(&n, &c)| (n, c))
+            .zip(&incident)
+            .map(|(&c, &keep)| if keep { c } else { 0 })
             .collect();
-        Dfg {
-            table: self.table.clone(),
-            edges,
-            occurrences,
-            case_count: self.case_count,
-        }
+        Dfg::from_acc(
+            self.table.clone(),
+            DenseAcc { n, occ, edges, case_count: self.acc.case_count },
+        )
     }
 
     /// Checks the flow-conservation invariants implied by the trace
     /// construction: per activity node, in-flow = out-flow = occurrence
     /// count; start out-flow = end in-flow = case count.
     pub fn check_invariants(&self) -> Result<(), String> {
-        let mut in_flow: BTreeMap<Node, u64> = BTreeMap::new();
-        let mut out_flow: BTreeMap<Node, u64> = BTreeMap::new();
-        for ((from, to), c) in &self.edges {
-            *out_flow.entry(*from).or_insert(0) += c;
-            *in_flow.entry(*to).or_insert(0) += c;
+        let n = self.acc.n;
+        let mut in_flow = vec![0u64; n];
+        let mut out_flow = vec![0u64; n];
+        for (from, to, c) in self.acc.edges.iter_nonzero(n) {
+            out_flow[from] += c;
+            in_flow[to] += c;
         }
-        for (&node, &occ) in &self.occurrences {
-            match node {
-                Node::Act(_) => {
-                    let i = in_flow.get(&node).copied().unwrap_or(0);
-                    let o = out_flow.get(&node).copied().unwrap_or(0);
+        for idx in 0..n {
+            let occ = self.acc.occ[idx];
+            if occ == 0 {
+                continue;
+            }
+            match self.idx_node(idx) {
+                node @ Node::Act(_) => {
+                    let (i, o) = (in_flow[idx], out_flow[idx]);
                     if i != occ || o != occ {
                         return Err(format!(
                             "node {} has in={i} out={o} occurrences={occ}",
@@ -316,15 +500,21 @@ impl Dfg {
                     }
                 }
                 Node::Start => {
-                    let o = out_flow.get(&node).copied().unwrap_or(0);
-                    if o != self.case_count {
-                        return Err(format!("start out-flow {o} != case count {}", self.case_count));
+                    let o = out_flow[idx];
+                    if o != self.acc.case_count {
+                        return Err(format!(
+                            "start out-flow {o} != case count {}",
+                            self.acc.case_count
+                        ));
                     }
                 }
                 Node::End => {
-                    let i = in_flow.get(&node).copied().unwrap_or(0);
-                    if i != self.case_count {
-                        return Err(format!("end in-flow {i} != case count {}", self.case_count));
+                    let i = in_flow[idx];
+                    if i != self.acc.case_count {
+                        return Err(format!(
+                            "end in-flow {i} != case count {}",
+                            self.acc.case_count
+                        ));
                     }
                 }
             }
@@ -494,5 +684,61 @@ mod tests {
         let nodes: Vec<Node> = dfg.nodes().collect();
         assert_eq!(nodes.first(), Some(&Node::Start));
         assert_eq!(nodes.last(), Some(&Node::End));
+    }
+
+    #[test]
+    fn foreign_activity_ids_do_not_alias_markers() {
+        // Ids at or beyond the activity slot count land on the reserved
+        // start/end indices in the dense layout; queries must treat
+        // them as absent, not as the markers.
+        let log = fictitious_log();
+        let (dfg, _) = build(&log);
+        let m = dfg.table().len() as u32;
+        for ghost in [m, m + 1, m + 7] {
+            let node = Node::Act(ActivityId(ghost));
+            assert_eq!(dfg.occurrences(node), 0, "ghost id {ghost}");
+            assert_eq!(dfg.edge_count(Node::Start, node), 0);
+            assert_eq!(dfg.edge_count(node, Node::End), 0);
+        }
+        // The markers themselves still answer.
+        assert_eq!(dfg.occurrences(Node::Start), dfg.case_count());
+    }
+
+    #[test]
+    fn clone_preserves_counts() {
+        let log = fictitious_log();
+        let (dfg, _) = build(&log);
+        // Materialize the ordered view, then clone: the clone rebuilds
+        // its own view from the dense counts.
+        let before: Vec<_> = dfg.edges().collect();
+        let cloned = dfg.clone();
+        assert_eq!(before, cloned.edges().collect::<Vec<_>>());
+        assert_eq!(dfg.case_count(), cloned.case_count());
+    }
+
+    #[test]
+    fn sparse_fallback_matches_matrix_semantics() {
+        // Force the sparse path by exceeding the matrix node budget.
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let events = (0..(MATRIX_MAX_NODES + 10))
+            .map(|k| {
+                let p = format!("/p{k}/f");
+                Event::new(Pid(1), Syscall::Read, Micros(k as u64), Micros(1), i.intern(&p))
+            })
+            .collect();
+        log.push_case(Case::from_events(meta, events));
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let dfg = Dfg::from_mapped(&mapped);
+        assert!(matches!(dfg.acc.edges, EdgeCounts::Sparse(_)));
+        assert_eq!(dfg.case_count(), 1);
+        assert_eq!(dfg.activity_node_count(), MATRIX_MAX_NODES + 10);
+        dfg.check_invariants().unwrap();
+        let par = Dfg::par_from_mapped(&mapped, 4);
+        assert_eq!(
+            dfg.edges().collect::<Vec<_>>(),
+            par.edges().collect::<Vec<_>>()
+        );
     }
 }

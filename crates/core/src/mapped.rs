@@ -72,7 +72,7 @@ impl<'log> MappedLog<'log> {
             (0..n_cases).map(|_| None).collect();
         {
             let next = AtomicUsize::new(0);
-            let (tx, rx) = crossbeam::channel::unbounded();
+            let (tx, rx) = std::sync::mpsc::channel();
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     let tx = tx.clone();

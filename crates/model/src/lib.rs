@@ -37,7 +37,7 @@ pub mod units;
 pub use case::{Case, CaseMeta};
 pub use error::ModelError;
 pub use event::{Event, Pid};
-pub use intern::{Interner, InternerSnapshot, Symbol};
+pub use intern::{Interner, InternerSnapshot, LocalInterner, Symbol};
 pub use log::EventLog;
 pub use syscall::Syscall;
 pub use time::Micros;

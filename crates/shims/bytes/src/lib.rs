@@ -1,0 +1,284 @@
+//! Minimal stand-in for the `bytes` crate (offline build).
+//!
+//! Implements the subset the store crate uses: cheaply cloneable,
+//! sliceable immutable [`Bytes`] (an `Arc<[u8]>` window), a growable
+//! [`BytesMut`], and the [`Buf`]/[`BufMut`] cursor traits the LEB128
+//! codec is generic over.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, sliceable view into shared immutable bytes.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::from(Vec::new())
+    }
+
+    /// Wraps a static slice (no copy semantics needed here; we copy for
+    /// simplicity — the call sites are tests with tiny literals).
+    pub fn from_static(slice: &'static [u8]) -> Bytes {
+        Bytes::from(slice.to_vec())
+    }
+
+    /// Length of the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A sub-view; both bounds are relative to this view.
+    ///
+    /// # Panics
+    /// Panics when the range is out of bounds.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Splits off and returns the first `at` bytes, advancing `self`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len());
+        let head = self.slice(0..at);
+        self.start += at;
+        head
+    }
+
+    /// Copies the view into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        let data: Arc<[u8]> = v.into();
+        let end = data.len();
+        Bytes { data, start: 0, end }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes(len={})", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for Bytes {}
+
+/// A growable byte buffer (thin wrapper over `Vec<u8>`).
+#[derive(Default, Debug, Clone)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut { inner: Vec::with_capacity(cap) }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.inner)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+/// Read cursor over a byte source.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// The unread contiguous slice.
+    fn chunk(&self) -> &[u8];
+    /// Advances the cursor.
+    fn advance(&mut self, cnt: usize);
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    fn get_u8(&mut self) -> u8 {
+        let b = self.chunk()[0];
+        self.advance(1);
+        b
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Panics
+    /// Panics on fewer than 4 remaining bytes.
+    fn get_u32_le(&mut self) -> u32 {
+        let mut raw = [0u8; 4];
+        raw.copy_from_slice(&self.chunk()[..4]);
+        self.advance(4);
+        u32::from_le_bytes(raw)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self.as_slice()
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len());
+        self.start += cnt;
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+}
+
+/// Write cursor over a growable byte sink.
+pub trait BufMut {
+    /// Appends a slice.
+    fn put_slice(&mut self, slice: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, b: u8) {
+        self.put_slice(&[b]);
+    }
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.inner.extend_from_slice(slice);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, slice: &[u8]) {
+        self.extend_from_slice(slice);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_split_views() {
+        let b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(&b[..], &[1, 2, 3, 4, 5]);
+        let s = b.slice(1..4);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let mut c = b.clone();
+        let head = c.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&c[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    fn buf_cursor_reads() {
+        let mut b = Bytes::from(vec![7, 0xDD, 0xCC, 0xBB, 0xAA]);
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xAABBCCDD);
+        assert!(!b.has_remaining());
+    }
+
+    #[test]
+    fn bufmut_writes_roundtrip() {
+        let mut m = BytesMut::with_capacity(8);
+        m.put_u8(1);
+        m.put_u32_le(0xA0B0C0D0);
+        m.put_slice(&[9, 9]);
+        let mut b = m.freeze();
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.get_u32_le(), 0xA0B0C0D0);
+        assert_eq!(b.remaining(), 2);
+    }
+
+    #[test]
+    fn slice_buf_impl() {
+        let raw = [1u8, 2, 3];
+        let mut cursor = &raw[..];
+        assert_eq!(cursor.get_u8(), 1);
+        assert_eq!(cursor.remaining(), 2);
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal stand-in for the `criterion` crate (offline build).
+//!
+//! Implements the subset of the criterion API the bench suite uses
+//! (groups, throughput annotations, `bench_with_input`, the
+//! `criterion_group!`/`criterion_main!` macros) with a simple
+//! warmup-then-measure harness. Results print one line per benchmark:
+//!
+//! ```text
+//! parser/parse_str/10000    time:  812345 ns/iter   thrpt:  12.3 Melem/s
+//! ```
+//!
+//! `--quick` (or `BENCH_QUICK=1`) shrinks warmup/measure windows for CI
+//! smoke runs.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier, rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{name}/{parameter}") }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warmup: Duration,
+    measure: Duration,
+    /// Mean ns/iter of the measured window, set by [`Bencher::iter`].
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: warms up, then measures.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup and calibration: count iterations that fit the window.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / warm_iters as f64;
+        let target = (self.measure.as_secs_f64() / per_iter.max(1e-9)).clamp(1.0, 1e7) as u64;
+
+        let t0 = Instant::now();
+        for _ in 0..target {
+            black_box(f());
+        }
+        let elapsed = t0.elapsed();
+        self.result_ns = elapsed.as_nanos() as f64 / target as f64;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    quick: bool,
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let quick = args.iter().any(|a| a == "--quick")
+            || std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        // First free-standing token (not a flag, not a flag value) is the
+        // name filter, mirroring `cargo bench -- <filter>`.
+        let mut filter = None;
+        let mut skip_next = false;
+        for a in &args {
+            if skip_next {
+                skip_next = false;
+                continue;
+            }
+            match a.as_str() {
+                "--quick" | "--bench" | "--test" | "--nocapture" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size" => {
+                    skip_next = true
+                }
+                flag if flag.starts_with('-') => {}
+                free => {
+                    filter = Some(free.to_string());
+                    break;
+                }
+            }
+        }
+        Criterion { quick, filter, sample_size: 0 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        self.run_one(&id.id, None, |b| f(b));
+    }
+
+    fn windows(&self) -> (Duration, Duration) {
+        if self.quick {
+            (Duration::from_millis(5), Duration::from_millis(30))
+        } else {
+            (Duration::from_millis(100), Duration::from_millis(400))
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let (warmup, measure) = self.windows();
+        let mut bencher = Bencher { warmup, measure, result_ns: 0.0 };
+        f(&mut bencher);
+        let ns = bencher.result_ns;
+        let thrpt = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("   thrpt: {:>10.3} Melem/s", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("   thrpt: {:>10.3} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64)
+            }
+            None => String::new(),
+        };
+        println!("{id:<50} time: {ns:>14.1} ns/iter{thrpt}");
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the
+    /// harness sizes its measurement window by time instead).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` against `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no explicit input.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput, |b| f(b));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+        }
+    };
+}

@@ -1,0 +1,511 @@
+//! Minimal stand-in for the `proptest` crate (offline build).
+//!
+//! Provides the strategy combinators and macros this workspace's property
+//! tests use: ranges, tuples, `Just`, `prop_oneof!`, `prop::collection::
+//! vec`, `prop::sample::select`, `prop::option::of`, `prop::bool::ANY`,
+//! `.prop_map`, simple regex string strategies (character classes with
+//! counted repetition), and the `proptest!` / `prop_assert*` macros.
+//!
+//! No shrinking: a failing case panics with the generated inputs visible
+//! in the assertion message. Generation is deterministic per test
+//! function (seeded from the function name), so failures reproduce.
+
+/// Deterministic generator handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary label (the test function name).
+    pub fn from_label(label: &str) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        TestRng { state: h | 1 }
+    }
+
+    /// Next 64 random bits (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.below(span) as $t)
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u64).wrapping_sub(start as u64);
+                if span == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add(rng.below(span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A 0, B 1);
+    (A 0, B 1, C 2);
+    (A 0, B 1, C 2, D 3);
+    (A 0, B 1, C 2, D 3, E 4);
+    (A 0, B 1, C 2, D 3, E 4, F 5);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6);
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7);
+}
+
+/// Uniform choice among boxed alternatives ([`prop_oneof!`]).
+pub struct OneOf<T> {
+    /// The alternatives.
+    pub options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty());
+        let idx = rng.below(self.options.len() as u64) as usize;
+        self.options[idx].generate(rng)
+    }
+}
+
+/// Strategies from string regexes — a practical subset: literal
+/// characters, `[a-z0-9_]`-style classes, and `{n}`, `{n,m}`, `?`, `*`,
+/// `+` repetition (unbounded capped at 8).
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut pos = 0;
+    while pos < chars.len() {
+        // One atom: a class or a literal.
+        let alphabet: Vec<char> = match chars[pos] {
+            '[' => {
+                let close = chars[pos..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|off| pos + off)
+                    .unwrap_or(chars.len() - 1);
+                let class = expand_class(&chars[pos + 1..close]);
+                pos = close + 1;
+                class
+            }
+            '\\' if pos + 1 < chars.len() => {
+                let c = chars[pos + 1];
+                pos += 2;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z').chain('0'..='9').chain(['_']).collect(),
+                    other => vec![other],
+                }
+            }
+            '.' => {
+                pos += 1;
+                ('a'..='z').collect()
+            }
+            literal => {
+                pos += 1;
+                vec![literal]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.get(pos) {
+            Some('{') => {
+                let close = chars[pos..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|off| pos + off)
+                    .unwrap_or(chars.len() - 1);
+                let body: String = chars[pos + 1..close].iter().collect();
+                pos = close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().unwrap_or(0),
+                        hi.trim().parse().unwrap_or(8),
+                    ),
+                    None => {
+                        let n = body.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                pos += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        let count = if max > min {
+            min + rng.below((max - min + 1) as u64) as usize
+        } else {
+            min
+        };
+        for _ in 0..count {
+            if alphabet.is_empty() {
+                continue;
+            }
+            let idx = rng.below(alphabet.len() as u64) as usize;
+            out.push(alphabet[idx]);
+        }
+    }
+    out
+}
+
+fn expand_class(body: &[char]) -> Vec<char> {
+    let mut set = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        if i + 2 < body.len() && body[i + 1] == '-' {
+            let (lo, hi) = (body[i], body[i + 2]);
+            for c in lo..=hi {
+                set.push(c);
+            }
+            i += 3;
+        } else {
+            set.push(body[i]);
+            i += 1;
+        }
+    }
+    set
+}
+
+/// Submodules mirroring `proptest::prelude::prop`.
+pub mod strategies {
+    use super::{Strategy, TestRng};
+
+    /// `prop::bool`.
+    pub mod bool {
+        use super::{Strategy, TestRng};
+
+        /// Uniform boolean strategy.
+        #[derive(Clone, Copy, Debug)]
+        pub struct Any;
+
+        /// `prop::bool::ANY`.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() & 1 == 1
+            }
+        }
+    }
+
+    /// `prop::sample`.
+    pub mod sample {
+        use super::{Strategy, TestRng};
+
+        /// Uniform pick from a fixed set.
+        pub struct Select<T: Clone> {
+            items: Vec<T>,
+        }
+
+        /// Picks uniformly from `items`.
+        pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+            assert!(!items.is_empty(), "select over empty set");
+            Select { items }
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let idx = rng.below(self.items.len() as u64) as usize;
+                self.items[idx].clone()
+            }
+        }
+    }
+
+    /// `prop::collection`.
+    pub mod collection {
+        use super::{Strategy, TestRng};
+
+        /// Vec of values with a length drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// `prop::collection::vec(element, len_range)`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            assert!(len.start < len.end, "empty length range");
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.len.end - self.len.start) as u64;
+                let n = self.len.start + rng.below(span) as usize;
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// `prop::option`.
+    pub mod option {
+        use super::{Strategy, TestRng};
+
+        /// `Option<V>` with ~25% `None`.
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        /// `prop::option::of(strategy)`.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+                if rng.below(4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.generate(rng))
+                }
+            }
+        }
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Runs `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just, ProptestConfig,
+        Strategy,
+    };
+
+    /// Mirrors `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::strategies::{bool, collection, option, sample};
+    }
+}
+
+/// Uniform choice among listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::OneOf {
+            options: vec![$(Box::new($strategy) as Box<dyn $crate::Strategy<Value = _>>),+],
+        }
+    };
+}
+
+/// Asserts inside a property test (no shrinking: delegates to `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Equality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Inequality assertion inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $cfg:expr;) => {};
+    (config = $cfg:expr;
+     $(#[$attr:meta])*
+     fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$attr])*
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::TestRng::from_label(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&$strategy, &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+}
+
+/// The `proptest!` test-definition macro: each contained `fn` becomes a
+/// `#[test]` (the attribute is written at the definition site) that runs
+/// its body over `config.cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::TestRng::from_label("regex");
+        for _ in 0..200 {
+            let s = crate::Strategy::generate(&"[a-z]{1,4}", &mut rng);
+            assert!((1..=4).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Tuple + map + oneof + collection round-trip through the macro.
+        #[test]
+        fn combinators_compose(
+            v in prop::collection::vec((0u64..10, prop::bool::ANY), 0..8),
+            pick in prop::sample::select(vec!["a", "b"]),
+            opt in prop::option::of(1u32..5),
+            choice in prop_oneof![Just(1u8), Just(2u8)],
+            f in 0.0f64..1.0,
+        ) {
+            prop_assert!(v.len() < 8);
+            for (n, _) in &v {
+                prop_assert!(*n < 10);
+            }
+            prop_assert!(pick == "a" || pick == "b");
+            if let Some(x) = opt {
+                prop_assert!((1..5).contains(&x));
+            }
+            prop_assert!(choice == 1u8 || choice == 2u8);
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

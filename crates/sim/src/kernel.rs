@@ -90,7 +90,7 @@ impl Simulation {
 
         let mut ranks: Vec<RankState> = (0..n)
             .map(|r| {
-                let stagger = Micros(r as u64 * 23 + rng.gen_range(0..120));
+                let stagger = Micros(r as u64 * 23 + rng.gen_range(0..120u64));
                 RankState {
                     rid: self.config.base_rid + r as u32,
                     clock: self.config.epoch + stagger,

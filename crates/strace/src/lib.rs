@@ -17,9 +17,13 @@
 //!   ellipses;
 //! * [`parser`] — whole-file assembly: merging unfinished/resumed pairs
 //!   by pid (Fig. 2c), dropping `ERESTARTSYS`-interrupted calls, sorting
-//!   by start timestamp;
+//!   by start timestamp. [`parser::parse_par`] runs the same assembly as
+//!   a chunked parallel pipeline (split at line boundaries, thread-local
+//!   interning, deterministic merge) with output identical to
+//!   [`parser::parse_str`];
 //! * [`loader`] — loading a directory of `<cid>_<host>_<rid>.st` files
-//!   (optionally in parallel across files) into one [`st_model::EventLog`];
+//!   into one [`st_model::EventLog`], parallelizing across files and —
+//!   when files are fewer than workers — across chunks within a file;
 //! * [`writer`] — the inverse: emitting events as authentic strace text,
 //!   used by the simulator substrate and by round-trip property tests.
 //!
@@ -44,6 +48,6 @@ pub mod writer;
 pub use error::{StraceError, Warning};
 pub use generic::{from_csv, to_csv, CsvError};
 pub use loader::{load_dir, load_files, LoadOptions};
-pub use parser::{parse_reader, parse_str, ParsedTrace};
+pub use parser::{parse_par, parse_reader, parse_str, ParsedTrace};
 pub use record::{Line, ParsedCall, ReturnValue};
 pub use writer::{write_case, write_log_to_dir, WriteOptions};

@@ -3,20 +3,21 @@
 //! The paper's setup produces one trace file per MPI process (Fig. 1);
 //! production runs produce hundreds of files (96 ranks per IOR mode in
 //! Sec. V). Parsing is embarrassingly parallel across files, so the
-//! loader optionally fans the file list out to a pool of worker threads
-//! (crossbeam channels for work distribution, results re-ordered for
-//! determinism). All workers intern into the same shared [`Interner`].
+//! loader fans the file list out to a pool of worker threads (results
+//! re-ordered for determinism). Each file is read into memory once and
+//! parsed zero-copy with [`crate::parse_str`]; when there are fewer
+//! files than workers (e.g. one huge trace), the spare parallelism is
+//! spent *inside* the file via [`crate::parse_par`] instead. All
+//! workers intern into the same shared [`Interner`].
 
-use std::fs::File;
-use std::io::BufReader;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{mpsc, Arc};
 
 use st_model::{Case, CaseMeta, EventLog, Interner};
 
 use crate::error::{StraceError, Warning};
-use crate::parser::parse_reader;
+use crate::parser::{parse_par, parse_reader, parse_str};
 
 /// Options for [`load_dir`] / [`load_files`].
 #[derive(Debug, Clone)]
@@ -31,6 +32,11 @@ pub struct LoadOptions {
     pub strict_names: bool,
     /// Only consider files with this extension in [`load_dir`].
     pub extension: String,
+    /// Stream each file line-at-a-time (constant memory per worker)
+    /// instead of reading it into memory for the zero-copy parse.
+    /// Slower, but bounds peak memory to one line per worker — use it
+    /// when `workers × file size` would not fit in RAM.
+    pub streaming: bool,
 }
 
 impl Default for LoadOptions {
@@ -40,6 +46,7 @@ impl Default for LoadOptions {
             threads: 0,
             strict_names: false,
             extension: "st".to_string(),
+            streaming: false,
         }
     }
 }
@@ -107,25 +114,38 @@ pub fn load_files(
         }
     }
 
-    let n_workers = if opts.parallel {
+    // `requested` is the total worker budget; `n_workers` caps the
+    // across-files fan-out at the file count. When the budget exceeds
+    // what files alone can use, the surplus moves *inside* each file.
+    let requested = if opts.parallel {
         let avail = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        let requested = if opts.threads == 0 { avail } else { opts.threads };
-        requested.min(files.len().max(1))
+        if opts.threads == 0 {
+            avail
+        } else {
+            opts.threads
+        }
     } else {
         1
     };
+    let n_workers = requested.min(files.len().max(1));
 
     let mut slots: Vec<Option<(Case, Vec<Warning>)>> = (0..files.len()).map(|_| None).collect();
 
-    if n_workers <= 1 {
+    if requested <= 1 {
         for (idx, path) in files.iter().enumerate() {
-            slots[idx] = Some(parse_one(path, metas[idx], &interner)?);
+            slots[idx] = Some(parse_one(path, metas[idx], &interner, 1, opts.streaming)?);
+        }
+    } else if files.len() * 2 <= requested && !opts.streaming {
+        // Fewer files than workers can fill: spend the parallelism
+        // *inside* each file (chunked parse) instead of across files.
+        for (idx, path) in files.iter().enumerate() {
+            slots[idx] = Some(parse_one(path, metas[idx], &interner, requested, false)?);
         }
     } else {
         let next = AtomicUsize::new(0);
-        let (tx, rx) = crossbeam::channel::unbounded::<(usize, Result<(Case, Vec<Warning>), StraceError>)>();
+        let (tx, rx) = mpsc::channel::<(usize, Result<(Case, Vec<Warning>), StraceError>)>();
         std::thread::scope(|scope| {
             for _ in 0..n_workers {
                 let tx = tx.clone();
@@ -138,7 +158,7 @@ pub fn load_files(
                     if idx >= files.len() {
                         break;
                     }
-                    let result = parse_one(&files[idx], metas[idx], interner);
+                    let result = parse_one(&files[idx], metas[idx], interner, 1, opts.streaming);
                     if tx.send((idx, result)).is_err() {
                         break;
                     }
@@ -166,16 +186,27 @@ fn parse_one(
     path: &Path,
     meta: CaseMeta,
     interner: &Interner,
+    chunk_threads: usize,
+    streaming: bool,
 ) -> Result<(Case, Vec<Warning>), StraceError> {
-    let file = File::open(path).map_err(|source| StraceError::Io {
-        path: path.to_path_buf(),
-        source,
-    })?;
-    let mut reader = BufReader::new(file);
-    let parsed = parse_reader(&mut reader, interner).map_err(|source| StraceError::Io {
-        path: path.to_path_buf(),
-        source,
-    })?;
+    let io_err = |source| StraceError::Io { path: path.to_path_buf(), source };
+    if streaming {
+        // Constant memory: one buffered line at a time.
+        let file = std::fs::File::open(path).map_err(io_err)?;
+        let mut reader = std::io::BufReader::new(file);
+        let parsed = parse_reader(&mut reader, interner).map_err(io_err)?;
+        return Ok((Case { meta, events: parsed.events }, parsed.warnings));
+    }
+    // One read into memory, then a zero-copy parse over the buffer —
+    // cheaper than the line-at-a-time loop, which copies every line,
+    // at the cost of holding the file text (peak memory is
+    // `workers x file size`; `streaming` bounds it instead).
+    let text = std::fs::read_to_string(path).map_err(io_err)?;
+    let parsed = if chunk_threads > 1 {
+        parse_par(&text, interner, chunk_threads)
+    } else {
+        parse_str(&text, interner)
+    };
     Ok((Case { meta, events: parsed.events }, parsed.warnings))
 }
 
@@ -253,6 +284,64 @@ mod tests {
             for (x, y) in a.events.iter().zip(&b.events) {
                 assert_eq!(x.start, y.start);
                 assert_eq!(x.size, y.size);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn single_large_file_takes_the_chunked_path() {
+        // One file with a big worker budget routes through parse_par
+        // (files.len() * 2 <= requested) and must match the sequential
+        // load event-for-event.
+        let dir = tmpdir("chunked");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut body = String::new();
+        for k in 0..200 {
+            body.push_str(&format!(
+                "9  08:00:00.{:06} read(3</lib/f{}>, \"...\", 64) = 64 <0.000002>\n",
+                k + 1,
+                k % 7
+            ));
+        }
+        std::fs::write(dir.join("a_h_1.st"), &body).unwrap();
+        let seq = load_dir(
+            &dir,
+            Interner::new_shared(),
+            &LoadOptions { parallel: false, ..Default::default() },
+        )
+        .unwrap();
+        let par = load_dir(
+            &dir,
+            Interner::new_shared(),
+            &LoadOptions { parallel: true, threads: 8, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(par.log.total_events(), 200);
+        for (a, b) in seq.log.cases().iter().zip(par.log.cases()) {
+            assert_eq!(a.events, b.events);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_load_matches_in_memory_load() {
+        let dir = tmpdir("streaming");
+        write_tmp_traces(&dir);
+        let fast = load_dir(&dir, Interner::new_shared(), &LoadOptions::default()).unwrap();
+        let slow = load_dir(
+            &dir,
+            Interner::new_shared(),
+            &LoadOptions { streaming: true, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(fast.log.case_count(), slow.log.case_count());
+        assert_eq!(fast.log.total_events(), slow.log.total_events());
+        for (a, b) in fast.log.cases().iter().zip(slow.log.cases()) {
+            for (x, y) in a.events.iter().zip(&b.events) {
+                assert_eq!(x.start, y.start);
+                assert_eq!(x.size, y.size);
+                assert_eq!(x.call, y.call);
             }
         }
         std::fs::remove_dir_all(&dir).unwrap();

@@ -1,12 +1,51 @@
 //! Whole-file trace parsing: turning a stream of strace lines into the
 //! sorted event sequence of one case (Sec. III).
+//!
+//! # Architecture
+//!
+//! Three entry points share one borrowed, zero-copy assembly core:
+//!
+//! * [`parse_str`] — sequential single pass over an in-memory trace.
+//! * [`parse_par`] — the chunked parallel pipeline: the input is split
+//!   at line boundaries into one byte-range chunk per worker; each
+//!   worker parses its chunk into a local event vector (complete calls
+//!   only — `<unfinished ...>`/`resumed` records are deferred), interning
+//!   into a thread-local [`LocalInterner`] so the shared interner's lock
+//!   is never touched from a worker. A sequential merge then replays the
+//!   deferred records across chunk boundaries (FIFO per `(pid, name)`,
+//!   exactly like the sequential path), publishes every thread-local
+//!   string table through a single [`Interner::intern_many`] batch, and
+//!   k-way merges the per-chunk event runs by `(start, line)`.
+//! * [`parse_reader`] — line-at-a-time constant-memory fallback for
+//!   streaming sources.
+//!
+//! # Determinism
+//!
+//! `parse_par` produces output *identical* to `parse_str` — the same
+//! `Event` values including interned [`Symbol`] ids (when both start
+//! from interners in the same state), and the same warnings in the same
+//! order. Two properties make this work:
+//!
+//! 1. events are ordered by `(start, completing line)`, which equals the
+//!    sequential path's stable sort by start over completion-ordered
+//!    events, regardless of how the input was chunked;
+//! 2. strings are published to the shared interner in first-use order of
+//!    the canonical walk (complete calls in line order, then merged
+//!    unfinished/resumed calls in resumption order) — the same order in
+//!    which the sequential pass interns them.
+//!
+//! Unfinished-call state is zero-copy: pending records borrow argument
+//! slices from the input text instead of allocating `String`s, and
+//! matching is keyed by `(pid, name)` with FIFO queues (O(1) per record
+//! instead of the former O(outstanding) scan).
 
+use std::collections::{HashMap, VecDeque};
 use std::io::BufRead;
 
-use st_model::{Event, Interner, Micros, Pid, Syscall};
+use st_model::{Event, Interner, LocalInterner, Micros, Pid, Symbol, Syscall};
 
 use crate::error::Warning;
-use crate::record::{parse_line, Line, ParsedCall};
+use crate::record::{parse_line, Line, ParsedCall, ReturnValue};
 use crate::scan;
 
 /// The result of parsing one trace file.
@@ -18,27 +57,476 @@ pub struct ParsedTrace {
     pub warnings: Vec<Warning>,
 }
 
-/// An `<unfinished ...>` record waiting for its `resumed` counterpart.
+/// Where newly seen strings go during parsing. Workers intern locally;
+/// the sequential paths intern straight into the shared table.
+trait Intern {
+    fn intern_str(&mut self, s: &str) -> Symbol;
+}
+
+struct SharedIntern<'i>(&'i Interner);
+
+impl Intern for SharedIntern<'_> {
+    #[inline]
+    fn intern_str(&mut self, s: &str) -> Symbol {
+        self.0.intern(s)
+    }
+}
+
+impl Intern for LocalInterner {
+    #[inline]
+    fn intern_str(&mut self, s: &str) -> Symbol {
+        self.intern(s)
+    }
+}
+
+/// An `<unfinished ...>` record waiting for its `resumed` counterpart,
+/// borrowing its argument slices from the input text.
 #[derive(Debug)]
-struct Pending {
-    name: String,
+struct Pending<'a> {
     start: Micros,
-    args: Vec<String>,
+    args: Vec<&'a str>,
+    /// Insertion order, for deterministic never-resumed reporting.
+    seq: usize,
+}
+
+/// A deferred unfinished/resumed record, replayed in order by the merge
+/// phase (possibly across chunk boundaries).
+#[derive(Debug)]
+enum AsyncRecord<'a> {
+    Unfinished {
+        pid_key: u32,
+        start: Micros,
+        name: &'a str,
+        args: Vec<&'a str>,
+    },
+    Resumed {
+        line: usize,
+        pid: Option<u32>,
+        name: &'a str,
+        args: Vec<&'a str>,
+        ret: ReturnValue<'a>,
+        dur: Option<Micros>,
+    },
+}
+
+/// One chunk's parse output. Lines are chunk-local (1-based) until the
+/// caller applies the chunk's global line offset.
+struct ChunkParse<'a> {
+    /// Complete-call events, in line order, tagged with their line.
+    events: Vec<(usize, Event)>,
+    /// Warnings raised inside the chunk, in line order (lines local).
+    warnings: Vec<Warning>,
+    /// Deferred unfinished/resumed records, in line order.
+    asyncs: Vec<AsyncRecord<'a>>,
+    /// Number of lines in the chunk.
+    line_count: usize,
+}
+
+/// Parses every line of `chunk`, deferring unfinished/resumed records.
+fn parse_chunk<'a, I: Intern>(chunk: &'a str, sink: &mut I) -> ChunkParse<'a> {
+    let mut out = ChunkParse {
+        events: Vec::new(),
+        warnings: Vec::new(),
+        asyncs: Vec::new(),
+        line_count: 0,
+    };
+    for (idx, line) in chunk.lines().enumerate() {
+        let lineno = idx + 1;
+        out.line_count = lineno;
+        match parse_line(line) {
+            Some(Line::Empty) | Some(Line::Signal) | Some(Line::Exit { .. }) => {}
+            Some(Line::Restarted) => {
+                out.warnings.push(Warning::Restarted { line: lineno });
+            }
+            Some(Line::Unfinished { pid, start, name, args }) => {
+                out.asyncs.push(AsyncRecord::Unfinished {
+                    pid_key: pid.unwrap_or(0),
+                    start,
+                    name,
+                    args,
+                });
+            }
+            Some(Line::Resumed { pid, name, args, ret, dur, .. }) => {
+                out.asyncs.push(AsyncRecord::Resumed {
+                    line: lineno,
+                    pid,
+                    name,
+                    args,
+                    ret,
+                    dur,
+                });
+            }
+            Some(Line::Call(call)) => {
+                if let Some(ev) = call_to_event(&call, sink) {
+                    out.events.push((lineno, ev));
+                }
+            }
+            None => out.warnings.push(Warning::UnparsableLine {
+                line: lineno,
+                text: truncate(line, 160),
+            }),
+        }
+    }
+    out
+}
+
+/// Replays deferred records (in global order) against the keyed FIFO
+/// pending table, producing merged events and orphan/never-resumed
+/// warnings. `offsets[i]` is the line offset of chunk `i`.
+fn merge_asyncs<'a, I: Intern>(
+    chunks: &[ChunkParse<'a>],
+    offsets: &[usize],
+    sink: &mut I,
+) -> (Vec<(usize, Event)>, Vec<Warning>) {
+    let mut pending: HashMap<(u32, &'a str), VecDeque<Pending<'a>>> = HashMap::new();
+    let mut seq = 0usize;
+    let mut events = Vec::new();
+    let mut warnings = Vec::new();
+    for (chunk, &offset) in chunks.iter().zip(offsets) {
+        for record in &chunk.asyncs {
+            match record {
+                AsyncRecord::Unfinished { pid_key, start, name, args } => {
+                    pending.entry((*pid_key, name)).or_default().push_back(Pending {
+                        start: *start,
+                        args: args.clone(),
+                        seq,
+                    });
+                    seq += 1;
+                }
+                AsyncRecord::Resumed { line, pid, name, args, ret, dur } => {
+                    let pid_key = pid.unwrap_or(0);
+                    let matched = pending
+                        .get_mut(&(pid_key, name))
+                        .and_then(|queue| queue.pop_front());
+                    match matched {
+                        Some(p) => {
+                            // Merge: prefix args from the unfinished
+                            // record, suffix args plus return info from
+                            // the resumed one (Sec. III: duration and
+                            // transfer size live on the resumed record).
+                            let mut merged = p.args;
+                            merged.extend(args.iter().copied());
+                            let call = ParsedCall {
+                                pid: *pid,
+                                start: p.start,
+                                name,
+                                args: merged,
+                                ret: *ret,
+                                dur: *dur,
+                            };
+                            if let Some(ev) = call_to_event(&call, sink) {
+                                events.push((offset + line, ev));
+                            }
+                        }
+                        None => warnings.push(Warning::OrphanResumed {
+                            line: offset + line,
+                            pid: pid_key,
+                        }),
+                    }
+                }
+            }
+        }
+    }
+    // Outstanding unfinished calls never resumed before EOF, in
+    // insertion order.
+    let mut leftovers: Vec<(usize, u32, &str)> = pending
+        .into_iter()
+        .flat_map(|((pid, name), queue)| {
+            queue.into_iter().map(move |p| (p.seq, pid, name))
+        })
+        .collect();
+    leftovers.sort_unstable_by_key(|(seq, _, _)| *seq);
+    for (_, pid, name) in leftovers {
+        warnings.push(Warning::NeverResumed { pid, call: name.to_string() });
+    }
+    (events, warnings)
+}
+
+/// The sort key reproducing the sequential path's stable sort by start:
+/// completion line breaks ties.
+#[inline]
+fn event_order(entry: &(usize, Event)) -> (Micros, usize) {
+    (entry.1.start, entry.0)
+}
+
+/// Line number a warning is anchored to, for deterministic ordering
+/// (never-resumed warnings sort last, preserving insertion order).
+fn warning_line(w: &Warning) -> usize {
+    match w {
+        Warning::UnparsableLine { line, .. }
+        | Warning::OrphanResumed { line, .. }
+        | Warning::Restarted { line } => *line,
+        Warning::NeverResumed { .. } => usize::MAX,
+    }
+}
+
+fn shift_warning(mut w: Warning, offset: usize) -> Warning {
+    match &mut w {
+        Warning::UnparsableLine { line, .. }
+        | Warning::OrphanResumed { line, .. }
+        | Warning::Restarted { line } => *line += offset,
+        Warning::NeverResumed { .. } => {}
+    }
+    w
 }
 
 /// Parses a whole trace file held in memory.
 pub fn parse_str(text: &str, interner: &Interner) -> ParsedTrace {
-    let mut state = AssemblyState::default();
-    for (idx, line) in text.lines().enumerate() {
-        state.feed(idx + 1, line, interner);
+    let mut sink = SharedIntern(interner);
+    let chunk = parse_chunk(text, &mut sink);
+    let offsets = [0usize];
+    let chunks = [chunk];
+    let (merged, async_warnings) = merge_asyncs(&chunks, &offsets, &mut sink);
+    let [chunk] = chunks;
+
+    let mut events: Vec<(usize, Event)> = chunk.events;
+    events.extend(merged);
+    events.sort_unstable_by_key(event_order);
+
+    let mut warnings = chunk.warnings;
+    warnings.extend(async_warnings);
+    warnings.sort_by_key(warning_line);
+
+    ParsedTrace {
+        events: events.into_iter().map(|(_, e)| e).collect(),
+        warnings,
     }
-    state.finish(interner)
+}
+
+/// Splits `text` into `n` byte-range chunks cut at line boundaries.
+/// Chunks may be empty when the text is short; together they cover the
+/// text exactly.
+fn split_chunks(text: &str, n: usize) -> Vec<&str> {
+    let bytes = text.as_bytes();
+    let mut chunks = Vec::with_capacity(n);
+    let mut start = 0usize;
+    for i in 1..=n {
+        let end = if i == n {
+            bytes.len()
+        } else {
+            let mut e = ((bytes.len() * i) / n).max(start);
+            while e < bytes.len() && bytes[e] != b'\n' {
+                e += 1;
+            }
+            if e < bytes.len() {
+                e += 1; // keep the newline with its line
+            }
+            e
+        };
+        chunks.push(&text[start..end]);
+        start = end;
+    }
+    chunks
+}
+
+/// Rewrites the symbols of `events` (which reference `local`) into
+/// candidate ids: first-appearance positions in `candidates`. Walks in
+/// storage (line) order so candidate order equals sequential intern
+/// order. `cache` memoizes per local symbol.
+fn collect_candidates<'l>(
+    events: &mut [(usize, Event)],
+    local: &'l LocalInterner,
+    cache: &mut Vec<Option<u32>>,
+    dedup: &mut HashMap<&'l str, u32>,
+    candidates: &mut Vec<&'l str>,
+) {
+    cache.clear();
+    cache.resize(local.len(), None);
+    let to_candidate = |sym: Symbol,
+                            cache: &mut Vec<Option<u32>>,
+                            dedup: &mut HashMap<&'l str, u32>,
+                            candidates: &mut Vec<&'l str>| {
+        if let Some(c) = cache[sym.index()] {
+            return c;
+        }
+        let s = local.resolve(sym);
+        let c = *dedup.entry(s).or_insert_with(|| {
+            candidates.push(s);
+            (candidates.len() - 1) as u32
+        });
+        cache[sym.index()] = Some(c);
+        c
+    };
+    for (_, ev) in events.iter_mut() {
+        // Same per-event order as the sequential pass: the syscall name
+        // resolves (and may intern) before the path does.
+        if let Syscall::Other(sym) = ev.call {
+            ev.call = Syscall::Other(Symbol(to_candidate(sym, cache, dedup, candidates)));
+        }
+        ev.path = Symbol(to_candidate(ev.path, cache, dedup, candidates));
+    }
+}
+
+/// Rewrites candidate ids into the shared interner's symbols.
+fn apply_symbols(events: &mut [(usize, Event)], shared: &[Symbol]) {
+    for (_, ev) in events.iter_mut() {
+        if let Syscall::Other(sym) = ev.call {
+            ev.call = Syscall::Other(shared[sym.index()]);
+        }
+        ev.path = shared[ev.path.index()];
+    }
+}
+
+/// Parses a whole in-memory trace on `threads` worker threads
+/// (`0` = the machine's available parallelism).
+///
+/// Produces exactly what [`parse_str`] produces — same events (including
+/// interned symbol ids, given equal starting interner state) and same
+/// warnings in the same order. See the module docs for how chunking,
+/// cross-chunk `<unfinished ...>`/`resumed` merging, and deterministic
+/// symbol publication fit together.
+pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace {
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    };
+    if workers <= 1 {
+        return parse_str(text, interner);
+    }
+
+    let chunks = split_chunks(text, workers);
+
+    // Map: parse chunks in parallel, each into a thread-local interner.
+    let parsed: Vec<(ChunkParse<'_>, LocalInterner, Vec<usize>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|chunk| {
+                scope.spawn(move || {
+                    let mut local = LocalInterner::new();
+                    let parsed = parse_chunk(chunk, &mut local);
+                    // Pre-sorted run for the final k-way merge.
+                    let mut order: Vec<usize> = (0..parsed.events.len()).collect();
+                    order.sort_unstable_by_key(|&i| event_order(&parsed.events[i]));
+                    (parsed, local, order)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parser worker panicked"))
+            .collect()
+    });
+
+    let (mut chunk_parses, locals, orders): (Vec<_>, Vec<_>, Vec<_>) = {
+        let mut cps = Vec::with_capacity(parsed.len());
+        let mut ls = Vec::with_capacity(parsed.len());
+        let mut os = Vec::with_capacity(parsed.len());
+        for (cp, l, o) in parsed {
+            cps.push(cp);
+            ls.push(l);
+            os.push(o);
+        }
+        (cps, ls, os)
+    };
+
+    // Global line offsets per chunk.
+    let mut offsets = Vec::with_capacity(chunk_parses.len());
+    let mut total_lines = 0usize;
+    for chunk in &chunk_parses {
+        offsets.push(total_lines);
+        total_lines += chunk.line_count;
+    }
+
+    // Reduce 1: replay deferred unfinished/resumed records across chunk
+    // boundaries (FIFO per (pid, name), global order).
+    let mut merge_local = LocalInterner::new();
+    let (mut merged_events, async_warnings) =
+        merge_asyncs(&chunk_parses, &offsets, &mut merge_local);
+
+    // Reduce 2: publish thread-local string tables to the shared
+    // interner in canonical first-use order, with one batched
+    // `intern_many` call, then rewrite event symbols.
+    let mut dedup: HashMap<&str, u32> = HashMap::new();
+    let mut candidates: Vec<&str> = Vec::new();
+    let mut cache: Vec<Option<u32>> = Vec::new();
+    for (chunk, local) in chunk_parses.iter_mut().zip(&locals) {
+        collect_candidates(&mut chunk.events, local, &mut cache, &mut dedup, &mut candidates);
+    }
+    collect_candidates(&mut merged_events, &merge_local, &mut cache, &mut dedup, &mut candidates);
+    let shared = interner.intern_many(&candidates);
+    for chunk in chunk_parses.iter_mut() {
+        apply_symbols(&mut chunk.events, &shared);
+    }
+    apply_symbols(&mut merged_events, &shared);
+
+    // Reduce 3: k-way merge the pre-sorted per-chunk runs (plus the
+    // merged-event run) by (start, global line).
+    merged_events.sort_unstable_by_key(event_order);
+    let mut runs: Vec<Box<dyn Iterator<Item = (Micros, usize, Event)>>> = Vec::new();
+    for ((chunk, order), &offset) in chunk_parses.iter().zip(&orders).zip(&offsets) {
+        runs.push(Box::new(order.iter().map(move |&i| {
+            let (line, ev) = &chunk.events[i];
+            (ev.start, offset + line, *ev)
+        })));
+    }
+    runs.push(Box::new(
+        merged_events.iter().map(|&(line, ev)| (ev.start, line, ev)),
+    ));
+    let events = kway_merge(runs, total_events(&chunk_parses) + merged_events.len());
+
+    // Warnings: per-chunk warnings shifted to global lines, orphan /
+    // never-resumed warnings from the merge, ordered by line.
+    let mut warnings = Vec::new();
+    for (chunk, &offset) in chunk_parses.iter_mut().zip(&offsets) {
+        warnings.extend(chunk.warnings.drain(..).map(|w| shift_warning(w, offset)));
+    }
+    warnings.extend(async_warnings);
+    warnings.sort_by_key(warning_line);
+
+    ParsedTrace { events, warnings }
+}
+
+fn total_events(chunks: &[ChunkParse<'_>]) -> usize {
+    chunks.iter().map(|c| c.events.len()).sum()
+}
+
+/// Merges pre-sorted `(start, line, event)` runs into one event vector.
+fn kway_merge(
+    runs: Vec<Box<dyn Iterator<Item = (Micros, usize, Event)> + '_>>,
+    capacity: usize,
+) -> Vec<Event> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut events = Vec::with_capacity(capacity);
+    let mut runs = runs;
+    let mut heap: BinaryHeap<Reverse<(Micros, usize, usize)>> = BinaryHeap::new();
+    let mut heads: Vec<Option<Event>> = Vec::with_capacity(runs.len());
+    for (idx, run) in runs.iter_mut().enumerate() {
+        match run.next() {
+            Some((start, line, ev)) => {
+                heap.push(Reverse((start, line, idx)));
+                heads.push(Some(ev));
+            }
+            None => heads.push(None),
+        }
+    }
+    while let Some(Reverse((_, _, idx))) = heap.pop() {
+        events.push(heads[idx].take().expect("head present"));
+        if let Some((start, line, ev)) = runs[idx].next() {
+            heap.push(Reverse((start, line, idx)));
+            heads[idx] = Some(ev);
+        }
+    }
+    events
 }
 
 /// Parses a trace file from a buffered reader (line-at-a-time, constant
 /// memory).
+///
+/// Prefer [`parse_str`]/[`parse_par`] when the trace fits in memory —
+/// they borrow from the text instead of copying per line.
+///
+/// Produces the same events and warnings as [`parse_str`] *modulo
+/// symbol numbering*: this streaming path interns merged
+/// unfinished/resumed calls at their resumption line, while
+/// `parse_str`/`parse_par` defer them behind the complete calls, so
+/// two *fresh* interners can assign ids in a different order (resolved
+/// strings are always identical, and sharing one interner across both
+/// paths yields identical events).
 pub fn parse_reader<R: BufRead>(reader: &mut R, interner: &Interner) -> std::io::Result<ParsedTrace> {
-    let mut state = AssemblyState::default();
+    let mut state = ReaderState::default();
     let mut buf = String::new();
     let mut lineno = 0usize;
     loop {
@@ -49,62 +537,67 @@ pub fn parse_reader<R: BufRead>(reader: &mut R, interner: &Interner) -> std::io:
         lineno += 1;
         state.feed(lineno, buf.trim_end_matches(['\n', '\r']), interner);
     }
-    Ok(state.finish(interner))
+    Ok(state.finish())
+}
+
+/// Owned pending record for the streaming reader path (lines do not
+/// outlive the read buffer, so argument slices must be copied).
+#[derive(Debug)]
+struct OwnedPending {
+    start: Micros,
+    args: Vec<String>,
+    seq: usize,
 }
 
 #[derive(Default)]
-struct AssemblyState {
-    events: Vec<Event>,
+struct ReaderState {
+    events: Vec<(usize, Event)>,
     warnings: Vec<Warning>,
-    /// Outstanding unfinished calls, keyed by pid (0 when traced without
-    /// `-f`). A pid can have several outstanding calls only in exotic
-    /// traces; matching is FIFO per (pid, name), which is how strace
-    /// emits them.
-    pending: std::collections::HashMap<u32, Vec<Pending>>,
+    /// Outstanding unfinished calls, keyed by `(pid, name)` with FIFO
+    /// queues — strace resumes a pid's calls in emission order.
+    pending: HashMap<(u32, String), VecDeque<OwnedPending>>,
+    seq: usize,
 }
 
-impl AssemblyState {
+impl ReaderState {
     fn feed(&mut self, lineno: usize, line: &str, interner: &Interner) {
+        let mut sink = SharedIntern(interner);
         match parse_line(line) {
             Some(Line::Empty) | Some(Line::Signal) | Some(Line::Exit { .. }) => {}
             Some(Line::Restarted) => {
                 self.warnings.push(Warning::Restarted { line: lineno });
             }
             Some(Line::Unfinished { pid, start, name, args }) => {
-                self.pending.entry(pid.unwrap_or(0)).or_default().push(Pending {
-                    name: name.to_string(),
-                    start,
-                    args: args.iter().map(|s| s.to_string()).collect(),
-                });
+                self.pending
+                    .entry((pid.unwrap_or(0), name.to_string()))
+                    .or_default()
+                    .push_back(OwnedPending {
+                        start,
+                        args: args.iter().map(|s| s.to_string()).collect(),
+                        seq: self.seq,
+                    });
+                self.seq += 1;
             }
             Some(Line::Resumed { pid, name, args, ret, dur, .. }) => {
                 let pid_key = pid.unwrap_or(0);
                 let matched = self
                     .pending
-                    .get_mut(&pid_key)
-                    .and_then(|v| {
-                        let idx = v.iter().position(|p| p.name == name)?;
-                        Some(v.remove(idx))
-                    });
+                    .get_mut(&(pid_key, name.to_string()))
+                    .and_then(|queue| queue.pop_front());
                 match matched {
-                    Some(pending) => {
-                        // Merge: prefix args from the unfinished record,
-                        // suffix args plus return info from the resumed one
-                        // (Sec. III: duration and transfer size live on the
-                        // resumed record).
-                        let mut merged: Vec<&str> =
-                            pending.args.iter().map(|s| s.as_str()).collect();
+                    Some(p) => {
+                        let mut merged: Vec<&str> = p.args.iter().map(|s| s.as_str()).collect();
                         merged.extend(args.iter().copied());
                         let call = ParsedCall {
                             pid,
-                            start: pending.start,
+                            start: p.start,
                             name,
                             args: merged,
                             ret,
                             dur,
                         };
-                        if let Some(ev) = call_to_event(&call, interner) {
-                            self.events.push(ev);
+                        if let Some(ev) = call_to_event(&call, &mut sink) {
+                            self.events.push((lineno, ev));
                         }
                     }
                     None => self.warnings.push(Warning::OrphanResumed {
@@ -114,8 +607,8 @@ impl AssemblyState {
                 }
             }
             Some(Line::Call(call)) => {
-                if let Some(ev) = call_to_event(&call, interner) {
-                    self.events.push(ev);
+                if let Some(ev) = call_to_event(&call, &mut sink) {
+                    self.events.push((lineno, ev));
                 }
             }
             None => self.warnings.push(Warning::UnparsableLine {
@@ -125,17 +618,23 @@ impl AssemblyState {
         }
     }
 
-    fn finish(mut self, _interner: &Interner) -> ParsedTrace {
-        for (pid, pendings) in self.pending.drain() {
-            for p in pendings {
-                self.warnings.push(Warning::NeverResumed { pid, call: p.name });
-            }
+    fn finish(mut self) -> ParsedTrace {
+        let mut leftovers: Vec<(usize, u32, String)> = self
+            .pending
+            .drain()
+            .flat_map(|((pid, name), queue)| {
+                queue.into_iter().map(move |p| (p.seq, pid, name.clone()))
+            })
+            .collect();
+        leftovers.sort_unstable_by_key(|(seq, _, _)| *seq);
+        for (_, pid, call) in leftovers {
+            self.warnings.push(Warning::NeverResumed { pid, call });
         }
         // strace emits records in completion order; merged unfinished
-        // records re-enter at their *start* time, so re-sort (stable).
-        self.events.sort_by_key(|e| e.start);
+        // records re-enter at their *start* time, so re-sort.
+        self.events.sort_unstable_by_key(event_order);
         ParsedTrace {
-            events: self.events,
+            events: self.events.into_iter().map(|(_, e)| e).collect(),
             warnings: self.warnings,
         }
     }
@@ -158,8 +657,9 @@ fn truncate(s: &str, max: usize) -> String {
 /// Returns `None` only for records that carry no usable timestamp
 /// semantics (currently never — unknown calls are kept with interned
 /// names so arbitrary `-e` selections survive).
-fn call_to_event(call: &ParsedCall<'_>, interner: &Interner) -> Option<Event> {
-    let syscall = Syscall::from_name(call.name, interner);
+fn call_to_event<I: Intern>(call: &ParsedCall<'_>, sink: &mut I) -> Option<Event> {
+    let syscall = Syscall::from_known_name(call.name)
+        .unwrap_or_else(|| Syscall::Other(sink.intern_str(call.name)));
     let ok = !call.ret.is_error();
 
     // File-path resolution (Sec. III item 5): `-y` annotates fd arguments
@@ -227,7 +727,7 @@ fn call_to_event(call: &ParsedCall<'_>, interner: &Interner) -> Option<Event> {
         syscall,
         call.start,
         call.dur.unwrap_or(Micros::ZERO),
-        interner.intern(path),
+        sink.intern_str(path),
     );
     event.size = size;
     event.requested = requested;
@@ -409,5 +909,143 @@ mod tests {
             Syscall::Other(sym) => assert_eq!(&*i.resolve(sym), "statx"),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn split_chunks_cuts_at_line_boundaries_and_covers_text() {
+        let text = "line one\nline two\nline three\nline four\n";
+        for n in 1..=8 {
+            let chunks = split_chunks(text, n);
+            assert_eq!(chunks.len(), n);
+            assert_eq!(chunks.concat(), text, "n={n}");
+            for chunk in &chunks {
+                assert!(chunk.is_empty() || chunk.ends_with('\n') || !chunk.contains('\n') || *chunk == &text[text.len() - chunk.len()..]);
+            }
+        }
+        // Trailing partial line (no final newline).
+        let no_nl = "a\nb\nc";
+        for n in 1..=4 {
+            assert_eq!(split_chunks(no_nl, n).concat(), no_nl);
+        }
+        assert_eq!(split_chunks("", 4).concat(), "");
+    }
+
+    #[test]
+    fn parse_par_matches_parse_str_on_fig2a() {
+        for threads in [2, 3, 8, 17] {
+            let i1 = Interner::new();
+            let i2 = Interner::new();
+            let seq = parse_str(FIG2A, &i1);
+            let par = parse_par(FIG2A, &i2, threads);
+            // Byte-for-byte: same events including symbol ids, because
+            // both paths intern in the same canonical order.
+            assert_eq!(seq.events, par.events, "threads={threads}");
+            assert_eq!(seq.warnings, par.warnings);
+        }
+    }
+
+    #[test]
+    fn parse_par_merges_unfinished_across_chunks() {
+        // Enough filler that the unfinished/resumed pair straddles chunk
+        // boundaries for every thread count.
+        let mut text = String::from(
+            "7  08:00:00.000001 read(3</straddle/first>, <unfinished ...>\n",
+        );
+        for k in 0..40 {
+            text.push_str(&format!(
+                "9  08:00:00.{:06} read(3</filler/f{}>, \"...\", 64) = 64 <0.000002>\n",
+                100 + k,
+                k % 5
+            ));
+        }
+        text.push_str("7  08:00:00.000500 <... read resumed> \"...\", 405) = 404 <0.000223>\n");
+        for threads in [2, 3, 5, 8] {
+            let i1 = Interner::new();
+            let i2 = Interner::new();
+            let seq = parse_str(&text, &i1);
+            let par = parse_par(&text, &i2, threads);
+            assert_eq!(seq.events, par.events, "threads={threads}");
+            assert_eq!(seq.warnings, par.warnings);
+            // The merged event exists, starts first, carries resumed data.
+            assert_eq!(par.events.len(), 41);
+            assert_eq!(par.events[0].pid, Pid(7));
+            assert_eq!(par.events[0].size, Some(404));
+            let snap = i2.snapshot();
+            assert_eq!(snap.resolve(par.events[0].path), "/straddle/first");
+        }
+    }
+
+    #[test]
+    fn parse_par_warning_lines_are_global() {
+        let mut text = String::new();
+        for k in 0..30 {
+            text.push_str(&format!(
+                "9  08:00:00.{:06} read(3</f{}>, \"\", 8) = 0 <0.000001>\n",
+                k + 1,
+                k % 3
+            ));
+        }
+        text.push_str("garbage at line 31\n");
+        text.push_str("9  08:00:00.000100 <... write resumed> \"\", 8) = 8 <0.000001>\n");
+        text.push_str("9  08:00:00.000200 openat(AT_FDCWD, <unfinished ...>\n");
+        for threads in [2, 4, 7] {
+            let i = Interner::new();
+            let par = parse_par(&text, &i, threads);
+            assert_eq!(
+                par.warnings,
+                vec![
+                    Warning::UnparsableLine { line: 31, text: "garbage at line 31".into() },
+                    Warning::OrphanResumed { line: 32, pid: 9 },
+                    Warning::NeverResumed { pid: 9, call: "openat".into() },
+                ],
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_par_fifo_matching_spans_chunks() {
+        // Two outstanding reads for the same pid; sequential semantics
+        // match them first-in-first-out even when the pendings sit in
+        // different chunks than their resumptions.
+        let mut text = String::from(
+            "5  08:00:00.000001 read(3</fifo/a>, <unfinished ...>\n",
+        );
+        for k in 0..20 {
+            text.push_str(&format!(
+                "9  08:00:00.{:06} write(1</dev/pts/7>, \"...\", 8) = 8 <0.000001>\n",
+                100 + k
+            ));
+        }
+        text.push_str("5  08:00:00.000300 read(4</fifo/b>, <unfinished ...>\n");
+        for k in 0..20 {
+            text.push_str(&format!(
+                "9  08:00:00.{:06} write(1</dev/pts/7>, \"...\", 8) = 8 <0.000001>\n",
+                400 + k
+            ));
+        }
+        text.push_str("5  08:00:00.000600 <... read resumed> \"...\", 10) = 10 <0.000001>\n");
+        text.push_str("5  08:00:00.000700 <... read resumed> \"...\", 20) = 20 <0.000001>\n");
+        for threads in [1, 2, 3, 6] {
+            let i = Interner::new();
+            let parsed = parse_par(&text, &i, threads);
+            assert!(parsed.warnings.is_empty(), "threads={threads}: {:?}", parsed.warnings);
+            let snap = i.snapshot();
+            let reads: Vec<(&str, Option<u64>)> = parsed
+                .events
+                .iter()
+                .filter(|e| e.pid == Pid(5))
+                .map(|e| (snap.resolve(e.path), e.size))
+                .collect();
+            // FIFO: the first resumed completes /fifo/a, the second /fifo/b.
+            assert_eq!(reads, vec![("/fifo/a", Some(10)), ("/fifo/b", Some(20))], "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parse_par_zero_threads_uses_available_parallelism() {
+        let i = Interner::new();
+        let parsed = parse_par(FIG2A, &i, 0);
+        assert_eq!(parsed.events.len(), 8);
     }
 }

@@ -8,7 +8,14 @@
 //! stinspect stats <log.stlog> [--filter SUBSTR] [--map MAP]
 //! stinspect timeline <log.stlog> <activity> [--map MAP] [--width N]
 //! stinspect simulate <ls|ior-ssf-fpp|ior-mpiio> --out <dir> [--paper] [--emit-strace]
+//! stinspect diff <a> <b> [--cid-a CID] [--cid-b CID] [--map MAP] [--filter SUBSTR]
+//!               [-o out.dot] [--dot]
 //! ```
+//!
+//! `diff` inputs `<a>`/`<b>` are any of: an `st-store` container file, a
+//! directory of strace files (loaded through the normal loader), or a
+//! simulate spec `sim:<workload>[:paper]` (the workloads `simulate`
+//! accepts, generated in memory).
 //!
 //! `MAP` is one of `topdirs[:K]` (Eq. 4, default K=2), `suffix:PREFIX`
 //! (Fig. 4 naming), `site` (the experiments' `$SCRATCH`/`$SOFTWARE`
@@ -50,6 +57,7 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(rest),
         "timeline" => cmd_timeline(rest),
         "simulate" => cmd_simulate(rest),
+        "diff" => cmd_diff(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -80,7 +88,11 @@ commands:
   timeline <log.stlog> <activity>    per-case interval plot (Fig. 5)
       [--map MAP] [--width N]
   simulate <ls|ior-ssf-fpp|ior-mpiio> --out <dir>
-      [--paper] [--emit-strace]      generate a workload's event log";
+      [--paper] [--emit-strace]      generate a workload's event log
+  diff <a> <b>                       compare two runs' DFGs
+      [--cid-a CID] [--cid-b CID] [--map MAP] [--filter SUBSTR]
+      [-o out.dot] [--dot]
+      <a>/<b>: store file | strace dir | sim:<workload>[:paper]";
 
 /// Simple flag cursor over the argument list.
 struct Args<'a> {
@@ -367,6 +379,98 @@ fn cmd_timeline(tokens: &[String]) -> Result<(), String> {
     let timeline = Timeline::for_activity(&mapped, activity)
         .ok_or_else(|| format!("no events map to activity {activity:?}"))?;
     emit(&timeline.render_ascii(parsed.width));
+    Ok(())
+}
+
+/// Resolves one `diff` input: a `sim:<workload>[:paper]` spec, a
+/// directory of strace files, or an `st-store` container file. Store
+/// files apply `filter` at read time (like the other subcommands);
+/// simulated and freshly parsed logs filter after materialization.
+fn load_diff_input(spec: &str, filter: Option<&str>) -> Result<EventLog, String> {
+    let narrow = |log: EventLog| match filter {
+        Some(needle) => log.filter_path_contains(needle),
+        None => log,
+    };
+    if let Some(rest) = spec.strip_prefix("sim:") {
+        let (name, paper) = match rest.strip_suffix(":paper") {
+            Some(name) => (name, true),
+            None => (rest, false),
+        };
+        return build_workload_log(name, paper).map(narrow);
+    }
+    let path = Path::new(spec);
+    if path.is_dir() {
+        let interner = Interner::new_shared();
+        let result = load_dir(path, Arc::clone(&interner), &LoadOptions::default())
+            .map_err(|e| format!("{spec}: {e}"))?;
+        for (file, warning) in &result.warnings {
+            eprintln!("warning: {}: {warning}", file.display());
+        }
+        return Ok(narrow(result.log));
+    }
+    open_log(path, filter).map_err(|e| format!("{spec}: {e}"))
+}
+
+fn cmd_diff(tokens: &[String]) -> Result<(), String> {
+    let mut args = Args::new(tokens);
+    let mut inputs: Vec<String> = Vec::new();
+    let mut cid_a: Option<String> = None;
+    let mut cid_b: Option<String> = None;
+    let mut map = MapChoice::TopDirs(2);
+    let mut filter: Option<String> = None;
+    let mut out: Option<PathBuf> = None;
+    let mut dot_stdout = false;
+    while let Some(tok) = args.next() {
+        match tok {
+            "--cid-a" => cid_a = Some(args.value("--cid-a")?.to_string()),
+            "--cid-b" => cid_b = Some(args.value("--cid-b")?.to_string()),
+            "--map" => map = MapChoice::parse(args.value("--map")?)?,
+            "--filter" => filter = Some(args.value("--filter")?.to_string()),
+            "-o" => out = Some(PathBuf::from(args.value("-o")?)),
+            "--dot" => dot_stdout = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            input => inputs.push(input.to_string()),
+        }
+    }
+    let [input_a, input_b] = inputs.as_slice() else {
+        return Err("diff: expected exactly two inputs <a> <b>".to_string());
+    };
+
+    // Load both sides, then narrow each to its cid subset if requested
+    // (e.g. `--cid-a s --cid-b f` splits one ior-ssf-fpp log into the
+    // SSF and FPP runs).
+    let select = |log: EventLog, cid: &Option<String>, side: &str| -> Result<EventLog, String> {
+        let Some(cid) = cid else { return Ok(log) };
+        let (selected, _rest) = log.partition_by_cid(cid);
+        if selected.is_empty() {
+            return Err(format!("no cases with cid {cid:?} in input {side}"));
+        }
+        Ok(selected)
+    };
+    let log_a = select(load_diff_input(input_a, filter.as_deref())?, &cid_a, "A")?;
+    let log_b = select(load_diff_input(input_b, filter.as_deref())?, &cid_b, "B")?;
+
+    let mapping = map.build();
+    let dfg_a = Dfg::from_mapped(&MappedLog::new(&log_a, mapping.as_ref()));
+    let dfg_b = Dfg::from_mapped(&MappedLog::new(&log_b, mapping.as_ref()));
+    let diff = st_core::diff::diff(&dfg_a, &dfg_b);
+
+    let options = st_core::render::RenderOptions {
+        graph_name: "DFG diff".to_string(),
+        show_stats: false,
+        ..Default::default()
+    };
+    let dot = (out.is_some() || dot_stdout)
+        .then(|| st_core::render::render_diff_dot(&diff, &options));
+    if let (Some(path), Some(dot)) = (&out, &dot) {
+        std::fs::write(path, dot).map_err(|e| e.to_string())?;
+        eprintln!("wrote {}", path.display());
+    }
+    if dot_stdout {
+        emit(dot.as_deref().unwrap_or_default());
+    } else {
+        emit(&st_core::render::render_diff_report(&diff));
+    }
     Ok(())
 }
 

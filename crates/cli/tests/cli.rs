@@ -189,6 +189,121 @@ fn timeline_unknown_activity_fails_cleanly() {
 }
 
 #[test]
+fn diff_simulated_ssf_vs_fpp() {
+    let dir = tmpdir("diff");
+    // Report mode on two in-memory simulated runs split out of the
+    // ior-ssf-fpp workload by cid.
+    let out = stinspect()
+        .args([
+            "diff",
+            "sim:ior-ssf-fpp",
+            "sim:ior-ssf-fpp",
+            "--cid-a",
+            "s",
+            "--cid-b",
+            "f",
+            "--map",
+            "site",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("DFG diff"), "{report}");
+    assert!(report.contains("total-variation distance:"), "{report}");
+    assert!(report.contains("changed edges"), "{report}");
+    // Deterministic: a second run prints the identical report.
+    let again = stinspect()
+        .args([
+            "diff",
+            "sim:ior-ssf-fpp",
+            "sim:ior-ssf-fpp",
+            "--cid-a",
+            "s",
+            "--cid-b",
+            "f",
+            "--map",
+            "site",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.stdout, again.stdout);
+
+    // DOT mode, written to a file.
+    let dot_path = dir.join("diff.dot");
+    let out = stinspect()
+        .args(["diff", "sim:ior-ssf-fpp", "sim:ior-ssf-fpp"])
+        .args(["--cid-a", "s", "--cid-b", "f", "--map", "site", "-o"])
+        .arg(&dot_path)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let dot = std::fs::read_to_string(&dot_path).unwrap();
+    assert!(dot.starts_with("digraph \"DFG diff\""), "{dot}");
+    assert!(dot.contains("#808080"), "shared edges gray: {dot}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn diff_accepts_store_and_trace_dir_inputs() {
+    let dir = tmpdir("diffinputs");
+    stinspect()
+        .args(["simulate", "ls", "--out"])
+        .arg(&dir)
+        .arg("--emit-strace")
+        .output()
+        .unwrap();
+    let store = dir.join("ls.stlog");
+    let traces = dir.join("ls-traces");
+
+    // Store vs strace directory of the same run: structurally identical.
+    let out = stinspect()
+        .arg("diff")
+        .arg(&store)
+        .arg(&traces)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("graphs are identical"), "{report}");
+    assert!(report.contains("total-variation distance: 0.0000"), "{report}");
+
+    // cid selection inside one container: `ls` vs `ls -l`.
+    let out = stinspect()
+        .arg("diff")
+        .arg(&store)
+        .arg(&store)
+        .args(["--cid-a", "a", "--cid-b", "b"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("B-only"), "ls -l touches more files: {report}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn diff_bad_inputs_fail_cleanly() {
+    let out = stinspect()
+        .args(["diff", "sim:nope", "sim:ls"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown workload"));
+
+    let out = stinspect().args(["diff", "sim:ls"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly two inputs"));
+
+    let out = stinspect()
+        .args(["diff", "sim:ls", "sim:ls", "--cid-a", "zzz"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no cases with cid"));
+}
+
+#[test]
 fn parse_missing_directory_fails() {
     let out = stinspect()
         .args(["parse", "/nonexistent/traces", "-o", "/tmp/x.stlog"])

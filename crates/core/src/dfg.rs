@@ -229,6 +229,29 @@ impl Dfg {
     }
 
     /// Builds the DFG from a mapped log in one sequential pass.
+    ///
+    /// ```
+    /// use st_core::prelude::*;
+    /// use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+    /// use std::sync::Arc;
+    ///
+    /// // One trace ⟨read:/etc/passwd, read:/etc/passwd⟩ ...
+    /// let mut log = EventLog::with_new_interner();
+    /// let i = Arc::clone(log.interner());
+    /// let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+    /// log.push_case(Case::from_events(meta, vec![
+    ///     Event::new(Pid(1), Syscall::Read, Micros(0), Micros(1), i.intern("/etc/passwd")),
+    ///     Event::new(Pid(1), Syscall::Read, Micros(2), Micros(1), i.intern("/etc/passwd")),
+    /// ]));
+    ///
+    /// // ... yields ● → read:/etc/passwd → read:/etc/passwd → ■.
+    /// let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+    /// let dfg = Dfg::from_mapped(&mapped);
+    /// assert_eq!(dfg.case_count(), 1);
+    /// assert_eq!(dfg.edge_count_named("●", "read:/etc/passwd"), 1);
+    /// assert_eq!(dfg.edge_count_named("read:/etc/passwd", "read:/etc/passwd"), 1);
+    /// assert_eq!(dfg.edge_count_named("read:/etc/passwd", "■"), 1);
+    /// ```
     pub fn from_mapped(mapped: &MappedLog<'_>) -> Dfg {
         let mut acc = DenseAcc::new(mapped.table().len());
         for case_idx in 0..mapped.log().case_count() {

@@ -1,0 +1,526 @@
+//! Cross-run DFG comparison.
+//!
+//! The paper's inspection loop does not stop at building one DFG: Sec. V
+//! contrasts IOR Single-Shared-File against File-Per-Process and MPI-IO
+//! against POSIX by looking at how the *directly-follows structure and
+//! edge frequencies shift between two runs*. This module makes that
+//! comparison a first-class operation: [`diff`] aligns two [`Dfg`]s **by
+//! activity name** (dense [`crate::ActivityId`]s are interner-local and
+//! mean nothing across runs), normalizes edge counts to relative
+//! frequencies so runs of different lengths stay comparable, and
+//! produces a structural [`DfgDiff`]:
+//!
+//! * nodes and edges partitioned into *A-only* (removed), *B-only*
+//!   (added) and *common*;
+//! * per-edge absolute counts and relative frequencies on both sides,
+//!   with absolute and relative deltas;
+//! * summary metrics, including the total-variation distance between
+//!   the two edge-frequency distributions.
+//!
+//! The result is deterministic: nodes and edges are ordered start →
+//! activities (lexicographic) → end, the same order rendering uses.
+//!
+//! ```
+//! use st_core::prelude::*;
+//! use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+//! use std::sync::Arc;
+//!
+//! // Two tiny runs: run A reads /data twice, run B reads /data then
+//! // writes /out.
+//! fn run(paths: &[(&str, Syscall)]) -> EventLog {
+//!     let mut log = EventLog::with_new_interner();
+//!     let i = Arc::clone(log.interner());
+//!     let meta = CaseMeta { cid: i.intern("c"), host: i.intern("h"), rid: 0 };
+//!     let events = paths.iter().enumerate().map(|(k, (p, call))| {
+//!         Event::new(Pid(1), *call, Micros(k as u64), Micros(1), i.intern(p))
+//!     }).collect();
+//!     log.push_case(Case::from_events(meta, events));
+//!     log
+//! }
+//! let a = run(&[("/data/f", Syscall::Read), ("/data/f", Syscall::Read)]);
+//! let b = run(&[("/data/f", Syscall::Read), ("/out/f", Syscall::Write)]);
+//!
+//! let mapping = CallTopDirs::new(2);
+//! let dfg_a = Dfg::from_mapped(&MappedLog::new(&a, &mapping));
+//! let dfg_b = Dfg::from_mapped(&MappedLog::new(&b, &mapping));
+//!
+//! let d = st_core::diff::diff(&dfg_a, &dfg_b);
+//! assert!(!d.is_empty());
+//! // write:/out/f only appears in run B.
+//! assert_eq!(d.nodes_added().count(), 1);
+//! assert_eq!(d.nodes_added().next().unwrap().name, "write:/out/f");
+//! // Comparing a graph against itself is empty.
+//! assert!(st_core::diff::diff(&dfg_a, &dfg_a).is_empty());
+//! ```
+
+use std::collections::BTreeMap;
+
+use crate::dfg::Dfg;
+
+/// Which side(s) of a comparison an aligned node or edge occurs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Presence {
+    /// Only in the first graph (`A`) — *removed* going A → B.
+    AOnly,
+    /// Only in the second graph (`B`) — *added* going A → B.
+    BOnly,
+    /// In both graphs.
+    Both,
+}
+
+/// One aligned node of a [`DfgDiff`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct NodeDiff {
+    /// Activity name, or `"●"` / `"■"` for the start/end markers.
+    pub name: String,
+    /// Side(s) the node occurs on.
+    pub presence: Presence,
+    /// Occurrences in `A` (events for activities, traces for markers).
+    pub occ_a: u64,
+    /// Occurrences in `B`.
+    pub occ_b: u64,
+}
+
+impl NodeDiff {
+    /// Signed occurrence delta `B − A`.
+    pub fn delta_occ(&self) -> i64 {
+        self.occ_b as i64 - self.occ_a as i64
+    }
+}
+
+/// One aligned edge of a [`DfgDiff`].
+#[derive(Clone, PartialEq, Debug)]
+pub struct EdgeDiff {
+    /// Source node name (`"●"` for the start marker).
+    pub from: String,
+    /// Target node name (`"■"` for the end marker).
+    pub to: String,
+    /// Side(s) the edge occurs on.
+    pub presence: Presence,
+    /// Observation count in `A`.
+    pub count_a: u64,
+    /// Observation count in `B`.
+    pub count_b: u64,
+    /// Relative frequency in `A`: `count_a / Σ counts(A)` (0 when `A`
+    /// has no edges).
+    pub freq_a: f64,
+    /// Relative frequency in `B`.
+    pub freq_b: f64,
+}
+
+impl EdgeDiff {
+    /// Signed count delta `B − A`.
+    pub fn delta_count(&self) -> i64 {
+        self.count_b as i64 - self.count_a as i64
+    }
+
+    /// Signed relative-frequency delta `B − A`, in `[-1, 1]`.
+    pub fn delta_freq(&self) -> f64 {
+        self.freq_b - self.freq_a
+    }
+
+    /// A common edge whose count or relative frequency shifted.
+    ///
+    /// Counts may match while frequencies differ (the other edges
+    /// changed the totals) and vice versa; either shift counts as a
+    /// change.
+    pub fn is_changed(&self) -> bool {
+        self.presence == Presence::Both
+            && (self.count_a != self.count_b || self.delta_freq().abs() > FREQ_EPSILON)
+    }
+}
+
+/// Frequency shifts below this are numeric noise, not change.
+const FREQ_EPSILON: f64 = 1e-12;
+
+/// Aggregate counts of a [`DfgDiff`], for reports and quick checks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct DiffSummary {
+    /// Nodes only in `A`.
+    pub nodes_removed: usize,
+    /// Nodes only in `B`.
+    pub nodes_added: usize,
+    /// Nodes in both.
+    pub nodes_common: usize,
+    /// Edges only in `A`.
+    pub edges_removed: usize,
+    /// Edges only in `B`.
+    pub edges_added: usize,
+    /// Common edges whose count or frequency shifted.
+    pub edges_changed: usize,
+    /// Common edges with identical counts and frequencies.
+    pub edges_unchanged: usize,
+}
+
+/// The structural comparison of two DFGs, produced by [`diff`].
+///
+/// Nodes and edges are aligned by name and held in deterministic order:
+/// `●` first, activities lexicographically, `■` last (edges by that
+/// order on `(from, to)`).
+#[derive(Clone, Debug)]
+pub struct DfgDiff {
+    nodes: Vec<NodeDiff>,
+    edges: Vec<EdgeDiff>,
+    case_count_a: u64,
+    case_count_b: u64,
+    total_edges_a: u64,
+    total_edges_b: u64,
+    tvd: f64,
+}
+
+impl DfgDiff {
+    /// All aligned nodes, in deterministic order.
+    pub fn nodes(&self) -> &[NodeDiff] {
+        &self.nodes
+    }
+
+    /// All aligned edges, in deterministic order.
+    pub fn edges(&self) -> &[EdgeDiff] {
+        &self.edges
+    }
+
+    /// Nodes present only in `B` (added going A → B).
+    pub fn nodes_added(&self) -> impl Iterator<Item = &NodeDiff> {
+        self.nodes.iter().filter(|n| n.presence == Presence::BOnly)
+    }
+
+    /// Nodes present only in `A` (removed going A → B).
+    pub fn nodes_removed(&self) -> impl Iterator<Item = &NodeDiff> {
+        self.nodes.iter().filter(|n| n.presence == Presence::AOnly)
+    }
+
+    /// Edges present only in `B`.
+    pub fn edges_added(&self) -> impl Iterator<Item = &EdgeDiff> {
+        self.edges.iter().filter(|e| e.presence == Presence::BOnly)
+    }
+
+    /// Edges present only in `A`.
+    pub fn edges_removed(&self) -> impl Iterator<Item = &EdgeDiff> {
+        self.edges.iter().filter(|e| e.presence == Presence::AOnly)
+    }
+
+    /// Common edges whose count or relative frequency shifted.
+    pub fn edges_changed(&self) -> impl Iterator<Item = &EdgeDiff> {
+        self.edges.iter().filter(|e| e.is_changed())
+    }
+
+    /// Traces contributing to `A`.
+    pub fn case_count_a(&self) -> u64 {
+        self.case_count_a
+    }
+
+    /// Traces contributing to `B`.
+    pub fn case_count_b(&self) -> u64 {
+        self.case_count_b
+    }
+
+    /// Total edge observations in `A` (the frequency denominator).
+    pub fn total_edges_a(&self) -> u64 {
+        self.total_edges_a
+    }
+
+    /// Total edge observations in `B`.
+    pub fn total_edges_b(&self) -> u64 {
+        self.total_edges_b
+    }
+
+    /// Total-variation distance `½ Σ |p_A(e) − p_B(e)|` between the two
+    /// edge-frequency distributions, in `[0, 1]`.
+    ///
+    /// 0 means identical distributions (identical graphs score 0 even if
+    /// one run is a scaled repeat of the other); 1 means completely
+    /// disjoint structure. When exactly one side has no edges at all the
+    /// distance is defined as 1, and as 0 when both are empty.
+    pub fn total_variation(&self) -> f64 {
+        self.tvd
+    }
+
+    /// No structural difference at all: every node and edge is common
+    /// and every edge keeps its count (hence its frequency). `diff(G,
+    /// G)` is empty for every `G`.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.iter().all(|n| n.presence == Presence::Both)
+            && self
+                .edges
+                .iter()
+                .all(|e| e.presence == Presence::Both && !e.is_changed())
+    }
+
+    /// Aggregate counts.
+    pub fn summary(&self) -> DiffSummary {
+        let mut s = DiffSummary::default();
+        for n in &self.nodes {
+            match n.presence {
+                Presence::AOnly => s.nodes_removed += 1,
+                Presence::BOnly => s.nodes_added += 1,
+                Presence::Both => s.nodes_common += 1,
+            }
+        }
+        for e in &self.edges {
+            match e.presence {
+                Presence::AOnly => s.edges_removed += 1,
+                Presence::BOnly => s.edges_added += 1,
+                Presence::Both if e.is_changed() => s.edges_changed += 1,
+                Presence::Both => s.edges_unchanged += 1,
+            }
+        }
+        s
+    }
+}
+
+/// Sort rank putting `●` before activity names before `■`.
+fn name_rank(name: &str) -> u8 {
+    match name {
+        "●" => 0,
+        "■" => 2,
+        _ => 1,
+    }
+}
+
+/// Deterministic ordering key for aligned names.
+type NameKey = (u8, String);
+
+fn name_key(name: &str) -> NameKey {
+    (name_rank(name), name.to_string())
+}
+
+/// Compares two DFGs, aligning nodes and edges **by activity name**.
+///
+/// Dense activity ids are assigned per [`crate::ActivityTable`] in
+/// first-appearance order and therefore differ between independently
+/// built graphs; names are the only stable identity across runs. Edge
+/// counts are additionally normalized to relative frequencies
+/// (`count / Σ counts` per graph) so that a run with twice the events
+/// but the same *behavior* diffs as unchanged in distribution (the
+/// count deltas still show the scale shift).
+///
+/// The comparison is symmetric up to direction: `diff(b, a)` has
+/// added/removed mirrored and all deltas negated, with the same
+/// total-variation distance.
+pub fn diff(a: &Dfg, b: &Dfg) -> DfgDiff {
+    // Align nodes.
+    let mut nodes: BTreeMap<NameKey, (u64, u64, bool, bool)> = BTreeMap::new();
+    for node in a.nodes() {
+        let name = a.node_name(node);
+        let slot = nodes.entry(name_key(name)).or_default();
+        slot.0 = a.occurrences(node);
+        slot.2 = true;
+    }
+    for node in b.nodes() {
+        let name = b.node_name(node);
+        let slot = nodes.entry(name_key(name)).or_default();
+        slot.1 = b.occurrences(node);
+        slot.3 = true;
+    }
+    let nodes: Vec<NodeDiff> = nodes
+        .into_iter()
+        .map(|((_, name), (occ_a, occ_b, in_a, in_b))| NodeDiff {
+            name,
+            presence: presence(in_a, in_b),
+            occ_a,
+            occ_b,
+        })
+        .collect();
+
+    // Align edges.
+    let total_a = a.total_edge_observations();
+    let total_b = b.total_edge_observations();
+    let mut edges: BTreeMap<(NameKey, NameKey), (u64, u64, bool, bool)> = BTreeMap::new();
+    for (from, to, count) in a.edges() {
+        let key = (name_key(a.node_name(from)), name_key(a.node_name(to)));
+        let slot = edges.entry(key).or_default();
+        slot.0 = count;
+        slot.2 = true;
+    }
+    for (from, to, count) in b.edges() {
+        let key = (name_key(b.node_name(from)), name_key(b.node_name(to)));
+        let slot = edges.entry(key).or_default();
+        slot.1 = count;
+        slot.3 = true;
+    }
+    let freq = |count: u64, total: u64| {
+        if total == 0 {
+            0.0
+        } else {
+            count as f64 / total as f64
+        }
+    };
+    let edges: Vec<EdgeDiff> = edges
+        .into_iter()
+        .map(|(((_, from), (_, to)), (count_a, count_b, in_a, in_b))| EdgeDiff {
+            from,
+            to,
+            presence: presence(in_a, in_b),
+            count_a,
+            count_b,
+            freq_a: freq(count_a, total_a),
+            freq_b: freq(count_b, total_b),
+        })
+        .collect();
+
+    let tvd = match (total_a, total_b) {
+        (0, 0) => 0.0,
+        (0, _) | (_, 0) => 1.0,
+        _ => 0.5 * edges.iter().map(|e| e.delta_freq().abs()).sum::<f64>(),
+    };
+
+    DfgDiff {
+        nodes,
+        edges,
+        case_count_a: a.case_count(),
+        case_count_b: b.case_count(),
+        total_edges_a: total_a,
+        total_edges_b: total_b,
+        tvd,
+    }
+}
+
+fn presence(in_a: bool, in_b: bool) -> Presence {
+    match (in_a, in_b) {
+        (true, false) => Presence::AOnly,
+        (false, true) => Presence::BOnly,
+        (true, true) => Presence::Both,
+        (false, false) => unreachable!("aligned entry seen on neither side"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapped::MappedLog;
+    use crate::mapping::CallTopDirs;
+    use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+    use std::sync::Arc;
+
+    /// One single-case log touching the given paths with `read`.
+    fn log_of(paths: &[&str]) -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("c"), host: i.intern("h"), rid: 0 };
+        let events = paths
+            .iter()
+            .enumerate()
+            .map(|(k, p)| {
+                Event::new(Pid(1), Syscall::Read, Micros(k as u64), Micros(1), i.intern(p))
+            })
+            .collect();
+        log.push_case(Case::from_events(meta, events));
+        log
+    }
+
+    fn dfg_of(paths: &[&str]) -> Dfg {
+        let log = log_of(paths);
+        Dfg::from_mapped(&MappedLog::new(&log, &CallTopDirs::new(2)))
+    }
+
+    #[test]
+    fn self_diff_is_empty() {
+        let g = dfg_of(&["/a/f", "/a/f", "/b/f"]);
+        let d = diff(&g, &g);
+        assert!(d.is_empty());
+        assert_eq!(d.total_variation(), 0.0);
+        assert_eq!(d.summary().edges_changed, 0);
+        assert_eq!(d.summary().nodes_added, 0);
+        assert_eq!(d.summary().nodes_removed, 0);
+        // Everything is still listed, as common.
+        assert_eq!(d.summary().nodes_common, d.nodes().len());
+    }
+
+    #[test]
+    fn disjoint_graphs_have_tvd_one() {
+        let a = dfg_of(&["/a/f"]);
+        let b = dfg_of(&["/b/f"]);
+        let d = diff(&a, &b);
+        // ●→x and x→■ disjoint... but ● and ■ themselves are common
+        // nodes while *all edges* differ.
+        assert!((d.total_variation() - 1.0).abs() < 1e-12, "{}", d.total_variation());
+        assert_eq!(d.nodes_added().count(), 1);
+        assert_eq!(d.nodes_removed().count(), 1);
+        assert_eq!(d.edges_added().count(), 2);
+        assert_eq!(d.edges_removed().count(), 2);
+    }
+
+    #[test]
+    fn scaled_repeat_changes_counts_not_distribution() {
+        // B is A's trace twice: same structure, same frequencies,
+        // doubled counts.
+        let a_log = log_of(&["/a/f", "/b/f"]);
+        let mut b_log = log_of(&["/a/f", "/b/f"]);
+        {
+            let i = Arc::clone(b_log.interner());
+            let meta = CaseMeta { cid: i.intern("c"), host: i.intern("h"), rid: 1 };
+            let events = ["/a/f", "/b/f"]
+                .iter()
+                .enumerate()
+                .map(|(k, p)| {
+                    Event::new(Pid(2), Syscall::Read, Micros(k as u64), Micros(1), i.intern(p))
+                })
+                .collect();
+            b_log.push_case(Case::from_events(meta, events));
+        }
+        let m = CallTopDirs::new(2);
+        let a = Dfg::from_mapped(&MappedLog::new(&a_log, &m));
+        let b = Dfg::from_mapped(&MappedLog::new(&b_log, &m));
+        let d = diff(&a, &b);
+        assert_eq!(d.total_variation(), 0.0);
+        assert!(!d.is_empty(), "count shift is still a change");
+        for e in d.edges() {
+            assert_eq!(e.presence, Presence::Both);
+            assert_eq!(e.count_b, 2 * e.count_a);
+            assert!(e.delta_freq().abs() < 1e-12);
+            assert!(e.is_changed());
+        }
+    }
+
+    #[test]
+    fn swap_mirrors_added_and_removed() {
+        let a = dfg_of(&["/a/f", "/b/f"]);
+        let b = dfg_of(&["/a/f", "/c/f", "/c/f"]);
+        let ab = diff(&a, &b);
+        let ba = diff(&b, &a);
+        let names = |it: Vec<&NodeDiff>| it.iter().map(|n| n.name.clone()).collect::<Vec<_>>();
+        assert_eq!(
+            names(ab.nodes_added().collect()),
+            names(ba.nodes_removed().collect())
+        );
+        assert_eq!(
+            names(ab.nodes_removed().collect()),
+            names(ba.nodes_added().collect())
+        );
+        assert_eq!(ab.total_variation(), ba.total_variation());
+        assert_eq!(ab.edges_added().count(), ba.edges_removed().count());
+        // Deltas negate.
+        for (e_ab, e_ba) in ab.edges().iter().zip(ba.edges()) {
+            assert_eq!(e_ab.from, e_ba.from);
+            assert_eq!(e_ab.to, e_ba.to);
+            assert_eq!(e_ab.delta_count(), -e_ba.delta_count());
+            assert!((e_ab.delta_freq() + e_ba.delta_freq()).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ordering_is_start_names_end() {
+        let a = dfg_of(&["/b/f", "/a/f"]);
+        let b = dfg_of(&["/c/f"]);
+        let d = diff(&a, &b);
+        let names: Vec<&str> = d.nodes().iter().map(|n| n.name.as_str()).collect();
+        assert_eq!(names, vec!["●", "read:/a/f", "read:/b/f", "read:/c/f", "■"]);
+        assert_eq!(d.edges().first().unwrap().from, "●");
+        assert_eq!(d.edges().last().unwrap().to, "■");
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_maximal() {
+        let empty_log = EventLog::with_new_interner();
+        let m = CallTopDirs::new(2);
+        let empty = Dfg::from_mapped(&MappedLog::new(&empty_log, &m));
+        let g = dfg_of(&["/a/f"]);
+        let d = diff(&empty, &g);
+        assert_eq!(d.total_variation(), 1.0);
+        assert_eq!(d.nodes_removed().count(), 0);
+        assert!(d.nodes_added().count() >= 1);
+        let both_empty = diff(&empty, &empty);
+        assert!(both_empty.is_empty());
+        assert_eq!(both_empty.total_variation(), 0.0);
+    }
+}

@@ -40,6 +40,9 @@
 //!   `L_f(C) ∈ B(A_f*)`;
 //! * [`dfg`] — DFG construction (sequential and map-reduce parallel,
 //!   following the paper's scalability references [24, 25]);
+//! * [`diff`](mod@diff) — cross-run DFG comparison: name-aligned structural diff
+//!   with frequency normalization (the Sec. V inspection loop —
+//!   SSF vs FPP, MPI-IO vs POSIX — as an operation);
 //! * [`stats`] — relative duration, bytes moved, process data rate,
 //!   max-concurrency (Eqs. 6–17);
 //! * [`concurrency`] — the `get_max_concurrency` interval algorithms;
@@ -57,6 +60,7 @@ pub mod activity_log;
 pub mod color;
 pub mod concurrency;
 pub mod dfg;
+pub mod diff;
 pub mod mapped;
 pub mod mapping;
 pub mod render;
@@ -68,9 +72,10 @@ pub use activity::{ActivityId, ActivityTable};
 pub use activity_log::ActivityLog;
 pub use color::{PartitionColoring, Rgb, StatisticsColoring, Styler};
 pub use dfg::{Dfg, Node};
+pub use diff::{diff, DfgDiff, DiffSummary, EdgeDiff, NodeDiff, Presence};
 pub use mapped::MappedLog;
 pub use mapping::{CallOnly, CallTopDirs, FnMapping, Mapping, PathFilter, PathSuffix, SiteMap};
-pub use render::{render_dot, render_summary, RenderOptions};
+pub use render::{render_diff_dot, render_diff_report, render_dot, render_summary, RenderOptions};
 pub use stats::{ActivityStats, IoStatistics};
 pub use timeline::Timeline;
 pub use viewer::DfgViewer;
@@ -81,11 +86,14 @@ pub mod prelude {
     pub use crate::activity_log::ActivityLog;
     pub use crate::color::{NoColoring, PartitionColoring, StatisticsColoring, Styler};
     pub use crate::dfg::{Dfg, Node};
+    pub use crate::diff::{diff, DfgDiff, DiffSummary, EdgeDiff, NodeDiff, Presence};
     pub use crate::mapped::MappedLog;
     pub use crate::mapping::{
         CallOnly, CallTopDirs, FnMapping, Mapping, PathFilter, PathSuffix, SiteMap,
     };
-    pub use crate::render::{render_dot, render_summary, RenderOptions};
+    pub use crate::render::{
+        render_diff_dot, render_diff_report, render_dot, render_summary, RenderOptions,
+    };
     pub use crate::stats::{ActivityStats, IoStatistics};
     pub use crate::timeline::Timeline;
     pub use crate::viewer::DfgViewer;

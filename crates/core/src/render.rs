@@ -18,7 +18,7 @@ use std::fmt::Write as _;
 
 use st_model::units::{format_bytes, format_rate_mbs};
 
-use crate::color::{NoColoring, Styler};
+use crate::color::{NoColoring, Rgb, Styler};
 use crate::dfg::{Dfg, Node};
 use crate::stats::IoStatistics;
 
@@ -58,29 +58,13 @@ pub fn render_dot(
     opts: &RenderOptions,
 ) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "digraph \"{}\" {{", escape(&opts.graph_name));
-    let _ = writeln!(out, "  rankdir={};", opts.rankdir);
-    let _ = writeln!(
-        out,
-        "  node [shape=box, style=\"rounded,filled\", fillcolor=\"#ffffff\", fontname=\"Helvetica\"];"
-    );
-    let _ = writeln!(out, "  edge [fontname=\"Helvetica\"];");
+    dot_preamble(&mut out, opts, "#ffffff");
 
     for node in dfg.nodes() {
         let id = node_id(dfg, node);
         match node {
-            Node::Start => {
-                let _ = writeln!(
-                    out,
-                    "  {id} [label=\"●\", shape=circle, style=filled, fillcolor=\"#000000\", fontcolor=\"#ffffff\", width=0.25, fixedsize=true];"
-                );
-            }
-            Node::End => {
-                let _ = writeln!(
-                    out,
-                    "  {id} [label=\"■\", shape=square, style=filled, fillcolor=\"#000000\", fontcolor=\"#ffffff\", width=0.25, fixedsize=true];"
-                );
-            }
+            Node::Start => dot_marker(&mut out, &id, "●", "#000000"),
+            Node::End => dot_marker(&mut out, &id, "■", "#000000"),
             Node::Act(act) => {
                 let name = dfg.table().name(act);
                 let label = node_label(name, stats, opts);
@@ -165,6 +149,28 @@ fn escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
 }
 
+/// Digraph header + node/edge defaults shared by all DOT renderers;
+/// only the default node fill varies.
+fn dot_preamble(out: &mut String, opts: &RenderOptions, node_fill: &str) {
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&opts.graph_name));
+    let _ = writeln!(out, "  rankdir={};", opts.rankdir);
+    let _ = writeln!(
+        out,
+        "  node [shape=box, style=\"rounded,filled\", fillcolor=\"{node_fill}\", fontname=\"Helvetica\"];"
+    );
+    let _ = writeln!(out, "  edge [fontname=\"Helvetica\"];");
+}
+
+/// The `●`/`■` marker node line shared by all DOT renderers; only the
+/// fill varies (black normally, red/green for one-sided diff markers).
+fn dot_marker(out: &mut String, id: &str, label: &str, fill: &str) {
+    let shape = if label == "●" { "circle" } else { "square" };
+    let _ = writeln!(
+        out,
+        "  {id} [label=\"{label}\", shape={shape}, style=filled, fillcolor=\"{fill}\", fontcolor=\"#ffffff\", width=0.25, fixedsize=true];"
+    );
+}
+
 /// Renders the per-node statistics rows of a figure as a plain-text
 /// table — the series the paper reports inside each node, one row per
 /// activity, plus the edge list. This is what the benchmark harness
@@ -221,6 +227,204 @@ pub fn render_summary(dfg: &Dfg, stats: Option<&IoStatistics>) -> String {
 
 fn display_name(name: &str) -> String {
     name.replace('\n', " ")
+}
+
+/// Gray used for structure shared by both sides of a diff.
+const DIFF_SHARED_FILL: &str = "#f0f0f0";
+/// Gray used for shared edges (kept darker than the fill for contrast).
+const DIFF_SHARED_EDGE: &str = "#808080";
+
+/// Renders a [`crate::diff::DfgDiff`] as annotated Graphviz DOT.
+///
+/// Diverging color scheme: structure present in both runs is gray,
+/// A-only structure (removed going A → B) is red, B-only structure
+/// (added) is green — the same palette as the paper's partition
+/// coloring (Sec. IV-C.2), reused for the cross-run comparison. Common
+/// edges whose relative frequency shifted carry a `countA→countB`
+/// label with the frequency delta in percentage points and a pen width
+/// scaled by the magnitude of the shift, so the hot shifts dominate
+/// visually.
+///
+/// Output is deterministic: nodes and edges follow the [`crate::diff::DfgDiff`]
+/// order (`●`, activities lexicographically, `■`).
+pub fn render_diff_dot(diff: &crate::diff::DfgDiff, opts: &RenderOptions) -> String {
+    use crate::diff::Presence;
+
+    let mut out = String::new();
+    dot_preamble(&mut out, opts, DIFF_SHARED_FILL);
+
+    // Stable node ids by position in the deterministic node order.
+    let mut ids: std::collections::HashMap<&str, String> = std::collections::HashMap::new();
+    for (idx, node) in diff.nodes().iter().enumerate() {
+        let id = match node.name.as_str() {
+            "●" => "start".to_string(),
+            "■" => "end".to_string(),
+            _ => format!("d{idx}"),
+        };
+        let (fill, font) = match node.presence {
+            Presence::AOnly => (Rgb::RED.to_hex(), Some(Rgb::WHITE)),
+            Presence::BOnly => (Rgb::GREEN.to_hex(), Some(Rgb::WHITE)),
+            Presence::Both => (DIFF_SHARED_FILL.to_string(), None),
+        };
+        match node.name.as_str() {
+            "●" | "■" => {
+                let fill = match node.presence {
+                    Presence::Both => Rgb::BLACK.to_hex(),
+                    _ => fill.clone(),
+                };
+                dot_marker(&mut out, &id, &node.name, &fill);
+            }
+            name => {
+                let label = node_label(name, None, opts);
+                let mut attrs = format!("label=\"{}\"", escape(&label));
+                let _ = write!(attrs, ", fillcolor=\"{fill}\"");
+                if let Some(font) = font {
+                    let _ = write!(attrs, ", fontcolor=\"{}\"", font.to_hex());
+                }
+                let _ = writeln!(out, "  {id} [{attrs}];");
+            }
+        }
+        ids.insert(node.name.as_str(), id);
+    }
+
+    for edge in diff.edges() {
+        let (Some(from), Some(to)) = (ids.get(edge.from.as_str()), ids.get(edge.to.as_str()))
+        else {
+            continue;
+        };
+        let color = match edge.presence {
+            Presence::AOnly => Rgb::RED.to_hex(),
+            Presence::BOnly => Rgb::GREEN.to_hex(),
+            Presence::Both => DIFF_SHARED_EDGE.to_string(),
+        };
+        let label = match edge.presence {
+            Presence::AOnly => format!("{}", edge.count_a),
+            Presence::BOnly => format!("{}", edge.count_b),
+            Presence::Both if edge.is_changed() => format!(
+                "{}→{} ({:+.1}pp)",
+                edge.count_a,
+                edge.count_b,
+                edge.delta_freq() * 100.0
+            ),
+            Presence::Both => format!("{}", edge.count_a),
+        };
+        // 1.0 for no shift, growing with |Δ frequency| up to 7.0.
+        let penwidth = 1.0 + (edge.delta_freq().abs() * 25.0).min(6.0);
+        let _ = writeln!(
+            out,
+            "  {from} -> {to} [label=\"{label}\", color=\"{color}\", fontcolor=\"{color}\", penwidth={penwidth:.2}];"
+        );
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a [`crate::diff::DfgDiff`] as a deterministic plain-text report: the
+/// summary block, then A-only / B-only nodes and edges, then common
+/// edges whose frequency shifted, ordered by the magnitude of the shift
+/// (ties broken by name). Percentages are relative edge frequencies
+/// within each run; `pp` deltas are percentage points.
+pub fn render_diff_report(diff: &crate::diff::DfgDiff) -> String {
+    let summary = diff.summary();
+    let mut out = String::new();
+    let _ = writeln!(out, "DFG diff (A → B)");
+    let _ = writeln!(
+        out,
+        "  A: {} cases, {} edge observations",
+        diff.case_count_a(),
+        diff.total_edges_a()
+    );
+    let _ = writeln!(
+        out,
+        "  B: {} cases, {} edge observations",
+        diff.case_count_b(),
+        diff.total_edges_b()
+    );
+    let _ = writeln!(
+        out,
+        "  nodes: {} common, {} A-only, {} B-only",
+        summary.nodes_common, summary.nodes_removed, summary.nodes_added
+    );
+    let _ = writeln!(
+        out,
+        "  edges: {} common ({} changed), {} A-only, {} B-only",
+        summary.edges_unchanged + summary.edges_changed,
+        summary.edges_changed,
+        summary.edges_removed,
+        summary.edges_added
+    );
+    let _ = writeln!(out, "  total-variation distance: {:.4}", diff.total_variation());
+    if diff.is_empty() {
+        let _ = writeln!(out, "  graphs are identical");
+        return out;
+    }
+
+    let pct = |f: f64| format!("{:.2}%", f * 100.0);
+    if summary.nodes_removed > 0 {
+        let _ = writeln!(out, "A-only nodes:");
+        for n in diff.nodes_removed() {
+            let _ = writeln!(out, "  {} ({} occ)", n.name, n.occ_a);
+        }
+    }
+    if summary.nodes_added > 0 {
+        let _ = writeln!(out, "B-only nodes:");
+        for n in diff.nodes_added() {
+            let _ = writeln!(out, "  {} ({} occ)", n.name, n.occ_b);
+        }
+    }
+    if summary.edges_removed > 0 {
+        let _ = writeln!(out, "A-only edges:");
+        for e in diff.edges_removed() {
+            let _ = writeln!(
+                out,
+                "  {} -> {}  [{} obs, {}]",
+                e.from,
+                e.to,
+                e.count_a,
+                pct(e.freq_a)
+            );
+        }
+    }
+    if summary.edges_added > 0 {
+        let _ = writeln!(out, "B-only edges:");
+        for e in diff.edges_added() {
+            let _ = writeln!(
+                out,
+                "  {} -> {}  [{} obs, {}]",
+                e.from,
+                e.to,
+                e.count_b,
+                pct(e.freq_b)
+            );
+        }
+    }
+    if summary.edges_changed > 0 {
+        let _ = writeln!(out, "changed edges (by |Δ frequency|):");
+        let mut changed: Vec<_> = diff.edges_changed().collect();
+        changed.sort_by(|x, y| {
+            y.delta_freq()
+                .abs()
+                .partial_cmp(&x.delta_freq().abs())
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| (&x.from, &x.to).cmp(&(&y.from, &y.to)))
+        });
+        for e in changed {
+            let _ = writeln!(
+                out,
+                "  {} -> {}  {} ({}) -> {} ({})  Δ{:+} obs, {:+.2}pp",
+                e.from,
+                e.to,
+                e.count_a,
+                pct(e.freq_a),
+                e.count_b,
+                pct(e.freq_b),
+                e.delta_count(),
+                e.delta_freq() * 100.0
+            );
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -348,6 +552,80 @@ mod tests {
         assert!(summary.contains("edges ("), "{summary}");
         assert!(summary.contains("● -> "), "{summary}");
         assert!(summary.contains(" -> ■"), "{summary}");
+    }
+
+    fn diff_fixture() -> (crate::dfg::Dfg, crate::dfg::Dfg) {
+        let m = CallTopDirs::new(2);
+        let log_a = {
+            let mut log = EventLog::with_new_interner();
+            let i = Arc::clone(log.interner());
+            let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+            log.push_case(Case::from_events(
+                meta,
+                vec![
+                    Event::new(Pid(1), Syscall::Read, Micros(0), Micros(1), i.intern("/shared/f")),
+                    Event::new(Pid(1), Syscall::Write, Micros(2), Micros(1), i.intern("/a-only/f")),
+                ],
+            ));
+            log
+        };
+        let log_b = {
+            let mut log = EventLog::with_new_interner();
+            let i = Arc::clone(log.interner());
+            let meta = CaseMeta { cid: i.intern("b"), host: i.intern("h"), rid: 0 };
+            log.push_case(Case::from_events(
+                meta,
+                vec![
+                    Event::new(Pid(2), Syscall::Read, Micros(0), Micros(1), i.intern("/shared/f")),
+                    Event::new(Pid(2), Syscall::Read, Micros(2), Micros(1), i.intern("/shared/f")),
+                    Event::new(Pid(2), Syscall::Write, Micros(4), Micros(1), i.intern("/b-only/f")),
+                ],
+            ));
+            log
+        };
+        (
+            crate::dfg::Dfg::from_mapped(&MappedLog::new(&log_a, &m)),
+            crate::dfg::Dfg::from_mapped(&MappedLog::new(&log_b, &m)),
+        )
+    }
+
+    #[test]
+    fn diff_dot_uses_diverging_palette() {
+        let (a, b) = diff_fixture();
+        let d = crate::diff::diff(&a, &b);
+        let dot = render_diff_dot(&d, &RenderOptions::default());
+        assert!(dot.starts_with("digraph"), "{dot}");
+        // A-only structure red, B-only green, shared gray.
+        assert!(dot.contains(&format!("fillcolor=\"{}\"", Rgb::RED.to_hex())), "{dot}");
+        assert!(dot.contains(&format!("fillcolor=\"{}\"", Rgb::GREEN.to_hex())), "{dot}");
+        assert!(dot.contains(&format!("fillcolor=\"{DIFF_SHARED_FILL}\"")), "{dot}");
+        assert!(dot.contains(&format!("color=\"{DIFF_SHARED_EDGE}\"")), "{dot}");
+        // The shared ●→read edge changed frequency: scaled pen width + Δ label.
+        assert!(dot.contains("pp)"), "{dot}");
+        // Deterministic.
+        assert_eq!(dot, render_diff_dot(&d, &RenderOptions::default()));
+    }
+
+    #[test]
+    fn diff_report_lists_sections_deterministically() {
+        let (a, b) = diff_fixture();
+        let d = crate::diff::diff(&a, &b);
+        let report = render_diff_report(&d);
+        assert!(report.contains("DFG diff (A → B)"), "{report}");
+        assert!(report.contains("A-only nodes:\n  write:/a-only/f"), "{report}");
+        assert!(report.contains("B-only nodes:\n  write:/b-only/f"), "{report}");
+        assert!(report.contains("total-variation distance:"), "{report}");
+        assert!(report.contains("changed edges"), "{report}");
+        assert_eq!(report, render_diff_report(&d));
+    }
+
+    #[test]
+    fn self_diff_report_says_identical() {
+        let (a, _) = diff_fixture();
+        let d = crate::diff::diff(&a, &a);
+        let report = render_diff_report(&d);
+        assert!(report.contains("graphs are identical"), "{report}");
+        assert!(report.contains("total-variation distance: 0.0000"), "{report}");
     }
 
     #[test]

@@ -271,6 +271,21 @@ fn shift_warning(mut w: Warning, offset: usize) -> Warning {
 }
 
 /// Parses a whole trace file held in memory.
+///
+/// ```
+/// use st_model::{Interner, Syscall};
+/// use st_strace::parse_str;
+///
+/// let interner = Interner::new_shared();
+/// let trace = "100 10:00:00.000001 read(3</usr/lib/libc.so>, \"\\177ELF\"..., 832) = 832 <0.000203>\n";
+/// let parsed = parse_str(trace, &interner);
+/// assert!(parsed.warnings.is_empty());
+/// assert_eq!(parsed.events.len(), 1);
+/// let event = &parsed.events[0];
+/// assert_eq!(event.call, Syscall::Read);
+/// assert_eq!(&*interner.resolve(event.path), "/usr/lib/libc.so");
+/// assert_eq!(event.size, Some(832));
+/// ```
 pub fn parse_str(text: &str, interner: &Interner) -> ParsedTrace {
     let mut sink = SharedIntern(interner);
     let chunk = parse_chunk(text, &mut sink);
@@ -375,6 +390,20 @@ fn apply_symbols(events: &mut [(usize, Event)], shared: &[Symbol]) {
 /// warnings in the same order. See the module docs for how chunking,
 /// cross-chunk `<unfinished ...>`/`resumed` merging, and deterministic
 /// symbol publication fit together.
+///
+/// ```
+/// use st_model::Interner;
+/// use st_strace::{parse_par, parse_str};
+///
+/// let trace = "\
+/// 100 10:00:00.000001 read(3</data/a>, \"\", 10) = 10 <0.000002>
+/// 100 10:00:00.000009 write(4</data/b>, \"\", 10) = 10 <0.000003>
+/// 200 10:00:00.000005 read(3</data/a>, \"\", 10) = 10 <0.000001>
+/// ";
+/// let sequential = parse_str(trace, &Interner::new_shared());
+/// let parallel = parse_par(trace, &Interner::new_shared(), 3);
+/// assert_eq!(parallel.events, sequential.events);
+/// ```
 pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace {
     let workers = if threads == 0 {
         std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)

@@ -45,6 +45,8 @@
 //! assert!(dot.contains("read\\n/usr/lib"));
 //! ```
 
+#![warn(missing_docs)]
+
 pub use st_core as core;
 pub use st_ior as ior;
 pub use st_model as model;

@@ -1,0 +1,118 @@
+//! Golden-file test for the diff text report and annotated DOT.
+//!
+//! The fixture is two small hand-built runs whose diff exercises every
+//! report section: shared structure, A-only and B-only nodes/edges, and
+//! common edges with count and frequency shifts. Expected outputs live
+//! in `tests/golden/`; regenerate after an intentional format change
+//! with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test diff_golden
+//! ```
+
+use st_inspector::prelude::*;
+use std::sync::Arc;
+
+/// Run A: two ranks read a shared library then write a scratch log;
+/// rank 0 also polls a lock file.
+/// Run B: same shape, but the lock polling is gone, a new checkpoint
+/// write appears, and the scratch writes double.
+fn fixture() -> (Dfg, Dfg) {
+    fn case(log: &mut EventLog, rid: u32, paths: &[(Syscall, &str)]) {
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("run"), host: i.intern("node1"), rid };
+        let events = paths
+            .iter()
+            .enumerate()
+            .map(|(k, (call, p))| {
+                Event::new(Pid(rid + 1), *call, Micros(k as u64 * 10), Micros(5), i.intern(p))
+            })
+            .collect();
+        log.push_case(Case::from_events(meta, events));
+    }
+
+    let mut a = EventLog::with_new_interner();
+    case(
+        &mut a,
+        0,
+        &[
+            (Syscall::Read, "/usr/lib/libc.so"),
+            (Syscall::Read, "/run/lock/job"),
+            (Syscall::Read, "/run/lock/job"),
+            (Syscall::Write, "/scratch/job/out"),
+        ],
+    );
+    case(
+        &mut a,
+        1,
+        &[
+            (Syscall::Read, "/usr/lib/libc.so"),
+            (Syscall::Write, "/scratch/job/out"),
+        ],
+    );
+
+    let mut b = EventLog::with_new_interner();
+    case(
+        &mut b,
+        0,
+        &[
+            (Syscall::Read, "/usr/lib/libc.so"),
+            (Syscall::Write, "/scratch/job/out"),
+            (Syscall::Write, "/scratch/job/out"),
+            (Syscall::Write, "/scratch/ckpt/0"),
+        ],
+    );
+    case(
+        &mut b,
+        1,
+        &[
+            (Syscall::Read, "/usr/lib/libc.so"),
+            (Syscall::Write, "/scratch/job/out"),
+            (Syscall::Write, "/scratch/job/out"),
+        ],
+    );
+
+    let m = CallTopDirs::new(2);
+    (
+        Dfg::from_mapped(&MappedLog::new(&a, &m)),
+        Dfg::from_mapped(&MappedLog::new(&b, &m)),
+    )
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    assert_eq!(
+        actual,
+        expected,
+        "output differs from {} — rerun with UPDATE_GOLDEN=1 if intentional",
+        path.display()
+    );
+}
+
+#[test]
+fn diff_report_matches_golden() {
+    let (a, b) = fixture();
+    let d = diff(&a, &b);
+    check_golden("diff_report.golden", &render_diff_report(&d));
+}
+
+#[test]
+fn diff_dot_matches_golden() {
+    let (a, b) = fixture();
+    let d = diff(&a, &b);
+    let opts = RenderOptions {
+        graph_name: "DFG diff".to_string(),
+        show_stats: false,
+        ..Default::default()
+    };
+    check_golden("diff_dot.golden", &render_diff_dot(&d, &opts));
+}

@@ -1,0 +1,128 @@
+//! Property-based tests of the cross-run DFG diff (`st_core::diff`).
+
+use proptest::prelude::*;
+use st_inspector::prelude::*;
+
+mod common;
+use common::{build_log, log_strategy};
+
+fn dfg_from(specs: &[Vec<common::EventSpec>]) -> Dfg {
+    let log = build_log(specs);
+    Dfg::from_mapped(&MappedLog::new(&log, &CallTopDirs::new(2)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `diff(G, G)` is empty for every `G`: all structure common, no
+    /// count or frequency change, zero total variation.
+    #[test]
+    fn self_diff_is_empty(specs in log_strategy(8, 30)) {
+        let g = dfg_from(&specs);
+        let d = diff(&g, &g);
+        prop_assert!(d.is_empty());
+        prop_assert_eq!(d.total_variation(), 0.0);
+        let s = d.summary();
+        prop_assert_eq!(s.nodes_added + s.nodes_removed, 0);
+        prop_assert_eq!(s.edges_added + s.edges_removed + s.edges_changed, 0);
+    }
+
+    /// Swapping the operands mirrors the diff: added ↔ removed, all
+    /// deltas negated, identical total-variation distance.
+    #[test]
+    fn swap_mirrors(a_specs in log_strategy(6, 20), b_specs in log_strategy(6, 20)) {
+        let a = dfg_from(&a_specs);
+        let b = dfg_from(&b_specs);
+        let ab = diff(&a, &b);
+        let ba = diff(&b, &a);
+
+        let names = |nodes: Vec<&NodeDiff>| -> Vec<String> {
+            nodes.iter().map(|n| n.name.clone()).collect()
+        };
+        prop_assert_eq!(
+            names(ab.nodes_added().collect()),
+            names(ba.nodes_removed().collect())
+        );
+        prop_assert_eq!(
+            names(ab.nodes_removed().collect()),
+            names(ba.nodes_added().collect())
+        );
+        prop_assert_eq!(ab.total_variation(), ba.total_variation());
+        prop_assert_eq!(ab.edges().len(), ba.edges().len());
+        for (e_ab, e_ba) in ab.edges().iter().zip(ba.edges()) {
+            prop_assert_eq!(&e_ab.from, &e_ba.from);
+            prop_assert_eq!(&e_ab.to, &e_ba.to);
+            prop_assert_eq!(e_ab.count_a, e_ba.count_b);
+            prop_assert_eq!(e_ab.count_b, e_ba.count_a);
+            prop_assert_eq!(e_ab.delta_count(), -e_ba.delta_count());
+            prop_assert!((e_ab.delta_freq() + e_ba.delta_freq()).abs() < 1e-12);
+        }
+    }
+
+    /// The aligned edge set is exactly the union of both graphs' edges,
+    /// with counts faithfully copied — so count deltas sum to the
+    /// difference of the totals, and per-side frequencies each sum to 1
+    /// (when the side has edges at all).
+    #[test]
+    fn deltas_sum_consistently(a_specs in log_strategy(6, 20), b_specs in log_strategy(6, 20)) {
+        let a = dfg_from(&a_specs);
+        let b = dfg_from(&b_specs);
+        let d = diff(&a, &b);
+
+        // Faithful counts: every aligned edge matches the graphs.
+        for e in d.edges() {
+            prop_assert_eq!(e.count_a, a.edge_count_named(&e.from, &e.to), "{} -> {}", e.from, e.to);
+            prop_assert_eq!(e.count_b, b.edge_count_named(&e.from, &e.to), "{} -> {}", e.from, e.to);
+        }
+        // Union completeness: every edge of either graph appears once.
+        prop_assert_eq!(
+            d.edges().iter().filter(|e| e.count_a > 0).count(),
+            a.edges().count()
+        );
+        prop_assert_eq!(
+            d.edges().iter().filter(|e| e.count_b > 0).count(),
+            b.edges().count()
+        );
+
+        let delta_sum: i64 = d.edges().iter().map(|e| e.delta_count()).sum();
+        prop_assert_eq!(
+            delta_sum,
+            b.total_edge_observations() as i64 - a.total_edge_observations() as i64
+        );
+        if d.total_edges_a() > 0 {
+            let freq_sum: f64 = d.edges().iter().map(|e| e.freq_a).sum();
+            prop_assert!((freq_sum - 1.0).abs() < 1e-9, "freq_a sums to {freq_sum}");
+        }
+        if d.total_edges_b() > 0 {
+            let freq_sum: f64 = d.edges().iter().map(|e| e.freq_b).sum();
+            prop_assert!((freq_sum - 1.0).abs() < 1e-9, "freq_b sums to {freq_sum}");
+        }
+        // TVD is a pseudometric value in [0, 1].
+        let tvd = d.total_variation();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&tvd), "tvd={tvd}");
+    }
+
+    /// Node presence in the diff agrees with the graphs themselves, and
+    /// occurrence counts are faithful.
+    #[test]
+    fn node_alignment_is_faithful(a_specs in log_strategy(6, 20), b_specs in log_strategy(6, 20)) {
+        let a = dfg_from(&a_specs);
+        let b = dfg_from(&b_specs);
+        let d = diff(&a, &b);
+        for n in d.nodes() {
+            if !matches!(n.name.as_str(), "●" | "■") {
+                prop_assert_eq!(n.occ_a > 0, a.has_activity(&n.name), "{}", n.name);
+                prop_assert_eq!(n.occ_b > 0, b.has_activity(&n.name), "{}", n.name);
+            }
+            match n.presence {
+                Presence::AOnly => prop_assert!(n.occ_a > 0 && n.occ_b == 0),
+                Presence::BOnly => prop_assert!(n.occ_b > 0 && n.occ_a == 0),
+                Presence::Both => prop_assert!(n.occ_a > 0 && n.occ_b > 0),
+            }
+        }
+        // Both reports stay deterministic under re-rendering.
+        prop_assert_eq!(render_diff_report(&d), render_diff_report(&d));
+        let opts = RenderOptions::default();
+        prop_assert_eq!(render_diff_dot(&d, &opts), render_diff_dot(&d, &opts));
+    }
+}

@@ -1,0 +1,64 @@
+//! Filter-scan throughput of the `st-query` slicing engine.
+//!
+//! Two predicate shapes bracket the engine: a pass-all glob (selection
+//! cost is pure per-event evaluation, every index survives) and a
+//! selective compound filter (cheap class check gates the size check;
+//! ~12% of events survive). The group-by explosion and the
+//! slice-to-DFG projection are measured separately so the three stages
+//! of `stinspect query` (scan → group → project) stay attributable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use st_bench::synth::{generate, SynthSpec};
+use st_core::prelude::*;
+use st_query::{group_by, parse_expr, scan, scan_par, GroupKey};
+
+fn bench_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/scan");
+    group.sample_size(15);
+    let spec = SynthSpec { cases: 32, events_per_case: 200_000 / 32, paths: 64, seed: 9 };
+    let log = generate(&spec);
+    group.throughput(Throughput::Elements(log.total_events() as u64));
+    for (name, expr) in [
+        ("pass_all", "path~\"*\""),
+        ("selective", "class=write and size>=512k"),
+        ("narrow_glob", "path~\"/dir3/*\""),
+    ] {
+        let pred = parse_expr(expr).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(name), &pred, |b, pred| {
+            b.iter(|| scan(&log, pred).event_count())
+        });
+    }
+    let pass_all = parse_expr("path~\"*\"").unwrap();
+    group.bench_with_input(BenchmarkId::from_parameter("pass_all_par4"), &pass_all, |b, pred| {
+        b.iter(|| scan_par(&log, pred, 4).event_count())
+    });
+    group.finish();
+}
+
+fn bench_group_and_project(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query/project");
+    group.sample_size(15);
+    let spec = SynthSpec { cases: 32, events_per_case: 100_000 / 32, paths: 64, seed: 10 };
+    let log = generate(&spec);
+    let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+    let view = scan(&log, &parse_expr("true").unwrap());
+    group.throughput(Throughput::Elements(log.total_events() as u64));
+    group.bench_function("group_by_file", |b| {
+        b.iter(|| group_by(&view, GroupKey::File).len())
+    });
+    group.bench_function("dfg_from_view", |b| {
+        b.iter(|| Dfg::from_mapped_view(&mapped, &view).total_edge_observations())
+    });
+    group.bench_function("per_file_dfg_family", |b| {
+        b.iter(|| {
+            group_by(&view, GroupKey::File)
+                .iter()
+                .map(|(_, v)| Dfg::from_mapped_view(&mapped, v).total_edge_observations())
+                .sum::<u64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan, bench_group_and_project);
+criterion_main!(benches);

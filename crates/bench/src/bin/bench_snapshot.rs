@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use st_bench::synth::{generate, generate_strace_text, SynthSpec};
 use st_core::prelude::*;
 use st_model::Interner;
+use st_query::{parse_expr, scan, scan_par};
 use st_strace::{parse_par, parse_reader, parse_str};
 
 /// Reference DFG accumulation the dense path replaced: one ordered-map
@@ -152,14 +153,41 @@ fn main() {
         build4_dt.as_nanos() as f64 / n_events as f64
     );
 
+    // ---- query: filter-scan throughput -------------------------------
+    // Two predicate shapes bracket the engine: a pass-all glob (every
+    // event matched, selection cost dominated by per-event evaluation)
+    // and a selective compound filter (~12% of events survive), plus
+    // the parallel scan over the pass-all case.
+    let pass_all = parse_expr("path~\"*\"").expect("pass-all filter");
+    let selective = parse_expr("class=write and size>=512k").expect("selective filter");
+    let (scan_all_dt, all_matched) = time_best(reps, || scan(&log, &pass_all).event_count());
+    assert_eq!(all_matched, n_events);
+    let (scan_sel_dt, sel_matched) = time_best(reps, || scan(&log, &selective).event_count());
+    assert!(sel_matched > 0 && sel_matched < n_events);
+    let (scan_par_dt, par_matched) =
+        time_best(reps, || scan_par(&log, &pass_all, 4).event_count());
+    assert_eq!(par_matched, n_events);
+    let scan_all_eps = n_events as f64 / scan_all_dt.as_secs_f64();
+    let scan_sel_eps = n_events as f64 / scan_sel_dt.as_secs_f64();
+    eprintln!(
+        "filter scan: pass-all {:.2} Mevents/s, selective {:.2} Mevents/s ({} of {n_events} kept), x4 {:.1} ms",
+        scan_all_eps / 1e6,
+        scan_sel_eps / 1e6,
+        sel_matched,
+        scan_par_dt.as_nanos() as f64 / 1e6,
+    );
+
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }}\n}}\n",
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }}\n}}\n",
         seq_dt.as_nanos(),
         reader_dt.as_nanos(),
         sweep_rows.join(",\n      "),
         map_dt.as_nanos() as f64 / n_events as f64,
         build4_dt.as_nanos() as f64 / n_events as f64,
         btree_dt.as_nanos() as f64 / n_events as f64,
+        scan_all_dt.as_nanos() as f64 / n_events as f64,
+        scan_sel_dt.as_nanos() as f64 / n_events as f64,
+        scan_par_dt.as_nanos() as f64 / n_events as f64,
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("wrote {out_path}");

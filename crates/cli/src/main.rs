@@ -7,15 +7,25 @@
 //!               [--ranks] [-o out.dot] [--summary]
 //! stinspect stats <log.stlog> [--filter SUBSTR] [--map MAP]
 //! stinspect timeline <log.stlog> <activity> [--map MAP] [--width N]
-//! stinspect simulate <ls|ior-ssf-fpp|ior-mpiio> --out <dir> [--paper] [--emit-strace]
+//! stinspect simulate <ls|ior-ssf-fpp|ior-mpiio|ssf|fpp> --out <dir> [--paper] [--emit-strace]
 //! stinspect diff <a> <b> [--cid-a CID] [--cid-b CID] [--map MAP] [--filter SUBSTR]
 //!               [-o out.dot] [--dot]
+//! stinspect query <input> [--filter EXPR] [--group-by file|pid|cid|host]
+//!               [--emit dfg|stats|events|store] [--map MAP] [--threads N] [-o PATH]
 //! ```
 //!
-//! `diff` inputs `<a>`/`<b>` are any of: an `st-store` container file, a
+//! `diff` and `query` inputs are any of: an `st-store` container file, a
 //! directory of strace files (loaded through the normal loader), or a
 //! simulate spec `sim:<workload>[:paper]` (the workloads `simulate`
 //! accepts, generated in memory).
+//!
+//! `EXPR` is the `st-query` filter syntax, e.g. `pid=42 path~"*.h5"
+//! t=[1.2s,3s) ok=false` or `class=write and size>=1m` — see
+//! DESIGN.md §7 for the grammar. Time windows with unit suffixes are
+//! offsets from the log's first event (`t=[0s,2s)` = the first two
+//! seconds of the run); `HH:MM:SS[.ffffff]` endpoints are absolute
+//! times of day. `--group-by` explodes the slice into per-file /
+//! per-pid / per-cid / per-host DFG families.
 //!
 //! `MAP` is one of `topdirs[:K]` (Eq. 4, default K=2), `suffix:PREFIX`
 //! (Fig. 4 naming), `site` (the experiments' `$SCRATCH`/`$SOFTWARE`
@@ -58,6 +68,7 @@ fn main() -> ExitCode {
         "timeline" => cmd_timeline(rest),
         "simulate" => cmd_simulate(rest),
         "diff" => cmd_diff(rest),
+        "query" => cmd_query(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -87,12 +98,17 @@ commands:
       [--filter SUBSTR] [--map MAP] [--csv]
   timeline <log.stlog> <activity>    per-case interval plot (Fig. 5)
       [--map MAP] [--width N]
-  simulate <ls|ior-ssf-fpp|ior-mpiio> --out <dir>
+  simulate <ls|ior-ssf-fpp|ior-mpiio|ssf|fpp> --out <dir>
       [--paper] [--emit-strace]      generate a workload's event log
   diff <a> <b>                       compare two runs' DFGs
       [--cid-a CID] [--cid-b CID] [--map MAP] [--filter SUBSTR]
-      [-o out.dot] [--dot]
-      <a>/<b>: store file | strace dir | sim:<workload>[:paper]";
+      [-o out.dot] [--dot] [--no-stats]
+      <a>/<b>: store file | strace dir | sim:<workload>[:paper]
+  query <input>                      filter, slice and project the log
+      [--filter EXPR] [--group-by file|pid|cid|host]
+      [--emit dfg|stats|events|store] [--map MAP] [--threads N] [-o PATH]
+      EXPR e.g.: pid=42 path~\"*.h5\" t=[1.2s,3s) ok=false
+      <input>: store file | strace dir | sim:<workload>[:paper]";
 
 /// Simple flag cursor over the argument list.
 struct Args<'a> {
@@ -172,6 +188,7 @@ fn cmd_parse(tokens: &[String]) -> Result<(), String> {
     let mut dir: Option<PathBuf> = None;
     let mut out: Option<PathBuf> = None;
     let mut opts = LoadOptions::default();
+    let mut explicit_threads = false;
     while let Some(tok) = args.next() {
         match tok {
             "-o" => out = Some(PathBuf::from(args.value("-o")?)),
@@ -179,6 +196,7 @@ fn cmd_parse(tokens: &[String]) -> Result<(), String> {
             "--strict-names" => opts.strict_names = true,
             "--streaming" => opts.streaming = true,
             "--threads" => {
+                explicit_threads = true;
                 opts.threads = args
                     .value("--threads")?
                     .parse()
@@ -187,6 +205,28 @@ fn cmd_parse(tokens: &[String]) -> Result<(), String> {
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             path => dir = Some(PathBuf::from(path)),
         }
+    }
+    // Contradictory worker budgets are rejected up front instead of
+    // silently ignored: `--sequential` pins the budget to one worker,
+    // and the streaming path reads each file line-at-a-time, so it can
+    // never spend a `--threads` surplus *inside* a file the way the
+    // default in-memory path does (for a single huge trace — streaming's
+    // main use case — an explicit budget would be silently reduced to 1).
+    if explicit_threads && !opts.parallel {
+        return Err(
+            "parse: --sequential and --threads conflict (sequential parsing uses one worker); \
+             drop one of the flags"
+                .to_string(),
+        );
+    }
+    if explicit_threads && opts.streaming {
+        return Err(
+            "parse: --streaming and --threads conflict: streaming parses each file \
+             line-at-a-time, so a worker budget beyond the file count cannot be honored \
+             (no within-file chunking); drop --threads (workers default to \
+             min(files, cores)) or drop --streaming"
+                .to_string(),
+        );
     }
     let dir = dir.ok_or("parse: missing <trace-dir>")?;
     let out = out.ok_or("parse: missing -o <log.stlog>")?;
@@ -382,11 +422,11 @@ fn cmd_timeline(tokens: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Resolves one `diff` input: a `sim:<workload>[:paper]` spec, a
-/// directory of strace files, or an `st-store` container file. Store
+/// Resolves one `diff`/`query` input: a `sim:<workload>[:paper]` spec,
+/// a directory of strace files, or an `st-store` container file. Store
 /// files apply `filter` at read time (like the other subcommands);
 /// simulated and freshly parsed logs filter after materialization.
-fn load_diff_input(spec: &str, filter: Option<&str>) -> Result<EventLog, String> {
+fn load_input(spec: &str, filter: Option<&str>) -> Result<EventLog, String> {
     let narrow = |log: EventLog| match filter {
         Some(needle) => log.filter_path_contains(needle),
         None => log,
@@ -420,6 +460,7 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
     let mut filter: Option<String> = None;
     let mut out: Option<PathBuf> = None;
     let mut dot_stdout = false;
+    let mut with_stats = true;
     while let Some(tok) = args.next() {
         match tok {
             "--cid-a" => cid_a = Some(args.value("--cid-a")?.to_string()),
@@ -428,6 +469,7 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
             "--filter" => filter = Some(args.value("--filter")?.to_string()),
             "-o" => out = Some(PathBuf::from(args.value("-o")?)),
             "--dot" => dot_stdout = true,
+            "--no-stats" => with_stats = false,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             input => inputs.push(input.to_string()),
         }
@@ -447,12 +489,14 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
         }
         Ok(selected)
     };
-    let log_a = select(load_diff_input(input_a, filter.as_deref())?, &cid_a, "A")?;
-    let log_b = select(load_diff_input(input_b, filter.as_deref())?, &cid_b, "B")?;
+    let log_a = select(load_input(input_a, filter.as_deref())?, &cid_a, "A")?;
+    let log_b = select(load_input(input_b, filter.as_deref())?, &cid_b, "B")?;
 
     let mapping = map.build();
-    let dfg_a = Dfg::from_mapped(&MappedLog::new(&log_a, mapping.as_ref()));
-    let dfg_b = Dfg::from_mapped(&MappedLog::new(&log_b, mapping.as_ref()));
+    let mapped_a = MappedLog::new(&log_a, mapping.as_ref());
+    let mapped_b = MappedLog::new(&log_b, mapping.as_ref());
+    let dfg_a = Dfg::from_mapped(&mapped_a);
+    let dfg_b = Dfg::from_mapped(&mapped_b);
     let diff = st_core::diff::diff(&dfg_a, &dfg_b);
 
     let options = st_core::render::RenderOptions {
@@ -470,6 +514,248 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
         emit(dot.as_deref().unwrap_or_default());
     } else {
         emit(&st_core::render::render_diff_report(&diff));
+        if with_stats {
+            let stats_a = IoStatistics::compute(&mapped_a);
+            let stats_b = IoStatistics::compute(&mapped_b);
+            emit(&st_core::render::render_diff_stats(&diff, &stats_a, &stats_b));
+        }
+    }
+    Ok(())
+}
+
+/// What `query` writes for each group.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum EmitMode {
+    Dfg,
+    Stats,
+    Events,
+    Store,
+}
+
+impl EmitMode {
+    fn parse(s: &str) -> Result<EmitMode, String> {
+        Ok(match s {
+            "dfg" => EmitMode::Dfg,
+            "stats" => EmitMode::Stats,
+            "events" => EmitMode::Events,
+            "store" => EmitMode::Store,
+            other => return Err(format!("unknown --emit mode {other:?} (dfg, stats, events, store)")),
+        })
+    }
+
+    fn extension(&self) -> &'static str {
+        match self {
+            EmitMode::Dfg => "dot",
+            EmitMode::Stats => "txt",
+            EmitMode::Events => "tsv",
+            EmitMode::Store => "stlog",
+        }
+    }
+}
+
+/// Turns a group key (a file path, pid, …) into a safe file stem,
+/// unique within `used`: distinct keys that sanitize identically (e.g.
+/// `/data/x+y` and `/data/x,y`) get `-2`, `-3`, … suffixes instead of
+/// silently overwriting each other's output files.
+fn sanitize_group_key(key: &str, used: &mut std::collections::HashSet<String>) -> String {
+    let stem: String = key
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .collect();
+    let trimmed = stem.trim_matches('_');
+    let base = if trimmed.is_empty() { "group" } else { trimmed };
+    let mut candidate = base.to_string();
+    let mut n = 1usize;
+    while !used.insert(candidate.clone()) {
+        n += 1;
+        candidate = format!("{base}-{n}");
+    }
+    candidate
+}
+
+fn cmd_query(tokens: &[String]) -> Result<(), String> {
+    let mut args = Args::new(tokens);
+    let mut input: Option<String> = None;
+    let mut filter: Option<String> = None;
+    let mut group_by: Option<st_query::GroupKey> = None;
+    let mut emit_mode = EmitMode::Dfg;
+    let mut map = MapChoice::TopDirs(2);
+    let mut explicit_map = false;
+    let mut threads = 0usize;
+    let mut out: Option<PathBuf> = None;
+    while let Some(tok) = args.next() {
+        match tok {
+            "--filter" => filter = Some(args.value("--filter")?.to_string()),
+            "--group-by" => {
+                let spec = args.value("--group-by")?;
+                group_by = Some(st_query::GroupKey::parse(spec).ok_or(format!(
+                    "unknown --group-by key {spec:?} (file, pid, cid, host)"
+                ))?);
+            }
+            "--emit" => emit_mode = EmitMode::parse(args.value("--emit")?)?,
+            "--map" => {
+                explicit_map = true;
+                map = MapChoice::parse(args.value("--map")?)?;
+            }
+            "--threads" => {
+                threads = args
+                    .value("--threads")?
+                    .parse()
+                    .map_err(|_| "bad --threads".to_string())?
+            }
+            "-o" => out = Some(PathBuf::from(args.value("-o")?)),
+            flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
+            positional => {
+                if let Some(first) = &input {
+                    return Err(format!(
+                        "query: expected exactly one <input>, got {first:?} and {positional:?}"
+                    ));
+                }
+                input = Some(positional.to_string());
+            }
+        }
+    }
+    let input = input.ok_or("query: missing <input>")?;
+    if emit_mode == EmitMode::Store && out.is_none() {
+        return Err("query: --emit store requires -o <path>".to_string());
+    }
+    // Events and store emission are mapping-free; an explicit --map
+    // would be silently ignored, so reject it (same policy as the
+    // parse-flag conflicts).
+    if explicit_map && matches!(emit_mode, EmitMode::Events | EmitMode::Store) {
+        return Err(
+            "query: --map has no effect with --emit events|store (raw events, no activity \
+             mapping); drop --map or emit dfg/stats"
+                .to_string(),
+        );
+    }
+
+    let pred = match &filter {
+        Some(src) => st_query::parse_expr(src).map_err(|e| format!("--filter: {e}"))?,
+        None => st_query::Predicate::True,
+    };
+    let log = load_input(&input, None)?;
+    let view = st_query::scan_par(&log, &pred, threads);
+    eprintln!(
+        "{} of {} events match ({} of {} cases)",
+        view.event_count(),
+        log.total_events(),
+        view.case_count(),
+        log.case_count()
+    );
+    if view.is_empty() {
+        return Err("no events match the filter".to_string());
+    }
+
+    // Group-by explodes the slice into a DFG family; without it the
+    // whole slice is one unnamed group.
+    let groups: Vec<(String, st_model::LogView<'_>)> = match group_by {
+        Some(key) => st_query::group_by(&view, key),
+        None => vec![(String::new(), view)],
+    };
+    let multi = groups.len() > 1 || (groups.len() == 1 && !groups[0].0.is_empty());
+
+    // One mapping pass over the full log serves every projection.
+    let mapping = map.build();
+    let mapped = (emit_mode != EmitMode::Store && emit_mode != EmitMode::Events)
+        .then(|| MappedLog::new(&log, mapping.as_ref()));
+
+    // With `-o` and multiple groups, the path is a directory (one file
+    // per group); with a single group it is the output file itself.
+    let out_dir = match (&out, multi) {
+        (Some(path), true) => {
+            std::fs::create_dir_all(path).map_err(|e| e.to_string())?;
+            Some(path.clone())
+        }
+        _ => None,
+    };
+
+    let snap = log.snapshot();
+    let mut used_stems = std::collections::HashSet::new();
+    for (key, group) in &groups {
+        let body = match emit_mode {
+            EmitMode::Dfg => {
+                let mapped = mapped.as_ref().expect("mapped for dfg");
+                let dfg = Dfg::from_mapped_view(mapped, group);
+                let stats = IoStatistics::compute_view(mapped, group);
+                let options = st_core::render::RenderOptions::default();
+                st_core::render::render_dot(
+                    &dfg,
+                    Some(&stats),
+                    &StatisticsColoring::by_load(&stats),
+                    &options,
+                )
+            }
+            EmitMode::Stats => {
+                let mapped = mapped.as_ref().expect("mapped for stats");
+                let dfg = Dfg::from_mapped_view(mapped, group);
+                let stats = IoStatistics::compute_view(mapped, group);
+                format!(
+                    "{} events in {} case(s)\n{}",
+                    group.event_count(),
+                    group.case_count(),
+                    render_summary(&dfg, Some(&stats))
+                )
+            }
+            EmitMode::Events => {
+                let mut body = String::from("cid\thost\trid\tpid\tcall\tstart\tdur\tpath\tsize\tok\n");
+                for (meta, e) in group.iter_events() {
+                    let call = match e.call {
+                        Syscall::Other(sym) => snap.resolve(sym).to_string(),
+                        named => named.static_name().unwrap_or("?").to_string(),
+                    };
+                    body.push_str(&format!(
+                        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                        snap.resolve(meta.cid),
+                        snap.resolve(meta.host),
+                        meta.rid,
+                        e.pid,
+                        call,
+                        e.start.format_time_of_day(),
+                        e.dur.format_duration(),
+                        snap.resolve(e.path),
+                        e.size.map(|s| s.to_string()).unwrap_or_else(|| "-".to_string()),
+                        e.ok,
+                    ));
+                }
+                body
+            }
+            EmitMode::Store => String::new(),
+        };
+
+        match (&out, &out_dir) {
+            // Multiple groups into a directory.
+            (_, Some(dir)) => {
+                let path = dir.join(format!(
+                    "{}.{}",
+                    sanitize_group_key(key, &mut used_stems),
+                    emit_mode.extension()
+                ));
+                if emit_mode == EmitMode::Store {
+                    write_store(&group.to_event_log(), &path).map_err(|e| e.to_string())?;
+                } else {
+                    std::fs::write(&path, &body).map_err(|e| e.to_string())?;
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            // Single output file.
+            (Some(path), None) => {
+                if emit_mode == EmitMode::Store {
+                    write_store(&group.to_event_log(), path).map_err(|e| e.to_string())?;
+                } else {
+                    std::fs::write(path, &body).map_err(|e| e.to_string())?;
+                }
+                eprintln!("wrote {}", path.display());
+            }
+            // Stdout, with a group header when exploding.
+            (None, None) => {
+                if multi {
+                    let comment = if emit_mode == EmitMode::Dfg { "//" } else { "#" };
+                    emit(&format!("{comment} group: {key}\n"));
+                }
+                emit(&body);
+            }
+        }
     }
     Ok(())
 }
@@ -566,8 +852,26 @@ fn build_workload_log(workload: &str, paper: bool) -> Result<EventLog, String> {
             );
             Ok(log)
         }
+        // Single-mode halves of `ior-ssf-fpp`, so one IOR access mode can
+        // be generated (and narrowed per file) without its counterpart:
+        // `sim:ssf` is the paper's shared-file run, `sim:fpp` the
+        // file-per-process run.
+        "ssf" | "fpp" => {
+            let fpp = workload == "fpp";
+            let config = scale_config(paper);
+            let mut log = EventLog::with_new_interner();
+            let profile = StartupProfile::default();
+            let filter = TraceFilter::experiment_a();
+            let opts = IorOptions::paper_experiment(
+                fpp,
+                Api::Posix,
+                &format!("{}/{workload}/test", config.paths.scratch),
+            );
+            run_ior(if fpp { "f" } else { "s" }, &opts, &profile, &config, &filter, &mut log);
+            Ok(log)
+        }
         other => Err(format!(
-            "unknown workload {other:?} (ls, ior-ssf-fpp, ior-mpiio)"
+            "unknown workload {other:?} (ls, ior-ssf-fpp, ior-mpiio, ssf, fpp)"
         )),
     }
 }
@@ -594,4 +898,23 @@ fn skip_openat_site_mapping(site: SiteMap) -> impl Mapping {
         }
         site.activity_name(ctx, meta, e)
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_key_sanitization_is_collision_free() {
+        let mut used = std::collections::HashSet::new();
+        assert_eq!(sanitize_group_key("/data/x.h5", &mut used), "data_x.h5");
+        // Distinct keys that sanitize identically get disambiguated, in
+        // order, instead of silently sharing one output file.
+        assert_eq!(sanitize_group_key("/data/x+y", &mut used), "data_x_y");
+        assert_eq!(sanitize_group_key("/data/x,y", &mut used), "data_x_y-2");
+        assert_eq!(sanitize_group_key("/data/x=y", &mut used), "data_x_y-3");
+        // Keys with no safe characters still produce a stem.
+        assert_eq!(sanitize_group_key("///", &mut used), "group");
+        assert_eq!(sanitize_group_key("&&&", &mut used), "group-2");
+    }
 }

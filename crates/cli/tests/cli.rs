@@ -311,3 +311,253 @@ fn parse_missing_directory_fails() {
         .unwrap();
     assert!(!out.status.success());
 }
+
+#[test]
+fn parse_rejects_flag_combinations_streaming_cannot_honor() {
+    let dir = tmpdir("flagconflict");
+    // --streaming reads line-at-a-time and cannot chunk within a file,
+    // so an explicit --threads budget is rejected, not silently capped.
+    let out = stinspect()
+        .arg("parse")
+        .arg(&dir)
+        .args(["--streaming", "--threads", "8", "-o"])
+        .arg(dir.join("x.stlog"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--streaming and --threads conflict"), "{err}");
+    // --sequential pins the budget to one worker; an explicit --threads
+    // contradicts it.
+    let out = stinspect()
+        .arg("parse")
+        .arg(&dir)
+        .args(["--sequential", "--threads", "2", "-o"])
+        .arg(dir.join("x.stlog"))
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--sequential and --threads conflict"), "{err}");
+    // Each flag alone stays valid (empty dir parses to an empty store).
+    for flags in [vec!["--streaming"], vec!["--sequential"], vec!["--threads", "2"]] {
+        let out = stinspect()
+            .arg("parse")
+            .arg(&dir)
+            .args(&flags)
+            .arg("-o")
+            .arg(dir.join("ok.stlog"))
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{flags:?}: {}", String::from_utf8_lossy(&out.stderr));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_group_by_file_emits_one_dot_per_file() {
+    // The paper's per-file narrowing on the simulated SSF run: every
+    // distinct file gets its own DFG.
+    let out = stinspect()
+        .args(["query", "sim:ssf", "--filter", "path~\"*\"", "--group-by", "file", "--emit", "dfg"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let headers = stdout.matches("// group: ").count();
+    let graphs = stdout.matches("digraph").count();
+    assert!(headers > 1, "expected one DOT per file: {stdout}");
+    assert_eq!(headers, graphs, "{stdout}");
+    // The shared SSF test file is one of the groups.
+    assert!(stdout.contains("// group: /p/scratch/user1/ssf/test"), "{stdout}");
+    // Deterministic across runs.
+    let again = stinspect()
+        .args(["query", "sim:ssf", "--filter", "path~\"*\"", "--group-by", "file", "--emit", "dfg"])
+        .output()
+        .unwrap();
+    assert_eq!(out.stdout, again.stdout);
+}
+
+#[test]
+fn query_filter_store_roundtrip_and_events() {
+    let dir = tmpdir("query");
+    // Slice the simulated ls run to reads only and store the slice.
+    let slice = dir.join("reads.stlog");
+    let out = stinspect()
+        .args(["query", "sim:ls", "--filter", "class=read", "--emit", "store", "-o"])
+        .arg(&slice)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("events match"));
+
+    // The stored slice feeds the normal pipeline and contains no writes.
+    let out = stinspect().arg("stats").arg(&slice).args(["--map", "call"]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("read"), "{stdout}");
+    assert!(!stdout.contains("write"), "{stdout}");
+
+    // Event emission: TSV with a header, only failing calls when asked
+    // (the SSF run's shared-library openat storm fails; `ls` has no
+    // failures).
+    let out = stinspect()
+        .args(["query", "sim:ssf", "--filter", "ok=false", "--emit", "events"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let mut lines = stdout.lines();
+    assert_eq!(
+        lines.next(),
+        Some("cid\thost\trid\tpid\tcall\tstart\tdur\tpath\tsize\tok"),
+        "{stdout}"
+    );
+    assert!(lines.clone().count() > 0);
+    assert!(lines.all(|l| l.ends_with("false")), "{stdout}");
+
+    // Per-group stats to stdout.
+    let out = stinspect()
+        .args(["query", "sim:ls", "--group-by", "cid", "--emit", "stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("# group: a"), "{stdout}");
+    assert!(stdout.contains("# group: b"), "{stdout}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_group_by_into_directory() {
+    let dir = tmpdir("querydir");
+    let out_dir = dir.join("per-pid");
+    let out = stinspect()
+        .args(["query", "sim:ls", "--group-by", "pid", "--emit", "dfg", "-o"])
+        .arg(&out_dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let dots: Vec<_> = std::fs::read_dir(&out_dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.path().extension().is_some_and(|x| x == "dot"))
+        .collect();
+    assert!(dots.len() > 1, "one DOT per pid expected");
+    for entry in dots {
+        let text = std::fs::read_to_string(entry.path()).unwrap();
+        assert!(text.starts_with("digraph"), "{}", entry.path().display());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_bad_usage_fails_cleanly() {
+    // Malformed filter expression: the parse error surfaces.
+    let out = stinspect()
+        .args(["query", "sim:ls", "--filter", "frob=1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown key"));
+
+    // Unknown group key.
+    let out = stinspect()
+        .args(["query", "sim:ls", "--group-by", "color"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --group-by key"));
+
+    // Store emission needs a target path.
+    let out = stinspect()
+        .args(["query", "sim:ls", "--emit", "store"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("requires -o"));
+
+    // A filter nothing matches is an error, not empty output.
+    let out = stinspect()
+        .args(["query", "sim:ls", "--filter", "pid=999999"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no events match"));
+
+    // --map is meaningless for the mapping-free emits: rejected, not
+    // silently ignored.
+    let out = stinspect()
+        .args(["query", "sim:ls", "--emit", "events", "--map", "site"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--map has no effect"));
+
+    // An out-of-range pid is a parse error, not a silent truncation.
+    let out = stinspect()
+        .args(["query", "sim:ls", "--filter", "pid=4294967297"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unsigned 32-bit"));
+
+    // A second positional input is rejected, not silently preferred.
+    let out = stinspect()
+        .args(["query", "sim:ls", "sim:ssf"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("exactly one <input>"));
+}
+
+#[test]
+fn query_time_windows_are_trace_relative() {
+    // Simulated traces start at the wall-clock epoch 09:00:00, so a
+    // relative window must still match (it is rebased to the first
+    // event), and the equivalent absolute window selects the same slice.
+    let relative = stinspect()
+        .args(["query", "sim:ls", "--filter", "t=[0s,2s)", "--emit", "events"])
+        .output()
+        .unwrap();
+    assert!(
+        relative.status.success(),
+        "{}",
+        String::from_utf8_lossy(&relative.stderr)
+    );
+    let absolute = stinspect()
+        .args(["query", "sim:ls", "--filter", "t=[09:00:00,09:00:02)", "--emit", "events"])
+        .output()
+        .unwrap();
+    assert!(absolute.status.success());
+    assert_eq!(relative.stdout, absolute.stdout);
+    // Mixing the two endpoint forms is a parse error.
+    let out = stinspect()
+        .args(["query", "sim:ls", "--filter", "t=[0s,09:00:02)"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("mixes a relative and an absolute"));
+}
+
+#[test]
+fn diff_report_includes_stats_layer() {
+    let out = stinspect()
+        .args(["diff", "sim:ssf", "sim:fpp", "--map", "site"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(report.contains("per-activity statistics (A → B):"), "{report}");
+    assert!(report.contains("Δ Load"), "{report}");
+    assert!(report.contains("MB/s"), "{report}");
+
+    // --no-stats restores the purely structural report.
+    let out = stinspect()
+        .args(["diff", "sim:ssf", "sim:fpp", "--map", "site", "--no-stats"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let report = String::from_utf8_lossy(&out.stdout);
+    assert!(!report.contains("per-activity statistics"), "{report}");
+}

@@ -263,6 +263,37 @@ impl Dfg {
         Dfg::from_acc(mapped.table().clone(), acc)
     }
 
+    /// Builds the DFG of a *slice* of the mapped log: only the events a
+    /// [`st_model::LogView`] keeps contribute traces — the projection
+    /// hook behind per-file / per-rank DFG families. Map the log once,
+    /// then project any number of slices; each projection is one O(n')
+    /// pass over the kept events, with no re-mapping and no event
+    /// copies. The resulting graph shares the full log's activity
+    /// table, so its DFGs stay name-comparable (and id-comparable)
+    /// across slices.
+    ///
+    /// The result equals [`Dfg::from_mapped`] over the materialized
+    /// slice up to activity-id numbering (names and counts align; the
+    /// slice's own table would number only the surviving activities).
+    ///
+    /// `view` must slice the same [`st_model::EventLog`] the mapped log
+    /// was built from; panics otherwise.
+    pub fn from_mapped_view(mapped: &MappedLog<'_>, view: &st_model::LogView<'_>) -> Dfg {
+        assert!(
+            std::ptr::eq(mapped.log(), view.log()),
+            "view must slice the same EventLog this MappedLog was built from"
+        );
+        let mut acc = DenseAcc::new(mapped.table().len());
+        for s in view.slices() {
+            let row = &mapped.assignments()[s.case_idx];
+            acc.add_trace_weighted(
+                s.events.iter().filter_map(|&k| row[k as usize]),
+                1,
+            );
+        }
+        Dfg::from_acc(mapped.table().clone(), acc)
+    }
+
     /// Builds the DFG from an explicit activity log (useful when the
     /// multiset is already materialized; weights multiply by trace
     /// multiplicity).
@@ -725,6 +756,53 @@ mod tests {
         }
         // The markers themselves still answer.
         assert_eq!(dfg.occurrences(Node::Start), dfg.case_count());
+    }
+
+    #[test]
+    fn view_projection_equals_filtered_rebuild() {
+        let log = fictitious_log();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let snap = log.snapshot();
+        // Slice: only events on /a.
+        let keep = |_: &CaseMeta, e: &st_model::Event| snap.resolve(e.path) == "/a";
+        let view = st_model::LogView::full(&log).refine(keep);
+        let projected = Dfg::from_mapped_view(&mapped, &view);
+        projected.check_invariants().unwrap();
+
+        // Reference: filter the events first, then map + build.
+        let filtered = log.filter_events(keep);
+        let reference = Dfg::from_mapped(&MappedLog::new(&filtered, &CallTopDirs::new(2)));
+        let named = |d: &Dfg| {
+            let mut edges: Vec<(String, String, u64)> = d
+                .edges()
+                .map(|(a, b, c)| (d.node_name(a).to_string(), d.node_name(b).to_string(), c))
+                .collect();
+            edges.sort();
+            edges
+        };
+        assert_eq!(named(&projected), named(&reference));
+        assert_eq!(projected.case_count(), reference.case_count());
+
+        // The identity view reproduces the full graph exactly.
+        let full = Dfg::from_mapped_view(&mapped, &st_model::LogView::full(&log));
+        assert_eq!(
+            full.edges().collect::<Vec<_>>(),
+            Dfg::from_mapped(&mapped).edges().collect::<Vec<_>>()
+        );
+
+        // The empty view yields the empty graph.
+        let none = Dfg::from_mapped_view(&mapped, &st_model::LogView::empty(&log));
+        assert_eq!(none.case_count(), 0);
+        assert_eq!(none.nodes().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same EventLog")]
+    fn view_over_foreign_log_panics() {
+        let log = fictitious_log();
+        let other = fictitious_log();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let _ = Dfg::from_mapped_view(&mapped, &st_model::LogView::full(&other));
     }
 
     #[test]

@@ -75,7 +75,10 @@ pub use dfg::{Dfg, Node};
 pub use diff::{diff, DfgDiff, DiffSummary, EdgeDiff, NodeDiff, Presence};
 pub use mapped::MappedLog;
 pub use mapping::{CallOnly, CallTopDirs, FnMapping, Mapping, PathFilter, PathSuffix, SiteMap};
-pub use render::{render_diff_dot, render_diff_report, render_dot, render_summary, RenderOptions};
+pub use render::{
+    render_diff_dot, render_diff_report, render_diff_stats, render_dot, render_summary,
+    RenderOptions,
+};
 pub use stats::{ActivityStats, IoStatistics};
 pub use timeline::Timeline;
 pub use viewer::DfgViewer;
@@ -92,7 +95,8 @@ pub mod prelude {
         CallOnly, CallTopDirs, FnMapping, Mapping, PathFilter, PathSuffix, SiteMap,
     };
     pub use crate::render::{
-        render_diff_dot, render_diff_report, render_dot, render_summary, RenderOptions,
+        render_diff_dot, render_diff_report, render_diff_stats, render_dot, render_summary,
+        RenderOptions,
     };
     pub use crate::stats::{ActivityStats, IoStatistics};
     pub use crate::timeline::Timeline;

@@ -182,6 +182,30 @@ impl<'log> MappedLog<'log> {
                     .filter_map(move |(e, a)| a.map(|a| (ci, a, e)))
             })
     }
+
+    /// Iterates `(case_idx, activity, &event)` over the mapped events a
+    /// [`st_model::LogView`] keeps — the slice-projection hook: map the
+    /// full log once, then project any number of slices (per-file,
+    /// per-rank, per-window) without re-applying the mapping.
+    ///
+    /// `view` must be a view over this mapped log's own event log;
+    /// panics otherwise (activity assignments are positional).
+    pub fn iter_mapped_view<'a>(
+        &'a self,
+        view: &'a st_model::LogView<'_>,
+    ) -> impl Iterator<Item = (usize, ActivityId, &'a st_model::Event)> + 'a {
+        assert!(
+            std::ptr::eq(self.log, view.log()),
+            "view must slice the same EventLog this MappedLog was built from"
+        );
+        view.slices().iter().flat_map(move |s| {
+            let case = &self.log.cases()[s.case_idx];
+            let row = &self.assignments[s.case_idx];
+            s.events.iter().filter_map(move |&k| {
+                row[k as usize].map(|a| (s.case_idx, a, &case.events[k as usize]))
+            })
+        })
+    }
 }
 
 #[cfg(test)]

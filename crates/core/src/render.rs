@@ -427,6 +427,92 @@ pub fn render_diff_report(diff: &crate::diff::DfgDiff) -> String {
     out
 }
 
+/// Renders the statistics layer of a cross-run comparison: per-activity
+/// Load (relative duration, Eq. 8) and process data-rate (Eq. 13)
+/// deltas computed from the [`IoStatistics`] of both runs, plus the
+/// bytes-moved shift. Activities are ordered by |Δ Load| (ties by
+/// name); rows where neither Load, rate nor bytes move are elided.
+/// Activities missing from one side show `-` there (their other-side
+/// values still rank them).
+pub fn render_diff_stats(
+    diff: &crate::diff::DfgDiff,
+    stats_a: &IoStatistics,
+    stats_b: &IoStatistics,
+) -> String {
+    struct Row<'a> {
+        name: &'a str,
+        a: Option<&'a crate::stats::ActivityStats>,
+        b: Option<&'a crate::stats::ActivityStats>,
+    }
+    impl Row<'_> {
+        fn load(s: Option<&crate::stats::ActivityStats>) -> f64 {
+            s.map(|s| s.rel_dur).unwrap_or(0.0)
+        }
+        fn rate(s: Option<&crate::stats::ActivityStats>) -> f64 {
+            s.map(|s| s.mean_rate_bps).unwrap_or(0.0)
+        }
+        fn bytes(s: Option<&crate::stats::ActivityStats>) -> u64 {
+            s.map(|s| s.bytes).unwrap_or(0)
+        }
+        fn delta_load(&self) -> f64 {
+            Self::load(self.b) - Self::load(self.a)
+        }
+        fn is_still(&self) -> bool {
+            self.delta_load().abs() < 1e-12
+                && (Self::rate(self.b) - Self::rate(self.a)).abs() < 1e-9
+                && Self::bytes(self.a) == Self::bytes(self.b)
+        }
+    }
+
+    let mut rows: Vec<Row<'_>> = diff
+        .nodes()
+        .iter()
+        .filter(|n| n.name != "●" && n.name != "■")
+        .map(|n| Row {
+            name: &n.name,
+            // A node can be present in a run yet carry no statistics row
+            // (stats computed over a narrower slice); treat as absent.
+            a: stats_a.get_by_name(&n.name),
+            b: stats_b.get_by_name(&n.name),
+        })
+        .filter(|r| !r.is_still())
+        .collect();
+    rows.sort_by(|x, y| {
+        y.delta_load()
+            .abs()
+            .partial_cmp(&x.delta_load().abs())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| x.name.cmp(y.name))
+    });
+
+    let mut out = String::new();
+    let _ = writeln!(out, "per-activity statistics (A → B):");
+    if rows.is_empty() {
+        let _ = writeln!(out, "  no Load, data-rate or byte shifts");
+        return out;
+    }
+    let side = |s: Option<&crate::stats::ActivityStats>| match s {
+        Some(s) => format!(
+            "Load {:.2}% ({})  DR {}",
+            s.rel_dur * 100.0,
+            if s.bytes > 0 { format_bytes(s.bytes as f64) } else { "-".to_string() },
+            if s.rated_events > 0 { format_rate_mbs(s.mean_rate_bps) } else { "-".to_string() },
+        ),
+        None => "-".to_string(),
+    };
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "  {}\n    A: {}\n    B: {}  [Δ Load {:+.2}pp]",
+            r.name,
+            side(r.a),
+            side(r.b),
+            r.delta_load() * 100.0
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

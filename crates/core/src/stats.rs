@@ -63,6 +63,27 @@ impl IoStatistics {
     /// Computes all statistics in one pass over the mapped events plus a
     /// per-activity interval sort (the paper's O(mn) step).
     pub fn compute(mapped: &MappedLog<'_>) -> IoStatistics {
+        Self::accumulate(mapped, mapped.iter_mapped())
+    }
+
+    /// Computes the statistics of a *slice*: only the events a
+    /// [`st_model::LogView`] keeps contribute — the projection hook that
+    /// lets per-file / per-rank / per-window slices reuse one mapping
+    /// pass. The activity table is the full log's, so activities the
+    /// slice drops report zero counts, and Eq. 8's relative durations
+    /// are normalized over the slice's own total.
+    ///
+    /// `view` must slice the same [`st_model::EventLog`] the mapped log
+    /// was built from; panics otherwise (via
+    /// [`MappedLog::iter_mapped_view`]).
+    pub fn compute_view(mapped: &MappedLog<'_>, view: &st_model::LogView<'_>) -> IoStatistics {
+        Self::accumulate(mapped, mapped.iter_mapped_view(view))
+    }
+
+    fn accumulate<'a>(
+        mapped: &MappedLog<'_>,
+        events: impl Iterator<Item = (usize, crate::ActivityId, &'a st_model::Event)>,
+    ) -> IoStatistics {
         let m = mapped.activity_count();
         struct Accum {
             events: u64,
@@ -85,7 +106,7 @@ impl IoStatistics {
             })
             .collect();
 
-        for (case_idx, activity, event) in mapped.iter_mapped() {
+        for (case_idx, activity, event) in events {
             let a = &mut acc[activity.index()];
             a.events += 1;
             a.dur += event.dur;
@@ -389,6 +410,30 @@ mod tests {
         let mapped = MappedLog::new(&log2, &CallTopDirs::new(2));
         let csv2 = IoStatistics::compute(&mapped).to_csv();
         assert!(csv2.contains("\"read:/a,b/c\""), "{csv2}");
+    }
+
+    #[test]
+    fn view_statistics_cover_only_the_slice() {
+        let log = sample();
+        let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
+        let snap = log.snapshot();
+        let view = st_model::LogView::full(&log)
+            .refine(|_, e| snap.resolve(e.path).contains("/usr/lib"));
+        let stats = IoStatistics::compute_view(&mapped, &view);
+        // Only the two libc reads remain; rel_dur renormalizes to the
+        // slice's own total (Eq. 8 over the slice).
+        let a = stats.get_by_name("read:/usr/lib").unwrap();
+        assert_eq!(a.events, 2);
+        assert_eq!(a.bytes, 1664);
+        assert!((a.rel_dur - 1.0).abs() < 1e-12);
+        assert_eq!(stats.total_dur(), Micros(406));
+        // The dropped activity keeps a row (shared table) with zeros.
+        let b = stats.get_by_name("read:/etc/passwd").unwrap();
+        assert_eq!(b.events, 0);
+        assert_eq!(b.bytes, 0);
+        // The identity view reproduces the full statistics.
+        let full = IoStatistics::compute_view(&mapped, &st_model::LogView::full(&log));
+        assert_eq!(full.total_dur(), IoStatistics::compute(&mapped).total_dur());
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod log;
 pub mod syscall;
 pub mod time;
 pub mod units;
+pub mod view;
 
 pub use case::{Case, CaseMeta};
 pub use error::ModelError;
@@ -41,3 +42,4 @@ pub use intern::{Interner, InternerSnapshot, LocalInterner, Symbol};
 pub use log::EventLog;
 pub use syscall::Syscall;
 pub use time::Micros;
+pub use view::{CaseSlice, LogView};

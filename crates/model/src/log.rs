@@ -253,6 +253,14 @@ impl EventLog {
         Ok(())
     }
 
+    /// Earliest event start across the log — the trace epoch `t₀` that
+    /// relative time-window queries rebase against. `None` when the log
+    /// holds no events. O(n): scans every event, so it stays correct
+    /// even on logs whose cases are not yet start-sorted.
+    pub fn earliest_start(&self) -> Option<crate::Micros> {
+        self.iter_events().map(|(_, e)| e.start).min()
+    }
+
     /// Convenience: total bytes moved across the log.
     pub fn total_bytes(&self) -> u64 {
         self.cases.iter().map(Case::total_bytes).sum()

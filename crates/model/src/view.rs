@@ -1,0 +1,265 @@
+//! Zero-copy slices of an [`EventLog`].
+//!
+//! The paper's inspection loop is *iterative narrowing*: filter the
+//! event log to the ranks, files and time windows that matter, then
+//! rebuild the DFG on the slice (Sec. III's pre-DFG filtering, the
+//! Sec. V per-file SSF-vs-FPP contrast). [`EventLog::filter_events`]
+//! materializes a new log for that, copying every surviving event; a
+//! [`LogView`] instead records *which* events survived as per-case index
+//! vectors over the borrowed parent log — no event is cloned, case
+//! metadata and the interner stay shared, and a million-event log can be
+//! sliced hundreds of ways (one view per file, per rank, per phase)
+//! without multiplying memory.
+//!
+//! Views are produced by the `st-query` scan over a predicate and are
+//! consumed by the projection hooks in `st-core`
+//! (`Dfg::from_mapped_view`, `IoStatistics::compute_view`), which
+//! rebuild DFGs and statistics for a slice without re-mapping the log.
+//! [`LogView::to_event_log`] materializes an owned log (events are
+//! `Copy`, symbols stay valid because the interner is shared) for
+//! consumers that need a real [`EventLog`], e.g. the store writer.
+
+use crate::case::CaseMeta;
+use crate::event::Event;
+use crate::log::EventLog;
+
+/// The surviving events of one case inside a [`LogView`]: the index of
+/// the case in the parent log plus the kept event indices, ascending.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseSlice {
+    /// Index of the case in `LogView::log().cases()`.
+    pub case_idx: usize,
+    /// Indices into that case's `events`, strictly ascending.
+    pub events: Vec<u32>,
+}
+
+impl CaseSlice {
+    /// Number of kept events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the slice keeps no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A borrowed, index-based slice of an [`EventLog`].
+///
+/// Holds the parent log by reference plus one [`CaseSlice`] per case
+/// that kept at least one event (cases in parent order, indices within
+/// a case ascending), so iteration order matches the parent log's.
+#[derive(Clone, Debug)]
+pub struct LogView<'log> {
+    log: &'log EventLog,
+    slices: Vec<CaseSlice>,
+}
+
+impl<'log> LogView<'log> {
+    /// Builds a view from explicit per-case slices.
+    ///
+    /// Callers must uphold the ordering invariants (cases by ascending
+    /// `case_idx`, event indices ascending and in range); they are
+    /// checked in debug builds.
+    pub fn from_slices(log: &'log EventLog, slices: Vec<CaseSlice>) -> LogView<'log> {
+        debug_assert!(
+            slices.windows(2).all(|w| w[0].case_idx < w[1].case_idx),
+            "case slices must be ascending and unique"
+        );
+        debug_assert!(slices.iter().all(|s| {
+            !s.events.is_empty()
+                && s.events.windows(2).all(|w| w[0] < w[1])
+                && (s.events.last().copied().unwrap_or(0) as usize)
+                    < log.cases()[s.case_idx].events.len()
+        }));
+        LogView { log, slices }
+    }
+
+    /// The identity view: every event of every non-empty case.
+    pub fn full(log: &'log EventLog) -> LogView<'log> {
+        let slices = log
+            .cases()
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.events.is_empty())
+            .map(|(case_idx, c)| CaseSlice {
+                case_idx,
+                events: (0..c.events.len() as u32).collect(),
+            })
+            .collect();
+        LogView { log, slices }
+    }
+
+    /// The empty view over `log`.
+    pub fn empty(log: &'log EventLog) -> LogView<'log> {
+        LogView { log, slices: Vec::new() }
+    }
+
+    /// The parent log.
+    pub fn log(&self) -> &'log EventLog {
+        self.log
+    }
+
+    /// The per-case slices, in parent case order.
+    pub fn slices(&self) -> &[CaseSlice] {
+        &self.slices
+    }
+
+    /// Number of cases that kept at least one event.
+    pub fn case_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total number of kept events.
+    pub fn event_count(&self) -> usize {
+        self.slices.iter().map(CaseSlice::len).sum()
+    }
+
+    /// Whether the view keeps no events.
+    pub fn is_empty(&self) -> bool {
+        self.slices.is_empty()
+    }
+
+    /// Whether this view keeps every event of its parent log.
+    pub fn is_identity(&self) -> bool {
+        self.event_count() == self.log.total_events()
+    }
+
+    /// Iterates `(meta, &event)` over the kept events, in parent order.
+    pub fn iter_events(&self) -> impl Iterator<Item = (&CaseMeta, &Event)> + '_ {
+        self.slices.iter().flat_map(move |s| {
+            let case = &self.log.cases()[s.case_idx];
+            s.events
+                .iter()
+                .map(move |&k| (&case.meta, &case.events[k as usize]))
+        })
+    }
+
+    /// Refines this view by a further predicate over `(meta, event)`,
+    /// producing the intersection (slice composition: `slice(q) ∘
+    /// slice(p) = slice(p ∧ q)`).
+    pub fn refine(&self, mut pred: impl FnMut(&CaseMeta, &Event) -> bool) -> LogView<'log> {
+        let slices = self
+            .slices
+            .iter()
+            .filter_map(|s| {
+                let case = &self.log.cases()[s.case_idx];
+                let events: Vec<u32> = s
+                    .events
+                    .iter()
+                    .copied()
+                    .filter(|&k| pred(&case.meta, &case.events[k as usize]))
+                    .collect();
+                (!events.is_empty()).then_some(CaseSlice { case_idx: s.case_idx, events })
+            })
+            .collect();
+        LogView { log: self.log, slices }
+    }
+
+    /// Materializes the view into an owned [`EventLog`] sharing the
+    /// parent's interner (events are `Copy`; no re-interning happens).
+    /// The result is equal to `filter_events` with the same selection.
+    pub fn to_event_log(&self) -> EventLog {
+        let mut out = EventLog::new(std::sync::Arc::clone(self.log.interner()));
+        for s in &self.slices {
+            let case = &self.log.cases()[s.case_idx];
+            out.push_case(crate::Case {
+                meta: case.meta,
+                events: s
+                    .events
+                    .iter()
+                    .map(|&k| case.events[k as usize])
+                    .collect(),
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::syscall::Syscall;
+    use crate::time::Micros;
+    use crate::{Case, Pid};
+    use std::sync::Arc;
+
+    fn sample() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        for (cid, rid, paths) in [
+            ("a", 0u32, vec!["/usr/lib/libc.so", "/etc/passwd"]),
+            ("a", 1, vec!["/usr/lib/libc.so"]),
+            ("b", 2, vec!["/etc/group", "/etc/passwd", "/dev/null"]),
+        ] {
+            let meta = CaseMeta { cid: i.intern(cid), host: i.intern("h"), rid };
+            let events = paths
+                .iter()
+                .enumerate()
+                .map(|(k, p)| {
+                    Event::new(Pid(rid + 1), Syscall::Read, Micros(k as u64 * 10), Micros(1), i.intern(p))
+                })
+                .collect();
+            log.push_case(Case::from_events(meta, events));
+        }
+        log
+    }
+
+    #[test]
+    fn full_view_is_identity() {
+        let log = sample();
+        let v = LogView::full(&log);
+        assert!(v.is_identity());
+        assert_eq!(v.event_count(), log.total_events());
+        assert_eq!(v.case_count(), log.case_count());
+        let copied = v.to_event_log();
+        assert_eq!(copied.total_events(), log.total_events());
+        assert_eq!(copied.cases(), log.cases());
+        assert!(Arc::ptr_eq(copied.interner(), log.interner()));
+    }
+
+    #[test]
+    fn refine_matches_filter_events() {
+        let log = sample();
+        let snap = log.snapshot();
+        let keep = |_: &CaseMeta, e: &Event| snap.resolve(e.path).contains("/etc");
+        let view = LogView::full(&log).refine(keep);
+        assert!(!view.is_identity());
+        assert_eq!(view.event_count(), 3);
+        assert_eq!(view.case_count(), 2); // case rid=1 dropped entirely
+        let materialized = view.to_event_log();
+        let reference = log.filter_events(keep);
+        assert_eq!(materialized.cases(), reference.cases());
+    }
+
+    #[test]
+    fn empty_refinement_yields_empty_view() {
+        let log = sample();
+        let view = LogView::full(&log).refine(|_, _| false);
+        assert!(view.is_empty());
+        assert_eq!(view.event_count(), 0);
+        assert!(view.to_event_log().is_empty());
+    }
+
+    #[test]
+    fn iter_events_preserves_parent_order() {
+        let log = sample();
+        let view = LogView::full(&log);
+        let via_view: Vec<Micros> = view.iter_events().map(|(_, e)| e.start).collect();
+        let direct: Vec<Micros> = log.iter_events().map(|(_, e)| e.start).collect();
+        assert_eq!(via_view, direct);
+    }
+
+    #[test]
+    fn refinement_composes() {
+        let log = sample();
+        let snap = log.snapshot();
+        let p = |_: &CaseMeta, e: &Event| snap.resolve(e.path).contains("/etc");
+        let q = |_: &CaseMeta, e: &Event| snap.resolve(e.path).contains("passwd");
+        let composed = LogView::full(&log).refine(p).refine(q);
+        let direct = LogView::full(&log).refine(|m, e| p(m, e) && q(m, e));
+        assert_eq!(composed.slices(), direct.slices());
+        assert_eq!(composed.event_count(), 2);
+    }
+}

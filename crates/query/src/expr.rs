@@ -1,0 +1,666 @@
+//! The compact text syntax for filter expressions.
+//!
+//! Grammar (whitespace-separated; juxtaposition is conjunction):
+//!
+//! ```text
+//! expr    := or
+//! or      := and ( "or" and )*
+//! and     := unary ( "and"? unary )*
+//! unary   := ( "not" | "!" ) unary | primary
+//! primary := "(" expr ")" | "true" | "false" | term
+//! term    := "pid"  "=" UINT
+//!          | "rid"  "=" UINT
+//!          | "cid"  "=" STRING        | "host" "=" STRING
+//!          | "path" "=" STRING        (exact)
+//!          | "path" "~" STRING        (glob: `*`, `?`)
+//!          | "call" "=" NAME          (exact syscall name)
+//!          | "class" "=" read|write|data|open|close|sync|stat|seek
+//!          | "t" "=" "[" WTIME "," WTIME ( ")" | "]" )
+//!          | "ok" "=" true|false
+//!          | "size" CMP BYTES         (suffix k|m|g, binary)
+//!          | "dur"  CMP TIME
+//! CMP     := "<" | "<=" | "=" | ">=" | ">"
+//! TIME    := NUMBER ("s" | "ms" | "us")     (decimal fractions allowed)
+//! WTIME   := TIME                  (offset from the log's first event)
+//!          | "HH:MM:SS[.ffffff]"   (absolute time of day, strace -tt)
+//! STRING  := "..." (double-quoted) | bare word
+//! ```
+//!
+//! Examples: `pid=42 path~"*.h5" t=[1.2s,3s) ok=false`,
+//! `class=write and size>=1m`, `not (cid=s or cid=f)`,
+//! `t=[09:00:00,09:00:02)`. Traces carry wall-clock starts, so the
+//! offset form means "seconds into the run" — `t=[0s,2s)` is the first
+//! two seconds — while the clock form pins the window to the recorded
+//! time of day. Both endpoints must use the same form.
+
+use st_model::Micros;
+
+use crate::predicate::{CallClass, Cmp, Predicate};
+
+/// A failed parse: what went wrong and where (byte offset into the
+/// expression).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset of the offending token in the input.
+    pub offset: usize,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a filter expression into a [`Predicate`].
+///
+/// ```
+/// use st_query::{parse_expr, Predicate};
+/// let p = parse_expr("pid=42 ok=false").unwrap();
+/// assert_eq!(p, Predicate::Pid(42).and(Predicate::Ok(false)));
+/// assert!(parse_expr("pid=").is_err());
+/// ```
+pub fn parse_expr(input: &str) -> Result<Predicate, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0, len: input.len() };
+    if parser.peek().is_none() {
+        return Err(ParseError { message: "empty expression".into(), offset: 0 });
+    }
+    let expr = parser.parse_or()?;
+    if let Some(tok) = parser.peek() {
+        return Err(ParseError {
+            message: format!("unexpected trailing {}", tok.kind.describe()),
+            offset: tok.offset,
+        });
+    }
+    Ok(expr)
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TokenKind {
+    /// A bare word: keyword, number, name, or unquoted value.
+    Word(String),
+    /// A double-quoted string (quotes stripped).
+    Str(String),
+    Eq,
+    Tilde,
+    Lt,
+    Le,
+    Ge,
+    Gt,
+    Bang,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+}
+
+impl TokenKind {
+    fn describe(&self) -> String {
+        match self {
+            TokenKind::Word(w) => format!("word {w:?}"),
+            TokenKind::Str(s) => format!("string {s:?}"),
+            TokenKind::Eq => "'='".into(),
+            TokenKind::Tilde => "'~'".into(),
+            TokenKind::Lt => "'<'".into(),
+            TokenKind::Le => "'<='".into(),
+            TokenKind::Ge => "'>='".into(),
+            TokenKind::Gt => "'>'".into(),
+            TokenKind::Bang => "'!'".into(),
+            TokenKind::LParen => "'('".into(),
+            TokenKind::RParen => "')'".into(),
+            TokenKind::LBracket => "'['".into(),
+            TokenKind::RBracket => "']'".into(),
+            TokenKind::Comma => "','".into(),
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Token {
+    kind: TokenKind,
+    offset: usize,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        let start = i;
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => i += 1,
+            b'"' => {
+                let Some(close) = bytes[i + 1..].iter().position(|&c| c == b'"') else {
+                    return Err(ParseError {
+                        message: "unterminated string".into(),
+                        offset: start,
+                    });
+                };
+                tokens.push(Token {
+                    kind: TokenKind::Str(input[i + 1..i + 1 + close].to_string()),
+                    offset: start,
+                });
+                i += close + 2;
+            }
+            b'=' => { tokens.push(Token { kind: TokenKind::Eq, offset: start }); i += 1 }
+            b'~' => { tokens.push(Token { kind: TokenKind::Tilde, offset: start }); i += 1 }
+            b'!' => { tokens.push(Token { kind: TokenKind::Bang, offset: start }); i += 1 }
+            b'(' => { tokens.push(Token { kind: TokenKind::LParen, offset: start }); i += 1 }
+            b')' => { tokens.push(Token { kind: TokenKind::RParen, offset: start }); i += 1 }
+            b'[' => { tokens.push(Token { kind: TokenKind::LBracket, offset: start }); i += 1 }
+            b']' => { tokens.push(Token { kind: TokenKind::RBracket, offset: start }); i += 1 }
+            b',' => { tokens.push(Token { kind: TokenKind::Comma, offset: start }); i += 1 }
+            b'<' | b'>' => {
+                let wide = bytes.get(i + 1) == Some(&b'=');
+                let kind = match (b, wide) {
+                    (b'<', true) => TokenKind::Le,
+                    (b'<', false) => TokenKind::Lt,
+                    (b'>', true) => TokenKind::Ge,
+                    _ => TokenKind::Gt,
+                };
+                tokens.push(Token { kind, offset: start });
+                i += if wide { 2 } else { 1 };
+            }
+            _ => {
+                // Bare word: everything up to whitespace or punctuation.
+                while i < bytes.len()
+                    && !matches!(
+                        bytes[i],
+                        b' ' | b'\t' | b'\n' | b'\r' | b'"' | b'=' | b'~' | b'!' | b'(' | b')'
+                            | b'[' | b']' | b',' | b'<' | b'>'
+                    )
+                {
+                    i += 1;
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Word(input[start..i].to_string()),
+                    offset: start,
+                });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let tok = self.tokens.get(self.pos)?;
+        self.pos += 1;
+        Some(tok)
+    }
+
+    fn err_here(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.peek().map(|t| t.offset).unwrap_or(self.len),
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(tok) if &tok.kind == kind => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(tok) => Err(ParseError {
+                message: format!("expected {}, found {}", kind.describe(), tok.kind.describe()),
+                offset: tok.offset,
+            }),
+            None => Err(self.err_here(format!("expected {}, found end of input", kind.describe()))),
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Predicate, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while matches!(self.peek(), Some(Token { kind: TokenKind::Word(w), .. }) if w == "or") {
+            self.pos += 1;
+            lhs = lhs.or(self.parse_and()?);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Predicate, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            match self.peek() {
+                Some(Token { kind: TokenKind::Word(w), .. }) if w == "or" => break,
+                Some(Token { kind: TokenKind::Word(w), .. }) if w == "and" => {
+                    self.pos += 1;
+                    lhs = lhs.and(self.parse_unary()?);
+                }
+                Some(Token { kind: TokenKind::RParen | TokenKind::RBracket, .. }) | None => break,
+                Some(_) => lhs = lhs.and(self.parse_unary()?),
+            }
+        }
+        Ok(lhs)
+    }
+
+    fn parse_unary(&mut self) -> Result<Predicate, ParseError> {
+        match self.peek() {
+            Some(Token { kind: TokenKind::Bang, .. }) => {
+                self.pos += 1;
+                Ok(self.parse_unary()?.not())
+            }
+            Some(Token { kind: TokenKind::Word(w), .. }) if w == "not" => {
+                self.pos += 1;
+                Ok(self.parse_unary()?.not())
+            }
+            _ => self.parse_primary(),
+        }
+    }
+
+    fn parse_primary(&mut self) -> Result<Predicate, ParseError> {
+        match self.peek() {
+            Some(Token { kind: TokenKind::LParen, .. }) => {
+                self.pos += 1;
+                let inner = self.parse_or()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            Some(Token { kind: TokenKind::Word(w), .. }) if w == "true" => {
+                self.pos += 1;
+                Ok(Predicate::True)
+            }
+            Some(Token { kind: TokenKind::Word(w), .. }) if w == "false" => {
+                self.pos += 1;
+                Ok(Predicate::False)
+            }
+            Some(Token { kind: TokenKind::Word(_), .. }) => self.parse_term(),
+            Some(tok) => Err(ParseError {
+                message: format!("expected a term, found {}", tok.kind.describe()),
+                offset: tok.offset,
+            }),
+            None => Err(self.err_here("expected a term, found end of input")),
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Predicate, ParseError> {
+        let (key, key_offset) = match self.bump() {
+            Some(Token { kind: TokenKind::Word(w), offset }) => (w.clone(), *offset),
+            _ => unreachable!("parse_primary checked for a word"),
+        };
+        match key.as_str() {
+            "pid" => {
+                self.expect(&TokenKind::Eq)?;
+                Ok(Predicate::Pid(self.parse_u32("pid")?))
+            }
+            "rid" => {
+                self.expect(&TokenKind::Eq)?;
+                Ok(Predicate::Rid(self.parse_u32("rid")?))
+            }
+            "cid" => {
+                self.expect(&TokenKind::Eq)?;
+                Ok(Predicate::Cid(self.parse_string("cid")?))
+            }
+            "host" => {
+                self.expect(&TokenKind::Eq)?;
+                Ok(Predicate::Host(self.parse_string("host")?))
+            }
+            "path" => match self.bump().map(|t| (t.kind.clone(), t.offset)) {
+                Some((TokenKind::Eq, _)) => Ok(Predicate::PathExact(self.parse_string("path")?)),
+                Some((TokenKind::Tilde, _)) => {
+                    Ok(Predicate::PathGlob(self.parse_string("path")?))
+                }
+                Some((other, offset)) => Err(ParseError {
+                    message: format!("path takes '=' (exact) or '~' (glob), found {}", other.describe()),
+                    offset,
+                }),
+                None => Err(self.err_here("path takes '=' (exact) or '~' (glob)")),
+            },
+            "call" => {
+                self.expect(&TokenKind::Eq)?;
+                Ok(Predicate::Call(self.parse_string("call")?))
+            }
+            "class" => {
+                self.expect(&TokenKind::Eq)?;
+                let word = self.parse_string("class")?;
+                CallClass::parse(&word).map(Predicate::Class).ok_or(ParseError {
+                    message: format!(
+                        "unknown class {word:?} (read, write, data, open, close, sync, stat, seek)"
+                    ),
+                    offset: key_offset,
+                })
+            }
+            "ok" => {
+                self.expect(&TokenKind::Eq)?;
+                match self.parse_string("ok")?.as_str() {
+                    "true" => Ok(Predicate::Ok(true)),
+                    "false" => Ok(Predicate::Ok(false)),
+                    other => Err(ParseError {
+                        message: format!("ok takes true or false, found {other:?}"),
+                        offset: key_offset,
+                    }),
+                }
+            }
+            "size" => {
+                let cmp = self.parse_cmp("size")?;
+                let word = self.parse_string("size")?;
+                let bytes = parse_bytes(&word).ok_or(ParseError {
+                    message: format!("bad size {word:?} (integer with optional k/m/g suffix)"),
+                    offset: key_offset,
+                })?;
+                Ok(Predicate::Size(cmp, bytes))
+            }
+            "dur" => {
+                let cmp = self.parse_cmp("dur")?;
+                let word = self.parse_string("dur")?;
+                let micros = parse_time(&word).ok_or(ParseError {
+                    message: format!("bad duration {word:?} (number with s/ms/us suffix)"),
+                    offset: key_offset,
+                })?;
+                Ok(Predicate::Dur(cmp, micros))
+            }
+            "t" => {
+                self.expect(&TokenKind::Eq)?;
+                self.expect(&TokenKind::LBracket)?;
+                let from_word = self.parse_string("window start")?;
+                let (from, from_abs) = parse_window_time(&from_word).ok_or(ParseError {
+                    message: format!(
+                        "bad time {from_word:?} (offset with s/ms/us suffix, or HH:MM:SS[.ffffff])"
+                    ),
+                    offset: key_offset,
+                })?;
+                self.expect(&TokenKind::Comma)?;
+                let to_word = self.parse_string("window end")?;
+                let (to, to_abs) = parse_window_time(&to_word).ok_or(ParseError {
+                    message: format!(
+                        "bad time {to_word:?} (offset with s/ms/us suffix, or HH:MM:SS[.ffffff])"
+                    ),
+                    offset: key_offset,
+                })?;
+                if from_abs != to_abs {
+                    return Err(ParseError {
+                        message: format!(
+                            "time window mixes a relative and an absolute endpoint \
+                             ([{from_word},{to_word}]); use offsets for both or \
+                             times of day for both"
+                        ),
+                        offset: key_offset,
+                    });
+                }
+                let inclusive_end = match self.bump().map(|t| (t.kind.clone(), t.offset)) {
+                    Some((TokenKind::RParen, _)) => false,
+                    Some((TokenKind::RBracket, _)) => true,
+                    Some((other, offset)) => {
+                        return Err(ParseError {
+                            message: format!(
+                                "time window closes with ')' or ']', found {}",
+                                other.describe()
+                            ),
+                            offset,
+                        })
+                    }
+                    None => {
+                        return Err(self.err_here("time window closes with ')' or ']'"));
+                    }
+                };
+                if to < from {
+                    return Err(ParseError {
+                        message: format!("empty time window [{from_word},{to_word})"),
+                        offset: key_offset,
+                    });
+                }
+                Ok(Predicate::TimeWindow { from, to, inclusive_end, absolute: from_abs })
+            }
+            other => Err(ParseError {
+                message: format!(
+                    "unknown key {other:?} (pid, rid, cid, host, path, call, class, t, ok, size, dur)"
+                ),
+                offset: key_offset,
+            }),
+        }
+    }
+
+    fn parse_cmp(&mut self, key: &str) -> Result<Cmp, ParseError> {
+        match self.bump().map(|t| (t.kind.clone(), t.offset)) {
+            Some((TokenKind::Lt, _)) => Ok(Cmp::Lt),
+            Some((TokenKind::Le, _)) => Ok(Cmp::Le),
+            Some((TokenKind::Eq, _)) => Ok(Cmp::Eq),
+            Some((TokenKind::Ge, _)) => Ok(Cmp::Ge),
+            Some((TokenKind::Gt, _)) => Ok(Cmp::Gt),
+            Some((other, offset)) => Err(ParseError {
+                message: format!("{key} takes a comparison operator, found {}", other.describe()),
+                offset,
+            }),
+            None => Err(self.err_here(format!("{key} takes a comparison operator"))),
+        }
+    }
+
+    fn parse_string(&mut self, key: &str) -> Result<String, ParseError> {
+        match self.bump() {
+            Some(Token { kind: TokenKind::Word(w), .. }) => Ok(w.clone()),
+            Some(Token { kind: TokenKind::Str(s), .. }) => Ok(s.clone()),
+            Some(tok) => Err(ParseError {
+                message: format!("{key} takes a value, found {}", tok.kind.describe()),
+                offset: tok.offset,
+            }),
+            None => Err(self.err_here(format!("{key} takes a value"))),
+        }
+    }
+
+    /// Parses a `u32` field exactly — out-of-range values are an error,
+    /// never a silent truncation (`pid=4294967297` must not match pid 1).
+    fn parse_u32(&mut self, key: &str) -> Result<u32, ParseError> {
+        let offset = self.peek().map(|t| t.offset).unwrap_or(self.len);
+        let word = self.parse_string(key)?;
+        word.parse().map_err(|_| ParseError {
+            message: format!("{key} takes an unsigned 32-bit integer, found {word:?}"),
+            offset,
+        })
+    }
+}
+
+/// Parses a byte count with an optional binary suffix: `4096`, `64k`,
+/// `16m`, `2g`.
+fn parse_bytes(s: &str) -> Option<u64> {
+    let (digits, scale) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1u64 << 10),
+        b'm' | b'M' => (&s[..s.len() - 1], 1 << 20),
+        b'g' | b'G' => (&s[..s.len() - 1], 1 << 30),
+        _ => (s, 1),
+    };
+    let value: u64 = digits.parse().ok()?;
+    value.checked_mul(scale)
+}
+
+/// Parses one time-window endpoint. Returns `(value, absolute)`:
+/// `HH:MM:SS[.ffffff]` (the `strace -tt` clock) is an absolute time of
+/// day, a suffixed number (`1.2s`) is an offset from the trace epoch.
+fn parse_window_time(s: &str) -> Option<(Micros, bool)> {
+    if s.contains(':') {
+        Micros::parse_time_of_day(s).map(|m| (m, true))
+    } else {
+        parse_time(s).map(|m| (m, false))
+    }
+}
+
+/// Parses a time value with a mandatory unit: `1.2s`, `300ms`, `1500us`.
+/// Fractions are allowed down to microsecond resolution.
+fn parse_time(s: &str) -> Option<Micros> {
+    let (number, per_unit) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1u64)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1_000)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1_000_000)
+    } else {
+        return None;
+    };
+    let (whole, frac) = match number.split_once('.') {
+        Some((w, f)) => (w, Some(f)),
+        None => (number, None),
+    };
+    if whole.is_empty() && frac.is_none() {
+        return None;
+    }
+    let mut micros = if whole.is_empty() {
+        0
+    } else {
+        whole.parse::<u64>().ok()?.checked_mul(per_unit)?
+    };
+    if let Some(frac) = frac {
+        // Fraction digits scale by unit/10^k; reject digits finer than
+        // the microsecond grid instead of silently rounding.
+        if frac.is_empty() || !frac.bytes().all(|b| b.is_ascii_digit()) {
+            return None;
+        }
+        let denom = 10u64.checked_pow(frac.len() as u32)?;
+        let value: u64 = frac.parse().ok()?;
+        let scaled = value.checked_mul(per_unit)?;
+        if scaled % denom != 0 {
+            return None;
+        }
+        micros = micros.checked_add(scaled / denom)?;
+    }
+    Some(Micros(micros))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_style_expression() {
+        let p = parse_expr("pid=42 path~\"*.h5\" t=[1.2s,3s) ok=false").unwrap();
+        assert_eq!(
+            p,
+            Predicate::And(vec![
+                Predicate::Pid(42),
+                Predicate::PathGlob("*.h5".into()),
+                Predicate::TimeWindow {
+                    from: Micros(1_200_000),
+                    to: Micros(3_000_000),
+                    inclusive_end: false,
+                    absolute: false,
+                },
+                Predicate::Ok(false),
+            ])
+        );
+    }
+
+    #[test]
+    fn every_term_kind_parses() {
+        for (src, expected) in [
+            ("pid=1", Predicate::Pid(1)),
+            ("rid=96", Predicate::Rid(96)),
+            ("cid=s", Predicate::Cid("s".into())),
+            ("host=jwc01", Predicate::Host("jwc01".into())),
+            ("path=/etc/passwd", Predicate::PathExact("/etc/passwd".into())),
+            ("path~\"/scratch/*\"", Predicate::PathGlob("/scratch/*".into())),
+            ("call=openat", Predicate::Call("openat".into())),
+            ("class=write", Predicate::Class(CallClass::Write)),
+            ("ok=true", Predicate::Ok(true)),
+            ("size>=1m", Predicate::Size(Cmp::Ge, 1 << 20)),
+            ("size<4096", Predicate::Size(Cmp::Lt, 4096)),
+            ("dur>10ms", Predicate::Dur(Cmp::Gt, Micros(10_000))),
+            ("true", Predicate::True),
+            ("false", Predicate::False),
+            (
+                "t=[0s,1s]",
+                Predicate::TimeWindow {
+                    from: Micros(0),
+                    to: Micros(1_000_000),
+                    inclusive_end: true,
+                    absolute: false,
+                },
+            ),
+            (
+                "t=[09:00:00,09:00:01.5)",
+                Predicate::TimeWindow {
+                    from: Micros(9 * 3600 * 1_000_000),
+                    to: Micros(9 * 3600 * 1_000_000 + 1_500_000),
+                    inclusive_end: false,
+                    absolute: true,
+                },
+            ),
+        ] {
+            assert_eq!(parse_expr(src).unwrap(), expected, "{src}");
+        }
+    }
+
+    #[test]
+    fn boolean_structure_and_precedence() {
+        // `or` binds looser than juxtaposition-AND.
+        let p = parse_expr("pid=1 pid=2 or pid=3").unwrap();
+        assert_eq!(
+            p,
+            Predicate::Pid(1).and(Predicate::Pid(2)).or(Predicate::Pid(3))
+        );
+        // Parentheses override.
+        let q = parse_expr("pid=1 (pid=2 or pid=3)").unwrap();
+        assert_eq!(
+            q,
+            Predicate::Pid(1).and(Predicate::Pid(2).or(Predicate::Pid(3)))
+        );
+        // Explicit `and` and `!`/`not` are synonyms of the sugar.
+        assert_eq!(
+            parse_expr("pid=1 and not pid=2").unwrap(),
+            parse_expr("pid=1 !pid=2").unwrap()
+        );
+    }
+
+    #[test]
+    fn time_and_size_units() {
+        assert_eq!(parse_expr("dur>=1500us").unwrap(), Predicate::Dur(Cmp::Ge, Micros(1500)));
+        assert_eq!(parse_expr("dur>=0.5ms").unwrap(), Predicate::Dur(Cmp::Ge, Micros(500)));
+        assert_eq!(parse_expr("size>=64k").unwrap(), Predicate::Size(Cmp::Ge, 65536));
+        assert_eq!(parse_expr("size=0").unwrap(), Predicate::Size(Cmp::Eq, 0));
+    }
+
+    #[test]
+    fn errors_carry_position_and_reason() {
+        for (src, needle) in [
+            ("", "empty expression"),
+            ("pid=", "takes a value"),
+            ("pid=x", "unsigned 32-bit integer"),
+            ("pid=4294967297", "unsigned 32-bit integer"),
+            ("rid=99999999999", "unsigned 32-bit integer"),
+            ("frob=1", "unknown key"),
+            ("class=zap", "unknown class"),
+            ("path!\"x\"", "'=' (exact) or '~' (glob)"),
+            ("t=[1s,2s", "closes with"),
+            ("t=[3s,1s)", "empty time window"),
+            ("t=[0s,09:00:00)", "mixes a relative and an absolute endpoint"),
+            ("t=[25:00:00,26:00:00)", "bad time"),
+            ("dur>=10", "bad duration"),
+            ("size>=1x", "bad size"),
+            ("ok=maybe", "true or false"),
+            ("pid=1)", "unexpected trailing"),
+            ("(pid=1", "expected ')'"),
+            ("\"unterminated", "unterminated string"),
+        ] {
+            let err = parse_expr(src).unwrap_err();
+            assert!(
+                err.message.contains(needle),
+                "{src}: expected {needle:?} in {:?}",
+                err.message
+            );
+        }
+    }
+
+    #[test]
+    fn fractional_precision_is_bounded() {
+        // 1.2345678s has sub-microsecond digits → rejected, not rounded.
+        assert!(parse_expr("dur>=1.2345678s").is_err());
+        assert_eq!(
+            parse_expr("dur>=1.234567s").unwrap(),
+            Predicate::Dur(Cmp::Ge, Micros(1_234_567))
+        );
+    }
+}

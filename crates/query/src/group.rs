@@ -1,0 +1,183 @@
+//! Exploding one view into per-file / per-rank view families.
+//!
+//! The paper's Sec. V analysis contrasts access patterns *per file*
+//! (the SSF shared file vs. the FPP per-process files) and *per rank*;
+//! [`group_by`] turns one (possibly filtered) [`LogView`] into a family
+//! of disjoint sub-views keyed by file path, pid, command id or host,
+//! each of which projects to its own DFG through the `st-core` hooks.
+//! The partition is exact: every kept event lands in exactly one group,
+//! and the union of the groups is the input view.
+
+use std::collections::HashMap;
+
+use st_model::{CaseSlice, LogView};
+
+/// The attribute a view is partitioned by.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GroupKey {
+    /// One group per distinct file path (the paper's per-file access
+    /// patterns).
+    File,
+    /// One group per process id (SMT/OpenMP children separate).
+    Pid,
+    /// One group per command identifier (e.g. SSF vs FPP runs).
+    Cid,
+    /// One group per host machine.
+    Host,
+}
+
+impl GroupKey {
+    /// Parses the CLI spelling (`file`, `pid`, `cid`, `host`).
+    pub fn parse(s: &str) -> Option<GroupKey> {
+        Some(match s {
+            "file" => GroupKey::File,
+            "pid" => GroupKey::Pid,
+            "cid" => GroupKey::Cid,
+            "host" => GroupKey::Host,
+            _ => return None,
+        })
+    }
+}
+
+/// Partitions `view` into disjoint sub-views by `key`.
+///
+/// Groups come back in deterministic order: lexicographic by key string
+/// for `File`/`Cid`/`Host`, numeric for `Pid`. Within a group, cases
+/// and events keep the parent order, so the slicing invariants of
+/// [`LogView::from_slices`] hold by construction.
+pub fn group_by<'log>(view: &LogView<'log>, key: GroupKey) -> Vec<(String, LogView<'log>)> {
+    let log = view.log();
+    let cases = log.cases();
+    // Group identity is an integer for every key kind: the path/cid/host
+    // symbol index, or the pid. Names are resolved once per group at the
+    // end, never per event.
+    let mut groups: HashMap<u32, Vec<CaseSlice>> = HashMap::new();
+    for s in view.slices() {
+        let case = &cases[s.case_idx];
+        for &k in &s.events {
+            let id = match key {
+                GroupKey::File => case.events[k as usize].path.0,
+                GroupKey::Pid => case.events[k as usize].pid.0,
+                GroupKey::Cid => case.meta.cid.0,
+                GroupKey::Host => case.meta.host.0,
+            };
+            let slices = groups.entry(id).or_default();
+            match slices.last_mut() {
+                Some(last) if last.case_idx == s.case_idx => last.events.push(k),
+                _ => slices.push(CaseSlice { case_idx: s.case_idx, events: vec![k] }),
+            }
+        }
+    }
+    let snapshot = log.snapshot();
+    let mut named: Vec<(String, LogView<'log>)> = groups
+        .into_iter()
+        .map(|(id, slices)| {
+            let name = match key {
+                GroupKey::Pid => id.to_string(),
+                _ => snapshot.resolve(st_model::Symbol(id)).to_string(),
+            };
+            (name, LogView::from_slices(log, slices))
+        })
+        .collect();
+    match key {
+        GroupKey::Pid => named.sort_by_key(|(name, _)| name.parse::<u32>().unwrap_or(u32::MAX)),
+        _ => named.sort_by(|(a, _), (b, _)| a.cmp(b)),
+    }
+    named
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+    use std::sync::Arc;
+
+    fn sample() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        for (cid, host, rid, rows) in [
+            ("a", "h1", 0u32, vec![(10u32, "/x/f0"), (10, "/x/f1"), (11, "/x/f0")]),
+            ("b", "h2", 1, vec![(20, "/x/f1"), (20, "/x/f2")]),
+        ] {
+            let meta = CaseMeta { cid: i.intern(cid), host: i.intern(host), rid };
+            let events = rows
+                .iter()
+                .enumerate()
+                .map(|(k, (pid, p))| {
+                    Event::new(Pid(*pid), Syscall::Read, Micros(k as u64), Micros(1), i.intern(p))
+                })
+                .collect();
+            log.push_case(Case::from_events(meta, events));
+        }
+        log
+    }
+
+    fn sizes(groups: &[(String, LogView<'_>)]) -> Vec<(String, usize)> {
+        groups.iter().map(|(k, v)| (k.clone(), v.event_count())).collect()
+    }
+
+    #[test]
+    fn by_file_partitions_and_covers() {
+        let log = sample();
+        let view = LogView::full(&log);
+        let groups = group_by(&view, GroupKey::File);
+        assert_eq!(
+            sizes(&groups),
+            vec![
+                ("/x/f0".to_string(), 2),
+                ("/x/f1".to_string(), 2),
+                ("/x/f2".to_string(), 1),
+            ]
+        );
+        let total: usize = groups.iter().map(|(_, v)| v.event_count()).sum();
+        assert_eq!(total, view.event_count());
+    }
+
+    #[test]
+    fn by_pid_orders_numerically() {
+        let log = sample();
+        let view = LogView::full(&log);
+        let groups = group_by(&view, GroupKey::Pid);
+        assert_eq!(
+            sizes(&groups),
+            vec![
+                ("10".to_string(), 2),
+                ("11".to_string(), 1),
+                ("20".to_string(), 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn by_cid_and_host_follow_case_meta() {
+        let log = sample();
+        let view = LogView::full(&log);
+        assert_eq!(
+            sizes(&group_by(&view, GroupKey::Cid)),
+            vec![("a".to_string(), 3), ("b".to_string(), 2)]
+        );
+        assert_eq!(
+            sizes(&group_by(&view, GroupKey::Host)),
+            vec![("h1".to_string(), 3), ("h2".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn grouping_a_filtered_view_stays_inside_it() {
+        let log = sample();
+        let snap = log.snapshot();
+        let view = LogView::full(&log).refine(|_, e| snap.resolve(e.path) != "/x/f0");
+        let groups = group_by(&view, GroupKey::File);
+        assert_eq!(
+            sizes(&groups),
+            vec![("/x/f1".to_string(), 2), ("/x/f2".to_string(), 1)]
+        );
+    }
+
+    #[test]
+    fn empty_view_has_no_groups() {
+        let log = sample();
+        let view = LogView::empty(&log);
+        assert!(group_by(&view, GroupKey::File).is_empty());
+    }
+}

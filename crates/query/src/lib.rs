@@ -1,0 +1,243 @@
+//! # st-query — trace query & slicing engine
+//!
+//! The paper's inspection loop is *iterative narrowing* (Sec. III's
+//! pre-DFG filtering, Sec. V's per-file SSF-vs-FPP contrast): filter the
+//! event log down to the ranks, files and time windows that matter,
+//! then rebuild the DFG on the slice. This crate is that layer as a
+//! first-class engine:
+//!
+//! * [`Predicate`] — a typed filter algebra over the event attributes
+//!   (pid, rank, cid, host, path glob/exact, syscall name/class, time
+//!   window, success flag, size and duration thresholds) closed under
+//!   `and`/`or`/`not`;
+//! * [`parse_expr`] — the compact text syntax
+//!   (`pid=42 path~"*.h5" t=[1.2s,3s) ok=false`) parsed into the
+//!   algebra;
+//! * [`scan`] / [`scan_par`] — zero-copy evaluation producing a
+//!   [`LogView`] (per-case index vectors into the borrowed log; no
+//!   event is cloned). The parallel scan fans cases out to scoped
+//!   worker threads — the same worker infrastructure the parallel
+//!   parser and DFG builder use — for million-event logs;
+//! * [`group_by`] — explodes one view into per-file / per-pid /
+//!   per-cid / per-host sub-view families (the paper's per-file access
+//!   patterns), each of which projects to its own DFG through the
+//!   `st-core` projection hooks (`Dfg::from_mapped_view`,
+//!   `IoStatistics::compute_view`).
+//!
+//! ```
+//! use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
+//! use st_query::{parse_expr, scan};
+//! use std::sync::Arc;
+//!
+//! let mut log = EventLog::with_new_interner();
+//! let i = Arc::clone(log.interner());
+//! let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+//! log.push_case(Case::from_events(meta, vec![
+//!     Event::new(Pid(1), Syscall::Read, Micros(10), Micros(1), i.intern("/scratch/x.h5"))
+//!         .with_size(4096),
+//!     Event::new(Pid(1), Syscall::Openat, Micros(20), Micros(1), i.intern("/usr/lib/a.so"))
+//!         .failed(),
+//! ]));
+//!
+//! // Narrow to failed calls — the Fig. 8a "openat storm" slice.
+//! let pred = parse_expr("ok=false").unwrap();
+//! let view = scan(&log, &pred);
+//! assert_eq!(view.event_count(), 1);
+//!
+//! // Narrow to the HDF5 file by glob instead.
+//! let h5 = scan(&log, &parse_expr(r#"path~"*.h5""#).unwrap());
+//! assert_eq!(h5.event_count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod group;
+pub mod predicate;
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use st_model::{CaseSlice, EventLog, LogView};
+
+pub use expr::{parse_expr, ParseError};
+pub use group::{group_by, GroupKey};
+pub use predicate::{glob_match, CallClass, Cmp, EvalCtx, Predicate};
+
+/// The trace epoch for relative time windows: the log's earliest event
+/// start, or zero when the predicate never looks at relative time (so
+/// time-free scans skip the extra O(n) pass) or the log is empty.
+fn epoch_for(log: &EventLog, pred: &Predicate) -> st_model::Micros {
+    if pred.uses_relative_time() {
+        log.earliest_start().unwrap_or(st_model::Micros::ZERO)
+    } else {
+        st_model::Micros::ZERO
+    }
+}
+
+/// Evaluates `pred` over every event of `log` in one sequential pass,
+/// returning the matching slice as a zero-copy [`LogView`]. Relative
+/// time windows (`t=[0s,2s)`) are measured from the log's earliest
+/// event start.
+pub fn scan<'log>(log: &'log EventLog, pred: &Predicate) -> LogView<'log> {
+    let snapshot = log.snapshot();
+    let ctx = EvalCtx { snapshot: &snapshot, t0: epoch_for(log, pred) };
+    let mut slices = Vec::new();
+    for (case_idx, case) in log.cases().iter().enumerate() {
+        let events: Vec<u32> = case
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pred.matches(&ctx, &case.meta, e))
+            .map(|(k, _)| k as u32)
+            .collect();
+        if !events.is_empty() {
+            slices.push(CaseSlice { case_idx, events });
+        }
+    }
+    LogView::from_slices(log, slices)
+}
+
+/// Parallel [`scan`]: cases are fanned out to `threads` scoped workers
+/// (`0` = available parallelism) through an atomic work counter, the
+/// per-case index vectors are reassembled in case order. Produces
+/// exactly the same view as the sequential scan.
+pub fn scan_par<'log>(log: &'log EventLog, pred: &Predicate, threads: usize) -> LogView<'log> {
+    let n_cases = log.case_count();
+    let workers = if threads == 0 {
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(n_cases.max(1));
+    if workers <= 1 {
+        return scan(log, pred);
+    }
+
+    let snapshot = log.snapshot();
+    let t0 = epoch_for(log, pred);
+    let mut slots: Vec<Option<Vec<u32>>> = (0..n_cases).map(|_| None).collect();
+    {
+        let next = AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let snapshot = &snapshot;
+                let cases = log.cases();
+                scope.spawn(move || {
+                    let ctx = EvalCtx { snapshot, t0 };
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= cases.len() {
+                            break;
+                        }
+                        let case = &cases[idx];
+                        let events: Vec<u32> = case
+                            .events
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, e)| pred.matches(&ctx, &case.meta, e))
+                            .map(|(k, _)| k as u32)
+                            .collect();
+                        if tx.send((idx, events)).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(tx);
+            for (idx, events) in rx {
+                slots[idx] = Some(events);
+            }
+        });
+    }
+
+    let slices = slots
+        .into_iter()
+        .enumerate()
+        .filter_map(|(case_idx, slot)| {
+            let events = slot.expect("every case scanned");
+            (!events.is_empty()).then_some(CaseSlice { case_idx, events })
+        })
+        .collect();
+    LogView::from_slices(log, slices)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_model::{Case, CaseMeta, Event, Micros, Pid, Syscall};
+    use std::sync::Arc;
+
+    fn synthetic(cases: usize, events_per_case: usize) -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        for c in 0..cases {
+            let meta = CaseMeta {
+                cid: i.intern(if c % 2 == 0 { "a" } else { "b" }),
+                host: i.intern("h"),
+                rid: c as u32,
+            };
+            let events = (0..events_per_case)
+                .map(|k| {
+                    let mut e = Event::new(
+                        Pid(100 + (k % 3) as u32),
+                        if k % 4 == 0 { Syscall::Write } else { Syscall::Read },
+                        Micros((k * 10) as u64),
+                        Micros(5),
+                        i.intern(&format!("/d{}/f{}", k % 5, k % 7)),
+                    );
+                    if k % 6 == 0 {
+                        e = e.failed();
+                    } else {
+                        e = e.with_size((k * 100) as u64);
+                    }
+                    e
+                })
+                .collect();
+            log.push_case(Case::from_events(meta, events));
+        }
+        log
+    }
+
+    #[test]
+    fn scan_matches_filter_events() {
+        let log = synthetic(5, 40);
+        let pred = parse_expr("class=write size>=400").unwrap();
+        let view = scan(&log, &pred);
+        let snap = log.snapshot();
+        let ctx = EvalCtx { snapshot: &snap, t0: log.earliest_start().unwrap() };
+        let reference = log.filter_events(|m, e| pred.matches(&ctx, m, e));
+        assert_eq!(view.to_event_log().cases(), reference.cases());
+        assert!(view.event_count() > 0);
+    }
+
+    #[test]
+    fn parallel_scan_equals_sequential() {
+        let log = synthetic(17, 33);
+        for src in ["true", "ok=false", "pid=101 or class=write", "path~\"/d1/*\""] {
+            let pred = parse_expr(src).unwrap();
+            let seq = scan(&log, &pred);
+            for threads in [2, 3, 8] {
+                let par = scan_par(&log, &pred, threads);
+                assert_eq!(seq.slices(), par.slices(), "{src} threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn scan_true_is_identity() {
+        let log = synthetic(3, 10);
+        let view = scan(&log, &Predicate::True);
+        assert!(view.is_identity());
+        assert_eq!(view.event_count(), log.total_events());
+    }
+
+    #[test]
+    fn scan_empty_log() {
+        let log = EventLog::with_new_interner();
+        let view = scan_par(&log, &Predicate::True, 4);
+        assert!(view.is_empty());
+    }
+}

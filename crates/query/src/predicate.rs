@@ -1,0 +1,503 @@
+//! The typed filter algebra.
+//!
+//! A [`Predicate`] is a small boolean expression tree over the
+//! attributes of the paper's event tuple (Eq. 1): process id, rank,
+//! command id, host, file path (exact or glob), system call (exact name
+//! or family class), time window, success flag, transfer size and call
+//! duration — closed under [`Predicate::and`], [`Predicate::or`] and
+//! [`Predicate::not`]. Evaluation is zero-copy: paths are compared
+//! through the shared interner snapshot, no event is cloned and no
+//! string is allocated per event.
+
+use st_model::{CaseMeta, Event, InternerSnapshot, Micros, Syscall};
+
+/// A family of system calls, for class-level filtering (`class=read`
+/// matches the whole `read`/`pread64`/`readv`/`preadv` family).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CallClass {
+    /// The `read` family (data flows file → process).
+    Read,
+    /// The `write` family (data flows process → file).
+    Write,
+    /// Any data-transferring call (`Read` ∪ `Write`).
+    Data,
+    /// Calls that open a file description (`open`, `openat`).
+    Open,
+    /// `close`.
+    Close,
+    /// Durability calls (`fsync`, `fdatasync`).
+    Sync,
+    /// Metadata queries (`stat`, `fstat`, `newfstatat`).
+    Stat,
+    /// Offset repositioning (`lseek`).
+    Seek,
+}
+
+impl CallClass {
+    /// Parses the class keyword used by the expression syntax.
+    pub fn parse(s: &str) -> Option<CallClass> {
+        Some(match s {
+            "read" => CallClass::Read,
+            "write" => CallClass::Write,
+            "data" => CallClass::Data,
+            "open" => CallClass::Open,
+            "close" => CallClass::Close,
+            "sync" => CallClass::Sync,
+            "stat" => CallClass::Stat,
+            "seek" => CallClass::Seek,
+            _ => return None,
+        })
+    }
+
+    /// The keyword this class spells as in the expression syntax.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            CallClass::Read => "read",
+            CallClass::Write => "write",
+            CallClass::Data => "data",
+            CallClass::Open => "open",
+            CallClass::Close => "close",
+            CallClass::Sync => "sync",
+            CallClass::Stat => "stat",
+            CallClass::Seek => "seek",
+        }
+    }
+
+    /// Whether `call` belongs to this class.
+    pub fn contains(&self, call: Syscall) -> bool {
+        match self {
+            CallClass::Read => call.is_read_like(),
+            CallClass::Write => call.is_write_like(),
+            CallClass::Data => call.transfers_data(),
+            CallClass::Open => call.is_open_like(),
+            CallClass::Close => call == Syscall::Close,
+            CallClass::Sync => matches!(call, Syscall::Fsync | Syscall::Fdatasync),
+            CallClass::Stat => {
+                matches!(call, Syscall::Stat | Syscall::Fstat | Syscall::Newfstatat)
+            }
+            CallClass::Seek => call == Syscall::Lseek,
+        }
+    }
+}
+
+/// A comparison operator for the numeric terms (`size`, `dur`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Cmp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `=`
+    Eq,
+    /// `>=`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl Cmp {
+    /// Applies the comparison `lhs OP rhs`.
+    #[inline]
+    pub fn apply(&self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ge => lhs >= rhs,
+            Cmp::Gt => lhs > rhs,
+        }
+    }
+
+    /// The operator's spelling in the expression syntax.
+    pub fn spelling(&self) -> &'static str {
+        match self {
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Eq => "=",
+            Cmp::Ge => ">=",
+            Cmp::Gt => ">",
+        }
+    }
+}
+
+/// Evaluation context: the interner snapshot of the log under query
+/// (taken once per scan so the hot loop never touches the interner
+/// lock) plus the log's trace epoch for relative time windows.
+pub struct EvalCtx<'a> {
+    /// Lock-free symbol → string view of the log's interner.
+    pub snapshot: &'a InternerSnapshot,
+    /// The trace epoch `t₀` (the log's earliest event start,
+    /// [`st_model::EventLog::earliest_start`]) that relative
+    /// [`Predicate::TimeWindow`]s rebase against. Traces carry
+    /// wall-clock time-of-day starts (`strace -tt`), so `t=[0s,2s)`
+    /// means "the first two seconds of the run", not midnight.
+    pub t0: Micros,
+}
+
+/// A filter over `(case, event)` pairs: the typed form of one query
+/// expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Predicate {
+    /// Matches every event.
+    True,
+    /// Matches no event.
+    False,
+    /// Process id equals (`pid=42`).
+    Pid(u32),
+    /// Case rank id equals (`rid=3`).
+    Rid(u32),
+    /// Command identifier equals (`cid=a`).
+    Cid(String),
+    /// Host name equals (`host=jwc01`).
+    Host(String),
+    /// File path equals exactly (`path="/etc/passwd"`).
+    PathExact(String),
+    /// File path matches a glob with `*` and `?` (`path~"*.h5"`).
+    PathGlob(String),
+    /// System call name equals exactly (`call=openat`).
+    Call(String),
+    /// System call belongs to a family (`class=write`).
+    Class(CallClass),
+    /// Event start timestamp lies in the window (`t=[1.2s,3s)`):
+    /// `start ∈ [from, to)`, or `[from, to]` when `inclusive_end`.
+    /// Relative windows (the `1.2s` syntax) rebase the event start
+    /// against the log's trace epoch [`EvalCtx::t0`] — `t=[0s,2s)` is
+    /// the first two seconds of the run; absolute windows (the
+    /// `09:00:01.5` time-of-day syntax) compare wall-clock starts
+    /// directly.
+    TimeWindow {
+        /// Window start (inclusive).
+        from: Micros,
+        /// Window end.
+        to: Micros,
+        /// Whether `to` itself is inside the window.
+        inclusive_end: bool,
+        /// Whether the bounds are absolute time-of-day instants rather
+        /// than offsets from the trace epoch.
+        absolute: bool,
+    },
+    /// Success flag equals (`ok=false` keeps only failed calls).
+    Ok(bool),
+    /// Transferred byte count compared against a threshold
+    /// (`size>=1m`); events without a size (non-transfer or failed
+    /// calls) never match.
+    Size(Cmp, u64),
+    /// Call duration compared against a threshold (`dur>=10ms`).
+    Dur(Cmp, Micros),
+    /// Conjunction: all children match (empty = `True`).
+    And(Vec<Predicate>),
+    /// Disjunction: some child matches (empty = `False`).
+    Or(Vec<Predicate>),
+    /// Negation.
+    Not(Box<Predicate>),
+}
+
+impl Predicate {
+    /// Conjunction of `self` and `other`, flattening nested `And`s.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::And(mut xs), Predicate::And(ys)) => {
+                xs.extend(ys);
+                Predicate::And(xs)
+            }
+            (Predicate::And(mut xs), y) => {
+                xs.push(y);
+                Predicate::And(xs)
+            }
+            (x, Predicate::And(mut ys)) => {
+                ys.insert(0, x);
+                Predicate::And(ys)
+            }
+            (x, y) => Predicate::And(vec![x, y]),
+        }
+    }
+
+    /// Disjunction of `self` and `other`, flattening nested `Or`s.
+    pub fn or(self, other: Predicate) -> Predicate {
+        match (self, other) {
+            (Predicate::Or(mut xs), Predicate::Or(ys)) => {
+                xs.extend(ys);
+                Predicate::Or(xs)
+            }
+            (Predicate::Or(mut xs), y) => {
+                xs.push(y);
+                Predicate::Or(xs)
+            }
+            (x, Predicate::Or(mut ys)) => {
+                ys.insert(0, x);
+                Predicate::Or(ys)
+            }
+            (x, y) => Predicate::Or(vec![x, y]),
+        }
+    }
+
+    /// Negation of `self` (double negations cancel).
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Predicate {
+        match self {
+            Predicate::Not(inner) => *inner,
+            p => Predicate::Not(Box::new(p)),
+        }
+    }
+
+    /// Whether any sub-expression is a *relative* time window, i.e.
+    /// whether evaluation reads [`EvalCtx::t0`]. Scans use this to skip
+    /// the O(n) epoch computation for time-free predicates.
+    pub fn uses_relative_time(&self) -> bool {
+        match self {
+            Predicate::TimeWindow { absolute, .. } => !absolute,
+            Predicate::And(children) | Predicate::Or(children) => {
+                children.iter().any(Predicate::uses_relative_time)
+            }
+            Predicate::Not(inner) => inner.uses_relative_time(),
+            _ => false,
+        }
+    }
+
+    /// Whether the event (with its case metadata) satisfies the
+    /// predicate.
+    pub fn matches(&self, ctx: &EvalCtx<'_>, meta: &CaseMeta, event: &Event) -> bool {
+        match self {
+            Predicate::True => true,
+            Predicate::False => false,
+            Predicate::Pid(pid) => event.pid.0 == *pid,
+            Predicate::Rid(rid) => meta.rid == *rid,
+            Predicate::Cid(cid) => ctx.snapshot.try_resolve(meta.cid) == Some(cid.as_str()),
+            Predicate::Host(host) => ctx.snapshot.try_resolve(meta.host) == Some(host.as_str()),
+            Predicate::PathExact(path) => {
+                ctx.snapshot.try_resolve(event.path) == Some(path.as_str())
+            }
+            Predicate::PathGlob(pattern) => ctx
+                .snapshot
+                .try_resolve(event.path)
+                .is_some_and(|p| glob_match(pattern, p)),
+            Predicate::Call(name) => match event.call {
+                Syscall::Other(sym) => ctx.snapshot.try_resolve(sym) == Some(name.as_str()),
+                named => named.static_name() == Some(name.as_str()),
+            },
+            Predicate::Class(class) => class.contains(event.call),
+            Predicate::TimeWindow { from, to, inclusive_end, absolute } => {
+                let start = if *absolute {
+                    event.start
+                } else {
+                    event.start.saturating_sub(ctx.t0)
+                };
+                start >= *from && (start < *to || (*inclusive_end && start == *to))
+            }
+            Predicate::Ok(ok) => event.ok == *ok,
+            Predicate::Size(cmp, bytes) => event.size.is_some_and(|s| cmp.apply(s, *bytes)),
+            Predicate::Dur(cmp, dur) => cmp.apply(event.dur.as_micros(), dur.as_micros()),
+            Predicate::And(children) => children.iter().all(|p| p.matches(ctx, meta, event)),
+            Predicate::Or(children) => children.iter().any(|p| p.matches(ctx, meta, event)),
+            Predicate::Not(inner) => !inner.matches(ctx, meta, event),
+        }
+    }
+}
+
+/// Byte length of the UTF-8 sequence starting with `b` (1 for ASCII
+/// and — defensively — for stray continuation bytes).
+#[inline]
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0xF0..=0xFF => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+/// Matches `text` against a glob `pattern` where `*` matches any run
+/// (including empty) and `?` matches exactly one character (a full
+/// UTF-8 scalar, not a byte); every other character matches itself.
+/// Iterative with single-star backtracking — O(|pattern| × |text|)
+/// worst case, linear in practice. Literal comparison and `*` runs
+/// work byte-wise (UTF-8 equality is byte equality); `?` and the
+/// star's backtrack step advance by whole characters so multi-byte
+/// characters are never split.
+pub fn glob_match(pattern: &str, text: &str) -> bool {
+    let p: &[u8] = pattern.as_bytes();
+    let t: &[u8] = text.as_bytes();
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after *, text idx)
+    while ti < t.len() {
+        if pi < p.len() && p[pi] == b'?' {
+            pi += 1;
+            ti += utf8_width(t[ti]);
+        } else if pi < p.len() && p[pi] == t[ti] {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == b'*' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((star_pi, star_ti)) = star {
+            // Let the last * swallow one more character and retry.
+            let next_ti = star_ti + utf8_width(t[star_ti]);
+            pi = star_pi;
+            ti = next_ti;
+            star = Some((star_pi, next_ti));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == b'*' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_model::{Case, EventLog, Pid};
+    use std::sync::Arc;
+
+    fn sample() -> EventLog {
+        let mut log = EventLog::with_new_interner();
+        let i = Arc::clone(log.interner());
+        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("jwc01"), rid: 7 };
+        let events = vec![
+            Event::new(Pid(42), Syscall::Read, Micros(100), Micros(10), i.intern("/data/out.h5"))
+                .with_size(4096),
+            Event::new(Pid(42), Syscall::Openat, Micros(200), Micros(1), i.intern("/usr/lib/x.so"))
+                .failed(),
+            Event::new(Pid(43), Syscall::Pwrite64, Micros(300), Micros(50), i.intern("/data/out.h5"))
+                .with_size(1 << 20),
+        ];
+        log.push_case(Case::from_events(meta, events));
+        log
+    }
+
+    fn eval(pred: &Predicate, log: &EventLog) -> Vec<usize> {
+        let snapshot = log.snapshot();
+        let ctx = EvalCtx {
+            snapshot: &snapshot,
+            t0: log.earliest_start().unwrap_or(Micros::ZERO),
+        };
+        log.cases()[0]
+            .events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| pred.matches(&ctx, &log.cases()[0].meta, e))
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    #[test]
+    fn attribute_terms() {
+        let log = sample();
+        assert_eq!(eval(&Predicate::Pid(42), &log), vec![0, 1]);
+        assert_eq!(eval(&Predicate::Rid(7), &log), vec![0, 1, 2]);
+        assert_eq!(eval(&Predicate::Rid(8), &log), Vec::<usize>::new());
+        assert_eq!(eval(&Predicate::Cid("a".into()), &log), vec![0, 1, 2]);
+        assert_eq!(eval(&Predicate::Host("jwc01".into()), &log), vec![0, 1, 2]);
+        assert_eq!(eval(&Predicate::Host("other".into()), &log), Vec::<usize>::new());
+        assert_eq!(eval(&Predicate::PathExact("/data/out.h5".into()), &log), vec![0, 2]);
+        assert_eq!(eval(&Predicate::PathGlob("*.h5".into()), &log), vec![0, 2]);
+        assert_eq!(eval(&Predicate::PathGlob("/usr/*".into()), &log), vec![1]);
+        assert_eq!(eval(&Predicate::Call("openat".into()), &log), vec![1]);
+        assert_eq!(eval(&Predicate::Class(CallClass::Write), &log), vec![2]);
+        assert_eq!(eval(&Predicate::Class(CallClass::Data), &log), vec![0, 2]);
+        assert_eq!(eval(&Predicate::Ok(false), &log), vec![1]);
+        assert_eq!(eval(&Predicate::Size(Cmp::Ge, 1 << 20), &log), vec![2]);
+        assert_eq!(eval(&Predicate::Dur(Cmp::Lt, Micros(10)), &log), vec![1]);
+    }
+
+    #[test]
+    fn time_window_half_open_vs_inclusive() {
+        // Event starts are 100/200/300 µs; the epoch t₀ is 100, so the
+        // relative offsets are 0/100/200.
+        let log = sample();
+        let win = |from, to, inclusive_end| Predicate::TimeWindow {
+            from: Micros(from),
+            to: Micros(to),
+            inclusive_end,
+            absolute: false,
+        };
+        assert_eq!(eval(&win(0, 200, false), &log), vec![0, 1]);
+        assert_eq!(eval(&win(0, 200, true), &log), vec![0, 1, 2]);
+        assert_eq!(eval(&win(100, 200, false), &log), vec![1]);
+    }
+
+    #[test]
+    fn absolute_time_window_ignores_epoch() {
+        let log = sample();
+        let abs = Predicate::TimeWindow {
+            from: Micros(100),
+            to: Micros(300),
+            inclusive_end: false,
+            absolute: true,
+        };
+        assert_eq!(eval(&abs, &log), vec![0, 1]);
+        assert!(!abs.uses_relative_time());
+        assert!(Predicate::TimeWindow {
+            from: Micros(0),
+            to: Micros(1),
+            inclusive_end: false,
+            absolute: false
+        }
+        .not()
+        .uses_relative_time());
+        assert!(!Predicate::Pid(1).and(Predicate::Ok(true)).uses_relative_time());
+    }
+
+    #[test]
+    fn combinators() {
+        let log = sample();
+        let p = Predicate::Class(CallClass::Data).and(Predicate::Size(Cmp::Ge, 1 << 20));
+        assert_eq!(eval(&p, &log), vec![2]);
+        let q = Predicate::Ok(false).or(Predicate::Pid(43));
+        assert_eq!(eval(&q, &log), vec![1, 2]);
+        assert_eq!(eval(&q.clone().not(), &log), vec![0]);
+        assert_eq!(eval(&q.clone().not().not(), &log), eval(&q, &log));
+        assert_eq!(eval(&Predicate::And(vec![]), &log), vec![0, 1, 2]);
+        assert_eq!(eval(&Predicate::Or(vec![]), &log), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn and_or_flatten() {
+        let a = Predicate::Pid(1).and(Predicate::Pid(2)).and(Predicate::Pid(3));
+        assert!(matches!(&a, Predicate::And(v) if v.len() == 3));
+        let o = Predicate::Pid(1).or(Predicate::Pid(2)).or(Predicate::Pid(3));
+        assert!(matches!(&o, Predicate::Or(v) if v.len() == 3));
+    }
+
+    #[test]
+    fn glob_semantics() {
+        assert!(glob_match("*", ""));
+        assert!(glob_match("*", "/any/path"));
+        assert!(glob_match("*.h5", "/scratch/test.h5"));
+        assert!(!glob_match("*.h5", "/scratch/test.h5.bak"));
+        assert!(glob_match("/a/*/c", "/a/b/c"));
+        assert!(glob_match("/a/*/c", "/a/b/x/c"));
+        assert!(glob_match("?at", "cat"));
+        assert!(!glob_match("?at", "at"));
+        assert!(glob_match("/ssf/test*", "/ssf/test"));
+        assert!(glob_match("a*b*c", "axxbyyc"));
+        assert!(!glob_match("a*b*c", "axxbyy"));
+        assert!(!glob_match("", "x"));
+        assert!(glob_match("", ""));
+    }
+
+    #[test]
+    fn glob_handles_multibyte_characters() {
+        // `?` consumes one character, not one byte.
+        assert!(glob_match("?at", "çat"));
+        assert!(glob_match("/home/?ser/f", "/home/üser/f"));
+        assert!(!glob_match("?at", "çt"));
+        // `*` backtracking never splits a multi-byte character.
+        assert!(glob_match("*é*", "café au lait"));
+        assert!(glob_match("*?", "日本語"));
+        assert!(glob_match("日*語", "日本語"));
+        assert!(!glob_match("日?語", "日語"));
+        // Literal multi-byte characters compare byte-wise.
+        assert!(glob_match("/données/*.h5", "/données/run.h5"));
+    }
+
+    #[test]
+    fn unsized_events_never_match_size_terms() {
+        let log = sample();
+        // Event 1 (openat) has no size: neither size>=0 nor its negation's
+        // complement should claim it transfers bytes.
+        assert_eq!(eval(&Predicate::Size(Cmp::Ge, 0), &log), vec![0, 2]);
+    }
+}

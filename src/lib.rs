@@ -18,6 +18,9 @@
 //!   "Implementation", HDF5 substitute);
 //! * [`core`] — mappings, activity logs, DFGs, statistics, coloring,
 //!   rendering (Sec. IV — the paper's contribution);
+//! * [`query`] — the trace query & slicing engine: predicate algebra,
+//!   filter expressions, zero-copy views, per-file/per-rank projection
+//!   (the Sec. III/V iterative-narrowing loop);
 //! * [`sim`] — the simulated cluster (JUWELS/GPFS substitute);
 //! * [`ior`] — the IOR workload model (Sec. V experiments).
 //!
@@ -50,6 +53,7 @@
 pub use st_core as core;
 pub use st_ior as ior;
 pub use st_model as model;
+pub use st_query as query;
 pub use st_sim as sim;
 pub use st_store as store;
 pub use st_strace as strace;
@@ -59,8 +63,10 @@ pub mod prelude {
     pub use st_core::prelude::*;
     pub use st_ior::{run_ior, Api, IorOptions};
     pub use st_model::{
-        Case, CaseMeta, Event, EventLog, Interner, Micros, Pid, Symbol, Syscall,
+        Case, CaseMeta, CaseSlice, Event, EventLog, Interner, LogView, Micros, Pid, Symbol,
+        Syscall,
     };
+    pub use st_query::{group_by, parse_expr, scan, scan_par, GroupKey, Predicate};
     pub use st_sim::{SimConfig, Simulation, TraceFilter};
     pub use st_store::{write_store, StoreReader};
     pub use st_strace::{load_dir, parse_str, write_log_to_dir, LoadOptions, WriteOptions};

@@ -17,7 +17,12 @@ use std::sync::Arc;
 /// rank 0 also polls a lock file.
 /// Run B: same shape, but the lock polling is gone, a new checkpoint
 /// write appears, and the scratch writes double.
-fn fixture() -> (Dfg, Dfg) {
+///
+/// Transfer calls carry sizes and per-call durations vary, so the
+/// statistics layer (`render_diff_stats`) has Load and data-rate
+/// shifts to report; counts and frequencies — all the structural
+/// goldens see — are unaffected.
+fn fixture() -> (EventLog, EventLog) {
     fn case(log: &mut EventLog, rid: u32, paths: &[(Syscall, &str)]) {
         let i = Arc::clone(log.interner());
         let meta = CaseMeta { cid: i.intern("run"), host: i.intern("node1"), rid };
@@ -25,7 +30,18 @@ fn fixture() -> (Dfg, Dfg) {
             .iter()
             .enumerate()
             .map(|(k, (call, p))| {
-                Event::new(Pid(rid + 1), *call, Micros(k as u64 * 10), Micros(5), i.intern(p))
+                let e = Event::new(
+                    Pid(rid + 1),
+                    *call,
+                    Micros(k as u64 * 10),
+                    Micros(5 + k as u64),
+                    i.intern(p),
+                );
+                if call.transfers_data() {
+                    e.with_size(4096 * (k as u64 + 1))
+                } else {
+                    e
+                }
             })
             .collect();
         log.push_case(Case::from_events(meta, events));
@@ -72,11 +88,11 @@ fn fixture() -> (Dfg, Dfg) {
         ],
     );
 
-    let m = CallTopDirs::new(2);
-    (
-        Dfg::from_mapped(&MappedLog::new(&a, &m)),
-        Dfg::from_mapped(&MappedLog::new(&b, &m)),
-    )
+    (a, b)
+}
+
+fn dfg_of(log: &EventLog) -> Dfg {
+    Dfg::from_mapped(&MappedLog::new(log, &CallTopDirs::new(2)))
 }
 
 fn check_golden(name: &str, actual: &str) {
@@ -101,18 +117,33 @@ fn check_golden(name: &str, actual: &str) {
 #[test]
 fn diff_report_matches_golden() {
     let (a, b) = fixture();
-    let d = diff(&a, &b);
+    let d = diff(&dfg_of(&a), &dfg_of(&b));
     check_golden("diff_report.golden", &render_diff_report(&d));
 }
 
 #[test]
 fn diff_dot_matches_golden() {
     let (a, b) = fixture();
-    let d = diff(&a, &b);
+    let d = diff(&dfg_of(&a), &dfg_of(&b));
     let opts = RenderOptions {
         graph_name: "DFG diff".to_string(),
         show_stats: false,
         ..Default::default()
     };
     check_golden("diff_dot.golden", &render_diff_dot(&d, &opts));
+}
+
+#[test]
+fn diff_stats_report_matches_golden() {
+    let (a, b) = fixture();
+    let m = CallTopDirs::new(2);
+    let mapped_a = MappedLog::new(&a, &m);
+    let mapped_b = MappedLog::new(&b, &m);
+    let d = diff(&Dfg::from_mapped(&mapped_a), &Dfg::from_mapped(&mapped_b));
+    let report = render_diff_stats(
+        &d,
+        &IoStatistics::compute(&mapped_a),
+        &IoStatistics::compute(&mapped_b),
+    );
+    check_golden("diff_stats.golden", &report);
 }

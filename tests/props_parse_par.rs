@@ -89,12 +89,11 @@ fn materialize(ops: &[TraceOp]) -> String {
     // Scheduled resumed lines: (emit once lines.len() >= due, text).
     let mut scheduled: Vec<(usize, String)> = Vec::new();
     let mut clock = 8 * 3600 * 1_000_000u64;
-    let flush = |lines: &mut Vec<String>, scheduled: &mut Vec<(usize, String)>| loop {
-        let Some(pos) = scheduled.iter().position(|(due, _)| *due <= lines.len()) else {
-            break;
-        };
-        let (_, line) = scheduled.remove(pos);
-        lines.push(line);
+    let flush = |lines: &mut Vec<String>, scheduled: &mut Vec<(usize, String)>| {
+        while let Some(pos) = scheduled.iter().position(|(due, _)| *due <= lines.len()) {
+            let (_, line) = scheduled.remove(pos);
+            lines.push(line);
+        }
     };
     for (i, op) in ops.iter().enumerate() {
         clock += (i as u64 * 7) % 3; // 0..=2 µs steps, duplicates included

@@ -3,6 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use st_bench::synth::{generate, SynthSpec};
+use st_model::Micros;
+use st_query::pushdown::{read_pruned, ColumnSet};
+use st_query::Predicate;
 use st_store::StoreReader;
 
 fn bench_store(c: &mut Criterion) {
@@ -14,6 +17,11 @@ fn bench_store(c: &mut Criterion) {
         group.throughput(Throughput::Elements(events as u64));
         group.bench_with_input(BenchmarkId::new("serialize", events), &log, |b, log| {
             b.iter(|| st_store::to_bytes(log).unwrap().len())
+        });
+        // The frozen v1 encoder, kept benchmarked so the single-buffer
+        // rework of the writer hot loop stays measured against it.
+        group.bench_with_input(BenchmarkId::new("serialize_v1", events), &log, |b, log| {
+            b.iter(|| st_store::to_bytes_v1(log).unwrap().len())
         });
         let bytes = st_store::to_bytes(&log).unwrap();
         group.bench_with_input(BenchmarkId::new("deserialize", events), &bytes, |b, bytes| {
@@ -35,6 +43,28 @@ fn bench_store(c: &mut Criterion) {
                         .read_filtered("/dir3")
                         .unwrap()
                         .total_events()
+                })
+            },
+        );
+        // Zone-map pushdown on a narrow time slice of an opened reader
+        // (the directory parse happens once at open, like a real
+        // inspection session).
+        let reader = StoreReader::from_bytes(bytes.clone()).unwrap();
+        let window = Predicate::TimeWindow {
+            from: Micros(0),
+            to: Micros(500),
+            inclusive_end: false,
+            absolute: true,
+        };
+        group.bench_with_input(
+            BenchmarkId::new("pushdown_time_slice", events),
+            &reader,
+            |b, reader| {
+                b.iter(|| {
+                    read_pruned(reader, &window, ColumnSet::ALL)
+                        .unwrap()
+                        .stats
+                        .events_matched
                 })
             },
         );

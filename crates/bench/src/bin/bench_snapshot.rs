@@ -1,9 +1,11 @@
 //! `bench_snapshot` — records the ingestion/DFG performance trajectory.
 //!
 //! Runs the parser and DFG-build experiments (sequential baselines plus
-//! a thread sweep of the parallel paths) and writes a machine-readable
-//! `BENCH_ingest.json` at the repository root, so successive PRs can
-//! compare numbers:
+//! a thread sweep of the parallel paths), the filter-scan throughput
+//! probes, and the store predicate-pushdown comparison (full-load scan
+//! vs zone-map block pruning at 0.1%/10%/100% selectivity), and writes
+//! a machine-readable `BENCH_ingest.json` at the repository root, so
+//! successive PRs can compare numbers:
 //!
 //! ```text
 //! cargo run --release -p st-bench --bin bench_snapshot -- [--quick] [--out PATH]
@@ -17,8 +19,10 @@ use std::time::{Duration, Instant};
 
 use st_bench::synth::{generate, generate_strace_text, SynthSpec};
 use st_core::prelude::*;
-use st_model::Interner;
-use st_query::{parse_expr, scan, scan_par};
+use st_model::{Interner, Micros};
+use st_query::pushdown::{read_pruned, ColumnSet};
+use st_query::{parse_expr, scan, scan_par, Predicate};
+use st_store::StoreReader;
 use st_strace::{parse_par, parse_reader, parse_str};
 
 /// Reference DFG accumulation the dense path replaced: one ordered-map
@@ -177,8 +181,85 @@ fn main() {
         scan_par_dt.as_nanos() as f64 / 1e6,
     );
 
+    // ---- store: predicate pushdown vs full-load scan ----------------
+    // A bigger per-case event count than the DFG workload, so the
+    // default 4096-event blocks give the zone maps real pruning
+    // granularity (the paper-scale traces carry tens of thousands of
+    // events per rank). Three selectivities bracket the pushdown path:
+    // a ~0.1% time slice (the target workload: a narrow inspection
+    // window over a huge store), a ~10% window, and pass-all (pure
+    // overhead measurement).
+    let pd_spec = SynthSpec {
+        cases: 8,
+        events_per_case: if quick { 20_000 / 8 } else { 200_000 / 8 },
+        paths: 64,
+        seed: 5,
+    };
+    let pd_log = generate(&pd_spec);
+    let pd_events = pd_log.total_events();
+    // Quick mode shrinks the log below one default block per case;
+    // scale the block size down with it so pruning stays observable
+    // (the JSON records the size used).
+    let pd_block_events = if quick { 512 } else { st_store::DEFAULT_BLOCK_EVENTS };
+    let store_bytes =
+        st_store::to_bytes_blocked(&pd_log, pd_block_events).expect("serialize store");
+    let reader = StoreReader::from_bytes(store_bytes.clone()).expect("open store");
+    let t0 = pd_log.earliest_start().unwrap_or(Micros::ZERO);
+    let t_end = pd_log
+        .iter_events()
+        .map(|(_, e)| e.start)
+        .max()
+        .unwrap_or(Micros::ZERO);
+    let span = t_end.as_micros() - t0.as_micros();
+    let window = |frac_num: u64, frac_den: u64| Predicate::TimeWindow {
+        from: Micros(span * 45 / 100),
+        to: Micros(span * 45 / 100 + span * frac_num / frac_den),
+        inclusive_end: false,
+        absolute: false,
+    };
+    let mut pd_rows = Vec::new();
+    for (label, pred) in [
+        ("0.1%", window(1, 1000)),
+        ("10%", window(10, 100)),
+        ("100%", Predicate::True),
+    ] {
+        let (full_dt, full_matched) = time_best(reps, || {
+            let full = reader.read().expect("full read");
+            scan(&full, &pred).event_count()
+        });
+        let (pd_dt, pd_result) = time_best(reps, || {
+            read_pruned(&reader, &pred, ColumnSet::ALL).expect("pushdown read")
+        });
+        assert_eq!(pd_result.stats.events_matched as usize, full_matched);
+        let s = &pd_result.stats;
+        let speedup = full_dt.as_secs_f64() / pd_dt.as_secs_f64();
+        let bytes_ratio = s.bytes_total as f64 / (s.bytes_decoded.max(1)) as f64;
+        eprintln!(
+            "pushdown {label}: {full_matched} of {pd_events} matched, {:.1} ms full / {:.1} ms pushdown ({speedup:.2}x), {} of {} bytes decoded ({bytes_ratio:.1}x fewer), {}/{} blocks pruned",
+            full_dt.as_nanos() as f64 / 1e6,
+            pd_dt.as_nanos() as f64 / 1e6,
+            s.bytes_decoded,
+            s.bytes_total,
+            s.blocks_pruned,
+            s.blocks_total,
+        );
+        pd_rows.push(format!(
+            "{{\"label\": \"{label}\", \"matched\": {full_matched}, \"full_scan_ns\": {}, \"full_scan_ns_per_event\": {:.3}, \"pushdown_ns\": {}, \"pushdown_ns_per_event\": {:.3}, \"speedup\": {speedup:.4}, \"bytes_total\": {}, \"bytes_decoded\": {}, \"bytes_reduction\": {bytes_ratio:.4}, \"blocks_total\": {}, \"blocks_pruned\": {}, \"blocks_accepted\": {}, \"cases_pruned\": {}}}",
+            full_dt.as_nanos(),
+            full_dt.as_nanos() as f64 / pd_events as f64,
+            pd_dt.as_nanos(),
+            pd_dt.as_nanos() as f64 / pd_events as f64,
+            s.bytes_total,
+            s.bytes_decoded,
+            s.blocks_total,
+            s.blocks_pruned,
+            s.blocks_accepted,
+            s.cases_pruned,
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }}\n}}\n",
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }}\n}}\n",
         seq_dt.as_nanos(),
         reader_dt.as_nanos(),
         sweep_rows.join(",\n      "),
@@ -188,6 +269,9 @@ fn main() {
         scan_all_dt.as_nanos() as f64 / n_events as f64,
         scan_sel_dt.as_nanos() as f64 / n_events as f64,
         scan_par_dt.as_nanos() as f64 / n_events as f64,
+        store_bytes.len(),
+        pd_block_events,
+        pd_rows.join(",\n      "),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("wrote {out_path}");

@@ -11,7 +11,8 @@
 //! stinspect diff <a> <b> [--cid-a CID] [--cid-b CID] [--map MAP] [--filter SUBSTR]
 //!               [-o out.dot] [--dot]
 //! stinspect query <input> [--filter EXPR] [--group-by file|pid|cid|host]
-//!               [--emit dfg|stats|events|store] [--map MAP] [--threads N] [-o PATH]
+//!               [--emit dfg|stats|events|store] [--map MAP] [--threads N]
+//!               [--no-pushdown] [-o PATH]
 //! ```
 //!
 //! `diff` and `query` inputs are any of: an `st-store` container file, a
@@ -21,7 +22,10 @@
 //!
 //! `EXPR` is the `st-query` filter syntax, e.g. `pid=42 path~"*.h5"
 //! t=[1.2s,3s) ok=false` or `class=write and size>=1m` — see
-//! DESIGN.md §7 for the grammar. Time windows with unit suffixes are
+//! DESIGN.md §7 for the grammar. On STLOG v2 store inputs the filter is
+//! pushed down into the reader (zone-mapped blocks that cannot match
+//! are never decoded; a `pushdown:` summary line reports what was
+//! skipped); `--no-pushdown` forces the full-load scan path. Time windows with unit suffixes are
 //! offsets from the log's first event (`t=[0s,2s)` = the first two
 //! seconds of the run); `HH:MM:SS[.ffffff]` endpoints are absolute
 //! times of day. `--group-by` explodes the slice into per-file /
@@ -106,9 +110,12 @@ commands:
       <a>/<b>: store file | strace dir | sim:<workload>[:paper]
   query <input>                      filter, slice and project the log
       [--filter EXPR] [--group-by file|pid|cid|host]
-      [--emit dfg|stats|events|store] [--map MAP] [--threads N] [-o PATH]
+      [--emit dfg|stats|events|store] [--map MAP] [--threads N]
+      [--no-pushdown] [-o PATH]
       EXPR e.g.: pid=42 path~\"*.h5\" t=[1.2s,3s) ok=false
-      <input>: store file | strace dir | sim:<workload>[:paper]";
+      <input>: store file | strace dir | sim:<workload>[:paper]
+      v2 store inputs push the filter into the reader (zone-map block
+      pruning); --no-pushdown forces the full-load scan";
 
 /// Simple flag cursor over the argument list.
 struct Args<'a> {
@@ -582,6 +589,8 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
     let mut map = MapChoice::TopDirs(2);
     let mut explicit_map = false;
     let mut threads = 0usize;
+    let mut explicit_threads = false;
+    let mut no_pushdown = false;
     let mut out: Option<PathBuf> = None;
     while let Some(tok) = args.next() {
         match tok {
@@ -598,11 +607,13 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
                 map = MapChoice::parse(args.value("--map")?)?;
             }
             "--threads" => {
+                explicit_threads = true;
                 threads = args
                     .value("--threads")?
                     .parse()
                     .map_err(|_| "bad --threads".to_string())?
             }
+            "--no-pushdown" => no_pushdown = true,
             "-o" => out = Some(PathBuf::from(args.value("-o")?)),
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             positional => {
@@ -634,15 +645,80 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
         Some(src) => st_query::parse_expr(src).map_err(|e| format!("--filter: {e}"))?,
         None => st_query::Predicate::True,
     };
-    let log = load_input(&input, None)?;
-    let view = st_query::scan_par(&log, &pred, threads);
+
+    // Store inputs in the v2 format go through predicate pushdown by
+    // default: only the blocks (and columns) the filter can match are
+    // decoded, guided by the store's zone maps. The result is exactly
+    // the full-load scan's event set. `--no-pushdown` forces the old
+    // path; directories, `sim:` specs and v1 stores always use it (a
+    // v1 container opened while probing is decoded right here rather
+    // than re-read through `load_input`).
+    let mut pushdown: Option<st_query::PrunedRead> = None;
+    let mut preloaded: Option<EventLog> = None;
+    let store_path = Path::new(&input);
+    if !no_pushdown && !input.starts_with("sim:") && store_path.is_file() {
+        let reader = StoreReader::open(store_path).map_err(|e| format!("{input}: {e}"))?;
+        if reader.directory().is_some() {
+            let emit_cols = match emit_mode {
+                EmitMode::Store => st_store::ColumnSet::ALL,
+                // DFG/stats/events never look at requested/offset.
+                _ => st_store::ColumnSet::ALL
+                    .without(st_store::ColumnSet::REQUESTED | st_store::ColumnSet::OFFSET),
+            };
+            if explicit_threads {
+                eprintln!(
+                    "query: note: --threads has no effect on the pushdown path (block \
+                     decode is sequential); use --no-pushdown to parallel-scan a full load"
+                );
+            }
+            pushdown = Some(
+                st_query::read_pruned(&reader, &pred, emit_cols)
+                    .map_err(|e| format!("{input}: {e}"))?,
+            );
+        } else {
+            preloaded = Some(reader.read().map_err(|e| format!("{input}: {e}"))?);
+        }
+    }
+
+    let (log, pushdown_stats) = match pushdown {
+        Some(pruned) => (pruned.log, Some(pruned.stats)),
+        None => match preloaded {
+            Some(log) => (log, None),
+            None => (load_input(&input, None)?, None),
+        },
+    };
+    let view = match &pushdown_stats {
+        // The pruned log holds exactly the matching events already.
+        Some(_) => st_model::LogView::full(&log),
+        None => st_query::scan_par(&log, &pred, threads),
+    };
+    let (events_total, cases_total) = match &pushdown_stats {
+        Some(s) => (s.events_total as usize, s.cases_total),
+        None => (log.total_events(), log.case_count()),
+    };
     eprintln!(
         "{} of {} events match ({} of {} cases)",
         view.event_count(),
-        log.total_events(),
+        events_total,
         view.case_count(),
-        log.case_count()
+        cases_total
     );
+    if let Some(s) = &pushdown_stats {
+        eprintln!(
+            "pushdown: pruned {}/{} blocks ({} of {} cases whole), decoded {} of {} bytes ({:.1}%)",
+            s.blocks_pruned,
+            s.blocks_total,
+            s.cases_pruned,
+            s.cases_total,
+            s.bytes_decoded,
+            s.bytes_total,
+            if s.bytes_total == 0 {
+                100.0
+            } else {
+                100.0 * s.bytes_decoded as f64 / s.bytes_total as f64
+            }
+        );
+    }
     if view.is_empty() {
         return Err("no events match the filter".to_string());
     }

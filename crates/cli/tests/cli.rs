@@ -429,6 +429,127 @@ fn query_filter_store_roundtrip_and_events() {
 }
 
 #[test]
+fn query_pushdown_matches_full_load_and_reports_pruning() {
+    let dir = tmpdir("pushdown");
+    stinspect()
+        .args(["simulate", "ior-ssf-fpp", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let store = dir.join("ior-ssf-fpp.stlog");
+    assert!(store.is_file());
+
+    for (filter, emit) in [
+        ("ok=false", "events"),
+        ("cid=s class=write", "events"),
+        ("path~\"*/ssf/*\" size>=512k", "stats"),
+        ("t=[0s,50ms)", "events"),
+    ] {
+        let pushed = stinspect()
+            .arg("query")
+            .arg(&store)
+            .args(["--filter", filter, "--emit", emit])
+            .output()
+            .unwrap();
+        let full = stinspect()
+            .arg("query")
+            .arg(&store)
+            .args(["--filter", filter, "--emit", emit, "--no-pushdown"])
+            .output()
+            .unwrap();
+        assert!(pushed.status.success(), "{}", String::from_utf8_lossy(&pushed.stderr));
+        assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+        // Same results byte-for-byte on stdout…
+        assert_eq!(pushed.stdout, full.stdout, "filter {filter:?}");
+        // …and the same match line; only the pushdown path reports a
+        // pruning summary.
+        let pushed_err = String::from_utf8_lossy(&pushed.stderr);
+        let full_err = String::from_utf8_lossy(&full.stderr);
+        assert_eq!(
+            pushed_err.lines().next(),
+            full_err.lines().next(),
+            "filter {filter:?}"
+        );
+        assert!(pushed_err.contains("pushdown: pruned"), "{pushed_err}");
+        assert!(!full_err.contains("pushdown:"), "{full_err}");
+    }
+
+    // The cid filter prunes whole cases without touching their bytes.
+    let out = stinspect()
+        .arg("query")
+        .arg(&store)
+        .args(["--filter", "cid=s", "--emit", "events"])
+        .output()
+        .unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("(8 of 16 cases whole)"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_emit_store_writes_v2_and_requeries_stably() {
+    // query → store → query: the emitted container is the current (v2)
+    // format and a re-query over it returns the same events.
+    let dir = tmpdir("emitstore");
+    let slice = dir.join("slice.stlog");
+    let out = stinspect()
+        .args(["query", "sim:ior-ssf-fpp", "--filter", "class=write", "--emit", "store", "-o"])
+        .arg(&slice)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let magic = &std::fs::read(&slice).unwrap()[..8];
+    assert_eq!(magic, b"STLOG2\0\0", "emitted store is not v2");
+
+    let direct = stinspect()
+        .args(["query", "sim:ior-ssf-fpp", "--filter", "class=write", "--emit", "events"])
+        .output()
+        .unwrap();
+    let requeried = stinspect()
+        .arg("query")
+        .arg(&slice)
+        .args(["--filter", "class=write", "--emit", "events"])
+        .output()
+        .unwrap();
+    assert!(requeried.status.success(), "{}", String::from_utf8_lossy(&requeried.stderr));
+    assert_eq!(direct.stdout, requeried.stdout);
+    // Inside the slice every event matches: nothing left to prune, and
+    // the totals equal the slice's own size.
+    let stderr = String::from_utf8_lossy(&requeried.stderr);
+    assert!(stderr.contains("pushdown:"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn query_surfaces_store_corruption() {
+    // A flipped byte inside the store must fail the query (checksum),
+    // never return a silently wrong slice.
+    let dir = tmpdir("corrupt");
+    stinspect().args(["simulate", "ls", "--out"]).arg(&dir).output().unwrap();
+    let store = dir.join("ls.stlog");
+    let mut bytes = std::fs::read(&store).unwrap();
+    let idx = bytes.len() - 9; // inside the last block body
+    bytes[idx] ^= 0xFF;
+    std::fs::write(&store, &bytes).unwrap();
+    for flags in [&[][..], &["--no-pushdown"][..]] {
+        let out = stinspect()
+            .arg("query")
+            .arg(&store)
+            .args(["--filter", "true", "--emit", "events"])
+            .args(flags)
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "corrupt store accepted ({flags:?})");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("checksum") || stderr.contains("corrupt"),
+            "{stderr}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn query_group_by_into_directory() {
     let dir = tmpdir("querydir");
     let out_dir = dir.join("per-pid");

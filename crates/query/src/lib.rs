@@ -22,7 +22,12 @@
 //!   per-cid / per-host sub-view families (the paper's per-file access
 //!   patterns), each of which projects to its own DFG through the
 //!   `st-core` projection hooks (`Dfg::from_mapped_view`,
-//!   `IoStatistics::compute_view`).
+//!   `IoStatistics::compute_view`);
+//! * [`pushdown`] — predicate pushdown into the STLOG v2 store reader:
+//!   [`read_pruned`] lowers a predicate into conservative zone-map
+//!   decisions and decodes only the blocks (and columns) that can
+//!   matter, returning exactly the event set a full load + [`scan`]
+//!   would.
 //!
 //! ```
 //! use st_model::{Case, CaseMeta, Event, EventLog, Micros, Pid, Syscall};
@@ -54,6 +59,7 @@
 pub mod expr;
 pub mod group;
 pub mod predicate;
+pub mod pushdown;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -62,6 +68,7 @@ use st_model::{CaseSlice, EventLog, LogView};
 pub use expr::{parse_expr, ParseError};
 pub use group::{group_by, GroupKey};
 pub use predicate::{glob_match, CallClass, Cmp, EvalCtx, Predicate};
+pub use pushdown::{read_pruned, PrunePlan, PrunedRead, PushdownStats};
 
 /// The trace epoch for relative time windows: the log's earliest event
 /// start, or zero when the predicate never looks at relative time (so

@@ -13,16 +13,19 @@ pub enum StoreError {
         /// Underlying error.
         source: std::io::Error,
     },
-    /// The file does not start with the `STLOG1` magic.
+    /// The file does not start with an `STLOG` magic.
     BadMagic,
-    /// The container was written by an unknown format version.
-    BadVersion(u32),
+    /// The container was written by a format version this build cannot
+    /// read (anything other than v1 and v2 — e.g. a v3+ file produced
+    /// by a newer tool).
+    UnsupportedVersion(u32),
     /// Structurally invalid data (truncated varint, out-of-range symbol,
-    /// impossible count).
+    /// impossible count, inconsistent block directory).
     Corrupt(String),
-    /// A section's CRC-32 does not match its contents.
+    /// A section's or block's CRC-32 does not match its contents.
     ChecksumMismatch {
-        /// Which section failed (`strings` or `cases`).
+        /// Which unit failed (`strings`, `cases`, `directory` or
+        /// `block`).
         section: &'static str,
     },
 }
@@ -34,7 +37,10 @@ impl fmt::Display for StoreError {
                 write!(f, "i/o error on {}: {source}", path.display())
             }
             StoreError::BadMagic => write!(f, "not an st-store container (bad magic)"),
-            StoreError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            StoreError::UnsupportedVersion(v) => write!(
+                f,
+                "unsupported container version {v} (this build reads STLOG v1 and v2)"
+            ),
             StoreError::Corrupt(msg) => write!(f, "corrupt container: {msg}"),
             StoreError::ChecksumMismatch { section } => {
                 write!(f, "checksum mismatch in {section} section")

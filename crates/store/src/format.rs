@@ -1,0 +1,580 @@
+//! STLOG v2 on-disk structures: column identities, block directory and
+//! zone maps.
+//!
+//! Version 2 splits every case's columnar table into fixed-size *event
+//! blocks* and describes each block in a per-case **directory** that is
+//! read before any event bytes: byte offset and length of the block
+//! body, the byte length of every column segment inside it (so single
+//! columns can be decoded or skipped without parsing the others), and a
+//! **zone map** — small conservative summaries (min/max ranges, presence
+//! bitmaps, a path-symbol bloom filter) a query planner can test a
+//! predicate against to skip the whole block. The exact byte layout is
+//! documented in the crate root; the encode/decode methods here are the
+//! single source of truth shared by the writer and the reader.
+//!
+//! Everything in a zone map is *conservative*: a pruning decision
+//! derived from it may say "no event in this block can match" (safe to
+//! skip) or "every event matches" (safe to keep without re-testing),
+//! and must otherwise fall back to "maybe" — the exact predicate is then
+//! re-evaluated over the decoded events, so query results never depend
+//! on zone-map precision.
+
+use bytes::{Buf, BufMut};
+use st_model::{Event, Micros, Symbol, Syscall};
+
+use crate::error::StoreError;
+use crate::varint::{get_u64, put_u64};
+
+/// Number of per-event columns in a block body, in physical order:
+/// pid, call, start, dur, path, size, requested, offset, ok.
+pub const NCOLS: usize = 9;
+
+/// Default number of events per block (the paper-scale traces carry
+/// millions of events per case; 4096-event blocks keep directories tiny
+/// while making 0.1%-selective scans touch well under 1% of the bytes).
+pub const DEFAULT_BLOCK_EVENTS: usize = 4096;
+
+/// Bit in [`ZoneMap::call_mask`] recording that the block contains at
+/// least one [`Syscall::Other`] call (named calls use their
+/// [`Syscall::named_index`] bit).
+pub const CALL_MASK_OTHER: u32 = 1 << 31;
+
+/// A set of event columns, used to decode only what a query needs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ColumnSet(u16);
+
+impl ColumnSet {
+    /// No columns.
+    pub const EMPTY: ColumnSet = ColumnSet(0);
+    /// The process-id column.
+    pub const PID: ColumnSet = ColumnSet(1 << 0);
+    /// The system-call column.
+    pub const CALL: ColumnSet = ColumnSet(1 << 1);
+    /// The start-timestamp column.
+    pub const START: ColumnSet = ColumnSet(1 << 2);
+    /// The duration column.
+    pub const DUR: ColumnSet = ColumnSet(1 << 3);
+    /// The file-path column.
+    pub const PATH: ColumnSet = ColumnSet(1 << 4);
+    /// The transferred-bytes column.
+    pub const SIZE: ColumnSet = ColumnSet(1 << 5);
+    /// The requested-bytes column.
+    pub const REQUESTED: ColumnSet = ColumnSet(1 << 6);
+    /// The file-offset column.
+    pub const OFFSET: ColumnSet = ColumnSet(1 << 7);
+    /// The success-flag column.
+    pub const OK: ColumnSet = ColumnSet(1 << 8);
+    /// Every column.
+    pub const ALL: ColumnSet = ColumnSet((1 << NCOLS) - 1);
+    /// The identity columns every decode materializes regardless of the
+    /// request: an event without its call, start and path is not a
+    /// usable I/O event (undecoded columns fall back to neutral
+    /// defaults: pid 0, dur 0, `None` sizes/offsets, `ok = true`).
+    pub const IDENTITY: ColumnSet =
+        ColumnSet(Self::CALL.0 | Self::START.0 | Self::PATH.0);
+
+    /// The column at physical position `idx` (0-based, see [`NCOLS`]).
+    pub fn nth(idx: usize) -> ColumnSet {
+        debug_assert!(idx < NCOLS);
+        ColumnSet(1 << idx)
+    }
+
+    /// Whether every column of `other` is in this set.
+    pub fn contains(self, other: ColumnSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Union of the two sets.
+    #[must_use]
+    pub fn union(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 | other.0)
+    }
+
+    /// This set minus the columns of `other`.
+    #[must_use]
+    pub fn without(self, other: ColumnSet) -> ColumnSet {
+        ColumnSet(self.0 & !other.0)
+    }
+}
+
+impl std::ops::BitOr for ColumnSet {
+    type Output = ColumnSet;
+    fn bitor(self, rhs: ColumnSet) -> ColumnSet {
+        self.union(rhs)
+    }
+}
+
+/// Outcome of testing a predicate against a zone map (or case meta).
+///
+/// `Accept` is the strong form of "keep": *every* event in the pruning
+/// unit satisfies the predicate, so the residual re-evaluation can be
+/// skipped. `Maybe` keeps the unit but re-tests each decoded event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Decision {
+    /// No event in the unit can match — skip its bytes entirely.
+    Reject,
+    /// Some event may match — decode and run the exact predicate.
+    Maybe,
+    /// Every event matches — decode without re-testing.
+    Accept,
+}
+
+/// The mask bit a call contributes to [`ZoneMap::call_mask`].
+pub fn call_mask_bit(call: Syscall) -> u32 {
+    match call.named_index() {
+        Some(idx) => 1 << idx,
+        None => CALL_MASK_OTHER,
+    }
+}
+
+/// The bit a pid sets in (and is tested against) [`ZoneMap::pid_bits`]:
+/// a 64-slot one-hash bloom filter. Membership tests are conservative —
+/// an unset bit proves absence, a set bit proves nothing.
+pub fn pid_bloom_bit(pid: u32) -> u64 {
+    1u64 << ((pid.wrapping_mul(0x9E37_79B1) >> 26) & 63)
+}
+
+/// The two `(word, bit-mask)` probes a path symbol sets in (and is
+/// tested against) the 128-bit [`ZoneMap::path_bloom`].
+pub fn path_bloom_probes(sym: Symbol) -> [(usize, u64); 2] {
+    let h = (u64::from(sym.0))
+        .wrapping_add(1)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let b1 = (h >> 57) as usize; // top 7 bits: 0..128
+    let b2 = ((h >> 25) & 127) as usize;
+    [(b1 / 64, 1u64 << (b1 % 64)), (b2 / 64, 1u64 << (b2 % 64))]
+}
+
+/// Conservative per-block summaries, tested by the query planner before
+/// any block byte is read.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ZoneMap {
+    /// Earliest event start in the block.
+    pub start_min: Micros,
+    /// Latest event start in the block.
+    pub start_max: Micros,
+    /// Shortest call duration (µs).
+    pub dur_min: u64,
+    /// Longest call duration (µs).
+    pub dur_max: u64,
+    /// Whether any event carries a transfer size.
+    pub any_sized: bool,
+    /// Whether every event carries a transfer size.
+    pub all_sized: bool,
+    /// Smallest transfer size; meaningful only when [`ZoneMap::any_sized`].
+    pub size_min: u64,
+    /// Largest transfer size; meaningful only when [`ZoneMap::any_sized`].
+    pub size_max: u64,
+    /// Smallest pid in the block.
+    pub pid_min: u32,
+    /// Largest pid in the block.
+    pub pid_max: u32,
+    /// One-hash 64-bit pid bloom filter (see [`pid_bloom_bit`]).
+    pub pid_bits: u64,
+    /// Presence bitmask over named system calls ([`Syscall::named_index`]
+    /// bits) plus [`CALL_MASK_OTHER`].
+    pub call_mask: u32,
+    /// Two-hash 128-bit bloom filter over path symbols (see
+    /// [`path_bloom_probes`]).
+    pub path_bloom: [u64; 2],
+    /// Whether any event succeeded.
+    pub ok_any: bool,
+    /// Whether every event succeeded.
+    pub ok_all: bool,
+}
+
+impl ZoneMap {
+    /// Summarizes a non-empty run of events.
+    ///
+    /// # Panics
+    /// Panics when `events` is empty — blocks always hold at least one
+    /// event.
+    pub fn from_events(events: &[Event]) -> ZoneMap {
+        let first = events.first().expect("zone map of a non-empty block");
+        let mut zone = ZoneMap {
+            start_min: first.start,
+            start_max: first.start,
+            dur_min: first.dur.as_micros(),
+            dur_max: first.dur.as_micros(),
+            any_sized: false,
+            all_sized: true,
+            size_min: u64::MAX,
+            size_max: 0,
+            pid_min: first.pid.0,
+            pid_max: first.pid.0,
+            pid_bits: 0,
+            call_mask: 0,
+            path_bloom: [0, 0],
+            ok_any: false,
+            ok_all: true,
+        };
+        for e in events {
+            zone.start_min = zone.start_min.min(e.start);
+            zone.start_max = zone.start_max.max(e.start);
+            zone.dur_min = zone.dur_min.min(e.dur.as_micros());
+            zone.dur_max = zone.dur_max.max(e.dur.as_micros());
+            match e.size {
+                Some(s) => {
+                    zone.any_sized = true;
+                    zone.size_min = zone.size_min.min(s);
+                    zone.size_max = zone.size_max.max(s);
+                }
+                None => zone.all_sized = false,
+            }
+            zone.pid_min = zone.pid_min.min(e.pid.0);
+            zone.pid_max = zone.pid_max.max(e.pid.0);
+            zone.pid_bits |= pid_bloom_bit(e.pid.0);
+            zone.call_mask |= call_mask_bit(e.call);
+            for (word, mask) in path_bloom_probes(e.path) {
+                zone.path_bloom[word] |= mask;
+            }
+            zone.ok_any |= e.ok;
+            zone.ok_all &= e.ok;
+        }
+        if !zone.any_sized {
+            zone.size_min = 0;
+            zone.size_max = 0;
+        }
+        zone
+    }
+
+    /// Whether `pid` may occur in the block (min/max range plus bloom).
+    pub fn may_contain_pid(&self, pid: u32) -> bool {
+        pid >= self.pid_min
+            && pid <= self.pid_max
+            && self.pid_bits & pid_bloom_bit(pid) != 0
+    }
+
+    /// Whether a path symbol with the given bloom `probes` may occur.
+    pub fn may_contain_path(&self, probes: &[(usize, u64); 2]) -> bool {
+        probes
+            .iter()
+            .all(|&(word, mask)| self.path_bloom[word] & mask != 0)
+    }
+
+    fn encode<B: BufMut>(&self, out: &mut B) {
+        put_u64(out, self.start_min.as_micros());
+        put_u64(out, self.start_max.as_micros() - self.start_min.as_micros());
+        put_u64(out, self.dur_min);
+        put_u64(out, self.dur_max - self.dur_min);
+        let flags = u8::from(self.any_sized)
+            | u8::from(self.all_sized) << 1
+            | u8::from(self.ok_any) << 2
+            | u8::from(self.ok_all) << 3;
+        out.put_u8(flags);
+        if self.any_sized {
+            put_u64(out, self.size_min);
+            put_u64(out, self.size_max - self.size_min);
+        }
+        put_u64(out, u64::from(self.pid_min));
+        put_u64(out, u64::from(self.pid_max - self.pid_min));
+        out.put_slice(&self.pid_bits.to_le_bytes());
+        out.put_u32_le(self.call_mask);
+        out.put_slice(&self.path_bloom[0].to_le_bytes());
+        out.put_slice(&self.path_bloom[1].to_le_bytes());
+    }
+
+    fn decode<B: Buf>(buf: &mut B) -> Result<ZoneMap, StoreError> {
+        let start_min = Micros(get_u64(buf)?);
+        let start_span = get_u64(buf)?;
+        let dur_min = get_u64(buf)?;
+        let dur_span = get_u64(buf)?;
+        if !buf.has_remaining() {
+            return Err(StoreError::Corrupt("truncated zone map".into()));
+        }
+        let flags = buf.get_u8();
+        let any_sized = flags & 1 != 0;
+        let (size_min, size_max) = if any_sized {
+            let lo = get_u64(buf)?;
+            let span = get_u64(buf)?;
+            (lo, lo.checked_add(span).ok_or_else(overflow)?)
+        } else {
+            (0, 0)
+        };
+        let pid_min = narrow_u32(get_u64(buf)?, "zone pid")?;
+        let pid_span = narrow_u32(get_u64(buf)?, "zone pid span")?;
+        let pid_bits = get_fixed_u64(buf)?;
+        if buf.remaining() < 4 {
+            return Err(StoreError::Corrupt("truncated zone map".into()));
+        }
+        let call_mask = buf.get_u32_le();
+        let path_bloom = [get_fixed_u64(buf)?, get_fixed_u64(buf)?];
+        Ok(ZoneMap {
+            start_min,
+            start_max: Micros(start_min.as_micros().checked_add(start_span).ok_or_else(overflow)?),
+            dur_min,
+            dur_max: dur_min.checked_add(dur_span).ok_or_else(overflow)?,
+            any_sized,
+            all_sized: flags & 2 != 0,
+            size_min,
+            size_max,
+            pid_min,
+            pid_max: pid_min.checked_add(pid_span).ok_or_else(overflow)?,
+            pid_bits,
+            call_mask,
+            path_bloom,
+            ok_any: flags & 4 != 0,
+            ok_all: flags & 8 != 0,
+        })
+    }
+}
+
+fn overflow() -> StoreError {
+    StoreError::Corrupt("zone map range overflows".into())
+}
+
+fn narrow_u32(raw: u64, what: &str) -> Result<u32, StoreError> {
+    u32::try_from(raw).map_err(|_| StoreError::Corrupt(format!("{what} exceeds u32")))
+}
+
+fn get_fixed_u64<B: Buf>(buf: &mut B) -> Result<u64, StoreError> {
+    if buf.remaining() < 8 {
+        return Err(StoreError::Corrupt("truncated zone map".into()));
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&buf.chunk()[..8]);
+    buf.advance(8);
+    Ok(u64::from_le_bytes(raw))
+}
+
+/// Directory entry for one event block: where its bytes live, how its
+/// column segments are laid out, and its [`ZoneMap`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockDir {
+    /// Number of events in the block (≥ 1).
+    pub events: u32,
+    /// Byte offset of the block body within the blocks section.
+    pub offset: u64,
+    /// Stored length of the block body including its trailing CRC-32.
+    pub len: u32,
+    /// Byte length of each column segment, in physical column order.
+    pub col_lens: [u32; NCOLS],
+    /// The block's zone map.
+    pub zone: ZoneMap,
+}
+
+impl BlockDir {
+    pub(crate) fn encode<B: BufMut>(&self, out: &mut B) {
+        put_u64(out, u64::from(self.events));
+        put_u64(out, self.offset);
+        put_u64(out, u64::from(self.len));
+        for len in self.col_lens {
+            put_u64(out, u64::from(len));
+        }
+        self.zone.encode(out);
+    }
+
+    pub(crate) fn decode<B: Buf>(buf: &mut B) -> Result<BlockDir, StoreError> {
+        let events = narrow_u32(get_u64(buf)?, "block event count")?;
+        let offset = get_u64(buf)?;
+        let len = narrow_u32(get_u64(buf)?, "block length")?;
+        let mut col_lens = [0u32; NCOLS];
+        for slot in &mut col_lens {
+            *slot = narrow_u32(get_u64(buf)?, "column length")?;
+        }
+        let zone = ZoneMap::decode(buf)?;
+        let cols_total: u64 = col_lens.iter().map(|&l| u64::from(l)).sum();
+        // The ok column is exactly one byte per event and every other
+        // column at least one (varints/tags never encode in zero
+        // bytes): the claimed event count is bounded by the stored
+        // bytes, so a corrupt directory cannot demand a huge
+        // allocation from the decoder.
+        if events == 0
+            || cols_total.checked_add(4) != Some(u64::from(len))
+            || col_lens[NCOLS - 1] != events
+            || col_lens.iter().any(|&l| l < events)
+        {
+            return Err(StoreError::Corrupt(
+                "block directory entry is inconsistent".into(),
+            ));
+        }
+        Ok(BlockDir {
+            events,
+            offset,
+            len,
+            col_lens,
+            zone,
+        })
+    }
+}
+
+/// Directory entry for one case: its identity, aggregate meta that lets
+/// the whole case be pruned, and its block list.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CaseDir {
+    /// Command-identifier symbol.
+    pub cid: Symbol,
+    /// Host symbol.
+    pub host: Symbol,
+    /// Rank id.
+    pub rid: u32,
+    /// Total events across the case's blocks.
+    pub events: u64,
+    /// Earliest event start in the case (0 when the case is empty).
+    pub start_min: Micros,
+    /// Latest event start in the case (0 when the case is empty).
+    pub start_max: Micros,
+    /// The case's blocks, in event order, byte-contiguous.
+    pub blocks: Vec<BlockDir>,
+}
+
+impl CaseDir {
+    pub(crate) fn encode<B: BufMut>(&self, out: &mut B) {
+        put_u64(out, u64::from(self.cid.0));
+        put_u64(out, u64::from(self.host.0));
+        put_u64(out, u64::from(self.rid));
+        put_u64(out, self.events);
+        put_u64(out, self.start_min.as_micros());
+        put_u64(out, self.start_max.as_micros() - self.start_min.as_micros());
+        put_u64(out, self.blocks.len() as u64);
+        for block in &self.blocks {
+            block.encode(out);
+        }
+    }
+
+    pub(crate) fn decode<B: Buf>(buf: &mut B, remaining_hint: usize) -> Result<CaseDir, StoreError> {
+        let cid = Symbol(narrow_u32(get_u64(buf)?, "cid symbol")?);
+        let host = Symbol(narrow_u32(get_u64(buf)?, "host symbol")?);
+        let rid = narrow_u32(get_u64(buf)?, "rid")?;
+        let events = get_u64(buf)?;
+        let start_min = Micros(get_u64(buf)?);
+        let start_span = get_u64(buf)?;
+        let block_count = get_u64(buf)? as usize;
+        if block_count > remaining_hint {
+            return Err(StoreError::Corrupt("implausible block count".into()));
+        }
+        // Every encoded block entry is ≥ ~47 bytes (12 varints + fixed
+        // bloom/mask fields); cap the reservation by that so a crafted
+        // count cannot demand memory disproportionate to the file.
+        let mut blocks = Vec::with_capacity(block_count.min(remaining_hint / 40 + 1));
+        let mut block_events = 0u64;
+        for _ in 0..block_count {
+            let block = BlockDir::decode(buf)?;
+            block_events += u64::from(block.events);
+            blocks.push(block);
+        }
+        if block_events != events {
+            return Err(StoreError::Corrupt(
+                "case event count disagrees with its blocks".into(),
+            ));
+        }
+        Ok(CaseDir {
+            cid,
+            host,
+            rid,
+            events,
+            start_min,
+            start_max: Micros(
+                start_min.as_micros().checked_add(start_span).ok_or_else(overflow)?,
+            ),
+            blocks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_model::Pid;
+
+    fn events() -> Vec<Event> {
+        vec![
+            Event::new(Pid(9), Syscall::Read, Micros(100), Micros(7), Symbol(3)).with_size(512),
+            Event::new(Pid(11), Syscall::Openat, Micros(140), Micros(2), Symbol(5)).failed(),
+            Event::new(Pid(9), Syscall::Other(Symbol(6)), Micros(150), Micros(40), Symbol(3)),
+        ]
+    }
+
+    #[test]
+    fn zone_map_summarizes() {
+        let zone = ZoneMap::from_events(&events());
+        assert_eq!(zone.start_min, Micros(100));
+        assert_eq!(zone.start_max, Micros(150));
+        assert_eq!((zone.dur_min, zone.dur_max), (2, 40));
+        assert!(zone.any_sized && !zone.all_sized);
+        assert_eq!((zone.size_min, zone.size_max), (512, 512));
+        assert_eq!((zone.pid_min, zone.pid_max), (9, 11));
+        assert!(zone.may_contain_pid(9) && zone.may_contain_pid(11));
+        assert!(!zone.may_contain_pid(12)); // outside min/max
+        assert!(zone.ok_any && !zone.ok_all);
+        assert_ne!(zone.call_mask & CALL_MASK_OTHER, 0);
+        assert_ne!(zone.call_mask & call_mask_bit(Syscall::Read), 0);
+        assert_eq!(zone.call_mask & call_mask_bit(Syscall::Write), 0);
+        assert!(zone.may_contain_path(&path_bloom_probes(Symbol(3))));
+        assert!(zone.may_contain_path(&path_bloom_probes(Symbol(5))));
+    }
+
+    #[test]
+    fn zone_map_roundtrips() {
+        let zone = ZoneMap::from_events(&events());
+        let mut buf = Vec::new();
+        zone.encode(&mut buf);
+        let mut cursor = &buf[..];
+        let back = ZoneMap::decode(&mut cursor).unwrap();
+        assert_eq!(back, zone);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn zone_map_decode_rejects_truncation() {
+        let zone = ZoneMap::from_events(&events());
+        let mut buf = Vec::new();
+        zone.encode(&mut buf);
+        for cut in [0, 1, buf.len() / 2, buf.len() - 1] {
+            let mut cursor = &buf[..cut];
+            assert!(ZoneMap::decode(&mut cursor).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn column_set_algebra() {
+        let s = ColumnSet::PID | ColumnSet::OK;
+        assert!(s.contains(ColumnSet::PID));
+        assert!(!s.contains(ColumnSet::CALL));
+        assert!(ColumnSet::ALL.contains(s));
+        assert!(!s.without(ColumnSet::PID).contains(ColumnSet::PID));
+        assert!(ColumnSet::ALL.contains(ColumnSet::IDENTITY));
+        assert_eq!(ColumnSet::EMPTY.union(ColumnSet::DUR), ColumnSet::DUR);
+        for idx in 0..NCOLS {
+            assert!(ColumnSet::ALL.contains(ColumnSet::nth(idx)));
+        }
+    }
+
+    #[test]
+    fn block_dir_rejects_implausible_event_counts() {
+        // A directory entry claiming u32::MAX events with an empty body
+        // must fail decode, not drive a huge decoder allocation: every
+        // column stores at least one byte per event.
+        let zone = ZoneMap::from_events(&events());
+        for (claimed, col_lens) in [
+            (u32::MAX, [0u32; NCOLS]),
+            (3, [3, 3, 3, 3, 3, 3, 3, 3, 2]), // ok column short
+            (3, [2, 3, 3, 3, 3, 3, 3, 3, 3]), // pid column short
+            (0, [0; NCOLS]),
+        ] {
+            let entry = BlockDir {
+                events: claimed,
+                offset: 0,
+                len: col_lens.iter().sum::<u32>() + 4,
+                col_lens,
+                zone: zone.clone(),
+            };
+            let mut buf = Vec::new();
+            entry.encode(&mut buf);
+            let mut cursor = &buf[..];
+            assert!(BlockDir::decode(&mut cursor).is_err(), "{claimed} {col_lens:?}");
+        }
+    }
+
+    #[test]
+    fn pid_bloom_is_conservative() {
+        // Every inserted pid must test positive.
+        let mut bits = 0u64;
+        for pid in 0..200u32 {
+            bits |= pid_bloom_bit(pid * 977);
+        }
+        for pid in 0..200u32 {
+            assert_ne!(bits & pid_bloom_bit(pid * 977), 0);
+        }
+    }
+}

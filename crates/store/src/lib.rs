@@ -10,29 +10,50 @@
 //! per case, columnar attribute arrays, sorted by start — with a
 //! self-describing binary format instead of HDF5 (the `hdf5` crate
 //! requires a system libhdf5, unavailable in this offline build; see
-//! DESIGN.md §4). The format is deliberately simple:
+//! DESIGN.md §4).
+//!
+//! The current format, **STLOG v2**, additionally splits every case's
+//! columns into fixed-size event *blocks* and prefixes the event bytes
+//! with a zone-mapped **block directory**, so selective queries
+//! (`st_query::pushdown`) can skip whole blocks — and whole cases —
+//! without reading their bytes:
 //!
 //! ```text
-//! magic "STLOG1\0\0" | version u32 LE
-//! [strings]  count, then per string: varint len + UTF-8 bytes     + CRC32
-//! [cases]    count, then per case:
-//!              cid sym, host sym, rid            (varints)
-//!              event count n
-//!              column pid[n]       varints
-//!              column call[n]      u8 tag (+ varint symbol for Other)
-//!              column start[n]     delta varints (ascending starts)
-//!              column dur[n]       varints
-//!              column path[n]      varint symbols
-//!              column size[n]      option-shifted varints (0 = None)
-//!              column requested[n] option-shifted varints
-//!              column offset[n]    option-shifted varints
-//!              column ok[n]        u8
-//!                                                                 + CRC32
+//! magic "STLOG2\0\0" | version u32 LE (= 2)
+//! [strings]   u64 LE body len | count, per string: varint len + UTF-8  | CRC32
+//! [directory] u64 LE body len | case count, then per case:            | CRC32
+//!               cid sym, host sym, rid, event count       (varints)
+//!               start_min, start_span                     (case time span)
+//!               block count, then per block:
+//!                 events, offset, len, col_lens[9]        (varints)
+//!                 zone map: start/dur/size/pid min+span,
+//!                           flags (sized/ok), pid bloom u64 LE,
+//!                           call mask u32 LE, path bloom 2×u64 LE
+//! [blocks]    u64 LE body len | concatenated block bodies, each:
+//!               column pid[]       varints
+//!               column call[]      u8 tag (+ varint symbol for Other)
+//!               column start[]     delta varints, first absolute
+//!               column dur[]       varints
+//!               column path[]      varint symbols
+//!               column size[]      option-shifted varints (0 = None)
+//!               column requested[] option-shifted varints
+//!               column offset[]    option-shifted varints
+//!               column ok[]        u8
+//!               CRC32 over the body
 //! ```
 //!
-//! Both sections are CRC-checked so truncation and bit-rot surface as
+//! Per-block CRCs (rather than one cases-section checksum) let a
+//! pruning reader verify exactly the blocks it touches; strings and
+//! directory keep whole-section CRCs. Truncation and bit-rot surface as
 //! [`StoreError::ChecksumMismatch`] / [`StoreError::Corrupt`] instead of
 //! silently wrong analyses.
+//!
+//! The legacy **STLOG v1** layout (flat whole-case columns, varint
+//! section framing, magic `STLOG1`) is still read byte-for-byte
+//! identically through the same [`StoreReader`]; [`to_bytes_v1`] keeps
+//! the v1 encoder available for fixtures and compatibility tests.
+//! Unknown future versions fail with
+//! [`StoreError::UnsupportedVersion`].
 //!
 //! Reading restores symbols in insertion order, so symbol identities are
 //! reproduced exactly and logs round-trip bit-identically.
@@ -41,10 +62,12 @@
 
 pub mod crc;
 pub mod error;
+pub mod format;
 pub mod reader;
 pub mod varint;
 pub mod writer;
 
 pub use error::StoreError;
+pub use format::{BlockDir, CaseDir, ColumnSet, Decision, ZoneMap, DEFAULT_BLOCK_EVENTS};
 pub use reader::StoreReader;
-pub use writer::{to_bytes, write_store};
+pub use writer::{to_bytes, to_bytes_blocked, to_bytes_v1, write_store};

@@ -1,4 +1,12 @@
 //! Deserializing the container format back into an [`EventLog`].
+//!
+//! The reader is version-gated: STLOG **v1** (flat whole-case columns)
+//! decodes through the legacy path unchanged, STLOG **v2** parses the
+//! block [`directory`](StoreReader::directory) up front and decodes
+//! block bodies on demand — the hook predicate pushdown
+//! (`st_query::pushdown`) uses to skip blocks whose zone maps prove no
+//! event can match. Unknown future versions fail with
+//! [`StoreError::UnsupportedVersion`].
 
 use std::path::Path;
 
@@ -7,17 +15,30 @@ use st_model::{Case, CaseMeta, Event, EventLog, Interner, Micros, Pid, Symbol, S
 
 use crate::crc::crc32;
 use crate::error::StoreError;
+use crate::format::{BlockDir, CaseDir, ColumnSet, NCOLS};
 use crate::varint::{get_opt_u64, get_u64};
-use crate::writer::{CALL_OTHER_TAG, MAGIC, VERSION};
+use crate::writer::{CALL_OTHER_TAG, MAGIC_V1, MAGIC_V2, VERSION_V1, VERSION_V2};
+
+/// Version-specific payload behind a [`StoreReader`].
+#[derive(Debug)]
+enum Payload {
+    /// v1: the raw cases section, decoded in one sequential pass.
+    V1 { cases: Bytes },
+    /// v2: the parsed block directory plus the raw blocks section.
+    V2 { directory: Vec<CaseDir>, blocks: Bytes },
+}
 
 /// A parsed-but-not-yet-decoded container.
 ///
 /// Mirrors the paper's `EventLogH5` handle (Fig. 6 step 0): open once,
-/// then materialize the full log or a path-filtered subset of it.
+/// then materialize the full log, a path-filtered subset of it, or — on
+/// v2 containers — individual column blocks selected through the
+/// directory.
 #[derive(Debug)]
 pub struct StoreReader {
     strings: Vec<String>,
-    cases: Bytes,
+    version: u32,
+    payload: Payload,
 }
 
 impl StoreReader {
@@ -32,30 +53,71 @@ impl StoreReader {
 
     /// Validates a container held in memory.
     pub fn from_bytes(mut data: Bytes) -> Result<StoreReader, StoreError> {
-        if data.len() < MAGIC.len() + 4 {
+        if data.len() < MAGIC_V1.len() + 4 {
             return Err(StoreError::BadMagic);
         }
-        if &data[..MAGIC.len()] != MAGIC {
-            return Err(StoreError::BadMagic);
-        }
-        data.advance(MAGIC.len());
+        let magic: [u8; 8] = data[..8].try_into().expect("length checked");
+        data.advance(8);
         let version = data.get_u32_le();
-        if version != VERSION {
-            return Err(StoreError::BadVersion(version));
+        match (&magic, version) {
+            (MAGIC_V1, VERSION_V1) => {
+                let strings_body = get_v1_section(&mut data, "strings")?;
+                let cases = get_v1_section(&mut data, "cases")?;
+                Ok(StoreReader {
+                    strings: decode_strings(strings_body)?,
+                    version,
+                    payload: Payload::V1 { cases },
+                })
+            }
+            (MAGIC_V2, VERSION_V2) => {
+                let strings_body = get_v2_section(&mut data, "strings")?;
+                let strings = decode_strings(strings_body)?;
+                let directory_body = get_v2_section(&mut data, "directory")?;
+                let blocks = get_v2_blocks(&mut data)?;
+                let directory = decode_directory(directory_body, blocks.len())?;
+                Ok(StoreReader {
+                    strings,
+                    version,
+                    payload: Payload::V2 { directory, blocks },
+                })
+            }
+            _ if magic.starts_with(b"STLOG") => Err(StoreError::UnsupportedVersion(version)),
+            _ => Err(StoreError::BadMagic),
         }
-        let strings_body = get_section(&mut data, "strings")?;
-        let cases_body = get_section(&mut data, "cases")?;
+    }
 
-        let strings = decode_strings(strings_body)?;
-        Ok(StoreReader {
-            strings,
-            cases: cases_body,
-        })
+    /// The container's format version (1 or 2).
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// Number of interned strings in the container.
     pub fn string_count(&self) -> usize {
         self.strings.len()
+    }
+
+    /// The container's string table in symbol order: `strings()[i]` is
+    /// the spelling of `Symbol(i)`. Query planners use it to resolve
+    /// name predicates into symbols before any event byte is read.
+    pub fn strings(&self) -> &[String] {
+        &self.strings
+    }
+
+    /// The v2 block directory (case meta, block extents, zone maps), or
+    /// `None` for v1 containers — the caller's signal that predicate
+    /// pushdown is unavailable and the flat read path must be used.
+    pub fn directory(&self) -> Option<&[CaseDir]> {
+        match &self.payload {
+            Payload::V1 { .. } => None,
+            Payload::V2 { directory, .. } => Some(directory),
+        }
+    }
+
+    /// Total events recorded in the container, without decoding any
+    /// block (v2 reads the directory; v1 is `None` — the count is not
+    /// known until the cases section is decoded).
+    pub fn total_events(&self) -> Option<u64> {
+        self.directory().map(|dir| dir.iter().map(|c| c.events).sum())
     }
 
     /// Decodes the full event log. Symbols are re-interned in insertion
@@ -78,6 +140,147 @@ impl StoreReader {
         })
     }
 
+    /// Decodes one v2 block, appending its events to `out` and
+    /// returning the number of column-segment bytes actually parsed.
+    ///
+    /// Only the columns in `cols` (always including
+    /// [`ColumnSet::IDENTITY`]) are decoded; the other segments are
+    /// skipped by their directory lengths and their event fields take
+    /// neutral defaults (pid 0, dur 0, `None` size/requested/offset,
+    /// `ok = true`). The block's CRC-32 is verified before decoding.
+    ///
+    /// Errors with [`StoreError::Corrupt`] on a v1 container (v1 has no
+    /// blocks; use [`StoreReader::read`]).
+    pub fn decode_block(
+        &self,
+        block: &BlockDir,
+        cols: ColumnSet,
+        out: &mut Vec<Event>,
+    ) -> Result<usize, StoreError> {
+        let Payload::V2 { blocks, .. } = &self.payload else {
+            return Err(StoreError::Corrupt(
+                "block decode requested on a v1 container".into(),
+            ));
+        };
+        let cols = cols.union(ColumnSet::IDENTITY);
+        let start = usize::try_from(block.offset)
+            .map_err(|_| StoreError::Corrupt("block offset exceeds usize".into()))?;
+        let len = block.len as usize;
+        if len < 4 || start.checked_add(len).is_none_or(|end| end > blocks.len()) {
+            return Err(StoreError::Corrupt("block extent out of bounds".into()));
+        }
+        let body = blocks.slice(start..start + len - 4);
+        let mut crc_raw = [0u8; 4];
+        crc_raw.copy_from_slice(&blocks[start + len - 4..start + len]);
+        if crc32(&body) != u32::from_le_bytes(crc_raw) {
+            return Err(StoreError::ChecksumMismatch { section: "block" });
+        }
+
+        let n = block.events as usize;
+        let base = out.len();
+        out.resize(
+            base + n,
+            Event::new(Pid(0), Syscall::Read, Micros::ZERO, Micros::ZERO, Symbol(0)),
+        );
+        let events = &mut out[base..];
+
+        let mut decoded = 0usize;
+        let mut seg_start = 0usize;
+        for col in 0..NCOLS {
+            let seg_len = block.col_lens[col] as usize;
+            if seg_start + seg_len > body.len() {
+                return Err(StoreError::Corrupt("column segment out of bounds".into()));
+            }
+            if cols.contains(ColumnSet::nth(col)) {
+                let mut seg = &body[seg_start..seg_start + seg_len];
+                self.decode_column(col, &mut seg, events)?;
+                if !seg.is_empty() {
+                    return Err(StoreError::Corrupt(
+                        "trailing bytes after column segment".into(),
+                    ));
+                }
+                decoded += seg_len;
+            }
+            seg_start += seg_len;
+        }
+        Ok(decoded)
+    }
+
+    /// Decodes column `col` of a block into the event slots.
+    fn decode_column(
+        &self,
+        col: usize,
+        seg: &mut &[u8],
+        events: &mut [Event],
+    ) -> Result<(), StoreError> {
+        match col {
+            0 => {
+                for e in events.iter_mut() {
+                    let pid = u32::try_from(get_u64(seg)?)
+                        .map_err(|_| StoreError::Corrupt("pid exceeds u32".into()))?;
+                    e.pid = Pid(pid);
+                }
+            }
+            1 => {
+                for e in events.iter_mut() {
+                    if !seg.has_remaining() {
+                        return Err(StoreError::Corrupt("truncated call column".into()));
+                    }
+                    let tag = seg.get_u8();
+                    e.call = if tag == CALL_OTHER_TAG {
+                        Syscall::Other(self.symbol(get_u64(seg)?)?)
+                    } else {
+                        Syscall::from_named_index(tag).ok_or_else(|| {
+                            StoreError::Corrupt(format!("unknown call tag {tag}"))
+                        })?
+                    };
+                }
+            }
+            2 => {
+                let mut acc = Micros::ZERO;
+                for e in events.iter_mut() {
+                    acc += Micros(get_u64(seg)?);
+                    e.start = acc;
+                }
+            }
+            3 => {
+                for e in events.iter_mut() {
+                    e.dur = Micros(get_u64(seg)?);
+                }
+            }
+            4 => {
+                for e in events.iter_mut() {
+                    e.path = self.symbol(get_u64(seg)?)?;
+                }
+            }
+            5 => {
+                for e in events.iter_mut() {
+                    e.size = get_opt_u64(seg)?;
+                }
+            }
+            6 => {
+                for e in events.iter_mut() {
+                    e.requested = get_opt_u64(seg)?;
+                }
+            }
+            7 => {
+                for e in events.iter_mut() {
+                    e.offset = get_opt_u64(seg)?;
+                }
+            }
+            8 => {
+                for e in events.iter_mut() {
+                    if !seg.has_remaining() {
+                        return Err(StoreError::Corrupt("truncated ok column".into()));
+                    }
+                    e.ok = seg.get_u8() != 0;
+                }
+            }
+            _ => unreachable!("NCOLS columns"),
+        }
+        Ok(())
+    }
+
     fn read_with_filter(
         &self,
         keep_path: impl Fn(Symbol) -> bool,
@@ -87,10 +290,39 @@ impl StoreReader {
             interner.intern(s);
         }
         let mut log = EventLog::new(interner);
+        match &self.payload {
+            Payload::V1 { cases } => self.read_v1(cases.clone(), &keep_path, &mut log)?,
+            Payload::V2 { directory, .. } => {
+                for entry in directory {
+                    let mut events: Vec<Event> = Vec::with_capacity(entry.events as usize);
+                    for block in &entry.blocks {
+                        self.decode_block(block, ColumnSet::ALL, &mut events)?;
+                    }
+                    events.retain(|e| keep_path(e.path));
+                    if !events.is_empty() {
+                        log.push_case(Case {
+                            meta: CaseMeta {
+                                cid: entry.cid,
+                                host: entry.host,
+                                rid: entry.rid,
+                            },
+                            events,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(log)
+    }
 
-        let mut buf = self.cases.clone();
+    fn read_v1(
+        &self,
+        mut buf: Bytes,
+        keep_path: &impl Fn(Symbol) -> bool,
+        log: &mut EventLog,
+    ) -> Result<(), StoreError> {
         let case_count = get_u64(&mut buf)? as usize;
-        if case_count > self.cases.len() {
+        if case_count > buf.len() + 1 {
             return Err(StoreError::Corrupt("implausible case count".into()));
         }
         for _ in 0..case_count {
@@ -99,7 +331,7 @@ impl StoreReader {
             let rid = u32::try_from(get_u64(&mut buf)?)
                 .map_err(|_| StoreError::Corrupt("rid exceeds u32".into()))?;
             let n = get_u64(&mut buf)? as usize;
-            if n > self.cases.len() {
+            if n > buf.len() {
                 return Err(StoreError::Corrupt("implausible event count".into()));
             }
             let mut events: Vec<Event> = Vec::with_capacity(n);
@@ -182,7 +414,7 @@ impl StoreReader {
         if buf.has_remaining() {
             return Err(StoreError::Corrupt("trailing bytes after cases".into()));
         }
-        Ok(log)
+        Ok(())
     }
 
     fn symbol(&self, raw: u64) -> Result<Symbol, StoreError> {
@@ -198,9 +430,9 @@ impl StoreReader {
     }
 }
 
-fn get_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreError> {
+fn get_v1_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreError> {
     let len = get_u64(data)? as usize;
-    if data.remaining() < len + 4 {
+    if len.checked_add(4).is_none_or(|need| data.remaining() < need) {
         return Err(StoreError::Corrupt(format!("truncated {section} section")));
     }
     let body = data.split_to(len);
@@ -209,6 +441,87 @@ fn get_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreEr
         return Err(StoreError::ChecksumMismatch { section });
     }
     Ok(body)
+}
+
+/// Reads a v2 section's fixed 8-byte LE length prefix, validating that
+/// `len` (+ `trailer` bytes after the body) fits in the remaining data.
+fn get_v2_len_prefix(
+    data: &mut Bytes,
+    trailer: usize,
+    section: &'static str,
+) -> Result<usize, StoreError> {
+    if data.remaining() < 8 {
+        return Err(StoreError::Corrupt(format!("truncated {section} section")));
+    }
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&data[..8]);
+    data.advance(8);
+    let len = usize::try_from(u64::from_le_bytes(raw))
+        .map_err(|_| StoreError::Corrupt(format!("{section} section exceeds usize")))?;
+    if len
+        .checked_add(trailer)
+        .is_none_or(|need| data.remaining() < need)
+    {
+        return Err(StoreError::Corrupt(format!("truncated {section} section")));
+    }
+    Ok(len)
+}
+
+/// Reads a v2 section: fixed 8-byte LE length prefix, body, CRC-32.
+fn get_v2_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreError> {
+    let len = get_v2_len_prefix(data, 4, section)?;
+    let body = data.split_to(len);
+    let stored_crc = data.get_u32_le();
+    if crc32(&body) != stored_crc {
+        return Err(StoreError::ChecksumMismatch { section });
+    }
+    Ok(body)
+}
+
+/// Reads the v2 blocks section (length-prefixed, per-block CRCs inside).
+fn get_v2_blocks(data: &mut Bytes) -> Result<Bytes, StoreError> {
+    let len = get_v2_len_prefix(data, 0, "blocks")?;
+    let body = data.split_to(len);
+    if data.has_remaining() {
+        return Err(StoreError::Corrupt("trailing bytes after blocks".into()));
+    }
+    Ok(body)
+}
+
+/// Parses the directory section and validates it against the blocks
+/// section: block extents must be contiguous, in order, and cover the
+/// section exactly (the directory itself is CRC-protected, so any
+/// mismatch here means a corrupt or inconsistent container).
+fn decode_directory(mut body: Bytes, blocks_len: usize) -> Result<Vec<CaseDir>, StoreError> {
+    let case_count = get_u64(&mut body)? as usize;
+    if case_count > body.len() + 1 {
+        return Err(StoreError::Corrupt("implausible case count".into()));
+    }
+    // Each encoded case entry is ≥ 7 bytes; cap the reservation so a
+    // crafted count cannot reserve memory disproportionate to the
+    // directory's actual size (entries are ~10–25x their encoded form).
+    let mut directory = Vec::with_capacity(case_count.min(body.len() / 7 + 1));
+    let mut next_offset = 0u64;
+    for _ in 0..case_count {
+        let remaining = body.len();
+        let entry = CaseDir::decode(&mut body, remaining)?;
+        for block in &entry.blocks {
+            if block.offset != next_offset {
+                return Err(StoreError::Corrupt("non-contiguous block layout".into()));
+            }
+            next_offset += u64::from(block.len);
+        }
+        directory.push(entry);
+    }
+    if body.has_remaining() {
+        return Err(StoreError::Corrupt("trailing bytes after directory".into()));
+    }
+    if next_offset != blocks_len as u64 {
+        return Err(StoreError::Corrupt(
+            "directory does not cover the blocks section".into(),
+        ));
+    }
+    Ok(directory)
 }
 
 fn decode_strings(mut body: Bytes) -> Result<Vec<String>, StoreError> {
@@ -233,35 +546,36 @@ fn decode_strings(mut body: Bytes) -> Result<Vec<String>, StoreError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::writer::{tests::sample_log, to_bytes, write_store};
+    use crate::writer::{tests::sample_log, to_bytes, to_bytes_blocked, to_bytes_v1, write_store};
 
     #[test]
     fn roundtrip_preserves_everything() {
         let log = sample_log();
-        let bytes = to_bytes(&log).unwrap();
-        let reader = StoreReader::from_bytes(bytes).unwrap();
-        let back = reader.read().unwrap();
-        assert_eq!(back.case_count(), log.case_count());
-        assert_eq!(back.total_events(), log.total_events());
-        let orig_snap = log.snapshot();
-        let back_snap = back.snapshot();
-        for (a, b) in log.cases().iter().zip(back.cases()) {
-            assert_eq!(a.meta.rid, b.meta.rid);
-            assert_eq!(orig_snap.resolve(a.meta.cid), back_snap.resolve(b.meta.cid));
-            for (x, y) in a.events.iter().zip(&b.events) {
-                assert_eq!(x.pid, y.pid);
-                assert_eq!(x.start, y.start);
-                assert_eq!(x.dur, y.dur);
-                assert_eq!(x.size, y.size);
-                assert_eq!(x.requested, y.requested);
-                assert_eq!(x.offset, y.offset);
-                assert_eq!(x.ok, y.ok);
-                assert_eq!(orig_snap.resolve(x.path), back_snap.resolve(y.path));
-                match (x.call, y.call) {
-                    (Syscall::Other(sa), Syscall::Other(sb)) => {
-                        assert_eq!(orig_snap.resolve(sa), back_snap.resolve(sb))
+        for bytes in [to_bytes(&log).unwrap(), to_bytes_v1(&log).unwrap()] {
+            let reader = StoreReader::from_bytes(bytes).unwrap();
+            let back = reader.read().unwrap();
+            assert_eq!(back.case_count(), log.case_count());
+            assert_eq!(back.total_events(), log.total_events());
+            let orig_snap = log.snapshot();
+            let back_snap = back.snapshot();
+            for (a, b) in log.cases().iter().zip(back.cases()) {
+                assert_eq!(a.meta.rid, b.meta.rid);
+                assert_eq!(orig_snap.resolve(a.meta.cid), back_snap.resolve(b.meta.cid));
+                for (x, y) in a.events.iter().zip(&b.events) {
+                    assert_eq!(x.pid, y.pid);
+                    assert_eq!(x.start, y.start);
+                    assert_eq!(x.dur, y.dur);
+                    assert_eq!(x.size, y.size);
+                    assert_eq!(x.requested, y.requested);
+                    assert_eq!(x.offset, y.offset);
+                    assert_eq!(x.ok, y.ok);
+                    assert_eq!(orig_snap.resolve(x.path), back_snap.resolve(y.path));
+                    match (x.call, y.call) {
+                        (Syscall::Other(sa), Syscall::Other(sb)) => {
+                            assert_eq!(orig_snap.resolve(sa), back_snap.resolve(sb))
+                        }
+                        (ca, cb) => assert_eq!(ca, cb),
                     }
-                    (ca, cb) => assert_eq!(ca, cb),
                 }
             }
         }
@@ -273,27 +587,42 @@ mod tests {
         // ids survive the round trip (logs can be compared without
         // re-mapping).
         let log = sample_log();
-        let back = StoreReader::from_bytes(to_bytes(&log).unwrap())
-            .unwrap()
-            .read()
-            .unwrap();
-        for (a, b) in log.cases().iter().zip(back.cases()) {
-            assert_eq!(a.meta.cid, b.meta.cid);
-            for (x, y) in a.events.iter().zip(&b.events) {
-                assert_eq!(x.path, y.path);
+        for bytes in [to_bytes(&log).unwrap(), to_bytes_v1(&log).unwrap()] {
+            let back = StoreReader::from_bytes(bytes).unwrap().read().unwrap();
+            for (a, b) in log.cases().iter().zip(back.cases()) {
+                assert_eq!(a.meta.cid, b.meta.cid);
+                for (x, y) in a.events.iter().zip(&b.events) {
+                    assert_eq!(x.path, y.path);
+                }
             }
         }
     }
 
     #[test]
+    fn v1_and_v2_decode_identically() {
+        let log = sample_log();
+        let via_v1 = StoreReader::from_bytes(to_bytes_v1(&log).unwrap())
+            .unwrap()
+            .read()
+            .unwrap();
+        let via_v2 = StoreReader::from_bytes(to_bytes(&log).unwrap())
+            .unwrap()
+            .read()
+            .unwrap();
+        assert_eq!(via_v1.cases(), via_v2.cases());
+    }
+
+    #[test]
     fn filtered_read_prunes_events_and_cases() {
         let log = sample_log();
-        let reader = StoreReader::from_bytes(to_bytes(&log).unwrap()).unwrap();
-        let filtered = reader.read_filtered("/usr/lib").unwrap();
-        assert_eq!(filtered.case_count(), 1);
-        assert_eq!(filtered.total_events(), 4); // the /missing openat drops
-        let none = reader.read_filtered("/nope").unwrap();
-        assert_eq!(none.case_count(), 0);
+        for bytes in [to_bytes(&log).unwrap(), to_bytes_v1(&log).unwrap()] {
+            let reader = StoreReader::from_bytes(bytes).unwrap();
+            let filtered = reader.read_filtered("/usr/lib").unwrap();
+            assert_eq!(filtered.case_count(), 1);
+            assert_eq!(filtered.total_events(), 4); // the /missing openat drops
+            let none = reader.read_filtered("/nope").unwrap();
+            assert_eq!(none.case_count(), 0);
+        }
     }
 
     #[test]
@@ -301,9 +630,54 @@ mod tests {
         let log = sample_log();
         let path = std::env::temp_dir().join(format!("st-store-{}.stlog", std::process::id()));
         write_store(&log, &path).unwrap();
-        let back = StoreReader::open(&path).unwrap().read().unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        assert_eq!(reader.version(), 2);
+        let back = reader.read().unwrap();
         assert_eq!(back.total_events(), log.total_events());
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn directory_reports_meta_without_decoding() {
+        let log = sample_log();
+        let reader =
+            StoreReader::from_bytes(to_bytes_blocked(&log, 2).unwrap()).unwrap();
+        assert_eq!(reader.total_events(), Some(5));
+        let dir = reader.directory().unwrap();
+        assert_eq!(dir.len(), 1);
+        assert_eq!(dir[0].blocks.len(), 3); // 5 events in blocks of 2
+        assert_eq!(dir[0].start_min, Micros(100));
+        assert_eq!(dir[0].start_max, Micros(500));
+        assert_eq!(dir[0].blocks[0].zone.start_max, Micros(200));
+        // v1 exposes no directory.
+        let v1 = StoreReader::from_bytes(to_bytes_v1(&log).unwrap()).unwrap();
+        assert!(v1.directory().is_none());
+        assert_eq!(v1.total_events(), None);
+    }
+
+    #[test]
+    fn column_projection_skips_unselected_columns() {
+        let log = sample_log();
+        let reader = StoreReader::from_bytes(to_bytes(&log).unwrap()).unwrap();
+        let dir = reader.directory().unwrap();
+        let block = &dir[0].blocks[0];
+        let mut all = Vec::new();
+        let full_bytes = reader.decode_block(block, ColumnSet::ALL, &mut all).unwrap();
+        let mut some = Vec::new();
+        let some_bytes = reader
+            .decode_block(block, ColumnSet::IDENTITY, &mut some)
+            .unwrap();
+        assert!(some_bytes < full_bytes, "{some_bytes} vs {full_bytes}");
+        assert_eq!(all.len(), some.len());
+        for (a, b) in all.iter().zip(&some) {
+            // Identity columns match; the rest fall back to defaults.
+            assert_eq!(a.call, b.call);
+            assert_eq!(a.start, b.start);
+            assert_eq!(a.path, b.path);
+            assert_eq!(b.pid, Pid(0));
+            assert_eq!(b.size, None);
+            assert!(b.ok);
+        }
     }
 
     #[test]
@@ -315,35 +689,48 @@ mod tests {
     }
 
     #[test]
-    fn bad_version_rejected() {
+    fn unsupported_version_rejected() {
+        // A future-format file: STLOG magic, unknown digit + version.
         let log = sample_log();
+        let mut bytes = to_bytes(&log).unwrap().to_vec();
+        bytes[5] = b'3';
+        bytes[8] = 3;
+        let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
+        assert!(matches!(err, StoreError::UnsupportedVersion(3)), "{err:?}");
+        // A version field that disagrees with a known magic is equally
+        // unreadable.
         let mut bytes = to_bytes(&log).unwrap().to_vec();
         bytes[8] = 0xEE;
         let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
-        assert!(matches!(err, StoreError::BadVersion(_)));
+        assert!(matches!(err, StoreError::UnsupportedVersion(0xEE)), "{err:?}");
     }
 
     #[test]
     fn corrupted_strings_section_detected() {
         let log = sample_log();
-        let mut bytes = to_bytes(&log).unwrap().to_vec();
-        // Flip a byte inside the strings section (right after the header).
-        bytes[16] ^= 0xFF;
-        let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
-        assert!(
-            matches!(err, StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)),
-            "{err:?}"
-        );
+        for mut bytes in [
+            to_bytes(&log).unwrap().to_vec(),
+            to_bytes_v1(&log).unwrap().to_vec(),
+        ] {
+            // Flip a byte inside the strings section (right after the header).
+            bytes[16] ^= 0xFF;
+            let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
+            assert!(
+                matches!(err, StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)),
+                "{err:?}"
+            );
+        }
     }
 
     #[test]
-    fn corrupted_cases_section_detected() {
+    fn corrupted_block_detected() {
         let log = sample_log();
         let bytes = to_bytes(&log).unwrap().to_vec();
         let mut corrupted = bytes.clone();
-        let idx = corrupted.len() - 8; // inside cases body / its CRC
+        let idx = corrupted.len() - 8; // inside the last block body / CRC
         corrupted[idx] ^= 0x55;
-        let err = StoreReader::from_bytes(Bytes::from(corrupted)).unwrap_err();
+        let reader = StoreReader::from_bytes(Bytes::from(corrupted)).unwrap();
+        let err = reader.read().unwrap_err();
         assert!(
             matches!(err, StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)),
             "{err:?}"
@@ -353,23 +740,46 @@ mod tests {
     #[test]
     fn truncated_file_detected() {
         let log = sample_log();
-        let bytes = to_bytes(&log).unwrap();
-        for cut in [12, bytes.len() / 2, bytes.len() - 1] {
-            let err = StoreReader::from_bytes(bytes.slice(0..cut)).unwrap_err();
-            assert!(
-                matches!(err, StoreError::Corrupt(_) | StoreError::ChecksumMismatch { .. } | StoreError::BadMagic),
-                "cut={cut}: {err:?}"
-            );
+        for bytes in [to_bytes(&log).unwrap(), to_bytes_v1(&log).unwrap()] {
+            for cut in [12, bytes.len() / 2, bytes.len() - 1] {
+                let err = StoreReader::from_bytes(bytes.slice(0..cut)).unwrap_err();
+                assert!(
+                    matches!(err, StoreError::Corrupt(_) | StoreError::ChecksumMismatch { .. } | StoreError::BadMagic),
+                    "cut={cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn huge_section_length_is_corrupt_not_panic() {
+        // A section length prefix near u64::MAX must not overflow the
+        // bounds check (debug panic / release wrap) — it is Corrupt.
+        for magic_version in [
+            (&b"STLOG1\0\0"[..], 1u32),
+            (&b"STLOG2\0\0"[..], 2u32),
+        ] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(magic_version.0);
+            bytes.extend_from_slice(&magic_version.1.to_le_bytes());
+            if magic_version.1 == 1 {
+                // varint u64::MAX - 3
+                crate::varint::put_u64(&mut bytes, u64::MAX - 3);
+            } else {
+                bytes.extend_from_slice(&(u64::MAX - 3).to_le_bytes());
+            }
+            bytes.extend_from_slice(&[0u8; 16]);
+            let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
+            assert!(matches!(err, StoreError::Corrupt(_)), "{err:?}");
         }
     }
 
     #[test]
     fn empty_log_roundtrip() {
         let log = EventLog::with_new_interner();
-        let back = StoreReader::from_bytes(to_bytes(&log).unwrap())
-            .unwrap()
-            .read()
-            .unwrap();
-        assert!(back.is_empty());
+        for bytes in [to_bytes(&log).unwrap(), to_bytes_v1(&log).unwrap()] {
+            let back = StoreReader::from_bytes(bytes).unwrap().read().unwrap();
+            assert!(back.is_empty());
+        }
     }
 }

@@ -1,111 +1,305 @@
 //! Serializing an [`EventLog`] into the container format.
+//!
+//! [`to_bytes`] emits the current STLOG **v2** layout: block-chunked
+//! columns with a zone-mapped block directory (see the crate root for
+//! the byte layout and `st_query::pushdown` for the planner that
+//! consumes the directory). [`to_bytes_v1`] keeps the legacy flat v1
+//! encoder for fixtures and compatibility tests; [`StoreReader`] reads
+//! both.
+//!
+//! [`StoreReader`]: crate::reader::StoreReader
 
 use std::path::Path;
 
-use bytes::{BufMut, Bytes, BytesMut};
-use st_model::{EventLog, Micros, Syscall};
+use bytes::Bytes;
+use st_model::{Event, EventLog, Micros, Symbol, Syscall};
 
 use crate::crc::crc32;
 use crate::error::StoreError;
+use crate::format::{BlockDir, CaseDir, ZoneMap, DEFAULT_BLOCK_EVENTS, NCOLS};
 use crate::varint::{put_opt_u64, put_u64};
 
-/// Container magic.
-pub(crate) const MAGIC: &[u8; 8] = b"STLOG1\0\0";
-/// Current format version.
-pub(crate) const VERSION: u32 = 1;
+/// v1 container magic.
+pub(crate) const MAGIC_V1: &[u8; 8] = b"STLOG1\0\0";
+/// v2 container magic.
+pub(crate) const MAGIC_V2: &[u8; 8] = b"STLOG2\0\0";
+/// The legacy flat format version.
+pub(crate) const VERSION_V1: u32 = 1;
+/// The block-chunked format version.
+pub(crate) const VERSION_V2: u32 = 2;
 /// Call-column tag marking a [`Syscall::Other`] entry (followed by the
 /// interned-name symbol).
 pub(crate) const CALL_OTHER_TAG: u8 = 0xFF;
 
-/// Serializes `log` to bytes.
+/// Rough per-event byte cost used to pre-size the output buffer: nine
+/// columns, most of them single-byte varints, plus delta-encoded
+/// timestamps that occasionally spill to 2–3 bytes.
+const EST_BYTES_PER_EVENT: usize = 14;
+
+/// Serializes `log` as STLOG v2 with the default block size
+/// ([`DEFAULT_BLOCK_EVENTS`] events per block).
 ///
 /// Cases are written in log order; events must already be start-sorted
 /// (they are delta-encoded). Unsorted cases are rejected rather than
 /// silently producing a corrupt delta stream.
 pub fn to_bytes(log: &EventLog) -> Result<Bytes, StoreError> {
-    for case in log.cases() {
-        if !case.is_sorted() {
-            return Err(StoreError::Corrupt(format!(
-                "case {} is not start-sorted; sort before storing",
-                case.meta.label(log.interner())
-            )));
-        }
-    }
+    to_bytes_blocked(log, DEFAULT_BLOCK_EVENTS)
+}
 
-    let mut out = BytesMut::with_capacity(64 + log.total_events() * 8);
-    out.put_slice(MAGIC);
-    out.put_u32_le(VERSION);
+/// [`to_bytes`] with an explicit block size (events per block). Small
+/// blocks exercise multi-block layouts on small logs in tests; readers
+/// handle any block size ≥ 1.
+pub fn to_bytes_blocked(log: &EventLog, block_events: usize) -> Result<Bytes, StoreError> {
+    assert!(block_events >= 1, "blocks hold at least one event");
+    check_sorted(log)?;
+
+    let snap = log.snapshot();
+    let strings_est: usize = (0..snap.len())
+        .map(|idx| snap.resolve(Symbol(idx as u32)).len() + 5)
+        .sum();
+    let n_events = log.total_events();
+    let n_blocks = log
+        .cases()
+        .iter()
+        .map(|c| c.events.len().div_ceil(block_events))
+        .sum::<usize>();
+
+    // One pre-sized buffer for the header + strings + directory, one for
+    // the block bodies (the directory precedes the bodies but depends on
+    // their offsets, so the bodies stream into their own buffer and are
+    // appended once at the end — no per-case or per-column allocations).
+    let mut out =
+        Vec::with_capacity(64 + strings_est + log.case_count() * 32 + n_blocks * 96);
+    let mut blocks = Vec::with_capacity(n_events * EST_BYTES_PER_EVENT + n_blocks * 4);
+
+    out.extend_from_slice(MAGIC_V2);
+    out.extend_from_slice(&VERSION_V2.to_le_bytes());
 
     // Strings section: the interner snapshot in insertion order, so
     // symbol ids are reproduced exactly on read.
-    let snap = log.snapshot();
-    let mut strings = BytesMut::new();
-    put_u64(&mut strings, snap.len() as u64);
-    for idx in 0..snap.len() {
-        let s = snap.resolve(st_model::Symbol(idx as u32));
-        put_u64(&mut strings, s.len() as u64);
-        strings.put_slice(s.as_bytes());
+    write_section(&mut out, |body| {
+        put_u64(body, snap.len() as u64);
+        for idx in 0..snap.len() {
+            let s = snap.resolve(Symbol(idx as u32));
+            put_u64(body, s.len() as u64);
+            body.extend_from_slice(s.as_bytes());
+        }
+    });
+
+    // Block bodies + the directory entries describing them.
+    let mut directory: Vec<CaseDir> = Vec::with_capacity(log.case_count());
+    for case in log.cases() {
+        let mut entry = CaseDir {
+            cid: case.meta.cid,
+            host: case.meta.host,
+            rid: case.meta.rid,
+            events: case.events.len() as u64,
+            start_min: case.events.first().map(|e| e.start).unwrap_or(Micros::ZERO),
+            start_max: case.events.last().map(|e| e.start).unwrap_or(Micros::ZERO),
+            blocks: Vec::with_capacity(case.events.len().div_ceil(block_events)),
+        };
+        for chunk in case.events.chunks(block_events) {
+            entry.blocks.push(write_block(&mut blocks, chunk));
+        }
+        directory.push(entry);
     }
-    put_section(&mut out, strings.freeze());
+
+    // Directory section.
+    write_section(&mut out, |body| {
+        put_u64(body, directory.len() as u64);
+        for entry in &directory {
+            entry.encode(body);
+        }
+    });
+
+    // Blocks section: fixed length prefix, per-block CRCs (already part
+    // of each body) instead of one section-wide checksum, so a pruning
+    // reader can verify exactly the blocks it touches.
+    out.extend_from_slice(&(blocks.len() as u64).to_le_bytes());
+    out.extend_from_slice(&blocks);
+
+    Ok(Bytes::from(out))
+}
+
+/// Writes one block body (nine column segments + CRC-32) into `out` and
+/// returns its directory entry.
+fn write_block(out: &mut Vec<u8>, chunk: &[Event]) -> BlockDir {
+    let body_start = out.len();
+    let mut col_lens = [0u32; NCOLS];
+    let mut col_start = out.len();
+    let mut finish_col = |out: &mut Vec<u8>, idx: usize, col_start: &mut usize| {
+        col_lens[idx] = (out.len() - *col_start) as u32;
+        *col_start = out.len();
+    };
+
+    // pid column
+    for e in chunk {
+        put_u64(out, u64::from(e.pid.0));
+    }
+    finish_col(out, 0, &mut col_start);
+    // call column
+    for e in chunk {
+        match e.call {
+            Syscall::Other(sym) => {
+                out.push(CALL_OTHER_TAG);
+                put_u64(out, u64::from(sym.0));
+            }
+            named => out.push(named.named_index().expect("named syscall")),
+        }
+    }
+    finish_col(out, 1, &mut col_start);
+    // start column: first event absolute, rest delta-encoded within the
+    // block so every block decodes independently of its predecessors.
+    let mut prev = Micros::ZERO;
+    for e in chunk {
+        put_u64(out, (e.start - prev).as_micros());
+        prev = e.start;
+    }
+    finish_col(out, 2, &mut col_start);
+    // dur column
+    for e in chunk {
+        put_u64(out, e.dur.as_micros());
+    }
+    finish_col(out, 3, &mut col_start);
+    // path column
+    for e in chunk {
+        put_u64(out, u64::from(e.path.0));
+    }
+    finish_col(out, 4, &mut col_start);
+    // size / requested / offset columns (option-shifted)
+    for e in chunk {
+        put_opt_u64(out, e.size);
+    }
+    finish_col(out, 5, &mut col_start);
+    for e in chunk {
+        put_opt_u64(out, e.requested);
+    }
+    finish_col(out, 6, &mut col_start);
+    for e in chunk {
+        put_opt_u64(out, e.offset);
+    }
+    finish_col(out, 7, &mut col_start);
+    // ok column
+    for e in chunk {
+        out.push(u8::from(e.ok));
+    }
+    finish_col(out, 8, &mut col_start);
+
+    let crc = crc32(&out[body_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+
+    BlockDir {
+        events: chunk.len() as u32,
+        offset: body_start as u64,
+        len: (out.len() - body_start) as u32,
+        col_lens,
+        zone: ZoneMap::from_events(chunk),
+    }
+}
+
+/// Appends a v2 section: fixed 8-byte LE length prefix, body, CRC-32.
+/// The fixed prefix lets the body stream straight into `out` (the
+/// length is patched afterwards) — no intermediate section buffer.
+fn write_section(out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) {
+    let len_pos = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    let body_start = out.len();
+    body(out);
+    let body_len = (out.len() - body_start) as u64;
+    out[len_pos..len_pos + 8].copy_from_slice(&body_len.to_le_bytes());
+    let crc = crc32(&out[body_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+}
+
+/// Serializes `log` in the **legacy v1** flat layout (whole-case
+/// columns, no block directory). New stores should use [`to_bytes`];
+/// this encoder is retained so the pinned v1 fixtures and compatibility
+/// property tests can cross-check the v1 read path byte-for-byte.
+pub fn to_bytes_v1(log: &EventLog) -> Result<Bytes, StoreError> {
+    check_sorted(log)?;
+
+    let snap = log.snapshot();
+    let strings_est: usize = (0..snap.len())
+        .map(|idx| snap.resolve(Symbol(idx as u32)).len() + 5)
+        .sum();
+    let cases_est = 16 + log.case_count() * 16 + log.total_events() * EST_BYTES_PER_EVENT;
+
+    let mut out = Vec::with_capacity(24 + strings_est + cases_est);
+    out.extend_from_slice(MAGIC_V1);
+    out.extend_from_slice(&VERSION_V1.to_le_bytes());
+
+    // One scratch buffer serves both sections (v1 frames sections with a
+    // varint length, which cannot be patched in place), pre-sized for
+    // the larger of the two so the hot loop never reallocates.
+    let mut scratch: Vec<u8> = Vec::with_capacity(strings_est.max(cases_est));
+
+    // Strings section: the interner snapshot in insertion order, so
+    // symbol ids are reproduced exactly on read.
+    put_u64(&mut scratch, snap.len() as u64);
+    for idx in 0..snap.len() {
+        let s = snap.resolve(Symbol(idx as u32));
+        put_u64(&mut scratch, s.len() as u64);
+        scratch.extend_from_slice(s.as_bytes());
+    }
+    put_v1_section(&mut out, &scratch);
+    scratch.clear();
 
     // Cases section: one columnar table per case.
-    let mut cases = BytesMut::new();
-    put_u64(&mut cases, log.case_count() as u64);
+    put_u64(&mut scratch, log.case_count() as u64);
     for case in log.cases() {
-        put_u64(&mut cases, case.meta.cid.0 as u64);
-        put_u64(&mut cases, case.meta.host.0 as u64);
-        put_u64(&mut cases, case.meta.rid as u64);
-        let n = case.events.len();
-        put_u64(&mut cases, n as u64);
+        put_u64(&mut scratch, u64::from(case.meta.cid.0));
+        put_u64(&mut scratch, u64::from(case.meta.host.0));
+        put_u64(&mut scratch, u64::from(case.meta.rid));
+        put_u64(&mut scratch, case.events.len() as u64);
         // pid column
         for e in &case.events {
-            put_u64(&mut cases, e.pid.0 as u64);
+            put_u64(&mut scratch, u64::from(e.pid.0));
         }
         // call column
         for e in &case.events {
             match e.call {
                 Syscall::Other(sym) => {
-                    cases.put_u8(CALL_OTHER_TAG);
-                    put_u64(&mut cases, sym.0 as u64);
+                    scratch.push(CALL_OTHER_TAG);
+                    put_u64(&mut scratch, u64::from(sym.0));
                 }
-                named => cases.put_u8(named.named_index().expect("named syscall")),
+                named => scratch.push(named.named_index().expect("named syscall")),
             }
         }
         // start column, delta-encoded against the previous event
         let mut prev = Micros::ZERO;
         for e in &case.events {
-            put_u64(&mut cases, (e.start - prev).as_micros());
+            put_u64(&mut scratch, (e.start - prev).as_micros());
             prev = e.start;
         }
         // dur column
         for e in &case.events {
-            put_u64(&mut cases, e.dur.as_micros());
+            put_u64(&mut scratch, e.dur.as_micros());
         }
         // path column
         for e in &case.events {
-            put_u64(&mut cases, e.path.0 as u64);
+            put_u64(&mut scratch, u64::from(e.path.0));
         }
         // size / requested / offset columns (option-shifted)
         for e in &case.events {
-            put_opt_u64(&mut cases, e.size);
+            put_opt_u64(&mut scratch, e.size);
         }
         for e in &case.events {
-            put_opt_u64(&mut cases, e.requested);
+            put_opt_u64(&mut scratch, e.requested);
         }
         for e in &case.events {
-            put_opt_u64(&mut cases, e.offset);
+            put_opt_u64(&mut scratch, e.offset);
         }
         // ok column
         for e in &case.events {
-            cases.put_u8(u8::from(e.ok));
+            scratch.push(u8::from(e.ok));
         }
     }
-    put_section(&mut out, cases.freeze());
+    put_v1_section(&mut out, &scratch);
 
-    Ok(out.freeze())
+    Ok(Bytes::from(out))
 }
 
-/// Writes `log` to `path`.
+/// Writes `log` to `path` (STLOG v2).
 pub fn write_store(log: &EventLog, path: &Path) -> Result<(), StoreError> {
     let bytes = to_bytes(log)?;
     std::fs::write(path, &bytes).map_err(|source| StoreError::Io {
@@ -114,17 +308,29 @@ pub fn write_store(log: &EventLog, path: &Path) -> Result<(), StoreError> {
     })
 }
 
-/// Appends a length-prefixed, CRC-trailed section.
-fn put_section(out: &mut BytesMut, body: Bytes) {
+fn check_sorted(log: &EventLog) -> Result<(), StoreError> {
+    for case in log.cases() {
+        if !case.is_sorted() {
+            return Err(StoreError::Corrupt(format!(
+                "case {} is not start-sorted; sort before storing",
+                case.meta.label(log.interner())
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Appends a v1 length-prefixed, CRC-trailed section.
+fn put_v1_section(out: &mut Vec<u8>, body: &[u8]) {
     put_u64(out, body.len() as u64);
-    out.put_slice(&body);
-    out.put_u32_le(crc32(&body));
+    out.extend_from_slice(body);
+    out.extend_from_slice(&crc32(body).to_le_bytes());
 }
 
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
-    use st_model::{Case, CaseMeta, Event, Pid};
+    use st_model::{Case, CaseMeta, Pid};
     use std::sync::Arc;
 
     pub(crate) fn sample_log() -> EventLog {
@@ -156,8 +362,15 @@ pub(crate) mod tests {
     #[test]
     fn serializes_with_magic_and_version() {
         let bytes = to_bytes(&sample_log()).unwrap();
-        assert_eq!(&bytes[..8], MAGIC);
-        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), VERSION);
+        assert_eq!(&bytes[..8], MAGIC_V2);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), VERSION_V2);
+    }
+
+    #[test]
+    fn v1_serializes_with_legacy_magic() {
+        let bytes = to_bytes_v1(&sample_log()).unwrap();
+        assert_eq!(&bytes[..8], MAGIC_V1);
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), VERSION_V1);
     }
 
     #[test]
@@ -165,6 +378,9 @@ pub(crate) mod tests {
         let mut log = sample_log();
         log.cases_mut()[0].events.reverse();
         assert!(matches!(to_bytes(&log), Err(StoreError::Corrupt(_))));
+        let mut log = sample_log();
+        log.cases_mut()[0].events.reverse();
+        assert!(matches!(to_bytes_v1(&log), Err(StoreError::Corrupt(_))));
     }
 
     #[test]
@@ -172,5 +388,17 @@ pub(crate) mod tests {
         let log = EventLog::with_new_interner();
         let bytes = to_bytes(&log).unwrap();
         assert!(bytes.len() >= 12);
+        assert!(to_bytes_v1(&log).unwrap().len() >= 12);
+    }
+
+    #[test]
+    fn block_size_changes_block_count_not_content() {
+        let log = sample_log();
+        let one = to_bytes_blocked(&log, 1).unwrap();
+        let all = to_bytes_blocked(&log, 1024).unwrap();
+        assert_ne!(one.len(), all.len()); // more blocks, more directory
+        let a = crate::reader::StoreReader::from_bytes(one).unwrap().read().unwrap();
+        let b = crate::reader::StoreReader::from_bytes(all).unwrap().read().unwrap();
+        assert_eq!(a.cases(), b.cases());
     }
 }

@@ -20,7 +20,8 @@
 //!   rendering (Sec. IV — the paper's contribution);
 //! * [`query`] — the trace query & slicing engine: predicate algebra,
 //!   filter expressions, zero-copy views, per-file/per-rank projection
-//!   (the Sec. III/V iterative-narrowing loop);
+//!   (the Sec. III/V iterative-narrowing loop), and zone-map predicate
+//!   pushdown into the store reader;
 //! * [`sim`] — the simulated cluster (JUWELS/GPFS substitute);
 //! * [`ior`] — the IOR workload model (Sec. V experiments).
 //!

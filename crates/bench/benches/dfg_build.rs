@@ -43,12 +43,16 @@ fn bench_dfg_construction(c: &mut Criterion) {
         let log = generate(&spec);
         let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
         group.throughput(Throughput::Elements(log.total_events() as u64));
-        group.bench_with_input(BenchmarkId::new("sequential", events), &mapped, |b, mapped| {
-            b.iter(|| Dfg::from_mapped(mapped).total_edge_observations())
-        });
-        group.bench_with_input(BenchmarkId::new("map_reduce4", events), &mapped, |b, mapped| {
-            b.iter(|| Dfg::par_from_mapped(mapped, 4).total_edge_observations())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("sequential", events),
+            &mapped,
+            |b, mapped| b.iter(|| Dfg::from_mapped(mapped).total_edge_observations()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("map_reduce4", events),
+            &mapped,
+            |b, mapped| b.iter(|| Dfg::par_from_mapped(mapped, 4).total_edge_observations()),
+        );
     }
     group.finish();
 }
@@ -56,7 +60,12 @@ fn bench_dfg_construction(c: &mut Criterion) {
 fn bench_activity_log(c: &mut Criterion) {
     let mut group = c.benchmark_group("dfg/activity_log_multiset");
     group.sample_size(15);
-    let spec = SynthSpec { cases: 64, events_per_case: 1_000, paths: 32, seed: 3 };
+    let spec = SynthSpec {
+        cases: 64,
+        events_per_case: 1_000,
+        paths: 32,
+        seed: 3,
+    };
     let log = generate(&spec);
     let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
     group.bench_function("from_mapped_64x1000", |b| {
@@ -65,5 +74,10 @@ fn bench_activity_log(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mapping, bench_dfg_construction, bench_activity_log);
+criterion_group!(
+    benches,
+    bench_mapping,
+    bench_dfg_construction,
+    bench_activity_log
+);
 criterion_main!(benches);

@@ -36,8 +36,7 @@ fn bench_parse_par(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(threads), &text, |b, text| {
             b.iter(|| {
                 let interner = Interner::new();
-                let parsed =
-                    st_strace::parse_par(std::hint::black_box(text), &interner, threads);
+                let parsed = st_strace::parse_par(std::hint::black_box(text), &interner, threads);
                 assert_eq!(parsed.events.len(), lines);
                 parsed.events.len()
             })
@@ -62,5 +61,10 @@ fn bench_single_record_shapes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_parse, bench_parse_par, bench_single_record_shapes);
+criterion_group!(
+    benches,
+    bench_parse,
+    bench_parse_par,
+    bench_single_record_shapes
+);
 criterion_main!(benches);

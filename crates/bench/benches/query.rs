@@ -15,7 +15,12 @@ use st_query::{group_by, parse_expr, scan, scan_par, GroupKey};
 fn bench_scan(c: &mut Criterion) {
     let mut group = c.benchmark_group("query/scan");
     group.sample_size(15);
-    let spec = SynthSpec { cases: 32, events_per_case: 200_000 / 32, paths: 64, seed: 9 };
+    let spec = SynthSpec {
+        cases: 32,
+        events_per_case: 200_000 / 32,
+        paths: 64,
+        seed: 9,
+    };
     let log = generate(&spec);
     group.throughput(Throughput::Elements(log.total_events() as u64));
     for (name, expr) in [
@@ -29,16 +34,23 @@ fn bench_scan(c: &mut Criterion) {
         });
     }
     let pass_all = parse_expr("path~\"*\"").unwrap();
-    group.bench_with_input(BenchmarkId::from_parameter("pass_all_par4"), &pass_all, |b, pred| {
-        b.iter(|| scan_par(&log, pred, 4).event_count())
-    });
+    group.bench_with_input(
+        BenchmarkId::from_parameter("pass_all_par4"),
+        &pass_all,
+        |b, pred| b.iter(|| scan_par(&log, pred, 4).event_count()),
+    );
     group.finish();
 }
 
 fn bench_group_and_project(c: &mut Criterion) {
     let mut group = c.benchmark_group("query/project");
     group.sample_size(15);
-    let spec = SynthSpec { cases: 32, events_per_case: 100_000 / 32, paths: 64, seed: 10 };
+    let spec = SynthSpec {
+        cases: 32,
+        events_per_case: 100_000 / 32,
+        paths: 64,
+        seed: 10,
+    };
     let log = generate(&spec);
     let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
     let view = scan(&log, &parse_expr("true").unwrap());

@@ -15,7 +15,11 @@ use std::sync::Arc;
 fn dense_log(m: usize) -> EventLog {
     let mut log = EventLog::with_new_interner();
     let interner = Arc::clone(log.interner());
-    let meta = CaseMeta { cid: interner.intern("dense"), host: interner.intern("h"), rid: 0 };
+    let meta = CaseMeta {
+        cid: interner.intern("dense"),
+        host: interner.intern("h"),
+        rid: 0,
+    };
     let paths: Vec<_> = (0..m)
         .map(|i| interner.intern(&format!("/d{i}/f")))
         .collect();
@@ -47,17 +51,21 @@ fn bench_render_dense(c: &mut Criterion) {
         let dfg = Dfg::from_mapped(&mapped);
         let stats = IoStatistics::compute(&mapped);
         assert!(dfg.edges().count() >= m * m, "graph must be dense");
-        group.bench_with_input(BenchmarkId::from_parameter(m), &(dfg, stats), |b, (dfg, stats)| {
-            b.iter(|| {
-                render_dot(
-                    dfg,
-                    Some(stats),
-                    &StatisticsColoring::by_load(stats),
-                    &RenderOptions::default(),
-                )
-                .len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(m),
+            &(dfg, stats),
+            |b, (dfg, stats)| {
+                b.iter(|| {
+                    render_dot(
+                        dfg,
+                        Some(stats),
+                        &StatisticsColoring::by_load(stats),
+                        &RenderOptions::default(),
+                    )
+                    .len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -12,7 +12,12 @@ fn bench_store(c: &mut Criterion) {
     let mut group = c.benchmark_group("store");
     group.sample_size(15);
     for events in [10_000usize, 100_000] {
-        let spec = SynthSpec { cases: 32, events_per_case: events / 32, paths: 64, seed: 9 };
+        let spec = SynthSpec {
+            cases: 32,
+            events_per_case: events / 32,
+            paths: 64,
+            seed: 9,
+        };
         let log = generate(&spec);
         group.throughput(Throughput::Elements(events as u64));
         group.bench_with_input(BenchmarkId::new("serialize", events), &log, |b, log| {
@@ -24,15 +29,19 @@ fn bench_store(c: &mut Criterion) {
             b.iter(|| st_store::to_bytes_v1(log).unwrap().len())
         });
         let bytes = st_store::to_bytes(&log).unwrap();
-        group.bench_with_input(BenchmarkId::new("deserialize", events), &bytes, |b, bytes| {
-            b.iter(|| {
-                StoreReader::from_bytes(bytes.clone())
-                    .unwrap()
-                    .read()
-                    .unwrap()
-                    .total_events()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("deserialize", events),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    StoreReader::from_bytes(bytes.clone())
+                        .unwrap()
+                        .read()
+                        .unwrap()
+                        .total_events()
+                })
+            },
+        );
         group.bench_with_input(
             BenchmarkId::new("filtered_read", events),
             &bytes,

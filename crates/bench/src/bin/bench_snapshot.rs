@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use st_bench::synth::{generate, generate_strace_text, SynthSpec};
 use st_core::prelude::*;
 use st_model::{Interner, Micros};
-use st_query::pushdown::{read_pruned, ColumnSet};
+use st_query::pushdown::{read_pruned, read_pruned_par, ColumnSet};
 use st_query::{parse_expr, scan, scan_par, Predicate};
 use st_store::StoreReader;
 use st_strace::{parse_par, parse_reader, parse_str};
@@ -85,7 +85,9 @@ fn main() {
     };
     let thread_sweep = [2usize, 4, 8];
 
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
 
     // ---- parser: sequential baseline + thread sweep ------------------
     let text = generate_strace_text(parse_lines, 0xC0FFEE);
@@ -141,9 +143,8 @@ fn main() {
         MappedLog::new(&log, &CallTopDirs::new(2)).mapped_events()
     });
     let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
-    let (build_dt, edge_obs) = time_best(reps, || {
-        Dfg::from_mapped(&mapped).total_edge_observations()
-    });
+    let (build_dt, edge_obs) =
+        time_best(reps, || Dfg::from_mapped(&mapped).total_edge_observations());
     let (build4_dt, edge_obs4) = time_best(reps, || {
         Dfg::par_from_mapped(&mapped, 4).total_edge_observations()
     });
@@ -168,8 +169,7 @@ fn main() {
     assert_eq!(all_matched, n_events);
     let (scan_sel_dt, sel_matched) = time_best(reps, || scan(&log, &selective).event_count());
     assert!(sel_matched > 0 && sel_matched < n_events);
-    let (scan_par_dt, par_matched) =
-        time_best(reps, || scan_par(&log, &pass_all, 4).event_count());
+    let (scan_par_dt, par_matched) = time_best(reps, || scan_par(&log, &pass_all, 4).event_count());
     assert_eq!(par_matched, n_events);
     let scan_all_eps = n_events as f64 / scan_all_dt.as_secs_f64();
     let scan_sel_eps = n_events as f64 / scan_sel_dt.as_secs_f64();
@@ -200,7 +200,11 @@ fn main() {
     // Quick mode shrinks the log below one default block per case;
     // scale the block size down with it so pruning stays observable
     // (the JSON records the size used).
-    let pd_block_events = if quick { 512 } else { st_store::DEFAULT_BLOCK_EVENTS };
+    let pd_block_events = if quick {
+        512
+    } else {
+        st_store::DEFAULT_BLOCK_EVENTS
+    };
     let store_bytes =
         st_store::to_bytes_blocked(&pd_log, pd_block_events).expect("serialize store");
     let reader = StoreReader::from_bytes(store_bytes.clone()).expect("open store");
@@ -231,6 +235,12 @@ fn main() {
             read_pruned(&reader, &pred, ColumnSet::ALL).expect("pushdown read")
         });
         assert_eq!(pd_result.stats.events_matched as usize, full_matched);
+        // Parallel block decode (the surviving blocks fan out to the
+        // scoped-worker pool; single-core containers record ≈1×).
+        let (pd4_dt, pd4_result) = time_best(reps, || {
+            read_pruned_par(&reader, &pred, ColumnSet::ALL, 4).expect("parallel pushdown read")
+        });
+        assert_eq!(pd4_result.stats.events_matched as usize, full_matched);
         let s = &pd_result.stats;
         let speedup = full_dt.as_secs_f64() / pd_dt.as_secs_f64();
         let bytes_ratio = s.bytes_total as f64 / (s.bytes_decoded.max(1)) as f64;
@@ -244,11 +254,12 @@ fn main() {
             s.blocks_total,
         );
         pd_rows.push(format!(
-            "{{\"label\": \"{label}\", \"matched\": {full_matched}, \"full_scan_ns\": {}, \"full_scan_ns_per_event\": {:.3}, \"pushdown_ns\": {}, \"pushdown_ns_per_event\": {:.3}, \"speedup\": {speedup:.4}, \"bytes_total\": {}, \"bytes_decoded\": {}, \"bytes_reduction\": {bytes_ratio:.4}, \"blocks_total\": {}, \"blocks_pruned\": {}, \"blocks_accepted\": {}, \"cases_pruned\": {}}}",
+            "{{\"label\": \"{label}\", \"matched\": {full_matched}, \"full_scan_ns\": {}, \"full_scan_ns_per_event\": {:.3}, \"pushdown_ns\": {}, \"pushdown_ns_per_event\": {:.3}, \"pushdown_par4_ns\": {}, \"speedup\": {speedup:.4}, \"bytes_total\": {}, \"bytes_decoded\": {}, \"bytes_reduction\": {bytes_ratio:.4}, \"blocks_total\": {}, \"blocks_pruned\": {}, \"blocks_accepted\": {}, \"cases_pruned\": {}}}",
             full_dt.as_nanos(),
             full_dt.as_nanos() as f64 / pd_events as f64,
             pd_dt.as_nanos(),
             pd_dt.as_nanos() as f64 / pd_events as f64,
+            pd4_dt.as_nanos(),
             s.bytes_total,
             s.bytes_decoded,
             s.blocks_total,
@@ -258,8 +269,61 @@ fn main() {
         ));
     }
 
+    // ---- source layer: per-input-kind open/plan overhead -------------
+    // The session API adds a resolution + planning layer in front of
+    // every front-end; this section records what that layer costs per
+    // input kind (spec parse + capability probe as "open", the full
+    // route to a materialized session as "session") so the overhead
+    // stays visible across PRs. The store/dir fixtures reuse the
+    // pushdown log; `sim:ls` is the in-memory workload.
+    let src_dir = std::env::temp_dir().join(format!("st-bench-source-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&src_dir);
+    std::fs::create_dir_all(&src_dir).expect("bench temp dir");
+    let store_path = src_dir.join("fixture.stlog");
+    std::fs::write(&store_path, &store_bytes).expect("write store fixture");
+    let v1_path = src_dir.join("fixture-v1.stlog");
+    std::fs::write(
+        &v1_path,
+        st_store::to_bytes_v1(&pd_log).expect("serialize v1"),
+    )
+    .expect("write v1 fixture");
+    let trace_dir = src_dir.join("traces");
+    let trace_log = st_bench::experiments::ls_experiment().cx;
+    st_strace::write_log_to_dir(&trace_log, &trace_dir, &st_strace::WriteOptions::default())
+        .expect("emit trace fixture");
+    let mut source_rows = Vec::new();
+    for (kind, spec) in [
+        ("store-v2", store_path.display().to_string()),
+        ("store-v1", v1_path.display().to_string()),
+        ("strace-dir", trace_dir.display().to_string()),
+        ("sim", "sim:ls".to_string()),
+    ] {
+        let (open_dt, source) = time_best(reps.max(5), || {
+            spec.parse::<st_source::TraceSource>().expect("open source")
+        });
+        let (session_dt, matched) = time_best(reps, || {
+            st_source::Inspector::from_source(source.clone())
+                .session()
+                .expect("materialize session")
+                .events_matched()
+        });
+        assert!(matched > 0);
+        eprintln!(
+            "source {kind}: open {:.1} µs, session {:.2} ms ({matched} events)",
+            open_dt.as_nanos() as f64 / 1e3,
+            session_dt.as_nanos() as f64 / 1e6,
+        );
+        source_rows.push(format!(
+            "{{\"kind\": \"{kind}\", \"open_ns\": {}, \"session_ns\": {}, \"events\": {matched}, \"supports_pushdown\": {}}}",
+            open_dt.as_nanos(),
+            session_dt.as_nanos(),
+            source.supports_pushdown(),
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&src_dir);
+
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }}\n}}\n",
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
         seq_dt.as_nanos(),
         reader_dt.as_nanos(),
         sweep_rows.join(",\n      "),
@@ -272,6 +336,7 @@ fn main() {
         store_bytes.len(),
         pd_block_events,
         pd_rows.join(",\n      "),
+        source_rows.join(",\n    "),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");
     println!("wrote {out_path}");

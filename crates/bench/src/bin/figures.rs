@@ -83,7 +83,10 @@ fn fig2(out: &Path) {
     let body = std::fs::read_to_string(&paths[0]).unwrap();
     let head: String = body.lines().take(9).collect::<Vec<_>>().join("\n");
     println!("{head}");
-    println!("  paper Fig. 2a: 8 read/write records per ls rank; measured: {} records", body.lines().count() - 1);
+    println!(
+        "  paper Fig. 2a: 8 read/write records per ls rank; measured: {} records",
+        body.lines().count() - 1
+    );
 }
 
 /// Fig. 3: DFGs of C_a, C_b, C_x with Load/DR stats and partition
@@ -115,7 +118,10 @@ fn fig3(out: &Path) {
             .with_styler(StatisticsColoring::by_load(&stats))
             .render_dot(),
     );
-    let opts_ranks = st_core::render::RenderOptions { show_ranks: true, ..Default::default() };
+    let opts_ranks = st_core::render::RenderOptions {
+        show_ranks: true,
+        ..Default::default()
+    };
     save(
         &out.join("fig3c.dot"),
         &st_core::render::render_dot(
@@ -134,7 +140,11 @@ fn fig3(out: &Path) {
             .render_dot(),
     );
     let mut txt = String::new();
-    let _ = writeln!(txt, "G[L(Cx)] summary:\n{}", render_summary(&dfg_x, Some(&stats)));
+    let _ = writeln!(
+        txt,
+        "G[L(Cx)] summary:\n{}",
+        render_summary(&dfg_x, Some(&stats))
+    );
     save(&out.join("fig3.txt"), &txt);
 
     // Paper-vs-measured rows (bytes match exactly; Load/DR are timing-
@@ -240,7 +250,11 @@ fn fig8(out: &Path, scale: Scale, filtered: bool) {
     header(&format!(
         "{which} — IOR SSF vs FPP ({} ranks){}",
         scale.config().total_ranks(),
-        if filtered { ", events under $SCRATCH only" } else { "" }
+        if filtered {
+            ", events under $SCRATCH only"
+        } else {
+            ""
+        }
     ));
     let config = scale.config();
     let full = ior_ssf_fpp(scale);
@@ -303,7 +317,9 @@ fn fig8(out: &Path, scale: Scale, filtered: bool) {
         assert!(load("openat:$SCRATCH/ssf") > 5.0 * load("openat:$SCRATCH/fpp"));
         assert!(load("write:$SCRATCH/ssf") > 3.0 * load("write:$SCRATCH/fpp"));
         assert!(rate("write:$SCRATCH/fpp") > rate("write:$SCRATCH/ssf"));
-        println!("    shape checks passed: SSF openat/write load >> FPP; FPP write DR > SSF write DR");
+        println!(
+            "    shape checks passed: SSF openat/write load >> FPP; FPP write DR > SSF write DR"
+        );
     } else {
         println!("  paper: openat/write under $SCRATCH carry the load (0.55/0.43); startup activities ($SOFTWARE, $HOME, Node Local) ~0.00");
     }
@@ -319,12 +335,14 @@ fn fig9(out: &Path, scale: Scale) {
     let log = ior_mpiio(scale);
     // The paper skips rendering openat in Fig. 9.
     let site = site_mapping(&config, 0);
-    let mapping = FnMapping(move |ctx: &MapCtx<'_>, meta: &st_model::CaseMeta, e: &st_model::Event| {
-        if matches!(e.call, Syscall::Openat | Syscall::Open) {
-            return None;
-        }
-        site.activity_name(ctx, meta, e)
-    });
+    let mapping = FnMapping(
+        move |ctx: &MapCtx<'_>, meta: &st_model::CaseMeta, e: &st_model::Event| {
+            if matches!(e.call, Syscall::Openat | Syscall::Open) {
+                return None;
+            }
+            site.activity_name(ctx, meta, e)
+        },
+    );
     let (green_log, red_log) = log.partition_by_cid("g");
     let mapped = MappedLog::new(&log, &mapping);
     let stats = IoStatistics::compute(&mapped);
@@ -363,8 +381,14 @@ fn fig9(out: &Path, scale: Scale) {
         let measured_color = classify(node);
         let measured = stats
             .get_by_name(node)
-            .map(|s| format!("Load {:.2}, DR {}x{}", s.rel_dur, s.max_concurrency_exact,
-                st_model::units::format_rate_mbs(s.mean_rate_bps)))
+            .map(|s| {
+                format!(
+                    "Load {:.2}, DR {}x{}",
+                    s.rel_dur,
+                    s.max_concurrency_exact,
+                    st_model::units::format_rate_mbs(s.mean_rate_bps)
+                )
+            })
             .unwrap_or_else(|| "ABSENT".to_string());
         println!(
             "    {node:<20} paper[{paper_color}; {paper_stats}] measured[{measured_color}; {measured}]"
@@ -372,8 +396,10 @@ fn fig9(out: &Path, scale: Scale) {
         assert_eq!(measured_color, paper_color, "partition mismatch on {node}");
     }
     let load = |n: &str| stats.get_by_name(n).map(|s| s.rel_dur).unwrap_or(0.0);
-    assert!(load("write:$SCRATCH") > load("pwrite64:$SCRATCH"),
-        "POSIX write load must exceed MPI-IO pwrite64 load");
+    assert!(
+        load("write:$SCRATCH") > load("pwrite64:$SCRATCH"),
+        "POSIX write load must exceed MPI-IO pwrite64 load"
+    );
     let lseeks = dfg.occurrences(dfg.node_by_name("lseek:$SCRATCH").expect("lseek node"));
     println!(
         "    lseek:$SCRATCH occurrences (POSIX only): {lseeks}; MPI-IO run issues none — \"the number of lseek calls preceding file accesses is significantly lower\" (Sec. V-B)"

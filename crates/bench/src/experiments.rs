@@ -1,8 +1,8 @@
 //! Experiment presets matching the paper's evaluation setups.
 
 use st_core::prelude::*;
-use st_ior::{run_ior, Api, IorOptions};
 use st_ior::workload::StartupProfile;
+use st_ior::{run_ior, Api, IorOptions};
 use st_model::{EventLog, Syscall};
 use st_sim::{SimConfig, Simulation, TraceFilter};
 
@@ -53,7 +53,12 @@ pub fn ls_experiment() -> LsExperiment {
         base_rid: 9115,
         ..SimConfig::small(3)
     });
-    sim_b.run("b", vec![st_sim::workloads::ls_l_ops(); 3], &filter, &mut cx);
+    sim_b.run(
+        "b",
+        vec![st_sim::workloads::ls_l_ops(); 3],
+        &filter,
+        &mut cx,
+    );
     let (ca, cb) = cx.partition_by_cid("a");
     LsExperiment { cx, ca, cb }
 }

@@ -42,7 +42,12 @@ pub fn generate(spec: &SynthSpec) -> EventLog {
     let path_syms: Vec<_> = (0..spec.paths)
         .map(|p| interner.intern(&format!("/dir{}/sub{}/file{p}", p % 11, p % 7)))
         .collect();
-    let calls = [Syscall::Read, Syscall::Write, Syscall::Openat, Syscall::Lseek];
+    let calls = [
+        Syscall::Read,
+        Syscall::Write,
+        Syscall::Openat,
+        Syscall::Lseek,
+    ];
     for c in 0..spec.cases {
         let mut rng = SmallRng::seed_from_u64(spec.seed ^ (c as u64).wrapping_mul(0x9E37_79B9));
         let meta = CaseMeta {
@@ -101,7 +106,12 @@ mod tests {
 
     #[test]
     fn generates_requested_shape() {
-        let spec = SynthSpec { cases: 4, events_per_case: 100, paths: 10, seed: 1 };
+        let spec = SynthSpec {
+            cases: 4,
+            events_per_case: 100,
+            paths: 10,
+            seed: 1,
+        };
         let log = generate(&spec);
         assert_eq!(log.case_count(), 4);
         assert_eq!(log.total_events(), 400);
@@ -123,6 +133,10 @@ mod tests {
         let interner = st_model::Interner::new();
         let parsed = st_strace::parse_str(&text, &interner);
         assert_eq!(parsed.events.len(), 500);
-        assert!(parsed.warnings.is_empty(), "{:?}", &parsed.warnings[..3.min(parsed.warnings.len())]);
+        assert!(
+            parsed.warnings.is_empty(),
+            "{:?}",
+            &parsed.warnings[..3.min(parsed.warnings.len())]
+        );
     }
 }

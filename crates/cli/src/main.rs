@@ -1,35 +1,40 @@
 //! `stinspect` — command-line front end for the DFG synthesis pipeline.
 //!
 //! ```text
-//! stinspect parse <trace-dir> -o <log.stlog> [--sequential] [--strict-names]
+//! stinspect parse <input> -o <log.stlog> [--sequential] [--strict-names]
 //!               [--threads N] [--streaming]
-//! stinspect dfg <log.stlog> [--filter SUBSTR] [--map MAP] [--color MODE]
-//!               [--ranks] [-o out.dot] [--summary]
-//! stinspect stats <log.stlog> [--filter SUBSTR] [--map MAP]
-//! stinspect timeline <log.stlog> <activity> [--map MAP] [--width N]
+//! stinspect dfg <input> [--filter EXPR] [--map MAP] [--color MODE]
+//!               [--ranks] [-o out.dot] [--summary] [--no-pushdown]
+//! stinspect stats <input> [--filter EXPR] [--map MAP] [--csv] [--no-pushdown]
+//! stinspect timeline <input> <activity> [--filter EXPR] [--map MAP] [--width N]
+//!               [--no-pushdown]
 //! stinspect simulate <ls|ior-ssf-fpp|ior-mpiio|ssf|fpp> --out <dir> [--paper] [--emit-strace]
-//! stinspect diff <a> <b> [--cid-a CID] [--cid-b CID] [--map MAP] [--filter SUBSTR]
-//!               [-o out.dot] [--dot]
+//! stinspect diff <a> <b> [--cid-a CID] [--cid-b CID] [--map MAP] [--filter EXPR]
+//!               [-o out.dot] [--dot] [--no-pushdown]
 //! stinspect query <input> [--filter EXPR] [--group-by file|pid|cid|host]
 //!               [--emit dfg|stats|events|store] [--map MAP] [--threads N]
 //!               [--no-pushdown] [-o PATH]
 //! ```
 //!
-//! `diff` and `query` inputs are any of: an `st-store` container file, a
-//! directory of strace files (loaded through the normal loader), or a
-//! simulate spec `sim:<workload>[:paper]` (the workloads `simulate`
-//! accepts, generated in memory).
+//! Every `<input>` is resolved by the same `st_source::TraceSource`
+//! layer: an `st-store` container file (v1 or v2), a directory of
+//! strace files, a single strace file, or a simulate spec
+//! `sim:<workload>[:paper]` (the workloads `simulate` accepts,
+//! generated in memory).
 //!
-//! `EXPR` is the `st-query` filter syntax, e.g. `pid=42 path~"*.h5"
-//! t=[1.2s,3s) ok=false` or `class=write and size>=1m` — see
-//! DESIGN.md §7 for the grammar. On STLOG v2 store inputs the filter is
-//! pushed down into the reader (zone-mapped blocks that cannot match
-//! are never decoded; a `pushdown:` summary line reports what was
-//! skipped); `--no-pushdown` forces the full-load scan path. Time windows with unit suffixes are
-//! offsets from the log's first event (`t=[0s,2s)` = the first two
-//! seconds of the run); `HH:MM:SS[.ffffff]` endpoints are absolute
-//! times of day. `--group-by` explodes the slice into per-file /
-//! per-pid / per-cid / per-host DFG families.
+//! `EXPR` is the `st-query` filter syntax on **every** subcommand, e.g.
+//! `pid=42 path~"*.h5" t=[1.2s,3s) ok=false` or `class=write and
+//! size>=1m` — see DESIGN.md §7 for the grammar (the old path-substring
+//! `--filter` spelling is `path~"*needle*"` now). On STLOG v2 store
+//! inputs the filter is pushed down into the reader by the session
+//! planner (zone-mapped blocks that cannot match are never decoded; a
+//! `pushdown:` summary line reports what was skipped) — on every
+//! subcommand, not just `query`; `--no-pushdown` forces the full-load
+//! scan path, which returns identical results. Time windows with unit
+//! suffixes are offsets from the log's first event (`t=[0s,2s)` = the
+//! first two seconds of the run); `HH:MM:SS[.ffffff]` endpoints are
+//! absolute times of day. `--group-by` explodes the slice into
+//! per-file / per-pid / per-cid / per-host DFG families.
 //!
 //! `MAP` is one of `topdirs[:K]` (Eq. 4, default K=2), `suffix:PREFIX`
 //! (Fig. 4 naming), `site` (the experiments' `$SCRATCH`/`$SOFTWARE`
@@ -37,16 +42,13 @@
 //! `MODE` is `load` (default), `bytes`, or `partition:CID` (green = the
 //! given command id, red = everything else).
 
-use std::path::{Path, PathBuf};
+use std::path::PathBuf;
 use std::process::ExitCode;
-use std::sync::Arc;
 
-use st_core::mapping::MapCtx;
 use st_core::prelude::*;
-use st_model::{CaseMeta, Event, EventLog, Interner, Syscall};
-use st_sim::{SimConfig, Simulation, TraceFilter};
-use st_store::{write_store, StoreReader};
-use st_strace::{load_dir, LoadOptions};
+use st_model::Syscall;
+use st_source::{Inspector, Session};
+use st_store::{write_store, ColumnSet};
 
 /// Writes to stdout, exiting quietly when the consumer closed the pipe
 /// (`stinspect ... | head`).
@@ -91,31 +93,30 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 stinspect — inspection of I/O operations from system call traces (DFG synthesis)
 
+every <input> is a store file | strace dir | strace file | sim:<workload>[:paper];
+EXPR is the st-query filter syntax, e.g. pid=42 path~\"*.h5\" t=[1.2s,3s) ok=false
+(v2 store inputs push the filter into the reader; --no-pushdown forces a full scan)
+
 commands:
-  parse <trace-dir> -o <log.stlog>   parse strace files into a container
+  parse <input> -o <log.stlog>       ingest any input into a container
       [--sequential] [--strict-names] [--threads N] [--streaming]
-  dfg <log.stlog>                    synthesize and render the DFG
-      [--filter SUBSTR] [--map topdirs[:K]|suffix:PREFIX|site|call]
+  dfg <input>                        synthesize and render the DFG
+      [--filter EXPR] [--map topdirs[:K]|suffix:PREFIX|site|call]
       [--color load|bytes|partition:CID] [--ranks] [--min-edge N]
-      [-o out.dot] [--summary]
-  stats <log.stlog>                  print per-activity statistics
-      [--filter SUBSTR] [--map MAP] [--csv]
-  timeline <log.stlog> <activity>    per-case interval plot (Fig. 5)
-      [--map MAP] [--width N]
+      [-o out.dot] [--summary] [--no-pushdown]
+  stats <input>                      print per-activity statistics
+      [--filter EXPR] [--map MAP] [--csv] [--no-pushdown]
+  timeline <input> <activity>        per-case interval plot (Fig. 5)
+      [--map MAP] [--width N] [--filter EXPR] [--no-pushdown]
   simulate <ls|ior-ssf-fpp|ior-mpiio|ssf|fpp> --out <dir>
       [--paper] [--emit-strace]      generate a workload's event log
   diff <a> <b>                       compare two runs' DFGs
-      [--cid-a CID] [--cid-b CID] [--map MAP] [--filter SUBSTR]
-      [-o out.dot] [--dot] [--no-stats]
-      <a>/<b>: store file | strace dir | sim:<workload>[:paper]
+      [--cid-a CID] [--cid-b CID] [--map MAP] [--filter EXPR]
+      [-o out.dot] [--dot] [--no-stats] [--no-pushdown]
   query <input>                      filter, slice and project the log
       [--filter EXPR] [--group-by file|pid|cid|host]
       [--emit dfg|stats|events|store] [--map MAP] [--threads N]
-      [--no-pushdown] [-o PATH]
-      EXPR e.g.: pid=42 path~\"*.h5\" t=[1.2s,3s) ok=false
-      <input>: store file | strace dir | sim:<workload>[:paper]
-      v2 store inputs push the filter into the reader (zone-map block
-      pruning); --no-pushdown forces the full-load scan";
+      [--no-pushdown] [-o PATH]";
 
 /// Simple flag cursor over the argument list.
 struct Args<'a> {
@@ -135,7 +136,8 @@ impl<'a> Args<'a> {
     }
 
     fn value(&mut self, flag: &str) -> Result<&'a str, String> {
-        self.next().ok_or_else(|| format!("{flag} requires a value"))
+        self.next()
+            .ok_or_else(|| format!("{flag} requires a value"))
     }
 }
 
@@ -190,11 +192,68 @@ impl MapChoice {
     }
 }
 
+/// The event columns the mapping/DFG/statistics/timeline projections
+/// read: everything except `requested`/`offset`, which only full-
+/// fidelity store copies need.
+fn analysis_columns() -> ColumnSet {
+    ColumnSet::ALL.without(ColumnSet::REQUESTED | ColumnSet::OFFSET)
+}
+
+/// Opens `input` through the session layer with the shared CLI wiring:
+/// an optional `--filter` expression, a mapping, the pushdown toggle
+/// and a column budget. Prints the session's structured warnings to
+/// stderr (the channel's CLI rendering).
+fn open_session(
+    input: &str,
+    filter: Option<&str>,
+    map: &MapChoice,
+    no_pushdown: bool,
+    columns: ColumnSet,
+) -> Result<Session, String> {
+    let mut inspector = Inspector::open(input)
+        .map_err(|e| e.to_string())?
+        .map_boxed(map.build())
+        .pushdown(!no_pushdown)
+        .columns(columns);
+    if let Some(expr) = filter {
+        inspector = inspector
+            .filter_expr(expr)
+            .map_err(|e| format!("--filter: {e}"))?;
+    }
+    let session = inspector.session().map_err(|e| e.to_string())?;
+    for warning in session.warnings() {
+        eprintln!("warning: {warning}");
+    }
+    Ok(session)
+}
+
+/// Prints the pruning summary when the session took the pushdown
+/// route. `prefix` attributes the line when several inputs report
+/// (e.g. `"A: "`/`"B: "` for the two sides of a diff).
+fn report_pushdown(session: &Session, prefix: &str) {
+    if let Some(s) = session.pushdown() {
+        eprintln!(
+            "{prefix}pushdown: pruned {}/{} blocks ({} of {} cases whole), decoded {} of {} bytes ({:.1}%)",
+            s.blocks_pruned,
+            s.blocks_total,
+            s.cases_pruned,
+            s.cases_total,
+            s.bytes_decoded,
+            s.bytes_total,
+            if s.bytes_total == 0 {
+                100.0
+            } else {
+                100.0 * s.bytes_decoded as f64 / s.bytes_total as f64
+            }
+        );
+    }
+}
+
 fn cmd_parse(tokens: &[String]) -> Result<(), String> {
     let mut args = Args::new(tokens);
-    let mut dir: Option<PathBuf> = None;
+    let mut input: Option<String> = None;
     let mut out: Option<PathBuf> = None;
-    let mut opts = LoadOptions::default();
+    let mut opts = st_strace::LoadOptions::default();
     let mut explicit_threads = false;
     while let Some(tok) = args.next() {
         match tok {
@@ -210,7 +269,7 @@ fn cmd_parse(tokens: &[String]) -> Result<(), String> {
                     .map_err(|_| "bad --threads".to_string())?
             }
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
-            path => dir = Some(PathBuf::from(path)),
+            spec => input = Some(spec.to_string()),
         }
     }
     // Contradictory worker budgets are rejected up front instead of
@@ -235,33 +294,33 @@ fn cmd_parse(tokens: &[String]) -> Result<(), String> {
                 .to_string(),
         );
     }
-    let dir = dir.ok_or("parse: missing <trace-dir>")?;
+    let input = input.ok_or("parse: missing <input>")?;
     let out = out.ok_or("parse: missing -o <log.stlog>")?;
-    let interner = Interner::new_shared();
-    let result = load_dir(&dir, Arc::clone(&interner), &opts).map_err(|e| e.to_string())?;
-    for (file, warning) in &result.warnings {
-        eprintln!("warning: {}: {warning}", file.display());
+    // Loader flags (--sequential/--streaming/--strict-names/--threads)
+    // on a store or sim: input are rejected by the session layer —
+    // they shape strace text loading and would be silently inert
+    // anywhere else.
+    let session = Inspector::open(&input)
+        .map_err(|e| e.to_string())?
+        .load_options(opts)
+        .session()
+        .map_err(|e| e.to_string())?;
+    for warning in session.warnings() {
+        eprintln!("warning: {warning}");
     }
-    write_store(&result.log, &out).map_err(|e| e.to_string())?;
+    let log = session.into_log();
+    write_store(&log, &out).map_err(|e| e.to_string())?;
     println!(
         "parsed {} cases / {} events into {}",
-        result.log.case_count(),
-        result.log.total_events(),
+        log.case_count(),
+        log.total_events(),
         out.display()
     );
     Ok(())
 }
 
-fn open_log(path: &Path, filter: Option<&str>) -> Result<EventLog, String> {
-    let reader = StoreReader::open(path).map_err(|e| e.to_string())?;
-    match filter {
-        Some(needle) => reader.read_filtered(needle).map_err(|e| e.to_string()),
-        None => reader.read().map_err(|e| e.to_string()),
-    }
-}
-
 struct DfgArgs {
-    store: PathBuf,
+    input: String,
     filter: Option<String>,
     map: MapChoice,
     color: String,
@@ -269,6 +328,7 @@ struct DfgArgs {
     out: Option<PathBuf>,
     summary: bool,
     csv: bool,
+    no_pushdown: bool,
     min_edge: u64,
     width: usize,
     activity: Option<String>,
@@ -277,7 +337,7 @@ struct DfgArgs {
 fn parse_dfg_args(tokens: &[String], positional: usize) -> Result<DfgArgs, String> {
     let mut args = Args::new(tokens);
     let mut parsed = DfgArgs {
-        store: PathBuf::new(),
+        input: String::new(),
         filter: None,
         map: MapChoice::TopDirs(2),
         color: "load".to_string(),
@@ -285,6 +345,7 @@ fn parse_dfg_args(tokens: &[String], positional: usize) -> Result<DfgArgs, Strin
         out: None,
         summary: false,
         csv: false,
+        no_pushdown: false,
         min_edge: 0,
         width: 72,
         activity: None,
@@ -298,6 +359,7 @@ fn parse_dfg_args(tokens: &[String], positional: usize) -> Result<DfgArgs, Strin
             "--ranks" => parsed.ranks = true,
             "--summary" => parsed.summary = true,
             "--csv" => parsed.csv = true,
+            "--no-pushdown" => parsed.no_pushdown = true,
             "--min-edge" => {
                 parsed.min_edge = args
                     .value("--min-edge")?
@@ -318,18 +380,30 @@ fn parse_dfg_args(tokens: &[String], positional: usize) -> Result<DfgArgs, Strin
     if positionals.len() != positional {
         return Err(format!("expected {positional} positional argument(s)"));
     }
-    parsed.store = PathBuf::from(&positionals[0]);
+    parsed.input = positionals[0].clone();
     if positional > 1 {
         parsed.activity = Some(positionals[1].clone());
     }
     Ok(parsed)
 }
 
+/// Opens the session a `dfg`/`stats`/`timeline` invocation describes.
+fn open_dfg_session(parsed: &DfgArgs) -> Result<Session, String> {
+    let session = open_session(
+        &parsed.input,
+        parsed.filter.as_deref(),
+        &parsed.map,
+        parsed.no_pushdown,
+        analysis_columns(),
+    )?;
+    report_pushdown(&session, "");
+    Ok(session)
+}
+
 fn cmd_dfg(tokens: &[String]) -> Result<(), String> {
     let parsed = parse_dfg_args(tokens, 1)?;
-    let log = open_log(&parsed.store, parsed.filter.as_deref())?;
-    let mapping = parsed.map.build();
-    let mapped = MappedLog::new(&log, mapping.as_ref());
+    let session = open_dfg_session(&parsed)?;
+    let mapped = session.mapped();
     let mut dfg = Dfg::from_mapped(&mapped);
     if parsed.min_edge > 1 {
         dfg = dfg.filter_edges(parsed.min_edge);
@@ -357,12 +431,12 @@ fn cmd_dfg(tokens: &[String]) -> Result<(), String> {
             let Some(cid) = other.strip_prefix("partition:") else {
                 return Err(format!("unknown color mode {other:?}"));
             };
-            let (green_log, red_log) = log.partition_by_cid(cid);
+            let (green_log, red_log) = session.log().partition_by_cid(cid);
             if green_log.is_empty() {
                 return Err(format!("no cases with cid {cid:?} for partition coloring"));
             }
-            let dfg_g = Dfg::from_mapped(&MappedLog::new(&green_log, mapping.as_ref()));
-            let dfg_r = Dfg::from_mapped(&MappedLog::new(&red_log, mapping.as_ref()));
+            let dfg_g = Dfg::from_mapped(&MappedLog::new(&green_log, session.mapping()));
+            let dfg_r = Dfg::from_mapped(&MappedLog::new(&red_log, session.mapping()));
             st_core::render::render_dot(
                 &dfg,
                 Some(&stats),
@@ -388,9 +462,9 @@ fn cmd_dfg(tokens: &[String]) -> Result<(), String> {
 
 fn cmd_stats(tokens: &[String]) -> Result<(), String> {
     let parsed = parse_dfg_args(tokens, 1)?;
-    let log = open_log(&parsed.store, parsed.filter.as_deref())?;
-    let mapping = parsed.map.build();
-    let mapped = MappedLog::new(&log, mapping.as_ref());
+    let session = open_dfg_session(&parsed)?;
+    let log = session.log();
+    let mapped = session.mapped();
     let dfg = Dfg::from_mapped(&mapped);
     let stats = IoStatistics::compute(&mapped);
     if parsed.csv {
@@ -420,42 +494,12 @@ fn cmd_stats(tokens: &[String]) -> Result<(), String> {
 fn cmd_timeline(tokens: &[String]) -> Result<(), String> {
     let parsed = parse_dfg_args(tokens, 2)?;
     let activity = parsed.activity.as_deref().expect("two positionals");
-    let log = open_log(&parsed.store, parsed.filter.as_deref())?;
-    let mapping = parsed.map.build();
-    let mapped = MappedLog::new(&log, mapping.as_ref());
+    let session = open_dfg_session(&parsed)?;
+    let mapped = session.mapped();
     let timeline = Timeline::for_activity(&mapped, activity)
         .ok_or_else(|| format!("no events map to activity {activity:?}"))?;
     emit(&timeline.render_ascii(parsed.width));
     Ok(())
-}
-
-/// Resolves one `diff`/`query` input: a `sim:<workload>[:paper]` spec,
-/// a directory of strace files, or an `st-store` container file. Store
-/// files apply `filter` at read time (like the other subcommands);
-/// simulated and freshly parsed logs filter after materialization.
-fn load_input(spec: &str, filter: Option<&str>) -> Result<EventLog, String> {
-    let narrow = |log: EventLog| match filter {
-        Some(needle) => log.filter_path_contains(needle),
-        None => log,
-    };
-    if let Some(rest) = spec.strip_prefix("sim:") {
-        let (name, paper) = match rest.strip_suffix(":paper") {
-            Some(name) => (name, true),
-            None => (rest, false),
-        };
-        return build_workload_log(name, paper).map(narrow);
-    }
-    let path = Path::new(spec);
-    if path.is_dir() {
-        let interner = Interner::new_shared();
-        let result = load_dir(path, Arc::clone(&interner), &LoadOptions::default())
-            .map_err(|e| format!("{spec}: {e}"))?;
-        for (file, warning) in &result.warnings {
-            eprintln!("warning: {}: {warning}", file.display());
-        }
-        return Ok(narrow(result.log));
-    }
-    open_log(path, filter).map_err(|e| format!("{spec}: {e}"))
 }
 
 fn cmd_diff(tokens: &[String]) -> Result<(), String> {
@@ -468,6 +512,7 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
     let mut out: Option<PathBuf> = None;
     let mut dot_stdout = false;
     let mut with_stats = true;
+    let mut no_pushdown = false;
     while let Some(tok) = args.next() {
         match tok {
             "--cid-a" => cid_a = Some(args.value("--cid-a")?.to_string()),
@@ -477,6 +522,7 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
             "-o" => out = Some(PathBuf::from(args.value("-o")?)),
             "--dot" => dot_stdout = true,
             "--no-stats" => with_stats = false,
+            "--no-pushdown" => no_pushdown = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag {flag}")),
             input => inputs.push(input.to_string()),
         }
@@ -485,23 +531,31 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
         return Err("diff: expected exactly two inputs <a> <b>".to_string());
     };
 
-    // Load both sides, then narrow each to its cid subset if requested
-    // (e.g. `--cid-a s --cid-b f` splits one ior-ssf-fpp log into the
-    // SSF and FPP runs).
-    let select = |log: EventLog, cid: &Option<String>, side: &str| -> Result<EventLog, String> {
-        let Some(cid) = cid else { return Ok(log) };
-        let (selected, _rest) = log.partition_by_cid(cid);
-        if selected.is_empty() {
-            return Err(format!("no cases with cid {cid:?} in input {side}"));
+    // Load both sides through the session layer (each side plans its
+    // own route — two v2 stores both get pushdown), then narrow each
+    // to its cid subset if requested (e.g. `--cid-a s --cid-b f`
+    // splits one ior-ssf-fpp log into the SSF and FPP runs).
+    let load_side = |input: &str, cid: &Option<String>, side: &str| -> Result<Session, String> {
+        let mut session = open_session(
+            input,
+            filter.as_deref(),
+            &map,
+            no_pushdown,
+            analysis_columns(),
+        )?;
+        report_pushdown(&session, &format!("{side}: "));
+        if let Some(cid) = cid {
+            session = session.select_cid(cid, side).map_err(|e| e.to_string())?;
         }
-        Ok(selected)
+        Ok(session)
     };
-    let log_a = select(load_input(input_a, filter.as_deref())?, &cid_a, "A")?;
-    let log_b = select(load_input(input_b, filter.as_deref())?, &cid_b, "B")?;
+    let session_a = load_side(input_a, &cid_a, "A")?;
+    let session_b = load_side(input_b, &cid_b, "B")?;
 
-    let mapping = map.build();
-    let mapped_a = MappedLog::new(&log_a, mapping.as_ref());
-    let mapped_b = MappedLog::new(&log_b, mapping.as_ref());
+    // One mapping pass per side serves both the DFG and the statistics
+    // layer (the sessions carry the `--map` choice).
+    let mapped_a = session_a.mapped();
+    let mapped_b = session_b.mapped();
     let dfg_a = Dfg::from_mapped(&mapped_a);
     let dfg_b = Dfg::from_mapped(&mapped_b);
     let diff = st_core::diff::diff(&dfg_a, &dfg_b);
@@ -511,8 +565,8 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
         show_stats: false,
         ..Default::default()
     };
-    let dot = (out.is_some() || dot_stdout)
-        .then(|| st_core::render::render_diff_dot(&diff, &options));
+    let dot =
+        (out.is_some() || dot_stdout).then(|| st_core::render::render_diff_dot(&diff, &options));
     if let (Some(path), Some(dot)) = (&out, &dot) {
         std::fs::write(path, dot).map_err(|e| e.to_string())?;
         eprintln!("wrote {}", path.display());
@@ -524,7 +578,9 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
         if with_stats {
             let stats_a = IoStatistics::compute(&mapped_a);
             let stats_b = IoStatistics::compute(&mapped_b);
-            emit(&st_core::render::render_diff_stats(&diff, &stats_a, &stats_b));
+            emit(&st_core::render::render_diff_stats(
+                &diff, &stats_a, &stats_b,
+            ));
         }
     }
     Ok(())
@@ -546,7 +602,11 @@ impl EmitMode {
             "stats" => EmitMode::Stats,
             "events" => EmitMode::Events,
             "store" => EmitMode::Store,
-            other => return Err(format!("unknown --emit mode {other:?} (dfg, stats, events, store)")),
+            other => {
+                return Err(format!(
+                    "unknown --emit mode {other:?} (dfg, stats, events, store)"
+                ))
+            }
         })
     }
 
@@ -567,7 +627,13 @@ impl EmitMode {
 fn sanitize_group_key(key: &str, used: &mut std::collections::HashSet<String>) -> String {
     let stem: String = key
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     let trimmed = stem.trim_matches('_');
     let base = if trimmed.is_empty() { "group" } else { trimmed };
@@ -589,7 +655,6 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
     let mut map = MapChoice::TopDirs(2);
     let mut explicit_map = false;
     let mut threads = 0usize;
-    let mut explicit_threads = false;
     let mut no_pushdown = false;
     let mut out: Option<PathBuf> = None;
     while let Some(tok) = args.next() {
@@ -607,7 +672,6 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
                 map = MapChoice::parse(args.value("--map")?)?;
             }
             "--threads" => {
-                explicit_threads = true;
                 threads = args
                     .value("--threads")?
                     .parse()
@@ -641,100 +705,55 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
         );
     }
 
-    let pred = match &filter {
-        Some(src) => st_query::parse_expr(src).map_err(|e| format!("--filter: {e}"))?,
-        None => st_query::Predicate::True,
+    // The session plans the route: predicate pushdown on v2 stores
+    // (only the blocks and columns the filter + emit mode need are
+    // decoded, surviving blocks decode on the worker pool), full load +
+    // parallel scan everywhere else. Either route yields exactly the
+    // matching event set.
+    let columns = match emit_mode {
+        EmitMode::Store => ColumnSet::ALL,
+        // DFG/stats/events never look at requested/offset.
+        _ => analysis_columns(),
     };
-
-    // Store inputs in the v2 format go through predicate pushdown by
-    // default: only the blocks (and columns) the filter can match are
-    // decoded, guided by the store's zone maps. The result is exactly
-    // the full-load scan's event set. `--no-pushdown` forces the old
-    // path; directories, `sim:` specs and v1 stores always use it (a
-    // v1 container opened while probing is decoded right here rather
-    // than re-read through `load_input`).
-    let mut pushdown: Option<st_query::PrunedRead> = None;
-    let mut preloaded: Option<EventLog> = None;
-    let store_path = Path::new(&input);
-    if !no_pushdown && !input.starts_with("sim:") && store_path.is_file() {
-        let reader = StoreReader::open(store_path).map_err(|e| format!("{input}: {e}"))?;
-        if reader.directory().is_some() {
-            let emit_cols = match emit_mode {
-                EmitMode::Store => st_store::ColumnSet::ALL,
-                // DFG/stats/events never look at requested/offset.
-                _ => st_store::ColumnSet::ALL
-                    .without(st_store::ColumnSet::REQUESTED | st_store::ColumnSet::OFFSET),
-            };
-            if explicit_threads {
-                eprintln!(
-                    "query: note: --threads has no effect on the pushdown path (block \
-                     decode is sequential); use --no-pushdown to parallel-scan a full load"
-                );
-            }
-            pushdown = Some(
-                st_query::read_pruned(&reader, &pred, emit_cols)
-                    .map_err(|e| format!("{input}: {e}"))?,
-            );
-        } else {
-            preloaded = Some(reader.read().map_err(|e| format!("{input}: {e}"))?);
-        }
+    let mut inspector = Inspector::open(&input)
+        .map_err(|e| e.to_string())?
+        .map_boxed(map.build())
+        .pushdown(!no_pushdown)
+        .columns(columns)
+        .threads(threads);
+    if let Some(expr) = &filter {
+        inspector = inspector
+            .filter_expr(expr)
+            .map_err(|e| format!("--filter: {e}"))?;
     }
-
-    let (log, pushdown_stats) = match pushdown {
-        Some(pruned) => (pruned.log, Some(pruned.stats)),
-        None => match preloaded {
-            Some(log) => (log, None),
-            None => (load_input(&input, None)?, None),
-        },
-    };
-    let view = match &pushdown_stats {
-        // The pruned log holds exactly the matching events already.
-        Some(_) => st_model::LogView::full(&log),
-        None => st_query::scan_par(&log, &pred, threads),
-    };
-    let (events_total, cases_total) = match &pushdown_stats {
-        Some(s) => (s.events_total as usize, s.cases_total),
-        None => (log.total_events(), log.case_count()),
-    };
+    let session = inspector.session().map_err(|e| e.to_string())?;
+    for warning in session.warnings() {
+        eprintln!("warning: {warning}");
+    }
     eprintln!(
         "{} of {} events match ({} of {} cases)",
-        view.event_count(),
-        events_total,
-        view.case_count(),
-        cases_total
+        session.events_matched(),
+        session.events_total(),
+        session.cases_matched(),
+        session.cases_total()
     );
-    if let Some(s) = &pushdown_stats {
-        eprintln!(
-            "pushdown: pruned {}/{} blocks ({} of {} cases whole), decoded {} of {} bytes ({:.1}%)",
-            s.blocks_pruned,
-            s.blocks_total,
-            s.cases_pruned,
-            s.cases_total,
-            s.bytes_decoded,
-            s.bytes_total,
-            if s.bytes_total == 0 {
-                100.0
-            } else {
-                100.0 * s.bytes_decoded as f64 / s.bytes_total as f64
-            }
-        );
-    }
-    if view.is_empty() {
+    report_pushdown(&session, "");
+    if session.log().is_empty() {
         return Err("no events match the filter".to_string());
     }
 
     // Group-by explodes the slice into a DFG family; without it the
     // whole slice is one unnamed group.
+    let view = session.view();
     let groups: Vec<(String, st_model::LogView<'_>)> = match group_by {
         Some(key) => st_query::group_by(&view, key),
         None => vec![(String::new(), view)],
     };
     let multi = groups.len() > 1 || (groups.len() == 1 && !groups[0].0.is_empty());
 
-    // One mapping pass over the full log serves every projection.
-    let mapping = map.build();
-    let mapped = (emit_mode != EmitMode::Store && emit_mode != EmitMode::Events)
-        .then(|| MappedLog::new(&log, mapping.as_ref()));
+    // One mapping pass over the session's log serves every projection.
+    let mapped =
+        (emit_mode != EmitMode::Store && emit_mode != EmitMode::Events).then(|| session.mapped());
 
     // With `-o` and multiple groups, the path is a directory (one file
     // per group); with a single group it is the output file itself.
@@ -746,7 +765,7 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
         _ => None,
     };
 
-    let snap = log.snapshot();
+    let snap = session.log().snapshot();
     let mut used_stems = std::collections::HashSet::new();
     for (key, group) in &groups {
         let body = match emit_mode {
@@ -774,7 +793,8 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
                 )
             }
             EmitMode::Events => {
-                let mut body = String::from("cid\thost\trid\tpid\tcall\tstart\tdur\tpath\tsize\tok\n");
+                let mut body =
+                    String::from("cid\thost\trid\tpid\tcall\tstart\tdur\tpath\tsize\tok\n");
                 for (meta, e) in group.iter_events() {
                     let call = match e.call {
                         Syscall::Other(sym) => snap.resolve(sym).to_string(),
@@ -790,7 +810,9 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
                         e.start.format_time_of_day(),
                         e.dur.format_duration(),
                         snap.resolve(e.path),
-                        e.size.map(|s| s.to_string()).unwrap_or_else(|| "-".to_string()),
+                        e.size
+                            .map(|s| s.to_string())
+                            .unwrap_or_else(|| "-".to_string()),
                         e.ok,
                     ));
                 }
@@ -826,7 +848,11 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
             // Stdout, with a group header when exploding.
             (None, None) => {
                 if multi {
-                    let comment = if emit_mode == EmitMode::Dfg { "//" } else { "#" };
+                    let comment = if emit_mode == EmitMode::Dfg {
+                        "//"
+                    } else {
+                        "#"
+                    };
                     emit(&format!("{comment} group: {key}\n"));
                 }
                 emit(&body);
@@ -855,7 +881,8 @@ fn cmd_simulate(tokens: &[String]) -> Result<(), String> {
     let out = out.ok_or("simulate: missing --out <dir>")?;
     std::fs::create_dir_all(&out).map_err(|e| e.to_string())?;
 
-    let log = build_workload_log(&workload, paper)?;
+    // The same table-driven backend `sim:` inputs resolve through.
+    let log = st_source::sim::workload_log(&workload, paper).map_err(|e| e.to_string())?;
     let store_path = out.join(format!("{workload}.stlog"));
     write_store(&log, &store_path).map_err(|e| e.to_string())?;
     println!(
@@ -867,113 +894,13 @@ fn cmd_simulate(tokens: &[String]) -> Result<(), String> {
     if emit_strace {
         let trace_dir = out.join(format!("{workload}-traces"));
         let files = st_sim::emit_strace_dir(&log, &trace_dir).map_err(|e| e.to_string())?;
-        println!("emitted {} strace files into {}", files.len(), trace_dir.display());
+        println!(
+            "emitted {} strace files into {}",
+            files.len(),
+            trace_dir.display()
+        );
     }
     Ok(())
-}
-
-fn build_workload_log(workload: &str, paper: bool) -> Result<EventLog, String> {
-    use st_ior::workload::StartupProfile;
-    use st_ior::{run_ior, Api, IorOptions};
-    match workload {
-        "ls" => {
-            let filter = TraceFilter::only([Syscall::Read, Syscall::Write]);
-            let mut log = EventLog::with_new_interner();
-            let sim = Simulation::new(SimConfig::small(3));
-            sim.run("a", vec![st_sim::workloads::ls_ops(); 3], &filter, &mut log);
-            let sim_b = Simulation::new(SimConfig { base_rid: 9115, ..SimConfig::small(3) });
-            sim_b.run("b", vec![st_sim::workloads::ls_l_ops(); 3], &filter, &mut log);
-            Ok(log)
-        }
-        "ior-ssf-fpp" => {
-            let config = scale_config(paper);
-            let mut log = EventLog::with_new_interner();
-            let profile = StartupProfile::default();
-            let filter = TraceFilter::experiment_a();
-            let ssf = IorOptions::paper_experiment(
-                false,
-                Api::Posix,
-                &format!("{}/ssf/test", config.paths.scratch),
-            );
-            run_ior("s", &ssf, &profile, &config, &filter, &mut log);
-            let fpp = IorOptions::paper_experiment(
-                true,
-                Api::Posix,
-                &format!("{}/fpp/test", config.paths.scratch),
-            );
-            run_ior("f", &fpp, &profile, &config, &filter, &mut log);
-            Ok(log)
-        }
-        "ior-mpiio" => {
-            let config = scale_config(paper);
-            let mut log = EventLog::with_new_interner();
-            let profile = StartupProfile::default();
-            let filter = TraceFilter::experiment_b();
-            let test_file = format!("{}/ssf/test", config.paths.scratch);
-            run_ior(
-                "g",
-                &IorOptions::paper_experiment(false, Api::Mpiio, &test_file),
-                &profile,
-                &config,
-                &filter,
-                &mut log,
-            );
-            run_ior(
-                "r",
-                &IorOptions::paper_experiment(false, Api::Posix, &test_file),
-                &profile,
-                &config,
-                &filter,
-                &mut log,
-            );
-            Ok(log)
-        }
-        // Single-mode halves of `ior-ssf-fpp`, so one IOR access mode can
-        // be generated (and narrowed per file) without its counterpart:
-        // `sim:ssf` is the paper's shared-file run, `sim:fpp` the
-        // file-per-process run.
-        "ssf" | "fpp" => {
-            let fpp = workload == "fpp";
-            let config = scale_config(paper);
-            let mut log = EventLog::with_new_interner();
-            let profile = StartupProfile::default();
-            let filter = TraceFilter::experiment_a();
-            let opts = IorOptions::paper_experiment(
-                fpp,
-                Api::Posix,
-                &format!("{}/{workload}/test", config.paths.scratch),
-            );
-            run_ior(if fpp { "f" } else { "s" }, &opts, &profile, &config, &filter, &mut log);
-            Ok(log)
-        }
-        other => Err(format!(
-            "unknown workload {other:?} (ls, ior-ssf-fpp, ior-mpiio, ssf, fpp)"
-        )),
-    }
-}
-
-fn scale_config(paper: bool) -> SimConfig {
-    if paper {
-        SimConfig::default()
-    } else {
-        SimConfig {
-            hosts: vec!["jwc01".to_string(), "jwc02".to_string()],
-            cores_per_host: 4,
-            ..Default::default()
-        }
-    }
-}
-
-// Used by the `--map` machinery above; kept here so the CLI compiles the
-// same mapping set the library exposes.
-#[allow(dead_code)]
-fn skip_openat_site_mapping(site: SiteMap) -> impl Mapping {
-    FnMapping(move |ctx: &MapCtx<'_>, meta: &CaseMeta, e: &Event| {
-        if matches!(e.call, Syscall::Openat | Syscall::Open) {
-            return None;
-        }
-        site.activity_name(ctx, meta, e)
-    })
 }
 
 #[cfg(test)]

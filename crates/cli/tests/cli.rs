@@ -46,7 +46,11 @@ fn simulate_parse_dfg_pipeline() {
         .arg("--emit-strace")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(dir.join("ls.stlog").is_file());
     let traces = dir.join("ls-traces");
     assert!(traces.is_dir());
@@ -60,7 +64,11 @@ fn simulate_parse_dfg_pipeline() {
         .arg(&parsed)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stdout).contains("6 cases"));
 
     // dfg with partition coloring, written to a file
@@ -73,7 +81,11 @@ fn simulate_parse_dfg_pipeline() {
         .arg("--summary")
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dot = std::fs::read_to_string(&dot_path).unwrap();
     assert!(dot.starts_with("digraph"));
     assert!(dot.contains("read\\n/usr/lib"));
@@ -81,11 +93,12 @@ fn simulate_parse_dfg_pipeline() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("activity"), "{stdout}");
 
-    // stats with a path filter
+    // stats with a path filter (the full st-query expression syntax;
+    // the old substring spelling is the glob `path~"*needle*"`)
     let out = stinspect()
         .arg("stats")
         .arg(&parsed)
-        .args(["--filter", "/etc"])
+        .args(["--filter", "path~\"*/etc*\""])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -142,7 +155,9 @@ fn stats_csv_and_dfg_min_edge() {
         .unwrap();
     assert!(full.status.success() && filtered.status.success());
     let full_edges = String::from_utf8_lossy(&full.stdout).matches("->").count();
-    let filtered_edges = String::from_utf8_lossy(&filtered.stdout).matches("->").count();
+    let filtered_edges = String::from_utf8_lossy(&filtered.stdout)
+        .matches("->")
+        .count();
     assert!(
         filtered_edges < full_edges,
         "filtered {filtered_edges} !< full {full_edges}"
@@ -207,7 +222,11 @@ fn diff_simulated_ssf_vs_fpp() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report = String::from_utf8_lossy(&out.stdout);
     assert!(report.contains("DFG diff"), "{report}");
     assert!(report.contains("total-variation distance:"), "{report}");
@@ -237,7 +256,11 @@ fn diff_simulated_ssf_vs_fpp() {
         .arg(&dot_path)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dot = std::fs::read_to_string(&dot_path).unwrap();
     assert!(dot.starts_with("digraph \"DFG diff\""), "{dot}");
     assert!(dot.contains("#808080"), "shared edges gray: {dot}");
@@ -263,10 +286,17 @@ fn diff_accepts_store_and_trace_dir_inputs() {
         .arg(&traces)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report = String::from_utf8_lossy(&out.stdout);
     assert!(report.contains("graphs are identical"), "{report}");
-    assert!(report.contains("total-variation distance: 0.0000"), "{report}");
+    assert!(
+        report.contains("total-variation distance: 0.0000"),
+        "{report}"
+    );
 
     // cid selection inside one container: `ls` vs `ls -l`.
     let out = stinspect()
@@ -278,7 +308,10 @@ fn diff_accepts_store_and_trace_dir_inputs() {
         .unwrap();
     assert!(out.status.success());
     let report = String::from_utf8_lossy(&out.stdout);
-    assert!(report.contains("B-only"), "ls -l touches more files: {report}");
+    assert!(
+        report.contains("B-only"),
+        "ls -l touches more files: {report}"
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -340,7 +373,11 @@ fn parse_rejects_flag_combinations_streaming_cannot_honor() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("--sequential and --threads conflict"), "{err}");
     // Each flag alone stays valid (empty dir parses to an empty store).
-    for flags in [vec!["--streaming"], vec!["--sequential"], vec!["--threads", "2"]] {
+    for flags in [
+        vec!["--streaming"],
+        vec!["--sequential"],
+        vec!["--threads", "2"],
+    ] {
         let out = stinspect()
             .arg("parse")
             .arg(&dir)
@@ -349,7 +386,78 @@ fn parse_rejects_flag_combinations_streaming_cannot_honor() {
             .arg(dir.join("ok.stlog"))
             .output()
             .unwrap();
-        assert!(out.status.success(), "{flags:?}: {}", String::from_utf8_lossy(&out.stderr));
+        assert!(
+            out.status.success(),
+            "{flags:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn parse_rejects_loader_flags_on_non_text_inputs() {
+    // Loader flags shape strace text loading; on a store or sim: input
+    // they would be silently inert, so the session layer rejects them.
+    let dir = tmpdir("inertflags");
+    stinspect()
+        .args(["simulate", "ls", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let store = dir.join("ls.stlog");
+    for flags in [
+        vec!["--streaming"],
+        vec!["--sequential"],
+        vec!["--strict-names"],
+        vec!["--threads", "4"],
+    ] {
+        let out = stinspect()
+            .arg("parse")
+            .arg(&store)
+            .args(&flags)
+            .arg("-o")
+            .arg(dir.join("out.stlog"))
+            .output()
+            .unwrap();
+        assert!(!out.status.success(), "{flags:?} accepted on a store input");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("strace text"), "{flags:?}: {err}");
+    }
+    // Without the flags, re-ingesting a store is fine.
+    let out = stinspect()
+        .arg("parse")
+        .arg(&store)
+        .arg("-o")
+        .arg(dir.join("out.stlog"))
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sub_header_truncation_stays_on_the_store_route() {
+    // A container cut below its 12-byte header must fail as a corrupt
+    // store, not silently parse as empty strace text.
+    let dir = tmpdir("subheader");
+    let cut = dir.join("cut.stlog");
+    std::fs::write(&cut, b"STLOG2\0\0\x02").unwrap();
+    for cmd in [vec!["stats"], vec!["query", "--emit", "events"]] {
+        let mut argv = vec![cmd[0]];
+        argv.push(cut.to_str().unwrap());
+        argv.extend(&cmd[1..]);
+        let out = stinspect().args(&argv).output().unwrap();
+        assert!(!out.status.success(), "{argv:?} accepted a truncated store");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("magic") || err.contains("corrupt") || err.contains("checksum"),
+            "{argv:?}: {err}"
+        );
     }
     std::fs::remove_dir_all(&dir).unwrap();
 }
@@ -359,20 +467,45 @@ fn query_group_by_file_emits_one_dot_per_file() {
     // The paper's per-file narrowing on the simulated SSF run: every
     // distinct file gets its own DFG.
     let out = stinspect()
-        .args(["query", "sim:ssf", "--filter", "path~\"*\"", "--group-by", "file", "--emit", "dfg"])
+        .args([
+            "query",
+            "sim:ssf",
+            "--filter",
+            "path~\"*\"",
+            "--group-by",
+            "file",
+            "--emit",
+            "dfg",
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     let headers = stdout.matches("// group: ").count();
     let graphs = stdout.matches("digraph").count();
     assert!(headers > 1, "expected one DOT per file: {stdout}");
     assert_eq!(headers, graphs, "{stdout}");
     // The shared SSF test file is one of the groups.
-    assert!(stdout.contains("// group: /p/scratch/user1/ssf/test"), "{stdout}");
+    assert!(
+        stdout.contains("// group: /p/scratch/user1/ssf/test"),
+        "{stdout}"
+    );
     // Deterministic across runs.
     let again = stinspect()
-        .args(["query", "sim:ssf", "--filter", "path~\"*\"", "--group-by", "file", "--emit", "dfg"])
+        .args([
+            "query",
+            "sim:ssf",
+            "--filter",
+            "path~\"*\"",
+            "--group-by",
+            "file",
+            "--emit",
+            "dfg",
+        ])
         .output()
         .unwrap();
     assert_eq!(out.stdout, again.stdout);
@@ -384,15 +517,32 @@ fn query_filter_store_roundtrip_and_events() {
     // Slice the simulated ls run to reads only and store the slice.
     let slice = dir.join("reads.stlog");
     let out = stinspect()
-        .args(["query", "sim:ls", "--filter", "class=read", "--emit", "store", "-o"])
+        .args([
+            "query",
+            "sim:ls",
+            "--filter",
+            "class=read",
+            "--emit",
+            "store",
+            "-o",
+        ])
         .arg(&slice)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(String::from_utf8_lossy(&out.stderr).contains("events match"));
 
     // The stored slice feeds the normal pipeline and contains no writes.
-    let out = stinspect().arg("stats").arg(&slice).args(["--map", "call"]).output().unwrap();
+    let out = stinspect()
+        .arg("stats")
+        .arg(&slice)
+        .args(["--map", "call"])
+        .output()
+        .unwrap();
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("read"), "{stdout}");
@@ -402,7 +552,9 @@ fn query_filter_store_roundtrip_and_events() {
     // (the SSF run's shared-library openat storm fails; `ls` has no
     // failures).
     let out = stinspect()
-        .args(["query", "sim:ssf", "--filter", "ok=false", "--emit", "events"])
+        .args([
+            "query", "sim:ssf", "--filter", "ok=false", "--emit", "events",
+        ])
         .output()
         .unwrap();
     assert!(out.status.success());
@@ -457,8 +609,16 @@ fn query_pushdown_matches_full_load_and_reports_pruning() {
             .args(["--filter", filter, "--emit", emit, "--no-pushdown"])
             .output()
             .unwrap();
-        assert!(pushed.status.success(), "{}", String::from_utf8_lossy(&pushed.stderr));
-        assert!(full.status.success(), "{}", String::from_utf8_lossy(&full.stderr));
+        assert!(
+            pushed.status.success(),
+            "{}",
+            String::from_utf8_lossy(&pushed.stderr)
+        );
+        assert!(
+            full.status.success(),
+            "{}",
+            String::from_utf8_lossy(&full.stderr)
+        );
         // Same results byte-for-byte on stdout…
         assert_eq!(pushed.stdout, full.stdout, "filter {filter:?}");
         // …and the same match line; only the pushdown path reports a
@@ -493,16 +653,35 @@ fn query_emit_store_writes_v2_and_requeries_stably() {
     let dir = tmpdir("emitstore");
     let slice = dir.join("slice.stlog");
     let out = stinspect()
-        .args(["query", "sim:ior-ssf-fpp", "--filter", "class=write", "--emit", "store", "-o"])
+        .args([
+            "query",
+            "sim:ior-ssf-fpp",
+            "--filter",
+            "class=write",
+            "--emit",
+            "store",
+            "-o",
+        ])
         .arg(&slice)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let magic = &std::fs::read(&slice).unwrap()[..8];
     assert_eq!(magic, b"STLOG2\0\0", "emitted store is not v2");
 
     let direct = stinspect()
-        .args(["query", "sim:ior-ssf-fpp", "--filter", "class=write", "--emit", "events"])
+        .args([
+            "query",
+            "sim:ior-ssf-fpp",
+            "--filter",
+            "class=write",
+            "--emit",
+            "events",
+        ])
         .output()
         .unwrap();
     let requeried = stinspect()
@@ -511,7 +690,11 @@ fn query_emit_store_writes_v2_and_requeries_stably() {
         .args(["--filter", "class=write", "--emit", "events"])
         .output()
         .unwrap();
-    assert!(requeried.status.success(), "{}", String::from_utf8_lossy(&requeried.stderr));
+    assert!(
+        requeried.status.success(),
+        "{}",
+        String::from_utf8_lossy(&requeried.stderr)
+    );
     assert_eq!(direct.stdout, requeried.stdout);
     // Inside the slice every event matches: nothing left to prune, and
     // the totals equal the slice's own size.
@@ -525,7 +708,11 @@ fn query_surfaces_store_corruption() {
     // A flipped byte inside the store must fail the query (checksum),
     // never return a silently wrong slice.
     let dir = tmpdir("corrupt");
-    stinspect().args(["simulate", "ls", "--out"]).arg(&dir).output().unwrap();
+    stinspect()
+        .args(["simulate", "ls", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
     let store = dir.join("ls.stlog");
     let mut bytes = std::fs::read(&store).unwrap();
     let idx = bytes.len() - 9; // inside the last block body
@@ -554,11 +741,23 @@ fn query_group_by_into_directory() {
     let dir = tmpdir("querydir");
     let out_dir = dir.join("per-pid");
     let out = stinspect()
-        .args(["query", "sim:ls", "--group-by", "pid", "--emit", "dfg", "-o"])
+        .args([
+            "query",
+            "sim:ls",
+            "--group-by",
+            "pid",
+            "--emit",
+            "dfg",
+            "-o",
+        ])
         .arg(&out_dir)
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let dots: Vec<_> = std::fs::read_dir(&out_dir)
         .unwrap()
         .filter_map(|e| e.ok())
@@ -638,7 +837,14 @@ fn query_time_windows_are_trace_relative() {
     // relative window must still match (it is rebased to the first
     // event), and the equivalent absolute window selects the same slice.
     let relative = stinspect()
-        .args(["query", "sim:ls", "--filter", "t=[0s,2s)", "--emit", "events"])
+        .args([
+            "query",
+            "sim:ls",
+            "--filter",
+            "t=[0s,2s)",
+            "--emit",
+            "events",
+        ])
         .output()
         .unwrap();
     assert!(
@@ -647,7 +853,14 @@ fn query_time_windows_are_trace_relative() {
         String::from_utf8_lossy(&relative.stderr)
     );
     let absolute = stinspect()
-        .args(["query", "sim:ls", "--filter", "t=[09:00:00,09:00:02)", "--emit", "events"])
+        .args([
+            "query",
+            "sim:ls",
+            "--filter",
+            "t=[09:00:00,09:00:02)",
+            "--emit",
+            "events",
+        ])
         .output()
         .unwrap();
     assert!(absolute.status.success());
@@ -662,14 +875,102 @@ fn query_time_windows_are_trace_relative() {
 }
 
 #[test]
+fn diff_pushes_filters_into_v2_stores() {
+    // diff on v2 stores routes a selective --filter through predicate
+    // pushdown (pruning summary on stderr, one per side) and produces
+    // output identical to the forced full-load path.
+    let dir = tmpdir("diffpush");
+    stinspect()
+        .args(["simulate", "ior-ssf-fpp", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let store = dir.join("ior-ssf-fpp.stlog");
+    assert!(store.is_file());
+    // Re-encode with small blocks: the simulated run is tiny, so the
+    // default 4096-event blocks leave one block per case and nothing
+    // for the zone maps to discriminate. Paper-scale stores carry many
+    // blocks per case; 64-event blocks model that here.
+    {
+        let log = st_store::StoreReader::open(&store).unwrap().read().unwrap();
+        std::fs::write(&store, st_store::to_bytes_blocked(&log, 64).unwrap()).unwrap();
+    }
+    let argv = |extra: &[&str]| {
+        let mut out = stinspect();
+        out.arg("diff")
+            .arg(&store)
+            .arg(&store)
+            .args(["--cid-a", "s", "--cid-b", "f", "--map", "site"])
+            .args(["--filter", "class=write size>=512k"])
+            .args(extra);
+        out.output().unwrap()
+    };
+    let pushed = argv(&[]);
+    let full = argv(&["--no-pushdown"]);
+    assert!(
+        pushed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&pushed.stderr)
+    );
+    assert!(
+        full.status.success(),
+        "{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+    assert_eq!(pushed.stdout, full.stdout);
+    let pushed_err = String::from_utf8_lossy(&pushed.stderr);
+    assert_eq!(
+        pushed_err.matches("pushdown: pruned").count(),
+        2,
+        "one pruning summary per diff side: {pushed_err}"
+    );
+    // The selective filter must actually skip blocks.
+    assert!(!pushed_err.contains("pruned 0/"), "{pushed_err}");
+    assert!(
+        !String::from_utf8_lossy(&full.stderr).contains("pushdown:"),
+        "{}",
+        String::from_utf8_lossy(&full.stderr)
+    );
+
+    // The other rewritten subcommands take the same route.
+    for argv in [
+        vec![
+            "stats",
+            store.to_str().unwrap(),
+            "--filter",
+            "class=write size>=512k",
+        ],
+        vec![
+            "dfg",
+            store.to_str().unwrap(),
+            "--filter",
+            "class=write size>=512k",
+        ],
+    ] {
+        let out = stinspect().args(&argv).output().unwrap();
+        assert!(out.status.success(), "{argv:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("pushdown: pruned"), "{argv:?}: {stderr}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn diff_report_includes_stats_layer() {
     let out = stinspect()
         .args(["diff", "sim:ssf", "sim:fpp", "--map", "site"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let report = String::from_utf8_lossy(&out.stdout);
-    assert!(report.contains("per-activity statistics (A → B):"), "{report}");
+    assert!(
+        report.contains("per-activity statistics (A → B):"),
+        "{report}"
+    );
     assert!(report.contains("Δ Load"), "{report}");
     assert!(report.contains("MB/s"), "{report}");
 

@@ -1,0 +1,215 @@
+//! Input-kind × subcommand matrix: every analysis subcommand must
+//! accept every input kind — a v1 store file, a v2 store file, a
+//! directory of strace files, a single strace file, and a `sim:` spec —
+//! and produce byte-identical stdout for the same underlying run.
+//!
+//! The golden files under `tests/golden/matrix_*.golden` were captured
+//! from the pre-`Inspector`-redesign binary (each subcommand reading a
+//! v2 store through its then-private resolution path), so they also pin
+//! that the session-API rewrite changed no output byte. Regenerate after
+//! intentional format changes with `UPDATE_GOLDEN=1 cargo test -p st-cli
+//! --test matrix`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use st_store::{to_bytes_v1, StoreReader};
+
+fn stinspect() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_stinspect"))
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("matrix_{name}.golden"))
+}
+
+/// Builds the shared fixture set: the simulated `ls` run as a v2 store,
+/// a v1 store, a directory of strace files, and a single strace file.
+struct Fixture {
+    dir: PathBuf,
+    v2: PathBuf,
+    v1: PathBuf,
+    traces: PathBuf,
+    one_file: PathBuf,
+}
+
+impl Fixture {
+    fn build(tag: &str) -> Fixture {
+        let dir =
+            std::env::temp_dir().join(format!("stinspect-matrix-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = stinspect()
+            .args(["simulate", "ls", "--out"])
+            .arg(&dir)
+            .arg("--emit-strace")
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let v2 = dir.join("ls.stlog");
+        let traces = dir.join("ls-traces");
+        // The v1 container is written through the legacy encoder from the
+        // identical log, so its event set matches the other kinds exactly.
+        let log = StoreReader::open(&v2).unwrap().read().unwrap();
+        let v1 = dir.join("ls-v1.stlog");
+        std::fs::write(&v1, to_bytes_v1(&log).unwrap()).unwrap();
+        // Any single trace file is a valid one-case input of its own.
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&traces)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        files.sort();
+        let one_file = files.into_iter().next().expect("emitted traces");
+        Fixture {
+            dir,
+            v2,
+            v1,
+            traces,
+            one_file,
+        }
+    }
+
+    /// Every input kind naming the same run, labelled for assertions.
+    fn kinds(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("v2-store", self.v2.display().to_string()),
+            ("v1-store", self.v1.display().to_string()),
+            ("strace-dir", self.traces.display().to_string()),
+            ("sim-spec", "sim:ls".to_string()),
+        ]
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// Runs one subcommand against `input`, asserting success and returning
+/// stdout.
+fn run(argv: &[&str], input: &str) -> Vec<u8> {
+    let args: Vec<&str> = argv
+        .iter()
+        .map(|a| if *a == "<input>" { input } else { *a })
+        .collect();
+    let out = stinspect().args(&args).output().unwrap();
+    assert!(
+        out.status.success(),
+        "{args:?}: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out.stdout
+}
+
+#[test]
+fn every_subcommand_accepts_every_input_kind() {
+    let fx = Fixture::build("all");
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+    // `<input>` is substituted per kind; diff takes it on both sides.
+    let commands: &[(&str, Vec<&str>)] = &[
+        ("dfg", vec!["dfg", "<input>"]),
+        ("stats", vec!["stats", "<input>"]),
+        ("timeline", vec!["timeline", "<input>", "read:/usr/lib"]),
+        (
+            "diff",
+            vec!["diff", "<input>", "<input>", "--cid-a", "a", "--cid-b", "b"],
+        ),
+        (
+            "query",
+            vec![
+                "query",
+                "<input>",
+                "--filter",
+                "class=read",
+                "--emit",
+                "events",
+            ],
+        ),
+    ];
+    for (name, argv) in commands {
+        let golden = golden_path(name);
+        if update {
+            // Goldens are captured from the v2 store input (the kind the
+            // pre-redesign binary supported on every subcommand).
+            std::fs::write(&golden, run(argv, &fx.v2.display().to_string())).unwrap();
+            continue;
+        }
+        let expected = std::fs::read(&golden)
+            .unwrap_or_else(|_| panic!("missing {} — run UPDATE_GOLDEN=1", golden.display()));
+        for (kind, input) in fx.kinds() {
+            let got = run(argv, &input);
+            assert!(
+                got == expected,
+                "{name} on {kind} diverges from the golden output\n--- got ---\n{}",
+                String::from_utf8_lossy(&got)
+            );
+        }
+    }
+}
+
+#[test]
+fn single_strace_file_is_a_valid_input() {
+    // A lone trace file (no directory) resolves to a one-case log on
+    // every subcommand — the input kind the TraceSource layer added.
+    let fx = Fixture::build("one");
+    let one = fx.one_file.display().to_string();
+    let stats = run(&["stats", "<input>"], &one);
+    let text = String::from_utf8_lossy(&stats);
+    assert!(text.contains("1 cases"), "{text}");
+    let query = run(
+        &[
+            "query",
+            "<input>",
+            "--filter",
+            "class=read",
+            "--emit",
+            "events",
+        ],
+        &one,
+    );
+    let text = String::from_utf8_lossy(&query);
+    assert!(text.lines().count() > 1, "{text}");
+    // Both diff sides may be the same single file: structurally identical.
+    let diff = run(&["diff", "<input>", "<input>"], &one);
+    assert!(
+        String::from_utf8_lossy(&diff).contains("graphs are identical"),
+        "{}",
+        String::from_utf8_lossy(&diff)
+    );
+}
+
+#[test]
+fn parse_ingests_every_input_kind() {
+    // `parse` is the store-writer face of the same resolution layer:
+    // any input kind can be ingested into a (v2) container.
+    let fx = Fixture::build("parse");
+    for (kind, input) in fx.kinds() {
+        let out_store = fx.dir.join(format!("reingested-{kind}.stlog"));
+        let out = stinspect()
+            .arg("parse")
+            .arg(&input)
+            .arg("-o")
+            .arg(&out_store)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "parse {kind}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("6 cases"), "parse {kind}: {stdout}");
+        assert_eq!(
+            &std::fs::read(&out_store).unwrap()[..8],
+            b"STLOG2\0\0",
+            "parse {kind} must write the current store format"
+        );
+    }
+}

@@ -112,18 +112,56 @@ mod tests {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
         for rid in 0..3 {
-            let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid };
+            let meta = CaseMeta {
+                cid: i.intern("a"),
+                host: i.intern("h"),
+                rid,
+            };
             let events = vec![
-                Event::new(Pid(rid), Syscall::Read, Micros(0), Micros(1), i.intern("/usr/lib/x.so")),
-                Event::new(Pid(rid), Syscall::Write, Micros(10), Micros(1), i.intern("/dev/pts/7")),
+                Event::new(
+                    Pid(rid),
+                    Syscall::Read,
+                    Micros(0),
+                    Micros(1),
+                    i.intern("/usr/lib/x.so"),
+                ),
+                Event::new(
+                    Pid(rid),
+                    Syscall::Write,
+                    Micros(10),
+                    Micros(1),
+                    i.intern("/dev/pts/7"),
+                ),
             ];
             log.push_case(Case::from_events(meta, events));
         }
-        let meta = CaseMeta { cid: i.intern("b"), host: i.intern("h"), rid: 9 };
+        let meta = CaseMeta {
+            cid: i.intern("b"),
+            host: i.intern("h"),
+            rid: 9,
+        };
         let events = vec![
-            Event::new(Pid(9), Syscall::Read, Micros(0), Micros(1), i.intern("/usr/lib/x.so")),
-            Event::new(Pid(9), Syscall::Read, Micros(5), Micros(1), i.intern("/etc/passwd")),
-            Event::new(Pid(9), Syscall::Write, Micros(10), Micros(1), i.intern("/dev/pts/7")),
+            Event::new(
+                Pid(9),
+                Syscall::Read,
+                Micros(0),
+                Micros(1),
+                i.intern("/usr/lib/x.so"),
+            ),
+            Event::new(
+                Pid(9),
+                Syscall::Read,
+                Micros(5),
+                Micros(1),
+                i.intern("/etc/passwd"),
+            ),
+            Event::new(
+                Pid(9),
+                Syscall::Write,
+                Micros(10),
+                Micros(1),
+                i.intern("/dev/pts/7"),
+            ),
         ];
         log.push_case(Case::from_events(meta, events));
         log
@@ -149,7 +187,10 @@ mod tests {
         let s = alog.display(&mapped);
         assert!(s.starts_with('{') && s.ends_with('}'));
         assert!(s.contains("⟨read:/usr/lib, write:/dev/pts⟩^3"), "{s}");
-        assert!(s.contains("⟨read:/usr/lib, read:/etc/passwd, write:/dev/pts⟩"), "{s}");
+        assert!(
+            s.contains("⟨read:/usr/lib, read:/etc/passwd, write:/dev/pts⟩"),
+            "{s}"
+        );
     }
 
     #[test]

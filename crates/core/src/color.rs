@@ -34,7 +34,11 @@ impl Rgb {
     pub fn lerp(self, other: Rgb, t: f64) -> Rgb {
         let t = t.clamp(0.0, 1.0);
         let mix = |a: u8, b: u8| (a as f64 + (b as f64 - a as f64) * t).round() as u8;
-        Rgb(mix(self.0, other.0), mix(self.1, other.1), mix(self.2, other.2))
+        Rgb(
+            mix(self.0, other.0),
+            mix(self.1, other.1),
+            mix(self.2, other.2),
+        )
     }
 
     /// The partition green of Sec. IV-C.
@@ -142,8 +146,15 @@ impl Styler for StatisticsColoring<'_> {
         };
         let t = (v / self.max).clamp(0.0, 1.0);
         let fill = Rgb::BLUE_LIGHT.lerp(Rgb::BLUE_DARK, t);
-        let font = if fill.luminance() < 0.5 { Some(Rgb::WHITE) } else { None };
-        NodeStyle { fill: Some(fill), font }
+        let font = if fill.luminance() < 0.5 {
+            Some(Rgb::WHITE)
+        } else {
+            None
+        };
+        NodeStyle {
+            fill: Some(fill),
+            font,
+        }
     }
 }
 
@@ -169,8 +180,8 @@ impl<'a> PartitionColoring<'a> {
     fn node_partition(&self, name: &str) -> Option<Rgb> {
         let in_green = matches!(name, "●" | "■") && self.green.case_count() > 0
             || self.green.has_activity(name);
-        let in_red = matches!(name, "●" | "■") && self.red.case_count() > 0
-            || self.red.has_activity(name);
+        let in_red =
+            matches!(name, "●" | "■") && self.red.case_count() > 0 || self.red.has_activity(name);
         match (in_green, in_red) {
             (true, false) => Some(Rgb::GREEN),
             (false, true) => Some(Rgb::RED),
@@ -275,25 +286,57 @@ mod tests {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
         // cid "a": read /common then write /a-only.
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         log.push_case(Case::from_events(
             meta,
             vec![
-                Event::new(Pid(1), Syscall::Read, Micros(0), Micros(10), i.intern("/common/f"))
-                    .with_size(10),
-                Event::new(Pid(1), Syscall::Write, Micros(20), Micros(90), i.intern("/a-only/f"))
-                    .with_size(10),
+                Event::new(
+                    Pid(1),
+                    Syscall::Read,
+                    Micros(0),
+                    Micros(10),
+                    i.intern("/common/f"),
+                )
+                .with_size(10),
+                Event::new(
+                    Pid(1),
+                    Syscall::Write,
+                    Micros(20),
+                    Micros(90),
+                    i.intern("/a-only/f"),
+                )
+                .with_size(10),
             ],
         ));
         // cid "b": read /common then write /b-only.
-        let meta = CaseMeta { cid: i.intern("b"), host: i.intern("h"), rid: 1 };
+        let meta = CaseMeta {
+            cid: i.intern("b"),
+            host: i.intern("h"),
+            rid: 1,
+        };
         log.push_case(Case::from_events(
             meta,
             vec![
-                Event::new(Pid(2), Syscall::Read, Micros(0), Micros(10), i.intern("/common/f"))
-                    .with_size(10),
-                Event::new(Pid(2), Syscall::Write, Micros(20), Micros(10), i.intern("/b-only/f"))
-                    .with_size(10),
+                Event::new(
+                    Pid(2),
+                    Syscall::Read,
+                    Micros(0),
+                    Micros(10),
+                    i.intern("/common/f"),
+                )
+                .with_size(10),
+                Event::new(
+                    Pid(2),
+                    Syscall::Write,
+                    Micros(20),
+                    Micros(10),
+                    i.intern("/b-only/f"),
+                )
+                .with_size(10),
             ],
         ));
         log
@@ -306,7 +349,10 @@ mod tests {
         assert!(Rgb::BLUE_DARK.luminance() < 0.5);
         assert!(Rgb::WHITE.luminance() > 0.9);
         assert_eq!(Rgb(0, 0, 0).lerp(Rgb(255, 255, 255), 0.0), Rgb(0, 0, 0));
-        assert_eq!(Rgb(0, 0, 0).lerp(Rgb(255, 255, 255), 1.0), Rgb(255, 255, 255));
+        assert_eq!(
+            Rgb(0, 0, 0).lerp(Rgb(255, 255, 255), 1.0),
+            Rgb(255, 255, 255)
+        );
         assert_eq!(Rgb(0, 0, 0).lerp(Rgb(200, 100, 50), 0.5), Rgb(100, 50, 25));
     }
 
@@ -387,7 +433,10 @@ mod tests {
         assert!(report.contains("red-only activities (1):"), "{report}");
         assert!(report.contains("write:/b-only/f"), "{report}");
         assert!(report.contains("common activities (1):"), "{report}");
-        assert!(report.contains("green-only edge: read:/common/f -> write:/a-only/f"), "{report}");
+        assert!(
+            report.contains("green-only edge: read:/common/f -> write:/a-only/f"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -82,9 +82,7 @@ impl EdgeCounts {
     fn inc(&mut self, n: usize, from: usize, to: usize, w: u64) {
         match self {
             EdgeCounts::Matrix(counts) => counts[from * n + to] += w,
-            EdgeCounts::Sparse(map) => {
-                *map.entry((from as u32, to as u32)).or_insert(0) += w
-            }
+            EdgeCounts::Sparse(map) => *map.entry((from as u32, to as u32)).or_insert(0) += w,
         }
     }
 
@@ -92,9 +90,7 @@ impl EdgeCounts {
     fn get(&self, n: usize, from: usize, to: usize) -> u64 {
         match self {
             EdgeCounts::Matrix(counts) => counts[from * n + to],
-            EdgeCounts::Sparse(map) => {
-                map.get(&(from as u32, to as u32)).copied().unwrap_or(0)
-            }
+            EdgeCounts::Sparse(map) => map.get(&(from as u32, to as u32)).copied().unwrap_or(0),
         }
     }
 
@@ -115,9 +111,9 @@ impl EdgeCounts {
                     .filter(|(_, &c)| c > 0)
                     .map(move |(i, &c)| (i / n, i % n, c)),
             ),
-            EdgeCounts::Sparse(map) => Box::new(
-                map.iter().map(|(&(f, t), &c)| (f as usize, t as usize, c)),
-            ),
+            EdgeCounts::Sparse(map) => {
+                Box::new(map.iter().map(|(&(f, t), &c)| (f as usize, t as usize, c)))
+            }
         }
     }
 
@@ -225,7 +221,11 @@ impl Clone for Dfg {
 
 impl Dfg {
     fn from_acc(table: ActivityTable, acc: DenseAcc) -> Dfg {
-        Dfg { table, acc, ordered: OnceLock::new() }
+        Dfg {
+            table,
+            acc,
+            ordered: OnceLock::new(),
+        }
     }
 
     /// Builds the DFG from a mapped log in one sequential pass.
@@ -255,10 +255,7 @@ impl Dfg {
     pub fn from_mapped(mapped: &MappedLog<'_>) -> Dfg {
         let mut acc = DenseAcc::new(mapped.table().len());
         for case_idx in 0..mapped.log().case_count() {
-            acc.add_trace_weighted(
-                mapped.assignments()[case_idx].iter().filter_map(|a| *a),
-                1,
-            );
+            acc.add_trace_weighted(mapped.assignments()[case_idx].iter().filter_map(|a| *a), 1);
         }
         Dfg::from_acc(mapped.table().clone(), acc)
     }
@@ -286,10 +283,7 @@ impl Dfg {
         let mut acc = DenseAcc::new(mapped.table().len());
         for s in view.slices() {
             let row = &mapped.assignments()[s.case_idx];
-            acc.add_trace_weighted(
-                s.events.iter().filter_map(|&k| row[k as usize]),
-                1,
-            );
+            acc.add_trace_weighted(s.events.iter().filter_map(|&k| row[k as usize]), 1);
         }
         Dfg::from_acc(mapped.table().clone(), acc)
     }
@@ -300,10 +294,7 @@ impl Dfg {
     pub fn from_activity_log(alog: &ActivityLog, table: &ActivityTable) -> Dfg {
         let mut acc = DenseAcc::new(table.len());
         for entry in alog.entries() {
-            acc.add_trace_weighted(
-                entry.activities.iter().copied(),
-                entry.multiplicity as u64,
-            );
+            acc.add_trace_weighted(entry.activities.iter().copied(), entry.multiplicity as u64);
         }
         Dfg::from_acc(table.clone(), acc)
     }
@@ -315,7 +306,9 @@ impl Dfg {
     pub fn par_from_mapped(mapped: &MappedLog<'_>, threads: usize) -> Dfg {
         let n_cases = mapped.log().case_count();
         let workers = if threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             threads
         }
@@ -465,8 +458,12 @@ impl Dfg {
     /// `"●"` and `"■"`. Returns 0 when either endpoint or the edge is
     /// missing.
     pub fn edge_count_named(&self, from: &str, to: &str) -> u64 {
-        let Some(from) = self.node_by_name(from) else { return 0 };
-        let Some(to) = self.node_by_name(to) else { return 0 };
+        let Some(from) = self.node_by_name(from) else {
+            return 0;
+        };
+        let Some(to) = self.node_by_name(to) else {
+            return 0;
+        };
         self.edge_count(from, to)
     }
 
@@ -523,7 +520,12 @@ impl Dfg {
             .collect();
         Dfg::from_acc(
             self.table.clone(),
-            DenseAcc { n, occ, edges, case_count: self.acc.case_count },
+            DenseAcc {
+                n,
+                occ,
+                edges,
+                case_count: self.acc.case_count,
+            },
         )
     }
 
@@ -590,12 +592,22 @@ mod tests {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
         let mut push = |rid: u32, paths: &[&str]| {
-            let meta = CaseMeta { cid: i.intern("x"), host: i.intern("h"), rid };
+            let meta = CaseMeta {
+                cid: i.intern("x"),
+                host: i.intern("h"),
+                rid,
+            };
             let events = paths
                 .iter()
                 .enumerate()
                 .map(|(k, p)| {
-                    Event::new(Pid(rid), Syscall::Read, Micros(k as u64), Micros(1), i.intern(p))
+                    Event::new(
+                        Pid(rid),
+                        Syscall::Read,
+                        Micros(k as u64),
+                        Micros(1),
+                        i.intern(p),
+                    )
                 })
                 .collect();
             log.push_case(Case::from_events(meta, events));
@@ -654,11 +666,21 @@ mod tests {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
         for rid in 0..37 {
-            let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid };
+            let meta = CaseMeta {
+                cid: i.intern("a"),
+                host: i.intern("h"),
+                rid,
+            };
             let events = (0..50)
                 .map(|k| {
                     let p = format!("/dir{}/f{}", k % 5, (k + rid as usize) % 7);
-                    Event::new(Pid(rid), Syscall::Read, Micros(k as u64), Micros(1), i.intern(&p))
+                    Event::new(
+                        Pid(rid),
+                        Syscall::Read,
+                        Micros(k as u64),
+                        Micros(1),
+                        i.intern(&p),
+                    )
                 })
                 .collect();
             log.push_case(Case::from_events(meta, events));
@@ -693,10 +715,20 @@ mod tests {
     fn single_event_trace_wraps_with_start_and_end() {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         log.push_case(Case::from_events(
             meta,
-            vec![Event::new(Pid(0), Syscall::Read, Micros(0), Micros(1), i.intern("/x/y"))],
+            vec![Event::new(
+                Pid(0),
+                Syscall::Read,
+                Micros(0),
+                Micros(1),
+                i.intern("/x/y"),
+            )],
         ));
         let (dfg, _) = build(&log);
         assert_eq!(dfg.edge_count_named("●", "read:/x/y"), 1);
@@ -715,9 +747,7 @@ mod tests {
         assert_eq!(filtered.edge_count_named("read:/a", "read:/a"), 2);
         assert_eq!(filtered.edge_count_named("read:/a", "read:/c"), 0);
         // read:/c loses all incident edges and disappears.
-        assert!(!filtered
-            .nodes()
-            .any(|n| filtered.node_name(n) == "read:/c"));
+        assert!(!filtered.nodes().any(|n| filtered.node_name(n) == "read:/c"));
         assert!(filtered.has_activity("read:/b"));
         // Threshold above every count empties the graph.
         let empty = dfg.filter_edges(100);
@@ -822,11 +852,21 @@ mod tests {
         // Force the sparse path by exceeding the matrix node budget.
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         let events = (0..(MATRIX_MAX_NODES + 10))
             .map(|k| {
                 let p = format!("/p{k}/f");
-                Event::new(Pid(1), Syscall::Read, Micros(k as u64), Micros(1), i.intern(&p))
+                Event::new(
+                    Pid(1),
+                    Syscall::Read,
+                    Micros(k as u64),
+                    Micros(1),
+                    i.intern(&p),
+                )
             })
             .collect();
         log.push_case(Case::from_events(meta, events));

@@ -347,15 +347,17 @@ pub fn diff(a: &Dfg, b: &Dfg) -> DfgDiff {
     };
     let edges: Vec<EdgeDiff> = edges
         .into_iter()
-        .map(|(((_, from), (_, to)), (count_a, count_b, in_a, in_b))| EdgeDiff {
-            from,
-            to,
-            presence: presence(in_a, in_b),
-            count_a,
-            count_b,
-            freq_a: freq(count_a, total_a),
-            freq_b: freq(count_b, total_b),
-        })
+        .map(
+            |(((_, from), (_, to)), (count_a, count_b, in_a, in_b))| EdgeDiff {
+                from,
+                to,
+                presence: presence(in_a, in_b),
+                count_a,
+                count_b,
+                freq_a: freq(count_a, total_a),
+                freq_b: freq(count_b, total_b),
+            },
+        )
         .collect();
 
     let tvd = match (total_a, total_b) {
@@ -396,12 +398,22 @@ mod tests {
     fn log_of(paths: &[&str]) -> EventLog {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("c"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("c"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         let events = paths
             .iter()
             .enumerate()
             .map(|(k, p)| {
-                Event::new(Pid(1), Syscall::Read, Micros(k as u64), Micros(1), i.intern(p))
+                Event::new(
+                    Pid(1),
+                    Syscall::Read,
+                    Micros(k as u64),
+                    Micros(1),
+                    i.intern(p),
+                )
             })
             .collect();
         log.push_case(Case::from_events(meta, events));
@@ -433,7 +445,11 @@ mod tests {
         let d = diff(&a, &b);
         // ●→x and x→■ disjoint... but ● and ■ themselves are common
         // nodes while *all edges* differ.
-        assert!((d.total_variation() - 1.0).abs() < 1e-12, "{}", d.total_variation());
+        assert!(
+            (d.total_variation() - 1.0).abs() < 1e-12,
+            "{}",
+            d.total_variation()
+        );
         assert_eq!(d.nodes_added().count(), 1);
         assert_eq!(d.nodes_removed().count(), 1);
         assert_eq!(d.edges_added().count(), 2);
@@ -448,12 +464,22 @@ mod tests {
         let mut b_log = log_of(&["/a/f", "/b/f"]);
         {
             let i = Arc::clone(b_log.interner());
-            let meta = CaseMeta { cid: i.intern("c"), host: i.intern("h"), rid: 1 };
+            let meta = CaseMeta {
+                cid: i.intern("c"),
+                host: i.intern("h"),
+                rid: 1,
+            };
             let events = ["/a/f", "/b/f"]
                 .iter()
                 .enumerate()
                 .map(|(k, p)| {
-                    Event::new(Pid(2), Syscall::Read, Micros(k as u64), Micros(1), i.intern(p))
+                    Event::new(
+                        Pid(2),
+                        Syscall::Read,
+                        Micros(k as u64),
+                        Micros(1),
+                        i.intern(p),
+                    )
                 })
                 .collect();
             b_log.push_case(Case::from_events(meta, events));

@@ -29,7 +29,9 @@ impl<'log> MappedLog<'log> {
     /// Applies `mapping` to every event, single-threaded (one O(n) pass).
     pub fn new(log: &'log EventLog, mapping: &dyn Mapping) -> Self {
         let snapshot = log.snapshot();
-        let ctx = MapCtx { snapshot: &snapshot };
+        let ctx = MapCtx {
+            snapshot: &snapshot,
+        };
         let mut table = ActivityTable::new();
         let mut assignments = Vec::with_capacity(log.case_count());
         let mut buf = String::new();
@@ -45,7 +47,11 @@ impl<'log> MappedLog<'log> {
             }
             assignments.push(row);
         }
-        MappedLog { log, table, assignments }
+        MappedLog {
+            log,
+            table,
+            assignments,
+        }
     }
 
     /// Applies `mapping` in parallel across cases (`threads = 0` uses the
@@ -56,7 +62,9 @@ impl<'log> MappedLog<'log> {
     pub fn par_new(log: &'log EventLog, mapping: &dyn Mapping, threads: usize) -> Self {
         let n_cases = log.case_count();
         let workers = if threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             threads
         }
@@ -117,17 +125,18 @@ impl<'log> MappedLog<'log> {
         let mut assignments = Vec::with_capacity(n_cases);
         for slot in slots {
             let (row, local) = slot.expect("every case mapped");
-            let remap: Vec<ActivityId> = local
-                .iter()
-                .map(|(_, name)| table.intern(name))
-                .collect();
+            let remap: Vec<ActivityId> = local.iter().map(|(_, name)| table.intern(name)).collect();
             assignments.push(
                 row.into_iter()
                     .map(|opt| opt.map(|lid| remap[lid as usize]))
                     .collect(),
             );
         }
-        MappedLog { log, table, assignments }
+        MappedLog {
+            log,
+            table,
+            assignments,
+        }
     }
 
     /// The underlying event log.
@@ -168,9 +177,7 @@ impl<'log> MappedLog<'log> {
     }
 
     /// Iterates `(case_idx, activity, &event)` over all mapped events.
-    pub fn iter_mapped(
-        &self,
-    ) -> impl Iterator<Item = (usize, ActivityId, &st_model::Event)> + '_ {
+    pub fn iter_mapped(&self) -> impl Iterator<Item = (usize, ActivityId, &st_model::Event)> + '_ {
         self.log
             .cases()
             .iter()
@@ -219,7 +226,11 @@ mod tests {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
         for c in 0..cases {
-            let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: c as u32 };
+            let meta = CaseMeta {
+                cid: i.intern("a"),
+                host: i.intern("h"),
+                rid: c as u32,
+            };
             let events = (0..events_per_case)
                 .map(|k| {
                     let path = match k % 3 {
@@ -229,7 +240,11 @@ mod tests {
                     };
                     Event::new(
                         Pid(100 + c as u32),
-                        if k % 3 == 2 { Syscall::Write } else { Syscall::Read },
+                        if k % 3 == 2 {
+                            Syscall::Write
+                        } else {
+                            Syscall::Read
+                        },
                         Micros(k as u64 * 10),
                         Micros(5),
                         i.intern(path),
@@ -248,13 +263,12 @@ mod tests {
         let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
         assert_eq!(mapped.activity_count(), 3);
         assert_eq!(mapped.mapped_events(), 12);
-        assert_eq!(
-            mapped.trace_of(0).len(),
-            6,
-            "all events of a case mapped"
-        );
+        assert_eq!(mapped.trace_of(0).len(), 6, "all events of a case mapped");
         let names: Vec<&str> = mapped.table().iter().map(|(_, n)| n).collect();
-        assert_eq!(names, vec!["read:/usr/lib", "read:/etc/passwd", "write:/dev/pts"]);
+        assert_eq!(
+            names,
+            vec!["read:/usr/lib", "read:/etc/passwd", "write:/dev/pts"]
+        );
     }
 
     #[test]

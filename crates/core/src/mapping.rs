@@ -125,7 +125,12 @@ impl Mapping for CallTopDirs {
         if path.is_empty() {
             return false;
         }
-        let _ = write!(out, "{}:{}", ctx.call_name(event), truncate_path(path, self.levels));
+        let _ = write!(
+            out,
+            "{}:{}",
+            ctx.call_name(event),
+            truncate_path(path, self.levels)
+        );
         true
     }
 }
@@ -158,7 +163,10 @@ pub struct PathFilter<M> {
 impl<M: Mapping> PathFilter<M> {
     /// Wraps `inner`, mapping only events whose path contains `needle`.
     pub fn new(needle: impl Into<String>, inner: M) -> Self {
-        PathFilter { needle: needle.into(), inner }
+        PathFilter {
+            needle: needle.into(),
+            inner,
+        }
     }
 }
 
@@ -189,7 +197,9 @@ pub struct PathSuffix {
 impl PathSuffix {
     /// Creates the mapping for the given path prefix.
     pub fn new(prefix: impl Into<String>) -> Self {
-        PathSuffix { prefix: prefix.into() }
+        PathSuffix {
+            prefix: prefix.into(),
+        }
     }
 }
 
@@ -247,7 +257,11 @@ impl SiteMap {
             .collect();
         // Longest prefix first so overlapping rules resolve as expected.
         rules.sort_by_key(|r| std::cmp::Reverse(r.prefix.len()));
-        SiteMap { rules, extra_levels: 0, fallback_levels: 2 }
+        SiteMap {
+            rules,
+            extra_levels: 0,
+            fallback_levels: 2,
+        }
     }
 
     /// Keeps `levels` path components after the alias (Fig. 8b uses 1).
@@ -335,7 +349,11 @@ mod tests {
 
     fn fixture(path: &str) -> (Interner, Event, CaseMeta) {
         let i = Interner::new();
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 1 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 1,
+        };
         let e = Event::new(Pid(1), Syscall::Read, Micros(0), Micros(1), i.intern(path));
         (i, e, meta)
     }
@@ -456,7 +474,11 @@ mod tests {
     #[test]
     fn other_syscalls_resolve_names() {
         let i = Interner::new();
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 1 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 1,
+        };
         let e = Event::new(
             Pid(1),
             Syscall::Other(i.intern("statx")),

@@ -146,7 +146,9 @@ fn node_id(dfg: &Dfg, node: Node) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 /// Digraph header + node/edge defaults shared by all DOT renderers;
@@ -194,9 +196,17 @@ pub fn render_summary(dfg: &Dfg, stats: Option<&IoStatistics>) -> String {
                     display_name(name),
                     occurrences,
                     s.rel_dur,
-                    if s.bytes > 0 { format_bytes(s.bytes as f64) } else { "-".to_string() },
+                    if s.bytes > 0 {
+                        format_bytes(s.bytes as f64)
+                    } else {
+                        "-".to_string()
+                    },
                     s.max_concurrency_exact,
-                    if s.bytes > 0 { format_rate_mbs(s.mean_rate_bps) } else { "-".to_string() },
+                    if s.bytes > 0 {
+                        format_rate_mbs(s.mean_rate_bps)
+                    } else {
+                        "-".to_string()
+                    },
                 );
             }
             None => {
@@ -354,7 +364,11 @@ pub fn render_diff_report(diff: &crate::diff::DfgDiff) -> String {
         summary.edges_removed,
         summary.edges_added
     );
-    let _ = writeln!(out, "  total-variation distance: {:.4}", diff.total_variation());
+    let _ = writeln!(
+        out,
+        "  total-variation distance: {:.4}",
+        diff.total_variation()
+    );
     if diff.is_empty() {
         let _ = writeln!(out, "  graphs are identical");
         return out;
@@ -495,8 +509,16 @@ pub fn render_diff_stats(
         Some(s) => format!(
             "Load {:.2}% ({})  DR {}",
             s.rel_dur * 100.0,
-            if s.bytes > 0 { format_bytes(s.bytes as f64) } else { "-".to_string() },
-            if s.rated_events > 0 { format_rate_mbs(s.mean_rate_bps) } else { "-".to_string() },
+            if s.bytes > 0 {
+                format_bytes(s.bytes as f64)
+            } else {
+                "-".to_string()
+            },
+            if s.rated_events > 0 {
+                format_rate_mbs(s.mean_rate_bps)
+            } else {
+                "-".to_string()
+            },
         ),
         None => "-".to_string(),
     };
@@ -526,17 +548,39 @@ mod tests {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
         for (cid, rid, extra) in [("a", 0u32, false), ("b", 1, true)] {
-            let meta = CaseMeta { cid: i.intern(cid), host: i.intern("h"), rid };
+            let meta = CaseMeta {
+                cid: i.intern(cid),
+                host: i.intern("h"),
+                rid,
+            };
             let mut events = vec![
-                Event::new(Pid(rid + 1), Syscall::Read, Micros(0), Micros(203), i.intern("/usr/lib/libc.so"))
-                    .with_size(832),
-                Event::new(Pid(rid + 1), Syscall::Write, Micros(300), Micros(111), i.intern("/dev/pts/7"))
-                    .with_size(50),
+                Event::new(
+                    Pid(rid + 1),
+                    Syscall::Read,
+                    Micros(0),
+                    Micros(203),
+                    i.intern("/usr/lib/libc.so"),
+                )
+                .with_size(832),
+                Event::new(
+                    Pid(rid + 1),
+                    Syscall::Write,
+                    Micros(300),
+                    Micros(111),
+                    i.intern("/dev/pts/7"),
+                )
+                .with_size(50),
             ];
             if extra {
                 events.push(
-                    Event::new(Pid(rid + 1), Syscall::Read, Micros(400), Micros(37), i.intern("/etc/passwd"))
-                        .with_size(1612),
+                    Event::new(
+                        Pid(rid + 1),
+                        Syscall::Read,
+                        Micros(400),
+                        Micros(37),
+                        i.intern("/etc/passwd"),
+                    )
+                    .with_size(1612),
                 );
             }
             log.push_case(Case::from_events(meta, events));
@@ -574,10 +618,20 @@ mod tests {
     fn openat_like_nodes_skip_dr_line() {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         log.push_case(Case::from_events(
             meta,
-            vec![Event::new(Pid(1), Syscall::Openat, Micros(0), Micros(10), i.intern("/scratch/f"))],
+            vec![Event::new(
+                Pid(1),
+                Syscall::Openat,
+                Micros(0),
+                Micros(10),
+                i.intern("/scratch/f"),
+            )],
         ));
         let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
         let dfg = crate::dfg::Dfg::from_mapped(&mapped);
@@ -593,7 +647,10 @@ mod tests {
         let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
         let dfg = crate::dfg::Dfg::from_mapped(&mapped);
         let stats = crate::stats::IoStatistics::compute(&mapped);
-        let opts = RenderOptions { show_ranks: true, ..Default::default() };
+        let opts = RenderOptions {
+            show_ranks: true,
+            ..Default::default()
+        };
         let dot = render_dot(&dfg, Some(&stats), &NoColoring, &opts);
         assert!(dot.contains("Ranks: "), "{dot}");
     }
@@ -610,11 +667,20 @@ mod tests {
         let styler = PartitionColoring::new(&dfg_a, &dfg_b);
         let dot = render_dot(&dfg, None, &styler, &RenderOptions::default());
         // read:/etc/passwd only exists in b: red node.
-        assert!(dot.contains(&format!("fillcolor=\"{}\"", crate::color::Rgb::RED.to_hex())), "{dot}");
+        assert!(
+            dot.contains(&format!(
+                "fillcolor=\"{}\"",
+                crate::color::Rgb::RED.to_hex()
+            )),
+            "{dot}"
+        );
         // No green-only nodes here (a is a subset of b's structure), but
         // the a-only edge write:/dev/pts -> ■ vs b's write -> read.
-        assert!(dot.contains(&format!("color=\"{}\"", crate::color::Rgb::GREEN.to_hex())) ||
-                dot.contains(&format!("color=\"{}\"", crate::color::Rgb::RED.to_hex())), "{dot}");
+        assert!(
+            dot.contains(&format!("color=\"{}\"", crate::color::Rgb::GREEN.to_hex()))
+                || dot.contains(&format!("color=\"{}\"", crate::color::Rgb::RED.to_hex())),
+            "{dot}"
+        );
     }
 
     #[test]
@@ -634,7 +700,10 @@ mod tests {
         let dfg = crate::dfg::Dfg::from_mapped(&mapped);
         let stats = crate::stats::IoStatistics::compute(&mapped);
         let summary = render_summary(&dfg, Some(&stats));
-        assert!(summary.contains("read /usr/lib") || summary.contains("read:/usr/lib"), "{summary}");
+        assert!(
+            summary.contains("read /usr/lib") || summary.contains("read:/usr/lib"),
+            "{summary}"
+        );
         assert!(summary.contains("edges ("), "{summary}");
         assert!(summary.contains("● -> "), "{summary}");
         assert!(summary.contains(" -> ■"), "{summary}");
@@ -645,12 +714,28 @@ mod tests {
         let log_a = {
             let mut log = EventLog::with_new_interner();
             let i = Arc::clone(log.interner());
-            let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+            let meta = CaseMeta {
+                cid: i.intern("a"),
+                host: i.intern("h"),
+                rid: 0,
+            };
             log.push_case(Case::from_events(
                 meta,
                 vec![
-                    Event::new(Pid(1), Syscall::Read, Micros(0), Micros(1), i.intern("/shared/f")),
-                    Event::new(Pid(1), Syscall::Write, Micros(2), Micros(1), i.intern("/a-only/f")),
+                    Event::new(
+                        Pid(1),
+                        Syscall::Read,
+                        Micros(0),
+                        Micros(1),
+                        i.intern("/shared/f"),
+                    ),
+                    Event::new(
+                        Pid(1),
+                        Syscall::Write,
+                        Micros(2),
+                        Micros(1),
+                        i.intern("/a-only/f"),
+                    ),
                 ],
             ));
             log
@@ -658,13 +743,35 @@ mod tests {
         let log_b = {
             let mut log = EventLog::with_new_interner();
             let i = Arc::clone(log.interner());
-            let meta = CaseMeta { cid: i.intern("b"), host: i.intern("h"), rid: 0 };
+            let meta = CaseMeta {
+                cid: i.intern("b"),
+                host: i.intern("h"),
+                rid: 0,
+            };
             log.push_case(Case::from_events(
                 meta,
                 vec![
-                    Event::new(Pid(2), Syscall::Read, Micros(0), Micros(1), i.intern("/shared/f")),
-                    Event::new(Pid(2), Syscall::Read, Micros(2), Micros(1), i.intern("/shared/f")),
-                    Event::new(Pid(2), Syscall::Write, Micros(4), Micros(1), i.intern("/b-only/f")),
+                    Event::new(
+                        Pid(2),
+                        Syscall::Read,
+                        Micros(0),
+                        Micros(1),
+                        i.intern("/shared/f"),
+                    ),
+                    Event::new(
+                        Pid(2),
+                        Syscall::Read,
+                        Micros(2),
+                        Micros(1),
+                        i.intern("/shared/f"),
+                    ),
+                    Event::new(
+                        Pid(2),
+                        Syscall::Write,
+                        Micros(4),
+                        Micros(1),
+                        i.intern("/b-only/f"),
+                    ),
                 ],
             ));
             log
@@ -682,10 +789,22 @@ mod tests {
         let dot = render_diff_dot(&d, &RenderOptions::default());
         assert!(dot.starts_with("digraph"), "{dot}");
         // A-only structure red, B-only green, shared gray.
-        assert!(dot.contains(&format!("fillcolor=\"{}\"", Rgb::RED.to_hex())), "{dot}");
-        assert!(dot.contains(&format!("fillcolor=\"{}\"", Rgb::GREEN.to_hex())), "{dot}");
-        assert!(dot.contains(&format!("fillcolor=\"{DIFF_SHARED_FILL}\"")), "{dot}");
-        assert!(dot.contains(&format!("color=\"{DIFF_SHARED_EDGE}\"")), "{dot}");
+        assert!(
+            dot.contains(&format!("fillcolor=\"{}\"", Rgb::RED.to_hex())),
+            "{dot}"
+        );
+        assert!(
+            dot.contains(&format!("fillcolor=\"{}\"", Rgb::GREEN.to_hex())),
+            "{dot}"
+        );
+        assert!(
+            dot.contains(&format!("fillcolor=\"{DIFF_SHARED_FILL}\"")),
+            "{dot}"
+        );
+        assert!(
+            dot.contains(&format!("color=\"{DIFF_SHARED_EDGE}\"")),
+            "{dot}"
+        );
         // The shared ●→read edge changed frequency: scaled pen width + Δ label.
         assert!(dot.contains("pp)"), "{dot}");
         // Deterministic.
@@ -698,8 +817,14 @@ mod tests {
         let d = crate::diff::diff(&a, &b);
         let report = render_diff_report(&d);
         assert!(report.contains("DFG diff (A → B)"), "{report}");
-        assert!(report.contains("A-only nodes:\n  write:/a-only/f"), "{report}");
-        assert!(report.contains("B-only nodes:\n  write:/b-only/f"), "{report}");
+        assert!(
+            report.contains("A-only nodes:\n  write:/a-only/f"),
+            "{report}"
+        );
+        assert!(
+            report.contains("B-only nodes:\n  write:/b-only/f"),
+            "{report}"
+        );
         assert!(report.contains("total-variation distance:"), "{report}");
         assert!(report.contains("changed edges"), "{report}");
         assert_eq!(report, render_diff_report(&d));
@@ -711,7 +836,10 @@ mod tests {
         let d = crate::diff::diff(&a, &a);
         let report = render_diff_report(&d);
         assert!(report.contains("graphs are identical"), "{report}");
-        assert!(report.contains("total-variation distance: 0.0000"), "{report}");
+        assert!(
+            report.contains("total-variation distance: 0.0000"),
+            "{report}"
+        );
     }
 
     #[test]

@@ -134,7 +134,11 @@ impl IoStatistics {
                     a.dur.as_micros() as f64 / total_dur.as_micros() as f64
                 },
                 bytes: a.bytes,
-                mean_rate_bps: if a.rated == 0 { 0.0 } else { a.rate_sum / a.rated as f64 },
+                mean_rate_bps: if a.rated == 0 {
+                    0.0
+                } else {
+                    a.rate_sum / a.rated as f64
+                },
                 rated_events: a.rated,
                 max_concurrency: max_concurrency_windowed(&a.intervals),
                 max_concurrency_exact: max_concurrency_exact(&a.intervals),
@@ -269,7 +273,11 @@ mod tests {
         let i = Arc::clone(log.interner());
         let pa = i.intern("/usr/lib/libc.so");
         let pb = i.intern("/etc/passwd");
-        let meta0 = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta0 = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         log.push_case(Case::from_events(
             meta0,
             vec![
@@ -279,7 +287,11 @@ mod tests {
                 Event::new(Pid(1), Syscall::Read, Micros(500), Micros(100), pb).with_size(100),
             ],
         ));
-        let meta1 = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 1 };
+        let meta1 = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 1,
+        };
         log.push_case(Case::from_events(
             meta1,
             vec![Event::new(Pid(2), Syscall::Read, Micros(100), Micros(203), pa).with_size(832)],
@@ -361,7 +373,11 @@ mod tests {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
         let p = i.intern("/x/y");
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         log.push_case(Case::from_events(
             meta,
             vec![
@@ -402,10 +418,20 @@ mod tests {
         // Commas in activity names are quoted.
         let mut log2 = EventLog::with_new_interner();
         let i = Arc::clone(log2.interner());
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         log2.push_case(Case::from_events(
             meta,
-            vec![Event::new(Pid(1), Syscall::Read, Micros(0), Micros(1), i.intern("/a,b/c"))],
+            vec![Event::new(
+                Pid(1),
+                Syscall::Read,
+                Micros(0),
+                Micros(1),
+                i.intern("/a,b/c"),
+            )],
         ));
         let mapped = MappedLog::new(&log2, &CallTopDirs::new(2));
         let csv2 = IoStatistics::compute(&mapped).to_csv();
@@ -417,8 +443,8 @@ mod tests {
         let log = sample();
         let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
         let snap = log.snapshot();
-        let view = st_model::LogView::full(&log)
-            .refine(|_, e| snap.resolve(e.path).contains("/usr/lib"));
+        let view =
+            st_model::LogView::full(&log).refine(|_, e| snap.resolve(e.path).contains("/usr/lib"));
         let stats = IoStatistics::compute_view(&mapped, &view);
         // Only the two libc reads remain; rel_dur renormalizes to the
         // slice's own total (Eq. 8 over the slice).

@@ -85,7 +85,11 @@ impl Timeline {
             .max()
             .unwrap_or(4)
             .max(4);
-        let mut out = format!("timeline of {:?} ({} cases)\n", self.activity, self.rows.len());
+        let mut out = format!(
+            "timeline of {:?} ({} cases)\n",
+            self.activity,
+            self.rows.len()
+        );
         for row in &self.rows {
             let mut lane = vec![b'.'; width];
             for &(s, e) in &row.intervals {
@@ -94,7 +98,11 @@ impl Timeline {
                 let to = ((e.saturating_sub(self.t_min)).as_micros() as u128 * width as u128
                     / span as u128) as usize;
                 let to = to.clamp(from + 1, width).max(from + 1).min(width);
-                for cell in lane.iter_mut().take(to.min(width)).skip(from.min(width - 1)) {
+                for cell in lane
+                    .iter_mut()
+                    .take(to.min(width))
+                    .skip(from.min(width - 1))
+                {
                     *cell = b'#';
                 }
             }
@@ -134,8 +142,7 @@ impl Timeline {
                 row.label
             ));
             for &(s, e) in &row.intervals {
-                let x = label_w
-                    + (s.saturating_sub(self.t_min)).as_micros() as f64 / span * width;
+                let x = label_w + (s.saturating_sub(self.t_min)).as_micros() as f64 / span * width;
                 let w = ((e.saturating_sub(s)).as_micros() as f64 / span * width).max(1.0);
                 out.push_str(&format!(
                     "  <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"14\" fill=\"#1f77b4\"/>\n"
@@ -157,13 +164,27 @@ mod tests {
     fn log_three_cases() -> EventLog {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        for (rid, offsets) in [(9157u32, vec![0u64, 300]), (9158, vec![100]), (9160, vec![150, 600])] {
-            let meta = CaseMeta { cid: i.intern("b"), host: i.intern("h"), rid };
+        for (rid, offsets) in [
+            (9157u32, vec![0u64, 300]),
+            (9158, vec![100]),
+            (9160, vec![150, 600]),
+        ] {
+            let meta = CaseMeta {
+                cid: i.intern("b"),
+                host: i.intern("h"),
+                rid,
+            };
             let events = offsets
                 .iter()
                 .map(|&t| {
-                    Event::new(Pid(rid), Syscall::Read, Micros(t), Micros(100), i.intern("/usr/lib/x.so"))
-                        .with_size(832)
+                    Event::new(
+                        Pid(rid),
+                        Syscall::Read,
+                        Micros(t),
+                        Micros(100),
+                        i.intern("/usr/lib/x.so"),
+                    )
+                    .with_size(832)
                 })
                 .collect();
             log.push_case(Case::from_events(meta, events));
@@ -218,10 +239,20 @@ mod tests {
     fn zero_span_timeline_renders() {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         log.push_case(Case::from_events(
             meta,
-            vec![Event::new(Pid(1), Syscall::Read, Micros(5), Micros(0), i.intern("/x/y"))],
+            vec![Event::new(
+                Pid(1),
+                Syscall::Read,
+                Micros(5),
+                Micros(0),
+                i.intern("/x/y"),
+            )],
         ));
         let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
         let tl = Timeline::for_activity(&mapped, "read:/x/y").unwrap();

@@ -85,14 +85,30 @@ mod tests {
     fn tiny() -> EventLog {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 0 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 0,
+        };
         log.push_case(Case::from_events(
             meta,
             vec![
-                Event::new(Pid(1), Syscall::Read, Micros(0), Micros(10), i.intern("/usr/lib/x"))
-                    .with_size(10),
-                Event::new(Pid(1), Syscall::Write, Micros(20), Micros(10), i.intern("/dev/pts/1"))
-                    .with_size(5),
+                Event::new(
+                    Pid(1),
+                    Syscall::Read,
+                    Micros(0),
+                    Micros(10),
+                    i.intern("/usr/lib/x"),
+                )
+                .with_size(10),
+                Event::new(
+                    Pid(1),
+                    Syscall::Write,
+                    Micros(20),
+                    Micros(10),
+                    i.intern("/dev/pts/1"),
+                )
+                .with_size(5),
             ],
         ));
         log

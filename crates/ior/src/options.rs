@@ -249,9 +249,8 @@ mod tests {
 
     #[test]
     fn parses_the_paper_ssf_command() {
-        let opts =
-            IorOptions::parse("-t 1m -b 16m -s 3 -w -r -C -e -o /p/scratch/user1/ssf/test")
-                .unwrap();
+        let opts = IorOptions::parse("-t 1m -b 16m -s 3 -w -r -C -e -o /p/scratch/user1/ssf/test")
+            .unwrap();
         assert_eq!(opts.transfer_size, 1 << 20);
         assert_eq!(opts.block_size, 16 << 20);
         assert_eq!(opts.segments, 3);

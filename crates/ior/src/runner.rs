@@ -83,9 +83,21 @@ mod tests {
         for case in log.cases() {
             // Per rank under experiment-A tracing: 1 openat + 48 writes +
             // 48 reads (lseek/fsync/close untraced).
-            let opens = case.events.iter().filter(|e| e.call == Syscall::Openat).count();
-            let writes = case.events.iter().filter(|e| e.call == Syscall::Write).count();
-            let reads = case.events.iter().filter(|e| e.call == Syscall::Read).count();
+            let opens = case
+                .events
+                .iter()
+                .filter(|e| e.call == Syscall::Openat)
+                .count();
+            let writes = case
+                .events
+                .iter()
+                .filter(|e| e.call == Syscall::Write)
+                .count();
+            let reads = case
+                .events
+                .iter()
+                .filter(|e| e.call == Syscall::Read)
+                .count();
             assert_eq!((opens, writes, reads), (1, 48, 48));
             assert!(case.events.iter().all(|e| e.call != Syscall::Lseek));
         }
@@ -110,9 +122,21 @@ mod tests {
             &mut log,
         );
         for case in log.cases() {
-            let pw = case.events.iter().filter(|e| e.call == Syscall::Pwrite64).count();
-            let pr = case.events.iter().filter(|e| e.call == Syscall::Pread64).count();
-            let seeks = case.events.iter().filter(|e| e.call == Syscall::Lseek).count();
+            let pw = case
+                .events
+                .iter()
+                .filter(|e| e.call == Syscall::Pwrite64)
+                .count();
+            let pr = case
+                .events
+                .iter()
+                .filter(|e| e.call == Syscall::Pread64)
+                .count();
+            let seeks = case
+                .events
+                .iter()
+                .filter(|e| e.call == Syscall::Lseek)
+                .count();
             assert_eq!((pw, pr, seeks), (48, 48, 0));
         }
     }
@@ -135,7 +159,11 @@ mod tests {
             &mut log,
         );
         for case in log.cases() {
-            let seeks = case.events.iter().filter(|e| e.call == Syscall::Lseek).count();
+            let seeks = case
+                .events
+                .iter()
+                .filter(|e| e.call == Syscall::Lseek)
+                .count();
             assert_eq!(seeks, 6); // 3 write segments + 3 read segments
         }
     }
@@ -148,10 +176,22 @@ mod tests {
             IorOptions::paper_experiment(fpp, Api::Posix, &format!("{scratch}/{dir}/test"))
         };
         let mut log = EventLog::with_new_interner();
-        run_ior("s", &mk(false, "ssf"), &StartupProfile::none(), &config,
-            &TraceFilter::experiment_a(), &mut log);
-        run_ior("f", &mk(true, "fpp"), &StartupProfile::none(), &config,
-            &TraceFilter::experiment_a(), &mut log);
+        run_ior(
+            "s",
+            &mk(false, "ssf"),
+            &StartupProfile::none(),
+            &config,
+            &TraceFilter::experiment_a(),
+            &mut log,
+        );
+        run_ior(
+            "f",
+            &mk(true, "fpp"),
+            &StartupProfile::none(),
+            &config,
+            &TraceFilter::experiment_a(),
+            &mut log,
+        );
         let snap = log.snapshot();
         let total_dur = |cid: &str, call: Syscall| -> u64 {
             log.cases()

@@ -68,7 +68,11 @@ pub fn startup_ops(
             });
         }
         let lib_path = format!("{}/lib/lib{lib}.so.1", paths.software);
-        ops.push(Op::Open { path: lib_path.clone(), create: false, shared_write: false });
+        ops.push(Op::Open {
+            path: lib_path.clone(),
+            create: false,
+            shared_write: false,
+        });
         ops.push(Op::Read {
             path: lib_path.clone(),
             size: 832,
@@ -86,12 +90,18 @@ pub fn startup_ops(
                 });
             }
         }
-        ops.push(Op::Compute { dur_us: rng.gen_range(50..400) });
+        ops.push(Op::Compute {
+            dur_us: rng.gen_range(50..400),
+        });
     }
     // Node-local MPI shared-memory segments.
     if profile.shm_writes > 0 {
         let shm = format!("{}/mpi_shm_{rank}", paths.shm);
-        ops.push(Op::Open { path: shm.clone(), create: true, shared_write: false });
+        ops.push(Op::Open {
+            path: shm.clone(),
+            create: true,
+            shared_write: false,
+        });
         for _ in 0..profile.shm_writes {
             ops.push(Op::Write {
                 path: shm.clone(),
@@ -108,12 +118,7 @@ pub fn startup_ops(
 
 /// Builds the IOR ops of one rank (`rank` of `num_tasks`, with
 /// `tasks_per_node` ranks per host).
-pub fn ior_ops(
-    opts: &IorOptions,
-    rank: u64,
-    num_tasks: u64,
-    tasks_per_node: u64,
-) -> Vec<Op> {
+pub fn ior_ops(opts: &IorOptions, rank: u64, num_tasks: u64, tasks_per_node: u64) -> Vec<Op> {
     let mut ops = Vec::new();
     let transfers = opts.transfers_per_block();
     let own_file = if opts.file_per_proc {
@@ -141,7 +146,10 @@ pub fn ior_ops(
             };
             match opts.api {
                 Api::Posix => {
-                    ops.push(Op::Lseek { path: own_file.clone(), offset: base });
+                    ops.push(Op::Lseek {
+                        path: own_file.clone(),
+                        offset: base,
+                    });
                     for _ in 0..transfers {
                         ops.push(Op::Write {
                             path: own_file.clone(),
@@ -166,7 +174,9 @@ pub fn ior_ops(
             }
         }
         if opts.fsync {
-            ops.push(Op::Fsync { path: own_file.clone() });
+            ops.push(Op::Fsync {
+                path: own_file.clone(),
+            });
         }
     }
 
@@ -182,9 +192,17 @@ pub fn ior_ops(
         };
         if opts.file_per_proc && read_file != own_file {
             // Reading the shifted rank's file requires opening it.
-            ops.push(Op::Open { path: read_file.clone(), create: false, shared_write: false });
+            ops.push(Op::Open {
+                path: read_file.clone(),
+                create: false,
+                shared_write: false,
+            });
         } else if !opts.write {
-            ops.push(Op::Open { path: read_file.clone(), create: false, shared_write: false });
+            ops.push(Op::Open {
+                path: read_file.clone(),
+                create: false,
+                shared_write: false,
+            });
         }
         for segment in 0..opts.segments {
             let base = if opts.file_per_proc {
@@ -194,7 +212,10 @@ pub fn ior_ops(
             };
             match opts.api {
                 Api::Posix => {
-                    ops.push(Op::Lseek { path: read_file.clone(), offset: base });
+                    ops.push(Op::Lseek {
+                        path: read_file.clone(),
+                        offset: base,
+                    });
                     for _ in 0..transfers {
                         ops.push(Op::Read {
                             path: read_file.clone(),
@@ -241,7 +262,12 @@ pub fn build_ranks(
         .map(|rank| {
             let mut rng = SmallRng::seed_from_u64(seed ^ (rank as u64).wrapping_mul(0x9E37_79B9));
             let mut ops = startup_ops(profile, paths, rank, &mut rng);
-            ops.extend(ior_ops(opts, rank as u64, num_tasks as u64, tasks_per_node as u64));
+            ops.extend(ior_ops(
+                opts,
+                rank as u64,
+                num_tasks as u64,
+                tasks_per_node as u64,
+            ));
             ops
         })
         .collect()
@@ -282,7 +308,9 @@ mod tests {
         let offsets: Vec<u64> = ops
             .iter()
             .filter_map(|o| match o {
-                Op::Write { offset: Some(off), .. } => Some(*off),
+                Op::Write {
+                    offset: Some(off), ..
+                } => Some(*off),
                 _ => None,
             })
             .collect();
@@ -308,16 +336,26 @@ mod tests {
             .collect();
         assert_eq!(opened, vec!["/s/fpp/test.00000000", "/s/fpp/test.00000048"]);
         // FPP never uses the shared-write token path.
-        assert!(ops.iter().all(|o| !matches!(o, Op::Open { shared_write: true, .. })));
+        assert!(ops.iter().all(|o| !matches!(
+            o,
+            Op::Open {
+                shared_write: true,
+                ..
+            }
+        )));
     }
 
     #[test]
     fn ssf_write_open_is_shared() {
         let opts = IorOptions::paper_experiment(false, Api::Posix, "/s/ssf/test");
         let ops = ior_ops(&opts, 0, 96, 48);
-        assert!(ops
-            .iter()
-            .any(|o| matches!(o, Op::Open { shared_write: true, .. })));
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            Op::Open {
+                shared_write: true,
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -353,8 +391,22 @@ mod tests {
     #[test]
     fn build_ranks_is_deterministic_and_barrier_consistent() {
         let opts = IorOptions::paper_experiment(false, Api::Posix, "/s/ssf/test");
-        let a = build_ranks(&opts, &StartupProfile::default(), &PathScheme::default(), 8, 4, 1);
-        let b = build_ranks(&opts, &StartupProfile::default(), &PathScheme::default(), 8, 4, 1);
+        let a = build_ranks(
+            &opts,
+            &StartupProfile::default(),
+            &PathScheme::default(),
+            8,
+            4,
+            1,
+        );
+        let b = build_ranks(
+            &opts,
+            &StartupProfile::default(),
+            &PathScheme::default(),
+            8,
+            4,
+            1,
+        );
         assert_eq!(a, b);
         let barriers: Vec<usize> = a
             .iter()

@@ -185,7 +185,13 @@ mod tests {
     #[test]
     fn parse_trace_file_name_rejects_malformed() {
         let i = Interner::new();
-        for name in ["", "nounderscore.st", "a_host.st", "a_host_xyz.st", "_host_1.st"] {
+        for name in [
+            "",
+            "nounderscore.st",
+            "a_host.st",
+            "a_host_xyz.st",
+            "_host_1.st",
+        ] {
             assert!(
                 CaseMeta::parse_trace_file_name(name, &i).is_none(),
                 "accepted {name:?}"

@@ -33,7 +33,10 @@ impl fmt::Display for ModelError {
                 write!(f, "duplicate case identity {case}")
             }
             ModelError::DanglingSymbol { case } => {
-                write!(f, "case {case} references a symbol not present in the interner")
+                write!(
+                    f,
+                    "case {case} references a symbol not present in the interner"
+                )
             }
         }
     }

@@ -425,7 +425,10 @@ mod tests {
                 syms
             }));
         }
-        let all: Vec<_> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let all: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         for (s, sym) in all {
             assert_eq!(&*i.resolve(sym), s.as_str());
         }
@@ -452,7 +455,10 @@ mod tests {
                 keys.iter().cloned().zip(syms).collect::<Vec<_>>()
             }));
         }
-        let all: Vec<_> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        let all: Vec<_> = handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect();
         for (s, sym) in all {
             assert_eq!(&*i.resolve(sym), s.as_str());
         }

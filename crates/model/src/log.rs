@@ -109,10 +109,7 @@ impl EventLog {
     /// `apply_fp_filter` operation of the paper's Fig. 6 workflow.
     pub fn filter_path_contains(&self, needle: &str) -> EventLog {
         let snap = self.snapshot();
-        self.filter_events(|_, e| {
-            snap.try_resolve(e.path)
-                .is_some_and(|p| p.contains(needle))
-        })
+        self.filter_events(|_, e| snap.try_resolve(e.path).is_some_and(|p| p.contains(needle)))
     }
 
     /// Splits the log into `(matching, rest)` by a case-level predicate,
@@ -162,9 +159,9 @@ impl EventLog {
                     let mut e = *e;
                     e.path = self.interner.intern(theirs.resolve(e.path));
                     e.call = match e.call {
-                        crate::Syscall::Other(sym) => crate::Syscall::Other(
-                            self.interner.intern(theirs.resolve(sym)),
-                        ),
+                        crate::Syscall::Other(sym) => {
+                            crate::Syscall::Other(self.interner.intern(theirs.resolve(sym)))
+                        }
                         c => c,
                     };
                     e
@@ -305,7 +302,11 @@ mod tests {
                 .collect();
             Case { meta, events }
         };
-        log.push_case(mk_case("a", 1, &[("/usr/lib/libc.so", 832), ("/etc/passwd", 100)]));
+        log.push_case(mk_case(
+            "a",
+            1,
+            &[("/usr/lib/libc.so", 832), ("/etc/passwd", 100)],
+        ));
         log.push_case(mk_case("a", 2, &[("/usr/lib/libc.so", 832)]));
         log.push_case(mk_case("b", 3, &[("/etc/group", 50)]));
         log
@@ -399,16 +400,47 @@ mod tests {
     fn split_cases_by_pid_regroups_smt_children() {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("z"), host: i.intern("h9"), rid: 500 };
+        let meta = CaseMeta {
+            cid: i.intern("z"),
+            host: i.intern("h9"),
+            rid: 500,
+        };
         let p = i.intern("/smt/file");
         // One trace file with two pids interleaved (SMT, Fig. 2c setup).
         let events = vec![
-            Event { pid: Pid(10), call: Syscall::Read, start: Micros(0), dur: Micros(1),
-                path: p, size: None, requested: None, offset: None, ok: true },
-            Event { pid: Pid(11), call: Syscall::Read, start: Micros(5), dur: Micros(1),
-                path: p, size: None, requested: None, offset: None, ok: true },
-            Event { pid: Pid(10), call: Syscall::Write, start: Micros(10), dur: Micros(1),
-                path: p, size: None, requested: None, offset: None, ok: true },
+            Event {
+                pid: Pid(10),
+                call: Syscall::Read,
+                start: Micros(0),
+                dur: Micros(1),
+                path: p,
+                size: None,
+                requested: None,
+                offset: None,
+                ok: true,
+            },
+            Event {
+                pid: Pid(11),
+                call: Syscall::Read,
+                start: Micros(5),
+                dur: Micros(1),
+                path: p,
+                size: None,
+                requested: None,
+                offset: None,
+                ok: true,
+            },
+            Event {
+                pid: Pid(10),
+                call: Syscall::Write,
+                start: Micros(10),
+                dur: Micros(1),
+                path: p,
+                size: None,
+                requested: None,
+                offset: None,
+                ok: true,
+            },
         ];
         log.push_case(Case::from_events(meta, events));
         let split = log.split_cases_by_pid();

@@ -117,9 +117,7 @@ impl Syscall {
     /// them.
     pub fn name<'a>(&self, interner: &'a Interner) -> std::borrow::Cow<'a, str> {
         match self {
-            Syscall::Other(sym) => {
-                std::borrow::Cow::Owned(interner.resolve(*sym).to_string())
-            }
+            Syscall::Other(sym) => std::borrow::Cow::Owned(interner.resolve(*sym).to_string()),
             _ => std::borrow::Cow::Borrowed(self.static_name().expect("named variant")),
         }
     }

@@ -222,10 +222,7 @@ mod tests {
     #[test]
     fn parses_strace_timestamp() {
         let t = Micros::parse_time_of_day("08:55:54.153994").unwrap();
-        assert_eq!(
-            t.0,
-            ((8 * 60 + 55) * 60 + 54) * MICROS_PER_SEC + 153_994
-        );
+        assert_eq!(t.0, ((8 * 60 + 55) * 60 + 54) * MICROS_PER_SEC + 153_994);
     }
 
     #[test]
@@ -242,7 +239,15 @@ mod tests {
 
     #[test]
     fn rejects_malformed_timestamps() {
-        for s in ["", "8:55", "aa:bb:cc", "25:00:00", "08:61:00", "08:55:54.", "08:55:54.1234567"] {
+        for s in [
+            "",
+            "8:55",
+            "aa:bb:cc",
+            "25:00:00",
+            "08:61:00",
+            "08:55:54.",
+            "08:55:54.1234567",
+        ] {
             assert!(Micros::parse_time_of_day(s).is_none(), "accepted {s:?}");
         }
     }

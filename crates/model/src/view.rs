@@ -93,7 +93,10 @@ impl<'log> LogView<'log> {
 
     /// The empty view over `log`.
     pub fn empty(log: &'log EventLog) -> LogView<'log> {
-        LogView { log, slices: Vec::new() }
+        LogView {
+            log,
+            slices: Vec::new(),
+        }
     }
 
     /// The parent log.
@@ -151,10 +154,16 @@ impl<'log> LogView<'log> {
                     .copied()
                     .filter(|&k| pred(&case.meta, &case.events[k as usize]))
                     .collect();
-                (!events.is_empty()).then_some(CaseSlice { case_idx: s.case_idx, events })
+                (!events.is_empty()).then_some(CaseSlice {
+                    case_idx: s.case_idx,
+                    events,
+                })
             })
             .collect();
-        LogView { log: self.log, slices }
+        LogView {
+            log: self.log,
+            slices,
+        }
     }
 
     /// Materializes the view into an owned [`EventLog`] sharing the
@@ -166,11 +175,7 @@ impl<'log> LogView<'log> {
             let case = &self.log.cases()[s.case_idx];
             out.push_case(crate::Case {
                 meta: case.meta,
-                events: s
-                    .events
-                    .iter()
-                    .map(|&k| case.events[k as usize])
-                    .collect(),
+                events: s.events.iter().map(|&k| case.events[k as usize]).collect(),
             });
         }
         out
@@ -193,12 +198,22 @@ mod tests {
             ("a", 1, vec!["/usr/lib/libc.so"]),
             ("b", 2, vec!["/etc/group", "/etc/passwd", "/dev/null"]),
         ] {
-            let meta = CaseMeta { cid: i.intern(cid), host: i.intern("h"), rid };
+            let meta = CaseMeta {
+                cid: i.intern(cid),
+                host: i.intern("h"),
+                rid,
+            };
             let events = paths
                 .iter()
                 .enumerate()
                 .map(|(k, p)| {
-                    Event::new(Pid(rid + 1), Syscall::Read, Micros(k as u64 * 10), Micros(1), i.intern(p))
+                    Event::new(
+                        Pid(rid + 1),
+                        Syscall::Read,
+                        Micros(k as u64 * 10),
+                        Micros(1),
+                        i.intern(p),
+                    )
                 })
                 .collect();
             log.push_case(Case::from_events(meta, events));

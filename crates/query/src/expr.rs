@@ -65,9 +65,16 @@ impl std::error::Error for ParseError {}
 /// ```
 pub fn parse_expr(input: &str) -> Result<Predicate, ParseError> {
     let tokens = tokenize(input)?;
-    let mut parser = Parser { tokens, pos: 0, len: input.len() };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        len: input.len(),
+    };
     if parser.peek().is_none() {
-        return Err(ParseError { message: "empty expression".into(), offset: 0 });
+        return Err(ParseError {
+            message: "empty expression".into(),
+            offset: 0,
+        });
     }
     let expr = parser.parse_or()?;
     if let Some(tok) = parser.peek() {
@@ -148,14 +155,62 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 });
                 i += close + 2;
             }
-            b'=' => { tokens.push(Token { kind: TokenKind::Eq, offset: start }); i += 1 }
-            b'~' => { tokens.push(Token { kind: TokenKind::Tilde, offset: start }); i += 1 }
-            b'!' => { tokens.push(Token { kind: TokenKind::Bang, offset: start }); i += 1 }
-            b'(' => { tokens.push(Token { kind: TokenKind::LParen, offset: start }); i += 1 }
-            b')' => { tokens.push(Token { kind: TokenKind::RParen, offset: start }); i += 1 }
-            b'[' => { tokens.push(Token { kind: TokenKind::LBracket, offset: start }); i += 1 }
-            b']' => { tokens.push(Token { kind: TokenKind::RBracket, offset: start }); i += 1 }
-            b',' => { tokens.push(Token { kind: TokenKind::Comma, offset: start }); i += 1 }
+            b'=' => {
+                tokens.push(Token {
+                    kind: TokenKind::Eq,
+                    offset: start,
+                });
+                i += 1
+            }
+            b'~' => {
+                tokens.push(Token {
+                    kind: TokenKind::Tilde,
+                    offset: start,
+                });
+                i += 1
+            }
+            b'!' => {
+                tokens.push(Token {
+                    kind: TokenKind::Bang,
+                    offset: start,
+                });
+                i += 1
+            }
+            b'(' => {
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    offset: start,
+                });
+                i += 1
+            }
+            b')' => {
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    offset: start,
+                });
+                i += 1
+            }
+            b'[' => {
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    offset: start,
+                });
+                i += 1
+            }
+            b']' => {
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    offset: start,
+                });
+                i += 1
+            }
+            b',' => {
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    offset: start,
+                });
+                i += 1
+            }
             b'<' | b'>' => {
                 let wide = bytes.get(i + 1) == Some(&b'=');
                 let kind = match (b, wide) {
@@ -164,7 +219,10 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                     (b'>', true) => TokenKind::Ge,
                     _ => TokenKind::Gt,
                 };
-                tokens.push(Token { kind, offset: start });
+                tokens.push(Token {
+                    kind,
+                    offset: start,
+                });
                 i += if wide { 2 } else { 1 };
             }
             _ => {
@@ -172,8 +230,20 @@ fn tokenize(input: &str) -> Result<Vec<Token>, ParseError> {
                 while i < bytes.len()
                     && !matches!(
                         bytes[i],
-                        b' ' | b'\t' | b'\n' | b'\r' | b'"' | b'=' | b'~' | b'!' | b'(' | b')'
-                            | b'[' | b']' | b',' | b'<' | b'>'
+                        b' ' | b'\t'
+                            | b'\n'
+                            | b'\r'
+                            | b'"'
+                            | b'='
+                            | b'~'
+                            | b'!'
+                            | b'('
+                            | b')'
+                            | b'['
+                            | b']'
+                            | b','
+                            | b'<'
+                            | b'>'
                     )
                 {
                     i += 1;
@@ -219,7 +289,11 @@ impl Parser {
                 Ok(())
             }
             Some(tok) => Err(ParseError {
-                message: format!("expected {}, found {}", kind.describe(), tok.kind.describe()),
+                message: format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    tok.kind.describe()
+                ),
                 offset: tok.offset,
             }),
             None => Err(self.err_here(format!("expected {}, found end of input", kind.describe()))),
@@ -239,12 +313,22 @@ impl Parser {
         let mut lhs = self.parse_unary()?;
         loop {
             match self.peek() {
-                Some(Token { kind: TokenKind::Word(w), .. }) if w == "or" => break,
-                Some(Token { kind: TokenKind::Word(w), .. }) if w == "and" => {
+                Some(Token {
+                    kind: TokenKind::Word(w),
+                    ..
+                }) if w == "or" => break,
+                Some(Token {
+                    kind: TokenKind::Word(w),
+                    ..
+                }) if w == "and" => {
                     self.pos += 1;
                     lhs = lhs.and(self.parse_unary()?);
                 }
-                Some(Token { kind: TokenKind::RParen | TokenKind::RBracket, .. }) | None => break,
+                Some(Token {
+                    kind: TokenKind::RParen | TokenKind::RBracket,
+                    ..
+                })
+                | None => break,
                 Some(_) => lhs = lhs.and(self.parse_unary()?),
             }
         }
@@ -253,11 +337,17 @@ impl Parser {
 
     fn parse_unary(&mut self) -> Result<Predicate, ParseError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::Bang, .. }) => {
+            Some(Token {
+                kind: TokenKind::Bang,
+                ..
+            }) => {
                 self.pos += 1;
                 Ok(self.parse_unary()?.not())
             }
-            Some(Token { kind: TokenKind::Word(w), .. }) if w == "not" => {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == "not" => {
                 self.pos += 1;
                 Ok(self.parse_unary()?.not())
             }
@@ -267,21 +357,33 @@ impl Parser {
 
     fn parse_primary(&mut self) -> Result<Predicate, ParseError> {
         match self.peek() {
-            Some(Token { kind: TokenKind::LParen, .. }) => {
+            Some(Token {
+                kind: TokenKind::LParen,
+                ..
+            }) => {
                 self.pos += 1;
                 let inner = self.parse_or()?;
                 self.expect(&TokenKind::RParen)?;
                 Ok(inner)
             }
-            Some(Token { kind: TokenKind::Word(w), .. }) if w == "true" => {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == "true" => {
                 self.pos += 1;
                 Ok(Predicate::True)
             }
-            Some(Token { kind: TokenKind::Word(w), .. }) if w == "false" => {
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) if w == "false" => {
                 self.pos += 1;
                 Ok(Predicate::False)
             }
-            Some(Token { kind: TokenKind::Word(_), .. }) => self.parse_term(),
+            Some(Token {
+                kind: TokenKind::Word(_),
+                ..
+            }) => self.parse_term(),
             Some(tok) => Err(ParseError {
                 message: format!("expected a term, found {}", tok.kind.describe()),
                 offset: tok.offset,
@@ -292,7 +394,10 @@ impl Parser {
 
     fn parse_term(&mut self) -> Result<Predicate, ParseError> {
         let (key, key_offset) = match self.bump() {
-            Some(Token { kind: TokenKind::Word(w), offset }) => (w.clone(), *offset),
+            Some(Token {
+                kind: TokenKind::Word(w),
+                offset,
+            }) => (w.clone(), *offset),
             _ => unreachable!("parse_primary checked for a word"),
         };
         match key.as_str() {
@@ -435,7 +540,10 @@ impl Parser {
             Some((TokenKind::Ge, _)) => Ok(Cmp::Ge),
             Some((TokenKind::Gt, _)) => Ok(Cmp::Gt),
             Some((other, offset)) => Err(ParseError {
-                message: format!("{key} takes a comparison operator, found {}", other.describe()),
+                message: format!(
+                    "{key} takes a comparison operator, found {}",
+                    other.describe()
+                ),
                 offset,
             }),
             None => Err(self.err_here(format!("{key} takes a comparison operator"))),
@@ -444,8 +552,14 @@ impl Parser {
 
     fn parse_string(&mut self, key: &str) -> Result<String, ParseError> {
         match self.bump() {
-            Some(Token { kind: TokenKind::Word(w), .. }) => Ok(w.clone()),
-            Some(Token { kind: TokenKind::Str(s), .. }) => Ok(s.clone()),
+            Some(Token {
+                kind: TokenKind::Word(w),
+                ..
+            }) => Ok(w.clone()),
+            Some(Token {
+                kind: TokenKind::Str(s),
+                ..
+            }) => Ok(s.clone()),
             Some(tok) => Err(ParseError {
                 message: format!("{key} takes a value, found {}", tok.kind.describe()),
                 offset: tok.offset,
@@ -561,8 +675,14 @@ mod tests {
             ("rid=96", Predicate::Rid(96)),
             ("cid=s", Predicate::Cid("s".into())),
             ("host=jwc01", Predicate::Host("jwc01".into())),
-            ("path=/etc/passwd", Predicate::PathExact("/etc/passwd".into())),
-            ("path~\"/scratch/*\"", Predicate::PathGlob("/scratch/*".into())),
+            (
+                "path=/etc/passwd",
+                Predicate::PathExact("/etc/passwd".into()),
+            ),
+            (
+                "path~\"/scratch/*\"",
+                Predicate::PathGlob("/scratch/*".into()),
+            ),
             ("call=openat", Predicate::Call("openat".into())),
             ("class=write", Predicate::Class(CallClass::Write)),
             ("ok=true", Predicate::Ok(true)),
@@ -600,7 +720,9 @@ mod tests {
         let p = parse_expr("pid=1 pid=2 or pid=3").unwrap();
         assert_eq!(
             p,
-            Predicate::Pid(1).and(Predicate::Pid(2)).or(Predicate::Pid(3))
+            Predicate::Pid(1)
+                .and(Predicate::Pid(2))
+                .or(Predicate::Pid(3))
         );
         // Parentheses override.
         let q = parse_expr("pid=1 (pid=2 or pid=3)").unwrap();
@@ -617,9 +739,18 @@ mod tests {
 
     #[test]
     fn time_and_size_units() {
-        assert_eq!(parse_expr("dur>=1500us").unwrap(), Predicate::Dur(Cmp::Ge, Micros(1500)));
-        assert_eq!(parse_expr("dur>=0.5ms").unwrap(), Predicate::Dur(Cmp::Ge, Micros(500)));
-        assert_eq!(parse_expr("size>=64k").unwrap(), Predicate::Size(Cmp::Ge, 65536));
+        assert_eq!(
+            parse_expr("dur>=1500us").unwrap(),
+            Predicate::Dur(Cmp::Ge, Micros(1500))
+        );
+        assert_eq!(
+            parse_expr("dur>=0.5ms").unwrap(),
+            Predicate::Dur(Cmp::Ge, Micros(500))
+        );
+        assert_eq!(
+            parse_expr("size>=64k").unwrap(),
+            Predicate::Size(Cmp::Ge, 65536)
+        );
         assert_eq!(parse_expr("size=0").unwrap(), Predicate::Size(Cmp::Eq, 0));
     }
 
@@ -636,7 +767,10 @@ mod tests {
             ("path!\"x\"", "'=' (exact) or '~' (glob)"),
             ("t=[1s,2s", "closes with"),
             ("t=[3s,1s)", "empty time window"),
-            ("t=[0s,09:00:00)", "mixes a relative and an absolute endpoint"),
+            (
+                "t=[0s,09:00:00)",
+                "mixes a relative and an absolute endpoint",
+            ),
             ("t=[25:00:00,26:00:00)", "bad time"),
             ("dur>=10", "bad duration"),
             ("size>=1x", "bad size"),

@@ -64,7 +64,10 @@ pub fn group_by<'log>(view: &LogView<'log>, key: GroupKey) -> Vec<(String, LogVi
             let slices = groups.entry(id).or_default();
             match slices.last_mut() {
                 Some(last) if last.case_idx == s.case_idx => last.events.push(k),
-                _ => slices.push(CaseSlice { case_idx: s.case_idx, events: vec![k] }),
+                _ => slices.push(CaseSlice {
+                    case_idx: s.case_idx,
+                    events: vec![k],
+                }),
             }
         }
     }
@@ -96,15 +99,30 @@ mod tests {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
         for (cid, host, rid, rows) in [
-            ("a", "h1", 0u32, vec![(10u32, "/x/f0"), (10, "/x/f1"), (11, "/x/f0")]),
+            (
+                "a",
+                "h1",
+                0u32,
+                vec![(10u32, "/x/f0"), (10, "/x/f1"), (11, "/x/f0")],
+            ),
             ("b", "h2", 1, vec![(20, "/x/f1"), (20, "/x/f2")]),
         ] {
-            let meta = CaseMeta { cid: i.intern(cid), host: i.intern(host), rid };
+            let meta = CaseMeta {
+                cid: i.intern(cid),
+                host: i.intern(host),
+                rid,
+            };
             let events = rows
                 .iter()
                 .enumerate()
                 .map(|(k, (pid, p))| {
-                    Event::new(Pid(*pid), Syscall::Read, Micros(k as u64), Micros(1), i.intern(p))
+                    Event::new(
+                        Pid(*pid),
+                        Syscall::Read,
+                        Micros(k as u64),
+                        Micros(1),
+                        i.intern(p),
+                    )
                 })
                 .collect();
             log.push_case(Case::from_events(meta, events));
@@ -113,7 +131,10 @@ mod tests {
     }
 
     fn sizes(groups: &[(String, LogView<'_>)]) -> Vec<(String, usize)> {
-        groups.iter().map(|(k, v)| (k.clone(), v.event_count())).collect()
+        groups
+            .iter()
+            .map(|(k, v)| (k.clone(), v.event_count()))
+            .collect()
     }
 
     #[test]

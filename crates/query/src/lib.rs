@@ -68,7 +68,7 @@ use st_model::{CaseSlice, EventLog, LogView};
 pub use expr::{parse_expr, ParseError};
 pub use group::{group_by, GroupKey};
 pub use predicate::{glob_match, CallClass, Cmp, EvalCtx, Predicate};
-pub use pushdown::{read_pruned, PrunePlan, PrunedRead, PushdownStats};
+pub use pushdown::{read_pruned, read_pruned_par, PrunePlan, PrunedRead, PushdownStats};
 
 /// The trace epoch for relative time windows: the log's earliest event
 /// start, or zero when the predicate never looks at relative time (so
@@ -87,7 +87,10 @@ fn epoch_for(log: &EventLog, pred: &Predicate) -> st_model::Micros {
 /// event start.
 pub fn scan<'log>(log: &'log EventLog, pred: &Predicate) -> LogView<'log> {
     let snapshot = log.snapshot();
-    let ctx = EvalCtx { snapshot: &snapshot, t0: epoch_for(log, pred) };
+    let ctx = EvalCtx {
+        snapshot: &snapshot,
+        t0: epoch_for(log, pred),
+    };
     let mut slices = Vec::new();
     for (case_idx, case) in log.cases().iter().enumerate() {
         let events: Vec<u32> = case
@@ -111,7 +114,9 @@ pub fn scan<'log>(log: &'log EventLog, pred: &Predicate) -> LogView<'log> {
 pub fn scan_par<'log>(log: &'log EventLog, pred: &Predicate, threads: usize) -> LogView<'log> {
     let n_cases = log.case_count();
     let workers = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     }
@@ -190,7 +195,11 @@ mod tests {
                 .map(|k| {
                     let mut e = Event::new(
                         Pid(100 + (k % 3) as u32),
-                        if k % 4 == 0 { Syscall::Write } else { Syscall::Read },
+                        if k % 4 == 0 {
+                            Syscall::Write
+                        } else {
+                            Syscall::Read
+                        },
                         Micros((k * 10) as u64),
                         Micros(5),
                         i.intern(&format!("/d{}/f{}", k % 5, k % 7)),
@@ -214,7 +223,10 @@ mod tests {
         let pred = parse_expr("class=write size>=400").unwrap();
         let view = scan(&log, &pred);
         let snap = log.snapshot();
-        let ctx = EvalCtx { snapshot: &snap, t0: log.earliest_start().unwrap() };
+        let ctx = EvalCtx {
+            snapshot: &snap,
+            t0: log.earliest_start().unwrap(),
+        };
         let reference = log.filter_events(|m, e| pred.matches(&ctx, m, e));
         assert_eq!(view.to_event_log().cases(), reference.cases());
         assert!(view.event_count() > 0);
@@ -223,7 +235,12 @@ mod tests {
     #[test]
     fn parallel_scan_equals_sequential() {
         let log = synthetic(17, 33);
-        for src in ["true", "ok=false", "pid=101 or class=write", "path~\"/d1/*\""] {
+        for src in [
+            "true",
+            "ok=false",
+            "pid=101 or class=write",
+            "path~\"/d1/*\"",
+        ] {
             let pred = parse_expr(src).unwrap();
             let seq = scan(&log, &pred);
             for threads in [2, 3, 8] {

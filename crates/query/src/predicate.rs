@@ -276,7 +276,12 @@ impl Predicate {
                 named => named.static_name() == Some(name.as_str()),
             },
             Predicate::Class(class) => class.contains(event.call),
-            Predicate::TimeWindow { from, to, inclusive_end, absolute } => {
+            Predicate::TimeWindow {
+                from,
+                to,
+                inclusive_end,
+                absolute,
+            } => {
                 let start = if *absolute {
                     event.start
                 } else {
@@ -354,14 +359,36 @@ mod tests {
     fn sample() -> EventLog {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("jwc01"), rid: 7 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("jwc01"),
+            rid: 7,
+        };
         let events = vec![
-            Event::new(Pid(42), Syscall::Read, Micros(100), Micros(10), i.intern("/data/out.h5"))
-                .with_size(4096),
-            Event::new(Pid(42), Syscall::Openat, Micros(200), Micros(1), i.intern("/usr/lib/x.so"))
-                .failed(),
-            Event::new(Pid(43), Syscall::Pwrite64, Micros(300), Micros(50), i.intern("/data/out.h5"))
-                .with_size(1 << 20),
+            Event::new(
+                Pid(42),
+                Syscall::Read,
+                Micros(100),
+                Micros(10),
+                i.intern("/data/out.h5"),
+            )
+            .with_size(4096),
+            Event::new(
+                Pid(42),
+                Syscall::Openat,
+                Micros(200),
+                Micros(1),
+                i.intern("/usr/lib/x.so"),
+            )
+            .failed(),
+            Event::new(
+                Pid(43),
+                Syscall::Pwrite64,
+                Micros(300),
+                Micros(50),
+                i.intern("/data/out.h5"),
+            )
+            .with_size(1 << 20),
         ];
         log.push_case(Case::from_events(meta, events));
         log
@@ -390,8 +417,14 @@ mod tests {
         assert_eq!(eval(&Predicate::Rid(8), &log), Vec::<usize>::new());
         assert_eq!(eval(&Predicate::Cid("a".into()), &log), vec![0, 1, 2]);
         assert_eq!(eval(&Predicate::Host("jwc01".into()), &log), vec![0, 1, 2]);
-        assert_eq!(eval(&Predicate::Host("other".into()), &log), Vec::<usize>::new());
-        assert_eq!(eval(&Predicate::PathExact("/data/out.h5".into()), &log), vec![0, 2]);
+        assert_eq!(
+            eval(&Predicate::Host("other".into()), &log),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            eval(&Predicate::PathExact("/data/out.h5".into()), &log),
+            vec![0, 2]
+        );
         assert_eq!(eval(&Predicate::PathGlob("*.h5".into()), &log), vec![0, 2]);
         assert_eq!(eval(&Predicate::PathGlob("/usr/*".into()), &log), vec![1]);
         assert_eq!(eval(&Predicate::Call("openat".into()), &log), vec![1]);
@@ -437,7 +470,9 @@ mod tests {
         }
         .not()
         .uses_relative_time());
-        assert!(!Predicate::Pid(1).and(Predicate::Ok(true)).uses_relative_time());
+        assert!(!Predicate::Pid(1)
+            .and(Predicate::Ok(true))
+            .uses_relative_time());
     }
 
     #[test]
@@ -455,9 +490,13 @@ mod tests {
 
     #[test]
     fn and_or_flatten() {
-        let a = Predicate::Pid(1).and(Predicate::Pid(2)).and(Predicate::Pid(3));
+        let a = Predicate::Pid(1)
+            .and(Predicate::Pid(2))
+            .and(Predicate::Pid(3));
         assert!(matches!(&a, Predicate::And(v) if v.len() == 3));
-        let o = Predicate::Pid(1).or(Predicate::Pid(2)).or(Predicate::Pid(3));
+        let o = Predicate::Pid(1)
+            .or(Predicate::Pid(2))
+            .or(Predicate::Pid(3));
         assert!(matches!(&o, Predicate::Or(v) if v.len() == 3));
     }
 

@@ -31,7 +31,7 @@
 //! taken from the directory (the minimum case `start_min`), which
 //! equals the epoch a full load would compute.
 
-use st_model::{Case, CaseMeta, EventLog, Interner, Micros, Symbol, Syscall};
+use st_model::{Case, CaseMeta, Event, EventLog, Interner, Micros, Symbol, Syscall};
 use st_store::format::{path_bloom_probes, CaseDir, ZoneMap, CALL_MASK_OTHER};
 use st_store::{StoreError, StoreReader};
 
@@ -71,7 +71,9 @@ enum PNode {
     Path(Vec<[(usize, u64); 2]>),
     /// Event matches only if its call is one of the named calls in
     /// `mask` (never an `Other` call).
-    CallNamed { mask: u32 },
+    CallNamed {
+        mask: u32,
+    },
     /// Event matches only if its call is an `Other` call.
     CallOther,
     /// Absolute start-time window (relative windows are rebased against
@@ -235,7 +237,9 @@ fn find_symbol(strings: &[String], name: &str) -> Option<Symbol> {
 fn class_mask(class: CallClass) -> u32 {
     let mut mask = 0u32;
     for idx in 0..=u8::MAX {
-        let Some(call) = Syscall::from_named_index(idx) else { break };
+        let Some(call) = Syscall::from_named_index(idx) else {
+            break;
+        };
         if class.contains(call) {
             mask |= 1 << idx;
         }
@@ -316,7 +320,11 @@ fn decide(node: &PNode, case: &CaseDir, zone: Option<&ZoneMap>) -> Decision {
                     Accept => {}
                 }
             }
-            if all_accept { Accept } else { Maybe }
+            if all_accept {
+                Accept
+            } else {
+                Maybe
+            }
         }
         PNode::Or(children) => {
             let mut all_reject = true;
@@ -327,7 +335,11 @@ fn decide(node: &PNode, case: &CaseDir, zone: Option<&ZoneMap>) -> Decision {
                     Reject => {}
                 }
             }
-            if all_reject { Reject } else { Maybe }
+            if all_reject {
+                Reject
+            } else {
+                Maybe
+            }
         }
         PNode::Not(inner) => match decide(inner, case, zone) {
             Accept => Reject,
@@ -339,7 +351,11 @@ fn decide(node: &PNode, case: &CaseDir, zone: Option<&ZoneMap>) -> Decision {
 
 /// `Accept`/`Reject` from an exactly decidable condition.
 fn exact(holds: bool) -> Decision {
-    if holds { Decision::Accept } else { Decision::Reject }
+    if holds {
+        Decision::Accept
+    } else {
+        Decision::Reject
+    }
 }
 
 /// Whether `v OP n` holds for **every** `v ∈ [lo, hi]`.
@@ -422,6 +438,41 @@ pub struct PrunedRead {
     pub stats: PushdownStats,
 }
 
+/// One surviving block of the prune plan: which case it belongs to (as
+/// an index into the surviving-case list) and how to treat its events.
+struct Work<'dir> {
+    case_ord: usize,
+    meta: CaseMeta,
+    block: &'dir st_store::format::BlockDir,
+    decision: Decision,
+}
+
+/// Decodes one surviving block into `out` and (for `Maybe` blocks)
+/// applies the residual predicate to the appended range in place,
+/// returning the number of column-segment bytes parsed.
+fn decode_work_into(
+    reader: &StoreReader,
+    work: &Work<'_>,
+    cols: ColumnSet,
+    pred: &Predicate,
+    ctx: &EvalCtx<'_>,
+    out: &mut Vec<Event>,
+) -> Result<usize, StoreError> {
+    let first = out.len();
+    let bytes = reader.decode_block(work.block, cols, out)?;
+    if work.decision != Decision::Accept {
+        let mut keep = first;
+        for idx in first..out.len() {
+            if pred.matches(ctx, &work.meta, &out[idx]) {
+                out.swap(keep, idx);
+                keep += 1;
+            }
+        }
+        out.truncate(keep);
+    }
+    Ok(bytes)
+}
+
 /// Reads only the events of `reader` that satisfy `pred`, skipping
 /// whole cases and blocks whose directory meta / zone maps prove they
 /// cannot contain a match.
@@ -440,6 +491,22 @@ pub fn read_pruned(
     reader: &StoreReader,
     pred: &Predicate,
     emit: ColumnSet,
+) -> Result<PrunedRead, StoreError> {
+    read_pruned_par(reader, pred, emit, 1)
+}
+
+/// Parallel [`read_pruned`]: the blocks that survive pruning are fanned
+/// out to `threads` scoped workers (`0` = available parallelism) for
+/// decoding and residual evaluation — blocks are independently
+/// decodable (in-block delta timestamps, per-block CRC), so only the
+/// final per-case assembly is sequential. Produces exactly the
+/// sequential result: the same log (symbol ids included) and the same
+/// [`PushdownStats`].
+pub fn read_pruned_par(
+    reader: &StoreReader,
+    pred: &Predicate,
+    emit: ColumnSet,
+    threads: usize,
 ) -> Result<PrunedRead, StoreError> {
     let Some(plan) = PrunePlan::compile(pred, reader) else {
         return Err(StoreError::Corrupt(
@@ -480,6 +547,11 @@ pub fn read_pruned(
         ..PushdownStats::default()
     };
 
+    // Plan: walk the directory once, deciding every case and block.
+    // Pruned units are accounted here; the survivors become the decode
+    // work list (cheap — no event byte is touched).
+    let mut metas: Vec<CaseMeta> = Vec::new();
+    let mut work: Vec<Work<'_>> = Vec::new();
     for case in directory {
         let case_decision = plan.decide_case(case);
         if case_decision == Decision::Reject {
@@ -492,11 +564,8 @@ pub fn read_pruned(
             host: case.host,
             rid: case.rid,
         };
-        let mut events = match case_decision {
-            // Whole-case accept: every event survives, size is known.
-            Decision::Accept => Vec::with_capacity(case.events as usize),
-            _ => Vec::new(),
-        };
+        let case_ord = metas.len();
+        metas.push(meta);
         for block in &case.blocks {
             let decision = if case_decision == Decision::Accept {
                 Decision::Accept
@@ -505,28 +574,99 @@ pub fn read_pruned(
             };
             match decision {
                 Decision::Reject => stats.blocks_pruned += 1,
-                Decision::Accept => {
-                    stats.blocks_accepted += 1;
-                    stats.events_decoded += u64::from(block.events);
-                    stats.bytes_decoded +=
-                        reader.decode_block(block, cols, &mut events)? as u64;
-                }
-                Decision::Maybe => {
-                    stats.events_decoded += u64::from(block.events);
-                    let first = events.len();
-                    stats.bytes_decoded +=
-                        reader.decode_block(block, cols, &mut events)? as u64;
-                    let mut keep = first;
-                    for idx in first..events.len() {
-                        if pred.matches(&ctx, &meta, &events[idx]) {
-                            events.swap(keep, idx);
-                            keep += 1;
-                        }
+                Decision::Accept | Decision::Maybe => {
+                    if decision == Decision::Accept {
+                        stats.blocks_accepted += 1;
                     }
-                    events.truncate(keep);
+                    stats.events_decoded += u64::from(block.events);
+                    work.push(Work {
+                        case_ord,
+                        meta,
+                        block,
+                        decision,
+                    });
                 }
             }
         }
+    }
+
+    // Decode: surviving blocks are independent (in-block delta
+    // timestamps, per-block CRC). The sequential path streams each
+    // block straight into its case's accumulator (no intermediate
+    // buffers — this is the hot loop of a pass-all load); the parallel
+    // path fans blocks out to scoped workers whose per-block results
+    // land in order-indexed slots, so assembly — and therefore the
+    // output — is identical either way.
+    let workers = if threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    } else {
+        threads
+    }
+    .min(work.len().max(1));
+    // Per-case accumulators. The sequential path decodes straight into
+    // them, so pre-size each to its case's total surviving events; the
+    // parallel path assembles from per-block buffers instead (the first
+    // block's buffer is moved in), so empty vectors suffice there.
+    let mut cases: Vec<Vec<Event>> = if workers <= 1 {
+        let mut totals = vec![0usize; metas.len()];
+        for item in &work {
+            totals[item.case_ord] += item.block.events as usize;
+        }
+        totals.into_iter().map(Vec::with_capacity).collect()
+    } else {
+        metas.iter().map(|_| Vec::new()).collect()
+    };
+    if workers <= 1 {
+        for item in &work {
+            stats.bytes_decoded +=
+                decode_work_into(reader, item, cols, pred, &ctx, &mut cases[item.case_ord])? as u64;
+        }
+    } else {
+        let mut slots: Vec<Option<(Vec<Event>, usize)>> = (0..work.len()).map(|_| None).collect();
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let next = &next;
+                let work = &work;
+                let ctx = &ctx;
+                scope.spawn(move || loop {
+                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if idx >= work.len() {
+                        break;
+                    }
+                    let item = &work[idx];
+                    let mut events = Vec::with_capacity(item.block.events as usize);
+                    let result = decode_work_into(reader, item, cols, pred, ctx, &mut events)
+                        .map(|bytes| (events, bytes));
+                    if tx.send((idx, result)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            for (idx, result) in rx {
+                slots[idx] = Some(result?);
+            }
+            Ok::<(), StoreError>(())
+        })?;
+        // Concatenate each case's surviving blocks in directory order.
+        for (item, slot) in work.iter().zip(slots) {
+            let (events, bytes) = slot.expect("every work item decoded");
+            stats.bytes_decoded += bytes as u64;
+            if cases[item.case_ord].is_empty() {
+                cases[item.case_ord] = events;
+            } else {
+                cases[item.case_ord].extend(events);
+            }
+        }
+    }
+
+    // Cases with no match are dropped (as `scan` does).
+    for (meta, events) in metas.into_iter().zip(cases) {
         if !events.is_empty() {
             log.push_case(Case { meta, events });
         }
@@ -561,7 +701,11 @@ mod tests {
                 } else {
                     i.intern(&format!("/scratch/out{}.h5", k % 3))
                 };
-                let call = if k % 5 == 0 { Syscall::Write } else { Syscall::Read };
+                let call = if k % 5 == 0 {
+                    Syscall::Write
+                } else {
+                    Syscall::Read
+                };
                 let mut e = Event::new(
                     Pid(100 + rid),
                     call,
@@ -657,10 +801,35 @@ mod tests {
     }
 
     #[test]
+    fn parallel_decode_equals_sequential() {
+        for expr in ["true", "path~\"*.h5\"", "ok=false", "cid=a or class=write"] {
+            let pred = parse_expr(expr).unwrap();
+            for blocks in [1, 7, 64] {
+                let r = reader(blocks);
+                let seq = read_pruned(&r, &pred, ColumnSet::ALL).unwrap();
+                for threads in [2, 3, 8] {
+                    let par = read_pruned_par(&r, &pred, ColumnSet::ALL, threads).unwrap();
+                    assert_eq!(seq.log.cases(), par.log.cases(), "{expr} x{threads}");
+                    assert_eq!(
+                        format!("{:?}", seq.stats),
+                        format!("{:?}", par.stats),
+                        "{expr} x{threads}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn required_columns_cover_terms() {
         let pred = parse_expr("pid=1 path~\"*\" size>=1 t=[0s,1s)").unwrap();
         let cols = required_columns(&pred);
-        for col in [ColumnSet::PID, ColumnSet::PATH, ColumnSet::SIZE, ColumnSet::START] {
+        for col in [
+            ColumnSet::PID,
+            ColumnSet::PATH,
+            ColumnSet::SIZE,
+            ColumnSet::START,
+        ] {
             assert!(cols.contains(col));
         }
         assert!(!cols.contains(ColumnSet::OK));
@@ -722,8 +891,10 @@ mod tests {
                 for block in &case.blocks {
                     let mut events = Vec::new();
                     r.decode_block(block, ColumnSet::ALL, &mut events).unwrap();
-                    let matches: Vec<bool> =
-                        events.iter().map(|e| pred.matches(&ctx, &meta, e)).collect();
+                    let matches: Vec<bool> = events
+                        .iter()
+                        .map(|e| pred.matches(&ctx, &meta, e))
+                        .collect();
                     match plan.decide_block(case, &block.zone) {
                         Decision::Reject => {
                             assert!(matches.iter().all(|m| !m), "{expr}: false reject")

@@ -79,7 +79,11 @@ impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
         let data: Arc<[u8]> = v.into();
         let end = data.len();
-        Bytes { data, start: 0, end }
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -123,7 +127,9 @@ impl BytesMut {
 
     /// An empty buffer with reserved capacity.
     pub fn with_capacity(cap: usize) -> BytesMut {
-        BytesMut { inner: Vec::with_capacity(cap) }
+        BytesMut {
+            inner: Vec::with_capacity(cap),
+        }
     }
 
     /// Current length.

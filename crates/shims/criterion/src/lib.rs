@@ -33,12 +33,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `name/parameter`.
     pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: format!("{name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
     }
 
     /// Just the parameter.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -98,7 +102,9 @@ impl Default for Criterion {
     fn default() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let quick = args.iter().any(|a| a == "--quick")
-            || std::env::var("BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+            || std::env::var("BENCH_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
         // First free-standing token (not a flag, not a flag value) is the
         // name filter, mirroring `cargo bench -- <filter>`.
         let mut filter = None;
@@ -120,7 +126,11 @@ impl Default for Criterion {
                 }
             }
         }
-        Criterion { quick, filter, sample_size: 0 }
+        Criterion {
+            quick,
+            filter,
+            sample_size: 0,
+        }
     }
 }
 
@@ -160,7 +170,11 @@ impl Criterion {
             }
         }
         let (warmup, measure) = self.windows();
-        let mut bencher = Bencher { warmup, measure, result_ns: 0.0 };
+        let mut bencher = Bencher {
+            warmup,
+            measure,
+            result_ns: 0.0,
+        };
         f(&mut bencher);
         let ns = bencher.result_ns;
         let thrpt = match throughput {
@@ -168,7 +182,10 @@ impl Criterion {
                 format!("   thrpt: {:>10.3} Melem/s", n as f64 / ns * 1e3)
             }
             Some(Throughput::Bytes(n)) => {
-                format!("   thrpt: {:>10.3} MiB/s", n as f64 / ns * 1e9 / (1 << 20) as f64)
+                format!(
+                    "   thrpt: {:>10.3} MiB/s",
+                    n as f64 / ns * 1e9 / (1 << 20) as f64
+                )
             }
             None => String::new(),
         };

@@ -154,10 +154,8 @@ impl Simulation {
                     // their own (possibly unsynchronized) clocks. This
                     // shifts recorded timestamps only; scheduling is
                     // unaffected.
-                    event.start += Micros(
-                        self.config.clock_skew.as_micros()
-                            * self.config.host_of(r) as u64,
-                    );
+                    event.start +=
+                        Micros(self.config.clock_skew.as_micros() * self.config.host_of(r) as u64);
                     ranks[r].events.push(event);
                 } else {
                     untraced += 1;
@@ -207,7 +205,11 @@ impl Simulation {
         let pid = Pid(self.config.base_rid + r as u32 + 54);
 
         match op {
-            Op::Open { path, create, shared_write } => {
+            Op::Open {
+                path,
+                create,
+                shared_write,
+            } => {
                 let sym = interner.intern(path);
                 let service = if *create && !resources.file_mut(sym).exists {
                     jitter(rng, fs.meta_create_service.as_micros())
@@ -225,7 +227,13 @@ impl Simulation {
                     file.shared = true;
                 }
                 cursors.insert(sym, 0);
-                emit(Event::new(pid, Syscall::Openat, clock, completion - clock, sym));
+                emit(Event::new(
+                    pid,
+                    Syscall::Openat,
+                    clock,
+                    completion - clock,
+                    sym,
+                ));
                 completion
             }
             Op::OpenProbe { path } => {
@@ -234,7 +242,13 @@ impl Simulation {
                 emit(Event::new(pid, Syscall::Openat, clock, dur, sym).failed());
                 clock + dur
             }
-            Op::Read { path, size, req, offset, cached } => {
+            Op::Read {
+                path,
+                size,
+                req,
+                offset,
+                cached,
+            } => {
                 let sym = interner.intern(path);
                 let stream_us = if *cached {
                     fs.cache_read_latency.as_micros() as f64 + *size as f64 / fs.cache_read_bw
@@ -253,7 +267,11 @@ impl Simulation {
                 if offset.is_none() {
                     cursors.insert(sym, off + size);
                 }
-                let call = if offset.is_some() { Syscall::Pread64 } else { Syscall::Read };
+                let call = if offset.is_some() {
+                    Syscall::Pread64
+                } else {
+                    Syscall::Read
+                };
                 let mut ev = Event::new(pid, call, clock, dur, sym)
                     .with_size(*size)
                     .with_requested(*req);
@@ -263,7 +281,13 @@ impl Simulation {
                 emit(ev);
                 clock + dur
             }
-            Op::Write { path, size, offset, tty, local } => {
+            Op::Write {
+                path,
+                size,
+                offset,
+                tty,
+                local,
+            } => {
                 let sym = interner.intern(path);
                 if *tty {
                     let dur = jitter(
@@ -279,8 +303,8 @@ impl Simulation {
                 }
                 if *local {
                     // tmpfs: a memcpy into node-local memory.
-                    let stream_us = fs.syscall_overhead.as_micros() as f64
-                        + *size as f64 / fs.burst_write_bw;
+                    let stream_us =
+                        fs.syscall_overhead.as_micros() as f64 + *size as f64 / fs.burst_write_bw;
                     let dur = jitter(rng, stream_us.round() as u64);
                     let off = offset.unwrap_or_else(|| *cursors.get(&sym).unwrap_or(&0));
                     if offset.is_none() {
@@ -339,7 +363,11 @@ impl Simulation {
                 if offset.is_none() {
                     cursors.insert(sym, off + size);
                 }
-                let call = if offset.is_some() { Syscall::Pwrite64 } else { Syscall::Write };
+                let call = if offset.is_some() {
+                    Syscall::Pwrite64
+                } else {
+                    Syscall::Write
+                };
                 let mut ev = Event::new(pid, call, clock, completion - clock, sym)
                     .with_size(*size)
                     .with_requested(*size);
@@ -423,7 +451,13 @@ mod tests {
     }
 
     fn read_op(path: &str, size: u64) -> Op {
-        Op::Read { path: path.into(), size, req: size, offset: None, cached: true }
+        Op::Read {
+            path: path.into(),
+            size,
+            req: size,
+            offset: None,
+            cached: true,
+        }
     }
 
     #[test]
@@ -463,10 +497,24 @@ mod tests {
     fn filter_suppresses_untraced_calls() {
         let sim = sim3();
         let ops = vec![
-            Op::Open { path: "/s/f".into(), create: true, shared_write: false },
-            Op::Write { path: "/s/f".into(), size: 100, offset: None, tty: false, local: false },
-            Op::Fsync { path: "/s/f".into() },
-            Op::Close { path: "/s/f".into() },
+            Op::Open {
+                path: "/s/f".into(),
+                create: true,
+                shared_write: false,
+            },
+            Op::Write {
+                path: "/s/f".into(),
+                size: 100,
+                offset: None,
+                tty: false,
+                local: false,
+            },
+            Op::Fsync {
+                path: "/s/f".into(),
+            },
+            Op::Close {
+                path: "/s/f".into(),
+            },
         ];
         let mut log = EventLog::with_new_interner();
         let out = sim.run("a", vec![ops; 3], &TraceFilter::experiment_a(), &mut log);
@@ -475,7 +523,11 @@ mod tests {
         assert_eq!(out.untraced_events, 6);
         let snap = log.snapshot();
         for (_, e) in log.iter_events() {
-            assert!(matches!(e.call, Syscall::Openat | Syscall::Write), "{:?}", e.call);
+            assert!(
+                matches!(e.call, Syscall::Openat | Syscall::Write),
+                "{:?}",
+                e.call
+            );
             assert_eq!(snap.resolve(e.path), "/s/f");
         }
     }
@@ -484,21 +536,23 @@ mod tests {
     fn barrier_aligns_clocks() {
         let sim = sim3();
         // Rank 0 does a long compute before the barrier, others nothing.
-        let mk = |pre: u64| {
-            vec![
-                Op::Compute { dur_us: pre },
-                Op::Barrier,
-                read_op("/x/y", 1),
-            ]
-        };
+        let mk = |pre: u64| vec![Op::Compute { dur_us: pre }, Op::Barrier, read_op("/x/y", 1)];
         let mut log = EventLog::with_new_interner();
-        sim.run("a", vec![mk(500_000), mk(10), mk(10)], &TraceFilter::all(), &mut log);
+        sim.run(
+            "a",
+            vec![mk(500_000), mk(10), mk(10)],
+            &TraceFilter::all(),
+            &mut log,
+        );
         // The post-barrier read must start at (roughly) the same time on
         // every rank: no earlier than the slow rank's pre-barrier time.
         let starts: Vec<Micros> = log.cases().iter().map(|c| c.events[0].start).collect();
         let min = *starts.iter().min().unwrap();
         let max = *starts.iter().max().unwrap();
-        assert!(max - min < Micros(1_000), "starts spread too far: {starts:?}");
+        assert!(
+            max - min < Micros(1_000),
+            "starts spread too far: {starts:?}"
+        );
         assert!(min >= sim.config().epoch + Micros(450_000));
     }
 
@@ -517,7 +571,11 @@ mod tests {
 
     #[test]
     fn shared_open_serializes_through_lock_manager() {
-        let config = SimConfig { hosts: vec!["h".into()], cores_per_host: 8, ..Default::default() };
+        let config = SimConfig {
+            hosts: vec!["h".into()],
+            cores_per_host: 8,
+            ..Default::default()
+        };
         let sim = Simulation::new(config);
         let shared = vec![Op::Open {
             path: "/p/scratch/user1/ssf/testfile".into(),
@@ -534,7 +592,12 @@ mod tests {
         let mut ssf = EventLog::with_new_interner();
         sim.run("s", vec![shared; 8], &TraceFilter::all(), &mut ssf);
         let mut fpp = EventLog::with_new_interner();
-        sim.run("f", (0..8).map(own).collect(), &TraceFilter::all(), &mut fpp);
+        sim.run(
+            "f",
+            (0..8).map(own).collect(),
+            &TraceFilter::all(),
+            &mut fpp,
+        );
         let ssf_total = ssf.total_dur();
         let fpp_total = fpp.total_dur();
         assert!(
@@ -545,7 +608,11 @@ mod tests {
 
     #[test]
     fn ssf_writes_slower_than_fpp_writes() {
-        let config = SimConfig { hosts: vec!["h".into()], cores_per_host: 8, ..Default::default() };
+        let config = SimConfig {
+            hosts: vec!["h".into()],
+            cores_per_host: 8,
+            ..Default::default()
+        };
         let sim = Simulation::new(config);
         let mk = |shared: bool, r: usize| {
             let path = if shared {
@@ -553,19 +620,42 @@ mod tests {
             } else {
                 format!("/p/scratch/user1/fpp/t.{r:08}")
             };
-            let mut ops = vec![Op::Open { path: path.clone(), create: true, shared_write: shared }];
+            let mut ops = vec![Op::Open {
+                path: path.clone(),
+                create: true,
+                shared_write: shared,
+            }];
             if shared {
-                ops.push(Op::Lseek { path: path.clone(), offset: r as u64 * (16 << 20) });
+                ops.push(Op::Lseek {
+                    path: path.clone(),
+                    offset: r as u64 * (16 << 20),
+                });
             }
             for _ in 0..16 {
-                ops.push(Op::Write { path: path.clone(), size: 1 << 20, offset: None, tty: false, local: false });
+                ops.push(Op::Write {
+                    path: path.clone(),
+                    size: 1 << 20,
+                    offset: None,
+                    tty: false,
+                    local: false,
+                });
             }
             ops
         };
         let mut ssf = EventLog::with_new_interner();
-        sim.run("s", (0..8).map(|r| mk(true, r)).collect(), &TraceFilter::all(), &mut ssf);
+        sim.run(
+            "s",
+            (0..8).map(|r| mk(true, r)).collect(),
+            &TraceFilter::all(),
+            &mut ssf,
+        );
         let mut fpp = EventLog::with_new_interner();
-        sim.run("f", (0..8).map(|r| mk(false, r)).collect(), &TraceFilter::all(), &mut fpp);
+        sim.run(
+            "f",
+            (0..8).map(|r| mk(false, r)).collect(),
+            &TraceFilter::all(),
+            &mut fpp,
+        );
         let wdur = |log: &EventLog| -> u64 {
             log.iter_events()
                 .filter(|(_, e)| e.call == Syscall::Write)
@@ -579,12 +669,43 @@ mod tests {
     fn cursors_advance_and_lseek_resets() {
         let sim = Simulation::new(SimConfig::small(1));
         let ops = vec![
-            Op::Open { path: "/s/f".into(), create: true, shared_write: false },
-            Op::Write { path: "/s/f".into(), size: 100, offset: None, tty: false, local: false },
-            Op::Write { path: "/s/f".into(), size: 100, offset: None, tty: false, local: false },
-            Op::Lseek { path: "/s/f".into(), offset: 4096 },
-            Op::Write { path: "/s/f".into(), size: 50, offset: None, tty: false, local: false },
-            Op::Write { path: "/s/f".into(), size: 10, offset: Some(9000), tty: false, local: false },
+            Op::Open {
+                path: "/s/f".into(),
+                create: true,
+                shared_write: false,
+            },
+            Op::Write {
+                path: "/s/f".into(),
+                size: 100,
+                offset: None,
+                tty: false,
+                local: false,
+            },
+            Op::Write {
+                path: "/s/f".into(),
+                size: 100,
+                offset: None,
+                tty: false,
+                local: false,
+            },
+            Op::Lseek {
+                path: "/s/f".into(),
+                offset: 4096,
+            },
+            Op::Write {
+                path: "/s/f".into(),
+                size: 50,
+                offset: None,
+                tty: false,
+                local: false,
+            },
+            Op::Write {
+                path: "/s/f".into(),
+                size: 10,
+                offset: Some(9000),
+                tty: false,
+                local: false,
+            },
         ];
         let mut log = EventLog::with_new_interner();
         sim.run("a", vec![ops], &TraceFilter::all(), &mut log);

@@ -86,9 +86,13 @@ impl Op {
     pub fn syscall(&self) -> Option<Syscall> {
         match self {
             Op::Open { .. } | Op::OpenProbe { .. } => Some(Syscall::Openat),
-            Op::Read { offset: Some(_), .. } => Some(Syscall::Pread64),
+            Op::Read {
+                offset: Some(_), ..
+            } => Some(Syscall::Pread64),
             Op::Read { .. } => Some(Syscall::Read),
-            Op::Write { offset: Some(_), .. } => Some(Syscall::Pwrite64),
+            Op::Write {
+                offset: Some(_), ..
+            } => Some(Syscall::Pwrite64),
             Op::Write { .. } => Some(Syscall::Write),
             Op::Lseek { .. } => Some(Syscall::Lseek),
             Op::Fsync { .. } => Some(Syscall::Fsync),
@@ -161,20 +165,45 @@ mod tests {
     #[test]
     fn op_syscall_mapping() {
         assert_eq!(
-            Op::Open { path: "/x".into(), create: false, shared_write: false }.syscall(),
+            Op::Open {
+                path: "/x".into(),
+                create: false,
+                shared_write: false
+            }
+            .syscall(),
             Some(Syscall::Openat)
         );
         assert_eq!(
-            Op::Read { path: "/x".into(), size: 1, req: 1, offset: None, cached: false }.syscall(),
+            Op::Read {
+                path: "/x".into(),
+                size: 1,
+                req: 1,
+                offset: None,
+                cached: false
+            }
+            .syscall(),
             Some(Syscall::Read)
         );
         assert_eq!(
-            Op::Read { path: "/x".into(), size: 1, req: 1, offset: Some(0), cached: false }
-                .syscall(),
+            Op::Read {
+                path: "/x".into(),
+                size: 1,
+                req: 1,
+                offset: Some(0),
+                cached: false
+            }
+            .syscall(),
             Some(Syscall::Pread64)
         );
         assert_eq!(
-            Op::Write { path: "/x".into(), size: 1, offset: Some(4), tty: false, local: false }.syscall(),
+            Op::Write {
+                path: "/x".into(),
+                size: 1,
+                offset: Some(4),
+                tty: false,
+                local: false
+            }
+            .syscall(),
             Some(Syscall::Pwrite64)
         );
         assert_eq!(Op::Compute { dur_us: 5 }.syscall(), None);

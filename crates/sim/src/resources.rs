@@ -155,9 +155,7 @@ mod tests {
         let mut q = Queue::default();
         let n = 96u64;
         let s = Micros(500);
-        let total: u64 = (0..n)
-            .map(|_| q.serve(Micros(0), s).as_micros())
-            .sum();
+        let total: u64 = (0..n).map(|_| q.serve(Micros(0), s).as_micros()).sum();
         assert_eq!(total, 500 * n * (n + 1) / 2);
     }
 

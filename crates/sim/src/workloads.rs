@@ -9,11 +9,23 @@
 use crate::op::Op;
 
 fn cached_read(path: &str, size: u64, req: u64) -> Op {
-    Op::Read { path: path.into(), size, req, offset: None, cached: true }
+    Op::Read {
+        path: path.into(),
+        size,
+        req,
+        offset: None,
+        cached: true,
+    }
 }
 
 fn tty_write(size: u64) -> Op {
-    Op::Write { path: "/dev/pts/7".into(), size, offset: None, tty: true, local: false }
+    Op::Write {
+        path: "/dev/pts/7".into(),
+        size,
+        offset: None,
+        tty: true,
+        local: false,
+    }
 }
 
 fn think(dur_us: u64) -> Op {
@@ -75,7 +87,6 @@ pub fn ls_l_ops() -> Vec<Op> {
     ]
 }
 
-
 /// Parameters of the [`checkpoint_ops`] workload.
 #[derive(Debug, Clone)]
 pub struct CheckpointSpec {
@@ -117,7 +128,9 @@ pub fn checkpoint_ops(spec: &CheckpointSpec, rank: usize, num_ranks: usize) -> V
     let mut ops = Vec::new();
     let transfers = (spec.bytes_per_checkpoint / spec.transfer_size.max(1)).max(1);
     for step in 0..spec.steps {
-        ops.push(Op::Compute { dur_us: spec.compute_us });
+        ops.push(Op::Compute {
+            dur_us: spec.compute_us,
+        });
         ops.push(Op::Barrier);
         let path = if spec.shared_file {
             format!("{}/step{:04}.ckpt", spec.dir, step)
@@ -164,13 +177,30 @@ mod tests {
     fn ls_trace_shape_matches_fig2a() {
         let sim = Simulation::new(SimConfig::small(3));
         let mut log = EventLog::with_new_interner();
-        sim.run("a", vec![ls_ops(); 3], &TraceFilter::only([Syscall::Read, Syscall::Write]), &mut log);
+        sim.run(
+            "a",
+            vec![ls_ops(); 3],
+            &TraceFilter::only([Syscall::Read, Syscall::Write]),
+            &mut log,
+        );
         assert_eq!(log.case_count(), 3);
         for case in log.cases() {
             // Fig. 2a records exactly 8 read/write events.
             assert_eq!(case.events.len(), 8);
-            assert_eq!(case.events.iter().filter(|e| e.call == Syscall::Read).count(), 7);
-            assert_eq!(case.events.iter().filter(|e| e.call == Syscall::Write).count(), 1);
+            assert_eq!(
+                case.events
+                    .iter()
+                    .filter(|e| e.call == Syscall::Read)
+                    .count(),
+                7
+            );
+            assert_eq!(
+                case.events
+                    .iter()
+                    .filter(|e| e.call == Syscall::Write)
+                    .count(),
+                1
+            );
         }
         // Bytes per case: 3*832 + 478 + 2996 + 50.
         assert_eq!(log.cases()[0].total_bytes(), 3 * 832 + 478 + 2996 + 50);
@@ -180,11 +210,22 @@ mod tests {
     fn ls_l_trace_shape_matches_fig2b() {
         let sim = Simulation::new(SimConfig::small(3));
         let mut log = EventLog::with_new_interner();
-        sim.run("b", vec![ls_l_ops(); 3], &TraceFilter::only([Syscall::Read, Syscall::Write]), &mut log);
+        sim.run(
+            "b",
+            vec![ls_l_ops(); 3],
+            &TraceFilter::only([Syscall::Read, Syscall::Write]),
+            &mut log,
+        );
         for case in log.cases() {
             // Fig. 2b records 17 read/write events (13 reads, 4 writes).
             assert_eq!(case.events.len(), 17);
-            assert_eq!(case.events.iter().filter(|e| e.call == Syscall::Write).count(), 4);
+            assert_eq!(
+                case.events
+                    .iter()
+                    .filter(|e| e.call == Syscall::Write)
+                    .count(),
+                4
+            );
         }
         let snap = log.snapshot();
         let paths: std::collections::HashSet<&str> = log
@@ -219,25 +260,57 @@ mod tests {
 
     #[test]
     fn checkpoint_workload_shapes() {
-        let spec = CheckpointSpec { steps: 3, ..Default::default() };
+        let spec = CheckpointSpec {
+            steps: 3,
+            ..Default::default()
+        };
         let per_rank = checkpoint_ops(&spec, 0, 4);
         let barriers = per_rank.iter().filter(|o| matches!(o, Op::Barrier)).count();
         assert_eq!(barriers, 3);
-        let writes = per_rank.iter().filter(|o| matches!(o, Op::Write { .. })).count();
+        let writes = per_rank
+            .iter()
+            .filter(|o| matches!(o, Op::Write { .. }))
+            .count();
         assert_eq!(writes, 3 * 8); // 8 MiB per ckpt at 1 MiB transfers
-        // FPP mode: distinct per-rank files, no shared-write opens.
-        assert!(per_rank.iter().all(|o| !matches!(o, Op::Open { shared_write: true, .. })));
+                                   // FPP mode: distinct per-rank files, no shared-write opens.
+        assert!(per_rank.iter().all(|o| !matches!(
+            o,
+            Op::Open {
+                shared_write: true,
+                ..
+            }
+        )));
         // Shared mode: one file per step with rank-striped lseeks.
-        let shared = CheckpointSpec { shared_file: true, steps: 2, ..Default::default() };
+        let shared = CheckpointSpec {
+            shared_file: true,
+            steps: 2,
+            ..Default::default()
+        };
         let ops = checkpoint_ops(&shared, 3, 4);
-        assert!(ops.iter().any(|o| matches!(o, Op::Open { shared_write: true, .. })));
-        assert!(ops.iter().any(|o| matches!(o, Op::Lseek { offset, .. } if *offset == 3 * (8 << 20))));
+        assert!(ops.iter().any(|o| matches!(
+            o,
+            Op::Open {
+                shared_write: true,
+                ..
+            }
+        )));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, Op::Lseek { offset, .. } if *offset == 3 * (8 << 20))));
     }
 
     #[test]
     fn checkpoint_runs_on_the_simulator() {
-        let sim = Simulation::new(SimConfig { hosts: vec!["h".into()], cores_per_host: 4, ..Default::default() });
-        let spec = CheckpointSpec { steps: 2, compute_us: 1_000, ..Default::default() };
+        let sim = Simulation::new(SimConfig {
+            hosts: vec!["h".into()],
+            cores_per_host: 4,
+            ..Default::default()
+        });
+        let spec = CheckpointSpec {
+            steps: 2,
+            compute_us: 1_000,
+            ..Default::default()
+        };
         let ranks: Vec<_> = (0..4).map(|r| checkpoint_ops(&spec, r, 4)).collect();
         let mut log = EventLog::with_new_interner();
         let out = sim.run("c", ranks, &TraceFilter::all(), &mut log);

@@ -1,0 +1,87 @@
+//! The workspace-wide input-resolution error type.
+//!
+//! Every failure mode of opening, planning and materializing a
+//! [`TraceSource`](crate::TraceSource) is one variant here, each
+//! carrying the offending input spec so callers (and users) always see
+//! *which* input failed — the CLI used to re-attach that context by
+//! hand in three different places.
+
+use std::fmt;
+
+use st_query::ParseError;
+use st_store::StoreError;
+use st_strace::StraceError;
+
+/// Errors resolving or materializing a trace source.
+#[derive(Debug)]
+pub enum Error {
+    /// The input spec itself is invalid: an unknown `sim:` workload, a
+    /// path that names nothing, or an option that the resolved source
+    /// kind cannot honor.
+    Spec {
+        /// The offending input spec as the caller wrote it.
+        spec: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// The spec resolved to a store container that failed to open or
+    /// decode.
+    Store {
+        /// The offending input spec.
+        spec: String,
+        /// The underlying container error.
+        source: StoreError,
+    },
+    /// The spec resolved to strace text that failed to load.
+    Strace {
+        /// The offending input spec.
+        spec: String,
+        /// The underlying loader error.
+        source: StraceError,
+    },
+    /// A filter expression handed to the session did not parse.
+    Filter {
+        /// The underlying expression error.
+        source: ParseError,
+    },
+    /// Case selection matched nothing: no case carries the requested
+    /// command id.
+    NoCasesWithCid {
+        /// The command id that selected nothing.
+        cid: String,
+        /// Which input the selection ran against (e.g. `A`/`B` for the
+        /// two sides of a diff).
+        side: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Spec { spec, reason } => write!(f, "{spec}: {reason}"),
+            Error::Store { spec, source } => write!(f, "{spec}: {source}"),
+            Error::Strace { spec, source } => write!(f, "{spec}: {source}"),
+            Error::Filter { source } => write!(f, "invalid filter expression: {source}"),
+            Error::NoCasesWithCid { cid, side } => {
+                write!(f, "no cases with cid {cid:?} in input {side}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Store { source, .. } => Some(source),
+            Error::Strace { source, .. } => Some(source),
+            Error::Filter { source } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseError> for Error {
+    fn from(source: ParseError) -> Error {
+        Error::Filter { source }
+    }
+}

@@ -1,0 +1,549 @@
+//! [`Inspector`] — the builder-style session over any [`TraceSource`].
+//!
+//! An inspector is the paper's Fig. 6 pipeline as one object: name an
+//! input, optionally narrow it with a predicate, pick an activity
+//! mapping, and materialize a [`Session`] holding exactly the matching
+//! events plus everything the front-ends need (projection views, DFG,
+//! statistics, pruning accounting, structured warnings).
+//!
+//! The planner picks the cheapest evaluation route per source:
+//!
+//! * **STLOG v2 store** — the predicate is pushed down into the reader
+//!   ([`st_query::read_pruned_par`]): zone-mapped blocks that provably
+//!   cannot match are never decoded, surviving blocks fan out to the
+//!   scoped-worker pool, and only the columns the predicate + the
+//!   caller's [`columns`](Inspector::columns) request are parsed.
+//! * **STLOG v1 store** — full decode, then a (parallel) scan.
+//! * **strace directory / file** — the parallel zero-copy loader
+//!   ([`st_strace::load_dir`] / [`st_strace::load_files`]), then a
+//!   scan; per-file parse warnings land in the session's warning
+//!   channel instead of on stderr.
+//! * **`sim:` spec** — the table-driven workload backend
+//!   ([`crate::sim::workload_log`]), then a scan.
+//!
+//! Every route produces the same observable result for the same input:
+//! the session's log holds exactly the events a full load followed by
+//! [`st_query::scan`] would keep.
+
+use st_core::{CallTopDirs, Dfg, IoStatistics, MappedLog, Mapping};
+use st_model::{EventLog, Interner, LogView};
+use st_query::pushdown::ColumnSet;
+use st_query::{scan_par, Predicate, PushdownStats};
+use st_store::StoreReader;
+use st_strace::{load_dir, load_files, LoadOptions};
+
+use crate::error::Error;
+use crate::sim;
+use crate::spec::TraceSource;
+use crate::warning::SourceWarning;
+
+/// Builder for one inspection session over a [`TraceSource`].
+///
+/// See the module docs above for the planning rules. Construction is
+/// cheap — nothing is read until [`session`](Inspector::session) (or a
+/// terminal like [`dfg`](Inspector::dfg)) runs.
+pub struct Inspector {
+    source: TraceSource,
+    pred: Option<Predicate>,
+    mapping: Option<Box<dyn Mapping + Send + Sync>>,
+    threads: usize,
+    pushdown: bool,
+    columns: ColumnSet,
+    load: LoadOptions,
+}
+
+impl Inspector {
+    /// Opens an input spec (see [`TraceSource`]'s `FromStr`
+    /// implementation for the accepted spellings).
+    pub fn open(spec: &str) -> Result<Inspector, Error> {
+        Ok(Inspector::from_source(spec.parse()?))
+    }
+
+    /// Builds an inspector over an already-resolved source.
+    pub fn from_source(source: TraceSource) -> Inspector {
+        Inspector {
+            source,
+            pred: None,
+            mapping: None,
+            threads: 0,
+            pushdown: true,
+            columns: ColumnSet::ALL,
+            load: LoadOptions::default(),
+        }
+    }
+
+    /// The source this inspector reads.
+    pub fn source(&self) -> &TraceSource {
+        &self.source
+    }
+
+    /// Narrows the session to the events matching `pred` (conjunction
+    /// with any previously set filter).
+    pub fn filter(mut self, pred: Predicate) -> Inspector {
+        self.pred = Some(match self.pred.take() {
+            Some(prev) => prev.and(pred),
+            None => pred,
+        });
+        self
+    }
+
+    /// Narrows the session by a filter expression in the
+    /// [`st_query::parse_expr`] grammar (`pid=42 path~"*.h5" ok=false`).
+    pub fn filter_expr(self, expr: &str) -> Result<Inspector, Error> {
+        Ok(self.filter(st_query::parse_expr(expr)?))
+    }
+
+    /// Sets the event → activity mapping the session's projections use
+    /// (default: [`CallTopDirs`] with depth 2, the paper's Eq. 4).
+    pub fn map(mut self, mapping: impl Mapping + Send + 'static) -> Inspector {
+        self.mapping = Some(Box::new(mapping));
+        self
+    }
+
+    /// Sets an already-boxed mapping (the form runtime mapping
+    /// dispatch — e.g. a CLI `--map` choice — produces).
+    pub fn map_boxed(mut self, mapping: Box<dyn Mapping + Send + Sync>) -> Inspector {
+        self.mapping = Some(mapping);
+        self
+    }
+
+    /// Worker budget for parallel routes (block decode, parallel scan,
+    /// trace loading); `0` (the default) uses available parallelism.
+    pub fn threads(mut self, threads: usize) -> Inspector {
+        self.threads = threads;
+        self
+    }
+
+    /// Disables predicate pushdown (`enabled = false`) so v2 stores
+    /// take the full-load + scan route — the result is identical, only
+    /// the evaluation plan changes.
+    pub fn pushdown(mut self, enabled: bool) -> Inspector {
+        self.pushdown = enabled;
+        self
+    }
+
+    /// The event columns the session's consumers need (default: all).
+    /// On the pushdown route, columns outside `emit ∪ predicate ∪
+    /// identity` are skipped without parsing; unrequested fields take
+    /// neutral defaults.
+    pub fn columns(mut self, emit: ColumnSet) -> Inspector {
+        self.columns = emit;
+        self
+    }
+
+    /// Loader options for strace-text sources (parallelism, streaming,
+    /// strict file naming). [`session`](Inspector::session) rejects
+    /// non-default settings with a spec error when the source is not
+    /// strace text — they would otherwise be silently inert.
+    pub fn load_options(mut self, opts: LoadOptions) -> Inspector {
+        self.load = opts;
+        self
+    }
+
+    /// Materializes the session: resolves the source, runs the planned
+    /// route, and collects warnings.
+    pub fn session(self) -> Result<Session, Error> {
+        let Inspector {
+            source,
+            pred,
+            mapping,
+            threads,
+            pushdown,
+            columns,
+            mut load,
+        } = self;
+        let spec = source.to_string();
+        let mapping = mapping.unwrap_or_else(|| Box::new(CallTopDirs::new(2)));
+        // Loader options shape how strace text is read; on any other
+        // source they would be silently inert, so non-default settings
+        // are rejected rather than ignored. (`threads` via
+        // [`Inspector::threads`] stays valid everywhere — it also
+        // drives the parallel block decode and the parallel scan.)
+        if !source.is_trace_text() {
+            let inert = [
+                (load.streaming, "streaming"),
+                (!load.parallel, "sequential parsing"),
+                (load.strict_names, "strict file naming"),
+                (load.threads != 0, "a loader worker budget"),
+            ];
+            if let Some((_, what)) = inert.iter().find(|(set, _)| *set) {
+                return Err(Error::Spec {
+                    spec,
+                    reason: format!(
+                        "load options request {what}, which only strace text inputs \
+                         (a directory or file) can honor; this input is not strace text"
+                    ),
+                });
+            }
+        }
+        if threads != 0 {
+            load.threads = threads;
+        }
+        let mut warnings: Vec<SourceWarning> = Vec::new();
+
+        let log = match &source {
+            TraceSource::Sim { workload, paper } => sim::workload_log(workload, *paper)?,
+            TraceSource::TraceDir(path) => {
+                let result = load_dir(path, Interner::new_shared(), &load).map_err(|source| {
+                    Error::Strace {
+                        spec: spec.clone(),
+                        source,
+                    }
+                })?;
+                warnings.extend(
+                    result
+                        .warnings
+                        .into_iter()
+                        .map(|(file, warning)| SourceWarning::Trace { file, warning }),
+                );
+                result.log
+            }
+            TraceSource::TraceFile(path) => {
+                let result = load_files(std::slice::from_ref(path), Interner::new_shared(), &load)
+                    .map_err(|source| Error::Strace {
+                        spec: spec.clone(),
+                        source,
+                    })?;
+                warnings.extend(
+                    result
+                        .warnings
+                        .into_iter()
+                        .map(|(file, warning)| SourceWarning::Trace { file, warning }),
+                );
+                result.log
+            }
+            TraceSource::Store { path, .. } => {
+                let reader = StoreReader::open(path).map_err(|source| Error::Store {
+                    spec: spec.clone(),
+                    source,
+                })?;
+                // A filter against a v1 container cannot be pushed down
+                // (no block directory) — note the degraded route rather
+                // than silently scanning.
+                if pushdown && pred.is_some() && reader.directory().is_none() {
+                    warnings.push(SourceWarning::Note(format!(
+                        "{spec}: filter evaluated by full scan — v1 containers carry no \
+                         block directory for pushdown (re-encode with the current tools \
+                         to enable it)"
+                    )));
+                }
+                if pushdown && reader.directory().is_some() {
+                    // Pushdown route: prune, decode survivors in
+                    // parallel, and return — the pruned log already
+                    // holds exactly the matching events.
+                    let pred = pred.unwrap_or(Predicate::True);
+                    let pruned = st_query::read_pruned_par(&reader, &pred, columns, threads)
+                        .map_err(|source| Error::Store {
+                            spec: spec.clone(),
+                            source,
+                        })?;
+                    return Ok(Session {
+                        source,
+                        events_total: pruned.stats.events_total as usize,
+                        cases_total: pruned.stats.cases_total,
+                        pushdown: Some(pruned.stats),
+                        log: pruned.log,
+                        warnings,
+                        mapping,
+                    });
+                }
+                reader.read().map_err(|source| Error::Store {
+                    spec: spec.clone(),
+                    source,
+                })?
+            }
+        };
+
+        // Scan route: the whole log is materialized; a filter narrows it
+        // through the (parallel) scan, which is property-identical to
+        // the sequential one.
+        let events_total = log.total_events();
+        let cases_total = log.case_count();
+        let log = match &pred {
+            Some(pred) => scan_par(&log, pred, threads).to_event_log(),
+            None => log,
+        };
+        Ok(Session {
+            source,
+            log,
+            events_total,
+            cases_total,
+            pushdown: None,
+            warnings,
+            mapping,
+        })
+    }
+
+    /// Terminal: materializes the session and returns its event log
+    /// (exactly the matching events).
+    pub fn log(self) -> Result<EventLog, Error> {
+        self.session().map(Session::into_log)
+    }
+
+    /// Terminal: materializes the session and builds the DFG of the
+    /// slice under the configured mapping.
+    pub fn dfg(self) -> Result<Dfg, Error> {
+        let session = self.session()?;
+        Ok(session.dfg())
+    }
+
+    /// Terminal: materializes the session and computes the per-activity
+    /// I/O statistics of the slice under the configured mapping.
+    pub fn stats(self) -> Result<IoStatistics, Error> {
+        let session = self.session()?;
+        Ok(session.stats())
+    }
+}
+
+impl std::fmt::Debug for Inspector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Inspector")
+            .field("source", &self.source)
+            .field("pred", &self.pred)
+            .field("threads", &self.threads)
+            .field("pushdown", &self.pushdown)
+            .finish_non_exhaustive()
+    }
+}
+
+/// A materialized inspection session: the matching events plus the
+/// plan's accounting, ready for any number of projections.
+pub struct Session {
+    source: TraceSource,
+    log: EventLog,
+    events_total: usize,
+    cases_total: usize,
+    pushdown: Option<PushdownStats>,
+    warnings: Vec<SourceWarning>,
+    mapping: Box<dyn Mapping + Send + Sync>,
+}
+
+impl Session {
+    /// The source the session was materialized from.
+    pub fn source(&self) -> &TraceSource {
+        &self.source
+    }
+
+    /// The session's event log: exactly the events that matched the
+    /// filter (every event of the source when no filter was set).
+    pub fn log(&self) -> &EventLog {
+        &self.log
+    }
+
+    /// Consumes the session, returning the owned event log.
+    pub fn into_log(self) -> EventLog {
+        self.log
+    }
+
+    /// The identity view over the session's log — the starting point
+    /// for further narrowing ([`LogView::refine`]) or grouping
+    /// ([`st_query::group_by`]).
+    pub fn view(&self) -> LogView<'_> {
+        LogView::full(&self.log)
+    }
+
+    /// The session's log under the configured activity mapping (one
+    /// mapping pass; reuse the returned [`MappedLog`] for any number of
+    /// slices and projections).
+    pub fn mapped(&self) -> MappedLog<'_> {
+        MappedLog::new(&self.log, self.mapping.as_ref())
+    }
+
+    /// The configured event → activity mapping.
+    pub fn mapping(&self) -> &(dyn Mapping + Send + Sync) {
+        self.mapping.as_ref()
+    }
+
+    /// Builds the DFG of the session's slice.
+    pub fn dfg(&self) -> Dfg {
+        Dfg::from_mapped(&self.mapped())
+    }
+
+    /// Computes the per-activity I/O statistics of the session's slice.
+    pub fn stats(&self) -> IoStatistics {
+        IoStatistics::compute(&self.mapped())
+    }
+
+    /// Events in the source before filtering.
+    pub fn events_total(&self) -> usize {
+        self.events_total
+    }
+
+    /// Cases in the source before filtering.
+    pub fn cases_total(&self) -> usize {
+        self.cases_total
+    }
+
+    /// Events that matched the filter.
+    pub fn events_matched(&self) -> usize {
+        self.log.total_events()
+    }
+
+    /// Cases with at least one matching event.
+    pub fn cases_matched(&self) -> usize {
+        self.log.case_count()
+    }
+
+    /// Pruning accounting when the session took the pushdown route
+    /// (`None` on scan routes).
+    pub fn pushdown(&self) -> Option<&PushdownStats> {
+        self.pushdown.as_ref()
+    }
+
+    /// The structured warnings collected while materializing.
+    pub fn warnings(&self) -> &[SourceWarning] {
+        &self.warnings
+    }
+
+    /// Narrows the session to the cases carrying command id `cid`
+    /// (e.g. splitting an `ior-ssf-fpp` log into its SSF half). `side`
+    /// labels the input in the error when nothing matches (`A`/`B` for
+    /// the two sides of a diff).
+    pub fn select_cid(mut self, cid: &str, side: &str) -> Result<Session, Error> {
+        let (selected, _rest) = self.log.partition_by_cid(cid);
+        if selected.is_empty() {
+            return Err(Error::NoCasesWithCid {
+                cid: cid.to_string(),
+                side: side.to_string(),
+            });
+        }
+        self.log = selected;
+        Ok(self)
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("source", &self.source)
+            .field("events_matched", &self.events_matched())
+            .field("events_total", &self.events_total)
+            .field("pushdown", &self.pushdown.is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use st_query::parse_expr;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("st-source-insp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sim_session_builds_dfg_and_stats() {
+        let session = Inspector::open("sim:ls").unwrap().session().unwrap();
+        assert_eq!(session.cases_matched(), 6);
+        assert_eq!(session.events_total(), session.events_matched());
+        assert!(session.pushdown().is_none());
+        let dfg = session.dfg();
+        assert!(dfg.activity_node_count() > 0);
+        let stats = session.stats();
+        assert!(!stats.is_empty());
+    }
+
+    #[test]
+    fn filter_narrows_identically_across_routes() {
+        // The same filtered slice must fall out of the sim route, the
+        // pushdown route, and the forced full-load route.
+        let dir = tmpdir("routes");
+        let log = sim::workload_log("ls", false).unwrap();
+        let store = dir.join("ls.stlog");
+        st_store::write_store(&log, &store).unwrap();
+        let spec = store.to_str().unwrap();
+        let pred = parse_expr("class=read").unwrap();
+
+        let via_sim = Inspector::open("sim:ls")
+            .unwrap()
+            .filter(pred.clone())
+            .log()
+            .unwrap();
+        let via_pushdown = Inspector::open(spec)
+            .unwrap()
+            .filter(pred.clone())
+            .session()
+            .unwrap();
+        assert!(via_pushdown.pushdown().is_some());
+        let via_full = Inspector::open(spec)
+            .unwrap()
+            .pushdown(false)
+            .filter(pred)
+            .session()
+            .unwrap();
+        assert!(via_full.pushdown().is_none());
+
+        assert_eq!(via_sim.cases(), via_pushdown.log().cases());
+        assert_eq!(via_sim.cases(), via_full.log().cases());
+
+        // The same filter against a v1 container scans identically but
+        // notes the degraded route through the warning channel.
+        let v1 = dir.join("ls-v1.stlog");
+        std::fs::write(&v1, st_store::to_bytes_v1(&log).unwrap()).unwrap();
+        let via_v1 = Inspector::open(v1.to_str().unwrap())
+            .unwrap()
+            .filter(parse_expr("class=read").unwrap())
+            .session()
+            .unwrap();
+        assert!(via_v1.pushdown().is_none());
+        assert_eq!(via_sim.cases(), via_v1.log().cases());
+        assert!(
+            via_v1
+                .warnings()
+                .iter()
+                .any(|w| matches!(w, SourceWarning::Note(n) if n.contains("full scan"))),
+            "{:?}",
+            via_v1.warnings()
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_dir_and_single_file_sessions_carry_warnings() {
+        let dir = tmpdir("warn");
+        let trace = dir.join("a_h_1.st");
+        std::fs::write(
+            &trace,
+            "garbage\n9 08:00:00.000001 read(3</x>, \"\", 10) = 0 <0.000001>\n",
+        )
+        .unwrap();
+        let from_dir = Inspector::open(dir.to_str().unwrap())
+            .unwrap()
+            .session()
+            .unwrap();
+        assert_eq!(from_dir.events_matched(), 1);
+        assert_eq!(from_dir.warnings().len(), 1);
+        assert!(from_dir.warnings()[0].to_string().contains("a_h_1.st"));
+
+        let from_file = Inspector::open(trace.to_str().unwrap())
+            .unwrap()
+            .session()
+            .unwrap();
+        assert_eq!(from_file.events_matched(), 1);
+        assert_eq!(from_file.cases_matched(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn select_cid_narrows_or_errors() {
+        let session = Inspector::open("sim:ls").unwrap().session().unwrap();
+        let narrowed = session.select_cid("a", "A").unwrap();
+        assert_eq!(narrowed.cases_matched(), 3);
+        let session = Inspector::open("sim:ls").unwrap().session().unwrap();
+        let err = session.select_cid("zzz", "B").unwrap_err();
+        assert!(err.to_string().contains("no cases with cid"), "{err}");
+    }
+
+    #[test]
+    fn filter_expr_surfaces_parse_errors() {
+        let err = Inspector::open("sim:ls")
+            .unwrap()
+            .filter_expr("frob=1")
+            .unwrap_err();
+        assert!(err.to_string().contains("unknown key"), "{err}");
+    }
+}

@@ -1,0 +1,280 @@
+//! The simulated-workload backend: one table, five workloads.
+//!
+//! The CLI used to spell out the `Simulation::new` /
+//! `EventLog::with_new_interner` / `run` boilerplate once per workload
+//! (five nearly identical blocks). Here each workload is a row in a
+//! static table — a trace filter plus a list of runs, each run either a
+//! plain op-list command through the simulation kernel or one IOR
+//! benchmark invocation — and a single constructor walks the table.
+//! Adding a workload is adding a row.
+
+use st_ior::workload::StartupProfile;
+use st_ior::{run_ior, Api, IorOptions};
+use st_model::{EventLog, Syscall};
+use st_sim::{SimConfig, Simulation, TraceFilter};
+
+use crate::error::Error;
+
+/// One simulated command inside a workload.
+enum Run {
+    /// `ranks` copies of an op list executed through the simulation
+    /// kernel under `SimConfig::small(ranks)` (the Fig. 1 shape).
+    Ops {
+        /// Command id of the run's cases.
+        cid: &'static str,
+        /// Base rank id override (`None` keeps the config default).
+        base_rid: Option<u32>,
+        /// Per-rank operation list.
+        ops: fn() -> Vec<st_sim::Op>,
+        /// Number of ranks executing the list.
+        ranks: usize,
+    },
+    /// One IOR benchmark invocation (the Sec. V experiment shape) under
+    /// the paper- or small-scale config.
+    Ior {
+        /// Command id of the run's cases.
+        cid: &'static str,
+        /// File-per-process mode (`-F`).
+        fpp: bool,
+        /// I/O API the benchmark uses.
+        api: Api,
+        /// Scratch subdirectory holding the test file(s).
+        subdir: &'static str,
+    },
+}
+
+/// Which call set survives into the log.
+enum Filter {
+    /// Only `read`/`write` (the Fig. 1 `ls` trace).
+    ReadWrite,
+    /// The Sec. V-A call set.
+    ExperimentA,
+    /// The Sec. V-B call set.
+    ExperimentB,
+}
+
+impl Filter {
+    fn build(&self) -> TraceFilter {
+        match self {
+            Filter::ReadWrite => TraceFilter::only([Syscall::Read, Syscall::Write]),
+            Filter::ExperimentA => TraceFilter::experiment_a(),
+            Filter::ExperimentB => TraceFilter::experiment_b(),
+        }
+    }
+}
+
+/// One row of the workload table.
+struct Workload {
+    name: &'static str,
+    filter: Filter,
+    runs: &'static [Run],
+}
+
+/// Every workload `sim:` specs (and `stinspect simulate`) accept.
+static WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "ls",
+        filter: Filter::ReadWrite,
+        runs: &[
+            Run::Ops {
+                cid: "a",
+                base_rid: None,
+                ops: st_sim::workloads::ls_ops,
+                ranks: 3,
+            },
+            Run::Ops {
+                cid: "b",
+                base_rid: Some(9115),
+                ops: st_sim::workloads::ls_l_ops,
+                ranks: 3,
+            },
+        ],
+    },
+    Workload {
+        name: "ior-ssf-fpp",
+        filter: Filter::ExperimentA,
+        runs: &[
+            Run::Ior {
+                cid: "s",
+                fpp: false,
+                api: Api::Posix,
+                subdir: "ssf",
+            },
+            Run::Ior {
+                cid: "f",
+                fpp: true,
+                api: Api::Posix,
+                subdir: "fpp",
+            },
+        ],
+    },
+    Workload {
+        name: "ior-mpiio",
+        filter: Filter::ExperimentB,
+        runs: &[
+            Run::Ior {
+                cid: "g",
+                fpp: false,
+                api: Api::Mpiio,
+                subdir: "ssf",
+            },
+            Run::Ior {
+                cid: "r",
+                fpp: false,
+                api: Api::Posix,
+                subdir: "ssf",
+            },
+        ],
+    },
+    // Single-mode halves of `ior-ssf-fpp`, so one IOR access mode can be
+    // generated (and narrowed per file) without its counterpart.
+    Workload {
+        name: "ssf",
+        filter: Filter::ExperimentA,
+        runs: &[Run::Ior {
+            cid: "s",
+            fpp: false,
+            api: Api::Posix,
+            subdir: "ssf",
+        }],
+    },
+    Workload {
+        name: "fpp",
+        filter: Filter::ExperimentA,
+        runs: &[Run::Ior {
+            cid: "f",
+            fpp: true,
+            api: Api::Posix,
+            subdir: "fpp",
+        }],
+    },
+];
+
+/// The workload names the table knows, in table order (the order the
+/// "unknown workload" message lists them in).
+pub fn workload_names() -> Vec<&'static str> {
+    WORKLOADS.iter().map(|w| w.name).collect()
+}
+
+/// Looks a workload up by name.
+fn find(name: &str) -> Option<&'static Workload> {
+    WORKLOADS.iter().find(|w| w.name == name)
+}
+
+/// The shared "unknown workload" error — spec parsing and the backend
+/// itself reject unknown names with the identical message.
+pub(crate) fn unknown_workload(spec: &str, name: &str) -> Error {
+    Error::Spec {
+        spec: spec.to_string(),
+        reason: format!(
+            "unknown workload {name:?} ({})",
+            workload_names().join(", ")
+        ),
+    }
+}
+
+/// Whether `name` is a row of the workload table.
+pub(crate) fn is_workload(name: &str) -> bool {
+    find(name).is_some()
+}
+
+/// The IOR-scale config: the paper's 96 ranks, or a 2-host / 4-core
+/// small scale for fast runs.
+fn scale_config(paper: bool) -> SimConfig {
+    if paper {
+        SimConfig::default()
+    } else {
+        SimConfig {
+            hosts: vec!["jwc01".to_string(), "jwc02".to_string()],
+            cores_per_host: 4,
+            ..Default::default()
+        }
+    }
+}
+
+/// Builds the event log of one named workload by walking its table row.
+///
+/// `paper` scales the IOR workloads to the paper's 96 ranks (op-list
+/// runs always use their small fixed scale, as `stinspect simulate`
+/// always has).
+pub fn workload_log(name: &str, paper: bool) -> Result<EventLog, Error> {
+    let Some(workload) = find(name) else {
+        return Err(unknown_workload(&format!("sim:{name}"), name));
+    };
+    let filter = workload.filter.build();
+    let mut log = EventLog::with_new_interner();
+    for run in workload.runs {
+        match run {
+            Run::Ops {
+                cid,
+                base_rid,
+                ops,
+                ranks,
+            } => {
+                let mut config = SimConfig::small(*ranks);
+                if let Some(rid) = base_rid {
+                    config.base_rid = *rid;
+                }
+                let sim = Simulation::new(config);
+                sim.run(cid, vec![ops(); *ranks], &filter, &mut log);
+            }
+            Run::Ior {
+                cid,
+                fpp,
+                api,
+                subdir,
+            } => {
+                let config = scale_config(paper);
+                let profile = StartupProfile::default();
+                let opts = IorOptions::paper_experiment(
+                    *fpp,
+                    *api,
+                    &format!("{}/{subdir}/test", config.paths.scratch),
+                );
+                run_ior(cid, &opts, &profile, &config, &filter, &mut log);
+            }
+        }
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_table_row_builds_a_nonempty_log() {
+        for name in workload_names() {
+            let log = workload_log(name, false).unwrap();
+            assert!(!log.is_empty(), "{name}");
+        }
+    }
+
+    #[test]
+    fn ls_has_the_two_command_runs() {
+        let log = workload_log("ls", false).unwrap();
+        assert_eq!(log.case_count(), 6); // 3 ranks × {ls, ls -l}
+        let snap = log.snapshot();
+        let cids: std::collections::BTreeSet<&str> = log
+            .cases()
+            .iter()
+            .map(|c| snap.resolve(c.meta.cid))
+            .collect();
+        assert_eq!(cids.into_iter().collect::<Vec<_>>(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unknown_workload_lists_the_table() {
+        let err = workload_log("nope", false).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown workload"), "{msg}");
+        assert!(msg.contains("ior-mpiio"), "{msg}");
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        let a = workload_log("ssf", false).unwrap();
+        let b = workload_log("ssf", false).unwrap();
+        assert_eq!(a.cases(), b.cases());
+    }
+}

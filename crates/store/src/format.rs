@@ -70,8 +70,7 @@ impl ColumnSet {
     /// request: an event without its call, start and path is not a
     /// usable I/O event (undecoded columns fall back to neutral
     /// defaults: pid 0, dur 0, `None` sizes/offsets, `ok = true`).
-    pub const IDENTITY: ColumnSet =
-        ColumnSet(Self::CALL.0 | Self::START.0 | Self::PATH.0);
+    pub const IDENTITY: ColumnSet = ColumnSet(Self::CALL.0 | Self::START.0 | Self::PATH.0);
 
     /// The column at physical position `idx` (0-based, see [`NCOLS`]).
     pub fn nth(idx: usize) -> ColumnSet {
@@ -240,9 +239,7 @@ impl ZoneMap {
 
     /// Whether `pid` may occur in the block (min/max range plus bloom).
     pub fn may_contain_pid(&self, pid: u32) -> bool {
-        pid >= self.pid_min
-            && pid <= self.pid_max
-            && self.pid_bits & pid_bloom_bit(pid) != 0
+        pid >= self.pid_min && pid <= self.pid_max && self.pid_bits & pid_bloom_bit(pid) != 0
     }
 
     /// Whether a path symbol with the given bloom `probes` may occur.
@@ -301,7 +298,12 @@ impl ZoneMap {
         let path_bloom = [get_fixed_u64(buf)?, get_fixed_u64(buf)?];
         Ok(ZoneMap {
             start_min,
-            start_max: Micros(start_min.as_micros().checked_add(start_span).ok_or_else(overflow)?),
+            start_max: Micros(
+                start_min
+                    .as_micros()
+                    .checked_add(start_span)
+                    .ok_or_else(overflow)?,
+            ),
             dur_min,
             dur_max: dur_min.checked_add(dur_span).ok_or_else(overflow)?,
             any_sized,
@@ -432,7 +434,10 @@ impl CaseDir {
         }
     }
 
-    pub(crate) fn decode<B: Buf>(buf: &mut B, remaining_hint: usize) -> Result<CaseDir, StoreError> {
+    pub(crate) fn decode<B: Buf>(
+        buf: &mut B,
+        remaining_hint: usize,
+    ) -> Result<CaseDir, StoreError> {
         let cid = Symbol(narrow_u32(get_u64(buf)?, "cid symbol")?);
         let host = Symbol(narrow_u32(get_u64(buf)?, "host symbol")?);
         let rid = narrow_u32(get_u64(buf)?, "rid")?;
@@ -465,7 +470,10 @@ impl CaseDir {
             events,
             start_min,
             start_max: Micros(
-                start_min.as_micros().checked_add(start_span).ok_or_else(overflow)?,
+                start_min
+                    .as_micros()
+                    .checked_add(start_span)
+                    .ok_or_else(overflow)?,
             ),
             blocks,
         })
@@ -481,7 +489,13 @@ mod tests {
         vec![
             Event::new(Pid(9), Syscall::Read, Micros(100), Micros(7), Symbol(3)).with_size(512),
             Event::new(Pid(11), Syscall::Openat, Micros(140), Micros(2), Symbol(5)).failed(),
-            Event::new(Pid(9), Syscall::Other(Symbol(6)), Micros(150), Micros(40), Symbol(3)),
+            Event::new(
+                Pid(9),
+                Syscall::Other(Symbol(6)),
+                Micros(150),
+                Micros(40),
+                Symbol(3),
+            ),
         ]
     }
 
@@ -562,7 +576,10 @@ mod tests {
             let mut buf = Vec::new();
             entry.encode(&mut buf);
             let mut cursor = &buf[..];
-            assert!(BlockDir::decode(&mut cursor).is_err(), "{claimed} {col_lens:?}");
+            assert!(
+                BlockDir::decode(&mut cursor).is_err(),
+                "{claimed} {col_lens:?}"
+            );
         }
     }
 

@@ -25,7 +25,10 @@ enum Payload {
     /// v1: the raw cases section, decoded in one sequential pass.
     V1 { cases: Bytes },
     /// v2: the parsed block directory plus the raw blocks section.
-    V2 { directory: Vec<CaseDir>, blocks: Bytes },
+    V2 {
+        directory: Vec<CaseDir>,
+        blocks: Bytes,
+    },
 }
 
 /// A parsed-but-not-yet-decoded container.
@@ -117,7 +120,8 @@ impl StoreReader {
     /// block (v2 reads the directory; v1 is `None` — the count is not
     /// known until the cases section is decoded).
     pub fn total_events(&self) -> Option<u64> {
-        self.directory().map(|dir| dir.iter().map(|c| c.events).sum())
+        self.directory()
+            .map(|dir| dir.iter().map(|c| c.events).sum())
     }
 
     /// Decodes the full event log. Symbols are re-interned in insertion
@@ -130,14 +134,8 @@ impl StoreReader {
     /// container-level equivalent of `apply_fp_filter` (Fig. 6 step 1).
     /// Cases left with no events are dropped.
     pub fn read_filtered(&self, needle: &str) -> Result<EventLog, StoreError> {
-        let matching: Vec<bool> = self
-            .strings
-            .iter()
-            .map(|s| s.contains(needle))
-            .collect();
-        self.read_with_filter(|path_sym| {
-            matching.get(path_sym.index()).copied().unwrap_or(false)
-        })
+        let matching: Vec<bool> = self.strings.iter().map(|s| s.contains(needle)).collect();
+        self.read_with_filter(|path_sym| matching.get(path_sym.index()).copied().unwrap_or(false))
     }
 
     /// Decodes one v2 block, appending its events to `out` and
@@ -230,9 +228,8 @@ impl StoreReader {
                     e.call = if tag == CALL_OTHER_TAG {
                         Syscall::Other(self.symbol(get_u64(seg)?)?)
                     } else {
-                        Syscall::from_named_index(tag).ok_or_else(|| {
-                            StoreError::Corrupt(format!("unknown call tag {tag}"))
-                        })?
+                        Syscall::from_named_index(tag)
+                            .ok_or_else(|| StoreError::Corrupt(format!("unknown call tag {tag}")))?
                     };
                 }
             }
@@ -281,10 +278,7 @@ impl StoreReader {
         Ok(())
     }
 
-    fn read_with_filter(
-        &self,
-        keep_path: impl Fn(Symbol) -> bool,
-    ) -> Result<EventLog, StoreError> {
+    fn read_with_filter(&self, keep_path: impl Fn(Symbol) -> bool) -> Result<EventLog, StoreError> {
         let interner = Interner::new_shared();
         for s in &self.strings {
             interner.intern(s);
@@ -408,7 +402,10 @@ impl StoreReader {
                 events.push(e);
             }
             if !events.is_empty() {
-                log.push_case(Case { meta: CaseMeta { cid, host, rid }, events });
+                log.push_case(Case {
+                    meta: CaseMeta { cid, host, rid },
+                    events,
+                });
             }
         }
         if buf.has_remaining() {
@@ -418,8 +415,8 @@ impl StoreReader {
     }
 
     fn symbol(&self, raw: u64) -> Result<Symbol, StoreError> {
-        let idx = usize::try_from(raw)
-            .map_err(|_| StoreError::Corrupt("symbol exceeds usize".into()))?;
+        let idx =
+            usize::try_from(raw).map_err(|_| StoreError::Corrupt("symbol exceeds usize".into()))?;
         if idx >= self.strings.len() {
             return Err(StoreError::Corrupt(format!(
                 "symbol {idx} out of range ({} strings)",
@@ -432,7 +429,10 @@ impl StoreReader {
 
 fn get_v1_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreError> {
     let len = get_u64(data)? as usize;
-    if len.checked_add(4).is_none_or(|need| data.remaining() < need) {
+    if len
+        .checked_add(4)
+        .is_none_or(|need| data.remaining() < need)
+    {
         return Err(StoreError::Corrupt(format!("truncated {section} section")));
     }
     let body = data.split_to(len);
@@ -640,8 +640,7 @@ mod tests {
     #[test]
     fn directory_reports_meta_without_decoding() {
         let log = sample_log();
-        let reader =
-            StoreReader::from_bytes(to_bytes_blocked(&log, 2).unwrap()).unwrap();
+        let reader = StoreReader::from_bytes(to_bytes_blocked(&log, 2).unwrap()).unwrap();
         assert_eq!(reader.total_events(), Some(5));
         let dir = reader.directory().unwrap();
         assert_eq!(dir.len(), 1);
@@ -662,7 +661,9 @@ mod tests {
         let dir = reader.directory().unwrap();
         let block = &dir[0].blocks[0];
         let mut all = Vec::new();
-        let full_bytes = reader.decode_block(block, ColumnSet::ALL, &mut all).unwrap();
+        let full_bytes = reader
+            .decode_block(block, ColumnSet::ALL, &mut all)
+            .unwrap();
         let mut some = Vec::new();
         let some_bytes = reader
             .decode_block(block, ColumnSet::IDENTITY, &mut some)
@@ -702,7 +703,10 @@ mod tests {
         let mut bytes = to_bytes(&log).unwrap().to_vec();
         bytes[8] = 0xEE;
         let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
-        assert!(matches!(err, StoreError::UnsupportedVersion(0xEE)), "{err:?}");
+        assert!(
+            matches!(err, StoreError::UnsupportedVersion(0xEE)),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -716,7 +720,10 @@ mod tests {
             bytes[16] ^= 0xFF;
             let err = StoreReader::from_bytes(Bytes::from(bytes)).unwrap_err();
             assert!(
-                matches!(err, StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)),
+                matches!(
+                    err,
+                    StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)
+                ),
                 "{err:?}"
             );
         }
@@ -732,7 +739,10 @@ mod tests {
         let reader = StoreReader::from_bytes(Bytes::from(corrupted)).unwrap();
         let err = reader.read().unwrap_err();
         assert!(
-            matches!(err, StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)),
+            matches!(
+                err,
+                StoreError::ChecksumMismatch { .. } | StoreError::Corrupt(_)
+            ),
             "{err:?}"
         );
     }
@@ -744,7 +754,12 @@ mod tests {
             for cut in [12, bytes.len() / 2, bytes.len() - 1] {
                 let err = StoreReader::from_bytes(bytes.slice(0..cut)).unwrap_err();
                 assert!(
-                    matches!(err, StoreError::Corrupt(_) | StoreError::ChecksumMismatch { .. } | StoreError::BadMagic),
+                    matches!(
+                        err,
+                        StoreError::Corrupt(_)
+                            | StoreError::ChecksumMismatch { .. }
+                            | StoreError::BadMagic
+                    ),
                     "cut={cut}: {err:?}"
                 );
             }
@@ -755,10 +770,7 @@ mod tests {
     fn huge_section_length_is_corrupt_not_panic() {
         // A section length prefix near u64::MAX must not overflow the
         // bounds check (debug panic / release wrap) — it is Corrupt.
-        for magic_version in [
-            (&b"STLOG1\0\0"[..], 1u32),
-            (&b"STLOG2\0\0"[..], 2u32),
-        ] {
+        for magic_version in [(&b"STLOG1\0\0"[..], 1u32), (&b"STLOG2\0\0"[..], 2u32)] {
             let mut bytes = Vec::new();
             bytes.extend_from_slice(magic_version.0);
             bytes.extend_from_slice(&magic_version.1.to_le_bytes());

@@ -100,7 +100,9 @@ mod tests {
     #[test]
     fn overlong_is_error() {
         // Eleven continuation bytes can never be a valid u64.
-        let raw = [0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        let raw = [
+            0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01,
+        ];
         let mut buf = &raw[..];
         assert!(get_u64(&mut buf).is_err());
     }

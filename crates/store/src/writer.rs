@@ -68,8 +68,7 @@ pub fn to_bytes_blocked(log: &EventLog, block_events: usize) -> Result<Bytes, St
     // the block bodies (the directory precedes the bodies but depends on
     // their offsets, so the bodies stream into their own buffer and are
     // appended once at the end — no per-case or per-column allocations).
-    let mut out =
-        Vec::with_capacity(64 + strings_est + log.case_count() * 32 + n_blocks * 96);
+    let mut out = Vec::with_capacity(64 + strings_est + log.case_count() * 32 + n_blocks * 96);
     let mut blocks = Vec::with_capacity(n_events * EST_BYTES_PER_EVENT + n_blocks * 4);
 
     out.extend_from_slice(MAGIC_V2);
@@ -347,13 +346,25 @@ pub(crate) mod tests {
             Event::new(Pid(9054), Syscall::Read, Micros(200), Micros(203), p)
                 .with_size(832)
                 .with_requested(832),
-            Event::new(Pid(9054), Syscall::Other(i.intern("statx")), Micros(300), Micros(4), p),
+            Event::new(
+                Pid(9054),
+                Syscall::Other(i.intern("statx")),
+                Micros(300),
+                Micros(4),
+                p,
+            ),
             Event::new(Pid(9054), Syscall::Pwrite64, Micros(400), Micros(300), p)
                 .with_size(1024)
                 .with_requested(1024)
                 .with_offset(4096),
-            Event::new(Pid(9054), Syscall::Openat, Micros(500), Micros(7),
-                i.intern("/missing")).failed(),
+            Event::new(
+                Pid(9054),
+                Syscall::Openat,
+                Micros(500),
+                Micros(7),
+                i.intern("/missing"),
+            )
+            .failed(),
         ];
         log.push_case(Case::from_events(meta, events));
         log
@@ -363,14 +374,20 @@ pub(crate) mod tests {
     fn serializes_with_magic_and_version() {
         let bytes = to_bytes(&sample_log()).unwrap();
         assert_eq!(&bytes[..8], MAGIC_V2);
-        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), VERSION_V2);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            VERSION_V2
+        );
     }
 
     #[test]
     fn v1_serializes_with_legacy_magic() {
         let bytes = to_bytes_v1(&sample_log()).unwrap();
         assert_eq!(&bytes[..8], MAGIC_V1);
-        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), VERSION_V1);
+        assert_eq!(
+            u32::from_le_bytes(bytes[8..12].try_into().unwrap()),
+            VERSION_V1
+        );
     }
 
     #[test]
@@ -397,8 +414,14 @@ pub(crate) mod tests {
         let one = to_bytes_blocked(&log, 1).unwrap();
         let all = to_bytes_blocked(&log, 1024).unwrap();
         assert_ne!(one.len(), all.len()); // more blocks, more directory
-        let a = crate::reader::StoreReader::from_bytes(one).unwrap().read().unwrap();
-        let b = crate::reader::StoreReader::from_bytes(all).unwrap().read().unwrap();
+        let a = crate::reader::StoreReader::from_bytes(one)
+            .unwrap()
+            .read()
+            .unwrap();
+        let b = crate::reader::StoreReader::from_bytes(all)
+            .unwrap()
+            .read()
+            .unwrap();
         assert_eq!(a.cases(), b.cases());
     }
 }

@@ -46,10 +46,16 @@ impl fmt::Display for Warning {
                 write!(f, "line {line}: unparsable record: {text}")
             }
             Warning::OrphanResumed { line, pid } => {
-                write!(f, "line {line}: resumed record for pid {pid} without unfinished call")
+                write!(
+                    f,
+                    "line {line}: resumed record for pid {pid} without unfinished call"
+                )
             }
             Warning::NeverResumed { pid, call } => {
-                write!(f, "unfinished {call} for pid {pid} never resumed before EOF")
+                write!(
+                    f,
+                    "unfinished {call} for pid {pid} never resumed before EOF"
+                )
             }
             Warning::Restarted { line } => {
                 write!(f, "line {line}: ERESTARTSYS-interrupted call ignored")

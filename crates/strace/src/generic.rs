@@ -92,7 +92,10 @@ pub fn from_csv(text: &str, interner: Arc<Interner>) -> Result<EventLog, CsvErro
             })
         }
         None => {
-            return Err(CsvError { line: 1, message: "empty input".to_string() })
+            return Err(CsvError {
+                line: 1,
+                message: "empty input".to_string(),
+            })
         }
     }
 
@@ -105,7 +108,10 @@ pub fn from_csv(text: &str, interner: Arc<Interner>) -> Result<EventLog, CsvErro
         if line.trim().is_empty() {
             continue;
         }
-        let fields = split_csv(line).map_err(|message| CsvError { line: lineno, message })?;
+        let fields = split_csv(line).map_err(|message| CsvError {
+            line: lineno,
+            message,
+        })?;
         if fields.len() != 12 {
             return Err(CsvError {
                 line: lineno,
@@ -119,7 +125,11 @@ pub fn from_csv(text: &str, interner: Arc<Interner>) -> Result<EventLog, CsvErro
             })
         };
         let parse_opt = |s: &str, what: &str| -> Result<Option<u64>, CsvError> {
-            if s.is_empty() { Ok(None) } else { parse_u64(s, what).map(Some) }
+            if s.is_empty() {
+                Ok(None)
+            } else {
+                parse_u64(s, what).map(Some)
+            }
         };
 
         let meta = CaseMeta {
@@ -186,18 +196,46 @@ mod tests {
     fn sample_log() -> EventLog {
         let mut log = EventLog::with_new_interner();
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("host1"), rid: 9042 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("host1"),
+            rid: 9042,
+        };
         let events = vec![
-            Event::new(Pid(9054), Syscall::Read, Micros(100), Micros(203), i.intern("/usr/lib/libc.so.6"))
-                .with_size(832)
-                .with_requested(832),
-            Event::new(Pid(9054), Syscall::Openat, Micros(300), Micros(7), i.intern("/weird,path/f"))
-                .failed(),
-            Event::new(Pid(9054), Syscall::Other(i.intern("statx")), Micros(400), Micros(3), i.intern("/x")),
-            Event::new(Pid(9054), Syscall::Pwrite64, Micros(500), Micros(30), i.intern("/x"))
-                .with_size(10)
-                .with_requested(10)
-                .with_offset(4096),
+            Event::new(
+                Pid(9054),
+                Syscall::Read,
+                Micros(100),
+                Micros(203),
+                i.intern("/usr/lib/libc.so.6"),
+            )
+            .with_size(832)
+            .with_requested(832),
+            Event::new(
+                Pid(9054),
+                Syscall::Openat,
+                Micros(300),
+                Micros(7),
+                i.intern("/weird,path/f"),
+            )
+            .failed(),
+            Event::new(
+                Pid(9054),
+                Syscall::Other(i.intern("statx")),
+                Micros(400),
+                Micros(3),
+                i.intern("/x"),
+            ),
+            Event::new(
+                Pid(9054),
+                Syscall::Pwrite64,
+                Micros(500),
+                Micros(30),
+                i.intern("/x"),
+            )
+            .with_size(10)
+            .with_requested(10)
+            .with_offset(4096),
         ];
         log.push_case(Case::from_events(meta, events));
         log
@@ -236,7 +274,10 @@ mod tests {
         assert!(csv.contains("\"/weird,path/f\""), "{csv}");
         let back = from_csv(&csv, Interner::new_shared()).unwrap();
         let snap = back.snapshot();
-        assert_eq!(snap.resolve(back.cases()[0].events[1].path), "/weird,path/f");
+        assert_eq!(
+            snap.resolve(back.cases()[0].events[1].path),
+            "/weird,path/f"
+        );
     }
 
     #[test]

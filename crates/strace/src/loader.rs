@@ -68,7 +68,10 @@ pub fn load_dir(
     opts: &LoadOptions,
 ) -> Result<LoadResult, StraceError> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
-        .map_err(|source| StraceError::Io { path: dir.to_path_buf(), source })?
+        .map_err(|source| StraceError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
         .filter(|p| {
             p.is_file()
@@ -98,13 +101,12 @@ pub fn load_files(
         match CaseMeta::parse_trace_file_name(name, &interner) {
             Some(meta) => metas.push(meta),
             None if opts.strict_names => {
-                return Err(StraceError::BadFileName { name: name.to_string() })
+                return Err(StraceError::BadFileName {
+                    name: name.to_string(),
+                })
             }
             None => {
-                let stem = path
-                    .file_stem()
-                    .and_then(|s| s.to_str())
-                    .unwrap_or("trace");
+                let stem = path.file_stem().and_then(|s| s.to_str()).unwrap_or("trace");
                 metas.push(CaseMeta {
                     cid: interner.intern(stem),
                     host: interner.intern("local"),
@@ -189,13 +191,22 @@ fn parse_one(
     chunk_threads: usize,
     streaming: bool,
 ) -> Result<(Case, Vec<Warning>), StraceError> {
-    let io_err = |source| StraceError::Io { path: path.to_path_buf(), source };
+    let io_err = |source| StraceError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
     if streaming {
         // Constant memory: one buffered line at a time.
         let file = std::fs::File::open(path).map_err(io_err)?;
         let mut reader = std::io::BufReader::new(file);
         let parsed = parse_reader(&mut reader, interner).map_err(io_err)?;
-        return Ok((Case { meta, events: parsed.events }, parsed.warnings));
+        return Ok((
+            Case {
+                meta,
+                events: parsed.events,
+            },
+            parsed.warnings,
+        ));
     }
     // One read into memory, then a zero-copy parse over the buffer —
     // cheaper than the line-at-a-time loop, which copies every line,
@@ -207,7 +218,13 @@ fn parse_one(
     } else {
         parse_str(&text, interner)
     };
-    Ok((Case { meta, events: parsed.events }, parsed.warnings))
+    Ok((
+        Case {
+            meta,
+            events: parsed.events,
+        },
+        parsed.warnings,
+    ))
 }
 
 #[cfg(test)]
@@ -217,7 +234,11 @@ mod tests {
 
     fn write_tmp_traces(dir: &Path) {
         std::fs::create_dir_all(dir).unwrap();
-        for (name, pid) in [("a_host1_9042.st", 9054), ("a_host1_9043.st", 9055), ("b_host1_9157.st", 9173)] {
+        for (name, pid) in [
+            ("a_host1_9042.st", 9054),
+            ("a_host1_9043.st", 9055),
+            ("b_host1_9157.st", 9173),
+        ] {
             let mut f = std::fs::File::create(dir.join(name)).unwrap();
             writeln!(
                 f,
@@ -267,13 +288,20 @@ mod tests {
         let seq = load_dir(
             &dir,
             Interner::new_shared(),
-            &LoadOptions { parallel: false, ..Default::default() },
+            &LoadOptions {
+                parallel: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let par = load_dir(
             &dir,
             Interner::new_shared(),
-            &LoadOptions { parallel: true, threads: 4, ..Default::default() },
+            &LoadOptions {
+                parallel: true,
+                threads: 4,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(seq.log.case_count(), par.log.case_count());
@@ -308,13 +336,20 @@ mod tests {
         let seq = load_dir(
             &dir,
             Interner::new_shared(),
-            &LoadOptions { parallel: false, ..Default::default() },
+            &LoadOptions {
+                parallel: false,
+                ..Default::default()
+            },
         )
         .unwrap();
         let par = load_dir(
             &dir,
             Interner::new_shared(),
-            &LoadOptions { parallel: true, threads: 8, ..Default::default() },
+            &LoadOptions {
+                parallel: true,
+                threads: 8,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(par.log.total_events(), 200);
@@ -332,7 +367,10 @@ mod tests {
         let slow = load_dir(
             &dir,
             Interner::new_shared(),
-            &LoadOptions { streaming: true, ..Default::default() },
+            &LoadOptions {
+                streaming: true,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(fast.log.case_count(), slow.log.case_count());
@@ -355,7 +393,10 @@ mod tests {
         let err = load_dir(
             &dir,
             Interner::new_shared(),
-            &LoadOptions { strict_names: true, ..Default::default() },
+            &LoadOptions {
+                strict_names: true,
+                ..Default::default()
+            },
         )
         .unwrap_err();
         assert!(matches!(err, StraceError::BadFileName { .. }));

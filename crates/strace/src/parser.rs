@@ -138,7 +138,12 @@ fn parse_chunk<'a, I: Intern>(chunk: &'a str, sink: &mut I) -> ChunkParse<'a> {
             Some(Line::Restarted) => {
                 out.warnings.push(Warning::Restarted { line: lineno });
             }
-            Some(Line::Unfinished { pid, start, name, args }) => {
+            Some(Line::Unfinished {
+                pid,
+                start,
+                name,
+                args,
+            }) => {
                 out.asyncs.push(AsyncRecord::Unfinished {
                     pid_key: pid.unwrap_or(0),
                     start,
@@ -146,7 +151,14 @@ fn parse_chunk<'a, I: Intern>(chunk: &'a str, sink: &mut I) -> ChunkParse<'a> {
                     args,
                 });
             }
-            Some(Line::Resumed { pid, name, args, ret, dur, .. }) => {
+            Some(Line::Resumed {
+                pid,
+                name,
+                args,
+                ret,
+                dur,
+                ..
+            }) => {
                 out.asyncs.push(AsyncRecord::Resumed {
                     line: lineno,
                     pid,
@@ -185,15 +197,30 @@ fn merge_asyncs<'a, I: Intern>(
     for (chunk, &offset) in chunks.iter().zip(offsets) {
         for record in &chunk.asyncs {
             match record {
-                AsyncRecord::Unfinished { pid_key, start, name, args } => {
-                    pending.entry((*pid_key, name)).or_default().push_back(Pending {
-                        start: *start,
-                        args: args.clone(),
-                        seq,
-                    });
+                AsyncRecord::Unfinished {
+                    pid_key,
+                    start,
+                    name,
+                    args,
+                } => {
+                    pending
+                        .entry((*pid_key, name))
+                        .or_default()
+                        .push_back(Pending {
+                            start: *start,
+                            args: args.clone(),
+                            seq,
+                        });
                     seq += 1;
                 }
-                AsyncRecord::Resumed { line, pid, name, args, ret, dur } => {
+                AsyncRecord::Resumed {
+                    line,
+                    pid,
+                    name,
+                    args,
+                    ret,
+                    dur,
+                } => {
                     let pid_key = pid.unwrap_or(0);
                     let matched = pending
                         .get_mut(&(pid_key, name))
@@ -231,13 +258,14 @@ fn merge_asyncs<'a, I: Intern>(
     // insertion order.
     let mut leftovers: Vec<(usize, u32, &str)> = pending
         .into_iter()
-        .flat_map(|((pid, name), queue)| {
-            queue.into_iter().map(move |p| (p.seq, pid, name))
-        })
+        .flat_map(|((pid, name), queue)| queue.into_iter().map(move |p| (p.seq, pid, name)))
         .collect();
     leftovers.sort_unstable_by_key(|(seq, _, _)| *seq);
     for (_, pid, name) in leftovers {
-        warnings.push(Warning::NeverResumed { pid, call: name.to_string() });
+        warnings.push(Warning::NeverResumed {
+            pid,
+            call: name.to_string(),
+        });
     }
     (events, warnings)
 }
@@ -348,9 +376,9 @@ fn collect_candidates<'l>(
     cache.clear();
     cache.resize(local.len(), None);
     let to_candidate = |sym: Symbol,
-                            cache: &mut Vec<Option<u32>>,
-                            dedup: &mut HashMap<&'l str, u32>,
-                            candidates: &mut Vec<&'l str>| {
+                        cache: &mut Vec<Option<u32>>,
+                        dedup: &mut HashMap<&'l str, u32>,
+                        candidates: &mut Vec<&'l str>| {
         if let Some(c) = cache[sym.index()] {
             return c;
         }
@@ -406,7 +434,9 @@ fn apply_symbols(events: &mut [(usize, Event)], shared: &[Symbol]) {
 /// ```
 pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace {
     let workers = if threads == 0 {
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     } else {
         threads
     };
@@ -470,9 +500,21 @@ pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace
     let mut candidates: Vec<&str> = Vec::new();
     let mut cache: Vec<Option<u32>> = Vec::new();
     for (chunk, local) in chunk_parses.iter_mut().zip(&locals) {
-        collect_candidates(&mut chunk.events, local, &mut cache, &mut dedup, &mut candidates);
+        collect_candidates(
+            &mut chunk.events,
+            local,
+            &mut cache,
+            &mut dedup,
+            &mut candidates,
+        );
     }
-    collect_candidates(&mut merged_events, &merge_local, &mut cache, &mut dedup, &mut candidates);
+    collect_candidates(
+        &mut merged_events,
+        &merge_local,
+        &mut cache,
+        &mut dedup,
+        &mut candidates,
+    );
     let shared = interner.intern_many(&candidates);
     for chunk in chunk_parses.iter_mut() {
         apply_symbols(&mut chunk.events, &shared);
@@ -554,7 +596,10 @@ fn kway_merge(
 /// two *fresh* interners can assign ids in a different order (resolved
 /// strings are always identical, and sharing one interner across both
 /// paths yields identical events).
-pub fn parse_reader<R: BufRead>(reader: &mut R, interner: &Interner) -> std::io::Result<ParsedTrace> {
+pub fn parse_reader<R: BufRead>(
+    reader: &mut R,
+    interner: &Interner,
+) -> std::io::Result<ParsedTrace> {
     let mut state = ReaderState::default();
     let mut buf = String::new();
     let mut lineno = 0usize;
@@ -596,7 +641,12 @@ impl ReaderState {
             Some(Line::Restarted) => {
                 self.warnings.push(Warning::Restarted { line: lineno });
             }
-            Some(Line::Unfinished { pid, start, name, args }) => {
+            Some(Line::Unfinished {
+                pid,
+                start,
+                name,
+                args,
+            }) => {
                 self.pending
                     .entry((pid.unwrap_or(0), name.to_string()))
                     .or_default()
@@ -607,7 +657,14 @@ impl ReaderState {
                     });
                 self.seq += 1;
             }
-            Some(Line::Resumed { pid, name, args, ret, dur, .. }) => {
+            Some(Line::Resumed {
+                pid,
+                name,
+                args,
+                ret,
+                dur,
+                ..
+            }) => {
                 let pid_key = pid.unwrap_or(0);
                 let matched = self
                     .pending
@@ -699,7 +756,9 @@ fn call_to_event<I: Intern>(call: &ParsedCall<'_>, sink: &mut I) -> Option<Event
             .annotation_path()
             .or_else(|| {
                 let arg_idx = if syscall == Syscall::Openat { 1 } else { 0 };
-                call.args.get(arg_idx).and_then(|a| scan::quoted_contents(a))
+                call.args
+                    .get(arg_idx)
+                    .and_then(|a| scan::quoted_contents(a))
             })
             .unwrap_or("")
     } else {
@@ -726,12 +785,12 @@ fn call_to_event<I: Intern>(call: &ParsedCall<'_>, sink: &mut I) -> Option<Event
     // vectored I/O the argument is an iovec count, not bytes, so it is
     // not a byte request.
     let requested = match syscall {
-        Syscall::Read | Syscall::Write => {
-            call.args.last().and_then(|a| scan::numeric_arg(a))
-        }
+        Syscall::Read | Syscall::Write => call.args.last().and_then(|a| scan::numeric_arg(a)),
         Syscall::Pread64 | Syscall::Pwrite64 => {
             let n = call.args.len();
-            call.args.get(n.wrapping_sub(2)).and_then(|a| scan::numeric_arg(a))
+            call.args
+                .get(n.wrapping_sub(2))
+                .and_then(|a| scan::numeric_arg(a))
         }
         _ => None,
     };
@@ -745,9 +804,7 @@ fn call_to_event<I: Intern>(call: &ParsedCall<'_>, sink: &mut I) -> Option<Event
                 call.args.get(1).and_then(|a| scan::numeric_arg(a))
             }
         }
-        Syscall::Pread64 | Syscall::Pwrite64 => {
-            call.args.last().and_then(|a| scan::numeric_arg(a))
-        }
+        Syscall::Pread64 | Syscall::Pwrite64 => call.args.last().and_then(|a| scan::numeric_arg(a)),
         _ => None,
     };
 
@@ -816,13 +873,19 @@ mod tests {
         assert_eq!(parsed.events.len(), 2);
         // The merged event starts at the unfinished timestamp...
         let merged = parsed.events.iter().find(|e| e.pid == Pid(77423)).unwrap();
-        assert_eq!(merged.start, Micros::parse_time_of_day("16:56:40.452431").unwrap());
+        assert_eq!(
+            merged.start,
+            Micros::parse_time_of_day("16:56:40.452431").unwrap()
+        );
         // ...and takes duration/size from the resumed record.
         assert_eq!(merged.dur, Micros(223));
         assert_eq!(merged.size, Some(404));
         assert_eq!(merged.requested, Some(405));
         let snap = i.snapshot();
-        assert_eq!(snap.resolve(merged.path), "/usr/lib/x86_64-linux-gnu/libselinux.so.1");
+        assert_eq!(
+            snap.resolve(merged.path),
+            "/usr/lib/x86_64-linux-gnu/libselinux.so.1"
+        );
         // Events re-sorted by start: merged comes first.
         assert_eq!(parsed.events[0].pid, Pid(77423));
     }
@@ -833,7 +896,10 @@ mod tests {
         let i = Interner::new();
         let parsed = parse_str(text, &i);
         assert!(parsed.events.is_empty());
-        assert_eq!(parsed.warnings, vec![Warning::OrphanResumed { line: 1, pid: 9 }]);
+        assert_eq!(
+            parsed.warnings,
+            vec![Warning::OrphanResumed { line: 1, pid: 9 }]
+        );
     }
 
     #[test]
@@ -844,7 +910,10 @@ mod tests {
         assert!(parsed.events.is_empty());
         assert_eq!(
             parsed.warnings,
-            vec![Warning::NeverResumed { pid: 9, call: "read".into() }]
+            vec![Warning::NeverResumed {
+                pid: 9,
+                call: "read".into()
+            }]
         );
     }
 
@@ -864,7 +933,10 @@ mod tests {
         let i = Interner::new();
         let parsed = parse_str(text, &i);
         assert_eq!(parsed.events.len(), 1);
-        assert!(matches!(parsed.warnings[0], Warning::UnparsableLine { line: 1, .. }));
+        assert!(matches!(
+            parsed.warnings[0],
+            Warning::UnparsableLine { line: 1, .. }
+        ));
     }
 
     #[test]
@@ -948,7 +1020,12 @@ mod tests {
             assert_eq!(chunks.len(), n);
             assert_eq!(chunks.concat(), text, "n={n}");
             for chunk in &chunks {
-                assert!(chunk.is_empty() || chunk.ends_with('\n') || !chunk.contains('\n') || *chunk == &text[text.len() - chunk.len()..]);
+                assert!(
+                    chunk.is_empty()
+                        || chunk.ends_with('\n')
+                        || !chunk.contains('\n')
+                        || *chunk == &text[text.len() - chunk.len()..]
+                );
             }
         }
         // Trailing partial line (no final newline).
@@ -977,9 +1054,8 @@ mod tests {
     fn parse_par_merges_unfinished_across_chunks() {
         // Enough filler that the unfinished/resumed pair straddles chunk
         // boundaries for every thread count.
-        let mut text = String::from(
-            "7  08:00:00.000001 read(3</straddle/first>, <unfinished ...>\n",
-        );
+        let mut text =
+            String::from("7  08:00:00.000001 read(3</straddle/first>, <unfinished ...>\n");
         for k in 0..40 {
             text.push_str(&format!(
                 "9  08:00:00.{:06} read(3</filler/f{}>, \"...\", 64) = 64 <0.000002>\n",
@@ -1023,9 +1099,15 @@ mod tests {
             assert_eq!(
                 par.warnings,
                 vec![
-                    Warning::UnparsableLine { line: 31, text: "garbage at line 31".into() },
+                    Warning::UnparsableLine {
+                        line: 31,
+                        text: "garbage at line 31".into()
+                    },
                     Warning::OrphanResumed { line: 32, pid: 9 },
-                    Warning::NeverResumed { pid: 9, call: "openat".into() },
+                    Warning::NeverResumed {
+                        pid: 9,
+                        call: "openat".into()
+                    },
                 ],
                 "threads={threads}"
             );
@@ -1037,9 +1119,7 @@ mod tests {
         // Two outstanding reads for the same pid; sequential semantics
         // match them first-in-first-out even when the pendings sit in
         // different chunks than their resumptions.
-        let mut text = String::from(
-            "5  08:00:00.000001 read(3</fifo/a>, <unfinished ...>\n",
-        );
+        let mut text = String::from("5  08:00:00.000001 read(3</fifo/a>, <unfinished ...>\n");
         for k in 0..20 {
             text.push_str(&format!(
                 "9  08:00:00.{:06} write(1</dev/pts/7>, \"...\", 8) = 8 <0.000001>\n",
@@ -1058,7 +1138,11 @@ mod tests {
         for threads in [1, 2, 3, 6] {
             let i = Interner::new();
             let parsed = parse_par(&text, &i, threads);
-            assert!(parsed.warnings.is_empty(), "threads={threads}: {:?}", parsed.warnings);
+            assert!(
+                parsed.warnings.is_empty(),
+                "threads={threads}: {:?}",
+                parsed.warnings
+            );
             let snap = i.snapshot();
             let reads: Vec<(&str, Option<u64>)> = parsed
                 .events
@@ -1067,7 +1151,11 @@ mod tests {
                 .map(|e| (snap.resolve(e.path), e.size))
                 .collect();
             // FIFO: the first resumed completes /fifo/a, the second /fifo/b.
-            assert_eq!(reads, vec![("/fifo/a", Some(10)), ("/fifo/b", Some(20))], "threads={threads}");
+            assert_eq!(
+                reads,
+                vec![("/fifo/a", Some(10)), ("/fifo/b", Some(20))],
+                "threads={threads}"
+            );
         }
     }
 

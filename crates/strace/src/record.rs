@@ -284,11 +284,7 @@ fn parse_return(s: &str) -> Option<(ReturnValue<'_>, Option<Micros>)> {
 
     // Optional errno symbol + message: `ENOENT (No such file or directory)`.
     let mut ret = ret;
-    if rest
-        .chars()
-        .next()
-        .is_some_and(|c| c.is_ascii_uppercase())
-    {
+    if rest.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
         let end = rest
             .bytes()
             .position(|b| !(b.is_ascii_uppercase() || b.is_ascii_digit()))
@@ -325,7 +321,10 @@ mod tests {
         match parse_line(line).unwrap() {
             Line::Call(c) => {
                 assert_eq!(c.pid, Some(9054));
-                assert_eq!(c.start, Micros::parse_time_of_day("08:55:54.153994").unwrap());
+                assert_eq!(
+                    c.start,
+                    Micros::parse_time_of_day("08:55:54.153994").unwrap()
+                );
                 assert_eq!(c.name, "read");
                 assert_eq!(c.args[0], "3</usr/lib/x86_64-linux-gnu/libselinux.so.1>");
                 assert_eq!(c.args[2], "832");
@@ -367,7 +366,13 @@ mod tests {
         let line = "123 10:00:00.000001 openat(AT_FDCWD, \"/opt/x/libfoo.so\", O_RDONLY|O_CLOEXEC) = -1 ENOENT (No such file or directory) <0.000007>";
         match parse_line(line).unwrap() {
             Line::Call(c) => {
-                assert_eq!(c.ret, ReturnValue::Error { code: -1, name: "ENOENT" });
+                assert_eq!(
+                    c.ret,
+                    ReturnValue::Error {
+                        code: -1,
+                        name: "ENOENT"
+                    }
+                );
                 assert!(c.ret.is_error());
                 assert_eq!(c.dur, Some(Micros(7)));
             }
@@ -379,7 +384,9 @@ mod tests {
     fn parses_unfinished_fig2c() {
         let line = "77423  16:56:40.452431 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, <unfinished ...>";
         match parse_line(line).unwrap() {
-            Line::Unfinished { pid, name, args, .. } => {
+            Line::Unfinished {
+                pid, name, args, ..
+            } => {
                 assert_eq!(pid, Some(77423));
                 assert_eq!(name, "read");
                 assert_eq!(args.len(), 1);
@@ -392,7 +399,14 @@ mod tests {
     fn parses_resumed_fig2c() {
         let line = "77423  16:56:40.452660 <... read resumed> \"...\", 405) = 404 <0.000223>";
         match parse_line(line).unwrap() {
-            Line::Resumed { pid, name, args, ret, dur, .. } => {
+            Line::Resumed {
+                pid,
+                name,
+                args,
+                ret,
+                dur,
+                ..
+            } => {
                 assert_eq!(pid, Some(77423));
                 assert_eq!(name, "read");
                 assert_eq!(args, vec!["\"...\"", "405"]);
@@ -417,10 +431,16 @@ mod tests {
     fn parses_exit_and_signal() {
         assert_eq!(
             parse_line("9054 08:55:54.200000 +++ exited with 0 +++").unwrap(),
-            Line::Exit { pid: Some(9054), code: Some(0) }
+            Line::Exit {
+                pid: Some(9054),
+                code: Some(0)
+            }
         );
         assert!(matches!(
-            parse_line("9054 08:55:54.100000 --- SIGCHLD {si_signo=SIGCHLD, si_code=CLD_EXITED} ---").unwrap(),
+            parse_line(
+                "9054 08:55:54.100000 --- SIGCHLD {si_signo=SIGCHLD, si_code=CLD_EXITED} ---"
+            )
+            .unwrap(),
             Line::Signal
         ));
     }

@@ -141,8 +141,7 @@ pub fn fd_annotation_path(arg: &str) -> Option<&str> {
         return None;
     }
     let path = &arg[open + 1..close];
-    if path.starts_with("socket:") || path.starts_with("pipe:") || path.starts_with("anon_inode:")
-    {
+    if path.starts_with("socket:") || path.starts_with("pipe:") || path.starts_with("anon_inode:") {
         return None;
     }
     Some(path)
@@ -215,7 +214,8 @@ mod tests {
         assert_eq!(s.args.len(), 3);
         let s = scan(r#"fstat(3</x>, {st_mode=S_IFREG|0644, st_size=14, ...}) = 0"#);
         assert_eq!(s.args.len(), 2);
-        let s = scan(r#"writev(4</y>, [{iov_base="a", iov_len=1}, {iov_base="b", iov_len=1}], 2) = 2"#);
+        let s =
+            scan(r#"writev(4</y>, [{iov_base="a", iov_len=1}, {iov_base="b", iov_len=1}], 2) = 2"#);
         assert_eq!(s.args.len(), 3);
     }
 
@@ -242,7 +242,10 @@ mod tests {
 
     #[test]
     fn fd_annotation_paths() {
-        assert_eq!(fd_annotation_path("3</usr/lib/libc.so.6>"), Some("/usr/lib/libc.so.6"));
+        assert_eq!(
+            fd_annotation_path("3</usr/lib/libc.so.6>"),
+            Some("/usr/lib/libc.so.6")
+        );
         assert_eq!(fd_annotation_path("10</tmp/a b>"), Some("/tmp/a b"));
         assert_eq!(fd_annotation_path("3<socket:[1234]>"), None);
         assert_eq!(fd_annotation_path("3<pipe:[99]>"), None);

@@ -46,7 +46,10 @@ struct FdAlloc {
 
 impl FdAlloc {
     fn new() -> Self {
-        FdAlloc { map: HashMap::new(), next: 3 }
+        FdAlloc {
+            map: HashMap::new(),
+            next: 3,
+        }
     }
 
     fn fd(&mut self, path: Symbol) -> u32 {
@@ -290,14 +293,26 @@ mod tests {
                 .with_requested(1024),
             Event::new(Pid(9054), Syscall::Lseek, Micros(4_000), Micros(4), p_lib)
                 .with_offset(16_777_216),
-            Event::new(Pid(9054), Syscall::Pwrite64, Micros(5_000), Micros(300), p_tty)
-                .with_size(1_048_576)
-                .with_requested(1_048_576)
-                .with_offset(33_554_432),
+            Event::new(
+                Pid(9054),
+                Syscall::Pwrite64,
+                Micros(5_000),
+                Micros(300),
+                p_tty,
+            )
+            .with_size(1_048_576)
+            .with_requested(1_048_576)
+            .with_offset(33_554_432),
             Event::new(Pid(9054), Syscall::Fsync, Micros(6_000), Micros(900), p_tty),
             Event::new(Pid(9054), Syscall::Close, Micros(7_000), Micros(3), p_tty),
-            Event::new(Pid(9054), Syscall::Openat, Micros(8_000), Micros(7),
-                interner.intern("/opt/missing/lib.so")).failed(),
+            Event::new(
+                Pid(9054),
+                Syscall::Openat,
+                Micros(8_000),
+                Micros(7),
+                interner.intern("/opt/missing/lib.so"),
+            )
+            .failed(),
         ];
         Case::from_events(meta, events)
     }
@@ -339,7 +354,11 @@ mod tests {
     #[test]
     fn overlapping_events_emit_unfinished_resumed() {
         let i = Interner::new();
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 1 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 1,
+        };
         let p = i.intern("/data/x");
         // Two pids; the first call spans the second's start.
         let events = vec![
@@ -369,7 +388,11 @@ mod tests {
     #[test]
     fn no_split_when_disabled() {
         let i = Interner::new();
-        let meta = CaseMeta { cid: i.intern("a"), host: i.intern("h"), rid: 1 };
+        let meta = CaseMeta {
+            cid: i.intern("a"),
+            host: i.intern("h"),
+            rid: 1,
+        };
         let p = i.intern("/data/x");
         let events = vec![
             Event::new(Pid(10), Syscall::Read, Micros(100), Micros(500), p).with_size(1),
@@ -377,7 +400,10 @@ mod tests {
         ];
         let case = Case::from_events(meta, events);
         let mut buf = Vec::new();
-        let opts = WriteOptions { split_overlapping: false, ..Default::default() };
+        let opts = WriteOptions {
+            split_overlapping: false,
+            ..Default::default()
+        };
         write_case(&case, &i, &mut buf, &opts).unwrap();
         let text = String::from_utf8(buf).unwrap();
         assert!(!text.contains("unfinished"), "{text}");
@@ -389,9 +415,14 @@ mod tests {
         let case = build_case(&i);
         let mut with = Vec::new();
         write_case(&case, &i, &mut with, &WriteOptions::default()).unwrap();
-        assert!(String::from_utf8(with).unwrap().contains("+++ exited with 0 +++"));
+        assert!(String::from_utf8(with)
+            .unwrap()
+            .contains("+++ exited with 0 +++"));
         let mut without = Vec::new();
-        let opts = WriteOptions { emit_exit_line: false, ..Default::default() };
+        let opts = WriteOptions {
+            emit_exit_line: false,
+            ..Default::default()
+        };
         write_case(&case, &i, &mut without, &opts).unwrap();
         assert!(!String::from_utf8(without).unwrap().contains("exited"));
     }

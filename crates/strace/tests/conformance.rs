@@ -24,9 +24,8 @@ fn dup2_style_double_annotation() {
 
 #[test]
 fn socket_annotations_are_not_paths() {
-    let (events, warnings, interner) = parse_one(
-        "100 10:00:00.000001 read(5<socket:[123456]>, \"...\", 4096) = 88 <0.000010>\n",
-    );
+    let (events, warnings, interner) =
+        parse_one("100 10:00:00.000001 read(5<socket:[123456]>, \"...\", 4096) = 88 <0.000010>\n");
     assert!(warnings.is_empty(), "{warnings:?}");
     assert_eq!(events.len(), 1);
     // Path resolves to the empty string, not "socket:[123456]".
@@ -136,9 +135,17 @@ fn same_pid_nested_different_calls() {
     let parsed = parse_str(text, &interner);
     assert!(parsed.warnings.is_empty(), "{:?}", parsed.warnings);
     assert_eq!(parsed.events.len(), 2);
-    let read = parsed.events.iter().find(|e| e.call == Syscall::Read).unwrap();
+    let read = parsed
+        .events
+        .iter()
+        .find(|e| e.call == Syscall::Read)
+        .unwrap();
     assert_eq!(read.size, Some(10));
-    let write = parsed.events.iter().find(|e| e.call == Syscall::Write).unwrap();
+    let write = parsed
+        .events
+        .iter()
+        .find(|e| e.call == Syscall::Write)
+        .unwrap();
     assert_eq!(write.size, Some(20));
 }
 
@@ -166,9 +173,8 @@ fn openat_with_directory_fd_instead_of_at_fdcwd() {
 
 #[test]
 fn lseek_seek_cur_and_seek_end() {
-    let (events, warnings, _) = parse_one(
-        "100 10:00:00.000001 lseek(3</data/f>, 0, SEEK_END) = 1048576 <0.000002>\n",
-    );
+    let (events, warnings, _) =
+        parse_one("100 10:00:00.000001 lseek(3</data/f>, 0, SEEK_END) = 1048576 <0.000002>\n");
     assert!(warnings.is_empty(), "{warnings:?}");
     // The resulting absolute offset is the return value.
     assert_eq!(events[0].offset, Some(1_048_576));
@@ -201,9 +207,7 @@ fn paths_with_spaces_parentheses_and_unicode() {
         "/data/ünïcode/ファイル.bin",
         "/data/weird)paren",
     ] {
-        let line = format!(
-            "100 10:00:00.000001 read(3<{path}>, \"...\", 100) = 100 <0.000002>\n"
-        );
+        let line = format!("100 10:00:00.000001 read(3<{path}>, \"...\", 100) = 100 <0.000002>\n");
         let interner = Interner::new();
         let parsed = parse_str(&line, &interner);
         assert!(parsed.warnings.is_empty(), "{path}: {:?}", parsed.warnings);
@@ -213,9 +217,8 @@ fn paths_with_spaces_parentheses_and_unicode() {
 
 #[test]
 fn zero_duration_calls() {
-    let (events, warnings, _) = parse_one(
-        "100 10:00:00.000001 read(3</x/y>, \"\", 10) = 0 <0.000000>\n",
-    );
+    let (events, warnings, _) =
+        parse_one("100 10:00:00.000001 read(3</x/y>, \"\", 10) = 0 <0.000000>\n");
     assert!(warnings.is_empty(), "{warnings:?}");
     assert_eq!(events[0].dur, Micros(0));
     assert_eq!(events[0].data_rate_bps(), None);

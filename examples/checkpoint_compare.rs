@@ -33,7 +33,11 @@ fn main() {
         let out = sim.run(cid, ranks, &filter, &mut log);
         println!(
             "{} checkpointing: {} events, makespan {:.1} ms",
-            if shared { "shared-file" } else { "file-per-rank" },
+            if shared {
+                "shared-file"
+            } else {
+                "file-per-rank"
+            },
             out.traced_events,
             out.makespan.as_secs_f64() * 1e3
         );

@@ -43,7 +43,10 @@ fn main() {
     let dfg_green = Dfg::from_mapped(&MappedLog::new(&green_log, &mapping));
     let dfg_red = Dfg::from_mapped(&MappedLog::new(&red_log, &mapping));
 
-    println!("\nG[L(C_Y)] summary:\n{}", render_summary(&dfg, Some(&stats)));
+    println!(
+        "\nG[L(C_Y)] summary:\n{}",
+        render_summary(&dfg, Some(&stats))
+    );
 
     let dot = DfgViewer::new(&dfg)
         .with_stats(&stats)
@@ -54,7 +57,9 @@ fn main() {
 
     // The Sec. V-B observation, as numbers.
     let occurrences = |name: &str| {
-        dfg.node_by_name(name).map(|n| dfg.occurrences(n)).unwrap_or(0)
+        dfg.node_by_name(name)
+            .map(|n| dfg.occurrences(n))
+            .unwrap_or(0)
     };
     println!(
         "lseek:$SCRATCH occurrences — POSIX run: {}, MPI-IO run: {}",

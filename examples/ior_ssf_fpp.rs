@@ -25,14 +25,21 @@ fn main() {
         config.hosts.len()
     );
     let log = ior_ssf_fpp(scale);
-    println!("combined log: {} cases, {} events", log.case_count(), log.total_events());
+    println!(
+        "combined log: {} cases, {} events",
+        log.case_count(),
+        log.total_events()
+    );
 
     // Fig. 8a: everything, site-variable abstraction.
     let mapping_a = site_mapping(&config, 0);
     let mapped_a = MappedLog::new(&log, &mapping_a);
     let stats_a = IoStatistics::compute(&mapped_a);
     let dfg_a = Dfg::from_mapped(&mapped_a);
-    println!("\nFig. 8a (all events):\n{}", render_summary(&dfg_a, Some(&stats_a)));
+    println!(
+        "\nFig. 8a (all events):\n{}",
+        render_summary(&dfg_a, Some(&stats_a))
+    );
 
     // Fig. 8b: knowing $SCRATCH dominates, filter and re-map one level
     // deeper to split /ssf from /fpp.
@@ -41,7 +48,10 @@ fn main() {
     let mapped_b = MappedLog::new(&scratch_only, &mapping_b);
     let stats_b = IoStatistics::compute(&mapped_b);
     let dfg_b = Dfg::from_mapped(&mapped_b);
-    println!("Fig. 8b ($SCRATCH only):\n{}", render_summary(&dfg_b, Some(&stats_b)));
+    println!(
+        "Fig. 8b ($SCRATCH only):\n{}",
+        render_summary(&dfg_b, Some(&stats_b))
+    );
 
     let dot = DfgViewer::new(&dfg_b)
         .with_stats(&stats_b)

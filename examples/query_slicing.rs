@@ -45,11 +45,18 @@ fn main() {
     // FPP's per-process files fall straight out of the group count.
     for (cid, label) in [("s", "SSF"), ("f", "FPP")] {
         let snap = log.snapshot();
-        let ctx = EvalCtx { snapshot: &snap, t0: Micros::ZERO };
+        let ctx = EvalCtx {
+            snapshot: &snap,
+            t0: Micros::ZERO,
+        };
         let cid_pred = Predicate::Cid(cid.to_string());
         let sub = view.refine(|m, e| cid_pred.matches(&ctx, m, e));
         let groups = group_by(&sub, GroupKey::File);
-        println!("\n{label}: {} events across {} file(s)", sub.event_count(), groups.len());
+        println!(
+            "\n{label}: {} events across {} file(s)",
+            sub.event_count(),
+            groups.len()
+        );
         for (file, slice) in &groups {
             let dfg = Dfg::from_mapped_view(&mapped, slice);
             let stats = IoStatistics::compute_view(&mapped, slice);

@@ -16,9 +16,22 @@ fn main() {
     let filter = TraceFilter::only([Syscall::Read, Syscall::Write]);
     let mut cx = EventLog::with_new_interner();
     let sim = Simulation::new(SimConfig::small(3));
-    sim.run("a", vec![st_inspector::sim::workloads::ls_ops(); 3], &filter, &mut cx);
-    let sim_b = Simulation::new(SimConfig { base_rid: 9115, ..SimConfig::small(3) });
-    sim_b.run("b", vec![st_inspector::sim::workloads::ls_l_ops(); 3], &filter, &mut cx);
+    sim.run(
+        "a",
+        vec![st_inspector::sim::workloads::ls_ops(); 3],
+        &filter,
+        &mut cx,
+    );
+    let sim_b = Simulation::new(SimConfig {
+        base_rid: 9115,
+        ..SimConfig::small(3)
+    });
+    sim_b.run(
+        "b",
+        vec![st_inspector::sim::workloads::ls_l_ops(); 3],
+        &filter,
+        &mut cx,
+    );
     println!(
         "event log C_x: {} cases, {} events",
         cx.case_count(),
@@ -38,7 +51,10 @@ fn main() {
     // --- steps 3-4: DFG + statistics -------------------------------------
     let dfg = Dfg::from_mapped(&mapped);
     let stats = IoStatistics::compute(&mapped);
-    println!("\nG[L(Cx)] summary:\n{}", render_summary(&dfg, Some(&stats)));
+    println!(
+        "\nG[L(Cx)] summary:\n{}",
+        render_summary(&dfg, Some(&stats))
+    );
 
     // --- step 5b: partition coloring, ls (green) vs ls -l (red) ---------
     let (ca, cb) = cx.partition_by_cid("a");

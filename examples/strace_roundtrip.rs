@@ -18,14 +18,26 @@ fn main() {
     let filter = TraceFilter::only([Syscall::Read, Syscall::Write]);
     let sim = Simulation::new(SimConfig::small(3));
     let mut original = EventLog::with_new_interner();
-    sim.run("a", vec![st_inspector::sim::workloads::ls_ops(); 3], &filter, &mut original);
+    sim.run(
+        "a",
+        vec![st_inspector::sim::workloads::ls_ops(); 3],
+        &filter,
+        &mut original,
+    );
 
     // 2) Emit strace text files with the Fig. 1 naming convention.
     let dir = std::env::temp_dir().join(format!("st-roundtrip-{}", std::process::id()));
     let paths = write_log_to_dir(&original, &dir, &WriteOptions::default()).expect("emit");
-    println!("emitted {} strace files into {}", paths.len(), dir.display());
+    println!(
+        "emitted {} strace files into {}",
+        paths.len(),
+        dir.display()
+    );
     let body = std::fs::read_to_string(&paths[0]).unwrap();
-    println!("--- {} ---", paths[0].file_name().unwrap().to_string_lossy());
+    println!(
+        "--- {} ---",
+        paths[0].file_name().unwrap().to_string_lossy()
+    );
     print!("{body}");
 
     // 3) Parse the directory back (parallel loader).
@@ -43,7 +55,10 @@ fn main() {
     // 4) Store as a single container file and reload.
     let store_path = dir.join("eventlog.stlog");
     write_store(&loaded.log, &store_path).expect("store");
-    let reloaded = StoreReader::open(&store_path).expect("open").read().expect("read");
+    let reloaded = StoreReader::open(&store_path)
+        .expect("open")
+        .read()
+        .expect("read");
     assert_eq!(reloaded.total_events(), original.total_events());
     println!(
         "stored + reloaded {} events via {} ({} bytes)",

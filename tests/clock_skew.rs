@@ -9,9 +9,9 @@
 //! per-host clock offset leaves the DFG and every statistic except
 //! max-concurrency bit-identical.
 
+use st_inspector::prelude::*;
 use st_ior::workload::StartupProfile;
 use st_ior::{run_ior, Api, IorOptions};
-use st_inspector::prelude::*;
 use st_sim::SimConfig;
 
 mod common;

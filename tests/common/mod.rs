@@ -80,7 +80,10 @@ pub fn event_spec_strategy() -> impl Strategy<Value = EventSpec> {
 
 /// Strategy for a whole log: up to `max_cases` cases of up to
 /// `max_events` events.
-pub fn log_strategy(max_cases: usize, max_events: usize) -> impl Strategy<Value = Vec<Vec<EventSpec>>> {
+pub fn log_strategy(
+    max_cases: usize,
+    max_events: usize,
+) -> impl Strategy<Value = Vec<Vec<EventSpec>>> {
     prop::collection::vec(
         prop::collection::vec(event_spec_strategy(), 0..max_events),
         1..max_cases,

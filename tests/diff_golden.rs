@@ -25,7 +25,11 @@ use std::sync::Arc;
 fn fixture() -> (EventLog, EventLog) {
     fn case(log: &mut EventLog, rid: u32, paths: &[(Syscall, &str)]) {
         let i = Arc::clone(log.interner());
-        let meta = CaseMeta { cid: i.intern("run"), host: i.intern("node1"), rid };
+        let meta = CaseMeta {
+            cid: i.intern("run"),
+            host: i.intern("node1"),
+            rid,
+        };
         let events = paths
             .iter()
             .enumerate()
@@ -104,8 +108,12 @@ fn check_golden(name: &str, actual: &str) {
         std::fs::write(&path, actual).unwrap();
         return;
     }
-    let expected = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden file {} ({e}); run with UPDATE_GOLDEN=1", path.display()));
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
     assert_eq!(
         actual,
         expected,

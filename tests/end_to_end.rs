@@ -13,9 +13,22 @@ fn simulate_ls_pair() -> EventLog {
     let filter = TraceFilter::only([Syscall::Read, Syscall::Write]);
     let mut log = EventLog::with_new_interner();
     let sim = Simulation::new(SimConfig::small(3));
-    sim.run("a", vec![st_inspector::sim::workloads::ls_ops(); 3], &filter, &mut log);
-    let sim_b = Simulation::new(SimConfig { base_rid: 9115, ..SimConfig::small(3) });
-    sim_b.run("b", vec![st_inspector::sim::workloads::ls_l_ops(); 3], &filter, &mut log);
+    sim.run(
+        "a",
+        vec![st_inspector::sim::workloads::ls_ops(); 3],
+        &filter,
+        &mut log,
+    );
+    let sim_b = Simulation::new(SimConfig {
+        base_rid: 9115,
+        ..SimConfig::small(3)
+    });
+    sim_b.run(
+        "b",
+        vec![st_inspector::sim::workloads::ls_l_ops(); 3],
+        &filter,
+        &mut log,
+    );
     log
 }
 
@@ -107,13 +120,20 @@ fn parallel_loader_and_mapper_match_sequential_end_to_end() {
     let seq = load_dir(
         &dir,
         Interner::new_shared(),
-        &LoadOptions { parallel: false, ..Default::default() },
+        &LoadOptions {
+            parallel: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     let par = load_dir(
         &dir,
         Interner::new_shared(),
-        &LoadOptions { parallel: true, threads: 4, ..Default::default() },
+        &LoadOptions {
+            parallel: true,
+            threads: 4,
+            ..Default::default()
+        },
     )
     .unwrap();
 
@@ -133,7 +153,11 @@ fn unfinished_resumed_interleaving_survives_roundtrip() {
     // and check the writer's unfinished/resumed split parses back.
     let mut log = EventLog::with_new_interner();
     let interner = Arc::clone(log.interner());
-    let meta = CaseMeta { cid: interner.intern("c"), host: interner.intern("h"), rid: 1 };
+    let meta = CaseMeta {
+        cid: interner.intern("c"),
+        host: interner.intern("h"),
+        rid: 1,
+    };
     let p = interner.intern("/usr/lib/x86_64-linux-gnu/libselinux.so.1");
     let events = vec![
         Event::new(Pid(77423), Syscall::Read, Micros(1_000), Micros(500), p)

@@ -30,7 +30,10 @@ fn fig3b_ls_dfg_structure() {
     // Edge counts of Fig. 3b.
     assert_eq!(dfg.edge_count_named("●", "read:/usr/lib"), 3);
     assert_eq!(dfg.edge_count_named("read:/usr/lib", "read:/usr/lib"), 6);
-    assert_eq!(dfg.edge_count_named("read:/usr/lib", "read:/proc/filesystems"), 3);
+    assert_eq!(
+        dfg.edge_count_named("read:/usr/lib", "read:/proc/filesystems"),
+        3
+    );
     assert_eq!(
         dfg.edge_count_named("read:/proc/filesystems", "read:/proc/filesystems"),
         3
@@ -43,7 +46,10 @@ fn fig3b_ls_dfg_structure() {
         dfg.edge_count_named("read:/etc/locale.alias", "read:/etc/locale.alias"),
         3
     );
-    assert_eq!(dfg.edge_count_named("read:/etc/locale.alias", "write:/dev/pts"), 3);
+    assert_eq!(
+        dfg.edge_count_named("read:/etc/locale.alias", "write:/dev/pts"),
+        3
+    );
     assert_eq!(dfg.edge_count_named("write:/dev/pts", "■"), 3);
     // No other edges.
     assert_eq!(dfg.total_edge_observations(), 3 + 6 + 3 + 3 + 3 + 3 + 3 + 3);
@@ -100,11 +106,15 @@ fn fig3_byte_totals_match_the_paper_exactly() {
     }
     // And the formatted labels reproduce the figure strings.
     assert_eq!(
-        st_inspector::model::units::format_bytes(stats.get_by_name("read:/usr/lib").unwrap().bytes as f64),
+        st_inspector::model::units::format_bytes(
+            stats.get_by_name("read:/usr/lib").unwrap().bytes as f64
+        ),
         "14.98 KB"
     );
     assert_eq!(
-        st_inspector::model::units::format_bytes(stats.get_by_name("read:/etc/locale.alias").unwrap().bytes as f64),
+        st_inspector::model::units::format_bytes(
+            stats.get_by_name("read:/etc/locale.alias").unwrap().bytes as f64
+        ),
         "17.98 KB"
     );
 }
@@ -125,7 +135,11 @@ fn fig3d_partition_classification() {
         "read:/etc/locale.alias",
         "write:/dev/pts",
     ] {
-        assert_eq!(styler.node_style(name).fill, None, "{name} should be uncolored");
+        assert_eq!(
+            styler.node_style(name).fill,
+            None,
+            "{name} should be uncolored"
+        );
     }
     for name in [
         "read:/etc/nsswitch.conf",
@@ -172,7 +186,10 @@ fn fig4_filtered_synthesis() {
         assert_eq!(dfg.occurrences(dfg.node_by_name(node).unwrap()), 6);
     }
     // Chain: ● → selinux → libc → pcre2 → ■, each 6.
-    assert_eq!(dfg.edge_count_named("●", "read:x86_64-linux-gnu/libselinux.so.1"), 6);
+    assert_eq!(
+        dfg.edge_count_named("●", "read:x86_64-linux-gnu/libselinux.so.1"),
+        6
+    );
     assert_eq!(
         dfg.edge_count_named(
             "read:x86_64-linux-gnu/libselinux.so.1",

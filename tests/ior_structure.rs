@@ -20,10 +20,22 @@ fn fig8b_structure_at_paper_scale() {
     // 96 ranks x 3 segments x 16 transfers = 4608 writes; 4608 - 96 =
     // 4512 write→write successions per mode — the numbers printed on
     // Fig. 8b's self-loops.
-    assert_eq!(dfg.edge_count_named("write:$SCRATCH/ssf", "write:$SCRATCH/ssf"), 4512);
-    assert_eq!(dfg.edge_count_named("read:$SCRATCH/ssf", "read:$SCRATCH/ssf"), 4512);
-    assert_eq!(dfg.edge_count_named("write:$SCRATCH/fpp", "write:$SCRATCH/fpp"), 4512);
-    assert_eq!(dfg.edge_count_named("read:$SCRATCH/fpp", "read:$SCRATCH/fpp"), 4512);
+    assert_eq!(
+        dfg.edge_count_named("write:$SCRATCH/ssf", "write:$SCRATCH/ssf"),
+        4512
+    );
+    assert_eq!(
+        dfg.edge_count_named("read:$SCRATCH/ssf", "read:$SCRATCH/ssf"),
+        4512
+    );
+    assert_eq!(
+        dfg.edge_count_named("write:$SCRATCH/fpp", "write:$SCRATCH/fpp"),
+        4512
+    );
+    assert_eq!(
+        dfg.edge_count_named("read:$SCRATCH/fpp", "read:$SCRATCH/fpp"),
+        4512
+    );
     // Every case starts at its mode's openat.
     assert_eq!(dfg.edge_count_named("●", "openat:$SCRATCH/ssf"), 96);
     assert_eq!(dfg.edge_count_named("●", "openat:$SCRATCH/fpp"), 96);
@@ -47,7 +59,10 @@ fn fig8b_structure_at_paper_scale() {
     assert!(load("write:$SCRATCH/ssf") > 3.0 * load("write:$SCRATCH/fpp"));
     assert!(rate("write:$SCRATCH/fpp") > rate("write:$SCRATCH/ssf"));
     let read_ratio = rate("read:$SCRATCH/ssf") / rate("read:$SCRATCH/fpp");
-    assert!((0.8..1.25).contains(&read_ratio), "read rates similar, got {read_ratio}");
+    assert!(
+        (0.8..1.25).contains(&read_ratio),
+        "read rates similar, got {read_ratio}"
+    );
     // Bytes: 96 ranks x 48 MiB per mode = 4.83 GB (the figure label).
     let bytes = stats.get_by_name("write:$SCRATCH/ssf").unwrap().bytes;
     assert_eq!(bytes, 96 * 48 * (1 << 20));
@@ -56,7 +71,13 @@ fn fig8b_structure_at_paper_scale() {
         "4.83 GB"
     );
     // Max concurrency: all 96 ranks overlap inside writes.
-    assert_eq!(stats.get_by_name("write:$SCRATCH/ssf").unwrap().max_concurrency_exact, 96);
+    assert_eq!(
+        stats
+            .get_by_name("write:$SCRATCH/ssf")
+            .unwrap()
+            .max_concurrency_exact,
+        96
+    );
 }
 
 #[test]
@@ -69,11 +90,21 @@ fn fig8a_startup_activities_have_negligible_load() {
     // $SCRATCH dominates; startup traffic is visible but tiny.
     let scratch = load("openat:$SCRATCH") + load("write:$SCRATCH") + load("read:$SCRATCH");
     assert!(scratch > 0.8, "scratch load {scratch}");
-    for node in ["openat:$SOFTWARE", "read:$SOFTWARE", "openat:$HOME", "write:Node Local"] {
+    for node in [
+        "openat:$SOFTWARE",
+        "read:$SOFTWARE",
+        "openat:$HOME",
+        "write:Node Local",
+    ] {
         assert!(load(node) < 0.08, "{node} load {} too high", load(node));
     }
     // The startup nodes exist (Fig. 8a shows them).
-    for node in ["read:$SOFTWARE", "openat:$SOFTWARE", "openat:$HOME", "write:Node Local"] {
+    for node in [
+        "read:$SOFTWARE",
+        "openat:$SOFTWARE",
+        "openat:$HOME",
+        "write:Node Local",
+    ] {
         let dfg = Dfg::from_mapped(&mapped);
         assert!(dfg.has_activity(node), "{node} missing from Fig. 8a graph");
     }
@@ -107,15 +138,30 @@ fn fig9_partition_at_paper_scale() {
     }
     // Common startup nodes are in both.
     for node in ["read:$SOFTWARE", "write:Node Local"] {
-        assert!(dfg_g.has_activity(node) && dfg_r.has_activity(node), "{node}");
+        assert!(
+            dfg_g.has_activity(node) && dfg_r.has_activity(node),
+            "{node}"
+        );
     }
 
     // Counts: 4608 pwrite64 (green) and 4608 write (red); 576 lseeks in
     // the POSIX run only (6 per rank).
-    assert_eq!(dfg.occurrences(dfg.node_by_name("pwrite64:$SCRATCH").unwrap()), 4608);
-    assert_eq!(dfg.occurrences(dfg.node_by_name("write:$SCRATCH").unwrap()), 4608);
-    assert_eq!(dfg.occurrences(dfg.node_by_name("lseek:$SCRATCH").unwrap()), 576);
-    assert_eq!(dfg.edge_count_named("pwrite64:$SCRATCH", "pwrite64:$SCRATCH"), 4512);
+    assert_eq!(
+        dfg.occurrences(dfg.node_by_name("pwrite64:$SCRATCH").unwrap()),
+        4608
+    );
+    assert_eq!(
+        dfg.occurrences(dfg.node_by_name("write:$SCRATCH").unwrap()),
+        4608
+    );
+    assert_eq!(
+        dfg.occurrences(dfg.node_by_name("lseek:$SCRATCH").unwrap()),
+        576
+    );
+    assert_eq!(
+        dfg.edge_count_named("pwrite64:$SCRATCH", "pwrite64:$SCRATCH"),
+        4512
+    );
 
     // The Sec. V-B conclusion: fewer syscalls → lower load on the
     // MPI-IO data path.

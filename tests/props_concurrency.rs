@@ -1,15 +1,17 @@
 //! Property tests of the max-concurrency algorithms (Eqs. 14–16).
 
 use proptest::prelude::*;
-use st_inspector::model::Micros;
 use st_inspector::core::concurrency::{
-    concurrency_profile, max_concurrency_brute, max_concurrency_exact,
-    max_concurrency_windowed,
+    concurrency_profile, max_concurrency_brute, max_concurrency_exact, max_concurrency_windowed,
 };
+use st_inspector::model::Micros;
 
 fn intervals_strategy() -> impl Strategy<Value = Vec<(Micros, Micros)>> {
-    prop::collection::vec((0u64..10_000, 1u64..2_000), 0..60)
-        .prop_map(|v| v.into_iter().map(|(s, d)| (Micros(s), Micros(s + d))).collect())
+    prop::collection::vec((0u64..10_000, 1u64..2_000), 0..60).prop_map(|v| {
+        v.into_iter()
+            .map(|(s, d)| (Micros(s), Micros(s + d)))
+            .collect()
+    })
 }
 
 proptest! {

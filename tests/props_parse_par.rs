@@ -15,13 +15,24 @@ use st_inspector::strace::{parse_par, parse_str};
 #[derive(Debug, Clone)]
 enum TraceOp {
     /// A complete call record.
-    Complete { pid: u32, write: bool, path: &'static str, size: u64 },
+    Complete {
+        pid: u32,
+        write: bool,
+        path: &'static str,
+        size: u64,
+    },
     /// A call the crate has no named variant for (exercises
     /// `Syscall::Other` symbol interning).
     Unknown { pid: u32, path: &'static str },
     /// An `<unfinished ...>` record whose `resumed` follows after
     /// `delay` further records.
-    Split { pid: u32, write: bool, path: &'static str, size: u64, delay: usize },
+    Split {
+        pid: u32,
+        write: bool,
+        path: &'static str,
+        size: u64,
+        delay: usize,
+    },
     /// An `<unfinished ...>` record that never resumes.
     NeverResumed { pid: u32, path: &'static str },
     /// A `resumed` record with (usually) no outstanding unfinished call.
@@ -50,11 +61,26 @@ fn path_strategy() -> impl Strategy<Value = &'static str> {
 
 fn op_strategy() -> impl Strategy<Value = TraceOp> {
     prop_oneof![
-        (pid_strategy(), prop::bool::ANY, path_strategy(), 0u64..10_000)
-            .prop_map(|(pid, write, path, size)| TraceOp::Complete { pid, write, path, size }),
-        (pid_strategy(), path_strategy())
-            .prop_map(|(pid, path)| TraceOp::Unknown { pid, path }),
-        (pid_strategy(), prop::bool::ANY, path_strategy(), 0u64..10_000, 0usize..40)
+        (
+            pid_strategy(),
+            prop::bool::ANY,
+            path_strategy(),
+            0u64..10_000
+        )
+            .prop_map(|(pid, write, path, size)| TraceOp::Complete {
+                pid,
+                write,
+                path,
+                size
+            }),
+        (pid_strategy(), path_strategy()).prop_map(|(pid, path)| TraceOp::Unknown { pid, path }),
+        (
+            pid_strategy(),
+            prop::bool::ANY,
+            path_strategy(),
+            0u64..10_000,
+            0usize..40
+        )
             .prop_map(|(pid, write, path, size, delay)| TraceOp::Split {
                 pid,
                 write,
@@ -67,8 +93,7 @@ fn op_strategy() -> impl Strategy<Value = TraceOp> {
         (pid_strategy(), prop::bool::ANY)
             .prop_map(|(pid, write)| TraceOp::OrphanResumed { pid, write }),
         Just(TraceOp::Garbage),
-        (pid_strategy(), prop::bool::ANY)
-            .prop_map(|(pid, exit)| TraceOp::Noise { pid, exit }),
+        (pid_strategy(), prop::bool::ANY).prop_map(|(pid, exit)| TraceOp::Noise { pid, exit }),
         pid_strategy().prop_map(|pid| TraceOp::Restarted { pid }),
     ]
 }
@@ -99,7 +124,12 @@ fn materialize(ops: &[TraceOp]) -> String {
         clock += (i as u64 * 7) % 3; // 0..=2 µs steps, duplicates included
         let t = st_inspector::model::Micros(clock).format_time_of_day();
         match op {
-            TraceOp::Complete { pid, write, path, size } => {
+            TraceOp::Complete {
+                pid,
+                write,
+                path,
+                size,
+            } => {
                 lines.push(format!(
                     "{pid}  {t} {}(3<{path}>, \"...\", 8192) = {size} <0.000203>",
                     call_name(*write)
@@ -110,7 +140,13 @@ fn materialize(ops: &[TraceOp]) -> String {
                     "{pid}  {t} statx(AT_FDCWD, \"{path}\", 0, 4095) = 0 <0.000004>"
                 ));
             }
-            TraceOp::Split { pid, write, path, size, delay } => {
+            TraceOp::Split {
+                pid,
+                write,
+                path,
+                size,
+                delay,
+            } => {
                 lines.push(format!(
                     "{pid}  {t} {}(3<{path}>, <unfinished ...>",
                     call_name(*write)
@@ -122,9 +158,7 @@ fn materialize(ops: &[TraceOp]) -> String {
                 scheduled.push((lines.len() + delay, resumed));
             }
             TraceOp::NeverResumed { pid, path } => {
-                lines.push(format!(
-                    "{pid}  {t} read(3<{path}>, <unfinished ...>"
-                ));
+                lines.push(format!("{pid}  {t} read(3<{path}>, <unfinished ...>"));
             }
             TraceOp::OrphanResumed { pid, write } => {
                 lines.push(format!(

@@ -14,7 +14,7 @@
 
 use proptest::prelude::*;
 use st_inspector::prelude::*;
-use st_inspector::query::pushdown::{read_pruned, ColumnSet, Decision, PrunePlan};
+use st_inspector::query::pushdown::{read_pruned, read_pruned_par, ColumnSet, Decision, PrunePlan};
 use st_inspector::query::{CallClass, Cmp, EvalCtx};
 use st_inspector::store::{to_bytes_blocked, StoreReader};
 
@@ -102,6 +102,25 @@ proptest! {
             pruned.stats.blocks_pruned + pruned.stats.blocks_accepted
                 <= pruned.stats.blocks_total
         );
+    }
+
+    /// Law 1b: the parallel decode is invisible — fanning surviving
+    /// blocks out to scoped workers produces the sequential read's
+    /// exact log (symbol ids included) and identical accounting, for
+    /// any thread count and block size.
+    #[test]
+    fn parallel_pruned_read_equals_sequential(
+        specs in log_strategy(6, 40),
+        pred in predicate_strategy(),
+        block_events in prop_oneof![Just(1usize), Just(3usize), Just(7usize), Just(64usize), Just(4096usize)],
+        threads in prop_oneof![Just(0usize), Just(2usize), Just(3usize), Just(8usize)],
+    ) {
+        let log = build_log(&specs);
+        let reader = StoreReader::from_bytes(to_bytes_blocked(&log, block_events).unwrap()).unwrap();
+        let seq = read_pruned(&reader, &pred, ColumnSet::ALL).unwrap();
+        let par = read_pruned_par(&reader, &pred, ColumnSet::ALL, threads).unwrap();
+        prop_assert_eq!(seq.log.cases(), par.log.cases());
+        prop_assert_eq!(format!("{:?}", seq.stats), format!("{:?}", par.stats));
     }
 
     /// Law 2: block decisions are conservative — `Reject` blocks hold

@@ -28,14 +28,30 @@ fn reference_log() -> EventLog {
     let i = Arc::clone(log.interner());
     let libc = i.intern("/usr/lib/libc.so.6");
     let data = i.intern("/scratch/run/out.h5");
-    let meta_a = CaseMeta { cid: i.intern("a"), host: i.intern("jwc01"), rid: 9042 };
+    let meta_a = CaseMeta {
+        cid: i.intern("a"),
+        host: i.intern("jwc01"),
+        rid: 9042,
+    };
     log.push_case(Case::from_events(
         meta_a,
         vec![
-            Event::new(Pid(9054), Syscall::Openat, Micros(83_000_100), Micros(12), libc),
-            Event::new(Pid(9054), Syscall::Read, Micros(83_000_200), Micros(203), libc)
-                .with_size(832)
-                .with_requested(832),
+            Event::new(
+                Pid(9054),
+                Syscall::Openat,
+                Micros(83_000_100),
+                Micros(12),
+                libc,
+            ),
+            Event::new(
+                Pid(9054),
+                Syscall::Read,
+                Micros(83_000_200),
+                Micros(203),
+                libc,
+            )
+            .with_size(832)
+            .with_requested(832),
             Event::new(
                 Pid(9054),
                 Syscall::Other(i.intern("statx")),
@@ -43,24 +59,58 @@ fn reference_log() -> EventLog {
                 Micros(4),
                 libc,
             ),
-            Event::new(Pid(9054), Syscall::Openat, Micros(83_000_350), Micros(7), i.intern("/missing"))
-                .failed(),
-            Event::new(Pid(9054), Syscall::Pwrite64, Micros(83_000_400), Micros(300), data)
-                .with_size(1024)
-                .with_requested(4096)
-                .with_offset(65_536),
+            Event::new(
+                Pid(9054),
+                Syscall::Openat,
+                Micros(83_000_350),
+                Micros(7),
+                i.intern("/missing"),
+            )
+            .failed(),
+            Event::new(
+                Pid(9054),
+                Syscall::Pwrite64,
+                Micros(83_000_400),
+                Micros(300),
+                data,
+            )
+            .with_size(1024)
+            .with_requested(4096)
+            .with_offset(65_536),
         ],
     ));
-    let meta_b = CaseMeta { cid: i.intern("b"), host: i.intern("jwc02"), rid: 9055 };
+    let meta_b = CaseMeta {
+        cid: i.intern("b"),
+        host: i.intern("jwc02"),
+        rid: 9055,
+    };
     log.push_case(Case::from_events(
         meta_b,
         vec![
-            Event::new(Pid(9071), Syscall::Lseek, Micros(83_001_000), Micros(1), data)
-                .with_offset(1 << 20),
-            Event::new(Pid(9071), Syscall::Read, Micros(83_001_050), Micros(90), data)
-                .with_size(1 << 20)
-                .with_requested(1 << 20),
-            Event::new(Pid(9071), Syscall::Close, Micros(83_001_500), Micros(2), data),
+            Event::new(
+                Pid(9071),
+                Syscall::Lseek,
+                Micros(83_001_000),
+                Micros(1),
+                data,
+            )
+            .with_offset(1 << 20),
+            Event::new(
+                Pid(9071),
+                Syscall::Read,
+                Micros(83_001_050),
+                Micros(90),
+                data,
+            )
+            .with_size(1 << 20)
+            .with_requested(1 << 20),
+            Event::new(
+                Pid(9071),
+                Syscall::Close,
+                Micros(83_001_500),
+                Micros(2),
+                data,
+            ),
         ],
     ));
     log
@@ -92,7 +142,11 @@ fn v1_fixture_is_read_byte_for_byte_identically() {
     );
     // Encoder pin: the legacy writer still produces exactly the pinned
     // bytes (no silent drift in the frozen v1 layout).
-    assert_eq!(&encoded[..], &pinned[..], "v1 encoder drifted from the pinned fixture");
+    assert_eq!(
+        &encoded[..],
+        &pinned[..],
+        "v1 encoder drifted from the pinned fixture"
+    );
 
     // Decoder pin: the pinned bytes decode to exactly the reference
     // log, symbol ids included.

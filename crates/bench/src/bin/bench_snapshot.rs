@@ -2,8 +2,10 @@
 //!
 //! Runs the parser and DFG-build experiments (sequential baselines plus
 //! a thread sweep of the parallel paths), the filter-scan throughput
-//! probes, and the store predicate-pushdown comparison (full-load scan
-//! vs zone-map block pruning at 0.1%/10%/100% selectivity), and writes
+//! probes, the store predicate-pushdown comparison (full-load scan
+//! vs zone-map block pruning at 0.1%/10%/100% selectivity), and the
+//! salvage-decode overhead (clean and degraded containers vs the
+//! strict read), and writes
 //! a machine-readable `BENCH_ingest.json` at the repository root, so
 //! successive PRs can compare numbers:
 //!
@@ -269,6 +271,60 @@ fn main() {
         ));
     }
 
+    // ---- store: salvage decode vs strict read ------------------------
+    // The fault-tolerant path re-verifies every block (bounds + CRC +
+    // trial decode) before handing out a vetted reader, so salvage on a
+    // clean container is the price of that vetting over the strict
+    // open+read. The degraded row quarantines one block (a single bit
+    // flip in the first block body — the same fault the CLI salvage
+    // matrix row pins) and measures the recovery decode.
+    let (strict_dt, strict_events) = time_best(reps, || {
+        let reader = StoreReader::from_bytes(store_bytes.clone()).expect("strict open");
+        reader.read().expect("strict read").total_events()
+    });
+    assert_eq!(strict_events, pd_events);
+    let (salv_clean_dt, clean_events) = time_best(reps, || {
+        let salvaged = st_store::salvage_bytes(store_bytes.clone()).expect("salvage clean");
+        assert!(salvaged.report.is_clean());
+        salvaged.reader.read().expect("vetted read").total_events()
+    });
+    assert_eq!(clean_events, pd_events);
+    let corrupt_image = {
+        // First block body: 12-byte header, then strings and directory
+        // each framed as `u64 len + body + crc32`, then the blocks
+        // section's u64 length prefix.
+        let mut image = store_bytes.to_vec();
+        let mut off = 12usize;
+        for _ in 0..2 {
+            let len = u64::from_le_bytes(image[off..off + 8].try_into().unwrap()) as usize;
+            off += 8 + len + 4;
+        }
+        image[off + 8 + 3] ^= 0x08;
+        bytes::Bytes::from(image)
+    };
+    let (salv_bad_dt, degraded) = time_best(reps, || {
+        let salvaged = st_store::salvage_bytes(corrupt_image.clone()).expect("salvage degraded");
+        let recovered = salvaged.reader.read().expect("vetted read").total_events();
+        assert_eq!(recovered as u64, salvaged.report.events_recovered);
+        (
+            recovered,
+            salvaged.report.blocks_recovered,
+            salvaged.report.blocks_total,
+        )
+    });
+    assert!(degraded.0 < pd_events, "bit flip quarantined no block");
+    let salvage_overhead = salv_clean_dt.as_secs_f64() / strict_dt.as_secs_f64();
+    eprintln!(
+        "salvage: strict {:.1} ms, clean salvage {:.1} ms ({salvage_overhead:.2}x), degraded {:.1} ms ({}/{} events, {}/{} blocks recovered)",
+        strict_dt.as_nanos() as f64 / 1e6,
+        salv_clean_dt.as_nanos() as f64 / 1e6,
+        salv_bad_dt.as_nanos() as f64 / 1e6,
+        degraded.0,
+        pd_events,
+        degraded.1,
+        degraded.2,
+    );
+
     // ---- source layer: per-input-kind open/plan overhead -------------
     // The session API adds a resolution + planning layer in front of
     // every front-end; this section records what that layer costs per
@@ -323,7 +379,7 @@ fn main() {
     let _ = std::fs::remove_dir_all(&src_dir);
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
         seq_dt.as_nanos(),
         reader_dt.as_nanos(),
         sweep_rows.join(",\n      "),
@@ -336,6 +392,12 @@ fn main() {
         store_bytes.len(),
         pd_block_events,
         pd_rows.join(",\n      "),
+        strict_dt.as_nanos(),
+        salv_clean_dt.as_nanos(),
+        salv_bad_dt.as_nanos(),
+        degraded.0,
+        degraded.1,
+        degraded.2,
         source_rows.join(",\n    "),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

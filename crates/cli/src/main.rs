@@ -14,7 +14,17 @@
 //! stinspect query <input> [--filter EXPR] [--group-by file|pid|cid|host]
 //!               [--emit dfg|stats|events|store] [--map MAP] [--threads N]
 //!               [--no-pushdown] [-o PATH]
+//! stinspect fsck <store>
 //! ```
+//!
+//! Two flags apply to every command: `--salvage` opens store inputs in
+//! salvage mode (corrupt blocks are quarantined and reported as
+//! warnings instead of failing the open; inert on non-store inputs),
+//! and `--deny-warnings` promotes any session warning to a hard error
+//! with a nonzero exit. `fsck` reports a container's health —
+//! per-section and per-block verdicts plus the recoverable event
+//! fraction — and exits 0 (clean), 3 (degraded: salvage would lose
+//! events) or 4 (unreadable: salvage cannot open it at all).
 //!
 //! Every `<input>` is resolved by the same `st_source::TraceSource`
 //! layer: an `st-store` container file (v1 or v2), a directory of
@@ -47,8 +57,8 @@ use std::process::ExitCode;
 
 use st_core::prelude::*;
 use st_model::Syscall;
-use st_source::{Inspector, Session};
-use st_store::{write_store, ColumnSet};
+use st_source::{Inspector, RecoveryPolicy, Session};
+use st_store::{write_store, ColumnSet, Verdict};
 
 /// Writes to stdout, exiting quietly when the consumer closed the pipe
 /// (`stinspect ... | head`).
@@ -60,21 +70,56 @@ fn emit(text: &str) {
     }
 }
 
+/// Flags that apply to every subcommand, stripped before dispatch.
+#[derive(Debug, Clone, Copy, Default)]
+struct Policy {
+    /// Open store inputs with [`RecoveryPolicy::Salvage`].
+    salvage: bool,
+    /// Promote any session warning to a hard error.
+    deny_warnings: bool,
+}
+
+impl Policy {
+    fn recovery(&self) -> RecoveryPolicy {
+        if self.salvage {
+            RecoveryPolicy::Salvage
+        } else {
+            RecoveryPolicy::Strict
+        }
+    }
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut policy = Policy::default();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|arg| match arg.as_str() {
+            "--salvage" => {
+                policy.salvage = true;
+                false
+            }
+            "--deny-warnings" => {
+                policy.deny_warnings = true;
+                false
+            }
+            _ => true,
+        })
+        .collect();
     let Some(command) = args.first() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
     let rest = &args[1..];
     let result = match command.as_str() {
-        "parse" => cmd_parse(rest),
-        "dfg" => cmd_dfg(rest),
-        "stats" => cmd_stats(rest),
-        "timeline" => cmd_timeline(rest),
+        "parse" => cmd_parse(rest, policy),
+        "dfg" => cmd_dfg(rest, policy),
+        "stats" => cmd_stats(rest, policy),
+        "timeline" => cmd_timeline(rest, policy),
         "simulate" => cmd_simulate(rest),
-        "diff" => cmd_diff(rest),
-        "query" => cmd_query(rest),
+        "diff" => cmd_diff(rest, policy),
+        "query" => cmd_query(rest, policy),
+        // fsck owns its exit codes (0 clean / 3 degraded / 4 unreadable).
+        "fsck" => return cmd_fsck(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -116,7 +161,14 @@ commands:
   query <input>                      filter, slice and project the log
       [--filter EXPR] [--group-by file|pid|cid|host]
       [--emit dfg|stats|events|store] [--map MAP] [--threads N]
-      [--no-pushdown] [-o PATH]";
+      [--no-pushdown] [-o PATH]
+  fsck <store>                       report container health
+      exit 0 = clean, 3 = degraded (salvage loses events), 4 = unreadable
+
+global flags (any command):
+  --salvage          open store inputs in salvage mode: corrupt blocks are
+                     quarantined and reported as warnings instead of failing
+  --deny-warnings    promote any warning to a hard error (nonzero exit)";
 
 /// Simple flag cursor over the argument list.
 struct Args<'a> {
@@ -209,22 +261,42 @@ fn open_session(
     map: &MapChoice,
     no_pushdown: bool,
     columns: ColumnSet,
+    policy: Policy,
 ) -> Result<Session, String> {
     let mut inspector = Inspector::open(input)
         .map_err(|e| e.to_string())?
         .map_boxed(map.build())
         .pushdown(!no_pushdown)
-        .columns(columns);
+        .columns(columns)
+        .recovery(policy.recovery())
+        .deny_warnings(policy.deny_warnings);
     if let Some(expr) = filter {
         inspector = inspector
             .filter_expr(expr)
             .map_err(|e| format!("--filter: {e}"))?;
     }
     let session = inspector.session().map_err(|e| e.to_string())?;
+    report_session(&session);
+    Ok(session)
+}
+
+/// Prints a session's warnings and, after a salvage-mode open, a
+/// one-line recovery summary.
+fn report_session(session: &Session) {
     for warning in session.warnings() {
         eprintln!("warning: {warning}");
     }
-    Ok(session)
+    if let Some(report) = session.salvage() {
+        if report.verdict() == Verdict::Degraded {
+            eprintln!(
+                "salvage: recovered {}/{} events ({}/{} blocks)",
+                report.events_recovered,
+                report.events_total,
+                report.blocks_recovered,
+                report.blocks_total
+            );
+        }
+    }
 }
 
 /// Prints the pruning summary when the session took the pushdown
@@ -249,7 +321,7 @@ fn report_pushdown(session: &Session, prefix: &str) {
     }
 }
 
-fn cmd_parse(tokens: &[String]) -> Result<(), String> {
+fn cmd_parse(tokens: &[String], policy: Policy) -> Result<(), String> {
     let mut args = Args::new(tokens);
     let mut input: Option<String> = None;
     let mut out: Option<PathBuf> = None;
@@ -303,11 +375,11 @@ fn cmd_parse(tokens: &[String]) -> Result<(), String> {
     let session = Inspector::open(&input)
         .map_err(|e| e.to_string())?
         .load_options(opts)
+        .recovery(policy.recovery())
+        .deny_warnings(policy.deny_warnings)
         .session()
         .map_err(|e| e.to_string())?;
-    for warning in session.warnings() {
-        eprintln!("warning: {warning}");
-    }
+    report_session(&session);
     let log = session.into_log();
     write_store(&log, &out).map_err(|e| e.to_string())?;
     println!(
@@ -388,21 +460,22 @@ fn parse_dfg_args(tokens: &[String], positional: usize) -> Result<DfgArgs, Strin
 }
 
 /// Opens the session a `dfg`/`stats`/`timeline` invocation describes.
-fn open_dfg_session(parsed: &DfgArgs) -> Result<Session, String> {
+fn open_dfg_session(parsed: &DfgArgs, policy: Policy) -> Result<Session, String> {
     let session = open_session(
         &parsed.input,
         parsed.filter.as_deref(),
         &parsed.map,
         parsed.no_pushdown,
         analysis_columns(),
+        policy,
     )?;
     report_pushdown(&session, "");
     Ok(session)
 }
 
-fn cmd_dfg(tokens: &[String]) -> Result<(), String> {
+fn cmd_dfg(tokens: &[String], policy: Policy) -> Result<(), String> {
     let parsed = parse_dfg_args(tokens, 1)?;
-    let session = open_dfg_session(&parsed)?;
+    let session = open_dfg_session(&parsed, policy)?;
     let mapped = session.mapped();
     let mut dfg = Dfg::from_mapped(&mapped);
     if parsed.min_edge > 1 {
@@ -460,9 +533,9 @@ fn cmd_dfg(tokens: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_stats(tokens: &[String]) -> Result<(), String> {
+fn cmd_stats(tokens: &[String], policy: Policy) -> Result<(), String> {
     let parsed = parse_dfg_args(tokens, 1)?;
-    let session = open_dfg_session(&parsed)?;
+    let session = open_dfg_session(&parsed, policy)?;
     let log = session.log();
     let mapped = session.mapped();
     let dfg = Dfg::from_mapped(&mapped);
@@ -491,10 +564,10 @@ fn cmd_stats(tokens: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_timeline(tokens: &[String]) -> Result<(), String> {
+fn cmd_timeline(tokens: &[String], policy: Policy) -> Result<(), String> {
     let parsed = parse_dfg_args(tokens, 2)?;
     let activity = parsed.activity.as_deref().expect("two positionals");
-    let session = open_dfg_session(&parsed)?;
+    let session = open_dfg_session(&parsed, policy)?;
     let mapped = session.mapped();
     let timeline = Timeline::for_activity(&mapped, activity)
         .ok_or_else(|| format!("no events map to activity {activity:?}"))?;
@@ -502,7 +575,7 @@ fn cmd_timeline(tokens: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_diff(tokens: &[String]) -> Result<(), String> {
+fn cmd_diff(tokens: &[String], policy: Policy) -> Result<(), String> {
     let mut args = Args::new(tokens);
     let mut inputs: Vec<String> = Vec::new();
     let mut cid_a: Option<String> = None;
@@ -542,6 +615,7 @@ fn cmd_diff(tokens: &[String]) -> Result<(), String> {
             &map,
             no_pushdown,
             analysis_columns(),
+            policy,
         )?;
         report_pushdown(&session, &format!("{side}: "));
         if let Some(cid) = cid {
@@ -646,7 +720,7 @@ fn sanitize_group_key(key: &str, used: &mut std::collections::HashSet<String>) -
     candidate
 }
 
-fn cmd_query(tokens: &[String]) -> Result<(), String> {
+fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
     let mut args = Args::new(tokens);
     let mut input: Option<String> = None;
     let mut filter: Option<String> = None;
@@ -720,16 +794,16 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
         .map_boxed(map.build())
         .pushdown(!no_pushdown)
         .columns(columns)
-        .threads(threads);
+        .threads(threads)
+        .recovery(policy.recovery())
+        .deny_warnings(policy.deny_warnings);
     if let Some(expr) = &filter {
         inspector = inspector
             .filter_expr(expr)
             .map_err(|e| format!("--filter: {e}"))?;
     }
     let session = inspector.session().map_err(|e| e.to_string())?;
-    for warning in session.warnings() {
-        eprintln!("warning: {warning}");
-    }
+    report_session(&session);
     eprintln!(
         "{} of {} events match ({} of {} cases)",
         session.events_matched(),
@@ -860,6 +934,103 @@ fn cmd_query(tokens: &[String]) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// At most this many per-block loss lines are printed; the rest are
+/// summarized (same flood policy as the parser's warning cap).
+const FSCK_LOSS_CAP: usize = 100;
+
+/// `fsck <store>` — container health report with its own exit codes:
+/// 0 clean, 2 usage, 3 degraded, 4 unreadable.
+fn cmd_fsck(tokens: &[String]) -> ExitCode {
+    let mut args = Args::new(tokens);
+    let mut store: Option<String> = None;
+    while let Some(tok) = args.next() {
+        match tok {
+            flag if flag.starts_with('-') => {
+                eprintln!("stinspect: fsck: unknown flag {flag}");
+                return ExitCode::from(2);
+            }
+            path => {
+                if store.is_some() {
+                    eprintln!("stinspect: fsck: expected exactly one <store>");
+                    return ExitCode::from(2);
+                }
+                store = Some(path.to_string());
+            }
+        }
+    }
+    let Some(store) = store else {
+        eprintln!("stinspect: fsck: missing <store>\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let salvaged = match st_store::open_salvage(std::path::Path::new(&store)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("stinspect: fsck: {store}: unreadable: {e}");
+            return ExitCode::from(4);
+        }
+    };
+    let r = &salvaged.report;
+    let mut out = format!("fsck {store}: STLOG v{}\n", r.version);
+    out.push_str(&format!("  directory:  {}\n", r.directory));
+    out.push_str(&format!(
+        "  blocks:     {} (section framing)\n",
+        r.blocks_section
+    ));
+    out.push_str(&format!(
+        "  cases:      {}{}\n",
+        r.cases,
+        if r.cases_lost > 0 {
+            format!(" ({} directory entries unparseable)", r.cases_lost)
+        } else {
+            String::new()
+        }
+    ));
+    out.push_str(&format!(
+        "  recovered:  {}/{} blocks, {}/{} events ({:.1}% recoverable)\n",
+        r.blocks_recovered,
+        r.blocks_total,
+        r.events_recovered,
+        r.events_total,
+        100.0 * r.recoverable_fraction()
+    ));
+    if r.orphan_blocks > 0 {
+        out.push_str(&format!(
+            "  orphans:    {} block frame(s) ({} bytes) past directory knowledge\n",
+            r.orphan_blocks, r.orphan_bytes
+        ));
+    }
+    if r.unaccounted_bytes > 0 {
+        out.push_str(&format!(
+            "  unaccounted: {} byte(s) not part of any section or frame\n",
+            r.unaccounted_bytes
+        ));
+    }
+    for loss in r.losses.iter().take(FSCK_LOSS_CAP) {
+        out.push_str(&format!("  loss:       {loss}\n"));
+    }
+    if r.losses.len() > FSCK_LOSS_CAP {
+        out.push_str(&format!(
+            "  loss:       ... and {} more block(s)\n",
+            r.losses.len() - FSCK_LOSS_CAP
+        ));
+    }
+    match r.verdict() {
+        Verdict::Clean => {
+            out.push_str("verdict: clean\n");
+            emit(&out);
+            ExitCode::SUCCESS
+        }
+        Verdict::Degraded => {
+            out.push_str(&format!(
+                "verdict: degraded ({:.1}% of events recoverable)\n",
+                100.0 * r.recoverable_fraction()
+            ));
+            emit(&out);
+            ExitCode::from(3)
+        }
+    }
 }
 
 fn cmd_simulate(tokens: &[String]) -> Result<(), String> {

@@ -983,3 +983,160 @@ fn diff_report_includes_stats_layer() {
     let report = String::from_utf8_lossy(&out.stdout);
     assert!(!report.contains("per-activity statistics"), "{report}");
 }
+
+/// Builds a v2 store for `sim:ls` in `dir` and returns its path.
+fn build_store(dir: &PathBuf) -> PathBuf {
+    let out = stinspect()
+        .args(["simulate", "ls", "--out"])
+        .arg(dir)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    dir.join("ls.stlog")
+}
+
+/// Flips one bit inside the first block body (see the matrix test for
+/// the layout arithmetic), producing a degraded-but-salvageable store.
+fn corrupt_store(store: &PathBuf, out: &PathBuf) {
+    let mut image = std::fs::read(store).unwrap();
+    let mut off = 12usize;
+    for _ in 0..2 {
+        let len = u64::from_le_bytes(image[off..off + 8].try_into().unwrap()) as usize;
+        off += 8 + len + 4;
+    }
+    off += 8;
+    image[off + 3] ^= 0x08;
+    std::fs::write(out, image).unwrap();
+}
+
+#[test]
+fn fsck_exit_codes_distinguish_clean_degraded_unreadable() {
+    let dir = tmpdir("fsck");
+    let store = build_store(&dir);
+
+    // Clean container: exit 0, verdict line on stdout.
+    let out = stinspect().arg("fsck").arg(&store).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict: clean"), "{text}");
+
+    // Degraded container: exit 3, loss and verdict lines.
+    let bad = dir.join("bad.stlog");
+    corrupt_store(&store, &bad);
+    let out = stinspect().arg("fsck").arg(&bad).output().unwrap();
+    assert_eq!(out.status.code(), Some(3));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("verdict: degraded"), "{text}");
+    assert!(text.contains("events lost"), "{text}");
+    assert!(text.contains("recoverable"), "{text}");
+
+    // Unreadable: exit 4, reason on stderr.
+    let junk = dir.join("junk.stlog");
+    std::fs::write(&junk, b"not a container at all").unwrap();
+    let out = stinspect().arg("fsck").arg(&junk).output().unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unreadable"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Usage error: exit 2.
+    let out = stinspect().arg("fsck").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn salvage_flag_recovers_and_deny_warnings_promotes() {
+    let dir = tmpdir("salvage-flag");
+    let store = build_store(&dir);
+    let bad = dir.join("bad.stlog");
+    corrupt_store(&store, &bad);
+
+    // Strict mode rejects the corrupted store.
+    let out = stinspect().args(["stats"]).arg(&bad).output().unwrap();
+    assert!(!out.status.success());
+
+    // --salvage recovers the surviving blocks and reports the loss.
+    let out = stinspect()
+        .args(["--salvage", "stats"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("salvage:"), "{err}");
+    assert!(err.contains("events lost"), "{err}");
+
+    // --deny-warnings turns that loss warning into a nonzero exit.
+    let out = stinspect()
+        .args(["--salvage", "--deny-warnings", "stats"])
+        .arg(&bad)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("denied"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // On a clean store --salvage and --deny-warnings are inert.
+    let out = stinspect()
+        .args(["--salvage", "--deny-warnings", "stats"])
+        .arg(&store)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn interrupted_parse_leaves_no_partial_container() {
+    // Store writes go to a same-directory temp file and rename into
+    // place atomically. Simulate an interrupted final step by making
+    // the destination un-renameable (a directory): the write must fail,
+    // the destination must be untouched, and no temp file may remain.
+    let dir = tmpdir("atomic");
+    let target = dir.join("out.stlog");
+    std::fs::create_dir_all(&target).unwrap();
+    let sentinel = target.join("keep.txt");
+    std::fs::write(&sentinel, b"still here").unwrap();
+
+    let out = stinspect()
+        .args(["parse", "sim:ls", "-o"])
+        .arg(&target)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    // Destination untouched, sentinel intact.
+    assert!(target.is_dir());
+    assert_eq!(std::fs::read(&sentinel).unwrap(), b"still here");
+
+    // No temp or partial files anywhere in the output directory.
+    let leftovers: Vec<String> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n != "out.stlog")
+        .collect();
+    assert!(leftovers.is_empty(), "leftover files: {leftovers:?}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

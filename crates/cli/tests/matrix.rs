@@ -185,6 +185,94 @@ fn single_strace_file_is_a_valid_input() {
     );
 }
 
+/// Deterministically corrupts one block of a v2 container: a single
+/// bit flip inside the first block body (located via the documented
+/// layout — header, then strings and directory framed as
+/// `u64 len + body + crc32`, then the blocks length prefix).
+fn corrupt_first_block(v2: &Path, out: &Path) {
+    let mut image = std::fs::read(v2).unwrap();
+    let mut off = 12usize;
+    for _ in 0..2 {
+        let len = u64::from_le_bytes(image[off..off + 8].try_into().unwrap()) as usize;
+        off += 8 + len + 4;
+    }
+    off += 8; // blocks section length prefix
+    image[off + 3] ^= 0x08;
+    std::fs::write(out, image).unwrap();
+}
+
+#[test]
+fn salvage_row_output_is_pinned_on_a_corrupted_store() {
+    // The robustness row of the matrix: one deterministically corrupted
+    // v2 store × {dfg, stats, query, fsck}. Salvage mode must produce
+    // byte-identical stdout run over run (golden-pinned), fsck must use
+    // its degraded exit code, and strict mode must reject the store.
+    let fx = Fixture::build("salvage");
+    let bad = fx.dir.join("ls-corrupt.stlog");
+    corrupt_first_block(&fx.v2, &bad);
+    let input = bad.display().to_string();
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+
+    let commands: &[(&str, Vec<&str>, i32)] = &[
+        ("salvage_dfg", vec!["--salvage", "dfg", "<input>"], 0),
+        ("salvage_stats", vec!["--salvage", "stats", "<input>"], 0),
+        (
+            "salvage_query",
+            vec![
+                "--salvage",
+                "query",
+                "<input>",
+                "--filter",
+                "class=read",
+                "--emit",
+                "events",
+            ],
+            0,
+        ),
+        ("salvage_fsck", vec!["fsck", "<input>"], 3),
+    ];
+    for (name, argv, want_code) in commands {
+        let args: Vec<&str> = argv
+            .iter()
+            .map(|a| if *a == "<input>" { input.as_str() } else { *a })
+            .collect();
+        let out = stinspect().args(&args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(*want_code),
+            "{name}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // fsck echoes the store path; normalize it so the golden is
+        // machine-independent.
+        let got = String::from_utf8_lossy(&out.stdout).replace(&input, "<store>");
+        let golden = golden_path(name);
+        if update {
+            std::fs::write(&golden, got.as_bytes()).unwrap();
+            continue;
+        }
+        let expected = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|_| panic!("missing {} — run UPDATE_GOLDEN=1", golden.display()));
+        assert!(
+            got == expected,
+            "{name} diverges from the golden output\n--- got ---\n{got}"
+        );
+    }
+
+    // Without --salvage the same store is a hard error on every
+    // analysis subcommand.
+    let out = stinspect().args(["stats", &input]).output().unwrap();
+    assert!(
+        !out.status.success(),
+        "strict mode accepted a corrupt store"
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("checksum"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 #[test]
 fn parse_ingests_every_input_kind() {
     // `parse` is the store-writer face of the same resolution layer:

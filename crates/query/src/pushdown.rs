@@ -509,9 +509,7 @@ pub fn read_pruned_par(
     threads: usize,
 ) -> Result<PrunedRead, StoreError> {
     let Some(plan) = PrunePlan::compile(pred, reader) else {
-        return Err(StoreError::Corrupt(
-            "predicate pushdown requires a v2 container (v1 has no block directory)".into(),
-        ));
+        return Err(st_store::CorruptKind::V1Pushdown.into());
     };
     let directory = reader.directory().expect("compile succeeded on v2");
 
@@ -816,6 +814,46 @@ mod tests {
                         "{expr} x{threads}"
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn pushdown_respects_salvage_quarantine() {
+        // Corrupt one mid-case block, salvage, and push predicates down
+        // the salvaged reader: quarantined blocks are absent from the
+        // vetted directory, so pruning must agree exactly with a scan of
+        // the salvage-recovered log — never resurrecting lost events.
+        let image = to_bytes_blocked(&sample(), 10).unwrap();
+        let pristine = StoreReader::from_bytes(image.clone()).unwrap();
+        let dir = pristine.directory().unwrap();
+        let victim = &dir[0].blocks[1];
+        let blocks_len: usize = dir
+            .iter()
+            .flat_map(|c| &c.blocks)
+            .map(|b| b.len as usize)
+            .sum();
+        let mut damaged = image.to_vec();
+        let at = damaged.len() - blocks_len + victim.offset as usize + 3;
+        damaged[at] ^= 0x20;
+
+        let path =
+            std::env::temp_dir().join(format!("st-query-salvage-{}.stlog", std::process::id()));
+        std::fs::write(&path, &damaged).unwrap();
+        let salvaged = st_store::open_salvage(&path).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        assert_eq!(salvaged.report.losses.len(), 1);
+        let recovered = salvaged.reader.read().unwrap();
+        assert_eq!(recovered.total_events(), 70); // 80 minus the block
+
+        for expr in ["true", "path~\"*.h5\"", "ok=false", "cid=a", "dur<1s"] {
+            let pred = parse_expr(expr).unwrap();
+            let reference = scan(&recovered, &pred).to_event_log();
+            for threads in [1, 4] {
+                let pruned =
+                    read_pruned_par(&salvaged.reader, &pred, ColumnSet::ALL, threads).unwrap();
+                assert_eq!(pruned.log.cases(), reference.cases(), "{expr} x{threads}");
+                assert_eq!(pruned.stats.events_total, 70, "{expr}");
             }
         }
     }

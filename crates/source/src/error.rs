@@ -44,6 +44,18 @@ pub enum Error {
         /// The underlying expression error.
         source: ParseError,
     },
+    /// Warnings were promoted to an error
+    /// ([`Inspector::deny_warnings`](crate::Inspector::deny_warnings)):
+    /// the session materialized with non-fatal observations the caller
+    /// chose not to tolerate.
+    WarningsDenied {
+        /// The offending input spec.
+        spec: String,
+        /// How many warnings the session collected.
+        count: usize,
+        /// The first warning, rendered.
+        first: String,
+    },
     /// Case selection matched nothing: no case carries the requested
     /// command id.
     NoCasesWithCid {
@@ -62,6 +74,11 @@ impl fmt::Display for Error {
             Error::Store { spec, source } => write!(f, "{spec}: {source}"),
             Error::Strace { spec, source } => write!(f, "{spec}: {source}"),
             Error::Filter { source } => write!(f, "invalid filter expression: {source}"),
+            Error::WarningsDenied { spec, count, first } => write!(
+                f,
+                "{spec}: {count} warning{} denied; first: {first}",
+                if *count == 1 { "" } else { "s" }
+            ),
             Error::NoCasesWithCid { cid, side } => {
                 write!(f, "no cases with cid {cid:?} in input {side}")
             }

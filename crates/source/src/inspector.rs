@@ -29,13 +29,28 @@ use st_core::{CallTopDirs, Dfg, IoStatistics, MappedLog, Mapping};
 use st_model::{EventLog, Interner, LogView};
 use st_query::pushdown::ColumnSet;
 use st_query::{scan_par, Predicate, PushdownStats};
-use st_store::StoreReader;
+use st_store::{SalvageReport, StoreReader};
 use st_strace::{load_dir, load_files, LoadOptions};
 
 use crate::error::Error;
 use crate::sim;
 use crate::spec::TraceSource;
 use crate::warning::SourceWarning;
+
+/// How a store container that fails validation is handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// Any corruption fails the session (the default): analyses never
+    /// silently run over partial data.
+    #[default]
+    Strict,
+    /// Recover every event the per-block checksums vouch for
+    /// ([`st_store::salvage`]); each quarantined block surfaces as a
+    /// [`SourceWarning::Store`] and the loss report is kept on the
+    /// session ([`Session::salvage`]). Inert on non-store sources —
+    /// there is nothing to salvage in strace text or a simulation.
+    Salvage,
+}
 
 /// Builder for one inspection session over a [`TraceSource`].
 ///
@@ -50,6 +65,8 @@ pub struct Inspector {
     pushdown: bool,
     columns: ColumnSet,
     load: LoadOptions,
+    recovery: RecoveryPolicy,
+    deny_warnings: bool,
 }
 
 impl Inspector {
@@ -69,6 +86,8 @@ impl Inspector {
             pushdown: true,
             columns: ColumnSet::ALL,
             load: LoadOptions::default(),
+            recovery: RecoveryPolicy::default(),
+            deny_warnings: false,
         }
     }
 
@@ -140,6 +159,25 @@ impl Inspector {
         self
     }
 
+    /// Sets how a corrupt store container is handled (default:
+    /// [`RecoveryPolicy::Strict`]). With [`RecoveryPolicy::Salvage`],
+    /// damaged blocks are quarantined into [`SourceWarning::Store`]
+    /// warnings and the session runs over every event the checksums
+    /// vouch for.
+    pub fn recovery(mut self, policy: RecoveryPolicy) -> Inspector {
+        self.recovery = policy;
+        self
+    }
+
+    /// Promotes any collected [`SourceWarning`] to a hard
+    /// [`Error::WarningsDenied`]: the session fails instead of
+    /// materializing with non-fatal oddities (for pipelines that must
+    /// not run over partial or suspect data).
+    pub fn deny_warnings(mut self, deny: bool) -> Inspector {
+        self.deny_warnings = deny;
+        self
+    }
+
     /// Materializes the session: resolves the source, runs the planned
     /// route, and collects warnings.
     pub fn session(self) -> Result<Session, Error> {
@@ -151,6 +189,8 @@ impl Inspector {
             pushdown,
             columns,
             mut load,
+            recovery,
+            deny_warnings,
         } = self;
         let spec = source.to_string();
         let mapping = mapping.unwrap_or_else(|| Box::new(CallTopDirs::new(2)));
@@ -180,6 +220,19 @@ impl Inspector {
             load.threads = threads;
         }
         let mut warnings: Vec<SourceWarning> = Vec::new();
+        let mut salvage: Option<SalvageReport> = None;
+        // Warnings can be promoted to an error only once they are all
+        // collected, so every return path funnels through this.
+        let finish = |session: Session| -> Result<Session, Error> {
+            if deny_warnings && !session.warnings.is_empty() {
+                return Err(Error::WarningsDenied {
+                    spec: session.source.to_string(),
+                    count: session.warnings.len(),
+                    first: session.warnings[0].to_string(),
+                });
+            }
+            Ok(session)
+        };
 
         let log = match &source {
             TraceSource::Sim { workload, paper } => sim::workload_log(workload, *paper)?,
@@ -213,10 +266,45 @@ impl Inspector {
                 result.log
             }
             TraceSource::Store { path, .. } => {
-                let reader = StoreReader::open(path).map_err(|source| Error::Store {
-                    spec: spec.clone(),
-                    source,
-                })?;
+                let reader = match recovery {
+                    RecoveryPolicy::Strict => {
+                        StoreReader::open(path).map_err(|source| Error::Store {
+                            spec: spec.clone(),
+                            source,
+                        })?
+                    }
+                    RecoveryPolicy::Salvage => {
+                        let salvaged =
+                            st_store::open_salvage(path).map_err(|source| Error::Store {
+                                spec: spec.clone(),
+                                source,
+                            })?;
+                        for loss in &salvaged.report.losses {
+                            warnings.push(SourceWarning::Store {
+                                path: path.clone(),
+                                loss: loss.clone(),
+                            });
+                        }
+                        let report = &salvaged.report;
+                        if report.cases_lost > 0
+                            || report.orphan_blocks > 0
+                            || report.unaccounted_bytes > 0
+                        {
+                            warnings.push(SourceWarning::Note(format!(
+                                "{spec}: salvage: directory damage — {} case entr{} \
+                                 unparseable, {} orphan block frame(s) ({} bytes) found \
+                                 past directory knowledge, {} byte(s) unaccounted for",
+                                report.cases_lost,
+                                if report.cases_lost == 1 { "y" } else { "ies" },
+                                report.orphan_blocks,
+                                report.orphan_bytes,
+                                report.unaccounted_bytes,
+                            )));
+                        }
+                        salvage = Some(salvaged.report);
+                        salvaged.reader
+                    }
+                };
                 // A filter against a v1 container cannot be pushed down
                 // (no block directory) — note the degraded route rather
                 // than silently scanning.
@@ -237,13 +325,14 @@ impl Inspector {
                             spec: spec.clone(),
                             source,
                         })?;
-                    return Ok(Session {
+                    return finish(Session {
                         source,
                         events_total: pruned.stats.events_total as usize,
                         cases_total: pruned.stats.cases_total,
                         pushdown: Some(pruned.stats),
                         log: pruned.log,
                         warnings,
+                        salvage,
                         mapping,
                     });
                 }
@@ -263,13 +352,14 @@ impl Inspector {
             Some(pred) => scan_par(&log, pred, threads).to_event_log(),
             None => log,
         };
-        Ok(Session {
+        finish(Session {
             source,
             log,
             events_total,
             cases_total,
             pushdown: None,
             warnings,
+            salvage,
             mapping,
         })
     }
@@ -315,6 +405,7 @@ pub struct Session {
     cases_total: usize,
     pushdown: Option<PushdownStats>,
     warnings: Vec<SourceWarning>,
+    salvage: Option<SalvageReport>,
     mapping: Box<dyn Mapping + Send + Sync>,
 }
 
@@ -393,6 +484,13 @@ impl Session {
     /// The structured warnings collected while materializing.
     pub fn warnings(&self) -> &[SourceWarning] {
         &self.warnings
+    }
+
+    /// The salvage loss report when the session opened a store under
+    /// [`RecoveryPolicy::Salvage`] (`None` on strict opens and
+    /// non-store sources).
+    pub fn salvage(&self) -> Option<&SalvageReport> {
+        self.salvage.as_ref()
     }
 
     /// Narrows the session to the cases carrying command id `cid`
@@ -536,6 +634,127 @@ mod tests {
         let session = Inspector::open("sim:ls").unwrap().session().unwrap();
         let err = session.select_cid("zzz", "B").unwrap_err();
         assert!(err.to_string().contains("no cases with cid"), "{err}");
+    }
+
+    /// Writes a sim:ls v2 store and flips one byte inside its first
+    /// block, returning the store path.
+    fn damaged_store(dir: &std::path::Path) -> std::path::PathBuf {
+        let log = sim::workload_log("ls", false).unwrap();
+        let image = st_store::to_bytes(&log).unwrap();
+        let reader = st_store::StoreReader::from_bytes(image.clone()).unwrap();
+        let dirs = reader.directory().unwrap();
+        let blocks_len: usize = dirs
+            .iter()
+            .flat_map(|c| &c.blocks)
+            .map(|b| b.len as usize)
+            .sum();
+        let mut damaged = image.to_vec();
+        let at = damaged.len() - blocks_len + 2; // inside block 0 of case 0
+        damaged[at] ^= 0x08;
+        let path = dir.join("damaged.stlog");
+        std::fs::write(&path, &damaged).unwrap();
+        path
+    }
+
+    #[test]
+    fn salvage_policy_recovers_what_strict_rejects() {
+        let dir = tmpdir("salvage");
+        let store = damaged_store(&dir);
+        let spec = store.to_str().unwrap();
+
+        // Strict (the default) fails the session.
+        let err = Inspector::open(spec).unwrap().session().unwrap_err();
+        assert!(matches!(err, Error::Store { .. }), "{err}");
+
+        // Salvage materializes the surviving events, reports each loss
+        // as a warning, and keeps the report on the session — on both
+        // the pushdown and the full-read route.
+        let full_events = sim::workload_log("ls", false).unwrap().total_events();
+        for pushdown in [true, false] {
+            let session = Inspector::open(spec)
+                .unwrap()
+                .recovery(RecoveryPolicy::Salvage)
+                .pushdown(pushdown)
+                .session()
+                .unwrap();
+            let report = session.salvage().expect("salvage report");
+            assert_eq!(report.losses.len(), 1);
+            assert!(session.events_matched() < full_events);
+            assert_eq!(
+                session.events_matched() as u64,
+                report.events_recovered,
+                "pushdown={pushdown}"
+            );
+            assert!(
+                session
+                    .warnings()
+                    .iter()
+                    .any(|w| matches!(w, SourceWarning::Store { .. })),
+                "{:?}",
+                session.warnings()
+            );
+        }
+
+        // A pristine store under salvage policy: clean report, nothing
+        // lost, no warnings.
+        let log = sim::workload_log("ls", false).unwrap();
+        let clean = dir.join("clean.stlog");
+        st_store::write_store(&log, &clean).unwrap();
+        let session = Inspector::open(clean.to_str().unwrap())
+            .unwrap()
+            .recovery(RecoveryPolicy::Salvage)
+            .session()
+            .unwrap();
+        assert!(session.salvage().unwrap().is_clean());
+        assert!(session.warnings().is_empty());
+        assert_eq!(session.events_matched(), full_events);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn deny_warnings_promotes_to_error() {
+        let dir = tmpdir("deny");
+        // A trace file with one unparsable line: session warns...
+        let trace = dir.join("a_h_1.st");
+        std::fs::write(
+            &trace,
+            "garbage\n9 08:00:00.000001 read(3</x>, \"\", 10) = 0 <0.000001>\n",
+        )
+        .unwrap();
+        let ok = Inspector::open(trace.to_str().unwrap())
+            .unwrap()
+            .session()
+            .unwrap();
+        assert_eq!(ok.warnings().len(), 1);
+        // ...and deny_warnings turns exactly that into a hard error.
+        let err = Inspector::open(trace.to_str().unwrap())
+            .unwrap()
+            .deny_warnings(true)
+            .session()
+            .unwrap_err();
+        assert!(
+            matches!(err, Error::WarningsDenied { count: 1, .. }),
+            "{err}"
+        );
+        assert!(err.to_string().contains("denied"), "{err}");
+
+        // Salvage losses are warnings too, so salvage + deny fails on a
+        // damaged store while a clean session stays unaffected.
+        let store = damaged_store(&dir);
+        let err = Inspector::open(store.to_str().unwrap())
+            .unwrap()
+            .recovery(RecoveryPolicy::Salvage)
+            .deny_warnings(true)
+            .session()
+            .unwrap_err();
+        assert!(matches!(err, Error::WarningsDenied { .. }), "{err}");
+        let clean = Inspector::open("sim:ls")
+            .unwrap()
+            .deny_warnings(true)
+            .session()
+            .unwrap();
+        assert!(clean.warnings().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

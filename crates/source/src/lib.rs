@@ -47,6 +47,6 @@ mod spec;
 mod warning;
 
 pub use error::Error;
-pub use inspector::{Inspector, Session};
+pub use inspector::{Inspector, RecoveryPolicy, Session};
 pub use spec::TraceSource;
 pub use warning::SourceWarning;

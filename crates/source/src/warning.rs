@@ -22,6 +22,15 @@ pub enum SourceWarning {
         /// What the parser observed.
         warning: st_strace::Warning,
     },
+    /// A container block quarantined by a salvage-mode open
+    /// ([`st_store::read_salvage`]): its events are absent from the
+    /// session's log.
+    Store {
+        /// The container the block was lost from.
+        path: PathBuf,
+        /// Which block, how many events, and why.
+        loss: st_store::BlockLoss,
+    },
     /// A planning note: an option or request that the chosen evaluation
     /// route cannot honor (reported rather than silently ignored).
     Note(String),
@@ -32,6 +41,9 @@ impl fmt::Display for SourceWarning {
         match self {
             SourceWarning::Trace { file, warning } => {
                 write!(f, "{}: {warning}", file.display())
+            }
+            SourceWarning::Store { path, loss } => {
+                write!(f, "{}: salvage: {loss}", path.display())
             }
             SourceWarning::Note(note) => write!(f, "{note}"),
         }

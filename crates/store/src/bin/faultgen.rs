@@ -1,0 +1,46 @@
+//! Seeded container corruptor for fault-injection smoke tests.
+//!
+//! ```text
+//! faultgen <input> <output> <kind> <seed>
+//! ```
+//!
+//! Reads `<input>`, applies the deterministic fault derived from
+//! `(kind, seed, file length)` (see [`st_store::Fault::seeded`]) and
+//! writes the damaged image to `<output>`. The same arguments always
+//! produce the same output, so a failing smoke test replays exactly.
+
+use std::process::ExitCode;
+
+use st_store::{Fault, FaultKind};
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [input, output, kind, seed] = args.as_slice() else {
+        return Err("usage: faultgen <input> <output> <kind> <seed>\n       kinds: bit-flip, zero-range, truncate, swap, append".to_string());
+    };
+    let kind: FaultKind = kind.parse()?;
+    let seed: u64 = seed
+        .parse()
+        .map_err(|_| format!("seed must be a u64, got {seed:?}"))?;
+    let mut image = std::fs::read(input).map_err(|e| format!("read {input}: {e}"))?;
+    let fault = Fault::seeded(kind, seed, image.len());
+    let changed = fault.apply(&mut image);
+    std::fs::write(output, &image).map_err(|e| format!("write {output}: {e}"))?;
+    Ok(format!(
+        "{fault}{} -> {output}",
+        if changed { "" } else { " (no-op)" }
+    ))
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::from(2)
+        }
+    }
+}

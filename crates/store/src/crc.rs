@@ -28,12 +28,41 @@ fn table() -> &'static [u32; 256] {
 
 /// Computes the CRC-32 of `data`.
 pub fn crc32(data: &[u8]) -> u32 {
-    let table = table();
-    let mut crc = 0xFFFF_FFFFu32;
-    for &byte in data {
-        crc = (crc >> 8) ^ table[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    let mut crc = Crc32::new();
+    crc.update(data);
+    crc.value()
+}
+
+/// Incremental CRC-32: feed bytes as they arrive, read the running
+/// value at any point. The salvage reader's frame resync uses this to
+/// test every candidate block end against the 4 bytes that follow it
+/// in one O(n) pass instead of re-hashing each prefix.
+#[derive(Clone, Copy, Debug)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Starts a fresh checksum.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Crc32 {
+        Crc32 { state: 0xFFFF_FFFF }
     }
-    !crc
+
+    /// Feeds `data` into the checksum.
+    pub fn update(&mut self, data: &[u8]) {
+        let table = table();
+        for &byte in data {
+            self.state =
+                (self.state >> 8) ^ table[((self.state ^ u32::from(byte)) & 0xFF) as usize];
+        }
+    }
+
+    /// The CRC-32 of everything fed so far (does not consume; more
+    /// bytes may follow).
+    pub fn value(&self) -> u32 {
+        !self.state
+    }
 }
 
 #[cfg(test)]
@@ -46,6 +75,22 @@ mod tests {
         assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
         assert_eq!(crc32(b""), 0);
         assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn incremental_matches_one_shot() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        let mut crc = Crc32::new();
+        for chunk in data.chunks(5) {
+            crc.update(chunk);
+        }
+        assert_eq!(crc.value(), crc32(data));
+        // Reading the value mid-stream must not disturb the state.
+        let mut crc = Crc32::new();
+        crc.update(b"1234");
+        let _ = crc.value();
+        crc.update(b"56789");
+        assert_eq!(crc.value(), 0xCBF4_3926);
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use bytes::{Buf, BufMut};
 use st_model::{Event, Micros, Symbol, Syscall};
 
-use crate::error::StoreError;
+use crate::error::{CorruptKind, StoreError};
 use crate::varint::{get_u64, put_u64};
 
 /// Number of per-event columns in a block body, in physical order:
@@ -277,7 +277,7 @@ impl ZoneMap {
         let dur_min = get_u64(buf)?;
         let dur_span = get_u64(buf)?;
         if !buf.has_remaining() {
-            return Err(StoreError::Corrupt("truncated zone map".into()));
+            return Err(CorruptKind::Truncated { what: "zone map" }.into());
         }
         let flags = buf.get_u8();
         let any_sized = flags & 1 != 0;
@@ -292,7 +292,7 @@ impl ZoneMap {
         let pid_span = narrow_u32(get_u64(buf)?, "zone pid span")?;
         let pid_bits = get_fixed_u64(buf)?;
         if buf.remaining() < 4 {
-            return Err(StoreError::Corrupt("truncated zone map".into()));
+            return Err(CorruptKind::Truncated { what: "zone map" }.into());
         }
         let call_mask = buf.get_u32_le();
         let path_bloom = [get_fixed_u64(buf)?, get_fixed_u64(buf)?];
@@ -322,16 +322,16 @@ impl ZoneMap {
 }
 
 fn overflow() -> StoreError {
-    StoreError::Corrupt("zone map range overflows".into())
+    CorruptKind::RangeOverflow { what: "zone map" }.into()
 }
 
-fn narrow_u32(raw: u64, what: &str) -> Result<u32, StoreError> {
-    u32::try_from(raw).map_err(|_| StoreError::Corrupt(format!("{what} exceeds u32")))
+fn narrow_u32(raw: u64, what: &'static str) -> Result<u32, StoreError> {
+    u32::try_from(raw).map_err(|_| CorruptKind::ValueOverflow { what, ty: "u32" }.into())
 }
 
 fn get_fixed_u64<B: Buf>(buf: &mut B) -> Result<u64, StoreError> {
     if buf.remaining() < 8 {
-        return Err(StoreError::Corrupt("truncated zone map".into()));
+        return Err(CorruptKind::Truncated { what: "zone map" }.into());
     }
     let mut raw = [0u8; 8];
     raw.copy_from_slice(&buf.chunk()[..8]);
@@ -386,9 +386,7 @@ impl BlockDir {
             || col_lens[NCOLS - 1] != events
             || col_lens.iter().any(|&l| l < events)
         {
-            return Err(StoreError::Corrupt(
-                "block directory entry is inconsistent".into(),
-            ));
+            return Err(CorruptKind::BlockEntryInconsistent.into());
         }
         Ok(BlockDir {
             events,
@@ -438,6 +436,23 @@ impl CaseDir {
         buf: &mut B,
         remaining_hint: usize,
     ) -> Result<CaseDir, StoreError> {
+        let entry = Self::decode_relaxed(buf, remaining_hint)?;
+        let block_events: u64 = entry.blocks.iter().map(|b| u64::from(b.events)).sum();
+        if block_events != entry.events {
+            return Err(CorruptKind::CaseEventsMismatch.into());
+        }
+        Ok(entry)
+    }
+
+    /// [`CaseDir::decode`] without the events-vs-blocks cross-check:
+    /// the salvage reader parses damaged directories best-effort and
+    /// recomputes the case's event count from whichever blocks survive
+    /// vetting, so a corrupted count field alone must not discard an
+    /// otherwise parseable entry.
+    pub(crate) fn decode_relaxed<B: Buf>(
+        buf: &mut B,
+        remaining_hint: usize,
+    ) -> Result<CaseDir, StoreError> {
         let cid = Symbol(narrow_u32(get_u64(buf)?, "cid symbol")?);
         let host = Symbol(narrow_u32(get_u64(buf)?, "host symbol")?);
         let rid = narrow_u32(get_u64(buf)?, "rid")?;
@@ -446,22 +461,14 @@ impl CaseDir {
         let start_span = get_u64(buf)?;
         let block_count = get_u64(buf)? as usize;
         if block_count > remaining_hint {
-            return Err(StoreError::Corrupt("implausible block count".into()));
+            return Err(CorruptKind::ImplausibleCount { what: "block" }.into());
         }
         // Every encoded block entry is ≥ ~47 bytes (12 varints + fixed
         // bloom/mask fields); cap the reservation by that so a crafted
         // count cannot demand memory disproportionate to the file.
         let mut blocks = Vec::with_capacity(block_count.min(remaining_hint / 40 + 1));
-        let mut block_events = 0u64;
         for _ in 0..block_count {
-            let block = BlockDir::decode(buf)?;
-            block_events += u64::from(block.events);
-            blocks.push(block);
-        }
-        if block_events != events {
-            return Err(StoreError::Corrupt(
-                "case event count disagrees with its blocks".into(),
-            ));
+            blocks.push(BlockDir::decode(buf)?);
         }
         Ok(CaseDir {
             cid,

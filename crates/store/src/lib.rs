@@ -57,17 +57,34 @@
 //!
 //! Reading restores symbols in insertion order, so symbol identities are
 //! reproduced exactly and logs round-trip bit-identically.
+//!
+//! ## Failure model
+//!
+//! Strict opens ([`StoreReader::open`]) are all-or-nothing. The
+//! [`salvage`] module recovers every event the per-block CRCs can vouch
+//! for from a damaged v2 container and reports what was lost
+//! ([`SalvageReport`]); [`write_store`] is atomic (temp + fsync +
+//! rename), so interrupted writes never leave a torn container; and
+//! [`faults`] provides the deterministic corruptors the robustness
+//! tests (and the `faultgen` binary) are built on.
 
 #![warn(missing_docs)]
 
 pub mod crc;
 pub mod error;
+pub mod faults;
 pub mod format;
 pub mod reader;
+pub mod salvage;
 pub mod varint;
 pub mod writer;
 
-pub use error::StoreError;
+pub use error::{CorruptKind, StoreError};
+pub use faults::{Fault, FaultKind};
 pub use format::{BlockDir, CaseDir, ColumnSet, Decision, ZoneMap, DEFAULT_BLOCK_EVENTS};
 pub use reader::StoreReader;
-pub use writer::{to_bytes, to_bytes_blocked, to_bytes_v1, write_store};
+pub use salvage::{
+    open_salvage, read_salvage, salvage_bytes, BlockLoss, BlockLossReason, SalvageReport, Salvaged,
+    SectionHealth, Verdict,
+};
+pub use writer::{to_bytes, to_bytes_blocked, to_bytes_v1, write_atomic, write_store};

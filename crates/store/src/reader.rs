@@ -14,7 +14,7 @@ use bytes::{Buf, Bytes};
 use st_model::{Case, CaseMeta, Event, EventLog, Interner, Micros, Pid, Symbol, Syscall};
 
 use crate::crc::crc32;
-use crate::error::StoreError;
+use crate::error::{CorruptKind, StoreError};
 use crate::format::{BlockDir, CaseDir, ColumnSet, NCOLS};
 use crate::varint::{get_opt_u64, get_u64};
 use crate::writer::{CALL_OTHER_TAG, MAGIC_V1, MAGIC_V2, VERSION_V1, VERSION_V2};
@@ -89,6 +89,23 @@ impl StoreReader {
         }
     }
 
+    /// Assembles a v2 reader from already-vetted parts — the salvage
+    /// path's back door around [`StoreReader::from_bytes`]'s eager
+    /// whole-container validation. The caller (see [`crate::salvage`])
+    /// guarantees every block in `directory` is in bounds, CRC-clean
+    /// and decodable.
+    pub(crate) fn assemble_v2(
+        strings: Vec<String>,
+        directory: Vec<CaseDir>,
+        blocks: Bytes,
+    ) -> StoreReader {
+        StoreReader {
+            strings,
+            version: VERSION_V2,
+            payload: Payload::V2 { directory, blocks },
+        }
+    }
+
     /// The container's format version (1 or 2).
     pub fn version(&self) -> u32 {
         self.version
@@ -156,16 +173,21 @@ impl StoreReader {
         out: &mut Vec<Event>,
     ) -> Result<usize, StoreError> {
         let Payload::V2 { blocks, .. } = &self.payload else {
-            return Err(StoreError::Corrupt(
-                "block decode requested on a v1 container".into(),
-            ));
+            return Err(CorruptKind::V1BlockDecode.into());
         };
         let cols = cols.union(ColumnSet::IDENTITY);
-        let start = usize::try_from(block.offset)
-            .map_err(|_| StoreError::Corrupt("block offset exceeds usize".into()))?;
+        let start = usize::try_from(block.offset).map_err(|_| CorruptKind::ValueOverflow {
+            what: "block offset",
+            ty: "usize",
+        })?;
         let len = block.len as usize;
         if len < 4 || start.checked_add(len).is_none_or(|end| end > blocks.len()) {
-            return Err(StoreError::Corrupt("block extent out of bounds".into()));
+            return Err(CorruptKind::BlockOutOfBounds {
+                offset: block.offset,
+                len: block.len,
+                blocks_len: blocks.len() as u64,
+            }
+            .into());
         }
         let body = blocks.slice(start..start + len - 4);
         let mut crc_raw = [0u8; 4];
@@ -187,15 +209,16 @@ impl StoreReader {
         for col in 0..NCOLS {
             let seg_len = block.col_lens[col] as usize;
             if seg_start + seg_len > body.len() {
-                return Err(StoreError::Corrupt("column segment out of bounds".into()));
+                return Err(CorruptKind::SegmentOutOfBounds.into());
             }
             if cols.contains(ColumnSet::nth(col)) {
                 let mut seg = &body[seg_start..seg_start + seg_len];
                 self.decode_column(col, &mut seg, events)?;
                 if !seg.is_empty() {
-                    return Err(StoreError::Corrupt(
-                        "trailing bytes after column segment".into(),
-                    ));
+                    return Err(CorruptKind::TrailingBytes {
+                        after: "column segment",
+                    }
+                    .into());
                 }
                 decoded += seg_len;
             }
@@ -214,22 +237,28 @@ impl StoreReader {
         match col {
             0 => {
                 for e in events.iter_mut() {
-                    let pid = u32::try_from(get_u64(seg)?)
-                        .map_err(|_| StoreError::Corrupt("pid exceeds u32".into()))?;
+                    let pid =
+                        u32::try_from(get_u64(seg)?).map_err(|_| CorruptKind::ValueOverflow {
+                            what: "pid",
+                            ty: "u32",
+                        })?;
                     e.pid = Pid(pid);
                 }
             }
             1 => {
                 for e in events.iter_mut() {
                     if !seg.has_remaining() {
-                        return Err(StoreError::Corrupt("truncated call column".into()));
+                        return Err(CorruptKind::Truncated {
+                            what: "call column",
+                        }
+                        .into());
                     }
                     let tag = seg.get_u8();
                     e.call = if tag == CALL_OTHER_TAG {
                         Syscall::Other(self.symbol(get_u64(seg)?)?)
                     } else {
                         Syscall::from_named_index(tag)
-                            .ok_or_else(|| StoreError::Corrupt(format!("unknown call tag {tag}")))?
+                            .ok_or_else(|| StoreError::from(CorruptKind::UnknownCallTag { tag }))?
                     };
                 }
             }
@@ -268,7 +297,7 @@ impl StoreReader {
             8 => {
                 for e in events.iter_mut() {
                     if !seg.has_remaining() {
-                        return Err(StoreError::Corrupt("truncated ok column".into()));
+                        return Err(CorruptKind::Truncated { what: "ok column" }.into());
                     }
                     e.ok = seg.get_u8() != 0;
                 }
@@ -317,37 +346,46 @@ impl StoreReader {
     ) -> Result<(), StoreError> {
         let case_count = get_u64(&mut buf)? as usize;
         if case_count > buf.len() + 1 {
-            return Err(StoreError::Corrupt("implausible case count".into()));
+            return Err(CorruptKind::ImplausibleCount { what: "case" }.into());
         }
         for _ in 0..case_count {
             let cid = self.symbol(get_u64(&mut buf)?)?;
             let host = self.symbol(get_u64(&mut buf)?)?;
-            let rid = u32::try_from(get_u64(&mut buf)?)
-                .map_err(|_| StoreError::Corrupt("rid exceeds u32".into()))?;
+            let rid =
+                u32::try_from(get_u64(&mut buf)?).map_err(|_| CorruptKind::ValueOverflow {
+                    what: "rid",
+                    ty: "u32",
+                })?;
             let n = get_u64(&mut buf)? as usize;
             if n > buf.len() {
-                return Err(StoreError::Corrupt("implausible event count".into()));
+                return Err(CorruptKind::ImplausibleCount { what: "event" }.into());
             }
             let mut events: Vec<Event> = Vec::with_capacity(n);
             // pid column
             let mut pids = Vec::with_capacity(n);
             for _ in 0..n {
-                let pid = u32::try_from(get_u64(&mut buf)?)
-                    .map_err(|_| StoreError::Corrupt("pid exceeds u32".into()))?;
+                let pid =
+                    u32::try_from(get_u64(&mut buf)?).map_err(|_| CorruptKind::ValueOverflow {
+                        what: "pid",
+                        ty: "u32",
+                    })?;
                 pids.push(Pid(pid));
             }
             // call column
             let mut calls = Vec::with_capacity(n);
             for _ in 0..n {
                 if !buf.has_remaining() {
-                    return Err(StoreError::Corrupt("truncated call column".into()));
+                    return Err(CorruptKind::Truncated {
+                        what: "call column",
+                    }
+                    .into());
                 }
                 let tag = buf.get_u8();
                 let call = if tag == CALL_OTHER_TAG {
                     Syscall::Other(self.symbol(get_u64(&mut buf)?)?)
                 } else {
                     Syscall::from_named_index(tag)
-                        .ok_or_else(|| StoreError::Corrupt(format!("unknown call tag {tag}")))?
+                        .ok_or_else(|| StoreError::from(CorruptKind::UnknownCallTag { tag }))?
                 };
                 calls.push(call);
             }
@@ -385,7 +423,7 @@ impl StoreReader {
             let mut oks = Vec::with_capacity(n);
             for _ in 0..n {
                 if !buf.has_remaining() {
-                    return Err(StoreError::Corrupt("truncated ok column".into()));
+                    return Err(CorruptKind::Truncated { what: "ok column" }.into());
                 }
                 oks.push(buf.get_u8() != 0);
             }
@@ -409,19 +447,22 @@ impl StoreReader {
             }
         }
         if buf.has_remaining() {
-            return Err(StoreError::Corrupt("trailing bytes after cases".into()));
+            return Err(CorruptKind::TrailingBytes { after: "cases" }.into());
         }
         Ok(())
     }
 
     fn symbol(&self, raw: u64) -> Result<Symbol, StoreError> {
-        let idx =
-            usize::try_from(raw).map_err(|_| StoreError::Corrupt("symbol exceeds usize".into()))?;
+        let idx = usize::try_from(raw).map_err(|_| CorruptKind::ValueOverflow {
+            what: "symbol",
+            ty: "usize",
+        })?;
         if idx >= self.strings.len() {
-            return Err(StoreError::Corrupt(format!(
-                "symbol {idx} out of range ({} strings)",
-                self.strings.len()
-            )));
+            return Err(CorruptKind::SymbolOutOfRange {
+                symbol: raw,
+                strings: self.strings.len(),
+            }
+            .into());
         }
         Ok(Symbol(idx as u32))
     }
@@ -433,7 +474,7 @@ fn get_v1_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, Stor
         .checked_add(4)
         .is_none_or(|need| data.remaining() < need)
     {
-        return Err(StoreError::Corrupt(format!("truncated {section} section")));
+        return Err(CorruptKind::TruncatedSection { section }.into());
     }
     let body = data.split_to(len);
     let stored_crc = data.get_u32_le();
@@ -445,30 +486,30 @@ fn get_v1_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, Stor
 
 /// Reads a v2 section's fixed 8-byte LE length prefix, validating that
 /// `len` (+ `trailer` bytes after the body) fits in the remaining data.
-fn get_v2_len_prefix(
+pub(crate) fn get_v2_len_prefix(
     data: &mut Bytes,
     trailer: usize,
     section: &'static str,
 ) -> Result<usize, StoreError> {
     if data.remaining() < 8 {
-        return Err(StoreError::Corrupt(format!("truncated {section} section")));
+        return Err(CorruptKind::TruncatedSection { section }.into());
     }
     let mut raw = [0u8; 8];
     raw.copy_from_slice(&data[..8]);
     data.advance(8);
     let len = usize::try_from(u64::from_le_bytes(raw))
-        .map_err(|_| StoreError::Corrupt(format!("{section} section exceeds usize")))?;
+        .map_err(|_| CorruptKind::SectionTooLarge { section })?;
     if len
         .checked_add(trailer)
         .is_none_or(|need| data.remaining() < need)
     {
-        return Err(StoreError::Corrupt(format!("truncated {section} section")));
+        return Err(CorruptKind::TruncatedSection { section }.into());
     }
     Ok(len)
 }
 
 /// Reads a v2 section: fixed 8-byte LE length prefix, body, CRC-32.
-fn get_v2_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreError> {
+pub(crate) fn get_v2_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreError> {
     let len = get_v2_len_prefix(data, 4, section)?;
     let body = data.split_to(len);
     let stored_crc = data.get_u32_le();
@@ -483,7 +524,7 @@ fn get_v2_blocks(data: &mut Bytes) -> Result<Bytes, StoreError> {
     let len = get_v2_len_prefix(data, 0, "blocks")?;
     let body = data.split_to(len);
     if data.has_remaining() {
-        return Err(StoreError::Corrupt("trailing bytes after blocks".into()));
+        return Err(CorruptKind::TrailingBytes { after: "blocks" }.into());
     }
     Ok(body)
 }
@@ -495,7 +536,7 @@ fn get_v2_blocks(data: &mut Bytes) -> Result<Bytes, StoreError> {
 fn decode_directory(mut body: Bytes, blocks_len: usize) -> Result<Vec<CaseDir>, StoreError> {
     let case_count = get_u64(&mut body)? as usize;
     if case_count > body.len() + 1 {
-        return Err(StoreError::Corrupt("implausible case count".into()));
+        return Err(CorruptKind::ImplausibleCount { what: "case" }.into());
     }
     // Each encoded case entry is ≥ 7 bytes; cap the reservation so a
     // crafted count cannot reserve memory disproportionate to the
@@ -507,37 +548,38 @@ fn decode_directory(mut body: Bytes, blocks_len: usize) -> Result<Vec<CaseDir>, 
         let entry = CaseDir::decode(&mut body, remaining)?;
         for block in &entry.blocks {
             if block.offset != next_offset {
-                return Err(StoreError::Corrupt("non-contiguous block layout".into()));
+                return Err(CorruptKind::NonContiguousBlocks.into());
             }
             next_offset += u64::from(block.len);
         }
         directory.push(entry);
     }
     if body.has_remaining() {
-        return Err(StoreError::Corrupt("trailing bytes after directory".into()));
+        return Err(CorruptKind::TrailingBytes { after: "directory" }.into());
     }
     if next_offset != blocks_len as u64 {
-        return Err(StoreError::Corrupt(
-            "directory does not cover the blocks section".into(),
-        ));
+        return Err(CorruptKind::DirectoryCoverage {
+            expected: blocks_len as u64,
+            got: next_offset,
+        }
+        .into());
     }
     Ok(directory)
 }
 
-fn decode_strings(mut body: Bytes) -> Result<Vec<String>, StoreError> {
+pub(crate) fn decode_strings(mut body: Bytes) -> Result<Vec<String>, StoreError> {
     let count = get_u64(&mut body)? as usize;
     if count > body.len() + 1 {
-        return Err(StoreError::Corrupt("implausible string count".into()));
+        return Err(CorruptKind::ImplausibleCount { what: "string" }.into());
     }
     let mut strings = Vec::with_capacity(count);
     for _ in 0..count {
         let len = get_u64(&mut body)? as usize;
         if body.remaining() < len {
-            return Err(StoreError::Corrupt("truncated string".into()));
+            return Err(CorruptKind::Truncated { what: "string" }.into());
         }
         let raw = body.split_to(len);
-        let s = std::str::from_utf8(&raw)
-            .map_err(|_| StoreError::Corrupt("non-UTF-8 string".into()))?;
+        let s = std::str::from_utf8(&raw).map_err(|_| CorruptKind::NonUtf8String)?;
         strings.push(s.to_string());
     }
     Ok(strings)

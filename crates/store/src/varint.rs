@@ -6,7 +6,7 @@
 
 use bytes::{Buf, BufMut};
 
-use crate::error::StoreError;
+use crate::error::{CorruptKind, StoreError};
 
 /// Appends `value` as LEB128.
 pub fn put_u64<B: BufMut>(buf: &mut B, mut value: u64) {
@@ -27,11 +27,11 @@ pub fn get_u64<B: Buf>(buf: &mut B) -> Result<u64, StoreError> {
     let mut shift = 0u32;
     loop {
         if !buf.has_remaining() {
-            return Err(StoreError::Corrupt("truncated varint".into()));
+            return Err(CorruptKind::Truncated { what: "varint" }.into());
         }
         let byte = buf.get_u8();
         if shift == 63 && byte > 1 {
-            return Err(StoreError::Corrupt("varint overflows u64".into()));
+            return Err(CorruptKind::VarintOverflow.into());
         }
         value |= u64::from(byte & 0x7f) << shift;
         if byte & 0x80 == 0 {
@@ -39,7 +39,7 @@ pub fn get_u64<B: Buf>(buf: &mut B) -> Result<u64, StoreError> {
         }
         shift += 7;
         if shift > 63 {
-            return Err(StoreError::Corrupt("varint too long".into()));
+            return Err(CorruptKind::VarintTooLong.into());
         }
     }
 }

@@ -15,7 +15,7 @@ use bytes::Bytes;
 use st_model::{Event, EventLog, Micros, Symbol, Syscall};
 
 use crate::crc::crc32;
-use crate::error::StoreError;
+use crate::error::{CorruptKind, StoreError};
 use crate::format::{BlockDir, CaseDir, ZoneMap, DEFAULT_BLOCK_EVENTS, NCOLS};
 use crate::varint::{put_opt_u64, put_u64};
 
@@ -298,22 +298,66 @@ pub fn to_bytes_v1(log: &EventLog) -> Result<Bytes, StoreError> {
     Ok(Bytes::from(out))
 }
 
-/// Writes `log` to `path` (STLOG v2).
+/// Writes `log` to `path` (STLOG v2), atomically: readers and crashes
+/// see either the complete old file or the complete new one, never a
+/// torn container.
 pub fn write_store(log: &EventLog, path: &Path) -> Result<(), StoreError> {
     let bytes = to_bytes(log)?;
-    std::fs::write(path, &bytes).map_err(|source| StoreError::Io {
+    write_atomic(path, &bytes)
+}
+
+/// Durably replaces `path` with `bytes`: write to a same-directory temp
+/// file, `fsync` it, then `rename` over the target (atomic on POSIX).
+/// The directory itself is fsynced best-effort so the rename survives a
+/// crash too. On any error the temp file is removed — an interrupted
+/// write leaves no partial container behind.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let io_err = |source: std::io::Error| StoreError::Io {
         path: path.to_path_buf(),
         source,
-    })
+    };
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let name = path
+        .file_name()
+        .ok_or_else(|| io_err(std::io::Error::other("path has no file name")))?;
+    // Same directory as the target (rename cannot cross filesystems);
+    // pid-salted so concurrent writers never share a temp file.
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        name.to_string_lossy(),
+        std::process::id()
+    ));
+    let result = (|| {
+        use std::io::Write;
+        let mut file = std::fs::File::create(&tmp).map_err(io_err)?;
+        file.write_all(bytes).map_err(io_err)?;
+        file.sync_all().map_err(io_err)?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(io_err)
+    })();
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+        return result;
+    }
+    // Make the rename itself durable. Failure here (exotic filesystems)
+    // costs durability of the *name*, not integrity of the data, so it
+    // is not propagated.
+    if let Ok(d) = std::fs::File::open(&dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
 }
 
 fn check_sorted(log: &EventLog) -> Result<(), StoreError> {
     for case in log.cases() {
         if !case.is_sorted() {
-            return Err(StoreError::Corrupt(format!(
-                "case {} is not start-sorted; sort before storing",
-                case.meta.label(log.interner())
-            )));
+            return Err(CorruptKind::UnsortedCase {
+                label: case.meta.label(log.interner()),
+            }
+            .into());
         }
     }
     Ok(())
@@ -406,6 +450,45 @@ pub(crate) mod tests {
         let bytes = to_bytes(&log).unwrap();
         assert!(bytes.len() >= 12);
         assert!(to_bytes_v1(&log).unwrap().len() >= 12);
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_temp() {
+        let dir = std::env::temp_dir().join(format!("st-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("out.stlog");
+        // First write creates; second write replaces the full content.
+        write_atomic(&target, b"first image").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"first image");
+        write_atomic(&target, b"second, longer image").unwrap();
+        assert_eq!(std::fs::read(&target).unwrap(), b"second, longer image");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_atomic_write_leaves_target_and_no_temp() {
+        let dir = std::env::temp_dir().join(format!("st-atomic-fail-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A directory at the target path makes the final rename fail
+        // after the temp file was written — the interruption point the
+        // protocol must clean up after.
+        let target = dir.join("occupied");
+        std::fs::create_dir_all(&target).unwrap();
+        assert!(write_atomic(&target, b"doomed").is_err());
+        assert!(target.is_dir(), "target must be untouched");
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

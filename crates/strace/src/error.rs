@@ -37,7 +37,24 @@ pub enum Warning {
         /// 1-based line number.
         line: usize,
     },
+    /// More warnings were raised than the per-file exemplar cap
+    /// ([`WARNING_CAP`]); `count` of them were dropped after the first
+    /// `WARNING_CAP` (in line order) so a pathological input cannot
+    /// balloon memory. The total raised is `WARNING_CAP + count`.
+    Suppressed {
+        /// How many warnings beyond the cap were dropped.
+        count: usize,
+    },
 }
+
+/// Per-file cap on retained warning exemplars.
+///
+/// A trace that is not strace output at all raises one
+/// [`Warning::UnparsableLine`] per line; retaining them all is an
+/// out-of-memory hazard on large inputs. Parsers keep the first
+/// `WARNING_CAP` warnings in line order, count the rest, and append a
+/// single [`Warning::Suppressed`] carrying the overflow count.
+pub const WARNING_CAP: usize = 100;
 
 impl fmt::Display for Warning {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -59,6 +76,13 @@ impl fmt::Display for Warning {
             }
             Warning::Restarted { line } => {
                 write!(f, "line {line}: ERESTARTSYS-interrupted call ignored")
+            }
+            Warning::Suppressed { count } => {
+                write!(
+                    f,
+                    "... and {count} more warning{} suppressed",
+                    if *count == 1 { "" } else { "s" }
+                )
             }
         }
     }

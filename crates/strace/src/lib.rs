@@ -45,7 +45,7 @@ pub mod record;
 pub mod scan;
 pub mod writer;
 
-pub use error::{StraceError, Warning};
+pub use error::{StraceError, Warning, WARNING_CAP};
 pub use generic::{from_csv, to_csv, CsvError};
 pub use loader::{load_dir, load_files, LoadOptions};
 pub use parser::{parse_par, parse_reader, parse_str, ParsedTrace};

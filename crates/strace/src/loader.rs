@@ -433,6 +433,42 @@ mod tests {
     }
 
     #[test]
+    fn per_file_warning_flood_is_bounded() {
+        // Two non-trace files: each contributes at most WARNING_CAP
+        // exemplars plus one Suppressed trailer carrying the overflow
+        // count, so loading a directory of garbage cannot balloon
+        // memory with warning text.
+        use crate::error::WARNING_CAP;
+        let dir = tmpdir("flood");
+        std::fs::create_dir_all(&dir).unwrap();
+        for name in ["a_h_1.st", "b_h_2.st"] {
+            let mut body = String::new();
+            for k in 0..500 {
+                body.push_str(&format!("not a trace line {k}\n"));
+            }
+            std::fs::write(dir.join(name), &body).unwrap();
+        }
+        let result = load_dir(&dir, Interner::new_shared(), &LoadOptions::default()).unwrap();
+        assert_eq!(result.warnings.len(), 2 * (WARNING_CAP + 1));
+        for file in ["a_h_1.st", "b_h_2.st"] {
+            let ours: Vec<&Warning> = result
+                .warnings
+                .iter()
+                .filter(|(p, _)| p.ends_with(file))
+                .map(|(_, w)| w)
+                .collect();
+            assert_eq!(ours.len(), WARNING_CAP + 1);
+            assert_eq!(
+                *ours[WARNING_CAP],
+                Warning::Suppressed {
+                    count: 500 - WARNING_CAP
+                }
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn warnings_carry_file_attribution() {
         let dir = tmpdir("warn");
         std::fs::create_dir_all(&dir).unwrap();

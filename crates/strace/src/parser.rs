@@ -44,7 +44,7 @@ use std::io::BufRead;
 
 use st_model::{Event, Interner, LocalInterner, Micros, Pid, Symbol, Syscall};
 
-use crate::error::Warning;
+use crate::error::{Warning, WARNING_CAP};
 use crate::record::{parse_line, Line, ParsedCall, ReturnValue};
 use crate::scan;
 
@@ -114,12 +114,44 @@ enum AsyncRecord<'a> {
 struct ChunkParse<'a> {
     /// Complete-call events, in line order, tagged with their line.
     events: Vec<(usize, Event)>,
-    /// Warnings raised inside the chunk, in line order (lines local).
+    /// Warnings raised inside the chunk, in line order (lines local),
+    /// capped at [`WARNING_CAP`] exemplars.
     warnings: Vec<Warning>,
+    /// Warnings raised beyond the cap and dropped. A non-strace input
+    /// raises one warning per line; retaining them all is an OOM
+    /// hazard, and the first [`WARNING_CAP`] per chunk are provably a
+    /// superset of whatever the final global truncation keeps.
+    suppressed: usize,
     /// Deferred unfinished/resumed records, in line order.
     asyncs: Vec<AsyncRecord<'a>>,
     /// Number of lines in the chunk.
     line_count: usize,
+}
+
+/// Appends `w`, or counts it as suppressed once the exemplar cap is
+/// reached. Callers push in line order, so the retained prefix is the
+/// `WARNING_CAP` lowest-line warnings of the stream.
+fn push_capped(warnings: &mut Vec<Warning>, suppressed: &mut usize, w: Warning) {
+    if warnings.len() < WARNING_CAP {
+        warnings.push(w);
+    } else {
+        *suppressed += 1;
+    }
+}
+
+/// Final warning assembly shared by every parse path: order by line,
+/// truncate to the exemplar cap, and surface the total overflow as one
+/// [`Warning::Suppressed`] entry (sorting last by construction).
+fn finalize_warnings(mut warnings: Vec<Warning>, mut suppressed: usize) -> Vec<Warning> {
+    warnings.sort_by_key(warning_line);
+    if warnings.len() > WARNING_CAP {
+        suppressed += warnings.len() - WARNING_CAP;
+        warnings.truncate(WARNING_CAP);
+    }
+    if suppressed > 0 {
+        warnings.push(Warning::Suppressed { count: suppressed });
+    }
+    warnings
 }
 
 /// Parses every line of `chunk`, deferring unfinished/resumed records.
@@ -127,6 +159,7 @@ fn parse_chunk<'a, I: Intern>(chunk: &'a str, sink: &mut I) -> ChunkParse<'a> {
     let mut out = ChunkParse {
         events: Vec::new(),
         warnings: Vec::new(),
+        suppressed: 0,
         asyncs: Vec::new(),
         line_count: 0,
     };
@@ -136,7 +169,11 @@ fn parse_chunk<'a, I: Intern>(chunk: &'a str, sink: &mut I) -> ChunkParse<'a> {
         match parse_line(line) {
             Some(Line::Empty) | Some(Line::Signal) | Some(Line::Exit { .. }) => {}
             Some(Line::Restarted) => {
-                out.warnings.push(Warning::Restarted { line: lineno });
+                push_capped(
+                    &mut out.warnings,
+                    &mut out.suppressed,
+                    Warning::Restarted { line: lineno },
+                );
             }
             Some(Line::Unfinished {
                 pid,
@@ -173,10 +210,14 @@ fn parse_chunk<'a, I: Intern>(chunk: &'a str, sink: &mut I) -> ChunkParse<'a> {
                     out.events.push((lineno, ev));
                 }
             }
-            None => out.warnings.push(Warning::UnparsableLine {
-                line: lineno,
-                text: truncate(line, 160),
-            }),
+            None => push_capped(
+                &mut out.warnings,
+                &mut out.suppressed,
+                Warning::UnparsableLine {
+                    line: lineno,
+                    text: truncate(line, 160),
+                },
+            ),
         }
     }
     out
@@ -284,7 +325,7 @@ fn warning_line(w: &Warning) -> usize {
         Warning::UnparsableLine { line, .. }
         | Warning::OrphanResumed { line, .. }
         | Warning::Restarted { line } => *line,
-        Warning::NeverResumed { .. } => usize::MAX,
+        Warning::NeverResumed { .. } | Warning::Suppressed { .. } => usize::MAX,
     }
 }
 
@@ -293,7 +334,7 @@ fn shift_warning(mut w: Warning, offset: usize) -> Warning {
         Warning::UnparsableLine { line, .. }
         | Warning::OrphanResumed { line, .. }
         | Warning::Restarted { line } => *line += offset,
-        Warning::NeverResumed { .. } => {}
+        Warning::NeverResumed { .. } | Warning::Suppressed { .. } => {}
     }
     w
 }
@@ -328,11 +369,10 @@ pub fn parse_str(text: &str, interner: &Interner) -> ParsedTrace {
 
     let mut warnings = chunk.warnings;
     warnings.extend(async_warnings);
-    warnings.sort_by_key(warning_line);
 
     ParsedTrace {
         events: events.into_iter().map(|(_, e)| e).collect(),
-        warnings,
+        warnings: finalize_warnings(warnings, chunk.suppressed),
     }
 }
 
@@ -537,15 +577,23 @@ pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace
     let events = kway_merge(runs, total_events(&chunk_parses) + merged_events.len());
 
     // Warnings: per-chunk warnings shifted to global lines, orphan /
-    // never-resumed warnings from the merge, ordered by line.
+    // never-resumed warnings from the merge, ordered by line. Any
+    // warning among the first WARNING_CAP globally is among the first
+    // WARNING_CAP of its own chunk, so the per-chunk cap loses nothing
+    // the global truncation would keep and the output matches
+    // `parse_str` exactly.
     let mut warnings = Vec::new();
+    let mut suppressed = 0usize;
     for (chunk, &offset) in chunk_parses.iter_mut().zip(&offsets) {
         warnings.extend(chunk.warnings.drain(..).map(|w| shift_warning(w, offset)));
+        suppressed += chunk.suppressed;
     }
     warnings.extend(async_warnings);
-    warnings.sort_by_key(warning_line);
 
-    ParsedTrace { events, warnings }
+    ParsedTrace {
+        events,
+        warnings: finalize_warnings(warnings, suppressed),
+    }
 }
 
 fn total_events(chunks: &[ChunkParse<'_>]) -> usize {
@@ -626,7 +674,12 @@ struct OwnedPending {
 #[derive(Default)]
 struct ReaderState {
     events: Vec<(usize, Event)>,
+    /// Warnings in line order, capped at [`WARNING_CAP`] exemplars —
+    /// the stream arrives pre-sorted, so the cap keeps exactly what
+    /// the batch paths' sort-then-truncate would keep.
     warnings: Vec<Warning>,
+    /// Warnings dropped beyond the cap.
+    suppressed: usize,
     /// Outstanding unfinished calls, keyed by `(pid, name)` with FIFO
     /// queues — strace resumes a pid's calls in emission order.
     pending: HashMap<(u32, String), VecDeque<OwnedPending>>,
@@ -639,7 +692,11 @@ impl ReaderState {
         match parse_line(line) {
             Some(Line::Empty) | Some(Line::Signal) | Some(Line::Exit { .. }) => {}
             Some(Line::Restarted) => {
-                self.warnings.push(Warning::Restarted { line: lineno });
+                push_capped(
+                    &mut self.warnings,
+                    &mut self.suppressed,
+                    Warning::Restarted { line: lineno },
+                );
             }
             Some(Line::Unfinished {
                 pid,
@@ -686,10 +743,14 @@ impl ReaderState {
                             self.events.push((lineno, ev));
                         }
                     }
-                    None => self.warnings.push(Warning::OrphanResumed {
-                        line: lineno,
-                        pid: pid_key,
-                    }),
+                    None => push_capped(
+                        &mut self.warnings,
+                        &mut self.suppressed,
+                        Warning::OrphanResumed {
+                            line: lineno,
+                            pid: pid_key,
+                        },
+                    ),
                 }
             }
             Some(Line::Call(call)) => {
@@ -697,10 +758,14 @@ impl ReaderState {
                     self.events.push((lineno, ev));
                 }
             }
-            None => self.warnings.push(Warning::UnparsableLine {
-                line: lineno,
-                text: truncate(line, 160),
-            }),
+            None => push_capped(
+                &mut self.warnings,
+                &mut self.suppressed,
+                Warning::UnparsableLine {
+                    line: lineno,
+                    text: truncate(line, 160),
+                },
+            ),
         }
     }
 
@@ -714,7 +779,16 @@ impl ReaderState {
             .collect();
         leftovers.sort_unstable_by_key(|(seq, _, _)| *seq);
         for (_, pid, call) in leftovers {
-            self.warnings.push(Warning::NeverResumed { pid, call });
+            push_capped(
+                &mut self.warnings,
+                &mut self.suppressed,
+                Warning::NeverResumed { pid, call },
+            );
+        }
+        if self.suppressed > 0 {
+            self.warnings.push(Warning::Suppressed {
+                count: self.suppressed,
+            });
         }
         // strace emits records in completion order; merged unfinished
         // records re-enter at their *start* time, so re-sort.
@@ -1164,5 +1238,92 @@ mod tests {
         let i = Interner::new();
         let parsed = parse_par(FIG2A, &i, 0);
         assert_eq!(parsed.events.len(), 8);
+    }
+
+    /// A non-trace input: every line raises a warning; interleave a few
+    /// real events so the parse itself still produces output.
+    fn flood_text(lines: usize) -> String {
+        let mut text = String::new();
+        for k in 0..lines {
+            if k % 50 == 7 {
+                text.push_str(&format!(
+                    "9  08:00:00.{:06} read(3</f{}>, \"\", 8) = 0 <0.000001>\n",
+                    k + 1,
+                    k % 3
+                ));
+            } else {
+                text.push_str(&format!("this is not strace output, line {}\n", k + 1));
+            }
+        }
+        text
+    }
+
+    #[test]
+    fn warning_flood_is_capped_with_summary() {
+        let lines = 1000;
+        let i = Interner::new();
+        let parsed = parse_str(&flood_text(lines), &i);
+        let raised = lines - lines / 50; // every 50th line is a real event
+        assert_eq!(parsed.warnings.len(), WARNING_CAP + 1);
+        // First WARNING_CAP warnings are the lowest-line exemplars…
+        for w in &parsed.warnings[..WARNING_CAP] {
+            match w {
+                Warning::UnparsableLine { line, .. } => assert!(*line <= WARNING_CAP + 3),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        // …and the trailer keeps the full count.
+        assert_eq!(
+            parsed.warnings[WARNING_CAP],
+            Warning::Suppressed {
+                count: raised - WARNING_CAP
+            }
+        );
+        let rendered = parsed.warnings[WARNING_CAP].to_string();
+        assert!(rendered.contains("more warnings suppressed"), "{rendered}");
+    }
+
+    #[test]
+    fn capped_warnings_are_identical_across_parse_paths() {
+        let text = flood_text(700);
+        for threads in [2, 3, 8] {
+            let i1 = Interner::new();
+            let i2 = Interner::new();
+            let seq = parse_str(&text, &i1);
+            let par = parse_par(&text, &i2, threads);
+            assert_eq!(seq.events, par.events, "threads={threads}");
+            assert_eq!(seq.warnings, par.warnings, "threads={threads}");
+        }
+        let i3 = Interner::new();
+        let mut cursor = std::io::Cursor::new(text.as_bytes());
+        let streamed = parse_reader(&mut cursor, &i3).unwrap();
+        let i1 = Interner::new();
+        let seq = parse_str(&text, &i1);
+        assert_eq!(seq.warnings, streamed.warnings);
+        assert_eq!(seq.events.len(), streamed.events.len());
+    }
+
+    #[test]
+    fn cap_boundary_has_no_spurious_summary() {
+        // Exactly WARNING_CAP warnings: all retained, no Suppressed row.
+        let mut text = String::new();
+        for k in 0..WARNING_CAP {
+            text.push_str(&format!("garbage {k}\n"));
+        }
+        let i = Interner::new();
+        let parsed = parse_str(&text, &i);
+        assert_eq!(parsed.warnings.len(), WARNING_CAP);
+        assert!(!parsed
+            .warnings
+            .iter()
+            .any(|w| matches!(w, Warning::Suppressed { .. })));
+        // One past the cap: WARNING_CAP exemplars + a count of 1.
+        text.push_str("garbage overflow\n");
+        let parsed = parse_str(&text, &Interner::new());
+        assert_eq!(parsed.warnings.len(), WARNING_CAP + 1);
+        assert_eq!(
+            parsed.warnings[WARNING_CAP],
+            Warning::Suppressed { count: 1 }
+        );
     }
 }

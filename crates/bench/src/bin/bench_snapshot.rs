@@ -3,7 +3,10 @@
 //! Runs the parser and DFG-build experiments (sequential baselines plus
 //! a thread sweep of the parallel paths), the filter-scan throughput
 //! probes, the store predicate-pushdown comparison (full-load scan
-//! vs zone-map block pruning at 0.1%/10%/100% selectivity), and the
+//! vs zone-map block pruning at 0.1%/10%/100% selectivity), the
+//! out-of-core comparison (bytes fetched off disk by the seek reader
+//! at each selectivity, plus the streaming writer's wall time and
+//! peak encode buffer), and the
 //! salvage-decode overhead (clean and degraded containers vs the
 //! strict read), and writes
 //! a machine-readable `BENCH_ingest.json` at the repository root, so
@@ -24,7 +27,7 @@ use st_core::prelude::*;
 use st_model::{Interner, Micros};
 use st_query::pushdown::{read_pruned, read_pruned_par, ColumnSet};
 use st_query::{parse_expr, scan, scan_par, Predicate};
-use st_store::StoreReader;
+use st_store::{SegmentReader, StoreBuilder, StoreReader};
 use st_strace::{parse_par, parse_reader, parse_str};
 
 /// Reference DFG accumulation the dense path replaced: one ordered-map
@@ -271,6 +274,79 @@ fn main() {
         ));
     }
 
+    // ---- store: out-of-core seek reads + streaming writes ------------
+    // The seek reader's value is byte-granular: a selective query over
+    // an on-disk store should *fetch* only the head plus the surviving
+    // blocks, not the container. Blocks smaller than the pushdown
+    // section's default give the 0.1% window block-level resolution
+    // (the fraction of the file read is the headline number). The
+    // streaming writer is measured by the same workload: wall time vs
+    // the resident writer, plus its encode-buffer high-water mark (the
+    // working memory that replaces the full image).
+    let ooc_block_events = 512usize;
+    let ooc_dir = std::env::temp_dir().join(format!("st-bench-ooc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ooc_dir);
+    std::fs::create_dir_all(&ooc_dir).expect("bench temp dir");
+    let ooc_path = ooc_dir.join("ooc.stlog");
+    let (stream_write_dt, peak_buffer) = time_best(reps, || {
+        let mut builder = StoreBuilder::create_blocked(
+            &ooc_path,
+            std::sync::Arc::clone(pd_log.interner()),
+            ooc_block_events,
+        )
+        .expect("streaming build");
+        builder.push_log(&pd_log).expect("stream cases");
+        let peak = builder.peak_buffer_bytes();
+        builder.finish().expect("publish container");
+        peak
+    });
+    let (resident_write_dt, _) = time_best(reps, || {
+        let image = st_store::to_bytes_blocked(&pd_log, ooc_block_events).expect("serialize");
+        st_store::write_atomic(&ooc_path, &image).expect("write image");
+        image.len()
+    });
+    // The streamed and resident containers are the same bytes; reuse
+    // the streamed file for the read side.
+    let ooc_file_len = std::fs::metadata(&ooc_path).expect("container meta").len();
+    let mut ooc_rows = Vec::new();
+    for (label, pred) in [
+        ("0.1%", window(1, 1000)),
+        ("10%", window(10, 100)),
+        ("100%", Predicate::True),
+    ] {
+        // Fresh reader per repetition: `bytes_read` accumulates since
+        // open, and the open cost (head fetch) belongs in the number.
+        let (seek_dt, seek_result) = time_best(reps, || {
+            let reader = SegmentReader::open(&ooc_path).expect("seek open");
+            read_pruned(&reader, &pred, ColumnSet::ALL).expect("seek pushdown read")
+        });
+        let s = &seek_result.stats;
+        let read_fraction = s.bytes_read as f64 / ooc_file_len as f64;
+        eprintln!(
+            "ooc {label}: {} matched, read {} of {ooc_file_len} bytes off disk ({:.2}% of the file), {:.1} ms",
+            s.events_matched,
+            s.bytes_read,
+            100.0 * read_fraction,
+            seek_dt.as_nanos() as f64 / 1e6,
+        );
+        ooc_rows.push(format!(
+            "{{\"label\": \"{label}\", \"matched\": {}, \"seek_ns\": {}, \"bytes_read\": {}, \"file_bytes\": {ooc_file_len}, \"read_fraction\": {read_fraction:.6}, \"blocks_pruned\": {}, \"blocks_total\": {}}}",
+            s.events_matched,
+            seek_dt.as_nanos(),
+            s.bytes_read,
+            s.blocks_pruned,
+            s.blocks_total,
+        ));
+    }
+    eprintln!(
+        "ooc write: streamed {:.1} ms (peak buffer {} bytes) vs resident {:.1} ms ({} byte container)",
+        stream_write_dt.as_nanos() as f64 / 1e6,
+        peak_buffer,
+        resident_write_dt.as_nanos() as f64 / 1e6,
+        ooc_file_len,
+    );
+    let _ = std::fs::remove_dir_all(&ooc_dir);
+
     // ---- store: salvage decode vs strict read ------------------------
     // The fault-tolerant path re-verifies every block (bounds + CRC +
     // trial decode) before handing out a vetted reader, so salvage on a
@@ -370,16 +446,17 @@ fn main() {
             session_dt.as_nanos() as f64 / 1e6,
         );
         source_rows.push(format!(
-            "{{\"kind\": \"{kind}\", \"open_ns\": {}, \"session_ns\": {}, \"events\": {matched}, \"supports_pushdown\": {}}}",
+            "{{\"kind\": \"{kind}\", \"open_ns\": {}, \"session_ns\": {}, \"events\": {matched}, \"supports_pushdown\": {}, \"supports_seek\": {}}}",
             open_dt.as_nanos(),
             session_dt.as_nanos(),
             source.supports_pushdown(),
+            source.supports_seek(),
         ));
     }
     let _ = std::fs::remove_dir_all(&src_dir);
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"ooc\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"file_bytes\": {ooc_file_len},\n    \"streaming_write_ns\": {},\n    \"resident_write_ns\": {},\n    \"peak_buffer_bytes\": {peak_buffer},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
         seq_dt.as_nanos(),
         reader_dt.as_nanos(),
         sweep_rows.join(",\n      "),
@@ -392,6 +469,9 @@ fn main() {
         store_bytes.len(),
         pd_block_events,
         pd_rows.join(",\n      "),
+        stream_write_dt.as_nanos(),
+        resident_write_dt.as_nanos(),
+        ooc_rows.join(",\n      "),
         strict_dt.as_nanos(),
         salv_clean_dt.as_nanos(),
         salv_bad_dt.as_nanos(),

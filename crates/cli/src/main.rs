@@ -305,7 +305,7 @@ fn report_session(session: &Session) {
 fn report_pushdown(session: &Session, prefix: &str) {
     if let Some(s) = session.pushdown() {
         eprintln!(
-            "{prefix}pushdown: pruned {}/{} blocks ({} of {} cases whole), decoded {} of {} bytes ({:.1}%)",
+            "{prefix}pushdown: pruned {}/{} blocks ({} of {} cases whole), decoded {} of {} bytes ({:.1}%), read {} bytes off disk",
             s.blocks_pruned,
             s.blocks_total,
             s.cases_pruned,
@@ -316,7 +316,8 @@ fn report_pushdown(session: &Session, prefix: &str) {
                 100.0
             } else {
                 100.0 * s.bytes_decoded as f64 / s.bytes_total as f64
-            }
+            },
+            s.bytes_read,
         );
     }
 }
@@ -964,14 +965,28 @@ fn cmd_fsck(tokens: &[String]) -> ExitCode {
         eprintln!("stinspect: fsck: missing <store>\n{USAGE}");
         return ExitCode::from(2);
     };
-    let salvaged = match st_store::open_salvage(std::path::Path::new(&store)) {
-        Ok(s) => s,
+    // Vet through the seek reader so fsck never slurps the container:
+    // each block is fetched by its exact extent. v1 containers have no
+    // directory to seek through — those fall back to the resident
+    // salvage reader.
+    let path = std::path::Path::new(&store);
+    let report = match st_store::open_salvage_seek(path) {
+        Ok(s) => s.report,
+        Err(st_store::StoreError::Corrupt(st_store::CorruptKind::V1Seek)) => {
+            match st_store::open_salvage(path) {
+                Ok(s) => s.report,
+                Err(e) => {
+                    eprintln!("stinspect: fsck: {store}: unreadable: {e}");
+                    return ExitCode::from(4);
+                }
+            }
+        }
         Err(e) => {
             eprintln!("stinspect: fsck: {store}: unreadable: {e}");
             return ExitCode::from(4);
         }
     };
-    let r = &salvaged.report;
+    let r = &report;
     let mut out = format!("fsck {store}: STLOG v{}\n", r.version);
     out.push_str(&format!("  directory:  {}\n", r.directory));
     out.push_str(&format!(

@@ -631,6 +631,8 @@ fn query_pushdown_matches_full_load_and_reports_pruning() {
             "filter {filter:?}"
         );
         assert!(pushed_err.contains("pushdown: pruned"), "{pushed_err}");
+        // The v2 seek route accounts disk I/O alongside decode work.
+        assert!(pushed_err.contains("bytes off disk"), "{pushed_err}");
         assert!(!full_err.contains("pushdown:"), "{full_err}");
     }
 
@@ -1129,14 +1131,21 @@ fn interrupted_parse_leaves_no_partial_container() {
     assert!(target.is_dir());
     assert_eq!(std::fs::read(&sentinel).unwrap(), b"still here");
 
-    // No temp or partial files anywhere in the output directory.
+    // No temp, spill, or partial files anywhere in the output
+    // directory. The streaming writer encodes blocks into a
+    // same-directory `.{name}.spill.{pid}` scratch file before the
+    // final splice — a failed finish must remove that too, not just
+    // the rename temp.
     let leftovers: Vec<String> = std::fs::read_dir(&dir)
         .unwrap()
         .filter_map(|e| e.ok())
         .map(|e| e.file_name().to_string_lossy().into_owned())
         .filter(|n| n != "out.stlog")
         .collect();
-    assert!(leftovers.is_empty(), "leftover files: {leftovers:?}");
+    assert!(
+        leftovers.is_empty(),
+        "leftover scratch files (spill/tmp must be cleaned up on failure): {leftovers:?}"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

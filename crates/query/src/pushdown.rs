@@ -33,7 +33,7 @@
 
 use st_model::{Case, CaseMeta, Event, EventLog, Interner, Micros, Symbol, Syscall};
 use st_store::format::{path_bloom_probes, CaseDir, ZoneMap, CALL_MASK_OTHER};
-use st_store::{StoreError, StoreReader};
+use st_store::{BlockRead, StoreError};
 
 pub use st_store::format::{ColumnSet, Decision};
 
@@ -93,10 +93,12 @@ enum PNode {
 
 impl PrunePlan {
     /// Lowers `pred` against the reader's string table and directory.
+    /// Works over any [`BlockRead`] — the resident `StoreReader` and
+    /// the out-of-core `SegmentReader` compile to the same plan.
     ///
     /// Returns `None` for v1 containers (no directory, nothing to push
     /// into).
-    pub fn compile(pred: &Predicate, reader: &StoreReader) -> Option<PrunePlan> {
+    pub fn compile<R: BlockRead + ?Sized>(pred: &Predicate, reader: &R) -> Option<PrunePlan> {
         let directory = reader.directory()?;
         let epoch = directory
             .iter()
@@ -424,11 +426,18 @@ pub struct PushdownStats {
     pub bytes_total: u64,
     /// Column-segment bytes actually parsed.
     pub bytes_decoded: u64,
+    /// The reader's cumulative fetch counter after this read
+    /// ([`BlockRead::bytes_read`]): bytes fetched from the underlying
+    /// medium since the reader was opened. A resident reader reports
+    /// its whole image regardless of pruning; a seek reader over a
+    /// fresh open reports head bytes plus exactly the surviving block
+    /// extents — the out-of-core win `bytes_decoded` alone cannot show.
+    pub bytes_read: u64,
 }
 
 /// Result of [`read_pruned`]: the matching events as an owned log (the
 /// interner reproduces the container's symbol ids, exactly like
-/// [`StoreReader::read`]) plus the pruning accounting.
+/// [`st_store::StoreReader::read`]) plus the pruning accounting.
 #[derive(Debug)]
 pub struct PrunedRead {
     /// Cases holding exactly the matching events, in container order;
@@ -450,8 +459,8 @@ struct Work<'dir> {
 /// Decodes one surviving block into `out` and (for `Maybe` blocks)
 /// applies the residual predicate to the appended range in place,
 /// returning the number of column-segment bytes parsed.
-fn decode_work_into(
-    reader: &StoreReader,
+fn decode_work_into<R: BlockRead + ?Sized>(
+    reader: &R,
     work: &Work<'_>,
     cols: ColumnSet,
     pred: &Predicate,
@@ -485,10 +494,14 @@ fn decode_work_into(
 /// onto `emit ∪ required ∪ identity` columns, with neutral defaults
 /// elsewhere. Pass [`ColumnSet::ALL`] for full-fidelity events.
 ///
+/// Works over any [`BlockRead`]: a resident `StoreReader` skips only
+/// decode work, an out-of-core `SegmentReader` additionally never
+/// fetches a pruned block's bytes from disk.
+///
 /// Fails with [`StoreError::Corrupt`] on v1 containers (no directory);
-/// callers fall back to [`StoreReader::read`] + [`crate::scan`] there.
-pub fn read_pruned(
-    reader: &StoreReader,
+/// callers fall back to `StoreReader::read` + [`crate::scan`] there.
+pub fn read_pruned<R: BlockRead + ?Sized>(
+    reader: &R,
     pred: &Predicate,
     emit: ColumnSet,
 ) -> Result<PrunedRead, StoreError> {
@@ -502,8 +515,8 @@ pub fn read_pruned(
 /// final per-case assembly is sequential. Produces exactly the
 /// sequential result: the same log (symbol ids included) and the same
 /// [`PushdownStats`].
-pub fn read_pruned_par(
-    reader: &StoreReader,
+pub fn read_pruned_par<R: BlockRead + ?Sized>(
+    reader: &R,
     pred: &Predicate,
     emit: ColumnSet,
     threads: usize,
@@ -670,6 +683,7 @@ pub fn read_pruned_par(
         }
     }
     stats.events_matched = log.total_events() as u64;
+    stats.bytes_read = reader.bytes_read();
     Ok(PrunedRead { log, stats })
 }
 
@@ -854,6 +868,49 @@ mod tests {
                     read_pruned_par(&salvaged.reader, &pred, ColumnSet::ALL, threads).unwrap();
                 assert_eq!(pruned.log.cases(), reference.cases(), "{expr} x{threads}");
                 assert_eq!(pruned.stats.events_total, 70, "{expr}");
+            }
+        }
+    }
+
+    #[test]
+    fn seek_reader_produces_identical_pruned_reads() {
+        use st_store::{BytesSegment, SegmentReader};
+        let image = to_bytes_blocked(&sample(), 10).unwrap();
+        let resident = StoreReader::from_bytes(image.clone()).unwrap();
+        for expr in ["true", "path~\"*.h5\"", "cid=a", "ok=false", "t=[0s,1ms)"] {
+            let pred = parse_expr(expr).unwrap();
+            let reference = read_pruned(&resident, &pred, ColumnSet::ALL).unwrap();
+            for threads in [1, 4] {
+                // Fresh reader per run so bytes_read is exactly this
+                // query's fetches (head + surviving extents).
+                let seek =
+                    SegmentReader::from_source(Arc::new(BytesSegment::new(image.clone()))).unwrap();
+                let pruned = read_pruned_par(&seek, &pred, ColumnSet::ALL, threads).unwrap();
+                assert_eq!(
+                    reference.log.cases(),
+                    pruned.log.cases(),
+                    "{expr} x{threads}"
+                );
+                assert_eq!(
+                    reference.stats.blocks_pruned, pruned.stats.blocks_pruned,
+                    "{expr}"
+                );
+                assert_eq!(
+                    reference.stats.bytes_decoded, pruned.stats.bytes_decoded,
+                    "{expr}"
+                );
+                // The resident reader charges the whole image; the seek
+                // reader at most that (strictly less when blocks prune).
+                assert!(
+                    pruned.stats.bytes_read <= reference.stats.bytes_read,
+                    "{expr}"
+                );
+                if pruned.stats.blocks_pruned > 0 {
+                    assert!(
+                        pruned.stats.bytes_read < reference.stats.bytes_read,
+                        "{expr}: pruning must save disk bytes"
+                    );
+                }
             }
         }
     }

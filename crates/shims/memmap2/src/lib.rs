@@ -1,0 +1,168 @@
+//! Minimal stand-in for the `memmap2` crate (offline build).
+//!
+//! Implements the one shape the store crate uses: a read-only,
+//! immutable mapping of a whole file ([`Mmap::map`]), dereferencing to
+//! `&[u8]`. On non-Unix targets mapping fails at runtime with
+//! `Unsupported` (callers fall back to `pread`-style ranged reads).
+
+use std::fs::File;
+use std::io;
+
+/// A read-only memory map of an entire file.
+pub struct Mmap {
+    ptr: *mut core::ffi::c_void,
+    len: usize,
+}
+
+// The mapping is immutable (PROT_READ, MAP_PRIVATE) and the pointer is
+// only ever exposed as a shared `&[u8]`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+#[cfg(unix)]
+mod sys {
+    use core::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+
+    pub fn map_failed() -> *mut c_void {
+        usize::MAX as *mut c_void
+    }
+}
+
+impl Mmap {
+    /// Maps `file` read-only in its entirety.
+    ///
+    /// # Safety
+    ///
+    /// The caller must guarantee the file is not truncated or mutated
+    /// for the lifetime of the map — doing so is undefined behavior
+    /// (`SIGBUS` on access at best), exactly as with the real crate.
+    #[cfg(unix)]
+    pub unsafe fn map(file: &File) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file exceeds usize"))?;
+        if len == 0 {
+            // POSIX mmap rejects zero-length mappings; an empty map
+            // needs no backing pages at all.
+            return Ok(Mmap {
+                ptr: std::ptr::null_mut(),
+                len: 0,
+            });
+        }
+        let ptr = sys::mmap(
+            std::ptr::null_mut(),
+            len,
+            sys::PROT_READ,
+            sys::MAP_PRIVATE,
+            file.as_raw_fd(),
+            0,
+        );
+        if ptr == sys::map_failed() {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Mapping is unavailable off Unix; callers fall back to ranged
+    /// reads.
+    #[cfg(not(unix))]
+    pub unsafe fn map(_file: &File) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory mapping is not supported on this target",
+        ))
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        if self.len == 0 {
+            &[]
+        } else {
+            // SAFETY: ptr/len come from a successful PROT_READ mmap
+            // that lives until Drop.
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+}
+
+impl AsRef<[u8]> for Mmap {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if self.len > 0 {
+            // SAFETY: ptr/len describe a live mapping created in map().
+            unsafe {
+                sys::munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Mmap(len={})", self.len)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    #[test]
+    fn maps_file_contents() {
+        let path = std::env::temp_dir().join(format!("memmap2-shim-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(b"hello mapping").unwrap();
+        f.sync_all().unwrap();
+        let f = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&f) }.unwrap();
+        assert_eq!(&map[..], b"hello mapping");
+        drop(map);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = std::env::temp_dir().join(format!("memmap2-shim-empty-{}", std::process::id()));
+        File::create(&path).unwrap();
+        let f = File::open(&path).unwrap();
+        let map = unsafe { Mmap::map(&f) }.unwrap();
+        assert!(map.is_empty());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

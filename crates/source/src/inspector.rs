@@ -8,11 +8,16 @@
 //!
 //! The planner picks the cheapest evaluation route per source:
 //!
-//! * **STLOG v2 store** — the predicate is pushed down into the reader
-//!   ([`st_query::read_pruned_par`]): zone-mapped blocks that provably
-//!   cannot match are never decoded, surviving blocks fan out to the
-//!   scoped-worker pool, and only the columns the predicate + the
-//!   caller's [`columns`](Inspector::columns) request are parsed.
+//! * **STLOG v2 store** — opened **out-of-core** by the seek reader
+//!   ([`st_store::SegmentReader`]; see
+//!   [`TraceSource::supports_seek`]): only the container head (header,
+//!   string table, directory) is fetched up front, and the predicate is
+//!   pushed down into the reader ([`st_query::read_pruned_par`]) —
+//!   zone-mapped blocks that provably cannot match are never even read
+//!   off disk, surviving blocks fan out to the scoped-worker pool, and
+//!   only the columns the predicate + the caller's
+//!   [`columns`](Inspector::columns) request are parsed. Stores larger
+//!   than RAM stay queryable on every route.
 //! * **STLOG v1 store** — full decode, then a (parallel) scan.
 //! * **strace directory / file** — the parallel zero-copy loader
 //!   ([`st_strace::load_dir`] / [`st_strace::load_files`]), then a
@@ -29,7 +34,7 @@ use st_core::{CallTopDirs, Dfg, IoStatistics, MappedLog, Mapping};
 use st_model::{EventLog, Interner, LogView};
 use st_query::pushdown::ColumnSet;
 use st_query::{scan_par, Predicate, PushdownStats};
-use st_store::{SalvageReport, StoreReader};
+use st_store::{SalvageReport, SegmentReader, StoreReader};
 use st_strace::{load_dir, load_files, LoadOptions};
 
 use crate::error::Error;
@@ -50,6 +55,64 @@ pub enum RecoveryPolicy {
     /// session ([`Session::salvage`]). Inert on non-store sources —
     /// there is nothing to salvage in strace text or a simulation.
     Salvage,
+}
+
+/// The two ways a session holds a store container open: fully resident
+/// (v1, and any header the seek reader refuses) or seekable (v2 — only
+/// the head is resident; block bytes are fetched on demand, so the
+/// container never has to fit in RAM).
+enum StoreHandle {
+    Resident(StoreReader),
+    Seek(SegmentReader),
+}
+
+impl StoreHandle {
+    /// Whether the open container carries a block directory (the
+    /// prerequisite for pushdown). Seek opens always do — a v2 head is
+    /// exactly what [`SegmentReader`] refuses to open without.
+    fn has_directory(&self) -> bool {
+        match self {
+            StoreHandle::Resident(reader) => reader.directory().is_some(),
+            StoreHandle::Seek(_) => true,
+        }
+    }
+
+    /// Full decode of every case (the non-pushdown route).
+    fn read(&self) -> Result<EventLog, st_store::StoreError> {
+        match self {
+            StoreHandle::Resident(reader) => reader.read(),
+            StoreHandle::Seek(reader) => reader.read(),
+        }
+    }
+}
+
+/// Converts a salvage report into session warnings: one
+/// [`SourceWarning::Store`] per quarantined block, plus one note when
+/// the directory itself took damage.
+fn note_salvage(
+    spec: &str,
+    path: &std::path::Path,
+    report: &SalvageReport,
+    warnings: &mut Vec<SourceWarning>,
+) {
+    for loss in &report.losses {
+        warnings.push(SourceWarning::Store {
+            path: path.to_path_buf(),
+            loss: loss.clone(),
+        });
+    }
+    if report.cases_lost > 0 || report.orphan_blocks > 0 || report.unaccounted_bytes > 0 {
+        warnings.push(SourceWarning::Note(format!(
+            "{spec}: salvage: directory damage — {} case entr{} \
+             unparseable, {} orphan block frame(s) ({} bytes) found \
+             past directory knowledge, {} byte(s) unaccounted for",
+            report.cases_lost,
+            if report.cases_lost == 1 { "y" } else { "ies" },
+            report.orphan_blocks,
+            report.orphan_bytes,
+            report.unaccounted_bytes,
+        )));
+    }
 }
 
 /// Builder for one inspection session over a [`TraceSource`].
@@ -266,65 +329,65 @@ impl Inspector {
                 result.log
             }
             TraceSource::Store { path, .. } => {
-                let reader = match recovery {
-                    RecoveryPolicy::Strict => {
-                        StoreReader::open(path).map_err(|source| Error::Store {
-                            spec: spec.clone(),
-                            source,
-                        })?
+                // v2 containers open out-of-core ([`supports_seek`]):
+                // only the head is fetched up front and every later
+                // byte comes from an exact-extent positioned read. v1
+                // (and truncated/unknown headers) keep the resident
+                // route, which surfaces the matching errors.
+                let seek = source.supports_seek();
+                let store_err = |source| Error::Store {
+                    spec: spec.clone(),
+                    source,
+                };
+                let reader = match (recovery, seek) {
+                    (RecoveryPolicy::Strict, true) => {
+                        StoreHandle::Seek(SegmentReader::open(path).map_err(store_err)?)
                     }
-                    RecoveryPolicy::Salvage => {
-                        let salvaged =
-                            st_store::open_salvage(path).map_err(|source| Error::Store {
-                                spec: spec.clone(),
-                                source,
-                            })?;
-                        for loss in &salvaged.report.losses {
-                            warnings.push(SourceWarning::Store {
-                                path: path.clone(),
-                                loss: loss.clone(),
-                            });
-                        }
-                        let report = &salvaged.report;
-                        if report.cases_lost > 0
-                            || report.orphan_blocks > 0
-                            || report.unaccounted_bytes > 0
-                        {
-                            warnings.push(SourceWarning::Note(format!(
-                                "{spec}: salvage: directory damage — {} case entr{} \
-                                 unparseable, {} orphan block frame(s) ({} bytes) found \
-                                 past directory knowledge, {} byte(s) unaccounted for",
-                                report.cases_lost,
-                                if report.cases_lost == 1 { "y" } else { "ies" },
-                                report.orphan_blocks,
-                                report.orphan_bytes,
-                                report.unaccounted_bytes,
-                            )));
-                        }
+                    (RecoveryPolicy::Strict, false) => {
+                        StoreHandle::Resident(StoreReader::open(path).map_err(store_err)?)
+                    }
+                    (RecoveryPolicy::Salvage, true) => {
+                        let salvaged = st_store::open_salvage_seek(path).map_err(store_err)?;
+                        note_salvage(&spec, path, &salvaged.report, &mut warnings);
                         salvage = Some(salvaged.report);
-                        salvaged.reader
+                        StoreHandle::Seek(salvaged.reader)
+                    }
+                    (RecoveryPolicy::Salvage, false) => {
+                        let salvaged = st_store::open_salvage(path).map_err(store_err)?;
+                        note_salvage(&spec, path, &salvaged.report, &mut warnings);
+                        salvage = Some(salvaged.report);
+                        StoreHandle::Resident(salvaged.reader)
                     }
                 };
                 // A filter against a v1 container cannot be pushed down
                 // (no block directory) — note the degraded route rather
                 // than silently scanning.
-                if pushdown && pred.is_some() && reader.directory().is_none() {
+                if pushdown && pred.is_some() && !reader.has_directory() {
                     warnings.push(SourceWarning::Note(format!(
                         "{spec}: filter evaluated by full scan — v1 containers carry no \
                          block directory for pushdown (re-encode with the current tools \
                          to enable it)"
                     )));
                 }
-                if pushdown && reader.directory().is_some() {
+                if pushdown && reader.has_directory() {
                     // Pushdown route: prune, decode survivors in
                     // parallel, and return — the pruned log already
-                    // holds exactly the matching events.
+                    // holds exactly the matching events. On a seek
+                    // handle, pruned-away blocks are never read off
+                    // disk at all.
                     let pred = pred.unwrap_or(Predicate::True);
-                    let pruned = st_query::read_pruned_par(&reader, &pred, columns, threads)
-                        .map_err(|source| Error::Store {
-                            spec: spec.clone(),
-                            source,
-                        })?;
+                    let pruned = match &reader {
+                        StoreHandle::Resident(r) => {
+                            st_query::read_pruned_par(r, &pred, columns, threads)
+                        }
+                        StoreHandle::Seek(r) => {
+                            st_query::read_pruned_par(r, &pred, columns, threads)
+                        }
+                    }
+                    .map_err(|source| Error::Store {
+                        spec: spec.clone(),
+                        source,
+                    })?;
                     return finish(Session {
                         source,
                         events_total: pruned.stats.events_total as usize,
@@ -597,6 +660,43 @@ mod tests {
             "{:?}",
             via_v1.warnings()
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v2_sessions_read_out_of_core() {
+        // A selective filter over a v2 store must not pull the whole
+        // container off disk: the seek route's pushdown stats account
+        // the bytes actually fetched, which stay below the file size
+        // when blocks are pruned.
+        let dir = tmpdir("ooc");
+        let log = sim::workload_log("ior-ssf-fpp", false).unwrap();
+        let store = dir.join("ior.stlog");
+        st_store::write_store(&log, &store).unwrap();
+        let image_len = std::fs::metadata(&store).unwrap().len();
+
+        let session = Inspector::open(store.to_str().unwrap())
+            .unwrap()
+            .filter(parse_expr("pid=999999").unwrap())
+            .session()
+            .unwrap();
+        let stats = session
+            .pushdown()
+            .expect("v2 store takes the pushdown route");
+        assert_eq!(session.events_matched(), 0);
+        assert!(stats.blocks_pruned > 0, "{stats:?}");
+        assert!(
+            stats.bytes_read < image_len,
+            "seek route fetched {} of {image_len} bytes",
+            stats.bytes_read
+        );
+
+        // An unfiltered session still decodes everything, seek or not.
+        let full = Inspector::open(store.to_str().unwrap())
+            .unwrap()
+            .session()
+            .unwrap();
+        assert_eq!(full.events_matched(), log.total_events());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

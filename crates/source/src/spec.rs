@@ -54,6 +54,15 @@ impl TraceSource {
         matches!(self, TraceSource::Store { version: 2, .. })
     }
 
+    /// Whether the source can be read **out-of-core**: opened by a seek
+    /// reader that fetches only the head plus the byte ranges a query
+    /// actually touches, so containers larger than RAM stay queryable.
+    /// True only for STLOG v2 containers — v1 has no block directory to
+    /// seek through, and trace text / sims materialize in memory anyway.
+    pub fn supports_seek(&self) -> bool {
+        matches!(self, TraceSource::Store { version: 2, .. })
+    }
+
     /// Whether the source can be consumed line-at-a-time in constant
     /// memory (strace text); stores and simulated logs materialize
     /// whole structures instead.
@@ -241,11 +250,13 @@ mod tests {
             }
         );
         assert!(as_store.supports_pushdown());
+        assert!(as_store.supports_seek());
 
         std::fs::write(&store, st_store::to_bytes_v1(&log).unwrap()).unwrap();
         let as_v1: TraceSource = store.to_str().unwrap().parse().unwrap();
         assert!(matches!(as_v1, TraceSource::Store { version: 1, .. }));
         assert!(!as_v1.supports_pushdown());
+        assert!(!as_v1.supports_seek());
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

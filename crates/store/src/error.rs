@@ -109,6 +109,9 @@ pub enum CorruptKind {
     /// Predicate pushdown was requested on a v1 container (v1 has no
     /// block directory).
     V1Pushdown,
+    /// A seek (out-of-core) open was requested on a v1 container (v1
+    /// has no block directory to seek through).
+    V1Seek,
     /// A case's events were not start-sorted at write time.
     UnsortedCase {
         /// The case's `cid_host_rid` label.
@@ -151,6 +154,10 @@ impl fmt::Display for CorruptKind {
             CorruptKind::V1Pushdown => write!(
                 f,
                 "predicate pushdown requires a v2 container (v1 has no block directory)"
+            ),
+            CorruptKind::V1Seek => write!(
+                f,
+                "seek reader requires a v2 container (v1 has no block directory)"
             ),
             CorruptKind::UnsortedCase { label } => {
                 write!(f, "case {label} is not start-sorted; sort before storing")

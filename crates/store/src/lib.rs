@@ -58,6 +58,14 @@
 //! Reading restores symbols in insertion order, so symbol identities are
 //! reproduced exactly and logs round-trip bit-identically.
 //!
+//! ## Out-of-core access
+//!
+//! [`StoreReader`] holds the whole image resident. For containers
+//! larger than RAM, [`SegmentReader`] (module [`segment`]) opens only
+//! the head and fetches block extents on demand, and [`StoreBuilder`]
+//! (module [`stream`]) writes a container case-by-case with bounded
+//! memory — the full byte image never exists on either path.
+//!
 //! ## Failure model
 //!
 //! Strict opens ([`StoreReader::open`]) are all-or-nothing. The
@@ -76,6 +84,8 @@ pub mod faults;
 pub mod format;
 pub mod reader;
 pub mod salvage;
+pub mod segment;
+pub mod stream;
 pub mod varint;
 pub mod writer;
 
@@ -84,7 +94,13 @@ pub use faults::{Fault, FaultKind};
 pub use format::{BlockDir, CaseDir, ColumnSet, Decision, ZoneMap, DEFAULT_BLOCK_EVENTS};
 pub use reader::StoreReader;
 pub use salvage::{
-    open_salvage, read_salvage, salvage_bytes, BlockLoss, BlockLossReason, SalvageReport, Salvaged,
-    SectionHealth, Verdict,
+    open_salvage, open_salvage_seek, read_salvage, salvage_bytes, salvage_source, BlockLoss,
+    BlockLossReason, SalvageReport, Salvaged, SalvagedSeek, SectionHealth, Verdict,
 };
+#[cfg(unix)]
+pub use segment::MmapSegment;
+pub use segment::{
+    BlockRead, BytesSegment, CountingSegment, FileSegment, IoCounters, SegmentReader, SegmentSource,
+};
+pub use stream::StoreBuilder;
 pub use writer::{to_bytes, to_bytes_blocked, to_bytes_v1, write_atomic, write_store};

@@ -42,10 +42,18 @@ pub struct StoreReader {
     strings: Vec<String>,
     version: u32,
     payload: Payload,
+    /// Byte length of the container image this reader was built from.
+    /// A resident reader's I/O cost is the whole image, whatever subset
+    /// is later decoded — [`StoreReader::bytes_read`] reports it.
+    image_len: u64,
 }
 
 impl StoreReader {
     /// Opens and validates a container file (magic, version, CRCs).
+    ///
+    /// This reads the **whole file into memory**. For v2 containers
+    /// that should be queried without a resident image, use
+    /// [`crate::SegmentReader::open`] instead.
     pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
         let data = std::fs::read(path).map_err(|source| StoreError::Io {
             path: path.to_path_buf(),
@@ -56,6 +64,7 @@ impl StoreReader {
 
     /// Validates a container held in memory.
     pub fn from_bytes(mut data: Bytes) -> Result<StoreReader, StoreError> {
+        let image_len = data.len() as u64;
         if data.len() < MAGIC_V1.len() + 4 {
             return Err(StoreError::BadMagic);
         }
@@ -70,6 +79,7 @@ impl StoreReader {
                     strings: decode_strings(strings_body)?,
                     version,
                     payload: Payload::V1 { cases },
+                    image_len,
                 })
             }
             (MAGIC_V2, VERSION_V2) => {
@@ -77,11 +87,12 @@ impl StoreReader {
                 let strings = decode_strings(strings_body)?;
                 let directory_body = get_v2_section(&mut data, "directory")?;
                 let blocks = get_v2_blocks(&mut data)?;
-                let directory = decode_directory(directory_body, blocks.len())?;
+                let directory = decode_directory(directory_body, blocks.len() as u64)?;
                 Ok(StoreReader {
                     strings,
                     version,
                     payload: Payload::V2 { directory, blocks },
+                    image_len,
                 })
             }
             _ if magic.starts_with(b"STLOG") => Err(StoreError::UnsupportedVersion(version)),
@@ -93,17 +104,30 @@ impl StoreReader {
     /// path's back door around [`StoreReader::from_bytes`]'s eager
     /// whole-container validation. The caller (see [`crate::salvage`])
     /// guarantees every block in `directory` is in bounds, CRC-clean
-    /// and decodable.
+    /// and decodable. `image_len` is the byte length of the original
+    /// container image, reported by [`StoreReader::bytes_read`].
     pub(crate) fn assemble_v2(
         strings: Vec<String>,
         directory: Vec<CaseDir>,
         blocks: Bytes,
+        image_len: u64,
     ) -> StoreReader {
         StoreReader {
             strings,
             version: VERSION_V2,
             payload: Payload::V2 { directory, blocks },
+            image_len,
         }
+    }
+
+    /// Bytes this reader has fetched from its underlying medium: a
+    /// resident reader always reads (and holds) the entire container
+    /// image, so this is the image length, independent of what is
+    /// decoded. The seek reader's counterpart
+    /// ([`crate::SegmentReader::bytes_read`]) grows with each ranged
+    /// fetch instead.
+    pub fn bytes_read(&self) -> u64 {
+        self.image_len
     }
 
     /// The container's format version (1 or 2).
@@ -175,7 +199,6 @@ impl StoreReader {
         let Payload::V2 { blocks, .. } = &self.payload else {
             return Err(CorruptKind::V1BlockDecode.into());
         };
-        let cols = cols.union(ColumnSet::IDENTITY);
         let start = usize::try_from(block.offset).map_err(|_| CorruptKind::ValueOverflow {
             what: "block offset",
             ty: "usize",
@@ -189,122 +212,7 @@ impl StoreReader {
             }
             .into());
         }
-        let body = blocks.slice(start..start + len - 4);
-        let mut crc_raw = [0u8; 4];
-        crc_raw.copy_from_slice(&blocks[start + len - 4..start + len]);
-        if crc32(&body) != u32::from_le_bytes(crc_raw) {
-            return Err(StoreError::ChecksumMismatch { section: "block" });
-        }
-
-        let n = block.events as usize;
-        let base = out.len();
-        out.resize(
-            base + n,
-            Event::new(Pid(0), Syscall::Read, Micros::ZERO, Micros::ZERO, Symbol(0)),
-        );
-        let events = &mut out[base..];
-
-        let mut decoded = 0usize;
-        let mut seg_start = 0usize;
-        for col in 0..NCOLS {
-            let seg_len = block.col_lens[col] as usize;
-            if seg_start + seg_len > body.len() {
-                return Err(CorruptKind::SegmentOutOfBounds.into());
-            }
-            if cols.contains(ColumnSet::nth(col)) {
-                let mut seg = &body[seg_start..seg_start + seg_len];
-                self.decode_column(col, &mut seg, events)?;
-                if !seg.is_empty() {
-                    return Err(CorruptKind::TrailingBytes {
-                        after: "column segment",
-                    }
-                    .into());
-                }
-                decoded += seg_len;
-            }
-            seg_start += seg_len;
-        }
-        Ok(decoded)
-    }
-
-    /// Decodes column `col` of a block into the event slots.
-    fn decode_column(
-        &self,
-        col: usize,
-        seg: &mut &[u8],
-        events: &mut [Event],
-    ) -> Result<(), StoreError> {
-        match col {
-            0 => {
-                for e in events.iter_mut() {
-                    let pid =
-                        u32::try_from(get_u64(seg)?).map_err(|_| CorruptKind::ValueOverflow {
-                            what: "pid",
-                            ty: "u32",
-                        })?;
-                    e.pid = Pid(pid);
-                }
-            }
-            1 => {
-                for e in events.iter_mut() {
-                    if !seg.has_remaining() {
-                        return Err(CorruptKind::Truncated {
-                            what: "call column",
-                        }
-                        .into());
-                    }
-                    let tag = seg.get_u8();
-                    e.call = if tag == CALL_OTHER_TAG {
-                        Syscall::Other(self.symbol(get_u64(seg)?)?)
-                    } else {
-                        Syscall::from_named_index(tag)
-                            .ok_or_else(|| StoreError::from(CorruptKind::UnknownCallTag { tag }))?
-                    };
-                }
-            }
-            2 => {
-                let mut acc = Micros::ZERO;
-                for e in events.iter_mut() {
-                    acc += Micros(get_u64(seg)?);
-                    e.start = acc;
-                }
-            }
-            3 => {
-                for e in events.iter_mut() {
-                    e.dur = Micros(get_u64(seg)?);
-                }
-            }
-            4 => {
-                for e in events.iter_mut() {
-                    e.path = self.symbol(get_u64(seg)?)?;
-                }
-            }
-            5 => {
-                for e in events.iter_mut() {
-                    e.size = get_opt_u64(seg)?;
-                }
-            }
-            6 => {
-                for e in events.iter_mut() {
-                    e.requested = get_opt_u64(seg)?;
-                }
-            }
-            7 => {
-                for e in events.iter_mut() {
-                    e.offset = get_opt_u64(seg)?;
-                }
-            }
-            8 => {
-                for e in events.iter_mut() {
-                    if !seg.has_remaining() {
-                        return Err(CorruptKind::Truncated { what: "ok column" }.into());
-                    }
-                    e.ok = seg.get_u8() != 0;
-                }
-            }
-            _ => unreachable!("NCOLS columns"),
-        }
-        Ok(())
+        decode_block_bytes(&blocks[start..start + len], block, cols, &self.strings, out)
     }
 
     fn read_with_filter(&self, keep_path: impl Fn(Symbol) -> bool) -> Result<EventLog, StoreError> {
@@ -453,19 +361,156 @@ impl StoreReader {
     }
 
     fn symbol(&self, raw: u64) -> Result<Symbol, StoreError> {
-        let idx = usize::try_from(raw).map_err(|_| CorruptKind::ValueOverflow {
-            what: "symbol",
-            ty: "usize",
-        })?;
-        if idx >= self.strings.len() {
-            return Err(CorruptKind::SymbolOutOfRange {
-                symbol: raw,
-                strings: self.strings.len(),
-            }
-            .into());
-        }
-        Ok(Symbol(idx as u32))
+        symbol_in(&self.strings, raw)
     }
+}
+
+/// Validates a raw symbol reference against a string table.
+fn symbol_in(strings: &[String], raw: u64) -> Result<Symbol, StoreError> {
+    let idx = usize::try_from(raw).map_err(|_| CorruptKind::ValueOverflow {
+        what: "symbol",
+        ty: "usize",
+    })?;
+    if idx >= strings.len() {
+        return Err(CorruptKind::SymbolOutOfRange {
+            symbol: raw,
+            strings: strings.len(),
+        }
+        .into());
+    }
+    Ok(Symbol(idx as u32))
+}
+
+/// Decodes one v2 block from its raw extent bytes (body + CRC-32
+/// trailer, exactly `block.len` bytes), appending events to `out` and
+/// returning the column-segment bytes parsed. Shared by the resident
+/// reader (which slices its in-memory blocks section) and the seek
+/// reader (which fetches exactly this extent from disk): both paths
+/// verify the CRC and decode identically by construction.
+pub(crate) fn decode_block_bytes(
+    raw: &[u8],
+    block: &BlockDir,
+    cols: ColumnSet,
+    strings: &[String],
+    out: &mut Vec<Event>,
+) -> Result<usize, StoreError> {
+    debug_assert_eq!(raw.len(), block.len as usize);
+    debug_assert!(raw.len() >= 4, "caller bounds-checks the extent");
+    let cols = cols.union(ColumnSet::IDENTITY);
+    let body = &raw[..raw.len() - 4];
+    let crc_raw: [u8; 4] = raw[raw.len() - 4..].try_into().expect("4 trailer bytes");
+    if crc32(body) != u32::from_le_bytes(crc_raw) {
+        return Err(StoreError::ChecksumMismatch { section: "block" });
+    }
+
+    let n = block.events as usize;
+    let base = out.len();
+    out.resize(
+        base + n,
+        Event::new(Pid(0), Syscall::Read, Micros::ZERO, Micros::ZERO, Symbol(0)),
+    );
+    let events = &mut out[base..];
+
+    let mut decoded = 0usize;
+    let mut seg_start = 0usize;
+    for col in 0..NCOLS {
+        let seg_len = block.col_lens[col] as usize;
+        if seg_start + seg_len > body.len() {
+            return Err(CorruptKind::SegmentOutOfBounds.into());
+        }
+        if cols.contains(ColumnSet::nth(col)) {
+            let mut seg = &body[seg_start..seg_start + seg_len];
+            decode_column(col, &mut seg, events, strings)?;
+            if !seg.is_empty() {
+                return Err(CorruptKind::TrailingBytes {
+                    after: "column segment",
+                }
+                .into());
+            }
+            decoded += seg_len;
+        }
+        seg_start += seg_len;
+    }
+    Ok(decoded)
+}
+
+/// Decodes column `col` of a block into the event slots.
+fn decode_column(
+    col: usize,
+    seg: &mut &[u8],
+    events: &mut [Event],
+    strings: &[String],
+) -> Result<(), StoreError> {
+    match col {
+        0 => {
+            for e in events.iter_mut() {
+                let pid = u32::try_from(get_u64(seg)?).map_err(|_| CorruptKind::ValueOverflow {
+                    what: "pid",
+                    ty: "u32",
+                })?;
+                e.pid = Pid(pid);
+            }
+        }
+        1 => {
+            for e in events.iter_mut() {
+                if !seg.has_remaining() {
+                    return Err(CorruptKind::Truncated {
+                        what: "call column",
+                    }
+                    .into());
+                }
+                let tag = seg.get_u8();
+                e.call = if tag == CALL_OTHER_TAG {
+                    Syscall::Other(symbol_in(strings, get_u64(seg)?)?)
+                } else {
+                    Syscall::from_named_index(tag)
+                        .ok_or_else(|| StoreError::from(CorruptKind::UnknownCallTag { tag }))?
+                };
+            }
+        }
+        2 => {
+            let mut acc = Micros::ZERO;
+            for e in events.iter_mut() {
+                acc += Micros(get_u64(seg)?);
+                e.start = acc;
+            }
+        }
+        3 => {
+            for e in events.iter_mut() {
+                e.dur = Micros(get_u64(seg)?);
+            }
+        }
+        4 => {
+            for e in events.iter_mut() {
+                e.path = symbol_in(strings, get_u64(seg)?)?;
+            }
+        }
+        5 => {
+            for e in events.iter_mut() {
+                e.size = get_opt_u64(seg)?;
+            }
+        }
+        6 => {
+            for e in events.iter_mut() {
+                e.requested = get_opt_u64(seg)?;
+            }
+        }
+        7 => {
+            for e in events.iter_mut() {
+                e.offset = get_opt_u64(seg)?;
+            }
+        }
+        8 => {
+            for e in events.iter_mut() {
+                if !seg.has_remaining() {
+                    return Err(CorruptKind::Truncated { what: "ok column" }.into());
+                }
+                e.ok = seg.get_u8() != 0;
+            }
+        }
+        _ => unreachable!("NCOLS columns"),
+    }
+    Ok(())
 }
 
 fn get_v1_section(data: &mut Bytes, section: &'static str) -> Result<Bytes, StoreError> {
@@ -533,7 +578,10 @@ fn get_v2_blocks(data: &mut Bytes) -> Result<Bytes, StoreError> {
 /// section: block extents must be contiguous, in order, and cover the
 /// section exactly (the directory itself is CRC-protected, so any
 /// mismatch here means a corrupt or inconsistent container).
-fn decode_directory(mut body: Bytes, blocks_len: usize) -> Result<Vec<CaseDir>, StoreError> {
+pub(crate) fn decode_directory(
+    mut body: Bytes,
+    blocks_len: u64,
+) -> Result<Vec<CaseDir>, StoreError> {
     let case_count = get_u64(&mut body)? as usize;
     if case_count > body.len() + 1 {
         return Err(CorruptKind::ImplausibleCount { what: "case" }.into());
@@ -557,9 +605,9 @@ fn decode_directory(mut body: Bytes, blocks_len: usize) -> Result<Vec<CaseDir>, 
     if body.has_remaining() {
         return Err(CorruptKind::TrailingBytes { after: "directory" }.into());
     }
-    if next_offset != blocks_len as u64 {
+    if next_offset != blocks_len {
         return Err(CorruptKind::DirectoryCoverage {
-            expected: blocks_len as u64,
+            expected: blocks_len,
             got: next_offset,
         }
         .into());

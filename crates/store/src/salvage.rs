@@ -36,17 +36,28 @@
 //! v1 containers have section-wide CRCs only — no per-block framing —
 //! so salvage is all-or-nothing there: a clean v1 yields a clean
 //! report, a damaged one is unreadable.
+//!
+//! Vetting itself runs over a [`SegmentSource`], fetching each
+//! described block's extent individually — never the whole file. The
+//! resident entry points ([`salvage_bytes`], [`open_salvage`]) wrap an
+//! in-memory image in a [`crate::BytesSegment`]; the out-of-core entry
+//! points ([`open_salvage_seek`], [`salvage_source`]) run the same core
+//! over a file and hand back a [`SegmentReader`], so fsck and salvage
+//! reads of a multi-GB container need RAM for its head and one block
+//! at a time, not its bytes.
 
 use std::fmt;
 use std::path::Path;
+use std::sync::Arc;
 
-use bytes::{Buf, Bytes};
+use bytes::Bytes;
 use st_model::EventLog;
 
 use crate::crc::{crc32, Crc32};
 use crate::error::{CorruptKind, StoreError};
 use crate::format::{CaseDir, ColumnSet, NCOLS};
-use crate::reader::{decode_strings, get_v2_section, StoreReader};
+use crate::reader::{decode_block_bytes, decode_strings, StoreReader};
+use crate::segment::{read_section_at, BytesSegment, FileSegment, SegmentReader, SegmentSource};
 use crate::varint::get_u64;
 use crate::writer::{MAGIC_V1, MAGIC_V2, VERSION_V1, VERSION_V2};
 
@@ -257,10 +268,75 @@ pub fn salvage_bytes(data: Bytes) -> Result<Salvaged, StoreError> {
     let version = u32::from_le_bytes(data[8..12].try_into().expect("length checked"));
     match (&magic, version) {
         (MAGIC_V1, VERSION_V1) => salvage_v1(data),
-        (MAGIC_V2, VERSION_V2) => salvage_v2(data),
+        (MAGIC_V2, VERSION_V2) => {
+            let image_len = data.len() as u64;
+            let source: Arc<dyn SegmentSource> = Arc::new(BytesSegment::new(data.clone()));
+            let core = salvage_v2_core(&source)?;
+            let blocks = data
+                .slice(core.blocks_start as usize..(core.blocks_start + core.blocks_len) as usize);
+            Ok(Salvaged {
+                reader: StoreReader::assemble_v2(core.strings, core.entries, blocks, image_len),
+                report: core.report,
+            })
+        }
         _ if magic.starts_with(b"STLOG") => Err(StoreError::UnsupportedVersion(version)),
         _ => Err(StoreError::BadMagic),
     }
+}
+
+/// A salvage-opened out-of-core container: a [`SegmentReader`] whose
+/// directory holds only vetted blocks, plus the loss report. The seek
+/// sibling of [`Salvaged`] — the container's bytes are never resident.
+#[derive(Debug)]
+pub struct SalvagedSeek {
+    /// Seek reader over the recovered subset; every standard read path
+    /// (full read, predicate pushdown) works on it and fetches only the
+    /// extents it touches.
+    pub reader: SegmentReader,
+    /// What was recovered, what was lost, and why.
+    pub report: SalvageReport,
+}
+
+/// Opens `path` in salvage mode without loading it into memory: head
+/// sections are fetched and parsed, every described block is vetted by
+/// fetching exactly its extent, and the result is a [`SegmentReader`]
+/// over the vetted directory.
+///
+/// v1 containers have no block directory to seek through and fail with
+/// [`CorruptKind::V1Seek`]; fall back to the resident [`open_salvage`]
+/// there.
+pub fn open_salvage_seek(path: &Path) -> Result<SalvagedSeek, StoreError> {
+    salvage_source(Arc::new(FileSegment::open(path)?))
+}
+
+/// [`open_salvage_seek`] over any byte source — the injection point for
+/// the I/O-accounting tests, which wrap the source in a
+/// [`crate::CountingSegment`] and assert salvage never slurps the file.
+pub fn salvage_source(source: Arc<dyn SegmentSource>) -> Result<SalvagedSeek, StoreError> {
+    if source.len() < 12 {
+        return Err(StoreError::BadMagic);
+    }
+    let head = source.read_at(0, 12)?;
+    let magic: [u8; 8] = head[..8].try_into().expect("12 bytes fetched");
+    let version = u32::from_le_bytes(head[8..12].try_into().expect("12 bytes fetched"));
+    match (&magic, version) {
+        (MAGIC_V2, VERSION_V2) => {}
+        (MAGIC_V1, VERSION_V1) => return Err(CorruptKind::V1Seek.into()),
+        _ if magic.starts_with(b"STLOG") => return Err(StoreError::UnsupportedVersion(version)),
+        _ => return Err(StoreError::BadMagic),
+    }
+    let core = salvage_v2_core(&source)?;
+    Ok(SalvagedSeek {
+        reader: SegmentReader::assemble(
+            source,
+            core.strings,
+            core.entries,
+            core.blocks_start,
+            core.blocks_len,
+            core.fetched,
+        ),
+        report: core.report,
+    })
 }
 
 /// v1 has whole-section CRCs only: any damage fails the strict open and
@@ -291,50 +367,79 @@ fn salvage_v1(data: Bytes) -> Result<Salvaged, StoreError> {
     })
 }
 
-fn salvage_v2(data: Bytes) -> Result<Salvaged, StoreError> {
-    let mut cursor = data.slice(12..data.len());
+/// What the source-driven v2 salvage core learned: the vetted parts a
+/// reader (resident or seek) is assembled from, plus the loss report
+/// and the bytes fetched while vetting.
+struct SalvageCore {
+    strings: Vec<String>,
+    entries: Vec<CaseDir>,
+    /// Absolute offset of the blocks region in the image.
+    blocks_start: u64,
+    /// Length of the blocks region actually present (claimed length
+    /// clamped to the bytes on hand).
+    blocks_len: u64,
+    /// Bytes fetched from the source during salvage (head + vetting +
+    /// orphan scan) — seeds the seek reader's fetch counter.
+    fetched: u64,
+    report: SalvageReport,
+}
+
+/// The v2 salvage walk over an arbitrary byte source. The caller has
+/// already verified the 12-byte magic/version header.
+///
+/// Every fetch is an exact extent: head sections, then one fetch per
+/// described block for vetting, then one fetch of the tail past
+/// directory knowledge for the orphan scan. The whole image is never
+/// requested at once, so salvage of a store larger than RAM holds one
+/// block at a time.
+fn salvage_v2_core(source: &Arc<dyn SegmentSource>) -> Result<SalvageCore, StoreError> {
+    let total = source.len();
+    let mut pos = 12u64;
 
     // 1. Strings: strictly. A container whose string table cannot be
     //    trusted resolves no cid, host, path or call name — unreadable.
-    let strings = decode_strings(get_v2_section(&mut cursor, "strings")?)?;
+    let (strings_body, p) = read_section_at(&**source, pos, "strings")?;
+    pos = p;
+    let strings = decode_strings(strings_body)?;
 
     // 2. Directory framing, tolerantly: a short or lying length prefix
     //    downgrades the directory instead of failing the open.
     let mut directory_health = SectionHealth::Intact;
-    let dir_body = read_section_tolerant(&mut cursor, &mut directory_health).unwrap_or_default();
+    let dir_body =
+        read_section_tolerant_at(&**source, &mut pos, &mut directory_health)?.unwrap_or_default();
 
     // 3. Blocks framing, tolerantly: clamp the claimed length to the
     //    bytes actually present; surplus bytes beyond the claim are
     //    appended garbage.
     let mut blocks_health = SectionHealth::Intact;
     let mut unaccounted = 0u64;
-    let blocks = if cursor.remaining() < 8 {
-        if cursor.has_remaining() {
+    let (blocks_start, blocks_len) = if total - pos < 8 {
+        if total > pos {
             blocks_health = SectionHealth::Damaged;
-            unaccounted += cursor.remaining() as u64;
+            unaccounted += total - pos;
         } else if directory_health == SectionHealth::Intact && !dir_body.is_empty() {
             // A directory with entries but no blocks section at all.
             blocks_health = SectionHealth::Damaged;
         }
-        Bytes::new()
+        (pos, 0u64)
     } else {
-        let mut raw = [0u8; 8];
-        raw.copy_from_slice(&cursor[..8]);
-        cursor.advance(8);
-        let claimed = u64::from_le_bytes(raw);
-        let have = cursor.remaining() as u64;
+        let raw = source.read_at(pos, 8)?;
+        pos += 8;
+        let claimed = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes fetched"));
+        let have = total - pos;
         if claimed > have {
             blocks_health = SectionHealth::Damaged; // truncated
-            cursor.split_to(have as usize)
+            (pos, have)
         } else {
-            let body = cursor.split_to(claimed as usize);
-            if cursor.has_remaining() {
+            if have > claimed {
                 blocks_health = SectionHealth::Damaged; // garbage append
-                unaccounted += cursor.remaining() as u64;
+                unaccounted += have - claimed;
             }
-            body
+            (pos, claimed)
         }
     };
+    // All head reads consumed exactly the bytes they advanced past.
+    let mut fetched = pos;
 
     // 4. Directory entries, best-effort even when the section CRC
     //    failed: each described block must independently re-validate
@@ -346,10 +451,9 @@ fn salvage_v2(data: Bytes) -> Result<Salvaged, StoreError> {
         directory_health = SectionHealth::Damaged;
     }
 
-    // 5. Vet every described block: bounds, CRC, trial decode. The
-    //    probe reader shares the final blocks bytes and string table,
-    //    so a block that vets here can never fail a later decode.
-    let probe = StoreReader::assemble_v2(strings.clone(), Vec::new(), blocks.clone());
+    // 5. Vet every described block: bounds, CRC, trial decode — one
+    //    exact-extent fetch per block. A block that vets here can never
+    //    fail a later decode (same bytes, same string table).
     let mut losses = Vec::new();
     let mut blocks_total = 0usize;
     let mut events_total = 0u64;
@@ -362,26 +466,24 @@ fn salvage_v2(data: Bytes) -> Result<Salvaged, StoreError> {
             blocks_total += 1;
             events_total += u64::from(block.events);
             let end = block.offset.saturating_add(u64::from(block.len));
-            let in_bounds = block.len >= 4 && end <= blocks.len() as u64;
+            let in_bounds = block.len >= 4 && end <= blocks_len;
             if in_bounds {
                 described_end = described_end.max(end);
             }
             let reason = if !in_bounds {
                 Some(BlockLossReason::Bounds)
             } else {
-                let start = block.offset as usize;
-                let body = &blocks[start..start + block.len as usize - 4];
-                let expected = u32::from_le_bytes(
-                    blocks[start + block.len as usize - 4..start + block.len as usize]
-                        .try_into()
-                        .expect("4 trailer bytes"),
-                );
-                let got = crc32(body);
+                let raw = source.read_at(blocks_start + block.offset, block.len as usize)?;
+                fetched += u64::from(block.len);
+                let body_len = block.len as usize - 4;
+                let expected =
+                    u32::from_le_bytes(raw[body_len..].try_into().expect("4 trailer bytes"));
+                let got = crc32(&raw[..body_len]);
                 if got != expected {
                     Some(BlockLossReason::Checksum { expected, got })
                 } else {
                     scratch.clear();
-                    match probe.decode_block(&block, ColumnSet::ALL, &mut scratch) {
+                    match decode_block_bytes(&raw, &block, ColumnSet::ALL, &strings, &mut scratch) {
                         Ok(_) => None,
                         Err(StoreError::Corrupt(kind)) => Some(BlockLossReason::Decode(kind)),
                         // Only Corrupt/Checksum can come out of a
@@ -419,8 +521,15 @@ fn salvage_v2(data: Bytes) -> Result<Salvaged, StoreError> {
     //    CRC trailer). Without their directory entries (column layout,
     //    owning case) they cannot be decoded — but counting them tells
     //    the operator the data survived even if its index did not.
-    let (orphan_blocks, orphan_bytes, tail_unaccounted) =
-        scan_block_frames(&blocks[(described_end as usize).min(blocks.len())..]);
+    //    This is the one fetch not bounded by a block: a damaged
+    //    container's undescribed tail is read whole (on a clean one it
+    //    is empty), matching the resident scan byte-for-byte.
+    let tail_start = described_end.min(blocks_len);
+    let tail_len = usize::try_from(blocks_len - tail_start)
+        .map_err(|_| CorruptKind::SectionTooLarge { section: "blocks" })?;
+    let tail = source.read_at(blocks_start + tail_start, tail_len)?;
+    fetched += tail_len as u64;
+    let (orphan_blocks, orphan_bytes, tail_unaccounted) = scan_block_frames(&tail);
     unaccounted += tail_unaccounted;
     if orphan_blocks > 0 {
         directory_health = SectionHealth::Damaged;
@@ -441,37 +550,47 @@ fn salvage_v2(data: Bytes) -> Result<Salvaged, StoreError> {
         orphan_bytes,
         unaccounted_bytes: unaccounted,
     };
-    Ok(Salvaged {
-        reader: StoreReader::assemble_v2(strings, entries, blocks),
+    Ok(SalvageCore {
+        strings,
+        entries,
+        blocks_start,
+        blocks_len,
+        fetched,
         report,
     })
 }
 
 /// Reads a v2 section (8-byte LE length prefix, body, CRC-32 trailer)
-/// without failing the open: framing damage and CRC mismatches degrade
-/// `health` and yield whatever body bytes are present.
-fn read_section_tolerant(cursor: &mut Bytes, health: &mut SectionHealth) -> Option<Bytes> {
-    if cursor.remaining() < 8 {
+/// at `*pos` without failing the open: framing damage and CRC
+/// mismatches degrade `health` and yield whatever body bytes are
+/// present. `Err` is reserved for source I/O failures.
+fn read_section_tolerant_at(
+    source: &dyn SegmentSource,
+    pos: &mut u64,
+    health: &mut SectionHealth,
+) -> Result<Option<Bytes>, StoreError> {
+    let total = source.len();
+    if total.saturating_sub(*pos) < 8 {
         *health = SectionHealth::Damaged;
-        return None;
+        return Ok(None);
     }
-    let mut raw = [0u8; 8];
-    raw.copy_from_slice(&cursor[..8]);
-    cursor.advance(8);
-    let len = u64::from_le_bytes(raw);
-    if len.saturating_add(4) > cursor.remaining() as u64 {
+    let raw = source.read_at(*pos, 8)?;
+    *pos += 8;
+    let len = u64::from_le_bytes(raw[..8].try_into().expect("8 bytes fetched"));
+    if len.saturating_add(4) > total - *pos || usize::try_from(len).is_err() {
         // The prefix lies (or the file is cut). Nothing after it can
-        // be framed reliably; hand everything back untouched so the
-        // blocks scan can look for frames.
+        // be framed reliably; leave the rest for the blocks scan.
         *health = SectionHealth::Damaged;
-        return None;
+        return Ok(None);
     }
-    let body = cursor.split_to(len as usize);
-    let stored = cursor.get_u32_le();
+    let framed = source.read_at(*pos, len as usize + 4)?;
+    *pos += len + 4;
+    let body = framed.slice(0..len as usize);
+    let stored = u32::from_le_bytes(framed[len as usize..].try_into().expect("4 trailer bytes"));
     if crc32(&body) != stored {
         *health = SectionHealth::Damaged;
     }
-    Some(body)
+    Ok(Some(body))
 }
 
 /// Parses directory entries best-effort: returns the claimed case count
@@ -770,6 +889,45 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn seek_salvage_matches_resident_salvage_across_faults() {
+        // The seek core must agree with the resident path on the exact
+        // report and the exact recovered events, damage or no damage.
+        let image = v2_image();
+        for kind in FaultKind::ALL {
+            for seed in 0..10u64 {
+                let mut damaged = image.clone();
+                Fault::seeded(kind, seed, image.len()).apply(&mut damaged);
+                let resident = salvage_bytes(Bytes::from(damaged.clone()));
+                let seek = salvage_source(Arc::new(BytesSegment::new(Bytes::from(damaged))));
+                match (resident, seek) {
+                    (Ok(r), Ok(s)) => {
+                        assert_eq!(r.report, s.report, "{kind} seed {seed}");
+                        let rl = r.reader.read().unwrap();
+                        let sl = s.reader.read().unwrap();
+                        assert_eq!(rl.cases(), sl.cases(), "{kind} seed {seed}");
+                    }
+                    (Err(_), Err(_)) => {}
+                    (r, s) => panic!(
+                        "{kind} seed {seed}: resident {:?} vs seek {:?}",
+                        r.map(|x| x.report),
+                        s.map(|x| x.report)
+                    ),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seek_salvage_refuses_v1() {
+        let image = to_bytes_v1(&sample_log()).unwrap();
+        let err = salvage_source(Arc::new(BytesSegment::new(image))).unwrap_err();
+        assert!(
+            matches!(err, StoreError::Corrupt(CorruptKind::V1Seek)),
+            "{err:?}"
+        );
     }
 
     #[test]

@@ -122,7 +122,7 @@ pub fn to_bytes_blocked(log: &EventLog, block_events: usize) -> Result<Bytes, St
 
 /// Writes one block body (nine column segments + CRC-32) into `out` and
 /// returns its directory entry.
-fn write_block(out: &mut Vec<u8>, chunk: &[Event]) -> BlockDir {
+pub(crate) fn write_block(out: &mut Vec<u8>, chunk: &[Event]) -> BlockDir {
     let body_start = out.len();
     let mut col_lens = [0u32; NCOLS];
     let mut col_start = out.len();
@@ -199,7 +199,7 @@ fn write_block(out: &mut Vec<u8>, chunk: &[Event]) -> BlockDir {
 /// Appends a v2 section: fixed 8-byte LE length prefix, body, CRC-32.
 /// The fixed prefix lets the body stream straight into `out` (the
 /// length is patched afterwards) — no intermediate section buffer.
-fn write_section(out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) {
+pub(crate) fn write_section(out: &mut Vec<u8>, body: impl FnOnce(&mut Vec<u8>)) {
     let len_pos = out.len();
     out.extend_from_slice(&[0u8; 8]);
     let body_start = out.len();
@@ -301,9 +301,15 @@ pub fn to_bytes_v1(log: &EventLog) -> Result<Bytes, StoreError> {
 /// Writes `log` to `path` (STLOG v2), atomically: readers and crashes
 /// see either the complete old file or the complete new one, never a
 /// torn container.
+///
+/// Routes through the streaming [`crate::StoreBuilder`], so the full
+/// container byte image is never materialized in memory — working
+/// memory stays at one block plus the directory metadata.
 pub fn write_store(log: &EventLog, path: &Path) -> Result<(), StoreError> {
-    let bytes = to_bytes(log)?;
-    write_atomic(path, &bytes)
+    let mut builder =
+        crate::stream::StoreBuilder::create(path, std::sync::Arc::clone(log.interner()))?;
+    builder.push_log(log)?;
+    builder.finish()
 }
 
 /// Durably replaces `path` with `bytes`: write to a same-directory temp

@@ -16,7 +16,7 @@ use proptest::prelude::*;
 use st_inspector::prelude::*;
 use st_inspector::query::pushdown::{read_pruned, read_pruned_par, ColumnSet, Decision, PrunePlan};
 use st_inspector::query::{CallClass, Cmp, EvalCtx};
-use st_inspector::store::{to_bytes_blocked, StoreReader};
+use st_inspector::store::{to_bytes_blocked, BytesSegment, SegmentReader, StoreReader};
 
 mod common;
 use common::{build_log, log_strategy};
@@ -121,6 +121,48 @@ proptest! {
         let par = read_pruned_par(&reader, &pred, ColumnSet::ALL, threads).unwrap();
         prop_assert_eq!(seq.log.cases(), par.log.cases());
         prop_assert_eq!(format!("{:?}", seq.stats), format!("{:?}", par.stats));
+    }
+
+    /// Law 1c: the seek reader is invisible — pruned reads over ranged
+    /// fetches produce the resident reader's exact log (symbol ids
+    /// included) and identical pruning decisions, sequentially and in
+    /// parallel, for any block size; and the ranged route never fetches
+    /// more bytes than the container holds.
+    #[test]
+    fn seek_pruned_read_equals_resident(
+        specs in log_strategy(6, 40),
+        pred in predicate_strategy(),
+        block_events in prop_oneof![Just(1usize), Just(3usize), Just(7usize), Just(64usize), Just(4096usize)],
+        threads in prop_oneof![Just(0usize), Just(3usize)],
+    ) {
+        let log = build_log(&specs);
+        let image = to_bytes_blocked(&log, block_events).unwrap();
+        let resident = StoreReader::from_bytes(image.clone()).unwrap();
+        let reference = read_pruned(&resident, &pred, ColumnSet::ALL).unwrap();
+
+        let seek = SegmentReader::from_source(
+            std::sync::Arc::new(BytesSegment::new(image.clone())),
+        ).unwrap();
+        let seq = read_pruned(&seek, &pred, ColumnSet::ALL).unwrap();
+        prop_assert_eq!(reference.log.cases(), seq.log.cases());
+        prop_assert_eq!(reference.stats.blocks_pruned, seq.stats.blocks_pruned);
+        prop_assert_eq!(reference.stats.blocks_accepted, seq.stats.blocks_accepted);
+        prop_assert_eq!(reference.stats.bytes_decoded, seq.stats.bytes_decoded);
+        prop_assert_eq!(reference.stats.events_matched, seq.stats.events_matched);
+        prop_assert!(seq.stats.bytes_read <= image.len() as u64);
+
+        // The parallel decode over ranged fetches is equally invisible
+        // (fresh reader: bytes_read accumulates since open).
+        let seek = SegmentReader::from_source(
+            std::sync::Arc::new(BytesSegment::new(image.clone())),
+        ).unwrap();
+        let par = read_pruned_par(&seek, &pred, ColumnSet::ALL, threads).unwrap();
+        prop_assert_eq!(reference.log.cases(), par.log.cases());
+        prop_assert_eq!(reference.stats.bytes_decoded, par.stats.bytes_decoded);
+        prop_assert!(par.stats.bytes_read <= image.len() as u64);
+
+        // Full (non-pruned) reads agree too.
+        prop_assert_eq!(resident.read().unwrap().cases(), seek.read().unwrap().cases());
     }
 
     /// Law 2: block decisions are conservative — `Reject` blocks hold

@@ -8,7 +8,8 @@
 //! at each selectivity, plus the streaming writer's wall time and
 //! peak encode buffer), and the
 //! salvage-decode overhead (clean and degraded containers vs the
-//! strict read), and writes
+//! strict read), plus the st-obs instrumentation overhead on the
+//! parse+dfg hot path (collection disabled vs enabled), and writes
 //! a machine-readable `BENCH_ingest.json` at the repository root, so
 //! successive PRs can compare numbers:
 //!
@@ -24,7 +25,7 @@ use std::time::{Duration, Instant};
 
 use st_bench::synth::{generate, generate_strace_text, SynthSpec};
 use st_core::prelude::*;
-use st_model::{Interner, Micros};
+use st_model::{Case, CaseMeta, EventLog, Interner, Micros};
 use st_query::pushdown::{read_pruned, read_pruned_par, ColumnSet};
 use st_query::{parse_expr, scan, scan_par, Predicate};
 use st_store::{SegmentReader, StoreBuilder, StoreReader};
@@ -455,8 +456,45 @@ fn main() {
     }
     let _ = std::fs::remove_dir_all(&src_dir);
 
+    // ---- obs: instrumentation overhead on the ingest hot path --------
+    // Every stage of every route now carries st-obs span/counter sites;
+    // the contract (DESIGN.md §10) is that with collection *disabled*
+    // each site costs one relaxed atomic load, so the parse+dfg path
+    // must stay within 5% of itself with collection enabled (enabled
+    // does strictly more work per site, bounding the instrumentation
+    // cost from above). The same ratio is guarded by the `#[ignore]`d
+    // overhead test in `tests/props_obs.rs`.
+    let obs_pipeline = || {
+        let interner = Interner::new_shared();
+        let parsed = st_strace::parse_str(&text, &interner);
+        let mut obs_log = EventLog::new(std::sync::Arc::clone(&interner));
+        let meta = CaseMeta {
+            cid: interner.intern("bench"),
+            host: interner.intern("host"),
+            rid: 0,
+        };
+        obs_log.push_case(Case::from_events(meta, parsed.events));
+        let obs_mapped = MappedLog::new(&obs_log, &CallTopDirs::new(2));
+        Dfg::from_mapped(&obs_mapped).total_edge_observations()
+    };
+    st_obs::set_enabled(false);
+    st_obs::reset();
+    let (obs_off_dt, off_edges) = time_best(reps.max(5), obs_pipeline);
+    st_obs::set_enabled(true);
+    st_obs::reset();
+    let (obs_on_dt, on_edges) = time_best(reps.max(5), obs_pipeline);
+    st_obs::set_enabled(false);
+    st_obs::reset();
+    assert_eq!(off_edges, on_edges);
+    let obs_ratio = obs_on_dt.as_secs_f64() / obs_off_dt.as_secs_f64();
+    eprintln!(
+        "obs overhead: parse+dfg {:.1} ms disabled / {:.1} ms enabled ({obs_ratio:.3}x)",
+        obs_off_dt.as_nanos() as f64 / 1e6,
+        obs_on_dt.as_nanos() as f64 / 1e6,
+    );
+
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"ooc\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"file_bytes\": {ooc_file_len},\n    \"streaming_write_ns\": {},\n    \"resident_write_ns\": {},\n    \"peak_buffer_bytes\": {peak_buffer},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"ooc\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"file_bytes\": {ooc_file_len},\n    \"streaming_write_ns\": {},\n    \"resident_write_ns\": {},\n    \"peak_buffer_bytes\": {peak_buffer},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"obs\": {{\n    \"lines\": {parse_lines},\n    \"disabled_ns\": {},\n    \"enabled_ns\": {},\n    \"enabled_over_disabled\": {obs_ratio:.4}\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
         seq_dt.as_nanos(),
         reader_dt.as_nanos(),
         sweep_rows.join(",\n      "),
@@ -478,6 +516,8 @@ fn main() {
         degraded.0,
         degraded.1,
         degraded.2,
+        obs_off_dt.as_nanos(),
+        obs_on_dt.as_nanos(),
         source_rows.join(",\n    "),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

@@ -17,11 +17,15 @@
 //! stinspect fsck <store>
 //! ```
 //!
-//! Two flags apply to every command: `--salvage` opens store inputs in
-//! salvage mode (corrupt blocks are quarantined and reported as
+//! Global flags apply to every command: `--salvage` opens store inputs
+//! in salvage mode (corrupt blocks are quarantined and reported as
 //! warnings instead of failing the open; inert on non-store inputs),
-//! and `--deny-warnings` promotes any session warning to a hard error
-//! with a nonzero exit. `fsck` reports a container's health —
+//! `--deny-warnings` promotes any session warning to a hard error with
+//! a nonzero exit, and `--metrics[=text|json|chrome]` (optionally with
+//! `--metrics-out PATH`) reports where the invocation spent its time
+//! and bytes — a timed stage tree from the `st-obs` layer under every
+//! route, renderable as text, stable JSON (`st-obs/1`), or a Chrome
+//! trace-event file. `fsck` reports a container's health —
 //! per-section and per-block verdicts plus the recoverable event
 //! fraction — and exits 0 (clean), 3 (degraded: salvage would lose
 //! events) or 4 (unreadable: salvage cannot open it at all).
@@ -89,50 +93,173 @@ impl Policy {
     }
 }
 
+/// Output format for the global `--metrics` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MetricsFormat {
+    /// Indented stage tree on stderr (the `--metrics` default).
+    Text,
+    /// One line of stable-schema JSON (`st-obs/1`) on stderr.
+    Json,
+    /// Chrome trace-event document for `about:tracing` / Perfetto;
+    /// requires `--metrics-out` (it is a file format, not a log line).
+    Chrome,
+}
+
+impl MetricsFormat {
+    fn parse(s: &str) -> Result<MetricsFormat, String> {
+        match s {
+            "text" => Ok(MetricsFormat::Text),
+            "json" => Ok(MetricsFormat::Json),
+            "chrome" => Ok(MetricsFormat::Chrome),
+            other => Err(format!(
+                "unknown --metrics format {other:?} (text, json, chrome)"
+            )),
+        }
+    }
+}
+
+/// The most recent session's pipeline report. The session layer
+/// annotates its own report with route notes and folds the external
+/// accounting into the counter totals; the command-level report
+/// rendered by `--metrics` covers the whole invocation, so it adopts
+/// those notes and totals at render time.
+static LAST_REPORT: std::sync::OnceLock<std::sync::Mutex<Option<st_obs::PipelineReport>>> =
+    std::sync::OnceLock::new();
+
+fn remember_session_report(session: &Session) {
+    let cell = LAST_REPORT.get_or_init(|| std::sync::Mutex::new(None));
+    *cell.lock().unwrap_or_else(|e| e.into_inner()) = Some(session.report().clone());
+}
+
+/// Renders the metrics collected over the whole invocation in the
+/// requested format, to stderr or to `--metrics-out`.
+fn render_metrics(format: MetricsFormat, out_path: Option<&std::path::Path>, mark: &st_obs::Mark) {
+    let body = match format {
+        MetricsFormat::Chrome => st_obs::chrome_since(mark),
+        _ => {
+            let mut report = st_obs::report_since(mark);
+            let last = LAST_REPORT
+                .get()
+                .and_then(|cell| cell.lock().unwrap_or_else(|e| e.into_inner()).take());
+            if let Some(last) = last {
+                for (k, v) in &last.notes {
+                    report.set_note(k, v.clone());
+                }
+                for (k, v) in &last.totals {
+                    report.merge_counter(k, *v);
+                }
+            }
+            match format {
+                MetricsFormat::Text => report.render_text(),
+                _ => {
+                    let mut line = report.render_json();
+                    line.push('\n');
+                    line
+                }
+            }
+        }
+    };
+    match out_path {
+        Some(path) => match std::fs::write(path, &body) {
+            Ok(()) => eprintln!("metrics: wrote {}", path.display()),
+            Err(e) => eprintln!("stinspect: --metrics-out {}: {e}", path.display()),
+        },
+        None => eprint!("{body}"),
+    }
+}
+
 fn main() -> ExitCode {
     let mut policy = Policy::default();
-    let args: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|arg| match arg.as_str() {
-            "--salvage" => {
-                policy.salvage = true;
-                false
+    let mut metrics: Option<MetricsFormat> = None;
+    let mut metrics_out: Option<PathBuf> = None;
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = Vec::with_capacity(raw.len());
+    let mut iter = raw.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--salvage" => policy.salvage = true,
+            "--deny-warnings" => policy.deny_warnings = true,
+            "--metrics" => metrics = Some(MetricsFormat::Text),
+            "--metrics-out" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("stinspect: --metrics-out requires a path");
+                    return ExitCode::from(2);
+                };
+                metrics_out = Some(PathBuf::from(path));
             }
-            "--deny-warnings" => {
-                policy.deny_warnings = true;
-                false
-            }
-            _ => true,
-        })
-        .collect();
-    let Some(command) = args.first() else {
+            other => match other.strip_prefix("--metrics=") {
+                Some(fmt) => match MetricsFormat::parse(fmt) {
+                    Ok(f) => metrics = Some(f),
+                    Err(msg) => {
+                        eprintln!("stinspect: {msg}");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => args.push(arg),
+            },
+        }
+    }
+    if metrics == Some(MetricsFormat::Chrome) && metrics_out.is_none() {
+        eprintln!(
+            "stinspect: --metrics=chrome requires --metrics-out <file> \
+             (a trace-event document, not a stderr rendering)"
+        );
+        return ExitCode::from(2);
+    }
+    if metrics_out.is_some() && metrics.is_none() {
+        eprintln!("stinspect: --metrics-out requires --metrics[=text|json|chrome]");
+        return ExitCode::from(2);
+    }
+    // Collection stays off (one relaxed load per instrumented site)
+    // unless --metrics asks for it; the mark scopes the report to this
+    // invocation.
+    let obs_mark = metrics.map(|_| {
+        st_obs::set_enabled(true);
+        st_obs::mark()
+    });
+
+    let Some(command) = args.first().cloned() else {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
     let rest = &args[1..];
-    let result = match command.as_str() {
-        "parse" => cmd_parse(rest, policy),
-        "dfg" => cmd_dfg(rest, policy),
-        "stats" => cmd_stats(rest, policy),
-        "timeline" => cmd_timeline(rest, policy),
-        "simulate" => cmd_simulate(rest),
-        "diff" => cmd_diff(rest, policy),
-        "query" => cmd_query(rest, policy),
-        // fsck owns its exit codes (0 clean / 3 degraded / 4 unreadable).
-        "fsck" => return cmd_fsck(rest),
-        "--help" | "-h" | "help" => {
-            println!("{USAGE}");
-            Ok(())
+    let code = {
+        // Root span: every stage of the invocation nests under the
+        // command name. Dropped before the report is rendered so the
+        // tree is complete.
+        let _root = st_obs::span_with("stinspect", || command.clone());
+        match command.as_str() {
+            // fsck owns its exit codes (0 clean / 3 degraded / 4 unreadable).
+            "fsck" => cmd_fsck(rest),
+            "--help" | "-h" | "help" => {
+                println!("{USAGE}");
+                ExitCode::SUCCESS
+            }
+            cmd => {
+                let result = match cmd {
+                    "parse" => cmd_parse(rest, policy),
+                    "dfg" => cmd_dfg(rest, policy),
+                    "stats" => cmd_stats(rest, policy),
+                    "timeline" => cmd_timeline(rest, policy),
+                    "simulate" => cmd_simulate(rest),
+                    "diff" => cmd_diff(rest, policy),
+                    "query" => cmd_query(rest, policy),
+                    other => Err(format!("unknown command {other:?}\n{USAGE}")),
+                };
+                match result {
+                    Ok(()) => ExitCode::SUCCESS,
+                    Err(msg) => {
+                        eprintln!("stinspect: {msg}");
+                        ExitCode::FAILURE
+                    }
+                }
+            }
         }
-        other => Err(format!("unknown command {other:?}\n{USAGE}")),
     };
-    match result {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("stinspect: {msg}");
-            ExitCode::FAILURE
-        }
+    if let (Some(format), Some(mark)) = (metrics, &obs_mark) {
+        render_metrics(format, metrics_out.as_deref(), mark);
     }
+    code
 }
 
 const USAGE: &str = "\
@@ -168,7 +295,14 @@ commands:
 global flags (any command):
   --salvage          open store inputs in salvage mode: corrupt blocks are
                      quarantined and reported as warnings instead of failing
-  --deny-warnings    promote any warning to a hard error (nonzero exit)";
+  --deny-warnings    promote any warning to a hard error (nonzero exit)
+  --metrics[=text|json|chrome]
+                     collect and report pipeline metrics: a timed stage tree
+                     with counters (bytes read, blocks pruned, events scanned).
+                     text (default) = indented tree on stderr; json = one line
+                     of stable st-obs/1 JSON on stderr; chrome = trace-event
+                     file for Perfetto/about:tracing (needs --metrics-out)
+  --metrics-out PATH write the metrics rendering to PATH instead of stderr";
 
 /// Simple flag cursor over the argument list.
 struct Args<'a> {
@@ -281,8 +415,10 @@ fn open_session(
 }
 
 /// Prints a session's warnings and, after a salvage-mode open, a
-/// one-line recovery summary.
+/// one-line recovery summary; stashes the session's pipeline report
+/// for the `--metrics` rendering at exit.
 fn report_session(session: &Session) {
+    remember_session_report(session);
     for warning in session.warnings() {
         eprintln!("warning: {warning}");
     }
@@ -300,26 +436,31 @@ fn report_session(session: &Session) {
 }
 
 /// Prints the pruning summary when the session took the pushdown
-/// route. `prefix` attributes the line when several inputs report
-/// (e.g. `"A: "`/`"B: "` for the two sides of a diff).
+/// route — a rendering of the session's [`st_obs::PipelineReport`]
+/// counters (the same totals `--metrics` reports). `prefix`
+/// attributes the line when several inputs report (e.g. `"A: "`/`"B:
+/// "` for the two sides of a diff).
 fn report_pushdown(session: &Session, prefix: &str) {
-    if let Some(s) = session.pushdown() {
-        eprintln!(
-            "{prefix}pushdown: pruned {}/{} blocks ({} of {} cases whole), decoded {} of {} bytes ({:.1}%), read {} bytes off disk",
-            s.blocks_pruned,
-            s.blocks_total,
-            s.cases_pruned,
-            s.cases_total,
-            s.bytes_decoded,
-            s.bytes_total,
-            if s.bytes_total == 0 {
-                100.0
-            } else {
-                100.0 * s.bytes_decoded as f64 / s.bytes_total as f64
-            },
-            s.bytes_read,
-        );
+    if session.pushdown().is_none() {
+        return;
     }
+    let r = session.report();
+    let (decoded, total) = (r.counter("bytes_decoded"), r.counter("bytes_total"));
+    eprintln!(
+        "{prefix}pushdown: pruned {}/{} blocks ({} of {} cases whole), decoded {} of {} bytes ({:.1}%), read {} bytes off disk",
+        r.counter("blocks_pruned"),
+        r.counter("blocks_total"),
+        r.counter("cases_pruned"),
+        r.counter("cases_total"),
+        decoded,
+        total,
+        if total == 0 {
+            100.0
+        } else {
+            100.0 * decoded as f64 / total as f64
+        },
+        r.counter("bytes_read"),
+    );
 }
 
 fn cmd_parse(tokens: &[String], policy: Policy) -> Result<(), String> {
@@ -1020,6 +1161,14 @@ fn cmd_fsck(tokens: &[String]) -> ExitCode {
         out.push_str(&format!(
             "  unaccounted: {} byte(s) not part of any section or frame\n",
             r.unaccounted_bytes
+        ));
+    }
+    if !r.losses.is_empty() {
+        let shown = r.losses.len().min(FSCK_LOSS_CAP);
+        out.push_str(&format!(
+            "  warnings:   {} block-loss warning(s) ({shown} shown, {} suppressed)\n",
+            r.losses.len(),
+            r.losses.len() - shown
         ));
     }
     for loss in r.losses.iter().take(FSCK_LOSS_CAP) {

@@ -273,6 +273,166 @@ fn salvage_row_output_is_pinned_on_a_corrupted_store() {
     );
 }
 
+/// Normalizes a `--metrics=json` line for golden comparison: the
+/// store path, every `wall_ns`/`self_ns` timing, and the
+/// machine-dependent route-plan notes are replaced with fixed tokens.
+/// Everything else — the schema tag, the stage tree shape, call
+/// counts, and the byte/block/event counters — is deterministic for a
+/// fixed fixture and stays pinned.
+fn normalize_metrics_json(line: &str, store: &str) -> String {
+    let mut s = line.trim_end().replace(store, "<store>");
+    for key in ["\"wall_ns\":", "\"self_ns\":"] {
+        let mut out = String::new();
+        let mut rest = s.as_str();
+        while let Some(i) = rest.find(key) {
+            let j = i + key.len();
+            out.push_str(&rest[..j]);
+            out.push('0');
+            rest = rest[j..].trim_start_matches(|c: char| c.is_ascii_digit());
+        }
+        out.push_str(rest);
+        s = out;
+    }
+    for (key, token) in [
+        ("\"route.reason\":\"", "<reason>"),
+        ("\"route.workers\":\"", "<n>"),
+    ] {
+        if let Some(i) = s.find(key) {
+            let j = i + key.len();
+            let end = j + s[j..].find('"').expect("closing quote");
+            s.replace_range(j..end, token);
+        }
+    }
+    s
+}
+
+/// Scans a JSON document for structural validity without a parser:
+/// brackets and braces must balance outside string literals, with
+/// escapes honored. A Perfetto load would reject anything this scan
+/// rejects.
+fn json_brackets_balance(doc: &str) -> bool {
+    let mut depth: i64 = 0;
+    let mut in_str = false;
+    let mut escaped = false;
+    for c in doc.chars() {
+        if in_str {
+            match (escaped, c) {
+                (true, _) => escaped = false,
+                (false, '\\') => escaped = true,
+                (false, '"') => in_str = false,
+                _ => {}
+            }
+            continue;
+        }
+        match c {
+            '"' => in_str = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' => {
+                depth -= 1;
+                if depth < 0 {
+                    return false;
+                }
+            }
+            _ => {}
+        }
+    }
+    depth == 0 && !in_str
+}
+
+#[test]
+fn metrics_json_is_pinned_and_chrome_trace_is_well_formed() {
+    let fx = Fixture::build("metrics");
+    let input = fx.v2.display().to_string();
+    let update = std::env::var("UPDATE_GOLDEN").is_ok();
+
+    // One matrix row with --metrics=json: the stage tree and counter
+    // totals on stderr's last line are schema-stable and (after
+    // normalizing paths, timings, and the worker plan) byte-pinned.
+    let out = stinspect()
+        .args([
+            "query",
+            &input,
+            "--filter",
+            "class=read",
+            "--emit",
+            "stats",
+            "--metrics=json",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let json_line = stderr
+        .lines()
+        .rev()
+        .find(|l| l.starts_with("{\"schema\":\"st-obs/1\""))
+        .expect("a metrics JSON line on stderr");
+    assert!(json_brackets_balance(json_line), "{json_line}");
+    // The ad-hoc pushdown line and the report render the same counter.
+    let pushdown_line = stderr
+        .lines()
+        .find(|l| l.starts_with("pushdown:"))
+        .expect("pushdown summary line");
+    let bytes_read = pushdown_line
+        .rsplit("read ")
+        .next()
+        .and_then(|tail| tail.split(' ').next())
+        .unwrap();
+    assert!(
+        json_line.contains(&format!("\"bytes_read\":{bytes_read}")),
+        "JSON report and pushdown line disagree on bytes_read:\n{pushdown_line}\n{json_line}"
+    );
+    let got = normalize_metrics_json(json_line, &input);
+    let golden = golden_path("metrics_query_json");
+    if update {
+        std::fs::write(&golden, format!("{got}\n")).unwrap();
+    } else {
+        let expected = std::fs::read_to_string(&golden)
+            .unwrap_or_else(|_| panic!("missing {} — run UPDATE_GOLDEN=1", golden.display()));
+        assert!(
+            format!("{got}\n") == expected,
+            "metrics JSON diverges from the golden output\n--- got ---\n{got}"
+        );
+    }
+
+    // --metrics=chrome writes a structurally valid trace-event
+    // document with complete ("ph":"X") events carrying the span paths.
+    let trace = fx.dir.join("trace.json");
+    let out = stinspect()
+        .args(["dfg", &input, "--metrics=chrome", "--metrics-out"])
+        .arg(&trace)
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = std::fs::read_to_string(&trace).unwrap();
+    assert!(doc.starts_with("{\"traceEvents\":["), "{doc}");
+    assert!(json_brackets_balance(&doc), "unbalanced trace document");
+    for needle in [
+        "\"ph\":\"X\"",
+        "\"displayTimeUnit\":\"ms\"",
+        "\"otherData\"",
+        "stinspect/session",
+        "\"name\":\"store.decode_block\"",
+    ] {
+        assert!(doc.contains(needle), "missing {needle} in {doc}");
+    }
+
+    // chrome without a file sink is a usage error, not silent stderr spam.
+    let out = stinspect()
+        .args(["stats", &input, "--metrics=chrome"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn parse_ingests_every_input_kind() {
     // `parse` is the store-writer face of the same resolution layer:

@@ -253,6 +253,7 @@ impl Dfg {
     /// assert_eq!(dfg.edge_count_named("read:/etc/passwd", "■"), 1);
     /// ```
     pub fn from_mapped(mapped: &MappedLog<'_>) -> Dfg {
+        let _span = st_obs::span!("dfg.build");
         let mut acc = DenseAcc::new(mapped.table().len());
         for case_idx in 0..mapped.log().case_count() {
             acc.add_trace_weighted(mapped.assignments()[case_idx].iter().filter_map(|a| *a), 1);
@@ -276,6 +277,7 @@ impl Dfg {
     /// `view` must slice the same [`st_model::EventLog`] the mapped log
     /// was built from; panics otherwise.
     pub fn from_mapped_view(mapped: &MappedLog<'_>, view: &st_model::LogView<'_>) -> Dfg {
+        let _span = st_obs::span!("dfg.build.view");
         assert!(
             std::ptr::eq(mapped.log(), view.log()),
             "view must slice the same EventLog this MappedLog was built from"
@@ -317,6 +319,7 @@ impl Dfg {
             return Self::from_mapped(mapped);
         }
 
+        let _span = st_obs::span!("dfg.build.par", workers = workers);
         let activities = mapped.table().len();
         let next = AtomicUsize::new(0);
         let partials: Vec<DenseAcc> = std::thread::scope(|scope| {

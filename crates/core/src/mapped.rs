@@ -28,6 +28,8 @@ pub struct MappedLog<'log> {
 impl<'log> MappedLog<'log> {
     /// Applies `mapping` to every event, single-threaded (one O(n) pass).
     pub fn new(log: &'log EventLog, mapping: &dyn Mapping) -> Self {
+        let _span = st_obs::span!("map.apply");
+        st_obs::add("events_mapped", log.total_events() as u64);
         let snapshot = log.snapshot();
         let ctx = MapCtx {
             snapshot: &snapshot,

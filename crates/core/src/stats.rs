@@ -63,6 +63,7 @@ impl IoStatistics {
     /// Computes all statistics in one pass over the mapped events plus a
     /// per-activity interval sort (the paper's O(mn) step).
     pub fn compute(mapped: &MappedLog<'_>) -> IoStatistics {
+        let _span = st_obs::span!("stats.compute");
         Self::accumulate(mapped, mapped.iter_mapped())
     }
 
@@ -77,6 +78,7 @@ impl IoStatistics {
     /// was built from; panics otherwise (via
     /// [`MappedLog::iter_mapped_view`]).
     pub fn compute_view(mapped: &MappedLog<'_>, view: &st_model::LogView<'_>) -> IoStatistics {
+        let _span = st_obs::span!("stats.compute.view");
         Self::accumulate(mapped, mapped.iter_mapped_view(view))
     }
 

@@ -1,0 +1,367 @@
+//! Report construction and rendering: the stage tree
+//! ([`PipelineReport`]) with its text, JSON, and Chrome trace-event
+//! renderings.
+
+use std::collections::BTreeMap;
+
+use crate::{RawEvent, PATH_SEP};
+
+/// Schema tag embedded in every JSON rendering; bump only on
+/// incompatible shape changes.
+pub const SCHEMA: &str = "st-obs/1";
+
+/// One stage in the report tree: a span path with its call count,
+/// accumulated wall time, self time (wall minus direct children), and
+/// the counters attributed to it.
+#[derive(Clone, Debug, Default)]
+pub struct StageNode {
+    /// Last path segment (the span name as written at the call site).
+    pub name: String,
+    /// Full `/`-joined path from the root.
+    pub path: String,
+    /// Number of times the span closed.
+    pub calls: u64,
+    /// Total wall time across all calls, in nanoseconds.
+    pub wall_ns: u64,
+    /// Wall time not covered by direct children (saturating: parallel
+    /// children can overlap the parent, in which case this is 0).
+    pub self_ns: u64,
+    /// Counters attributed to this stage.
+    pub counters: BTreeMap<String, u64>,
+    /// Nested stages, ordered by path.
+    pub children: Vec<StageNode>,
+}
+
+/// A structured account of what a pipeline run did: a tree of timed
+/// stages, counter totals, free-form notes (route decisions), and the
+/// number of timeline events dropped at the buffer cap.
+///
+/// Produced by [`crate::report_since`] / [`crate::report()`]; the
+/// session layer augments it with route notes and warning counts so
+/// it subsumes the ad-hoc pushdown/warning stderr lines.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineReport {
+    /// Root stages of the span tree (empty when collection was
+    /// disabled for the covered interval).
+    pub stages: Vec<StageNode>,
+    /// Counter totals summed across all stages (plus any counters
+    /// recorded outside a span).
+    pub totals: BTreeMap<String, u64>,
+    /// Free-form annotations: route decisions, source descriptions.
+    pub notes: BTreeMap<String, String>,
+    /// Timeline events dropped because the buffer hit
+    /// [`crate::MAX_EVENTS`].
+    pub dropped_events: u64,
+    /// Whether collection was enabled when the report was taken.
+    pub enabled: bool,
+}
+
+impl PipelineReport {
+    /// Returns the total for a counter, 0 if absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.totals.get(name).copied().unwrap_or(0)
+    }
+
+    /// Folds an externally-accounted value into the totals, keeping
+    /// the larger of the two. When collection is enabled the
+    /// instrumented total and the external accounting agree (property
+    /// tested), so this is an idempotent no-op; when disabled it
+    /// fills in the value so the report stays meaningful.
+    pub fn merge_counter(&mut self, name: &str, value: u64) {
+        let slot = self.totals.entry(name.to_string()).or_insert(0);
+        *slot = (*slot).max(value);
+    }
+
+    /// Sets a note (route decision, source description).
+    pub fn set_note(&mut self, key: &str, value: impl Into<String>) {
+        self.notes.insert(key.to_string(), value.into());
+    }
+
+    /// Returns a note's value, if set.
+    pub fn note(&self, key: &str) -> Option<&str> {
+        self.notes.get(key).map(String::as_str)
+    }
+
+    /// Renders the report as an indented text tree (for `--metrics` /
+    /// `--metrics=text` on stderr).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("── pipeline report ──\n");
+        if self.stages.is_empty() {
+            out.push_str("(no stages recorded — metrics were disabled during the run)\n");
+        } else {
+            let mut width = 0usize;
+            for s in &self.stages {
+                measure(s, 0, &mut width);
+            }
+            for s in &self.stages {
+                render_node(s, 0, width, &mut out);
+            }
+        }
+        if !self.totals.is_empty() {
+            out.push_str("totals:");
+            for (k, v) in &self.totals {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out.push('\n');
+        }
+        for (k, v) in &self.notes {
+            out.push_str(&format!("note: {k}={v}\n"));
+        }
+        if self.dropped_events > 0 {
+            out.push_str(&format!(
+                "dropped timeline events: {}\n",
+                self.dropped_events
+            ));
+        }
+        out
+    }
+
+    /// Renders the report as a single line of JSON with the stable
+    /// [`SCHEMA`] shape:
+    ///
+    /// ```json
+    /// {"schema":"st-obs/1","enabled":true,"dropped_events":0,
+    ///  "totals":{...},"notes":{...},"stages":[{"name":...,"path":...,
+    ///  "calls":n,"wall_ns":n,"self_ns":n,"counters":{...},"children":[...]}]}
+    /// ```
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"schema\":\"{}\",\"enabled\":{},\"dropped_events\":{}",
+            SCHEMA, self.enabled, self.dropped_events
+        ));
+        out.push_str(",\"totals\":");
+        render_counters_json(&self.totals, &mut out);
+        out.push_str(",\"notes\":{");
+        for (i, (k, v)) in self.notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":\"{}\"", escape_json(k), escape_json(v)));
+        }
+        out.push_str("},\"stages\":[");
+        for (i, s) in self.stages.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_node_json(s, &mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn measure(node: &StageNode, depth: usize, width: &mut usize) {
+    *width = (*width).max(depth * 2 + node.name.len());
+    for c in &node.children {
+        measure(c, depth + 1, width);
+    }
+}
+
+fn render_node(node: &StageNode, depth: usize, width: usize, out: &mut String) {
+    let indent = "  ".repeat(depth);
+    let mut line = format!(
+        "{indent}{:<pad$} {:>5}x {:>10}",
+        node.name,
+        node.calls,
+        fmt_ns(node.wall_ns),
+        pad = width - depth * 2
+    );
+    if !node.children.is_empty() && node.self_ns != node.wall_ns {
+        line.push_str(&format!(" [self {}]", fmt_ns(node.self_ns)));
+    }
+    if !node.counters.is_empty() {
+        line.push_str(" |");
+        for (k, v) in &node.counters {
+            line.push_str(&format!(" {k}={v}"));
+        }
+    }
+    out.push_str(&line);
+    out.push('\n');
+    for c in &node.children {
+        render_node(c, depth + 1, width, out);
+    }
+}
+
+fn render_counters_json(counters: &BTreeMap<String, u64>, out: &mut String) {
+    out.push('{');
+    for (i, (k, v)) in counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape_json(k), v));
+    }
+    out.push('}');
+}
+
+fn render_node_json(node: &StageNode, out: &mut String) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"path\":\"{}\",\"calls\":{},\"wall_ns\":{},\"self_ns\":{}",
+        escape_json(&node.name),
+        escape_json(&node.path),
+        node.calls,
+        node.wall_ns,
+        node.self_ns
+    ));
+    out.push_str(",\"counters\":");
+    render_counters_json(&node.counters, out);
+    out.push_str(",\"children\":[");
+    for (i, c) in node.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        render_node_json(c, out);
+    }
+    out.push_str("]}");
+}
+
+/// Formats nanoseconds for humans: `123ns`, `12.3µs`, `4.56ms`, `1.23s`.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Assembles the stage tree from flat `(path, calls, wall, counters)`
+/// deltas. Counters recorded outside any span (empty path) fold into
+/// the totals without creating a node; ancestors that never closed in
+/// the covered interval appear as implicit zero-call nodes.
+pub(crate) fn build(
+    delta: Vec<(String, u64, u64, BTreeMap<String, u64>)>,
+    dropped: u64,
+    enabled: bool,
+) -> PipelineReport {
+    let mut totals: BTreeMap<String, u64> = BTreeMap::new();
+    let mut flat: BTreeMap<String, (u64, u64, BTreeMap<String, u64>)> = BTreeMap::new();
+    for (path, calls, wall, counters) in delta {
+        for (k, v) in &counters {
+            *totals.entry(k.clone()).or_insert(0) += v;
+        }
+        if path.is_empty() {
+            continue;
+        }
+        // Materialize implicit ancestors so the tree is connected even
+        // when a parent span is still open (e.g. the CLI root span
+        // while a session report is taken).
+        let mut end = 0;
+        while let Some(i) = path[end..].find(PATH_SEP) {
+            end += i;
+            flat.entry(path[..end].to_string()).or_default();
+            end += 1;
+        }
+        let slot = flat.entry(path).or_default();
+        slot.0 += calls;
+        slot.1 += wall;
+        for (k, v) in counters {
+            *slot.2.entry(k).or_insert(0) += v;
+        }
+    }
+
+    let mut children: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    let mut roots: Vec<String> = Vec::new();
+    for path in flat.keys() {
+        match path.rfind(PATH_SEP) {
+            Some(i) => children
+                .entry(path[..i].to_string())
+                .or_default()
+                .push(path.clone()),
+            None => roots.push(path.clone()),
+        }
+    }
+
+    fn build_node(
+        path: &str,
+        flat: &BTreeMap<String, (u64, u64, BTreeMap<String, u64>)>,
+        children: &BTreeMap<String, Vec<String>>,
+    ) -> StageNode {
+        let (calls, wall_ns, counters) = flat.get(path).cloned().unwrap_or_default();
+        let kids: Vec<StageNode> = children
+            .get(path)
+            .map(|c| c.iter().map(|p| build_node(p, flat, children)).collect())
+            .unwrap_or_default();
+        let child_wall: u64 = kids.iter().map(|k| k.wall_ns).sum();
+        let name = path
+            .rfind(PATH_SEP)
+            .map(|i| &path[i + 1..])
+            .unwrap_or(path)
+            .to_string();
+        StageNode {
+            name,
+            path: path.to_string(),
+            calls,
+            wall_ns,
+            self_ns: wall_ns.saturating_sub(child_wall),
+            counters,
+            children: kids,
+        }
+    }
+
+    let stages = roots
+        .iter()
+        .map(|p| build_node(p, &flat, &children))
+        .collect();
+    PipelineReport {
+        stages,
+        totals,
+        notes: BTreeMap::new(),
+        dropped_events: dropped,
+        enabled,
+    }
+}
+
+/// Renders raw span events as a Chrome trace-event document.
+pub(crate) fn render_chrome(events: &[RawEvent], dropped: u64) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let name = ev
+            .path
+            .rfind(PATH_SEP)
+            .map(|i| &ev.path[i + 1..])
+            .unwrap_or(&ev.path);
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"cat\":\"st\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"path\":\"{}\"",
+            escape_json(name),
+            ev.tid,
+            ev.start_ns / 1_000,
+            ev.start_ns % 1_000,
+            ev.dur_ns / 1_000,
+            ev.dur_ns % 1_000,
+            escape_json(&ev.path),
+        ));
+        if let Some(args) = &ev.args {
+            out.push_str(&format!(",\"detail\":\"{}\"", escape_json(args)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"schema\":\"{SCHEMA}\",\"dropped_events\":{dropped}}}}}"
+    ));
+    out
+}

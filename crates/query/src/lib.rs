@@ -86,12 +86,14 @@ fn epoch_for(log: &EventLog, pred: &Predicate) -> st_model::Micros {
 /// time windows (`t=[0s,2s)`) are measured from the log's earliest
 /// event start.
 pub fn scan<'log>(log: &'log EventLog, pred: &Predicate) -> LogView<'log> {
+    let _span = st_obs::span!("query.scan");
     let snapshot = log.snapshot();
     let ctx = EvalCtx {
         snapshot: &snapshot,
         t0: epoch_for(log, pred),
     };
     let mut slices = Vec::new();
+    let mut matched = 0u64;
     for (case_idx, case) in log.cases().iter().enumerate() {
         let events: Vec<u32> = case
             .events
@@ -101,9 +103,12 @@ pub fn scan<'log>(log: &'log EventLog, pred: &Predicate) -> LogView<'log> {
             .map(|(k, _)| k as u32)
             .collect();
         if !events.is_empty() {
+            matched += events.len() as u64;
             slices.push(CaseSlice { case_idx, events });
         }
     }
+    st_obs::add("events_scanned", log.total_events() as u64);
+    st_obs::add("events_matched", matched);
     LogView::from_slices(log, slices)
 }
 
@@ -125,6 +130,7 @@ pub fn scan_par<'log>(log: &'log EventLog, pred: &Predicate, threads: usize) -> 
         return scan(log, pred);
     }
 
+    let _span = st_obs::span!("query.scan.par", workers = workers);
     let snapshot = log.snapshot();
     let t0 = epoch_for(log, pred);
     let mut slots: Vec<Option<Vec<u32>>> = (0..n_cases).map(|_| None).collect();
@@ -165,7 +171,8 @@ pub fn scan_par<'log>(log: &'log EventLog, pred: &Predicate, threads: usize) -> 
         });
     }
 
-    let slices = slots
+    let mut matched = 0u64;
+    let slices: Vec<CaseSlice> = slots
         .into_iter()
         .enumerate()
         .filter_map(|(case_idx, slot)| {
@@ -173,6 +180,11 @@ pub fn scan_par<'log>(log: &'log EventLog, pred: &Predicate, threads: usize) -> 
             (!events.is_empty()).then_some(CaseSlice { case_idx, events })
         })
         .collect();
+    for s in &slices {
+        matched += s.events.len() as u64;
+    }
+    st_obs::add("events_scanned", log.total_events() as u64);
+    st_obs::add("events_matched", matched);
     LogView::from_slices(log, slices)
 }
 

@@ -521,6 +521,7 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
     emit: ColumnSet,
     threads: usize,
 ) -> Result<PrunedRead, StoreError> {
+    let _span = st_obs::span!("query.pushdown");
     let Some(plan) = PrunePlan::compile(pred, reader) else {
         return Err(st_store::CorruptKind::V1Pushdown.into());
     };
@@ -561,6 +562,7 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
     // Plan: walk the directory once, deciding every case and block.
     // Pruned units are accounted here; the survivors become the decode
     // work list (cheap — no event byte is touched).
+    let plan_span = st_obs::span!("query.pushdown.plan");
     let mut metas: Vec<CaseMeta> = Vec::new();
     let mut work: Vec<Work<'_>> = Vec::new();
     for case in directory {
@@ -600,6 +602,7 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
             }
         }
     }
+    drop(plan_span);
 
     // Decode: surviving blocks are independent (in-block delta
     // timestamps, per-block CRC). The sequential path streams each
@@ -629,6 +632,7 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
     } else {
         metas.iter().map(|_| Vec::new()).collect()
     };
+    let decode_span = st_obs::span!("query.pushdown.decode", blocks = work.len());
     if workers <= 1 {
         for item in &work {
             stats.bytes_decoded +=
@@ -638,23 +642,28 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
         let mut slots: Vec<Option<(Vec<Event>, usize)>> = (0..work.len()).map(|_| None).collect();
         let next = std::sync::atomic::AtomicUsize::new(0);
         let (tx, rx) = std::sync::mpsc::channel();
+        let obs_cx = st_obs::context();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 let tx = tx.clone();
                 let next = &next;
                 let work = &work;
                 let ctx = &ctx;
-                scope.spawn(move || loop {
-                    let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                    if idx >= work.len() {
-                        break;
-                    }
-                    let item = &work[idx];
-                    let mut events = Vec::with_capacity(item.block.events as usize);
-                    let result = decode_work_into(reader, item, cols, pred, ctx, &mut events)
-                        .map(|bytes| (events, bytes));
-                    if tx.send((idx, result)).is_err() {
-                        break;
+                let obs_cx = obs_cx.clone();
+                scope.spawn(move || {
+                    let _obs = obs_cx.attach();
+                    loop {
+                        let idx = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if idx >= work.len() {
+                            break;
+                        }
+                        let item = &work[idx];
+                        let mut events = Vec::with_capacity(item.block.events as usize);
+                        let result = decode_work_into(reader, item, cols, pred, ctx, &mut events)
+                            .map(|bytes| (events, bytes));
+                        if tx.send((idx, result)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -676,6 +685,8 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
         }
     }
 
+    drop(decode_span);
+
     // Cases with no match are dropped (as `scan` does).
     for (meta, events) in metas.into_iter().zip(cases) {
         if !events.is_empty() {
@@ -684,6 +695,17 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
     }
     stats.events_matched = log.total_events() as u64;
     stats.bytes_read = reader.bytes_read();
+    // Mirror the stats into the obs counters so the report and
+    // `PushdownStats` are two views of one accounting (the byte
+    // counters are owned by the store layer, which increments them at
+    // the fetch sites themselves).
+    st_obs::add("cases_total", stats.cases_total as u64);
+    st_obs::add("cases_pruned", stats.cases_pruned as u64);
+    st_obs::add("blocks_total", stats.blocks_total as u64);
+    st_obs::add("blocks_pruned", stats.blocks_pruned as u64);
+    st_obs::add("events_decoded", stats.events_decoded);
+    st_obs::add("events_matched", stats.events_matched);
+    st_obs::add("bytes_decoded", stats.bytes_decoded);
     Ok(PrunedRead { log, stats })
 }
 

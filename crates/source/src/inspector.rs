@@ -32,6 +32,7 @@
 
 use st_core::{CallTopDirs, Dfg, IoStatistics, MappedLog, Mapping};
 use st_model::{EventLog, Interner, LogView};
+use st_obs::PipelineReport;
 use st_query::pushdown::ColumnSet;
 use st_query::{scan_par, Predicate, PushdownStats};
 use st_store::{SalvageReport, SegmentReader, StoreReader};
@@ -84,6 +85,119 @@ impl StoreHandle {
             StoreHandle::Seek(reader) => reader.read(),
         }
     }
+}
+
+/// The worker plan for a session's parallel stages (block decode,
+/// parallel scan, trace loading): the effective worker budget plus a
+/// human-readable reason, recorded in the session's
+/// [`PipelineReport`] as `route.workers` / `route.reason`.
+///
+/// On a single-core host the planner always chooses the sequential
+/// route — even for an explicit `threads > 1` request — because the
+/// scoped-worker fan-out only adds channel and reassembly overhead
+/// when there is no second core to run it (the `pushdown_par4_ns`
+/// regression). Library callers going straight to
+/// [`st_query::read_pruned_par`] / [`st_query::scan_par`] keep full
+/// control of the worker count.
+fn plan_workers(threads: usize) -> (usize, String) {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores <= 1 {
+        let reason = if threads > 1 {
+            format!("seq: 1 core available ({threads} workers requested)")
+        } else {
+            "seq: 1 core available".to_string()
+        };
+        (1, reason)
+    } else if threads == 0 {
+        (cores, format!("par: {cores} cores available"))
+    } else if threads == 1 {
+        (1, "seq: 1 worker requested".to_string())
+    } else {
+        (
+            threads,
+            format!("par: {threads} workers requested ({cores} cores available)"),
+        )
+    }
+}
+
+/// Warning totals for the report: `(emitted, suppressed)`. Emitted
+/// counts the warnings actually carried by the session; suppressed
+/// sums the per-file overflow beyond [`st_strace::WARNING_CAP`]
+/// (each [`st_strace::Warning::Suppressed`] trailer's count).
+fn warning_counts(warnings: &[SourceWarning]) -> (u64, u64) {
+    let mut suppressed = 0u64;
+    for w in warnings {
+        if let SourceWarning::Trace {
+            warning: st_strace::Warning::Suppressed { count },
+            ..
+        } = w
+        {
+            suppressed += *count as u64;
+        }
+    }
+    (warnings.len() as u64, suppressed)
+}
+
+/// Completes a materialized session: closes the session span, scopes
+/// a [`PipelineReport`] to everything collected since the session
+/// began, annotates it with the planned route, folds the external
+/// accounting (pushdown stats, salvage losses, warning totals) into
+/// the counters, and applies the `deny_warnings` promotion.
+///
+/// Counter folding uses [`PipelineReport::merge_counter`] (keep-max
+/// semantics): when collection is enabled the instrumented stages
+/// already carry the same totals and the merge changes nothing; when
+/// disabled it fills the totals in, so [`Session::report`] stays
+/// meaningful without any tracing overhead.
+fn finalize_session(
+    mut session: Session,
+    span: st_obs::Span,
+    mark: st_obs::Mark,
+    route: String,
+    workers: usize,
+    reason: String,
+    deny_warnings: bool,
+) -> Result<Session, Error> {
+    drop(span);
+    let mut report = st_obs::report_since(&mark);
+    report.set_note("source", session.source.to_string());
+    report.set_note("route", route);
+    report.set_note("route.workers", workers.to_string());
+    report.set_note("route.reason", reason);
+    if let Some(stats) = &session.pushdown {
+        report.merge_counter("bytes_read", stats.bytes_read);
+        report.merge_counter("bytes_total", stats.bytes_total);
+        report.merge_counter("bytes_decoded", stats.bytes_decoded);
+        report.merge_counter("cases_total", stats.cases_total as u64);
+        report.merge_counter("cases_pruned", stats.cases_pruned as u64);
+        report.merge_counter("blocks_total", stats.blocks_total as u64);
+        report.merge_counter("blocks_pruned", stats.blocks_pruned as u64);
+        report.merge_counter("events_decoded", stats.events_decoded);
+        report.merge_counter("events_matched", stats.events_matched);
+    }
+    if let Some(salvage) = &session.salvage {
+        report.merge_counter("blocks_lost", salvage.losses.len() as u64);
+        report.merge_counter(
+            "events_lost",
+            salvage
+                .events_total
+                .saturating_sub(salvage.events_recovered),
+        );
+    }
+    let (emitted, suppressed) = warning_counts(&session.warnings);
+    report.merge_counter("warnings", emitted);
+    report.merge_counter("warnings_suppressed", suppressed);
+    session.report = report;
+    if deny_warnings && !session.warnings.is_empty() {
+        return Err(Error::WarningsDenied {
+            spec: session.source.to_string(),
+            count: session.warnings.len(),
+            first: session.warnings[0].to_string(),
+        });
+    }
+    Ok(session)
 }
 
 /// Converts a salvage report into session warnings: one
@@ -279,27 +393,28 @@ impl Inspector {
                 });
             }
         }
-        if threads != 0 {
-            load.threads = threads;
+        // The worker plan: on a single-core host every parallel stage
+        // degrades to the sequential route (recorded in the report),
+        // so the scoped-worker fan-out never pays for workers that
+        // cannot run concurrently. The loader keeps a caller-set
+        // budget unless the planner forces sequential.
+        let (eff_threads, plan_reason) = plan_workers(threads);
+        if threads != 0 || eff_threads == 1 {
+            load.threads = eff_threads;
         }
+        let obs_mark = st_obs::mark();
+        let session_span = st_obs::span!("session");
         let mut warnings: Vec<SourceWarning> = Vec::new();
         let mut salvage: Option<SalvageReport> = None;
-        // Warnings can be promoted to an error only once they are all
-        // collected, so every return path funnels through this.
-        let finish = |session: Session| -> Result<Session, Error> {
-            if deny_warnings && !session.warnings.is_empty() {
-                return Err(Error::WarningsDenied {
-                    spec: session.source.to_string(),
-                    count: session.warnings.len(),
-                    first: session.warnings[0].to_string(),
-                });
-            }
-            Ok(session)
-        };
 
+        let mut route = "sim";
         let log = match &source {
-            TraceSource::Sim { workload, paper } => sim::workload_log(workload, *paper)?,
+            TraceSource::Sim { workload, paper } => {
+                let _span = st_obs::span!("sim.generate");
+                sim::workload_log(workload, *paper)?
+            }
             TraceSource::TraceDir(path) => {
+                route = "trace-load";
                 let result = load_dir(path, Interner::new_shared(), &load).map_err(|source| {
                     Error::Strace {
                         spec: spec.clone(),
@@ -315,6 +430,7 @@ impl Inspector {
                 result.log
             }
             TraceSource::TraceFile(path) => {
+                route = "trace-load";
                 let result = load_files(std::slice::from_ref(path), Interner::new_shared(), &load)
                     .map_err(|source| Error::Strace {
                         spec: spec.clone(),
@@ -329,6 +445,7 @@ impl Inspector {
                 result.log
             }
             TraceSource::Store { path, .. } => {
+                route = "store-read";
                 // v2 containers open out-of-core ([`supports_seek`]):
                 // only the head is fetched up front and every later
                 // byte comes from an exact-extent positioned read. v1
@@ -376,28 +493,39 @@ impl Inspector {
                     // handle, pruned-away blocks are never read off
                     // disk at all.
                     let pred = pred.unwrap_or(Predicate::True);
-                    let pruned = match &reader {
-                        StoreHandle::Resident(r) => {
-                            st_query::read_pruned_par(r, &pred, columns, threads)
-                        }
-                        StoreHandle::Seek(r) => {
-                            st_query::read_pruned_par(r, &pred, columns, threads)
-                        }
-                    }
-                    .map_err(|source| Error::Store {
+                    let (pruned, pushdown_route) = match &reader {
+                        StoreHandle::Resident(r) => (
+                            st_query::read_pruned_par(r, &pred, columns, eff_threads),
+                            "store-pushdown-resident",
+                        ),
+                        StoreHandle::Seek(r) => (
+                            st_query::read_pruned_par(r, &pred, columns, eff_threads),
+                            "store-pushdown-seek",
+                        ),
+                    };
+                    let pruned = pruned.map_err(|source| Error::Store {
                         spec: spec.clone(),
                         source,
                     })?;
-                    return finish(Session {
-                        source,
-                        events_total: pruned.stats.events_total as usize,
-                        cases_total: pruned.stats.cases_total,
-                        pushdown: Some(pruned.stats),
-                        log: pruned.log,
-                        warnings,
-                        salvage,
-                        mapping,
-                    });
+                    return finalize_session(
+                        Session {
+                            source,
+                            events_total: pruned.stats.events_total as usize,
+                            cases_total: pruned.stats.cases_total,
+                            pushdown: Some(pruned.stats),
+                            log: pruned.log,
+                            warnings,
+                            salvage,
+                            mapping,
+                            report: PipelineReport::default(),
+                        },
+                        session_span,
+                        obs_mark,
+                        pushdown_route.to_string(),
+                        eff_threads,
+                        plan_reason,
+                        deny_warnings,
+                    );
                 }
                 reader.read().map_err(|source| Error::Store {
                     spec: spec.clone(),
@@ -411,20 +539,35 @@ impl Inspector {
         // the sequential one.
         let events_total = log.total_events();
         let cases_total = log.case_count();
+        let scanned = pred.is_some();
         let log = match &pred {
-            Some(pred) => scan_par(&log, pred, threads).to_event_log(),
+            Some(pred) => scan_par(&log, pred, eff_threads).to_event_log(),
             None => log,
         };
-        finish(Session {
-            source,
-            log,
-            events_total,
-            cases_total,
-            pushdown: None,
-            warnings,
-            salvage,
-            mapping,
-        })
+        let route = if scanned {
+            format!("{route}+scan")
+        } else {
+            route.to_string()
+        };
+        finalize_session(
+            Session {
+                source,
+                log,
+                events_total,
+                cases_total,
+                pushdown: None,
+                warnings,
+                salvage,
+                mapping,
+                report: PipelineReport::default(),
+            },
+            session_span,
+            obs_mark,
+            route,
+            eff_threads,
+            plan_reason,
+            deny_warnings,
+        )
     }
 
     /// Terminal: materializes the session and returns its event log
@@ -470,6 +613,7 @@ pub struct Session {
     warnings: Vec<SourceWarning>,
     salvage: Option<SalvageReport>,
     mapping: Box<dyn Mapping + Send + Sync>,
+    report: PipelineReport,
 }
 
 impl Session {
@@ -542,6 +686,17 @@ impl Session {
     /// (`None` on scan routes).
     pub fn pushdown(&self) -> Option<&PushdownStats> {
         self.pushdown.as_ref()
+    }
+
+    /// The session's pipeline report: the planned route (notes
+    /// `route`, `route.workers`, `route.reason`), counter totals
+    /// (bytes read, blocks pruned, events scanned, warnings), and —
+    /// when [`st_obs`] collection is enabled — the timed stage tree
+    /// covering exactly this session's materialization. Subsumes
+    /// [`Session::pushdown`]: the same accounting appears as report
+    /// counters on every route.
+    pub fn report(&self) -> &PipelineReport {
+        &self.report
     }
 
     /// The structured warnings collected while materializing.
@@ -854,6 +1009,50 @@ mod tests {
             .session()
             .unwrap();
         assert!(clean.warnings().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn session_report_records_route_and_counters() {
+        // Reports are built even with metrics collection disabled:
+        // route notes are always present and the external accounting
+        // (PushdownStats, warning totals) fills the counter totals.
+        let session = Inspector::open("sim:ls").unwrap().session().unwrap();
+        let report = session.report();
+        assert_eq!(report.note("route"), Some("sim"));
+        assert!(report.note("route.workers").is_some());
+        assert!(report.note("route.reason").is_some());
+        assert_eq!(report.counter("warnings"), 0);
+
+        let dir = tmpdir("report");
+        let log = sim::workload_log("ls", false).unwrap();
+        let store = dir.join("ls.stlog");
+        st_store::write_store(&log, &store).unwrap();
+        let session = Inspector::open(store.to_str().unwrap())
+            .unwrap()
+            .filter(parse_expr("class=read").unwrap())
+            .session()
+            .unwrap();
+        let report = session.report();
+        assert_eq!(report.note("route"), Some("store-pushdown-seek"));
+        let stats = session.pushdown().unwrap();
+        assert_eq!(report.counter("bytes_read"), stats.bytes_read);
+        assert_eq!(report.counter("blocks_pruned"), stats.blocks_pruned as u64);
+        assert_eq!(report.counter("events_matched"), stats.events_matched);
+
+        // An explicit single-worker request routes sequential and says
+        // so in the plan reason.
+        let seq = Inspector::open(store.to_str().unwrap())
+            .unwrap()
+            .threads(1)
+            .session()
+            .unwrap();
+        assert_eq!(seq.report().note("route.workers"), Some("1"));
+        assert!(
+            seq.report().note("route.reason").unwrap().contains("seq"),
+            "{:?}",
+            seq.report().note("route.reason")
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -55,10 +55,12 @@ impl StoreReader {
     /// that should be queried without a resident image, use
     /// [`crate::SegmentReader::open`] instead.
     pub fn open(path: &Path) -> Result<StoreReader, StoreError> {
+        let _span = st_obs::span!("store.open");
         let data = std::fs::read(path).map_err(|source| StoreError::Io {
             path: path.to_path_buf(),
             source,
         })?;
+        st_obs::add("bytes_read", data.len() as u64);
         Self::from_bytes(Bytes::from(data))
     }
 
@@ -196,6 +198,7 @@ impl StoreReader {
         cols: ColumnSet,
         out: &mut Vec<Event>,
     ) -> Result<usize, StoreError> {
+        let _span = st_obs::span!("store.decode_block", offset = block.offset, len = block.len);
         let Payload::V2 { blocks, .. } = &self.payload else {
             return Err(CorruptKind::V1BlockDecode.into());
         };
@@ -212,10 +215,12 @@ impl StoreReader {
             }
             .into());
         }
+        st_obs::add("blocks_decoded", 1);
         decode_block_bytes(&blocks[start..start + len], block, cols, &self.strings, out)
     }
 
     fn read_with_filter(&self, keep_path: impl Fn(Symbol) -> bool) -> Result<EventLog, StoreError> {
+        let _span = st_obs::span!("store.read");
         let interner = Interner::new_shared();
         for s in &self.strings {
             interner.intern(s);

@@ -244,10 +244,12 @@ pub struct Salvaged {
 /// table (v2), or any damage at all on a v1 container (v1 has no
 /// per-block CRCs to vouch for partial content).
 pub fn open_salvage(path: &Path) -> Result<Salvaged, StoreError> {
+    let _span = st_obs::span!("store.salvage.open");
     let data = std::fs::read(path).map_err(|source| StoreError::Io {
         path: path.to_path_buf(),
         source,
     })?;
+    st_obs::add("bytes_read", data.len() as u64);
     salvage_bytes(Bytes::from(data))
 }
 
@@ -326,6 +328,7 @@ pub fn salvage_source(source: Arc<dyn SegmentSource>) -> Result<SalvagedSeek, St
         _ => return Err(StoreError::BadMagic),
     }
     let core = salvage_v2_core(&source)?;
+    st_obs::add("bytes_read", core.fetched);
     Ok(SalvagedSeek {
         reader: SegmentReader::assemble(
             source,
@@ -393,6 +396,7 @@ struct SalvageCore {
 /// requested at once, so salvage of a store larger than RAM holds one
 /// block at a time.
 fn salvage_v2_core(source: &Arc<dyn SegmentSource>) -> Result<SalvageCore, StoreError> {
+    let _span = st_obs::span!("store.salvage.vet");
     let total = source.len();
     let mut pos = 12u64;
 
@@ -550,6 +554,9 @@ fn salvage_v2_core(source: &Arc<dyn SegmentSource>) -> Result<SalvageCore, Store
         orphan_bytes,
         unaccounted_bytes: unaccounted,
     };
+    st_obs::add("blocks_vetted", blocks_total as u64);
+    st_obs::add("blocks_lost", report.losses.len() as u64);
+    st_obs::add("events_lost", events_total - events_recovered);
     Ok(SalvageCore {
         strings,
         entries,

@@ -420,6 +420,7 @@ impl SegmentReader {
     /// v1 containers have no block directory to seek through and fail
     /// with [`CorruptKind::V1Seek`]; use [`StoreReader::open`] there.
     pub fn from_source(source: Arc<dyn SegmentSource>) -> Result<SegmentReader, StoreError> {
+        let _span = st_obs::span!("store.open.seek");
         let total = source.len();
         if total < 12 {
             return Err(StoreError::BadMagic);
@@ -452,6 +453,7 @@ impl SegmentReader {
             return Err(CorruptKind::TrailingBytes { after: "blocks" }.into());
         }
         let directory = decode_directory(dir_body, blocks_len)?;
+        st_obs::add("bytes_read", pos);
         Ok(SegmentReader {
             source,
             strings,
@@ -536,11 +538,14 @@ impl SegmentReader {
             }
             .into());
         }
+        let _span = st_obs::span!("store.decode_block", offset = block.offset, len = block.len);
         let raw = self
             .source
             .read_at(self.blocks_start + block.offset, block.len as usize)?;
         self.bytes_read
             .fetch_add(u64::from(block.len), Ordering::Relaxed);
+        st_obs::add("bytes_read", u64::from(block.len));
+        st_obs::add("blocks_decoded", 1);
         decode_block_bytes(&raw, block, cols, &self.strings, out)
     }
 
@@ -548,6 +553,7 @@ impl SegmentReader {
     /// Symbols are re-interned in insertion order — the same log (ids
     /// included) a resident [`StoreReader::read`] produces.
     pub fn read(&self) -> Result<EventLog, StoreError> {
+        let _span = st_obs::span!("store.read");
         let interner = Interner::new_shared();
         for s in &self.strings {
             interner.intern(s);

@@ -172,6 +172,8 @@ impl StoreBuilder {
     /// fsync, rename over the target. On error the target is untouched
     /// and both scratch files are removed.
     pub fn finish(mut self) -> Result<(), StoreError> {
+        let _span = st_obs::span!("store.stream.finish");
+        st_obs::add("bytes_written", self.blocks_offset);
         let io_err = |path: &Path| {
             let path = path.to_path_buf();
             move |source: std::io::Error| StoreError::Io {

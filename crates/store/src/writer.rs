@@ -50,6 +50,7 @@ pub fn to_bytes(log: &EventLog) -> Result<Bytes, StoreError> {
 /// blocks exercise multi-block layouts on small logs in tests; readers
 /// handle any block size ≥ 1.
 pub fn to_bytes_blocked(log: &EventLog, block_events: usize) -> Result<Bytes, StoreError> {
+    let _span = st_obs::span!("store.encode");
     assert!(block_events >= 1, "blocks hold at least one event");
     check_sorted(log)?;
 
@@ -318,6 +319,8 @@ pub fn write_store(log: &EventLog, path: &Path) -> Result<(), StoreError> {
 /// crash too. On any error the temp file is removed — an interrupted
 /// write leaves no partial container behind.
 pub fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), StoreError> {
+    let _span = st_obs::span!("store.write", len = bytes.len());
+    st_obs::add("bytes_written", bytes.len() as u64);
     let io_err = |source: std::io::Error| StoreError::Io {
         path: path.to_path_buf(),
         source,

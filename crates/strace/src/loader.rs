@@ -90,6 +90,7 @@ pub fn load_files(
     interner: Arc<Interner>,
     opts: &LoadOptions,
 ) -> Result<LoadResult, StraceError> {
+    let _span = st_obs::span!("strace.load", files = files.len());
     // Resolve case identities up front so naming errors surface before
     // any parsing work.
     let mut metas = Vec::with_capacity(files.len());
@@ -148,6 +149,7 @@ pub fn load_files(
     } else {
         let next = AtomicUsize::new(0);
         let (tx, rx) = mpsc::channel::<(usize, Result<(Case, Vec<Warning>), StraceError>)>();
+        let obs_cx = st_obs::context();
         std::thread::scope(|scope| {
             for _ in 0..n_workers {
                 let tx = tx.clone();
@@ -155,14 +157,19 @@ pub fn load_files(
                 let interner = &interner;
                 let files = &files;
                 let metas = &metas;
-                scope.spawn(move || loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= files.len() {
-                        break;
-                    }
-                    let result = parse_one(&files[idx], metas[idx], interner, 1, opts.streaming);
-                    if tx.send((idx, result)).is_err() {
-                        break;
+                let obs_cx = obs_cx.clone();
+                scope.spawn(move || {
+                    let _obs = obs_cx.attach();
+                    loop {
+                        let idx = next.fetch_add(1, Ordering::Relaxed);
+                        if idx >= files.len() {
+                            break;
+                        }
+                        let result =
+                            parse_one(&files[idx], metas[idx], interner, 1, opts.streaming);
+                        if tx.send((idx, result)).is_err() {
+                            break;
+                        }
                     }
                 });
             }
@@ -191,6 +198,7 @@ fn parse_one(
     chunk_threads: usize,
     streaming: bool,
 ) -> Result<(Case, Vec<Warning>), StraceError> {
+    let _span = st_obs::span_with("strace.file", || path.display().to_string());
     let io_err = |source| StraceError::Io {
         path: path.to_path_buf(),
         source,

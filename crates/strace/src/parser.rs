@@ -356,6 +356,8 @@ fn shift_warning(mut w: Warning, offset: usize) -> Warning {
 /// assert_eq!(event.size, Some(832));
 /// ```
 pub fn parse_str(text: &str, interner: &Interner) -> ParsedTrace {
+    let _span = st_obs::span!("strace.parse", bytes = text.len());
+    let symbols_before = interner.len();
     let mut sink = SharedIntern(interner);
     let chunk = parse_chunk(text, &mut sink);
     let offsets = [0usize];
@@ -370,6 +372,8 @@ pub fn parse_str(text: &str, interner: &Interner) -> ParsedTrace {
     let mut warnings = chunk.warnings;
     warnings.extend(async_warnings);
 
+    st_obs::add("events_parsed", events.len() as u64);
+    st_obs::add("symbols_interned", (interner.len() - symbols_before) as u64);
     ParsedTrace {
         events: events.into_iter().map(|(_, e)| e).collect(),
         warnings: finalize_warnings(warnings, chunk.suppressed),
@@ -484,14 +488,19 @@ pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace
         return parse_str(text, interner);
     }
 
+    let _span = st_obs::span!("strace.parse.par", workers = workers, bytes = text.len());
     let chunks = split_chunks(text, workers);
 
     // Map: parse chunks in parallel, each into a thread-local interner.
+    let obs_cx = st_obs::context();
     let parsed: Vec<(ChunkParse<'_>, LocalInterner, Vec<usize>)> = std::thread::scope(|scope| {
         let handles: Vec<_> = chunks
             .iter()
             .map(|chunk| {
+                let obs_cx = obs_cx.clone();
                 scope.spawn(move || {
+                    let _obs = obs_cx.attach();
+                    let _chunk_span = st_obs::span!("strace.parse.chunk", bytes = chunk.len());
                     let mut local = LocalInterner::new();
                     let parsed = parse_chunk(chunk, &mut local);
                     // Pre-sorted run for the final k-way merge.
@@ -536,6 +545,7 @@ pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace
     // Reduce 2: publish thread-local string tables to the shared
     // interner in canonical first-use order, with one batched
     // `intern_many` call, then rewrite event symbols.
+    let intern_span = st_obs::span!("strace.intern.merge");
     let mut dedup: HashMap<&str, u32> = HashMap::new();
     let mut candidates: Vec<&str> = Vec::new();
     let mut cache: Vec<Option<u32>> = Vec::new();
@@ -556,10 +566,12 @@ pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace
         &mut candidates,
     );
     let shared = interner.intern_many(&candidates);
+    st_obs::add("symbols_interned", shared.len() as u64);
     for chunk in chunk_parses.iter_mut() {
         apply_symbols(&mut chunk.events, &shared);
     }
     apply_symbols(&mut merged_events, &shared);
+    drop(intern_span);
 
     // Reduce 3: k-way merge the pre-sorted per-chunk runs (plus the
     // merged-event run) by (start, global line).
@@ -590,6 +602,7 @@ pub fn parse_par(text: &str, interner: &Interner, threads: usize) -> ParsedTrace
     }
     warnings.extend(async_warnings);
 
+    st_obs::add("events_parsed", events.len() as u64);
     ParsedTrace {
         events,
         warnings: finalize_warnings(warnings, suppressed),
@@ -648,6 +661,8 @@ pub fn parse_reader<R: BufRead>(
     reader: &mut R,
     interner: &Interner,
 ) -> std::io::Result<ParsedTrace> {
+    let _span = st_obs::span!("strace.parse.stream");
+    let symbols_before = interner.len();
     let mut state = ReaderState::default();
     let mut buf = String::new();
     let mut lineno = 0usize;
@@ -659,7 +674,10 @@ pub fn parse_reader<R: BufRead>(
         lineno += 1;
         state.feed(lineno, buf.trim_end_matches(['\n', '\r']), interner);
     }
-    Ok(state.finish())
+    let parsed = state.finish();
+    st_obs::add("events_parsed", parsed.events.len() as u64);
+    st_obs::add("symbols_interned", (interner.len() - symbols_before) as u64);
+    Ok(parsed)
 }
 
 /// Owned pending record for the streaming reader path (lines do not

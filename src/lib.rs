@@ -76,6 +76,7 @@
 pub use st_core as core;
 pub use st_ior as ior;
 pub use st_model as model;
+pub use st_obs as obs;
 pub use st_query as query;
 pub use st_sim as sim;
 pub use st_source as source;
@@ -89,6 +90,7 @@ pub mod prelude {
     pub use st_model::{
         Case, CaseMeta, CaseSlice, Event, EventLog, Interner, LogView, Micros, Pid, Symbol, Syscall,
     };
+    pub use st_obs::PipelineReport;
     pub use st_query::{group_by, parse_expr, scan, scan_par, GroupKey, Predicate};
     pub use st_sim::{SimConfig, Simulation, TraceFilter};
     pub use st_source::{Inspector, Session, SourceWarning, TraceSource};

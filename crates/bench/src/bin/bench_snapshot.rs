@@ -6,7 +6,8 @@
 //! vs zone-map block pruning at 0.1%/10%/100% selectivity), the
 //! out-of-core comparison (bytes fetched off disk by the seek reader
 //! at each selectivity, plus the streaming writer's wall time and
-//! peak encode buffer), and the
+//! peak encode buffer), the re-query comparison (a cold narrow query
+//! vs `Session::refilter` over a warm decoded-block cache), and the
 //! salvage-decode overhead (clean and degraded containers vs the
 //! strict read), plus the st-obs instrumentation overhead on the
 //! parse+dfg hot path (collection disabled vs enabled), and writes
@@ -56,6 +57,24 @@ fn btreemap_reference_build(mapped: &MappedLog<'_>) -> u64 {
         }
     }
     edges.values().sum()
+}
+
+/// Strips a mapping of its [`Mapping::keyed_by_call_path`] pledge, so
+/// `MappedLog` cannot memoize it: the reference the per-(call, path)
+/// memo row is measured against — same activity strings, one format +
+/// intern per event instead of one per distinct key.
+struct Unmemoized<M: Mapping>(M);
+
+impl<M: Mapping> Mapping for Unmemoized<M> {
+    fn write_activity(
+        &self,
+        ctx: &st_core::mapping::MapCtx<'_>,
+        meta: &CaseMeta,
+        event: &st_model::Event,
+        out: &mut String,
+    ) -> bool {
+        self.0.write_activity(ctx, meta, event, out)
+    }
 }
 
 /// Best-of-N wall time of `f` (minimum over repetitions).
@@ -145,9 +164,22 @@ fn main() {
     let log = generate(&spec);
     let n_events = log.total_events();
 
-    let (map_dt, _) = time_best(reps, || {
+    let (map_dt, memo_mapped) = time_best(reps, || {
         MappedLog::new(&log, &CallTopDirs::new(2)).mapped_events()
     });
+    // Same activity strings with the per-(call, path) memo disabled:
+    // the formatting + interning cost the memo removes from every event
+    // after the first occurrence of its key.
+    let (unmemo_dt, unmemo_mapped) = time_best(reps, || {
+        MappedLog::new(&log, &Unmemoized(CallTopDirs::new(2))).mapped_events()
+    });
+    assert_eq!(memo_mapped, unmemo_mapped);
+    let memo_speedup = unmemo_dt.as_secs_f64() / map_dt.as_secs_f64();
+    eprintln!(
+        "mapping apply: {:.1} ns/event memoized vs {:.1} ns/event unmemoized ({memo_speedup:.2}x)",
+        map_dt.as_nanos() as f64 / n_events as f64,
+        unmemo_dt.as_nanos() as f64 / n_events as f64,
+    );
     let mapped = MappedLog::new(&log, &CallTopDirs::new(2));
     let (build_dt, edge_obs) =
         time_best(reps, || Dfg::from_mapped(&mapped).total_edge_observations());
@@ -247,25 +279,42 @@ fn main() {
             read_pruned_par(&reader, &pred, ColumnSet::ALL, 4).expect("parallel pushdown read")
         });
         assert_eq!(pd4_result.stats.events_matched as usize, full_matched);
+        // `threads == 0` engages the cost-aware scheduler: it weighs the
+        // admitted blocks and their estimated decode bytes against spawn
+        // overhead and available cores, and records why it chose its
+        // worker count. On single-core containers every row must fall
+        // back to seq with an explicit reason (the recorded fix for the
+        // pushdown_par4_ns regression).
+        let (pda_dt, pda_result) = time_best(reps, || {
+            read_pruned_par(&reader, &pred, ColumnSet::ALL, 0).expect("auto pushdown read")
+        });
+        assert_eq!(pda_result.stats.events_matched as usize, full_matched);
+        let sched = &pda_result.sched;
         let s = &pd_result.stats;
         let speedup = full_dt.as_secs_f64() / pd_dt.as_secs_f64();
         let bytes_ratio = s.bytes_total as f64 / (s.bytes_decoded.max(1)) as f64;
         eprintln!(
-            "pushdown {label}: {full_matched} of {pd_events} matched, {:.1} ms full / {:.1} ms pushdown ({speedup:.2}x), {} of {} bytes decoded ({bytes_ratio:.1}x fewer), {}/{} blocks pruned",
+            "pushdown {label}: {full_matched} of {pd_events} matched, {:.1} ms full / {:.1} ms pushdown ({speedup:.2}x), {} of {} bytes decoded ({bytes_ratio:.1}x fewer), {}/{} blocks pruned, auto {:.1} ms ({} worker(s): {})",
             full_dt.as_nanos() as f64 / 1e6,
             pd_dt.as_nanos() as f64 / 1e6,
             s.bytes_decoded,
             s.bytes_total,
             s.blocks_pruned,
             s.blocks_total,
+            pda_dt.as_nanos() as f64 / 1e6,
+            sched.workers,
+            sched.reason,
         );
         pd_rows.push(format!(
-            "{{\"label\": \"{label}\", \"matched\": {full_matched}, \"full_scan_ns\": {}, \"full_scan_ns_per_event\": {:.3}, \"pushdown_ns\": {}, \"pushdown_ns_per_event\": {:.3}, \"pushdown_par4_ns\": {}, \"speedup\": {speedup:.4}, \"bytes_total\": {}, \"bytes_decoded\": {}, \"bytes_reduction\": {bytes_ratio:.4}, \"blocks_total\": {}, \"blocks_pruned\": {}, \"blocks_accepted\": {}, \"cases_pruned\": {}}}",
+            "{{\"label\": \"{label}\", \"matched\": {full_matched}, \"full_scan_ns\": {}, \"full_scan_ns_per_event\": {:.3}, \"pushdown_ns\": {}, \"pushdown_ns_per_event\": {:.3}, \"pushdown_par4_ns\": {}, \"pushdown_auto_ns\": {}, \"sched_workers\": {}, \"sched_reason\": \"{}\", \"speedup\": {speedup:.4}, \"bytes_total\": {}, \"bytes_decoded\": {}, \"bytes_reduction\": {bytes_ratio:.4}, \"blocks_total\": {}, \"blocks_pruned\": {}, \"blocks_accepted\": {}, \"cases_pruned\": {}}}",
             full_dt.as_nanos(),
             full_dt.as_nanos() as f64 / pd_events as f64,
             pd_dt.as_nanos(),
             pd_dt.as_nanos() as f64 / pd_events as f64,
             pd4_dt.as_nanos(),
+            pda_dt.as_nanos(),
+            sched.workers,
+            sched.reason,
             s.bytes_total,
             s.bytes_decoded,
             s.blocks_total,
@@ -347,6 +396,83 @@ fn main() {
         ooc_file_len,
     );
     let _ = std::fs::remove_dir_all(&ooc_dir);
+
+    // ---- re-query: decoded-block cache on iterative narrowing --------
+    // The paper's workflow is iterative: a broad query to orient, then
+    // progressively narrower refinements over the same container. The
+    // cold row is what each refinement costs without retained state (a
+    // fresh open + filtered session, the narrow 0.1% window); the warm
+    // row is `Session::refilter` over a prior broad (10%) session with
+    // the decoded-block cache enabled — the narrow window's blocks are
+    // a subset of the broad window's, so every admitted block is a
+    // cache hit and the refinement touches zero disk bytes.
+    let rq_dir = std::env::temp_dir().join(format!("st-bench-requery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&rq_dir);
+    std::fs::create_dir_all(&rq_dir).expect("bench temp dir");
+    let rq_path = rq_dir.join("requery.stlog");
+    std::fs::write(
+        &rq_path,
+        st_store::to_bytes_blocked(&pd_log, ooc_block_events).expect("serialize requery fixture"),
+    )
+    .expect("write requery fixture");
+    let rq_spec = rq_path.display().to_string();
+    let narrow = window(1, 1000);
+    let (rq_cold_dt, rq_cold_matched) = time_best(reps, || {
+        st_source::Inspector::open(&rq_spec)
+            .expect("open requery fixture")
+            .filter(narrow.clone())
+            .session()
+            .expect("cold session")
+            .events_matched()
+    });
+    let broad_session = st_source::Inspector::open(&rq_spec)
+        .expect("open requery fixture")
+        .requery(true)
+        .filter(window(10, 100))
+        .session()
+        .expect("broad session");
+    let rq_broad_matched = broad_session.events_matched();
+    let mut slot = Some(broad_session);
+    let (rq_warm_dt, rq_warm) = time_best(reps, || {
+        let refined = slot
+            .take()
+            .expect("session threads through repetitions")
+            .refilter(narrow.clone())
+            .expect("refilter");
+        let stats = refined.cache_stats().expect("cache stats");
+        let disk = refined.pushdown().expect("pushdown stats").bytes_read;
+        let matched = refined.events_matched();
+        let sched = refined
+            .report()
+            .note("route.reason")
+            .unwrap_or("?")
+            .to_string();
+        slot = Some(refined);
+        (matched, stats, disk, sched)
+    });
+    let (rq_warm_matched, rq_stats, rq_disk, rq_sched) = rq_warm;
+    assert_eq!(
+        rq_warm_matched, rq_cold_matched,
+        "refilter drifted from cold evaluation"
+    );
+    assert_eq!(rq_disk, 0, "warm refinement read bytes off disk");
+    assert!(rq_stats.hits > 0, "warm refinement missed the cache");
+    let rq_cold_ns = rq_cold_dt.as_nanos();
+    let rq_warm_ns = rq_warm_dt.as_nanos();
+    let rq_speedup = rq_cold_dt.as_secs_f64() / rq_warm_dt.as_secs_f64();
+    let rq_hits = rq_stats.hits;
+    let rq_misses = rq_stats.misses;
+    let rq_hit_rate = rq_hits as f64 / (rq_hits + rq_misses).max(1) as f64;
+    let rq_resident = rq_stats.bytes;
+    let rq_cold_npe = rq_cold_ns as f64 / rq_cold_matched.max(1) as f64;
+    let rq_warm_npe = rq_warm_ns as f64 / rq_warm_matched.max(1) as f64;
+    eprintln!(
+        "requery: cold {:.1} ms vs warm refilter {:.2} ms ({rq_speedup:.1}x), {rq_hits}/{} blocks from cache, {rq_disk} disk bytes, sched \"{rq_sched}\"",
+        rq_cold_ns as f64 / 1e6,
+        rq_warm_ns as f64 / 1e6,
+        rq_hits + rq_misses,
+    );
+    let _ = std::fs::remove_dir_all(&rq_dir);
 
     // ---- store: salvage decode vs strict read ------------------------
     // The fault-tolerant path re-verifies every block (bounds + CRC +
@@ -494,11 +620,12 @@ fn main() {
     );
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"ooc\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"file_bytes\": {ooc_file_len},\n    \"streaming_write_ns\": {},\n    \"resident_write_ns\": {},\n    \"peak_buffer_bytes\": {peak_buffer},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"obs\": {{\n    \"lines\": {parse_lines},\n    \"disabled_ns\": {},\n    \"enabled_ns\": {},\n    \"enabled_over_disabled\": {obs_ratio:.4}\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3},\n    \"apply_unmemo_ns_per_event\": {:.3},\n    \"memo_speedup\": {memo_speedup:.4}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"ooc\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"file_bytes\": {ooc_file_len},\n    \"streaming_write_ns\": {},\n    \"resident_write_ns\": {},\n    \"peak_buffer_bytes\": {peak_buffer},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"requery\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"matched\": {rq_cold_matched},\n    \"broad_matched\": {rq_broad_matched},\n    \"cold_ns\": {rq_cold_ns},\n    \"warm_ns\": {rq_warm_ns},\n    \"speedup\": {rq_speedup:.4},\n    \"cache_hits\": {rq_hits},\n    \"cache_misses\": {rq_misses},\n    \"hit_rate\": {rq_hit_rate:.4},\n    \"cache_resident_bytes\": {rq_resident},\n    \"warm_disk_bytes_read\": {rq_disk},\n    \"cold_ns_per_matched_event\": {rq_cold_npe:.1},\n    \"warm_ns_per_matched_event\": {rq_warm_npe:.1},\n    \"sched\": \"{rq_sched}\"\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"obs\": {{\n    \"lines\": {parse_lines},\n    \"disabled_ns\": {},\n    \"enabled_ns\": {},\n    \"enabled_over_disabled\": {obs_ratio:.4}\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
         seq_dt.as_nanos(),
         reader_dt.as_nanos(),
         sweep_rows.join(",\n      "),
         map_dt.as_nanos() as f64 / n_events as f64,
+        unmemo_dt.as_nanos() as f64 / n_events as f64,
         build4_dt.as_nanos() as f64 / n_events as f64,
         btree_dt.as_nanos() as f64 / n_events as f64,
         scan_all_dt.as_nanos() as f64 / n_events as f64,

@@ -11,7 +11,8 @@
 //! stinspect simulate <ls|ior-ssf-fpp|ior-mpiio|ssf|fpp> --out <dir> [--paper] [--emit-strace]
 //! stinspect diff <a> <b> [--cid-a CID] [--cid-b CID] [--map MAP] [--filter EXPR]
 //!               [-o out.dot] [--dot] [--no-pushdown]
-//! stinspect query <input> [--filter EXPR] [--group-by file|pid|cid|host]
+//! stinspect query <input> [--filter EXPR] [--then-filter EXPR]...
+//!               [--group-by file|pid|cid|host]
 //!               [--emit dfg|stats|events|store] [--map MAP] [--threads N]
 //!               [--no-pushdown] [-o PATH]
 //! stinspect fsck <store>
@@ -49,6 +50,16 @@
 //! first two seconds of the run); `HH:MM:SS[.ffffff]` endpoints are
 //! absolute times of day. `--group-by` explodes the slice into
 //! per-file / per-pid / per-cid / per-host DFG families.
+//!
+//! `query --then-filter EXPR` (repeatable) is the paper's iterative
+//! narrowing as one invocation: the first query runs with `--filter`
+//! through a decoded-block cache, then each `--then-filter` conjoins
+//! its expression and **re-queries the open container** — the refined
+//! plan re-prunes against the already-loaded directory and serves
+//! every block the previous pass decoded from memory (a `requery:`
+//! line reports the cache hits; with `--metrics` they appear as
+//! `cache.hits` / `cache.misses` / `cache.bytes` counters). The
+//! projections run on the final slice.
 //!
 //! `MAP` is one of `topdirs[:K]` (Eq. 4, default K=2), `suffix:PREFIX`
 //! (Fig. 4 naming), `site` (the experiments' `$SCRATCH`/`$SOFTWARE`
@@ -286,9 +297,11 @@ commands:
       [--cid-a CID] [--cid-b CID] [--map MAP] [--filter EXPR]
       [-o out.dot] [--dot] [--no-stats] [--no-pushdown]
   query <input>                      filter, slice and project the log
-      [--filter EXPR] [--group-by file|pid|cid|host]
+      [--filter EXPR] [--then-filter EXPR]... [--group-by file|pid|cid|host]
       [--emit dfg|stats|events|store] [--map MAP] [--threads N]
       [--no-pushdown] [-o PATH]
+      each --then-filter conjoins and re-queries the open container
+      through the decoded-block cache (hot iterative narrowing)
   fsck <store>                       report container health
       exit 0 = clean, 3 = degraded (salvage loses events), 4 = unreadable
 
@@ -461,6 +474,16 @@ fn report_pushdown(session: &Session, prefix: &str) {
         },
         r.counter("bytes_read"),
     );
+    // On a re-query session, account how much decode work the block
+    // cache absorbed (hits + misses = the blocks the plan admitted).
+    let (hits, misses) = (r.counter("cache.hits"), r.counter("cache.misses"));
+    if hits + misses > 0 {
+        eprintln!(
+            "{prefix}requery: {hits} of {} decoded blocks from cache ({} bytes resident)",
+            hits + misses,
+            r.counter("cache.bytes"),
+        );
+    }
 }
 
 fn cmd_parse(tokens: &[String], policy: Policy) -> Result<(), String> {
@@ -866,6 +889,7 @@ fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
     let mut args = Args::new(tokens);
     let mut input: Option<String> = None;
     let mut filter: Option<String> = None;
+    let mut then_filters: Vec<String> = Vec::new();
     let mut group_by: Option<st_query::GroupKey> = None;
     let mut emit_mode = EmitMode::Dfg;
     let mut map = MapChoice::TopDirs(2);
@@ -876,6 +900,7 @@ fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
     while let Some(tok) = args.next() {
         match tok {
             "--filter" => filter = Some(args.value("--filter")?.to_string()),
+            "--then-filter" => then_filters.push(args.value("--then-filter")?.to_string()),
             "--group-by" => {
                 let spec = args.value("--group-by")?;
                 group_by = Some(st_query::GroupKey::parse(spec).ok_or(format!(
@@ -920,6 +945,16 @@ fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
                 .to_string(),
         );
     }
+    // Re-querying rides the pushdown route (the cache sits under the
+    // pruning reader); with pushdown disabled the refinements could
+    // only re-scan from scratch, so reject the contradiction up front.
+    if !then_filters.is_empty() && no_pushdown {
+        return Err(
+            "query: --then-filter re-queries through pushdown; drop --no-pushdown \
+             (or run separate invocations)"
+                .to_string(),
+        );
+    }
 
     // The session plans the route: predicate pushdown on v2 stores
     // (only the blocks and columns the filter + emit mode need are
@@ -931,6 +966,10 @@ fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
         // DFG/stats/events never look at requested/offset.
         _ => analysis_columns(),
     };
+    let mut base_pred = filter
+        .as_deref()
+        .map(|expr| st_query::parse_expr(expr).map_err(|e| format!("--filter: {e}")))
+        .transpose()?;
     let mut inspector = Inspector::open(&input)
         .map_err(|e| e.to_string())?
         .map_boxed(map.build())
@@ -938,13 +977,12 @@ fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
         .columns(columns)
         .threads(threads)
         .recovery(policy.recovery())
-        .deny_warnings(policy.deny_warnings);
-    if let Some(expr) = &filter {
-        inspector = inspector
-            .filter_expr(expr)
-            .map_err(|e| format!("--filter: {e}"))?;
+        .deny_warnings(policy.deny_warnings)
+        .requery(!then_filters.is_empty());
+    if let Some(pred) = &base_pred {
+        inspector = inspector.filter(pred.clone());
     }
-    let session = inspector.session().map_err(|e| e.to_string())?;
+    let mut session = inspector.session().map_err(|e| e.to_string())?;
     report_session(&session);
     eprintln!(
         "{} of {} events match ({} of {} cases)",
@@ -954,6 +992,29 @@ fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
         session.cases_total()
     );
     report_pushdown(&session, "");
+
+    // Iterative narrowing: each --then-filter conjoins its expression
+    // and re-queries the still-open container through the decoded-block
+    // cache. `refilter` takes the full replacement predicate, so the
+    // running conjunction is rebuilt here and handed over whole.
+    for expr in &then_filters {
+        let pred = st_query::parse_expr(expr).map_err(|e| format!("--then-filter: {e}"))?;
+        let combined = match base_pred.take() {
+            Some(prev) => prev.and(pred),
+            None => pred,
+        };
+        base_pred = Some(combined.clone());
+        session = session.refilter(combined).map_err(|e| e.to_string())?;
+        report_session(&session);
+        eprintln!(
+            "then-filter {expr}: {} of {} events match ({} of {} cases)",
+            session.events_matched(),
+            session.events_total(),
+            session.cases_matched(),
+            session.cases_total()
+        );
+        report_pushdown(&session, "");
+    }
     if session.log().is_empty() {
         return Err("no events match the filter".to_string());
     }

@@ -649,6 +649,94 @@ fn query_pushdown_matches_full_load_and_reports_pruning() {
 }
 
 #[test]
+fn query_then_filter_requeries_from_cache() {
+    let dir = tmpdir("thenfilter");
+    stinspect()
+        .args(["simulate", "ior-ssf-fpp", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    let store = dir.join("ior-ssf-fpp.stlog");
+
+    // One invocation narrowing in two steps must emit exactly what a
+    // single query with the conjoined filter emits…
+    let narrowed = stinspect()
+        .arg("query")
+        .arg(&store)
+        .args([
+            "--filter",
+            "class=write",
+            "--then-filter",
+            "size>=512k",
+            "--emit",
+            "events",
+        ])
+        .output()
+        .unwrap();
+    let direct = stinspect()
+        .arg("query")
+        .arg(&store)
+        .args(["--filter", "class=write size>=512k", "--emit", "events"])
+        .output()
+        .unwrap();
+    assert!(
+        narrowed.status.success(),
+        "{}",
+        String::from_utf8_lossy(&narrowed.stderr)
+    );
+    assert_eq!(narrowed.stdout, direct.stdout);
+
+    // …while the refinement itself reads nothing off disk: every block
+    // the broad pass decoded is served from the cache.
+    let stderr = String::from_utf8_lossy(&narrowed.stderr);
+    assert!(
+        stderr.contains("then-filter size>=512k:"),
+        "refinement match line missing: {stderr}"
+    );
+    let requery: Vec<&str> = stderr
+        .lines()
+        .filter(|l| l.starts_with("requery:"))
+        .collect();
+    assert_eq!(requery.len(), 2, "one cache line per query: {stderr}");
+    assert!(
+        requery[0].starts_with("requery: 0 of"),
+        "cold pass is all misses: {stderr}"
+    );
+    assert!(
+        !requery[1].starts_with("requery: 0 of"),
+        "warm pass hits the cache: {stderr}"
+    );
+    let warm = stderr
+        .lines()
+        .skip_while(|l| !l.starts_with("then-filter"))
+        .find(|l| l.starts_with("pushdown:"))
+        .expect("warm pushdown summary");
+    assert!(
+        warm.contains("read 0 bytes off disk"),
+        "refinement re-read the container: {warm}"
+    );
+
+    // --then-filter contradicts --no-pushdown (there is no cache to
+    // re-query through on the full-scan route).
+    let out = stinspect()
+        .arg("query")
+        .arg(&store)
+        .args([
+            "--filter",
+            "class=write",
+            "--then-filter",
+            "ok=true",
+            "--no-pushdown",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--then-filter"), "{stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn query_emit_store_writes_v2_and_requeries_stably() {
     // query → store → query: the emitted container is the current (v2)
     // format and a re-query over it returns the same events.

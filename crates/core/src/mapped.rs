@@ -9,12 +9,95 @@
 //! [`MappedLog::par_new`] constructor fans cases out to worker threads
 //! and merges the per-worker activity tables by name afterwards.
 
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use st_model::EventLog;
+use st_model::{Event, EventLog};
 
 use crate::activity::{ActivityId, ActivityTable};
 use crate::mapping::{MapCtx, Mapping};
+
+/// Memo key for call/path-keyed mappings
+/// ([`Mapping::keyed_by_call_path`]): the call identity (named-table
+/// index, or the interned name symbol tagged into a disjoint range for
+/// `Other`) plus the path symbol. Two events with equal keys are
+/// indistinguishable to such a mapping.
+#[inline]
+fn memo_key(event: &Event) -> (u64, u32) {
+    let call = match event.call {
+        st_model::Syscall::Other(sym) => (1u64 << 32) | u64::from(sym.0),
+        named => u64::from(named.named_index().expect("named variant has an index")),
+    };
+    (call, event.path.0)
+}
+
+/// Multiply-xorshift hasher for the small integer memo keys — the memo
+/// must be cheaper than the string formatting + table hashing it
+/// replaces, so SipHash is off the table.
+#[derive(Default)]
+struct MemoHasher(u64);
+
+impl Hasher for MemoHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        let mut h = (self.0 ^ n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 32;
+        self.0 = h;
+    }
+}
+
+type Memo = HashMap<(u64, u32), Option<u32>, BuildHasherDefault<MemoHasher>>;
+
+/// Resolves one event's activity as a *local table id*, consulting and
+/// feeding the memo when the mapping is call/path-keyed (`memo` is
+/// `Some` exactly then). Shared by the sequential and parallel
+/// constructors so both benefit — and stay identical.
+#[inline]
+fn resolve_activity(
+    mapping: &dyn Mapping,
+    ctx: &MapCtx<'_>,
+    meta: &st_model::CaseMeta,
+    event: &Event,
+    table: &mut ActivityTable,
+    buf: &mut String,
+    memo: Option<&mut Memo>,
+) -> Option<u32> {
+    if let Some(memo) = memo {
+        let key = memo_key(event);
+        if let Some(&cached) = memo.get(&key) {
+            return cached;
+        }
+        buf.clear();
+        let resolved = mapping
+            .write_activity(ctx, meta, event, buf)
+            .then(|| table.intern(buf).0);
+        memo.insert(key, resolved);
+        resolved
+    } else {
+        buf.clear();
+        mapping
+            .write_activity(ctx, meta, event, buf)
+            .then(|| table.intern(buf).0)
+    }
+}
 
 /// An event log plus its per-event activity assignment under a mapping
 /// `f : E ⇀ A_f`.
@@ -37,15 +120,22 @@ impl<'log> MappedLog<'log> {
         let mut table = ActivityTable::new();
         let mut assignments = Vec::with_capacity(log.case_count());
         let mut buf = String::new();
+        let mut memo = mapping.keyed_by_call_path().then(Memo::default);
         for case in log.cases() {
             let mut row = Vec::with_capacity(case.events.len());
             for event in &case.events {
-                buf.clear();
-                if mapping.write_activity(&ctx, &case.meta, event, &mut buf) {
-                    row.push(Some(table.intern(&buf)));
-                } else {
-                    row.push(None);
-                }
+                row.push(
+                    resolve_activity(
+                        mapping,
+                        &ctx,
+                        &case.meta,
+                        event,
+                        &mut table,
+                        &mut buf,
+                        memo.as_mut(),
+                    )
+                    .map(ActivityId),
+                );
             }
             assignments.push(row);
         }
@@ -99,14 +189,21 @@ impl<'log> MappedLog<'log> {
                             }
                             let case = &cases[idx];
                             let mut local = ActivityTable::new();
+                            // Per-case memo: local ids are per-case here,
+                            // so the memo cannot outlive the table it
+                            // indexes into.
+                            let mut memo = mapping.keyed_by_call_path().then(Memo::default);
                             let mut row = Vec::with_capacity(case.events.len());
                             for event in &case.events {
-                                buf.clear();
-                                if mapping.write_activity(&ctx, &case.meta, event, &mut buf) {
-                                    row.push(Some(local.intern(&buf).0));
-                                } else {
-                                    row.push(None);
-                                }
+                                row.push(resolve_activity(
+                                    mapping,
+                                    &ctx,
+                                    &case.meta,
+                                    event,
+                                    &mut local,
+                                    &mut buf,
+                                    memo.as_mut(),
+                                ));
                             }
                             if tx.send((idx, row, local)).is_err() {
                                 break;
@@ -300,6 +397,38 @@ mod tests {
         assert_eq!(mapped.mapped_events(), 2); // k = 0, 3
         assert_eq!(mapped.trace_of(0).len(), 2);
         assert_eq!(mapped.assignments()[0][1], None);
+    }
+
+    #[test]
+    fn memoized_mapping_matches_unmemoized_closure_exactly() {
+        // The same Eq. 4 logic, once as the memoizable built-in and once
+        // as an opaque closure (never memoized): identical ids, names
+        // and unmapped gaps, sequential and parallel.
+        let log = sample_log(9, 31);
+        let builtin = crate::mapping::PathFilter::new("/", CallTopDirs::new(2));
+        assert!(crate::mapping::Mapping::keyed_by_call_path(&builtin));
+        let closure = crate::mapping::FnMapping(
+            |ctx: &crate::mapping::MapCtx<'_>, _meta: &CaseMeta, e: &Event| {
+                let p = ctx.path(e);
+                if p.is_empty() || !p.contains('/') {
+                    return None;
+                }
+                Some(format!(
+                    "{}:{}",
+                    ctx.call_name(e),
+                    crate::mapping::truncate_path(p, 2)
+                ))
+            },
+        );
+        assert!(!crate::mapping::Mapping::keyed_by_call_path(&closure));
+        let memoized = MappedLog::new(&log, &builtin);
+        let plain = MappedLog::new(&log, &closure);
+        assert_eq!(memoized.assignments(), plain.assignments());
+        for (id, name) in memoized.table().iter() {
+            assert_eq!(plain.table().name(id), name);
+        }
+        let par = MappedLog::par_new(&log, &builtin, 4);
+        assert_eq!(par.assignments(), memoized.assignments());
     }
 
     #[test]

@@ -72,6 +72,21 @@ pub trait Mapping: Sync {
             None
         }
     }
+
+    /// Whether this mapping's result (including the unmapped case) is a
+    /// pure function of the event's `(call, path)` symbols — independent
+    /// of the case meta and of every other event attribute.
+    ///
+    /// Returning `true` lets [`MappedLog`](crate::MappedLog) memoize
+    /// activity resolution per distinct `(call, path)` pair, skipping
+    /// path resolution, name formatting and table hashing for repeated
+    /// symbols — the common case, since traces touch a handful of files
+    /// millions of times. Every built-in mapping qualifies (they read
+    /// only the call and the path); [`FnMapping`] conservatively keeps
+    /// the default `false` because its closure may read anything.
+    fn keyed_by_call_path(&self) -> bool {
+        false
+    }
 }
 
 /// Truncates `path` to at most its top `levels` components, the
@@ -114,6 +129,10 @@ impl Default for CallTopDirs {
 }
 
 impl Mapping for CallTopDirs {
+    fn keyed_by_call_path(&self) -> bool {
+        true
+    }
+
     fn write_activity(
         &self,
         ctx: &MapCtx<'_>,
@@ -140,6 +159,10 @@ impl Mapping for CallTopDirs {
 pub struct CallOnly;
 
 impl Mapping for CallOnly {
+    fn keyed_by_call_path(&self) -> bool {
+        true
+    }
+
     fn write_activity(
         &self,
         ctx: &MapCtx<'_>,
@@ -171,6 +194,10 @@ impl<M: Mapping> PathFilter<M> {
 }
 
 impl<M: Mapping> Mapping for PathFilter<M> {
+    fn keyed_by_call_path(&self) -> bool {
+        self.inner.keyed_by_call_path()
+    }
+
     fn write_activity(
         &self,
         ctx: &MapCtx<'_>,
@@ -204,6 +231,10 @@ impl PathSuffix {
 }
 
 impl Mapping for PathSuffix {
+    fn keyed_by_call_path(&self) -> bool {
+        true
+    }
+
     fn write_activity(
         &self,
         ctx: &MapCtx<'_>,
@@ -298,6 +329,10 @@ impl SiteMap {
 }
 
 impl Mapping for SiteMap {
+    fn keyed_by_call_path(&self) -> bool {
+        true
+    }
+
     fn write_activity(
         &self,
         ctx: &MapCtx<'_>,

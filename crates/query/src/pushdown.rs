@@ -445,6 +445,89 @@ pub struct PrunedRead {
     pub log: EventLog,
     /// What was pruned, decoded and matched.
     pub stats: PushdownStats,
+    /// How the decode was scheduled (seq or par) and why. Kept out of
+    /// [`PushdownStats`] on purpose: the stats are identical between
+    /// sequential and parallel runs of the same read, the schedule is
+    /// not.
+    pub sched: SchedDecision,
+}
+
+/// The seq-vs-par choice the cost model made for one pruned read, with
+/// a human-readable reason for session reports (`route.workers` /
+/// `route.reason` notes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedDecision {
+    /// Decode workers actually used (`1` = sequential in-place decode).
+    pub workers: usize,
+    /// Why: explicit request, core count, or the block/byte cost model.
+    pub reason: String,
+}
+
+/// Parallel decode only pays off past a few surviving blocks — below
+/// this, thread spawn + channel assembly beat any overlap.
+const PAR_MIN_BLOCKS: usize = 4;
+
+/// Estimated column-segment bytes below which a decode is too small to
+/// amortize worker spawns (~tens of µs each against a decode throughput
+/// of roughly 10 ns/byte).
+const PAR_MIN_DECODE_BYTES: u64 = 1 << 20;
+
+/// Column-segment bytes a block decode at `cols` will actually parse —
+/// the unit of the scheduler's cost model.
+fn estimated_decode_bytes(block: &st_store::format::BlockDir, cols: ColumnSet) -> u64 {
+    let cols = cols.union(ColumnSet::IDENTITY);
+    (0..st_store::format::NCOLS)
+        .filter(|&col| cols.contains(ColumnSet::nth(col)))
+        .map(|col| u64::from(block.col_lens[col]))
+        .sum()
+}
+
+/// Pure seq-vs-par cost model: explicit `threads` requests are honored
+/// (so the par ≡ seq property tests exercise the real parallel path
+/// regardless of the host); `threads == 0` auto-selects from the core
+/// count, surviving-block count and estimated decode bytes.
+fn schedule(threads: usize, cores: usize, blocks: usize, est_bytes: u64) -> SchedDecision {
+    let cap = blocks.max(1);
+    if threads != 0 {
+        let workers = threads.min(cap);
+        let reason = if workers <= 1 {
+            format!("seq: {threads} worker(s) requested for {blocks} surviving block(s)")
+        } else {
+            format!("par: {workers} workers requested explicitly")
+        };
+        return SchedDecision { workers, reason };
+    }
+    if cores <= 1 {
+        return SchedDecision {
+            workers: 1,
+            reason: "seq: 1 core available".into(),
+        };
+    }
+    if blocks < PAR_MIN_BLOCKS {
+        return SchedDecision {
+            workers: 1,
+            reason: format!(
+                "seq: {blocks} surviving block(s) below par threshold ({PAR_MIN_BLOCKS})"
+            ),
+        };
+    }
+    if est_bytes < PAR_MIN_DECODE_BYTES {
+        return SchedDecision {
+            workers: 1,
+            reason: format!(
+                "seq: ~{est_bytes} B estimated decode below par threshold \
+                 ({PAR_MIN_DECODE_BYTES} B)"
+            ),
+        };
+    }
+    let workers = cores.min(cap);
+    SchedDecision {
+        workers,
+        reason: format!(
+            "par: {workers} workers over {blocks} blocks (~{est_bytes} B estimated decode, \
+             {cores} cores)"
+        ),
+    }
 }
 
 /// One surviving block of the prune plan: which case it belongs to (as
@@ -509,12 +592,21 @@ pub fn read_pruned<R: BlockRead + ?Sized>(
 }
 
 /// Parallel [`read_pruned`]: the blocks that survive pruning are fanned
-/// out to `threads` scoped workers (`0` = available parallelism) for
+/// out over a shared work queue to `threads` scoped workers for
 /// decoding and residual evaluation — blocks are independently
 /// decodable (in-block delta timestamps, per-block CRC), so only the
 /// final per-case assembly is sequential. Produces exactly the
 /// sequential result: the same log (symbol ids included) and the same
 /// [`PushdownStats`].
+///
+/// `threads == 0` engages the cost-aware scheduler: it stays
+/// sequential when the host has one core, when too few blocks survive
+/// pruning, or when the estimated column bytes to decode are too small
+/// to amortize worker spawns — and goes parallel otherwise. The choice
+/// and its reason are returned in [`PrunedRead::sched`]. An explicit
+/// `threads >= 1` is always honored (capped at the surviving block
+/// count), keeping the unconditional parallel path available to
+/// property tests and benchmarks.
 pub fn read_pruned_par<R: BlockRead + ?Sized>(
     reader: &R,
     pred: &Predicate,
@@ -611,14 +703,15 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
     // path fans blocks out to scoped workers whose per-block results
     // land in order-indexed slots, so assembly — and therefore the
     // output — is identical either way.
-    let workers = if threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        threads
-    }
-    .min(work.len().max(1));
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let est_bytes: u64 = work
+        .iter()
+        .map(|item| estimated_decode_bytes(item.block, cols))
+        .sum();
+    let sched = schedule(threads, cores, work.len(), est_bytes);
+    let workers = sched.workers;
     // Per-case accumulators. The sequential path decodes straight into
     // them, so pre-size each to its case's total surviving events; the
     // parallel path assembles from per-block buffers instead (the first
@@ -706,7 +799,7 @@ pub fn read_pruned_par<R: BlockRead + ?Sized>(
     st_obs::add("events_decoded", stats.events_decoded);
     st_obs::add("events_matched", stats.events_matched);
     st_obs::add("bytes_decoded", stats.bytes_decoded);
-    Ok(PrunedRead { log, stats })
+    Ok(PrunedRead { log, stats, sched })
 }
 
 #[cfg(test)]
@@ -852,6 +945,64 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn scheduler_cost_model_picks_seq_when_par_cannot_pay() {
+        // Explicit requests are always honored (capped at block count).
+        let d = schedule(3, 1, 10, 0);
+        assert_eq!(d.workers, 3);
+        assert!(d.reason.starts_with("par:"), "{}", d.reason);
+        let d = schedule(8, 16, 2, u64::MAX);
+        assert_eq!(d.workers, 2);
+        let d = schedule(1, 16, 100, u64::MAX);
+        assert_eq!(d.workers, 1);
+        assert!(d.reason.starts_with("seq:"), "{}", d.reason);
+        // Auto: one core always decodes sequentially.
+        let d = schedule(0, 1, 1_000, u64::MAX);
+        assert_eq!(d.workers, 1);
+        assert!(d.reason.contains("1 core"), "{}", d.reason);
+        // Auto: too few surviving blocks.
+        let d = schedule(0, 8, PAR_MIN_BLOCKS - 1, u64::MAX);
+        assert_eq!(d.workers, 1);
+        assert!(d.reason.contains("surviving block"), "{}", d.reason);
+        // Auto: too few bytes to amortize spawns.
+        let d = schedule(0, 8, 100, PAR_MIN_DECODE_BYTES - 1);
+        assert_eq!(d.workers, 1);
+        assert!(d.reason.contains("below par threshold"), "{}", d.reason);
+        // Auto: enough of everything goes parallel, capped at cores.
+        let d = schedule(0, 8, 100, PAR_MIN_DECODE_BYTES);
+        assert_eq!(d.workers, 8);
+        assert!(d.reason.starts_with("par:"), "{}", d.reason);
+        let d = schedule(0, 8, 5, PAR_MIN_DECODE_BYTES);
+        assert_eq!(d.workers, 5, "capped at surviving blocks");
+    }
+
+    #[test]
+    fn auto_schedule_records_decision_and_matches_explicit() {
+        let r = reader(10);
+        let pred = parse_expr("true").unwrap();
+        let auto = read_pruned_par(&r, &pred, ColumnSet::ALL, 0).unwrap();
+        let seq = read_pruned(&r, &pred, ColumnSet::ALL).unwrap();
+        assert_eq!(auto.log.cases(), seq.log.cases());
+        assert_eq!(format!("{:?}", auto.stats), format!("{:?}", seq.stats));
+        // The decision is recorded with a reason either way; this tiny
+        // store is always below the byte threshold, so auto stays seq
+        // regardless of the host's core count.
+        assert_eq!(auto.sched.workers, 1, "{}", auto.sched.reason);
+        assert!(
+            auto.sched.reason.starts_with("seq:"),
+            "{}",
+            auto.sched.reason
+        );
+        let est: u64 = r
+            .directory()
+            .unwrap()
+            .iter()
+            .flat_map(|c| &c.blocks)
+            .map(|b| estimated_decode_bytes(b, ColumnSet::ALL))
+            .sum();
+        assert!(est < PAR_MIN_DECODE_BYTES);
     }
 
     #[test]

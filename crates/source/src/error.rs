@@ -56,6 +56,16 @@ pub enum Error {
         /// The first warning, rendered.
         first: String,
     },
+    /// [`Session::refilter`](crate::Session::refilter) was called on a
+    /// session that retained no re-query state — re-querying was not
+    /// enabled ([`Inspector::requery`](crate::Inspector::requery)) or
+    /// the session's route cannot support it.
+    RequeryUnavailable {
+        /// The offending input spec.
+        spec: String,
+        /// Why no re-query state was retained.
+        reason: String,
+    },
     /// Case selection matched nothing: no case carries the requested
     /// command id.
     NoCasesWithCid {
@@ -79,6 +89,9 @@ impl fmt::Display for Error {
                 "{spec}: {count} warning{} denied; first: {first}",
                 if *count == 1 { "" } else { "s" }
             ),
+            Error::RequeryUnavailable { spec, reason } => {
+                write!(f, "{spec}: re-query unavailable: {reason}")
+            }
             Error::NoCasesWithCid { cid, side } => {
                 write!(f, "no cases with cid {cid:?} in input {side}")
             }

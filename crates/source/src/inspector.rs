@@ -30,12 +30,17 @@
 //! the session's log holds exactly the events a full load followed by
 //! [`st_query::scan`] would keep.
 
+use std::sync::Arc;
+
 use st_core::{CallTopDirs, Dfg, IoStatistics, MappedLog, Mapping};
 use st_model::{EventLog, Interner, LogView};
 use st_obs::PipelineReport;
 use st_query::pushdown::ColumnSet;
 use st_query::{scan_par, Predicate, PushdownStats};
-use st_store::{SalvageReport, SegmentReader, StoreReader};
+use st_store::{
+    BlockCache, BlockRead, CacheStats, CachedBlockRead, SalvageReport, SegmentReader, StoreReader,
+    DEFAULT_CACHE_BUDGET,
+};
 use st_strace::{load_dir, load_files, LoadOptions};
 
 use crate::error::Error;
@@ -85,6 +90,48 @@ impl StoreHandle {
             StoreHandle::Seek(reader) => reader.read(),
         }
     }
+
+    /// The handle as a block-granular reader (the pushdown routes work
+    /// against this trait object, optionally through a
+    /// [`CachedBlockRead`] wrapper).
+    fn block_reader(&self) -> &dyn BlockRead {
+        match self {
+            StoreHandle::Resident(reader) => reader,
+            StoreHandle::Seek(reader) => reader,
+        }
+    }
+
+    /// Cumulative bytes fetched through this handle since it was
+    /// opened. Re-query accounting diffs this around each run to get
+    /// per-query disk traffic (the seek reader's counter never resets).
+    fn bytes_read(&self) -> u64 {
+        self.block_reader().bytes_read()
+    }
+
+    /// Route label for a pushdown read over this handle.
+    fn pushdown_route(&self, requery: bool) -> &'static str {
+        match (self, requery) {
+            (StoreHandle::Resident(_), false) => "store-pushdown-resident",
+            (StoreHandle::Seek(_), false) => "store-pushdown-seek",
+            (StoreHandle::Resident(_), true) => "store-requery-resident",
+            (StoreHandle::Seek(_), true) => "store-requery-seek",
+        }
+    }
+}
+
+/// Everything a [`Session`] retains to serve [`Session::refilter`]: the
+/// still-open container handle, the decoded-block cache populated by
+/// the queries run so far, and the plan inputs that must stay fixed
+/// across refinements so a refilter is observably a fresh session over
+/// the same inspector configuration.
+struct RequeryState {
+    handle: StoreHandle,
+    cache: Arc<BlockCache>,
+    token: u64,
+    columns: ColumnSet,
+    threads: usize,
+    spec: String,
+    deny_warnings: bool,
 }
 
 /// The worker plan for a session's parallel stages (block decode,
@@ -177,6 +224,11 @@ fn finalize_session(
         report.merge_counter("events_decoded", stats.events_decoded);
         report.merge_counter("events_matched", stats.events_matched);
     }
+    if let Some(cache) = &session.cache {
+        report.merge_counter("cache.hits", cache.hits);
+        report.merge_counter("cache.misses", cache.misses);
+        report.merge_counter("cache.bytes", cache.bytes);
+    }
     if let Some(salvage) = &session.salvage {
         report.merge_counter("blocks_lost", salvage.losses.len() as u64);
         report.merge_counter(
@@ -244,6 +296,7 @@ pub struct Inspector {
     load: LoadOptions,
     recovery: RecoveryPolicy,
     deny_warnings: bool,
+    requery: bool,
 }
 
 impl Inspector {
@@ -265,6 +318,7 @@ impl Inspector {
             load: LoadOptions::default(),
             recovery: RecoveryPolicy::default(),
             deny_warnings: false,
+            requery: false,
         }
     }
 
@@ -346,6 +400,22 @@ impl Inspector {
         self
     }
 
+    /// Enables hot re-querying (default: off). On the store pushdown
+    /// route the session then keeps the container open, routes every
+    /// block decode through a byte-budgeted decoded-block cache
+    /// ([`st_store::BlockCache`]), and supports
+    /// [`Session::refilter`] — refined queries re-plan pushdown against
+    /// the already-loaded directory and serve previously decoded
+    /// blocks from memory instead of disk. Off by default because
+    /// populating the cache costs one event memcpy per decoded block,
+    /// which a one-shot query never earns back. Inert on non-store
+    /// sources and on the full-scan route ([`Session::refilter`] then
+    /// reports [`Error::RequeryUnavailable`]).
+    pub fn requery(mut self, enabled: bool) -> Inspector {
+        self.requery = enabled;
+        self
+    }
+
     /// Promotes any collected [`SourceWarning`] to a hard
     /// [`Error::WarningsDenied`]: the session fails instead of
     /// materializing with non-fatal oddities (for pipelines that must
@@ -368,6 +438,7 @@ impl Inspector {
             mut load,
             recovery,
             deny_warnings,
+            requery,
         } = self;
         let spec = source.to_string();
         let mapping = mapping.unwrap_or_else(|| Box::new(CallTopDirs::new(2)));
@@ -491,22 +562,43 @@ impl Inspector {
                     // parallel, and return — the pruned log already
                     // holds exactly the matching events. On a seek
                     // handle, pruned-away blocks are never read off
-                    // disk at all.
+                    // disk at all. `threads == 0` hands the worker
+                    // choice to the library's cost-aware scheduler
+                    // (block count × estimated decode bytes); an
+                    // explicit request keeps the planner's single-core
+                    // forcing.
                     let pred = pred.unwrap_or(Predicate::True);
-                    let (pruned, pushdown_route) = match &reader {
-                        StoreHandle::Resident(r) => (
-                            st_query::read_pruned_par(r, &pred, columns, eff_threads),
-                            "store-pushdown-resident",
-                        ),
-                        StoreHandle::Seek(r) => (
-                            st_query::read_pruned_par(r, &pred, columns, eff_threads),
-                            "store-pushdown-seek",
-                        ),
+                    let sched_threads = if threads == 0 { 0 } else { eff_threads };
+                    let cache =
+                        requery.then(|| Arc::new(BlockCache::with_budget(DEFAULT_CACHE_BUDGET)));
+                    let base = reader.block_reader();
+                    let pruned = match &cache {
+                        Some(cache) => {
+                            let token = cache.register();
+                            let cached = CachedBlockRead::new(base, cache, token);
+                            st_query::read_pruned_par(&cached, &pred, columns, sched_threads)
+                                .map(|pruned| (pruned, token))
+                        }
+                        None => st_query::read_pruned_par(base, &pred, columns, sched_threads)
+                            .map(|pruned| (pruned, 0)),
                     };
-                    let pruned = pruned.map_err(|source| Error::Store {
+                    let (pruned, token) = pruned.map_err(|source| Error::Store {
                         spec: spec.clone(),
                         source,
                     })?;
+                    let pushdown_route = reader.pushdown_route(false);
+                    let workers = pruned.sched.workers;
+                    let sched_reason = pruned.sched.reason.clone();
+                    let cache_stats = cache.as_ref().map(|cache| cache.stats());
+                    let requery_state = cache.map(|cache| RequeryState {
+                        handle: reader,
+                        cache,
+                        token,
+                        columns,
+                        threads: sched_threads,
+                        spec: spec.clone(),
+                        deny_warnings,
+                    });
                     return finalize_session(
                         Session {
                             source,
@@ -518,12 +610,14 @@ impl Inspector {
                             salvage,
                             mapping,
                             report: PipelineReport::default(),
+                            cache: cache_stats,
+                            requery: requery_state,
                         },
                         session_span,
                         obs_mark,
                         pushdown_route.to_string(),
-                        eff_threads,
-                        plan_reason,
+                        workers,
+                        sched_reason,
                         deny_warnings,
                     );
                 }
@@ -560,6 +654,8 @@ impl Inspector {
                 salvage,
                 mapping,
                 report: PipelineReport::default(),
+                cache: None,
+                requery: None,
             },
             session_span,
             obs_mark,
@@ -614,6 +710,10 @@ pub struct Session {
     salvage: Option<SalvageReport>,
     mapping: Box<dyn Mapping + Send + Sync>,
     report: PipelineReport,
+    /// Cache effectiveness of *this* query (hit/miss deltas, resident
+    /// bytes after) when the session ran through a decoded-block cache.
+    cache: Option<CacheStats>,
+    requery: Option<RequeryState>,
 }
 
 impl Session {
@@ -725,6 +825,111 @@ impl Session {
         }
         self.log = selected;
         Ok(self)
+    }
+
+    /// Whether this session can serve [`Session::refilter`] — i.e. it
+    /// was materialized with [`Inspector::requery`] enabled on the
+    /// store pushdown route and still holds the container open.
+    pub fn can_refilter(&self) -> bool {
+        self.requery.is_some()
+    }
+
+    /// Cache effectiveness of the query that produced this session
+    /// (`None` when re-querying is off): hits/misses counted over this
+    /// query alone, plus the bytes resident after it. The same totals
+    /// appear in [`Session::report`] as `cache.hits` / `cache.misses` /
+    /// `cache.bytes`.
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache
+    }
+
+    /// Re-runs the session's query with `pred` as the **full
+    /// replacement predicate**, reusing the open container and the
+    /// decoded-block cache.
+    ///
+    /// The refinement re-plans pushdown against the already-loaded
+    /// directory — no header, string-table or directory bytes are
+    /// fetched again — re-reads only the blocks the new plan admits,
+    /// and serves every block the previous queries already decoded
+    /// straight from the cache (zero disk fetches, zero varint
+    /// decodes). The result is observably identical to a fresh
+    /// [`Inspector::session`] over the same source with `pred` as the
+    /// filter (property-tested in `tests/props_requery.rs`); only the
+    /// evaluation cost differs.
+    ///
+    /// The returned session retains the re-query state, so refinements
+    /// chain: each call's [`Session::report`] carries per-query
+    /// `bytes_read` (disk traffic of *this* refinement alone) and
+    /// `cache.*` counters, under route `store-requery-resident` /
+    /// `store-requery-seek`.
+    ///
+    /// Fails with [`Error::RequeryUnavailable`] when the session
+    /// retained no re-query state ([`Inspector::requery`] off, or a
+    /// route without pushdown).
+    pub fn refilter(mut self, pred: Predicate) -> Result<Session, Error> {
+        let Some(state) = self.requery.take() else {
+            let reason = if self.pushdown.is_some() {
+                "session was materialized without Inspector::requery(true)"
+            } else {
+                "session did not take the store pushdown route \
+                 (re-querying needs an open container with a block directory)"
+            };
+            return Err(Error::RequeryUnavailable {
+                spec: self.source.to_string(),
+                reason: reason.to_string(),
+            });
+        };
+        let obs_mark = st_obs::mark();
+        let session_span = st_obs::span!("session.refilter");
+        let cache_before = state.cache.stats();
+        let bytes_before = state.handle.bytes_read();
+        let cached = CachedBlockRead::new(state.handle.block_reader(), &state.cache, state.token);
+        let pruned = st_query::read_pruned_par(&cached, &pred, state.columns, state.threads);
+        let mut pruned = pruned.map_err(|source| Error::Store {
+            spec: state.spec.clone(),
+            source,
+        })?;
+        // The handle's fetch counter is cumulative across the session's
+        // whole life; the report should account this refinement alone.
+        pruned.stats.bytes_read = pruned.stats.bytes_read.saturating_sub(bytes_before);
+        let cache_after = state.cache.stats();
+        let cache_stats = CacheStats {
+            hits: cache_after.hits - cache_before.hits,
+            misses: cache_after.misses - cache_before.misses,
+            bytes: cache_after.bytes,
+        };
+        let route = state.handle.pushdown_route(true);
+        let workers = pruned.sched.workers;
+        let sched_reason = pruned.sched.reason.clone();
+        let deny_warnings = state.deny_warnings;
+        finalize_session(
+            Session {
+                source: self.source,
+                events_total: pruned.stats.events_total as usize,
+                cases_total: pruned.stats.cases_total,
+                pushdown: Some(pruned.stats),
+                log: pruned.log,
+                warnings: self.warnings,
+                salvage: self.salvage,
+                mapping: self.mapping,
+                report: PipelineReport::default(),
+                cache: Some(cache_stats),
+                requery: Some(state),
+            },
+            session_span,
+            obs_mark,
+            route.to_string(),
+            workers,
+            sched_reason,
+            deny_warnings,
+        )
+    }
+
+    /// [`Session::refilter`] by a filter expression in the
+    /// [`st_query::parse_expr`] grammar.
+    pub fn refilter_expr(self, expr: &str) -> Result<Session, Error> {
+        let pred = st_query::parse_expr(expr)?;
+        self.refilter(pred)
     }
 }
 
@@ -1053,6 +1258,100 @@ mod tests {
             "{:?}",
             seq.report().note("route.reason")
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refilter_reuses_cache_and_matches_fresh_session() {
+        let dir = tmpdir("requery");
+        let log = sim::workload_log("ior-ssf-fpp", false).unwrap();
+        let store = dir.join("ior.stlog");
+        st_store::write_store(&log, &store).unwrap();
+        let spec = store.to_str().unwrap();
+        let broad = parse_expr("class=read").unwrap();
+        let narrow = parse_expr("class=read ok=true").unwrap();
+
+        let session = Inspector::open(spec)
+            .unwrap()
+            .requery(true)
+            .filter(broad)
+            .session()
+            .unwrap();
+        assert!(session.can_refilter());
+        let cold = session
+            .cache_stats()
+            .expect("requery session has cache stats");
+        assert!(cold.misses > 0, "{cold:?}");
+        assert_eq!(cold.hits, 0, "{cold:?}");
+        assert!(cold.bytes > 0, "{cold:?}");
+
+        let refined = session.refilter(narrow.clone()).unwrap();
+        let warm = refined.cache_stats().unwrap();
+        assert!(
+            warm.hits > 0,
+            "refinement re-visits cached blocks: {warm:?}"
+        );
+        assert_eq!(
+            refined.pushdown().unwrap().bytes_read,
+            0,
+            "every admitted block was already decoded — no disk traffic"
+        );
+        let report = refined.report();
+        assert_eq!(report.note("route"), Some("store-requery-seek"));
+        assert_eq!(report.counter("cache.hits"), warm.hits);
+        assert_eq!(report.counter("cache.misses"), warm.misses);
+        assert_eq!(report.counter("cache.bytes"), warm.bytes);
+        assert_eq!(
+            report.counter("bytes_read"),
+            0,
+            "report carries the per-refinement disk delta"
+        );
+
+        // Observably identical to a fresh session with the same filter.
+        let fresh = Inspector::open(spec)
+            .unwrap()
+            .filter(narrow)
+            .session()
+            .unwrap();
+        assert!(refined.events_matched() > 0);
+        assert_eq!(fresh.log().cases(), refined.log().cases());
+
+        // Refinements chain: a further narrowing still works.
+        let emptied = refined.refilter(parse_expr("pid=999999").unwrap()).unwrap();
+        assert_eq!(emptied.events_matched(), 0);
+        assert!(emptied.can_refilter());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refilter_errors_without_requery_state() {
+        // Pushdown route without requery(true): no retained state.
+        let dir = tmpdir("requery-err");
+        let log = sim::workload_log("ls", false).unwrap();
+        let store = dir.join("ls.stlog");
+        st_store::write_store(&log, &store).unwrap();
+        let session = Inspector::open(store.to_str().unwrap())
+            .unwrap()
+            .session()
+            .unwrap();
+        assert!(!session.can_refilter());
+        let err = session
+            .refilter(parse_expr("class=read").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, Error::RequeryUnavailable { .. }), "{err}");
+        assert!(err.to_string().contains("requery"), "{err}");
+
+        // Scan route (sim source): requery is inert, refilter reports why.
+        let session = Inspector::open("sim:ls")
+            .unwrap()
+            .requery(true)
+            .session()
+            .unwrap();
+        let err = session
+            .refilter(parse_expr("class=read").unwrap())
+            .unwrap_err();
+        assert!(matches!(err, Error::RequeryUnavailable { .. }), "{err}");
+        assert!(err.to_string().contains("pushdown route"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -78,6 +78,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod crc;
 pub mod error;
 pub mod faults;
@@ -89,6 +90,7 @@ pub mod stream;
 pub mod varint;
 pub mod writer;
 
+pub use cache::{BlockCache, CacheStats, CachedBlockRead, DEFAULT_CACHE_BUDGET};
 pub use error::{CorruptKind, StoreError};
 pub use faults::{Fault, FaultKind};
 pub use format::{BlockDir, CaseDir, ColumnSet, Decision, ZoneMap, DEFAULT_BLOCK_EVENTS};

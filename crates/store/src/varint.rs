@@ -44,6 +44,56 @@ pub fn get_u64<B: Buf>(buf: &mut B) -> Result<u64, StoreError> {
     }
 }
 
+/// Reads a LEB128 value from a byte slice, advancing it past the
+/// encoding. Semantically identical to [`get_u64`] (same truncation /
+/// overflow / overlong errors) but specialized for the block-decode hot
+/// loop: the one-byte case — the overwhelming majority for
+/// delta-encoded timestamps, dense symbols and small durations — is a
+/// single compare-and-advance with no loop state.
+#[inline]
+pub fn get_u64_slice(seg: &mut &[u8]) -> Result<u64, StoreError> {
+    if let Some((&first, rest)) = seg.split_first() {
+        if first < 0x80 {
+            *seg = rest;
+            return Ok(u64::from(first));
+        }
+    }
+    get_u64_slice_multi(seg)
+}
+
+/// Multi-byte (and empty-input) tail of [`get_u64_slice`]; kept out of
+/// line so the fast path stays small enough to inline everywhere.
+fn get_u64_slice_multi(seg: &mut &[u8]) -> Result<u64, StoreError> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    let mut used = 0usize;
+    loop {
+        let Some(&byte) = seg.get(used) else {
+            return Err(CorruptKind::Truncated { what: "varint" }.into());
+        };
+        used += 1;
+        if shift == 63 && byte > 1 {
+            return Err(CorruptKind::VarintOverflow.into());
+        }
+        value |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            *seg = &seg[used..];
+            return Ok(value);
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err(CorruptKind::VarintTooLong.into());
+        }
+    }
+}
+
+/// Slice-specialized [`get_opt_u64`] built on [`get_u64_slice`].
+#[inline]
+pub fn get_opt_u64_slice(seg: &mut &[u8]) -> Result<Option<u64>, StoreError> {
+    let raw = get_u64_slice(seg)?;
+    Ok(if raw == 0 { None } else { Some(raw - 1) })
+}
+
 /// Encodes an `Option<u64>` with a +1 shift: `None` ↦ 0, `Some(v)` ↦ v+1.
 pub fn put_opt_u64<B: BufMut>(buf: &mut B, value: Option<u64>) {
     match value {
@@ -124,5 +174,54 @@ mod tests {
     fn option_shift_rejects_max() {
         let mut buf = BytesMut::new();
         put_opt_u64(&mut buf, Some(u64::MAX));
+    }
+
+    #[test]
+    fn slice_decoder_matches_buf_decoder() {
+        for v in [
+            0,
+            1,
+            127,
+            128,
+            300,
+            16_383,
+            16_384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
+            let mut buf = BytesMut::new();
+            put_u64(&mut buf, v);
+            let encoded = buf.freeze();
+            let mut slice: &[u8] = &encoded;
+            assert_eq!(get_u64_slice(&mut slice).unwrap(), v);
+            assert!(slice.is_empty(), "consumed exactly the encoding of {v}");
+        }
+        let mut empty: &[u8] = &[];
+        assert!(get_u64_slice(&mut empty).is_err());
+        let mut truncated: &[u8] = &[0x80];
+        assert!(get_u64_slice(&mut truncated).is_err());
+        let overlong = [
+            0x80u8, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01,
+        ];
+        let mut seg: &[u8] = &overlong;
+        assert!(get_u64_slice(&mut seg).is_err());
+        // Overflow: ten bytes whose top byte exceeds the u64 range.
+        let overflow = [0xffu8, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x02];
+        let mut seg: &[u8] = &overflow;
+        assert!(get_u64_slice(&mut seg).is_err());
+    }
+
+    #[test]
+    fn slice_option_shift() {
+        let mut buf = BytesMut::new();
+        put_opt_u64(&mut buf, None);
+        put_opt_u64(&mut buf, Some(0));
+        put_opt_u64(&mut buf, Some(500));
+        let encoded = buf.freeze();
+        let mut slice: &[u8] = &encoded;
+        assert_eq!(get_opt_u64_slice(&mut slice).unwrap(), None);
+        assert_eq!(get_opt_u64_slice(&mut slice).unwrap(), Some(0));
+        assert_eq!(get_opt_u64_slice(&mut slice).unwrap(), Some(500));
+        assert!(slice.is_empty());
     }
 }

@@ -619,8 +619,137 @@ fn main() {
         obs_on_dt.as_nanos() as f64 / 1e6,
     );
 
+    // ---- serve: live daemon — concurrent ingest + HTTP query ---------
+    // The whole service stack end to end over real loopback sockets:
+    // HTTP framing, streaming parse, per-stream DFG fold, sealing with
+    // checkpoint, and warm re-query through the cached session. One
+    // row per connection count so contention stays visible.
+    fn serve_get(addr: std::net::SocketAddr, target: &str) -> Vec<u8> {
+        use std::io::{Read as _, Write as _};
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        write!(s, "GET {target} HTTP/1.1\r\nHost: x\r\n\r\n").expect("send");
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).expect("recv");
+        assert!(buf.starts_with(b"HTTP/1.1 200"), "query failed");
+        buf
+    }
+    fn serve_ingest(addr: std::net::SocketAddr, name: &str, text: &str) {
+        use std::io::{Read as _, Write as _};
+        let mut s = std::net::TcpStream::connect(addr).expect("connect");
+        write!(
+            s,
+            "POST /ingest/{name} HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n",
+            text.len()
+        )
+        .expect("send head");
+        s.write_all(text.as_bytes()).expect("send body");
+        let mut buf = Vec::new();
+        s.read_to_end(&mut buf).expect("recv");
+        assert!(buf.starts_with(b"HTTP/1.1 200"), "ingest failed");
+    }
+
+    let serve_lines = if quick { 4_000usize } else { 40_000usize };
+    let serve_sessions = if quick { 8usize } else { 32usize };
+    let serve_dir = std::env::temp_dir().join(format!("st-bench-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    std::fs::create_dir_all(&serve_dir).expect("serve bench dir");
+    let serve_query = "/query?filter=path~%22/data/*%22&emit=stats";
+    let mut serve_rows = Vec::new();
+    for conns in [1usize, 8] {
+        let store_path = serve_dir.join(format!("serve-{conns}.stlog2"));
+        let mut cfg = st_serve::ServeConfig::new(&store_path);
+        cfg.checkpoint_cases = conns; // one publish per ingest wave
+        let handle = st_serve::Daemon::start(cfg).expect("start daemon");
+        let addr = handle.addr();
+
+        // Bulk ingest: serve_lines split evenly over `conns` streams.
+        let per_conn = serve_lines / conns;
+        let texts: Vec<String> = (0..conns)
+            .map(|i| generate_strace_text(per_conn, 0xBEEF + i as u64))
+            .collect();
+        let ingest_t0 = Instant::now();
+        let workers: Vec<_> = texts
+            .into_iter()
+            .enumerate()
+            .map(|(i, text)| {
+                std::thread::spawn(move || {
+                    serve_ingest(addr, &format!("b{i}_bench_{}.st", 100 + i), &text)
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("ingest worker");
+        }
+        let ingest_dt = ingest_t0.elapsed();
+        let ingest_lps = serve_lines as f64 / ingest_dt.as_secs_f64();
+
+        // Session turnover: many small streams, again over `conns`
+        // concurrent connections.
+        let small = generate_strace_text(100, 0xD00D);
+        let sess_t0 = Instant::now();
+        let workers: Vec<_> = (0..conns)
+            .map(|c| {
+                let small = small.clone();
+                let waves = serve_sessions / conns;
+                std::thread::spawn(move || {
+                    for j in 0..waves {
+                        serve_ingest(addr, &format!("s{c}x{j}_bench_{}.st", 500 + c), &small);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("session worker");
+        }
+        let sessions_per_sec = serve_sessions as f64 / sess_t0.elapsed().as_secs_f64();
+
+        // Query latency: first hit at a fresh generation opens the
+        // container (cold); repeats ride the cached session's
+        // decoded-block cache (warm). The concurrent row issues
+        // `conns` clients with two queries each.
+        let cold_t0 = Instant::now();
+        serve_get(addr, serve_query);
+        let query_cold = cold_t0.elapsed();
+        let (query_warm, _) = time_best(reps.max(3), || serve_get(addr, serve_query).len());
+        let conc_t0 = Instant::now();
+        let workers: Vec<_> = (0..conns)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    for _ in 0..2 {
+                        serve_get(addr, serve_query);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("query worker");
+        }
+        let query_conc_avg = conc_t0.elapsed().as_nanos() as f64 / (2 * conns) as f64;
+
+        handle.shutdown();
+        handle.join().expect("daemon shutdown");
+        let sealed = st_store::open_salvage_seek(&store_path).expect("open sealed store");
+        assert!(sealed.report.is_clean(), "sealed store must be clean");
+        eprintln!(
+            "serve {conns} conn(s): ingest {:.2} Mlines/s, {sessions_per_sec:.1} sessions/s, \
+             query cold {:.2} ms / warm {:.2} ms / {:.2} ms avg under {conns}x2 concurrent",
+            ingest_lps / 1e6,
+            query_cold.as_nanos() as f64 / 1e6,
+            query_warm.as_nanos() as f64 / 1e6,
+            query_conc_avg / 1e6,
+        );
+        serve_rows.push(format!(
+            "{{\"conns\": {conns}, \"ingest_lines\": {serve_lines}, \"ingest_lines_per_sec\": {ingest_lps:.1}, \"sessions\": {serve_sessions}, \"sessions_per_sec\": {sessions_per_sec:.2}, \"query_cold_ns\": {}, \"query_warm_ns\": {}, \"query_concurrent_avg_ns\": {query_conc_avg:.0}}}",
+            query_cold.as_nanos(),
+            query_warm.as_nanos(),
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&serve_dir);
+    st_obs::set_enabled(false);
+    st_obs::reset();
+
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3},\n    \"apply_unmemo_ns_per_event\": {:.3},\n    \"memo_speedup\": {memo_speedup:.4}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"ooc\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"file_bytes\": {ooc_file_len},\n    \"streaming_write_ns\": {},\n    \"resident_write_ns\": {},\n    \"peak_buffer_bytes\": {peak_buffer},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"requery\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"matched\": {rq_cold_matched},\n    \"broad_matched\": {rq_broad_matched},\n    \"cold_ns\": {rq_cold_ns},\n    \"warm_ns\": {rq_warm_ns},\n    \"speedup\": {rq_speedup:.4},\n    \"cache_hits\": {rq_hits},\n    \"cache_misses\": {rq_misses},\n    \"hit_rate\": {rq_hit_rate:.4},\n    \"cache_resident_bytes\": {rq_resident},\n    \"warm_disk_bytes_read\": {rq_disk},\n    \"cold_ns_per_matched_event\": {rq_cold_npe:.1},\n    \"warm_ns_per_matched_event\": {rq_warm_npe:.1},\n    \"sched\": \"{rq_sched}\"\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"obs\": {{\n    \"lines\": {parse_lines},\n    \"disabled_ns\": {},\n    \"enabled_ns\": {},\n    \"enabled_over_disabled\": {obs_ratio:.4}\n  }},\n  \"source_open\": [\n    {}\n  ]\n}}\n",
+        "{{\n  \"quick\": {quick},\n  \"cores\": {cores},\n  \"parse\": {{\n    \"lines\": {parse_lines},\n    \"seq_ns\": {},\n    \"lines_per_sec\": {lines_per_sec:.1},\n    \"events_per_sec\": {lines_per_sec:.1},\n    \"reader_baseline_ns\": {},\n    \"thread_sweep\": [\n      {}\n    ]\n  }},\n  \"mapping\": {{\n    \"events\": {n_events},\n    \"apply_ns_per_event\": {:.3},\n    \"apply_unmemo_ns_per_event\": {:.3},\n    \"memo_speedup\": {memo_speedup:.4}\n  }},\n  \"dfg\": {{\n    \"events\": {n_events},\n    \"build_ns_per_event\": {build_ns_per_event:.3},\n    \"build_par4_ns_per_event\": {:.3},\n    \"btreemap_reference_ns_per_event\": {:.3},\n    \"dense_speedup_vs_btreemap\": {dense_speedup:.4},\n    \"edge_observations\": {edge_obs}\n  }},\n  \"query\": {{\n    \"events\": {n_events},\n    \"scan_pass_all_ns_per_event\": {:.3},\n    \"scan_pass_all_events_per_sec\": {scan_all_eps:.1},\n    \"scan_selective_ns_per_event\": {:.3},\n    \"scan_selective_events_per_sec\": {scan_sel_eps:.1},\n    \"selective_matched\": {sel_matched},\n    \"scan_pass_all_par4_ns_per_event\": {:.3}\n  }},\n  \"pushdown\": {{\n    \"events\": {pd_events},\n    \"store_bytes\": {},\n    \"block_events\": {},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"ooc\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"file_bytes\": {ooc_file_len},\n    \"streaming_write_ns\": {},\n    \"resident_write_ns\": {},\n    \"peak_buffer_bytes\": {peak_buffer},\n    \"selectivities\": [\n      {}\n    ]\n  }},\n  \"requery\": {{\n    \"events\": {pd_events},\n    \"block_events\": {ooc_block_events},\n    \"matched\": {rq_cold_matched},\n    \"broad_matched\": {rq_broad_matched},\n    \"cold_ns\": {rq_cold_ns},\n    \"warm_ns\": {rq_warm_ns},\n    \"speedup\": {rq_speedup:.4},\n    \"cache_hits\": {rq_hits},\n    \"cache_misses\": {rq_misses},\n    \"hit_rate\": {rq_hit_rate:.4},\n    \"cache_resident_bytes\": {rq_resident},\n    \"warm_disk_bytes_read\": {rq_disk},\n    \"cold_ns_per_matched_event\": {rq_cold_npe:.1},\n    \"warm_ns_per_matched_event\": {rq_warm_npe:.1},\n    \"sched\": \"{rq_sched}\"\n  }},\n  \"salvage\": {{\n    \"events\": {pd_events},\n    \"strict_read_ns\": {},\n    \"clean_salvage_ns\": {},\n    \"clean_overhead_vs_strict\": {salvage_overhead:.4},\n    \"degraded_read_ns\": {},\n    \"degraded_events_recovered\": {},\n    \"degraded_blocks_recovered\": {},\n    \"blocks_total\": {}\n  }},\n  \"obs\": {{\n    \"lines\": {parse_lines},\n    \"disabled_ns\": {},\n    \"enabled_ns\": {},\n    \"enabled_over_disabled\": {obs_ratio:.4}\n  }},\n  \"serve\": [\n    {}\n  ],\n  \"source_open\": [\n    {}\n  ]\n}}\n",
         seq_dt.as_nanos(),
         reader_dt.as_nanos(),
         sweep_rows.join(",\n      "),
@@ -645,6 +774,7 @@ fn main() {
         degraded.2,
         obs_off_dt.as_nanos(),
         obs_on_dt.as_nanos(),
+        serve_rows.join(",\n    "),
         source_rows.join(",\n    "),
     );
     std::fs::write(&out_path, &json).expect("write snapshot");

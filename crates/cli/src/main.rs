@@ -16,6 +16,8 @@
 //!               [--emit dfg|stats|events|store] [--map MAP] [--threads N]
 //!               [--no-pushdown] [-o PATH]
 //! stinspect fsck <store>
+//! stinspect serve -o <store> [--addr HOST:PORT] [--max-conns N]
+//!               [--block-events N] [--checkpoint-cases N]
 //! ```
 //!
 //! Global flags apply to every command: `--salvage` opens store inputs
@@ -71,7 +73,6 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use st_core::prelude::*;
-use st_model::Syscall;
 use st_source::{Inspector, RecoveryPolicy, Session};
 use st_store::{write_store, ColumnSet, Verdict};
 
@@ -242,6 +243,13 @@ fn main() -> ExitCode {
         match command.as_str() {
             // fsck owns its exit codes (0 clean / 3 degraded / 4 unreadable).
             "fsck" => cmd_fsck(rest),
+            "serve" => match cmd_serve(rest) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("stinspect: {msg}");
+                    ExitCode::FAILURE
+                }
+            },
             "--help" | "-h" | "help" => {
                 println!("{USAGE}");
                 ExitCode::SUCCESS
@@ -304,6 +312,14 @@ commands:
       through the decoded-block cache (hot iterative narrowing)
   fsck <store>                       report container health
       exit 0 = clean, 3 = degraded (salvage loses events), 4 = unreadable
+  serve -o <store>                   stinspectd: live ingest + query daemon
+      [--addr HOST:PORT] [--max-conns N] [--block-events N]
+      [--checkpoint-cases N]
+      POST /ingest/<cid>_<host>_<rid>.st streams strace lines in;
+      GET /query?filter=EXPR&emit=events|stats|dfg serves the sealed
+      store (CLI-identical bodies); GET /dfg merges the live DFG;
+      GET /tail long-polls the event feed; GET /metrics reports st-obs
+      JSON; POST /shutdown (or SIGTERM) seals and finishes the store
 
 global flags (any command):
   --salvage          open store inputs in salvage mode: corrupt blocks are
@@ -1047,54 +1063,13 @@ fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
     for (key, group) in &groups {
         let body = match emit_mode {
             EmitMode::Dfg => {
-                let mapped = mapped.as_ref().expect("mapped for dfg");
-                let dfg = Dfg::from_mapped_view(mapped, group);
-                let stats = IoStatistics::compute_view(mapped, group);
-                let options = st_core::render::RenderOptions::default();
-                st_core::render::render_dot(
-                    &dfg,
-                    Some(&stats),
-                    &StatisticsColoring::by_load(&stats),
-                    &options,
-                )
+                st_core::render::render_dfg_dot(mapped.as_ref().expect("mapped for dfg"), group)
             }
-            EmitMode::Stats => {
-                let mapped = mapped.as_ref().expect("mapped for stats");
-                let dfg = Dfg::from_mapped_view(mapped, group);
-                let stats = IoStatistics::compute_view(mapped, group);
-                format!(
-                    "{} events in {} case(s)\n{}",
-                    group.event_count(),
-                    group.case_count(),
-                    render_summary(&dfg, Some(&stats))
-                )
-            }
-            EmitMode::Events => {
-                let mut body =
-                    String::from("cid\thost\trid\tpid\tcall\tstart\tdur\tpath\tsize\tok\n");
-                for (meta, e) in group.iter_events() {
-                    let call = match e.call {
-                        Syscall::Other(sym) => snap.resolve(sym).to_string(),
-                        named => named.static_name().unwrap_or("?").to_string(),
-                    };
-                    body.push_str(&format!(
-                        "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
-                        snap.resolve(meta.cid),
-                        snap.resolve(meta.host),
-                        meta.rid,
-                        e.pid,
-                        call,
-                        e.start.format_time_of_day(),
-                        e.dur.format_duration(),
-                        snap.resolve(e.path),
-                        e.size
-                            .map(|s| s.to_string())
-                            .unwrap_or_else(|| "-".to_string()),
-                        e.ok,
-                    ));
-                }
-                body
-            }
+            EmitMode::Stats => st_core::render::render_stats_text(
+                mapped.as_ref().expect("mapped for stats"),
+                group,
+            ),
+            EmitMode::Events => st_core::render::render_events_tsv(group, &snap),
             EmitMode::Store => String::new(),
         };
 
@@ -1142,6 +1117,71 @@ fn cmd_query(tokens: &[String], policy: Policy) -> Result<(), String> {
 /// At most this many per-block loss lines are printed; the rest are
 /// summarized (same flood policy as the parser's warning cap).
 const FSCK_LOSS_CAP: usize = 100;
+
+/// `serve -o <store>` — run `stinspectd`, the live multi-tenant
+/// ingest + query daemon, until SIGTERM/SIGINT or `POST /shutdown`.
+/// Prints the bound address (ephemeral ports resolve here), then
+/// blocks; shutdown drains in-flight connections and finishes the
+/// container, so the store is always fsck-clean afterwards.
+fn cmd_serve(tokens: &[String]) -> Result<(), String> {
+    let mut args = Args::new(tokens);
+    let mut store: Option<PathBuf> = None;
+    let mut addr: Option<String> = None;
+    let mut max_conns: Option<usize> = None;
+    let mut block_events: Option<usize> = None;
+    let mut checkpoint_cases: Option<usize> = None;
+    let parse_n = |flag: &str, v: &str| -> Result<usize, String> {
+        v.parse()
+            .map_err(|_| format!("serve: {flag} takes a positive integer, got {v:?}"))
+    };
+    while let Some(tok) = args.next() {
+        match tok {
+            "-o" | "--store" => store = Some(PathBuf::from(args.value("-o")?)),
+            "--addr" => addr = Some(args.value("--addr")?.to_string()),
+            "--max-conns" => max_conns = Some(parse_n("--max-conns", args.value("--max-conns")?)?),
+            "--block-events" => {
+                block_events = Some(parse_n("--block-events", args.value("--block-events")?)?)
+            }
+            "--checkpoint-cases" => {
+                checkpoint_cases = Some(parse_n(
+                    "--checkpoint-cases",
+                    args.value("--checkpoint-cases")?,
+                )?)
+            }
+            flag if flag.starts_with('-') => return Err(format!("serve: unknown flag {flag}")),
+            positional => {
+                return Err(format!(
+                    "serve: unexpected argument {positional:?} (the store is -o <path>)"
+                ))
+            }
+        }
+    }
+    let store = store.ok_or("serve: missing -o <store>")?;
+    let mut config = st_serve::ServeConfig::new(&store);
+    if let Some(a) = addr {
+        config.addr = a;
+    }
+    if let Some(n) = max_conns {
+        config.max_conns = n.max(1);
+    }
+    if let Some(n) = block_events {
+        config.block_events = n.max(1);
+    }
+    if let Some(n) = checkpoint_cases {
+        config.checkpoint_cases = n.max(1);
+    }
+    config.handle_signals = true;
+    #[cfg(unix)]
+    st_serve::sig::install();
+    let handle = st_serve::Daemon::start(config).map_err(|e| format!("serve: {e}"))?;
+    emit(&format!(
+        "stinspectd listening on http://{} (store: {})\n",
+        handle.addr(),
+        store.display()
+    ));
+    eprintln!("stop with SIGTERM, Ctrl-C, or POST /shutdown");
+    handle.join().map_err(|e| format!("serve: {e}"))
+}
 
 /// `fsck <store>` — container health report with its own exit codes:
 /// 0 clean, 2 usage, 3 degraded, 4 unreadable.

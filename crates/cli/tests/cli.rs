@@ -1237,3 +1237,97 @@ fn interrupted_parse_leaves_no_partial_container() {
 
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn serve_daemon_end_to_end_matches_offline_query_and_fscks_clean() {
+    use std::io::{BufRead as _, BufReader, Read as _, Write as _};
+
+    let dir = tmpdir("serve");
+    let store = dir.join("live.stlog2");
+    let mut child = stinspect()
+        .args(["serve", "-o"])
+        .arg(&store)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+
+    // The daemon prints its resolved ephemeral address before serving.
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
+    let mut banner = String::new();
+    stdout.read_line(&mut banner).unwrap();
+    let addr = banner
+        .split("http://")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .expect("banner carries the bound address")
+        .to_string();
+
+    // Ingest one strace stream over a plain TCP connection.
+    let body = "\
+9054  08:55:54.153994 read(3</usr/lib/x86_64-linux-gnu/libselinux.so.1>, \"...\", 832) = 832 <0.000203>
+9054  08:55:54.156640 read(3</usr/lib/x86_64-linux-gnu/libc.so.6>, \"...\", 832) = 832 <0.000079>
+9054  08:55:54.176260 write(1</dev/pts/7>, \"...\", 50) = 50 <0.000111>
+";
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    write!(
+        s,
+        "POST /ingest/a_host1_9042.st HTTP/1.1\r\nHost: x\r\nContent-Length: {}\r\n\r\n{}",
+        body.len(),
+        body
+    )
+    .unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+
+    // The HTTP query body is byte-identical to the offline CLI query
+    // on the sealed container with the same filter.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    write!(
+        s,
+        "GET /query?filter=call%3Dread&emit=events HTTP/1.1\r\nHost: x\r\n\r\n"
+    )
+    .unwrap();
+    let mut resp = Vec::new();
+    s.read_to_end(&mut resp).unwrap();
+    let split = resp.windows(4).position(|w| w == b"\r\n\r\n").unwrap();
+    let http_body = resp[split + 4..].to_vec();
+
+    let out = stinspect()
+        .arg("query")
+        .arg(&store)
+        .args(["--filter", "call=read", "--emit", "events"])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&http_body),
+        String::from_utf8_lossy(&out.stdout),
+        "HTTP body and offline query stdout must match byte-for-byte"
+    );
+
+    // Graceful shutdown over HTTP; the daemon exits 0 and the sealed
+    // container passes fsck cleanly.
+    let mut s = std::net::TcpStream::connect(&addr).unwrap();
+    write!(s, "POST /shutdown HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 200"), "{resp}");
+    let status = child.wait().unwrap();
+    assert!(status.success());
+
+    let out = stinspect().arg("fsck").arg(&store).output().unwrap();
+    assert!(
+        out.status.success(),
+        "fsck after graceful shutdown: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

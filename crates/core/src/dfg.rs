@@ -582,6 +582,169 @@ impl Dfg {
     }
 }
 
+/// Sentinel edge index for the start marker in [`DfgAccumulator`]'s
+/// sparse storage (activity ids stay well below it).
+const ACC_START: u32 = u32::MAX;
+/// Sentinel edge index for the end marker.
+const ACC_END: u32 = u32::MAX - 1;
+
+/// Incremental DFG accumulator for live ingest.
+///
+/// The batch constructors ([`Dfg::from_mapped`] and friends) need the
+/// whole activity space up front — the dense storage is sized to the
+/// mapped log's table. A live service doesn't have that luxury:
+/// activities appear one event at a time, across many concurrent
+/// streams, and the graph must be queryable *between* events. This
+/// accumulator grows its activity table on first appearance, counts
+/// edges sparsely, and merges with other accumulators by name-aligned
+/// vector addition — the same mechanism [`Dfg::par_from_mapped`] uses
+/// for its per-worker partials, extended to partials whose id spaces
+/// grew independently.
+///
+/// ```
+/// use st_core::{Dfg, DfgAccumulator};
+///
+/// // Two streams observed independently (e.g. two connections):
+/// let mut a = DfgAccumulator::new();
+/// a.observe("read:/etc");
+/// a.observe("read:/etc");
+/// a.close_trace();
+/// let mut b = DfgAccumulator::new();
+/// b.observe("read:/etc");
+/// b.observe("write:/tmp");
+/// b.close_trace();
+///
+/// // Merging is a name-aligned vector addition, never a rescan:
+/// a.merge(&b);
+/// let dfg: Dfg = a.to_dfg();
+/// assert_eq!(dfg.case_count(), 2);
+/// assert_eq!(dfg.edge_count_named("●", "read:/etc"), 2);
+/// assert_eq!(dfg.edge_count_named("read:/etc", "read:/etc"), 1);
+/// assert_eq!(dfg.edge_count_named("read:/etc", "write:/tmp"), 1);
+/// dfg.check_invariants().unwrap();
+/// ```
+///
+/// One accumulator tracks *one* open trace at a time (`observe` extends
+/// it, `close_trace` seals it); a multi-stream service keeps one
+/// accumulator per stream and merges on demand. After every open trace
+/// is closed, [`DfgAccumulator::to_dfg`] satisfies
+/// [`Dfg::check_invariants`] and equals the batch-built graph over the
+/// same traces; with a trace still open it is the honest partial view
+/// (the open trace's edges so far, no end marker yet).
+#[derive(Debug, Clone, Default)]
+pub struct DfgAccumulator {
+    table: ActivityTable,
+    /// Per-activity occurrence counts, indexed by [`ActivityId`].
+    occ: Vec<u64>,
+    /// Sparse `(from, to) → count` over activity ids plus the
+    /// [`ACC_START`]/[`ACC_END`] sentinels.
+    edges: HashMap<(u32, u32), u64>,
+    start_occ: u64,
+    end_occ: u64,
+    case_count: u64,
+    /// Last activity of the open trace (`None` between traces).
+    prev: Option<ActivityId>,
+}
+
+impl DfgAccumulator {
+    /// An empty accumulator (no activities, no open trace).
+    pub fn new() -> DfgAccumulator {
+        DfgAccumulator::default()
+    }
+
+    /// Appends one activity to the open trace (opening one if needed):
+    /// interns the name on first appearance and counts the edge from
+    /// the previous activity (or the start marker).
+    pub fn observe(&mut self, activity: &str) {
+        let id = self.table.intern(activity);
+        if id.index() >= self.occ.len() {
+            self.occ.resize(id.index() + 1, 0);
+        }
+        self.occ[id.index()] += 1;
+        let from = self.prev.map(|p| p.0).unwrap_or(ACC_START);
+        *self.edges.entry((from, id.0)).or_insert(0) += 1;
+        self.prev = Some(id);
+    }
+
+    /// Seals the open trace: edge to the end marker, case counted.
+    /// A no-op when no activity was observed since the last close
+    /// (empty traces contribute nothing, as in the batch builders).
+    pub fn close_trace(&mut self) {
+        if let Some(last) = self.prev.take() {
+            *self.edges.entry((last.0, ACC_END)).or_insert(0) += 1;
+            self.case_count += 1;
+            self.start_occ += 1;
+            self.end_occ += 1;
+        }
+    }
+
+    /// Whether a trace is currently open.
+    pub fn trace_open(&self) -> bool {
+        self.prev.is_some()
+    }
+
+    /// Sealed traces so far.
+    pub fn case_count(&self) -> u64 {
+        self.case_count
+    }
+
+    /// Events observed so far (over all traces).
+    pub fn events_observed(&self) -> u64 {
+        self.occ.iter().sum()
+    }
+
+    /// Adds `other`'s counts into `self`, aligning activities by name
+    /// (ids are remapped — the two accumulators may have discovered
+    /// activities in any order). `other`'s open-trace position is
+    /// transient per-stream state and is not carried over; its counted
+    /// events and edges are.
+    pub fn merge(&mut self, other: &DfgAccumulator) {
+        let remap: Vec<u32> = (0..other.table.len())
+            .map(|idx| {
+                self.table
+                    .intern(other.table.name(ActivityId(idx as u32)))
+                    .0
+            })
+            .collect();
+        if self.occ.len() < self.table.len() {
+            self.occ.resize(self.table.len(), 0);
+        }
+        for (idx, &c) in other.occ.iter().enumerate() {
+            self.occ[remap[idx] as usize] += c;
+        }
+        let map = |id: u32| match id {
+            ACC_START | ACC_END => id,
+            _ => remap[id as usize],
+        };
+        for (&(from, to), &c) in &other.edges {
+            *self.edges.entry((map(from), map(to))).or_insert(0) += c;
+        }
+        self.start_occ += other.start_occ;
+        self.end_occ += other.end_occ;
+        self.case_count += other.case_count;
+    }
+
+    /// Materializes the accumulated counts as a [`Dfg`] (a copy — the
+    /// accumulator keeps growing independently afterwards).
+    pub fn to_dfg(&self) -> Dfg {
+        let mut acc = DenseAcc::new(self.table.len());
+        let (start, end) = (acc.start_idx(), acc.end_idx());
+        acc.occ[..self.occ.len()].copy_from_slice(&self.occ);
+        acc.occ[start] = self.start_occ;
+        acc.occ[end] = self.end_occ;
+        acc.case_count = self.case_count;
+        let map = |id: u32| match id {
+            ACC_START => start,
+            ACC_END => end,
+            _ => id as usize,
+        };
+        for (&(from, to), &c) in &self.edges {
+            acc.edges.inc(acc.n, map(from), map(to), c);
+        }
+        Dfg::from_acc(self.table.clone(), acc)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -848,6 +1011,98 @@ mod tests {
         let cloned = dfg.clone();
         assert_eq!(before, cloned.edges().collect::<Vec<_>>());
         assert_eq!(dfg.case_count(), cloned.case_count());
+    }
+
+    /// Named edge list — the id-independent comparison key.
+    fn named_edges(d: &Dfg) -> Vec<(String, String, u64)> {
+        let mut edges: Vec<(String, String, u64)> = d
+            .edges()
+            .map(|(a, b, c)| (d.node_name(a).to_string(), d.node_name(b).to_string(), c))
+            .collect();
+        edges.sort();
+        edges
+    }
+
+    #[test]
+    fn accumulator_equals_batch_build() {
+        let log = fictitious_log();
+        let (batch, _) = build(&log);
+        // The same traces observed one activity at a time.
+        let mut acc = DfgAccumulator::new();
+        for trace in [
+            &["read:/a", "read:/a", "read:/b"][..],
+            &["read:/a", "read:/a", "read:/b"][..],
+            &["read:/a", "read:/c"][..],
+        ] {
+            for a in trace {
+                acc.observe(a);
+            }
+            acc.close_trace();
+        }
+        assert_eq!(acc.case_count(), 3);
+        assert_eq!(acc.events_observed(), 8);
+        let live = acc.to_dfg();
+        live.check_invariants().unwrap();
+        assert_eq!(named_edges(&live), named_edges(&batch));
+        assert_eq!(live.case_count(), batch.case_count());
+    }
+
+    #[test]
+    fn accumulator_merge_is_interleaving_independent() {
+        // Stream A and stream B discover activities in different orders;
+        // merging in either direction yields the same named graph.
+        let seed_a = [&["x", "y"][..], &["x", "z"][..]];
+        let seed_b = [&["z", "w", "x"][..]];
+        let fill = |traces: &[&[&str]]| {
+            let mut acc = DfgAccumulator::new();
+            for t in traces {
+                for a in *t {
+                    acc.observe(a);
+                }
+                acc.close_trace();
+            }
+            acc
+        };
+        let (a, b) = (fill(&seed_a), fill(&seed_b));
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(named_edges(&ab.to_dfg()), named_edges(&ba.to_dfg()));
+        assert_eq!(ab.case_count(), 3);
+
+        // Reference: all traces through one accumulator.
+        let mut whole = fill(&seed_a);
+        for t in &seed_b {
+            for act in *t {
+                whole.observe(act);
+            }
+            whole.close_trace();
+        }
+        assert_eq!(named_edges(&ab.to_dfg()), named_edges(&whole.to_dfg()));
+        ab.to_dfg().check_invariants().unwrap();
+    }
+
+    #[test]
+    fn accumulator_open_trace_is_partial_until_closed() {
+        let mut acc = DfgAccumulator::new();
+        acc.observe("a");
+        acc.observe("b");
+        assert!(acc.trace_open());
+        // Honest partial: edges so far, no case sealed yet.
+        let partial = acc.to_dfg();
+        assert_eq!(partial.case_count(), 0);
+        assert_eq!(partial.edge_count_named("●", "a"), 1);
+        assert_eq!(partial.edge_count_named("a", "b"), 1);
+        assert_eq!(partial.edge_count_named("b", "■"), 0);
+        acc.close_trace();
+        assert!(!acc.trace_open());
+        let sealed = acc.to_dfg();
+        assert_eq!(sealed.case_count(), 1);
+        sealed.check_invariants().unwrap();
+        // Empty close is a no-op.
+        acc.close_trace();
+        assert_eq!(acc.case_count(), 1);
     }
 
     #[test]

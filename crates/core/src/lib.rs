@@ -71,13 +71,13 @@ pub mod viewer;
 pub use activity::{ActivityId, ActivityTable};
 pub use activity_log::ActivityLog;
 pub use color::{PartitionColoring, Rgb, StatisticsColoring, Styler};
-pub use dfg::{Dfg, Node};
+pub use dfg::{Dfg, DfgAccumulator, Node};
 pub use diff::{diff, DfgDiff, DiffSummary, EdgeDiff, NodeDiff, Presence};
 pub use mapped::MappedLog;
 pub use mapping::{CallOnly, CallTopDirs, FnMapping, Mapping, PathFilter, PathSuffix, SiteMap};
 pub use render::{
-    render_diff_dot, render_diff_report, render_diff_stats, render_dot, render_summary,
-    RenderOptions,
+    render_dfg_dot, render_diff_dot, render_diff_report, render_diff_stats, render_dot,
+    render_events_tsv, render_stats_text, render_summary, RenderOptions,
 };
 pub use stats::{ActivityStats, IoStatistics};
 pub use timeline::Timeline;
@@ -88,7 +88,7 @@ pub mod prelude {
     pub use crate::activity::{ActivityId, ActivityTable};
     pub use crate::activity_log::ActivityLog;
     pub use crate::color::{NoColoring, PartitionColoring, StatisticsColoring, Styler};
-    pub use crate::dfg::{Dfg, Node};
+    pub use crate::dfg::{Dfg, DfgAccumulator, Node};
     pub use crate::diff::{diff, DfgDiff, DiffSummary, EdgeDiff, NodeDiff, Presence};
     pub use crate::mapped::MappedLog;
     pub use crate::mapping::{

@@ -535,6 +535,76 @@ pub fn render_diff_stats(
     out
 }
 
+/// Renders a log slice as the `stinspect query --emit events` TSV body
+/// (header + one row per event, sizes as `-` when unknown).
+///
+/// Shared between the CLI and the live service so an HTTP `/query`
+/// response is byte-identical to the offline command over the same
+/// slice.
+pub fn render_events_tsv(
+    view: &st_model::LogView<'_>,
+    snap: &st_model::InternerSnapshot,
+) -> String {
+    let mut body = String::from("cid\thost\trid\tpid\tcall\tstart\tdur\tpath\tsize\tok\n");
+    for (meta, e) in view.iter_events() {
+        let call = match e.call {
+            st_model::Syscall::Other(sym) => snap.resolve(sym).to_string(),
+            named => named.static_name().unwrap_or("?").to_string(),
+        };
+        let _ = writeln!(
+            body,
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            snap.resolve(meta.cid),
+            snap.resolve(meta.host),
+            meta.rid,
+            e.pid,
+            call,
+            e.start.format_time_of_day(),
+            e.dur.format_duration(),
+            snap.resolve(e.path),
+            e.size
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            e.ok,
+        );
+    }
+    body
+}
+
+/// Renders a log slice as the `stinspect query --emit stats` text body
+/// (match-count header + [`render_summary`] over the slice's DFG and
+/// statistics). Shared between the CLI and the live service.
+pub fn render_stats_text(
+    mapped: &crate::mapped::MappedLog<'_>,
+    view: &st_model::LogView<'_>,
+) -> String {
+    let dfg = Dfg::from_mapped_view(mapped, view);
+    let stats = IoStatistics::compute_view(mapped, view);
+    format!(
+        "{} events in {} case(s)\n{}",
+        view.event_count(),
+        view.case_count(),
+        render_summary(&dfg, Some(&stats))
+    )
+}
+
+/// Renders a log slice as the `stinspect query --emit dfg` DOT body
+/// (Load-colored, default options). Shared between the CLI and the
+/// live service.
+pub fn render_dfg_dot(
+    mapped: &crate::mapped::MappedLog<'_>,
+    view: &st_model::LogView<'_>,
+) -> String {
+    let dfg = Dfg::from_mapped_view(mapped, view);
+    let stats = IoStatistics::compute_view(mapped, view);
+    render_dot(
+        &dfg,
+        Some(&stats),
+        &crate::color::StatisticsColoring::by_load(&stats),
+        &RenderOptions::default(),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,37 @@
+//! # st-serve — `stinspectd`: live multi-tenant ingest + query service
+//!
+//! A long-running daemon over the session API: many producers stream
+//! strace output concurrently over TCP/HTTP (thread-per-connection on
+//! `std::net` — no new dependencies), the daemon maintains per-stream
+//! DFG partials incrementally and merges them on demand, seals
+//! completed streams into an on-disk v2 container with fsync + atomic
+//! rename, and serves the full st-query filter grammar over HTTP with
+//! warm re-queries through the decoded-block cache.
+//!
+//! ```no_run
+//! use st_serve::{Daemon, ServeConfig};
+//!
+//! let handle = Daemon::start(ServeConfig::new("live.stlog2"))?;
+//! println!("listening on http://{}", handle.addr());
+//! // ... POST /ingest/<cid>_<host>_<rid>.st, GET /query?filter=... ...
+//! handle.shutdown();
+//! handle.join()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
+//!
+//! Modules:
+//!
+//! * [`http`] — minimal HTTP/1.1 framing (request head, length/chunked
+//!   body streams, response writer);
+//! * [`daemon`] — the service itself: accept loop, ingest pipeline,
+//!   sealing protocol, query/tail/metrics endpoints.
+
+#![warn(missing_docs)]
+
+pub mod daemon;
+pub mod http;
+
+pub use daemon::{Daemon, Handle, ServeConfig};
+
+#[cfg(unix)]
+pub use daemon::sig;

@@ -25,6 +25,11 @@
 //!   channel instead of on stderr.
 //! * **`sim:` spec** — the table-driven workload backend
 //!   ([`crate::sim::workload_log`]), then a scan.
+//! * **`live:` spec** — the sealed container of a running ingest
+//!   service: routed like a store when a checkpoint exists at the path
+//!   (pushdown, seek, re-query — the atomic-rename sealing discipline
+//!   guarantees the open always sees a complete container), and as an
+//!   empty snapshot before the first checkpoint (route `live-empty`).
 //!
 //! Every route produces the same observable result for the same input:
 //! the session's log holds exactly the events a full load followed by
@@ -515,8 +520,19 @@ impl Inspector {
                 );
                 result.log
             }
-            TraceSource::Store { path, .. } => {
-                route = "store-read";
+            // A live container before its first checkpoint: the daemon
+            // has sealed nothing yet, so the snapshot is the empty log
+            // (recorded in the route note) rather than a spec error.
+            TraceSource::Live(path) if !path.is_file() => {
+                route = "live-empty";
+                EventLog::with_new_interner()
+            }
+            TraceSource::Store { path, .. } | TraceSource::Live(path) => {
+                route = if source.is_live() {
+                    "live-store-read"
+                } else {
+                    "store-read"
+                };
                 // v2 containers open out-of-core ([`supports_seek`]):
                 // only the head is fetched up front and every later
                 // byte comes from an exact-extent positioned read. v1
@@ -586,7 +602,11 @@ impl Inspector {
                         spec: spec.clone(),
                         source,
                     })?;
-                    let pushdown_route = reader.pushdown_route(false);
+                    let pushdown_route = if source.is_live() {
+                        format!("live-{}", reader.pushdown_route(false))
+                    } else {
+                        reader.pushdown_route(false).to_string()
+                    };
                     let workers = pruned.sched.workers;
                     let sched_reason = pruned.sched.reason.clone();
                     let cache_stats = cache.as_ref().map(|cache| cache.stats());
@@ -615,7 +635,7 @@ impl Inspector {
                         },
                         session_span,
                         obs_mark,
-                        pushdown_route.to_string(),
+                        pushdown_route,
                         workers,
                         sched_reason,
                         deny_warnings,
@@ -1083,6 +1103,40 @@ mod tests {
             .unwrap();
         assert_eq!(from_file.events_matched(), 1);
         assert_eq!(from_file.cases_matched(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_route_is_empty_before_first_checkpoint_then_tracks_the_store() {
+        let dir = tmpdir("live");
+        let store = dir.join("live.stlog");
+        let spec = format!("live:{}", store.display());
+
+        // No checkpoint yet: a valid, empty snapshot — not an error.
+        let empty = Inspector::open(&spec).unwrap().session().unwrap();
+        assert_eq!(empty.events_matched(), 0);
+        assert_eq!(empty.report().note("route"), Some("live-empty"));
+
+        // After the daemon seals a checkpoint, the same spec routes
+        // like a store (pushdown + seek) and sees the sealed events.
+        let log = sim::workload_log("ls", false).unwrap();
+        st_store::write_store(&log, &store).unwrap();
+        let live = Inspector::open(&spec)
+            .unwrap()
+            .filter(parse_expr("class=read").unwrap())
+            .session()
+            .unwrap();
+        assert!(live.pushdown().is_some());
+        assert_eq!(
+            live.report().note("route"),
+            Some("live-store-pushdown-seek")
+        );
+        let offline = Inspector::open(store.to_str().unwrap())
+            .unwrap()
+            .filter(parse_expr("class=read").unwrap())
+            .session()
+            .unwrap();
+        assert_eq!(live.log().cases(), offline.log().cases());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

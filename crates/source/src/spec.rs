@@ -43,6 +43,14 @@ pub enum TraceSource {
         /// small default.
         paper: bool,
     },
+    /// The sealed container of a **live ingest service**, spelled
+    /// `live:<path>` — the store a `stinspect serve` daemon checkpoints
+    /// while ingest continues. Unlike a bare path, the spec parses even
+    /// when the file does not exist yet (the daemon may not have sealed
+    /// its first block): the session then opens as an empty log instead
+    /// of a spec error, so queries are valid at any point of the
+    /// container's life.
+    Live(PathBuf),
 }
 
 impl TraceSource {
@@ -51,7 +59,13 @@ impl TraceSource {
     /// for STLOG v2 containers, whose block directory carries the zone
     /// maps pruning needs.
     pub fn supports_pushdown(&self) -> bool {
-        matches!(self, TraceSource::Store { version: 2, .. })
+        match self {
+            TraceSource::Store { version: 2, .. } => true,
+            // A live container's capabilities follow what the daemon
+            // has sealed *so far*: sniffed at ask time, not parse time.
+            TraceSource::Live(path) => sniff_store_version(path) == Some(2),
+            _ => false,
+        }
     }
 
     /// Whether the source can be read **out-of-core**: opened by a seek
@@ -60,7 +74,19 @@ impl TraceSource {
     /// True only for STLOG v2 containers — v1 has no block directory to
     /// seek through, and trace text / sims materialize in memory anyway.
     pub fn supports_seek(&self) -> bool {
-        matches!(self, TraceSource::Store { version: 2, .. })
+        match self {
+            TraceSource::Store { version: 2, .. } => true,
+            TraceSource::Live(path) => sniff_store_version(path) == Some(2),
+            _ => false,
+        }
+    }
+
+    /// Whether this source is a live-service container (`live:<path>`):
+    /// the store may be rewritten (atomically) or not exist yet, and
+    /// sessions over it represent a point-in-time snapshot of whatever
+    /// the daemon had sealed.
+    pub fn is_live(&self) -> bool {
+        matches!(self, TraceSource::Live(_))
     }
 
     /// Whether the source can be consumed line-at-a-time in constant
@@ -89,6 +115,7 @@ impl fmt::Display for TraceSource {
             TraceSource::Sim { workload, paper } => {
                 write!(f, "sim:{workload}{}", if *paper { ":paper" } else { "" })
             }
+            TraceSource::Live(path) => write!(f, "live:{}", path.display()),
         }
     }
 }
@@ -129,6 +156,17 @@ impl FromStr for TraceSource {
                 paper,
             });
         }
+        if let Some(rest) = spec.strip_prefix("live:") {
+            if rest.is_empty() {
+                return Err(Error::Spec {
+                    spec: spec.to_string(),
+                    reason: "live: needs a container path (live:<path>)".to_string(),
+                });
+            }
+            // Deliberately no existence check: the daemon may not have
+            // sealed its first checkpoint yet.
+            return Ok(TraceSource::Live(PathBuf::from(rest)));
+        }
         let path = PathBuf::from(spec);
         if path.is_dir() {
             return Ok(TraceSource::TraceDir(path));
@@ -156,7 +194,7 @@ impl FromStr for TraceSource {
 /// strace route silently parsing container bytes as an empty trace.
 /// I/O errors on the probe classify as "not a store"; whichever route
 /// then opens the file reports them with full context.
-fn sniff_store_version(path: &std::path::Path) -> Option<u32> {
+pub(crate) fn sniff_store_version(path: &std::path::Path) -> Option<u32> {
     use std::io::Read as _;
     let mut head = [0u8; 12];
     let mut file = std::fs::File::open(path).ok()?;
@@ -201,6 +239,35 @@ mod tests {
             assert!(!src.supports_pushdown());
             assert!(!src.supports_streaming());
         }
+    }
+
+    #[test]
+    fn live_specs_parse_without_existence_and_sniff_capabilities() {
+        // Parses even though nothing exists at the path.
+        let spec = "live:/nonexistent/st-live-test.stlog";
+        let src: TraceSource = spec.parse().unwrap();
+        assert_eq!(
+            src,
+            TraceSource::Live(PathBuf::from("/nonexistent/st-live-test.stlog"))
+        );
+        assert_eq!(src.to_string(), spec);
+        assert!(src.is_live());
+        // No container yet → no pushdown/seek capabilities yet.
+        assert!(!src.supports_pushdown() && !src.supports_seek());
+        assert!(!src.supports_streaming());
+
+        // Once a v2 container appears at the path, capabilities follow.
+        let dir = std::env::temp_dir().join(format!("st-source-live-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let store = dir.join("live.stlog");
+        let log = st_model::EventLog::with_new_interner();
+        std::fs::write(&store, st_store::to_bytes(&log).unwrap()).unwrap();
+        let live: TraceSource = format!("live:{}", store.display()).parse().unwrap();
+        assert!(live.supports_pushdown() && live.supports_seek());
+
+        assert!("live:".parse::<TraceSource>().is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

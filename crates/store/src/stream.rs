@@ -167,6 +167,31 @@ impl StoreBuilder {
         self.peak_buffer
     }
 
+    /// Durably publishes the container as built so far **without
+    /// ending the stream**: flushes and fsyncs the spill, then runs the
+    /// same head-assembly + splice + fsync + atomic-rename sequence as
+    /// [`StoreBuilder::finish`]. The builder stays usable — more cases
+    /// can be pushed and checkpointed again (each checkpoint republishes
+    /// the whole container), or `finish()` called to end the build.
+    ///
+    /// A failed or interrupted checkpoint leaves the previously
+    /// published container intact: the rename is the last step, and on
+    /// error only the temp file is removed — never the target, never
+    /// the spill.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        let _span = st_obs::span!("store.stream.checkpoint");
+        let io_err = |source: std::io::Error| StoreError::Io {
+            path: self.spill_path.clone(),
+            source,
+        };
+        // Flush the buffered writer and fsync the underlying file
+        // without consuming either — the stream continues afterwards.
+        let spill = self.spill.as_mut().expect("spill open until finish");
+        spill.flush().map_err(io_err)?;
+        spill.get_ref().sync_all().map_err(io_err)?;
+        self.assemble()
+    }
+
     /// Assembles and atomically publishes the container: head (magic,
     /// strings, directory) into a temp file, spill spliced after it,
     /// fsync, rename over the target. On error the target is untouched
@@ -189,6 +214,27 @@ impl StoreBuilder {
             .sync_all()
             .map_err(io_err(&self.spill_path))?;
 
+        let result = self.assemble();
+        // Success or failure, the scratch files must go; on failure the
+        // target was never touched (rename is the last step).
+        let _ = std::fs::remove_file(&self.spill_path);
+        self.finished = true;
+        result
+    }
+
+    /// Shared publish path of `checkpoint()` and `finish()`: writes the
+    /// head into a temp file, splices exactly `blocks_offset` bytes of
+    /// spill after it, fsyncs and renames over the target. Requires the
+    /// spill to be flushed to disk by the caller. On error the temp
+    /// file is removed and the target (and spill) are untouched.
+    fn assemble(&self) -> Result<(), StoreError> {
+        let io_err = |path: &Path| {
+            let path = path.to_path_buf();
+            move |source: std::io::Error| StoreError::Io {
+                path: path.clone(),
+                source,
+            }
+        };
         let name = self
             .path
             .file_name()
@@ -244,19 +290,14 @@ impl StoreBuilder {
             drop(out);
             std::fs::rename(&tmp, &self.path).map_err(io_err(&self.path))
         })();
-        // Success or failure, the scratch files must go; on failure the
-        // target was never touched (rename is the last step).
-        let _ = std::fs::remove_file(&self.spill_path);
         if result.is_err() {
             let _ = std::fs::remove_file(&tmp);
-            self.finished = true;
             return result;
         }
         // Make the rename itself durable, best-effort as in write_atomic.
         if let Ok(d) = std::fs::File::open(&self.dir) {
             let _ = d.sync_all();
         }
-        self.finished = true;
         Ok(())
     }
 
@@ -386,6 +427,82 @@ mod tests {
             single_block_peak,
             image.len()
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_publishes_readable_container_and_stream_continues() {
+        let log = sample_log();
+        let dir = tempdir("checkpoint");
+        let path = dir.join("out.stlog");
+        let mut b = StoreBuilder::create_blocked(&path, Arc::clone(log.interner()), 2).unwrap();
+
+        // Checkpoint after the first case: the published container is a
+        // complete, readable v2 store holding exactly that case.
+        b.push_case(log.cases()[0].meta, &log.cases()[0].events)
+            .unwrap();
+        b.checkpoint().unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        let partial = reader.read().unwrap();
+        assert_eq!(partial.case_count(), 1);
+        assert_eq!(partial.cases()[0].events, log.cases()[0].events);
+
+        // The stream continues: push the rest, checkpoint again, and the
+        // republished container covers everything so far.
+        for case in &log.cases()[1..] {
+            b.push_case(case.meta, &case.events).unwrap();
+        }
+        b.checkpoint().unwrap();
+        let full = StoreReader::open(&path).unwrap().read().unwrap();
+        assert_eq!(full.case_count(), log.case_count());
+
+        // finish() after checkpoints is bit-identical to the one-shot
+        // writers — a reader cannot tell checkpoints ever happened.
+        b.finish().unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        let resident = to_bytes_blocked(&log, 2).unwrap();
+        assert_eq!(&resident[..], &streamed[..]);
+        assert!(scratch_files(&dir).is_empty(), "{:?}", scratch_files(&dir));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn interrupted_checkpoint_leaves_previous_container_intact() {
+        let log = sample_log();
+        let dir = tempdir("ckpt-interrupt");
+        let path = dir.join("out.stlog");
+        let mut b = StoreBuilder::create(&path, Arc::clone(log.interner())).unwrap();
+        b.push_case(log.cases()[0].meta, &log.cases()[0].events)
+            .unwrap();
+        b.checkpoint().unwrap();
+        let published = std::fs::read(&path).unwrap();
+
+        // Interrupt the next checkpoint deterministically: the spill
+        // vanishes mid-stream (the worst spot — data pushed but not
+        // publishable), so the splice step must fail.
+        let second = CaseMeta {
+            cid: log.interner().intern("b"),
+            ..log.cases()[0].meta
+        };
+        b.push_case(second, &log.cases()[0].events).unwrap();
+        let spill = scratch_files(&dir)
+            .into_iter()
+            .find(|n| n.contains(".spill."))
+            .expect("spill exists mid-build");
+        std::fs::remove_file(dir.join(&spill)).unwrap();
+        assert!(b.checkpoint().is_err());
+
+        // The previously published container is byte-for-byte intact and
+        // no temp file is left behind.
+        assert_eq!(std::fs::read(&path).unwrap(), published);
+        assert!(
+            !scratch_files(&dir).iter().any(|n| n.contains(".tmp.")),
+            "{:?}",
+            scratch_files(&dir)
+        );
+        let recovered = StoreReader::open(&path).unwrap().read().unwrap();
+        assert_eq!(recovered.case_count(), 1);
+        drop(b);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

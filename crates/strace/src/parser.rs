@@ -41,6 +41,7 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::io::BufRead;
+use std::sync::Arc;
 
 use st_model::{Event, Interner, LocalInterner, Micros, Pid, Symbol, Syscall};
 
@@ -680,6 +681,105 @@ pub fn parse_reader<R: BufRead>(
     Ok(parsed)
 }
 
+/// Incremental line-at-a-time parser for live ingest.
+///
+/// [`parse_reader`] owns its input loop; a long-running service does
+/// not — lines arrive on sockets, interleaved across connections, and
+/// the parser must hand back events *as they complete* so a live DFG
+/// can grow between lines. `StreamParser` exposes the same assembly
+/// state machine as [`parse_reader`] (unfinished/resumed merging,
+/// capped warnings, final start-sort) behind a push API:
+///
+/// ```
+/// # use std::sync::Arc;
+/// # use st_model::Interner;
+/// # use st_strace::StreamParser;
+/// let interner = Interner::new_shared();
+/// let mut p = StreamParser::new(Arc::clone(&interner));
+/// p.feed_line("9054 00:00:00.000100 openat(AT_FDCWD, \"/etc/ld.so.cache\", O_RDONLY) = 3 <0.000012>");
+/// assert_eq!(p.poll_events().count(), 1); // completed since last poll
+/// let parsed = p.finish(); // start-sorted events + warnings
+/// assert_eq!(parsed.events.len(), 1);
+/// ```
+///
+/// Events surfaced by [`StreamParser::poll_events`] are in *completion*
+/// order (the order strace emitted them); [`StreamParser::finish`]
+/// re-sorts by start time exactly like the batch paths, so the final
+/// [`ParsedTrace`] matches [`parse_reader`] over the same lines.
+pub struct StreamParser {
+    interner: Arc<Interner>,
+    state: ReaderState,
+    lineno: usize,
+    polled: usize,
+    symbols_before: usize,
+}
+
+impl StreamParser {
+    /// Starts a parser that interns symbols into `interner`.
+    pub fn new(interner: Arc<Interner>) -> StreamParser {
+        let symbols_before = interner.len();
+        StreamParser {
+            interner,
+            state: ReaderState::default(),
+            lineno: 0,
+            polled: 0,
+            symbols_before,
+        }
+    }
+
+    /// Feeds one trace line (trailing `\n`/`\r` are stripped; line
+    /// numbers for warnings count from 1 in feed order).
+    pub fn feed_line(&mut self, line: &str) {
+        self.lineno += 1;
+        self.state.feed(
+            self.lineno,
+            line.trim_end_matches(['\n', '\r']),
+            &self.interner,
+        );
+    }
+
+    /// Iterates over events completed since the previous poll, in
+    /// completion order. Purely observational — `finish()` returns the
+    /// full sorted trace regardless of polling.
+    pub fn poll_events(&mut self) -> impl Iterator<Item = &Event> {
+        let from = self.polled;
+        self.polled = self.state.events.len();
+        self.state.events[from..].iter().map(|(_, e)| e)
+    }
+
+    /// Lines fed so far.
+    pub fn lines_fed(&self) -> usize {
+        self.lineno
+    }
+
+    /// Events completed so far (polled or not).
+    pub fn events_parsed(&self) -> usize {
+        self.state.events.len()
+    }
+
+    /// Ends the stream: drains never-resumed calls into warnings and
+    /// returns the start-sorted trace, identical to [`parse_reader`]
+    /// over the same lines and interner.
+    pub fn finish(self) -> ParsedTrace {
+        let parsed = self.state.finish();
+        st_obs::add("events_parsed", parsed.events.len() as u64);
+        st_obs::add(
+            "symbols_interned",
+            (self.interner.len() - self.symbols_before) as u64,
+        );
+        parsed
+    }
+}
+
+impl std::fmt::Debug for StreamParser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamParser")
+            .field("lines_fed", &self.lineno)
+            .field("events_parsed", &self.state.events.len())
+            .finish_non_exhaustive()
+    }
+}
+
 /// Owned pending record for the streaming reader path (lines do not
 /// outlive the read buffer, so argument slices must be copied).
 #[derive(Debug)]
@@ -980,6 +1080,30 @@ mod tests {
         );
         // Events re-sorted by start: merged comes first.
         assert_eq!(parsed.events[0].pid, Pid(77423));
+    }
+
+    #[test]
+    fn stream_parser_matches_parse_reader_line_for_line() {
+        let text = format!(
+            "{}77423  16:56:40.452431 read(3</usr/lib/x>, <unfinished ...>\ngarbage line\n",
+            FIG2A
+        );
+        let shared = Interner::new_shared();
+        let reference = {
+            let mut r = std::io::BufReader::new(text.as_bytes());
+            parse_reader(&mut r, &shared).unwrap()
+        };
+        let mut sp = StreamParser::new(Arc::clone(&shared));
+        let mut polled = 0usize;
+        for line in text.lines() {
+            sp.feed_line(line);
+            polled += sp.poll_events().count();
+        }
+        assert_eq!(polled, sp.events_parsed());
+        assert_eq!(sp.lines_fed(), text.lines().count());
+        let streamed = sp.finish();
+        assert_eq!(streamed.events, reference.events);
+        assert_eq!(streamed.warnings, reference.warnings);
     }
 
     #[test]
